@@ -1,0 +1,48 @@
+// Ablation: process drift (paper §5.3). "We also tested large random
+// drifts numerically, and EpTO performed very well." Two knobs:
+//   * per-round jitter (the paper's simulations use 1%);
+//   * systematic per-process speed spread — every process draws a fixed
+//     speed factor in [1-s, 1+s], creating persistently fast and slow
+//     processes (the Lemma 5 regime with driftRatio (1+s)/(1-s)).
+#include <cmath>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace epto;
+  const auto args = bench::parseArgs(argc, argv);
+  bench::printHeader("Ablation drift",
+                     "delay and holes vs round jitter and per-process speed spread, "
+                     "n=200",
+                     args);
+
+  for (const double jitter : {0.0, 0.01, 0.10, 0.25}) {
+    workload::ExperimentConfig config;
+    config.systemSize = 200;
+    config.broadcastProbability = 0.05;
+    config.broadcastRounds = args.paperScale ? 30 : 12;
+    config.roundJitter = jitter;
+    config.seed = args.seed;
+    char label[48];
+    std::snprintf(label, sizeof label, "jitter_%.2f", jitter);
+    bench::runSeries(label, config, args);
+  }
+
+  for (const double spread : {0.10, 0.25}) {
+    // Lemma 5: TTL stretched by delta_max/delta_min = (1+s)/(1-s).
+    workload::ExperimentConfig config;
+    config.systemSize = 200;
+    config.broadcastProbability = 0.05;
+    config.broadcastRounds = args.paperScale ? 30 : 12;
+    config.processSpeedSpread = spread;
+    const double ratio = (1.0 + spread) / (1.0 - spread);
+    config.ttlOverride = static_cast<std::uint32_t>(
+        std::ceil(static_cast<double>(analysis::baseTtl(200, 1.25)) * ratio));
+    config.seed = args.seed;
+    char label[64];
+    std::snprintf(label, sizeof label, "speed_spread_%.2f_lemma5_ttl%u", spread,
+                  *config.ttlOverride);
+    bench::runSeries(label, config, args);
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Ablation: fanout sensitivity. Theorem 2 prescribes
+// K = ceil(2e ln n / ln ln n) (K = 17 for n = 100); this sweep shows the
+// agreement cliff as K drops below what the balls-and-bins analysis
+// needs, and the Lemma 7 compensation recovering agreement under loss.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace epto;
+  const auto args = bench::parseArgs(argc, argv);
+  bench::printHeader("Ablation fanout",
+                     "delay and holes vs fanout K, n=100 (theory: K=17)", args);
+
+  for (const std::size_t fanout : {1u, 2u, 3u, 5u, 9u, 17u}) {
+    workload::ExperimentConfig config;
+    config.systemSize = 100;
+    config.broadcastProbability = 0.05;
+    config.broadcastRounds = args.paperScale ? 30 : 15;
+    config.fanoutOverride = fanout;
+    config.seed = args.seed;
+    char label[48];
+    std::snprintf(label, sizeof label, "fanout%zu", fanout);
+    bench::runSeries(label, config, args);
+  }
+
+  // Lemma 7 in action: 20% loss with the base fanout vs the compensated
+  // fanout K' = K / (1 - eps).
+  for (const bool compensate : {false, true}) {
+    workload::ExperimentConfig config;
+    config.systemSize = 100;
+    config.broadcastProbability = 0.05;
+    config.broadcastRounds = args.paperScale ? 30 : 15;
+    config.messageLossRate = 0.20;
+    config.compensateFanout = compensate;
+    config.seed = args.seed;
+    bench::runSeries(compensate ? "loss20_lemma7_compensated" : "loss20_base_fanout",
+                     config, args);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation: EpTO vs a Pbcast-style synchronous-rounds protocol [16].
+//
+// Pbcast ([16], §7) also gossips and waits for stability before
+// delivering, but its stability is a *round number* — it assumes all
+// processes share synchronized rounds and a static network. This bench
+// runs both protocols under identical conditions while making processes
+// progressively less synchronized (systematic per-process speed spread):
+// EpTO's ttl aging does not care whose round it is, while Pbcast's
+// round-stamped batches start missing their delivery windows — late
+// copies are dropped and holes appear.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace epto;
+  const auto args = bench::parseArgs(argc, argv);
+  bench::printHeader(
+      "Ablation Pbcast",
+      "EpTO vs synchronous-rounds probabilistic TO as processes desynchronize, n=200",
+      args);
+
+  // Per-process round counters diverge by ~(1/(1-s) - 1/(1+s)) rounds per
+  // nominal round at speed spread s; Pbcast fails once the divergence
+  // crosses its stability window (TTL + 2 rounds) during the broadcast
+  // phase, which the 0.40 setting reaches within this run length.
+  for (const double spread : {0.0, 0.15, 0.40}) {
+    for (const bool useEpto : {false, true}) {
+      workload::ExperimentConfig config;
+      config.systemSize = 200;
+      config.broadcastProbability = 0.05;
+      config.broadcastRounds = args.paperScale ? 40 : 25;
+      config.processSpeedSpread = spread;
+      config.protocol =
+          useEpto ? workload::Protocol::Epto : workload::Protocol::Pbcast;
+      config.seed = args.seed;
+      char label[64];
+      std::snprintf(label, sizeof label, "%s_spread_%.2f",
+                    useEpto ? "epto" : "pbcast", spread);
+      bench::runSeries(label, config, args);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation: how the peer-sampling service affects EpTO under churn
+// (paper §6, Fig. 9 discussion: "this impact could be minimized ... by
+// adjusting the PSS properties to favour freshness as discussed in [17]").
+//
+// Same workload as Figure 8/9 (n=300, global clock, 5% broadcast, 5%
+// churn per round) across four PSS designs:
+//   * oracle            — perfectly fresh view (Fig. 8 regime);
+//   * cyclon            — Cyclon [28] (Fig. 9 regime);
+//   * generic-healer    — Jelasity [17] framework tuned for freshness;
+//   * generic-blind     — same framework with blind view selection
+//                         (stale entries linger -> more balls wasted).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace epto;
+  const auto args = bench::parseArgs(argc, argv);
+  bench::printHeader("Ablation PSS",
+                     "EpTO under churn across peer-sampling designs, n=300", args);
+
+  const auto run = [&](const char* label, workload::PssKind kind,
+                       pss::ViewSelection viewSelection) {
+    workload::ExperimentConfig config;
+    config.systemSize = 300;
+    config.broadcastProbability = 0.05;
+    config.broadcastRounds = args.paperScale ? 20 : 10;
+    config.churnRate = 0.05;
+    config.pss = kind;
+    config.genericPssOptions.viewSelection = viewSelection;
+    if (viewSelection == pss::ViewSelection::Blind) {
+      config.genericPssOptions.healing = 0;
+      config.genericPssOptions.swap = 0;
+    }
+    config.seed = args.seed;
+    bench::runSeries(label, config, args);
+  };
+
+  run("oracle", workload::PssKind::UniformOracle, pss::ViewSelection::Healer);
+  run("cyclon", workload::PssKind::Cyclon, pss::ViewSelection::Healer);
+  run("generic_healer", workload::PssKind::Generic, pss::ViewSelection::Healer);
+  run("generic_blind", workload::PssKind::Generic, pss::ViewSelection::Blind);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Shared plumbing for the figure-reproduction bench binaries.
+//
+// Every binary prints, on stdout:
+//   * a header describing the figure being regenerated,
+//   * one CDF series per experimental condition — the same series the
+//     paper plots, as "<label> p=<cum%> value=<ticks>" rows,
+//   * a "verdict" line per condition with the Table 1 counters (the
+//     paper's "we have not observed a single hole" claim is re-checked on
+//     every bench run),
+//   * a "summary" line per condition with mean/percentile delays.
+//
+// Default sizes are scaled to a small single-core machine; --paper-scale
+// runs the full published sweep (see EXPERIMENTS.md for the mapping).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "workload/experiment.h"
+
+namespace epto::bench {
+
+struct BenchArgs {
+  bool paperScale = false;
+  std::uint64_t seed = 42;
+  std::size_t cdfSteps = 20;
+};
+
+inline BenchArgs parseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paper-scale") == 0) {
+      args.paperScale = true;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--cdf-steps=", 12) == 0) {
+      args.cdfSteps = std::strtoull(argv[i] + 12, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+    }
+  }
+  return args;
+}
+
+inline void printHeader(const std::string& figure, const std::string& what,
+                        const BenchArgs& args) {
+  std::printf("# %s — %s\n", figure.c_str(), what.c_str());
+  std::printf("# scale=%s seed=%llu (values in simulator ticks; shapes, not absolute\n",
+              args.paperScale ? "paper" : "default",
+              static_cast<unsigned long long>(args.seed));
+  std::printf("# numbers, are the reproduction target — see EXPERIMENTS.md)\n");
+}
+
+/// Run one condition and print its CDF series plus verdict/summary lines.
+/// Returns the result for cross-condition comparisons.
+inline workload::ExperimentResult runSeries(const std::string& label,
+                                            const workload::ExperimentConfig& config,
+                                            const BenchArgs& args) {
+  const auto result = workload::runExperiment(config);
+  const auto& delays = result.report.delays;
+  if (!delays.empty()) {
+    std::fputs(delays.formatRows(label, args.cdfSteps).c_str(), stdout);
+    const auto s = delays.summary();
+    std::printf(
+        "%s summary mean=%.1f p50=%llu p95=%llu p99=%llu n_samples=%llu\n",
+        label.c_str(), s.mean,
+        static_cast<unsigned long long>(delays.percentile(0.50)),
+        static_cast<unsigned long long>(delays.percentile(0.95)),
+        static_cast<unsigned long long>(delays.percentile(0.99)),
+        static_cast<unsigned long long>(delays.total()));
+  } else {
+    std::printf("%s summary (no deliveries)\n", label.c_str());
+  }
+  std::printf(
+      "%s verdict holes=%llu order_violations=%llu integrity_violations=%llu "
+      "validity_violations=%llu events=%llu deliveries=%llu K=%zu TTL=%u\n",
+      label.c_str(), static_cast<unsigned long long>(result.report.holes),
+      static_cast<unsigned long long>(result.report.orderViolations),
+      static_cast<unsigned long long>(result.report.integrityViolations),
+      static_cast<unsigned long long>(result.report.validityViolations),
+      static_cast<unsigned long long>(result.report.eventsMeasured),
+      static_cast<unsigned long long>(result.report.deliveries), result.fanoutUsed,
+      result.ttlUsed);
+  std::fflush(stdout);
+  return result;
+}
+
+}  // namespace epto::bench

@@ -1,0 +1,33 @@
+// Figure 5: the end-to-end latency distribution used by every simulation.
+// The paper samples 226 PlanetLab nodes; we synthesize a piecewise-linear
+// CDF matched to the published statistics (mean ~157, sigma ~119, p5=15,
+// p50=125, p95=366 ticks — see DESIGN.md §4). This bench prints the CDF
+// the simulations draw from and verifies the sampled moments against the
+// paper's targets.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "metrics/cdf.h"
+#include "util/empirical_distribution.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace epto;
+  const auto args = bench::parseArgs(argc, argv);
+  bench::printHeader("Figure 5", "synthetic PlanetLab-like latency distribution", args);
+
+  const auto& dist = util::planetLabLatency();
+  util::Rng rng(args.seed);
+  metrics::Cdf cdf;
+  const std::size_t samples = 200000;
+  for (std::size_t i = 0; i < samples; ++i) cdf.add(dist.sample(rng));
+
+  std::fputs(cdf.formatRows("latency", args.cdfSteps).c_str(), stdout);
+  const auto s = cdf.summary();
+  std::printf("latency sampled mean=%.1f stddev=%.1f p5=%.0f p50=%.0f p95=%.0f max=%.0f\n",
+              s.mean, s.stddev, cdf.percentile(0.05), cdf.percentile(0.50),
+              cdf.percentile(0.95), s.max);
+  std::printf("latency analytic mean=%.1f stddev=%.1f\n", dist.mean(), dist.stddev());
+  std::printf("latency paper    mean=157 stddev=119 p5=15 p50=125 p95=366\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 7a: delivery delay vs broadcast rate (1% / 5% / 10% per process
+// per round), 500 processes, global and logical clocks. Paper finding:
+// the broadcast rate has little impact on delivery delay (the per-round
+// ball batching absorbs concurrency).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace epto;
+  const auto args = bench::parseArgs(argc, argv);
+  bench::printHeader("Figure 7a",
+                     "delivery delay CDF vs broadcast rate, n=500", args);
+
+  for (const ClockMode mode : {ClockMode::Global, ClockMode::Logical}) {
+    const char* clockName = mode == ClockMode::Global ? "global" : "logical";
+    for (const double rate : {0.01, 0.05, 0.10}) {
+      workload::ExperimentConfig config;
+      config.systemSize = 500;
+      config.clockMode = mode;
+      config.broadcastProbability = rate;
+      config.broadcastRounds = args.paperScale ? 20 : 10;
+      config.seed = args.seed;
+      char label[64];
+      std::snprintf(label, sizeof label, "%dpct_bcast_%s",
+                    static_cast<int>(rate * 100.0), clockName);
+      bench::runSeries(label, config, args);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 9: the Figure 8 churn experiment with the idealized PSS replaced
+// by a real Cyclon overlay [28]. Stale view entries now behave like
+// message loss (balls sent to departed nodes evaporate) and joiners take
+// a few shuffles to become visible — the paper reports a performance
+// degradation relative to Figure 8, which this bench reproduces.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace epto;
+  const auto args = bench::parseArgs(argc, argv);
+  bench::printHeader("Figure 9",
+                     "delivery delay CDF under churn with Cyclon PSS, n=500", args);
+
+  for (const double churn : {0.0, 0.01, 0.05, 0.10}) {
+    workload::ExperimentConfig config;
+    config.systemSize = 500;
+    config.clockMode = ClockMode::Global;
+    config.broadcastProbability = 0.05;
+    config.broadcastRounds = args.paperScale ? 20 : 10;
+    config.churnRate = churn;
+    config.pss = workload::PssKind::Cyclon;
+    config.seed = args.seed;
+    char label[48];
+    std::snprintf(label, sizeof label, "cyclon_churn_%.2f", churn);
+    bench::runSeries(label, config, args);
+  }
+  return 0;
+}

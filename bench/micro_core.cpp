@@ -1,0 +1,133 @@
+// Microbenchmarks (google-benchmark) for the protocol hot paths: the
+// per-round cost of the ordering component, ball absorption in the
+// dissemination component, Cyclon shuffles and membership sampling.
+// These are the costs a deployment pays per process per round.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/dissemination.h"
+#include "core/ordering.h"
+#include "core/stability_oracle.h"
+#include "pss/cyclon.h"
+#include "sim/membership.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace epto;
+
+Ball makeBall(std::size_t events, std::uint32_t ttl, Timestamp tsBase) {
+  Ball ball;
+  ball.reserve(events);
+  for (std::size_t i = 0; i < events; ++i) {
+    Event e;
+    e.id = EventId{static_cast<ProcessId>(i % 64), static_cast<std::uint32_t>(i)};
+    e.ts = tsBase + i;
+    e.ttl = ttl;
+    ball.push_back(e);
+  }
+  return ball;
+}
+
+/// Ordering component: one orderEvents() round over a ball of B events,
+/// with a received-set in steady state.
+void BM_OrderingRound(benchmark::State& state) {
+  const auto ballSize = static_cast<std::size_t>(state.range(0));
+  LogicalClockOracle oracle(/*ttl=*/15);
+  std::uint64_t delivered = 0;
+  OrderingComponent ordering({.ttl = 15}, oracle,
+                             [&](const Event&, DeliveryTag) { ++delivered; });
+  Timestamp ts = 1;
+  for (auto _ : state) {
+    ordering.orderEvents(makeBall(ballSize, 3, ts));
+    ts += ballSize;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ballSize));
+  benchmark::DoNotOptimize(delivered);
+}
+BENCHMARK(BM_OrderingRound)->Arg(16)->Arg(128)->Arg(1024);
+
+/// Dissemination: absorbing an incoming ball into nextBall.
+void BM_DisseminationOnBall(benchmark::State& state) {
+  const auto ballSize = static_cast<std::size_t>(state.range(0));
+  LogicalClockOracle oracle(/*ttl=*/15);
+  OrderingComponent ordering({.ttl = 15}, oracle, [](const Event&, DeliveryTag) {});
+
+  class NullSampler final : public PeerSampler {
+   public:
+    std::vector<ProcessId> samplePeers(std::size_t) override { return {1, 2, 3}; }
+  } sampler;
+
+  DisseminationComponent dissemination(0, {.fanout = 3, .ttl = 15}, oracle, sampler,
+                                       ordering);
+  const Ball ball = makeBall(ballSize, 3, 1);
+  for (auto _ : state) {
+    dissemination.onBall(ball);
+    benchmark::DoNotOptimize(dissemination.pendingRelayCount());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ballSize));
+}
+BENCHMARK(BM_DisseminationOnBall)->Arg(16)->Arg(128)->Arg(1024);
+
+/// One full EpTO round (aging + ball build + ordering) at steady state.
+void BM_FullRound(benchmark::State& state) {
+  const auto ballSize = static_cast<std::size_t>(state.range(0));
+  LogicalClockOracle oracle(/*ttl=*/15);
+  OrderingComponent ordering({.ttl = 15}, oracle, [](const Event&, DeliveryTag) {});
+  class NullSampler final : public PeerSampler {
+   public:
+    std::vector<ProcessId> samplePeers(std::size_t) override { return {1, 2, 3}; }
+  } sampler;
+  DisseminationComponent dissemination(0, {.fanout = 3, .ttl = 15}, oracle, sampler,
+                                       ordering);
+  Timestamp ts = 1;
+  for (auto _ : state) {
+    dissemination.onBall(makeBall(ballSize, 3, ts));
+    ts += ballSize;
+    const auto out = dissemination.onRound();
+    benchmark::DoNotOptimize(out.targets.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ballSize));
+}
+BENCHMARK(BM_FullRound)->Arg(16)->Arg(128)->Arg(1024);
+
+/// Cyclon: one shuffle exchange between two nodes.
+void BM_CyclonShuffle(benchmark::State& state) {
+  util::Rng rng(7);
+  pss::Cyclon a(1, {.viewSize = 20, .shuffleLength = 8}, rng.split());
+  pss::Cyclon b(2, {.viewSize = 20, .shuffleLength = 8}, rng.split());
+  std::vector<ProcessId> seeds;
+  for (ProcessId id = 3; id < 24; ++id) seeds.push_back(id);
+  a.bootstrap(seeds);
+  seeds.push_back(1);
+  b.bootstrap(seeds);
+  for (auto _ : state) {
+    if (auto request = a.onShuffleTimer(); request.has_value()) {
+      const auto reply = b.onShuffleRequest(1, request->entries);
+      a.onShuffleReply(reply);
+    }
+    benchmark::DoNotOptimize(a.view().size());
+  }
+}
+BENCHMARK(BM_CyclonShuffle);
+
+/// Membership: sampling K distinct peers out of n.
+void BM_MembershipSample(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::MembershipDirectory membership;
+  for (std::size_t id = 0; id < n; ++id) membership.add(static_cast<ProcessId>(id));
+  util::Rng rng(11);
+  for (auto _ : state) {
+    auto peers = membership.sampleOthers(0, 20, rng);
+    benchmark::DoNotOptimize(peers.data());
+  }
+}
+BENCHMARK(BM_MembershipSample)->Arg(100)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+// Replicated key-value store on top of EpTO — the paper's motivating
+// application (§1.1: extending the DataFlasks epidemic store with total
+// order so that version control no longer has to be delegated to the
+// client).
+//
+// Every replica applies `put` operations in EpTO delivery order, so
+// concurrent conflicting writes are resolved identically everywhere
+// WITHOUT coordination, locks or a primary. The example runs 16 replicas
+// over the discrete-event simulator with the PlanetLab-like latency
+// distribution and 5% message loss, fires conflicting writes from many
+// replicas, and proves byte-identical convergence.
+//
+// Build & run:   ./build/examples/replicated_kv
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/process.h"
+#include "pss/uniform_sampler.h"
+#include "sim/membership.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/empirical_distribution.h"
+
+namespace {
+
+using namespace epto;
+
+PayloadPtr encodePut(const std::string& key, const std::string& value) {
+  auto bytes = std::make_shared<PayloadBytes>();
+  for (const char c : key + "=" + value) bytes->push_back(static_cast<std::byte>(c));
+  return bytes;
+}
+
+std::pair<std::string, std::string> decodePut(const Event& event) {
+  std::string text;
+  for (const std::byte b : *event.payload) text.push_back(static_cast<char>(b));
+  const auto eq = text.find('=');
+  return {text.substr(0, eq), text.substr(eq + 1)};
+}
+
+/// One replica: an EpTO process plus the materialized map. Versions count
+/// applied writes per key — identical everywhere because apply order is.
+struct Replica {
+  std::unique_ptr<Process> process;
+  std::map<std::string, std::string> store;
+  std::map<std::string, int> versions;
+
+  void apply(const Event& event) {
+    const auto [key, value] = decodePut(event);
+    store[key] = value;
+    ++versions[key];
+  }
+
+  [[nodiscard]] std::string fingerprint() const {
+    std::string fp;
+    for (const auto& [key, value] : store) {
+      fp += key + "=" + value + "@v" + std::to_string(versions.at(key)) + ";";
+    }
+    return fp;
+  }
+};
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kReplicas = 16;
+  constexpr Timestamp kRound = 125;
+
+  sim::Simulator simulator;
+  sim::MembershipDirectory membership;
+  util::Rng rng(2026);
+  sim::SimNetwork<BallPtr> network(
+      simulator,
+      sim::SimNetwork<BallPtr>::Options{&util::planetLabLatency(), /*lossRate=*/0.05},
+      rng.split());
+
+  const Config config = Config::forSystemSize(kReplicas, ClockMode::Logical);
+  std::printf("replicated_kv: %zu replicas, K=%zu, TTL=%u, 5%% loss, PlanetLab RTTs\n",
+              kReplicas, config.fanout, config.ttl);
+
+  std::vector<Replica> replicas(kReplicas);
+  for (ProcessId id = 0; id < kReplicas; ++id) {
+    membership.add(id);
+    replicas[id].process = std::make_unique<Process>(
+        id, config, std::make_shared<pss::UniformSampler>(id, membership, rng.split()),
+        [&replicas, id](const Event& event, DeliveryTag) { replicas[id].apply(event); });
+  }
+  network.setReceiver([&](ProcessId, ProcessId to, const BallPtr& ball) {
+    replicas[to].process->onBall(*ball);
+  });
+
+  // Periodic rounds with 1% drift, as in the paper's evaluation.
+  std::function<void(ProcessId)> scheduleRound = [&](ProcessId id) {
+    const Timestamp jitter = kRound / 100;
+    const Timestamp period = kRound - jitter + rng.below(2 * jitter + 1);
+    simulator.schedule(period, [&, id] {
+      const auto out = replicas[id].process->onRound();
+      if (out.ball != nullptr) {
+        for (const ProcessId target : out.targets) network.send(id, target, out.ball);
+      }
+      scheduleRound(id);
+    });
+  };
+  for (ProcessId id = 0; id < kReplicas; ++id) scheduleRound(id);
+
+  // Conflicting writes: several replicas update the same keys while
+  // others write disjoint data — all concurrently.
+  simulator.schedule(100, [&] { replicas[1].process->broadcast(encodePut("leader", "r1")); });
+  simulator.schedule(110, [&] { replicas[9].process->broadcast(encodePut("leader", "r9")); });
+  simulator.schedule(112, [&] { replicas[4].process->broadcast(encodePut("leader", "r4")); });
+  simulator.schedule(130, [&] { replicas[2].process->broadcast(encodePut("cfg/ttl", "15")); });
+  simulator.schedule(500, [&] { replicas[7].process->broadcast(encodePut("leader", "r7")); });
+  simulator.schedule(650, [&] { replicas[3].process->broadcast(encodePut("cfg/ttl", "5")); });
+
+  simulator.runUntil(40 * kRound);
+
+  const std::string reference = replicas[0].fingerprint();
+  bool converged = true;
+  for (const auto& replica : replicas) {
+    if (replica.fingerprint() != reference) converged = false;
+  }
+
+  std::printf("\nfinal state at every replica: %s\n", reference.c_str());
+  std::printf("conflicting writes to 'leader': 4 concurrent -> every replica kept '%s'\n",
+              replicas[0].store.at("leader").c_str());
+  std::printf("convergence: %s (%zu replicas byte-identical)\n",
+              converged ? "OK" : "FAILED", kReplicas);
+  return converged ? 0 : 1;
+}

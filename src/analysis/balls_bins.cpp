@@ -1,0 +1,60 @@
+#include "analysis/balls_bins.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/ensure.h"
+
+namespace epto::analysis {
+
+double ballsGuaranteed(std::size_t systemSize, double c) {
+  EPTO_ENSURE_MSG(systemSize >= 2, "need at least two processes");
+  EPTO_ENSURE_MSG(c > 0.0, "c must be positive");
+  const double n = static_cast<double>(systemSize);
+  return c * n * std::log2(n);
+}
+
+double missProbabilityFixedProcess(std::size_t systemSize, double balls) {
+  EPTO_ENSURE_MSG(systemSize >= 2, "need at least two processes");
+  EPTO_ENSURE_MSG(balls >= 0.0, "ball count cannot be negative");
+  const double n = static_cast<double>(systemSize);
+  // (1 - 1/n)^B computed in log space to stay accurate at B in the
+  // thousands where the direct power underflows gradually.
+  return std::exp(balls * std::log1p(-1.0 / n));
+}
+
+double holeProbabilityFixedProcess(std::size_t systemSize, double c) {
+  return missProbabilityFixedProcess(systemSize, ballsGuaranteed(systemSize, c));
+}
+
+double holeProbabilityAnyProcess(std::size_t systemSize, double c) {
+  const double unionBound =
+      static_cast<double>(systemSize) * holeProbabilityFixedProcess(systemSize, c);
+  return std::min(1.0, unionBound);
+}
+
+double estimatedBalls(std::size_t systemSize, std::size_t fanout, std::uint32_t roundsAged) {
+  EPTO_ENSURE_MSG(systemSize >= 2, "need at least two processes");
+  EPTO_ENSURE_MSG(fanout >= 1, "fanout must be at least 1");
+  const double n = static_cast<double>(systemSize);
+  const double k = static_cast<double>(fanout);
+  // Infection-style growth: the relayer population multiplies by K per
+  // round until it saturates at n, after which n*K balls fly per round.
+  double relayers = 1.0;
+  double balls = 0.0;
+  for (std::uint32_t r = 0; r < roundsAged; ++r) {
+    balls += relayers * k;
+    relayers = std::min(n, relayers * k);
+  }
+  return balls;
+}
+
+double estimatedStability(std::size_t systemSize, std::size_t fanout,
+                          std::uint32_t roundsAged) {
+  const double miss = missProbabilityFixedProcess(
+      systemSize, estimatedBalls(systemSize, fanout, roundsAged));
+  const double anyMiss = static_cast<double>(systemSize) * miss;
+  return std::clamp(1.0 - anyMiss, 0.0, 1.0);
+}
+
+}  // namespace epto::analysis

@@ -1,0 +1,47 @@
+// Balls-and-bins agreement analysis — paper §4 (Theorem 2, Figure 3) and
+// the stability-exposure extension of §8.4.
+//
+// EpTO's probabilistic agreement reduces to the classic occupancy question:
+// after throwing B balls uniformly at random into n bins, what is the
+// probability that some bin stays empty? The paper plots upper bounds on
+// this "hole" probability assuming each event generates exactly
+// B = c * n * log2(n) balls (Figure 3a for a fixed process, Figure 3b for
+// the union bound over all processes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace epto::analysis {
+
+/// Number of balls Theorem 2 guarantees per event: c * n * log2(n).
+[[nodiscard]] double ballsGuaranteed(std::size_t systemSize, double c);
+
+/// Pr[a fixed process p misses event e] after `balls` uniform throws into
+/// `systemSize` bins: (1 - 1/n)^B. This is the quantity of Figure 3a when
+/// balls = ballsGuaranteed(n, c).
+[[nodiscard]] double missProbabilityFixedProcess(std::size_t systemSize, double balls);
+
+/// Figure 3a series: Pr[fixed process has a hole for event e] for B = c n log2 n.
+[[nodiscard]] double holeProbabilityFixedProcess(std::size_t systemSize, double c);
+
+/// Figure 3b series: Pr[event e has a hole at >= 1 process], the union
+/// bound n * (1 - 1/n)^B capped at 1.
+[[nodiscard]] double holeProbabilityAnyProcess(std::size_t systemSize, double c);
+
+/// Estimated number of balls generated for one event after it has been
+/// relayed for `roundsAged` rounds with fanout K: the ball population
+/// doubles-by-K until it saturates at n relayers, i.e.
+/// sum_{i=1..r} min(K^i, n) * K-ish growth truncated at n*K per round.
+/// Used by the §8.4 delivery-tradeoff extension to expose a stability
+/// estimate for not-yet-delivered events.
+[[nodiscard]] double estimatedBalls(std::size_t systemSize, std::size_t fanout,
+                                    std::uint32_t roundsAged);
+
+/// §8.4 exposure: estimated probability that *every* process has received
+/// an event that has aged `roundsAged` rounds, 1 - n * (1 - 1/n)^B with
+/// B = estimatedBalls(...), clamped to [0, 1].
+[[nodiscard]] double estimatedStability(std::size_t systemSize, std::size_t fanout,
+                                        std::uint32_t roundsAged);
+
+}  // namespace epto::analysis

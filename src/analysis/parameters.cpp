@@ -1,0 +1,67 @@
+#include "analysis/parameters.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/ensure.h"
+
+namespace epto::analysis {
+
+namespace {
+constexpr double kE = 2.718281828459045;
+}  // namespace
+
+std::size_t baseFanout(std::size_t systemSize) {
+  EPTO_ENSURE_MSG(systemSize >= 2, "fanout needs at least two processes");
+  const double n = static_cast<double>(systemSize);
+  const double lnN = std::log(n);
+  const double lnLnN = std::log(lnN);
+  std::size_t k;
+  if (lnLnN <= 0.0) {
+    // n <= e^e (~15 processes): the asymptotic formula degenerates; gossip
+    // to everyone, which trivially satisfies Theorem 2 at this scale.
+    k = systemSize - 1;
+  } else {
+    k = static_cast<std::size_t>(std::ceil(2.0 * kE * lnN / lnLnN));
+  }
+  return std::clamp<std::size_t>(k, 1, systemSize - 1);
+}
+
+std::uint32_t baseTtl(std::size_t systemSize, double c) {
+  EPTO_ENSURE_MSG(systemSize >= 2, "TTL needs at least two processes");
+  EPTO_ENSURE_MSG(c > 1.0, "Theorem 2 requires c > 1");
+  const double rounds = (c + 1.0) * std::log2(static_cast<double>(systemSize));
+  return static_cast<std::uint32_t>(std::max(1.0, std::ceil(rounds)));
+}
+
+Parameters computeParameters(const ParameterInputs& in) {
+  EPTO_ENSURE_MSG(in.systemSize >= 2, "systemSize must be >= 2");
+  EPTO_ENSURE_MSG(in.c > 1.0, "Theorem 2 requires c > 1");
+  EPTO_ENSURE_MSG(in.messageLossRate >= 0.0 && in.messageLossRate < 1.0,
+                  "message loss rate must be in [0, 1)");
+  EPTO_ENSURE_MSG(in.churnPerRound >= 0.0 &&
+                      in.churnPerRound < static_cast<double>(in.systemSize),
+                  "churn per round must be in [0, n)");
+  EPTO_ENSURE_MSG(in.driftRatio >= 1.0, "driftRatio is delta_max/delta_min >= 1");
+
+  const double n = static_cast<double>(in.systemSize);
+
+  // Lemma 7: churn and loss thin the ball supply; compensate with fanout.
+  double fanout = static_cast<double>(baseFanout(in.systemSize));
+  fanout *= n / (n - in.churnPerRound);
+  fanout /= 1.0 - in.messageLossRate;
+  const auto k = std::clamp<std::size_t>(static_cast<std::size_t>(std::ceil(fanout)), 1,
+                                         in.systemSize - 1);
+
+  // Lemma 3 base, Lemma 4 logical-time doubling, Lemma 5 drift stretch,
+  // Lemma 6 latency slack.
+  double ttl = static_cast<double>(baseTtl(in.systemSize, in.c));
+  if (in.logicalTime) ttl *= 2.0;
+  ttl *= in.driftRatio;
+  ttl = std::ceil(ttl);
+  if (in.latencyBelowRound) ttl += 1.0;
+
+  return Parameters{k, static_cast<std::uint32_t>(ttl)};
+}
+
+}  // namespace epto::analysis

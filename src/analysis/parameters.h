@@ -1,0 +1,61 @@
+// Protocol parameter derivation — the paper's Lemmas 3 through 7.
+//
+// EpTO has two tuning knobs: the gossip fanout K and the relay/stability
+// horizon TTL. The paper derives sufficient values for the Probabilistic
+// Agreement property under progressively weaker assumptions:
+//   Lemma 3  — synchronous rounds, global clock:
+//                K >= ceil(2e ln n / ln ln n),  TTL >= ceil((c+1) log2 n)
+//   Lemma 4  — logical clocks: TTL doubles (concurrency holes, Fig. 4)
+//   Lemma 5  — per-process round drift delta_min..delta_max:
+//                TTL multiplied by delta_max/delta_min
+//   Lemma 6  — network latency below the round duration: TTL + 1
+//   Lemma 7  — churn alpha per round and message loss rate epsilon:
+//                K multiplied by n/(n-alpha) * 1/(1-epsilon)
+// computeParameters() composes all of them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace epto::analysis {
+
+/// Environment description from which K and TTL are derived.
+struct ParameterInputs {
+  /// Number of processes in the system (or a reasonable upper bound
+  /// n_max when membership fluctuates, see paper §5.4).
+  std::size_t systemSize = 0;
+  /// The constant c > 1 of Theorem 2; larger c drives the hole
+  /// probability towards zero faster at the cost of a larger TTL.
+  double c = 2.0;
+  /// True when processes use scalar logical clocks (Alg. 4) instead of a
+  /// global clock (Alg. 3). Doubles TTL (Lemma 4).
+  bool logicalTime = false;
+  /// Expected number of processes leaving (= joining) per round (Lemma 7).
+  double churnPerRound = 0.0;
+  /// Probability that any given ball transmission is lost (Lemma 7).
+  double messageLossRate = 0.0;
+  /// Ratio delta_max / delta_min of the slowest to fastest round duration
+  /// across processes (Lemma 5). 1.0 = perfectly uniform rounds.
+  double driftRatio = 1.0;
+  /// True when network latency can reach (but not exceed) the round
+  /// duration, adding one relay round (Lemma 6).
+  bool latencyBelowRound = false;
+};
+
+/// Derived protocol parameters.
+struct Parameters {
+  std::size_t fanout = 0;  ///< K — gossip targets per round.
+  std::uint32_t ttl = 0;   ///< TTL — rounds of relaying / stability age.
+};
+
+/// Base fanout of Theorem 2: ceil(2e ln n / ln ln n), clamped to [1, n-1].
+[[nodiscard]] std::size_t baseFanout(std::size_t systemSize);
+
+/// Base relay-round count of Theorem 2 / Lemma 3: ceil((c+1) log2 n).
+[[nodiscard]] std::uint32_t baseTtl(std::size_t systemSize, double c);
+
+/// Full Lemma 3-7 composition. Throws util::ContractViolation for
+/// degenerate inputs (n < 2, c <= 1, loss rate >= 1, churn >= n).
+[[nodiscard]] Parameters computeParameters(const ParameterInputs& inputs);
+
+}  // namespace epto::analysis

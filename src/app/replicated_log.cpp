@@ -1,0 +1,50 @@
+#include "app/replicated_log.h"
+
+namespace epto::app {
+
+ReplicatedLog::ReplicatedLog(ProcessId id, const Config& config,
+                             std::shared_ptr<PeerSampler> sampler, CommitFn onCommit,
+                             OutOfOrderFn onOutOfOrder,
+                             GlobalClockOracle::TimeSource globalTime)
+    : onCommit_(std::move(onCommit)), onOutOfOrder_(std::move(onOutOfOrder)) {
+  process_ = std::make_unique<Process>(
+      id, config, std::move(sampler),
+      [this](const Event& event, DeliveryTag tag) { onDeliver(event, tag); },
+      std::move(globalTime));
+}
+
+Event ReplicatedLog::append(PayloadPtr payload) {
+  return process_->broadcast(std::move(payload));
+}
+
+void ReplicatedLog::fold(const Event& event) {
+  constexpr std::uint64_t kPrime = 0x100000001B3ULL;
+  const auto foldByte = [&](std::uint8_t byte) {
+    digest_ ^= byte;
+    digest_ *= kPrime;
+  };
+  const std::uint64_t packed = event.id.packed();
+  for (int shift = 0; shift < 64; shift += 8) {
+    foldByte(static_cast<std::uint8_t>(packed >> shift));
+  }
+  if (event.payload != nullptr) {
+    for (const std::byte b : *event.payload) foldByte(static_cast<std::uint8_t>(b));
+  }
+}
+
+void ReplicatedLog::onDeliver(const Event& event, DeliveryTag tag) {
+  if (tag == DeliveryTag::OutOfOrder) {
+    if (onOutOfOrder_) onOutOfOrder_(event);
+    return;
+  }
+  LogEntry entry;
+  entry.index = entries_.size();
+  entry.id = event.id;
+  entry.key = event.orderKey();
+  entry.payload = event.payload;
+  fold(event);
+  entries_.push_back(entry);
+  if (onCommit_) onCommit_(entries_.back());
+}
+
+}  // namespace epto::app

@@ -1,0 +1,65 @@
+// ReplicatedLog — uniform totally-ordered log on top of EpTO.
+//
+// The canonical use of total order (and the paper's motivation, §1.1):
+// every replica appends the same sequence of entries, so deterministic
+// state machines replayed over the log converge without coordination.
+// The log wraps one epto::Process, numbers ordered deliveries with
+// consecutive indices, and maintains a rolling FNV-1a digest that two
+// replicas can compare to prove (probabilistically) identical prefixes.
+//
+// Out-of-order (tagged, §8.2) deliveries never enter the log — they are
+// surfaced through a separate callback so the application can compensate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/process.h"
+#include "core/types.h"
+
+namespace epto::app {
+
+struct LogEntry {
+  std::uint64_t index = 0;  ///< consecutive position in the log, from 0.
+  EventId id;
+  OrderKey key;
+  PayloadPtr payload;
+};
+
+class ReplicatedLog {
+ public:
+  using CommitFn = std::function<void(const LogEntry&)>;
+  using OutOfOrderFn = std::function<void(const Event&)>;
+
+  /// The driving contract is inherited from epto::Process: the owner
+  /// calls process().onBall / process().onRound.
+  ReplicatedLog(ProcessId id, const Config& config, std::shared_ptr<PeerSampler> sampler,
+                CommitFn onCommit = {}, OutOfOrderFn onOutOfOrder = {},
+                GlobalClockOracle::TimeSource globalTime = {});
+
+  /// Append asynchronously: the entry commits — at every replica, at the
+  /// same index — once EpTO delivers it. Returns the event created.
+  Event append(PayloadPtr payload);
+
+  [[nodiscard]] Process& process() noexcept { return *process_; }
+  [[nodiscard]] const std::vector<LogEntry>& entries() const noexcept { return entries_; }
+  [[nodiscard]] std::uint64_t size() const noexcept { return entries_.size(); }
+
+  /// FNV-1a digest over (id, payload) of every committed entry, in order.
+  /// Equal digests <=> (w.h.p.) identical logs.
+  [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
+
+ private:
+  void onDeliver(const Event& event, DeliveryTag tag);
+  void fold(const Event& event);
+
+  CommitFn onCommit_;
+  OutOfOrderFn onOutOfOrder_;
+  std::vector<LogEntry> entries_;
+  std::uint64_t digest_ = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  std::unique_ptr<Process> process_;              // constructed last: callback uses fields
+};
+
+}  // namespace epto::app

@@ -1,0 +1,82 @@
+#include "app/versioned_store.h"
+
+#include "codec/varint.h"
+#include "util/ensure.h"
+
+namespace epto::app {
+
+VersionedStore::VersionedStore(ProcessId id, const Config& config,
+                               std::shared_ptr<PeerSampler> sampler, Options options,
+                               GlobalClockOracle::TimeSource globalTime)
+    : options_(options),
+      log_(id, config, std::move(sampler),
+           [this](const LogEntry& entry) { apply(entry); },
+           /*onOutOfOrder=*/{}, std::move(globalTime)) {
+  EPTO_ENSURE_MSG(options_.historyDepth >= 1, "history depth must be at least 1");
+}
+
+PayloadPtr VersionedStore::encodePut(std::string_view key, std::string_view value) {
+  auto bytes = std::make_shared<PayloadBytes>();
+  codec::putVarint(*bytes, key.size());
+  for (const char c : key) bytes->push_back(static_cast<std::byte>(c));
+  codec::putVarint(*bytes, value.size());
+  for (const char c : value) bytes->push_back(static_cast<std::byte>(c));
+  return bytes;
+}
+
+std::optional<std::pair<std::string, std::string>> VersionedStore::decodePut(
+    const PayloadPtr& payload) {
+  if (payload == nullptr) return std::nullopt;
+  codec::ByteReader reader(*payload);
+  const auto readString = [&reader]() -> std::optional<std::string> {
+    const auto length = reader.readVarint();
+    if (!length.has_value()) return std::nullopt;
+    const auto bytes = reader.readBytes(static_cast<std::size_t>(*length));
+    if (!bytes.has_value()) return std::nullopt;
+    std::string out;
+    out.reserve(bytes->size());
+    for (const std::byte b : *bytes) out.push_back(static_cast<char>(b));
+    return out;
+  };
+  auto key = readString();
+  auto value = readString();
+  if (!key.has_value() || !value.has_value() || !reader.exhausted()) return std::nullopt;
+  return std::make_pair(std::move(*key), std::move(*value));
+}
+
+Event VersionedStore::put(std::string_view key, std::string_view value) {
+  return log_.append(encodePut(key, value));
+}
+
+void VersionedStore::apply(const LogEntry& entry) {
+  const auto command = decodePut(entry.payload);
+  if (!command.has_value()) return;  // foreign entry in the log: ignore
+  auto& history = table_[command->first];
+  const std::uint64_t version = history.empty() ? 1 : history.back().version + 1;
+  history.push_back(VersionedValue{version, command->second});
+  while (history.size() > options_.historyDepth) history.pop_front();
+}
+
+std::optional<VersionedValue> VersionedStore::get(std::string_view key) const {
+  const auto it = table_.find(key);
+  if (it == table_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+std::optional<VersionedValue> VersionedStore::getVersion(std::string_view key,
+                                                         std::uint64_t version) const {
+  const auto it = table_.find(key);
+  if (it == table_.end()) return std::nullopt;
+  for (const VersionedValue& entry : it->second) {
+    if (entry.version == version) return entry;
+  }
+  return std::nullopt;  // never written or already evicted from history
+}
+
+std::vector<VersionedValue> VersionedStore::history(std::string_view key) const {
+  const auto it = table_.find(key);
+  if (it == table_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+}  // namespace epto::app

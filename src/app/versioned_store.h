@@ -1,0 +1,82 @@
+// VersionedStore — a DataFlasks-style replicated key-value store.
+//
+// The paper's closing motivation (§1.1): "DataFlasks is a very large
+// scale data store maintained exclusively with epidemic algorithms
+// which, due to the absence of ordering, delegates important tasks such
+// as version control to the client. Extending DataFlasks with EpTO would
+// allow stronger ordering properties." This class is that extension:
+// puts flow through a ReplicatedLog, so every replica assigns the same
+// version numbers to the same writes and conflicting concurrent puts
+// resolve identically everywhere — version control without clients and
+// without coordination.
+//
+// Each key keeps a bounded history of (version, value) pairs, mirroring
+// DataFlasks' versioned reads.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "app/replicated_log.h"
+
+namespace epto::app {
+
+struct VersionedValue {
+  std::uint64_t version = 0;  ///< per-key, starts at 1 with the first put.
+  std::string value;
+};
+
+struct StoreOptions {
+  std::size_t historyDepth = 4;  ///< versions retained per key (>= 1).
+};
+
+class VersionedStore {
+ public:
+  using Options = StoreOptions;
+
+  VersionedStore(ProcessId id, const Config& config,
+                 std::shared_ptr<PeerSampler> sampler, Options options = {},
+                 GlobalClockOracle::TimeSource globalTime = {});
+
+  /// Asynchronous replicated put. The write takes effect — with the same
+  /// version number at every replica — when EpTO commits it.
+  /// Returns the event carrying the command.
+  Event put(std::string_view key, std::string_view value);
+
+  /// Latest committed value, if the key exists.
+  [[nodiscard]] std::optional<VersionedValue> get(std::string_view key) const;
+
+  /// Specific committed version (if still within the history window).
+  [[nodiscard]] std::optional<VersionedValue> getVersion(std::string_view key,
+                                                         std::uint64_t version) const;
+
+  /// Retained history, oldest first.
+  [[nodiscard]] std::vector<VersionedValue> history(std::string_view key) const;
+
+  [[nodiscard]] std::size_t keyCount() const noexcept { return table_.size(); }
+  [[nodiscard]] std::uint64_t commitCount() const noexcept { return log_.size(); }
+  /// Convergence fingerprint: equal digests <=> identical committed state.
+  [[nodiscard]] std::uint64_t digest() const noexcept { return log_.digest(); }
+
+  [[nodiscard]] ReplicatedLog& log() noexcept { return log_; }
+  [[nodiscard]] Process& process() noexcept { return log_.process(); }
+
+  /// Command wire helpers, exposed for tests and interoperating tools.
+  [[nodiscard]] static PayloadPtr encodePut(std::string_view key, std::string_view value);
+  [[nodiscard]] static std::optional<std::pair<std::string, std::string>> decodePut(
+      const PayloadPtr& payload);
+
+ private:
+  void apply(const LogEntry& entry);
+
+  Options options_;
+  std::map<std::string, std::deque<VersionedValue>, std::less<>> table_;
+  ReplicatedLog log_;  // declared last: its callback touches table_
+};
+
+}  // namespace epto::app

@@ -1,0 +1,71 @@
+#include "baselines/balls_bins_broadcast.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/ensure.h"
+
+namespace epto::baselines {
+
+BallsBinsBroadcast::BallsBinsBroadcast(ProcessId self, Options options, PeerSampler& sampler,
+                                       DeliverFn deliver)
+    : self_(self), options_(options), sampler_(sampler), deliver_(std::move(deliver)) {
+  EPTO_ENSURE_MSG(options_.fanout >= 1, "fanout must be at least 1");
+  EPTO_ENSURE_MSG(options_.ttl >= 1, "TTL must be at least 1");
+  EPTO_ENSURE_MSG(deliver_ != nullptr, "baseline needs a delivery callback");
+}
+
+void BallsBinsBroadcast::deliverOnce(const Event& event) {
+  if (!seen_.insert(event.id).second) {
+    ++stats_.duplicatesIgnored;
+    return;
+  }
+  ++stats_.delivered;
+  deliver_(event, DeliveryTag::Ordered);
+}
+
+Event BallsBinsBroadcast::broadcast(PayloadPtr payload) {
+  Event event;
+  event.ts = 0;  // no clock: the baseline has no ordering semantics
+  event.ttl = 0;
+  event.id = EventId{self_, nextSequence_++};
+  event.payload = std::move(payload);
+  ++stats_.broadcasts;
+  deliverOnce(event);
+  nextBall_.insert_or_assign(event.id, event);
+  return event;
+}
+
+void BallsBinsBroadcast::onBall(const Ball& ball) {
+  for (const Event& event : ball) {
+    // Delivery happens on any sighting — even a copy at the end of its
+    // relay life still infects this process.
+    deliverOnce(event);
+    if (event.ttl < options_.ttl) {
+      auto [it, inserted] = nextBall_.try_emplace(event.id, event);
+      if (!inserted && it->second.ttl < event.ttl) it->second.ttl = event.ttl;
+    }
+  }
+}
+
+BallsBinsBroadcast::RoundOutput BallsBinsBroadcast::onRound() {
+  RoundOutput out;
+  if (nextBall_.empty()) return out;
+
+  auto ball = std::make_shared<Ball>();
+  ball->reserve(nextBall_.size());
+  for (auto& [id, event] : nextBall_) {
+    ++event.ttl;
+    ball->push_back(event);
+  }
+  std::sort(ball->begin(), ball->end(),
+            [](const Event& a, const Event& b) { return a.id < b.id; });
+
+  out.targets = sampler_.samplePeers(options_.fanout);
+  out.ball = std::move(ball);
+  stats_.ballsSent += out.targets.size();
+  nextBall_.clear();
+  return out;
+}
+
+}  // namespace epto::baselines

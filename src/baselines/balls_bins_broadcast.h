@@ -1,0 +1,74 @@
+// Reliable (unordered) balls-and-bins broadcast — the baseline of Fig. 6.
+//
+// This is EpTO's dissemination component (paper Alg. 1) with the ordering
+// component removed: an event is delivered to the application the first
+// time any copy of it is received (or locally broadcast), which measures
+// "the time required for an event to infect all processes" (§6). The gap
+// between this baseline's delay CDF and EpTO's is the price of total
+// order.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/types.h"
+
+namespace epto::baselines {
+
+struct BallsBinsStats {
+  std::uint64_t broadcasts = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t duplicatesIgnored = 0;
+  std::uint64_t ballsSent = 0;
+};
+
+class BallsBinsBroadcast {
+ public:
+  struct Options {
+    std::size_t fanout = 0;
+    std::uint32_t ttl = 0;
+  };
+
+  struct RoundOutput {
+    BallPtr ball;
+    std::vector<ProcessId> targets;
+  };
+
+  BallsBinsBroadcast(ProcessId self, Options options, PeerSampler& sampler,
+                     DeliverFn deliver);
+
+  /// Broadcast and immediately deliver locally (first sight).
+  /// Returns the created event.
+  Event broadcast(PayloadPtr payload);
+
+  /// Deliver every first-seen event; relay copies with ttl < TTL.
+  void onBall(const Ball& ball);
+
+  /// Relay task; same shape as the EpTO round but with no ordering step.
+  RoundOutput onRound();
+
+  [[nodiscard]] const BallsBinsStats& stats() const noexcept { return stats_; }
+
+  /// Sequence number the next broadcast() will use. Lets a harness
+  /// pre-register the event id before broadcast() delivers it locally.
+  [[nodiscard]] std::uint32_t nextSequence() const noexcept { return nextSequence_; }
+
+ private:
+  void deliverOnce(const Event& event);
+
+  ProcessId self_;
+  Options options_;
+  PeerSampler& sampler_;
+  DeliverFn deliver_;
+
+  std::unordered_map<EventId, Event, EventIdHash> nextBall_;
+  /// Events already delivered. Unbounded, which is fine for bounded
+  /// experiment runs; a production deployment would prune below a
+  /// TTL-derived horizon exactly as the EpTO ordering component does.
+  std::unordered_set<EventId, EventIdHash> seen_;
+  std::uint32_t nextSequence_ = 0;
+  BallsBinsStats stats_;
+};
+
+}  // namespace epto::baselines

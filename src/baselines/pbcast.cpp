@@ -1,0 +1,90 @@
+#include "baselines/pbcast.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/ensure.h"
+
+namespace epto::baselines {
+
+PbcastProcess::PbcastProcess(ProcessId self, Options options, PeerSampler& sampler,
+                             DeliverFn deliver)
+    : self_(self), options_(options), sampler_(sampler), deliver_(std::move(deliver)) {
+  EPTO_ENSURE_MSG(options_.fanout >= 1, "fanout must be at least 1");
+  EPTO_ENSURE_MSG(options_.relayRounds >= 1, "relayRounds must be at least 1");
+  EPTO_ENSURE_MSG(options_.stabilityRounds >= options_.relayRounds,
+                  "stability must cover the relay phase");
+  EPTO_ENSURE_MSG(deliver_ != nullptr, "pbcast needs a delivery callback");
+}
+
+Event PbcastProcess::broadcast(PayloadPtr payload) {
+  Event event;
+  event.id = EventId{self_, nextSequence_++};
+  event.ts = currentRound_;  // origin round IS the order timestamp
+  event.ttl = 0;
+  event.payload = std::move(payload);
+  ++stats_.broadcasts;
+  accept(event);
+  return event;
+}
+
+void PbcastProcess::onGossip(const Ball& ball) {
+  for (const Event& event : ball) accept(event);
+}
+
+void PbcastProcess::accept(const Event& event) {
+  if (seen_.contains(event.id)) {
+    ++stats_.duplicates;
+    return;
+  }
+  // Synchronous-model fragility: a copy stamped for an already-shipped
+  // batch cannot be delivered without breaking the deterministic batch
+  // order — Pbcast just drops it (no recovery sub-protocol here; the
+  // original bolts on anti-entropy in later work [2]).
+  if (currentRound_ >= options_.stabilityRounds &&
+      event.ts <= currentRound_ - options_.stabilityRounds) {
+    ++stats_.lateDrops;
+    return;
+  }
+  seen_.insert(event.id);
+  pendingBatches_[event.ts].push_back(event);
+  if (event.ttl < options_.relayRounds) relaying_.emplace(event.id, event);
+}
+
+PbcastProcess::RoundOutput PbcastProcess::onRound() {
+  ++currentRound_;
+  deliverDueBatches();
+
+  RoundOutput out;
+  if (relaying_.empty()) return out;
+  auto ball = std::make_shared<Ball>();
+  ball->reserve(relaying_.size());
+  for (auto it = relaying_.begin(); it != relaying_.end();) {
+    ++it->second.ttl;
+    ball->push_back(it->second);
+    it = it->second.ttl >= options_.relayRounds ? relaying_.erase(it) : ++it;
+  }
+  std::sort(ball->begin(), ball->end(),
+            [](const Event& a, const Event& b) { return a.id < b.id; });
+  out.targets = sampler_.samplePeers(options_.fanout);
+  out.ball = std::move(ball);
+  stats_.ballsSent += out.targets.size();
+  return out;
+}
+
+void PbcastProcess::deliverDueBatches() {
+  if (currentRound_ < options_.stabilityRounds) return;
+  const std::uint64_t dueThrough = currentRound_ - options_.stabilityRounds;
+  for (auto it = pendingBatches_.begin();
+       it != pendingBatches_.end() && it->first <= dueThrough;) {
+    std::sort(it->second.begin(), it->second.end(),
+              [](const Event& a, const Event& b) { return a.orderKey() < b.orderKey(); });
+    for (const Event& event : it->second) {
+      ++stats_.delivered;
+      deliver_(event, DeliveryTag::Ordered);
+    }
+    it = pendingBatches_.erase(it);
+  }
+}
+
+}  // namespace epto::baselines

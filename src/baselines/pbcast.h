@@ -1,0 +1,91 @@
+// Pbcast-style probabilistic total order — modeled on Hayden & Birman's
+// probabilistic broadcast (Cornell TR96-1606), the paper's reference [16]
+// and the closest prior art to EpTO (§7: "like EpTO it waits for messages
+// to become stable before delivering them. However, unlike EpTO, it is
+// based on a fully synchronous model [and] the network is static").
+//
+// The protocol: processes advance through numbered, globally synchronized
+// rounds. A broadcast is stamped with its origin round; every holder
+// gossips it to `fanout` random peers for `relayRounds` rounds; at round
+// r every process deterministically delivers the batch stamped r -
+// stabilityRounds, ordered by (origin round, source, sequence). There are
+// no acknowledgments and no aging: a copy arriving after its delivery
+// round is USELESS and dropped — correctness leans entirely on the
+// synchronized-rounds assumption.
+//
+// That assumption is the point of the comparison: driven by per-process
+// local round counters (all a real system has), Pbcast silently loses
+// events as soon as counters drift apart, while EpTO's ttl-based
+// stability does not care whose round it is. bench/ablation_pbcast.cpp
+// measures exactly this.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/types.h"
+
+namespace epto::baselines {
+
+struct PbcastStats {
+  std::uint64_t broadcasts = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t lateDrops = 0;   ///< copies that arrived after their batch shipped.
+  std::uint64_t duplicates = 0;
+  std::uint64_t ballsSent = 0;
+};
+
+class PbcastProcess {
+ public:
+  struct Options {
+    std::size_t fanout = 0;
+    /// Rounds each message keeps being gossiped.
+    std::uint32_t relayRounds = 0;
+    /// Rounds between a message's origin and its delivery batch.
+    std::uint32_t stabilityRounds = 0;
+  };
+
+  struct RoundOutput {
+    BallPtr ball;
+    std::vector<ProcessId> targets;
+  };
+
+  PbcastProcess(ProcessId self, Options options, PeerSampler& sampler, DeliverFn deliver);
+
+  /// Stamp with the local round counter and queue for gossip. (Event.ts
+  /// carries the origin round so the total order key is the Pbcast order.)
+  Event broadcast(PayloadPtr payload);
+
+  /// Gossip receive callback.
+  void onGossip(const Ball& ball);
+
+  /// Local round tick: advance the counter, deliver the due batch, emit
+  /// this round's gossip.
+  RoundOutput onRound();
+
+  [[nodiscard]] std::uint64_t currentRound() const noexcept { return currentRound_; }
+  [[nodiscard]] const PbcastStats& stats() const noexcept { return stats_; }
+
+ private:
+  void accept(const Event& event);
+  void deliverDueBatches();
+
+  ProcessId self_;
+  Options options_;
+  PeerSampler& sampler_;
+  DeliverFn deliver_;
+
+  std::uint64_t currentRound_ = 0;
+  std::uint32_t nextSequence_ = 0;
+  /// Messages still being gossiped, by id; Event.ttl counts relay rounds.
+  std::unordered_map<EventId, Event, EventIdHash> relaying_;
+  /// Held messages awaiting their delivery round, keyed by origin round.
+  std::map<std::uint64_t, std::vector<Event>> pendingBatches_;
+  std::unordered_set<EventId, EventIdHash> seen_;
+  PbcastStats stats_;
+};
+
+}  // namespace epto::baselines

@@ -1,0 +1,83 @@
+#include "baselines/sequencer.h"
+
+#include <algorithm>
+
+#include "util/ensure.h"
+
+namespace epto::baselines {
+
+SequencerProcess::SequencerProcess(ProcessId self, ProcessId sequencerId,
+                                   std::vector<ProcessId> members, DeliverFn deliver)
+    : self_(self),
+      sequencerId_(sequencerId),
+      members_(std::move(members)),
+      deliver_(std::move(deliver)) {
+  EPTO_ENSURE_MSG(deliver_ != nullptr, "sequencer baseline needs a delivery callback");
+  EPTO_ENSURE_MSG(std::find(members_.begin(), members_.end(), sequencerId_) != members_.end(),
+                  "sequencer must be a member");
+}
+
+std::vector<SequencerProcess::Outgoing> SequencerProcess::broadcast(PayloadPtr payload) {
+  ++stats_.broadcasts;
+  Event event;
+  event.id = EventId{self_, nextEventSequence_++};
+  event.ts = 0;  // ordering comes from the stamp, not a clock
+  event.payload = std::move(payload);
+
+  if (isSequencer()) {
+    return stampAndFanOut(event);
+  }
+  std::vector<Outgoing> out;
+  Outgoing submit;
+  submit.to = sequencerId_;
+  submit.submit = SubmitMessage{std::move(event)};
+  out.push_back(std::move(submit));
+  ++stats_.unicastsSent;
+  return out;
+}
+
+std::vector<SequencerProcess::Outgoing> SequencerProcess::onSubmit(
+    const SubmitMessage& message) {
+  EPTO_ENSURE_MSG(isSequencer(), "only the sequencer handles submissions");
+  return stampAndFanOut(message.event);
+}
+
+std::vector<SequencerProcess::Outgoing> SequencerProcess::stampAndFanOut(const Event& event) {
+  const std::uint64_t sequence = nextStamp_++;
+  ++stats_.stamped;
+
+  std::vector<Outgoing> out;
+  out.reserve(members_.size() - 1);
+  for (const ProcessId member : members_) {
+    if (member == self_) continue;
+    Outgoing o;
+    o.to = member;
+    o.stamped = StampedMessage{sequence, event};
+    out.push_back(std::move(o));
+    ++stats_.unicastsSent;
+  }
+  // The sequencer delivers locally through the same contiguity gate.
+  onStamped(StampedMessage{sequence, event});
+  return out;
+}
+
+void SequencerProcess::onStamped(const StampedMessage& message) {
+  if (message.sequence < nextToDeliver_) return;  // stale duplicate
+  pending_.emplace(message.sequence, message.event);
+  deliverReady();
+  stats_.stalled = std::max<std::uint64_t>(stats_.stalled, pending_.size());
+}
+
+void SequencerProcess::deliverReady() {
+  // Contiguous-prefix delivery: one lost stamp blocks everything after
+  // it — deliberately so, to expose the baseline's fragility under loss.
+  for (auto it = pending_.begin();
+       it != pending_.end() && it->first == nextToDeliver_;) {
+    deliver_(it->second, DeliveryTag::Ordered);
+    ++stats_.delivered;
+    ++nextToDeliver_;
+    it = pending_.erase(it);
+  }
+}
+
+}  // namespace epto::baselines

@@ -1,0 +1,93 @@
+// Fixed-sequencer deterministic total order — the classical centralized
+// baseline EpTO's introduction argues against.
+//
+// One distinguished process (the sequencer) stamps every event with a
+// global sequence number and unicasts the stamped event to every member;
+// receivers deliver in contiguous sequence order. This gives deterministic
+// total order and agreement on a reliable network, but (a) the sequencer
+// transmits O(n) messages per event — the scalability wall — and (b) a
+// single lost stamped message stalls the receiver's delivery forever
+// (real deployments bolt on retransmission sub-protocols; EpTO needs
+// none, paper §1.1). The ablation bench contrasts both effects.
+//
+// Sans-io, same driving contract as the EpTO components.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+
+namespace epto::baselines {
+
+/// A client's submission travelling to the sequencer.
+struct SubmitMessage {
+  Event event;
+};
+
+/// A stamped event travelling from the sequencer to a member.
+struct StampedMessage {
+  std::uint64_t sequence = 0;
+  Event event;
+};
+
+struct SequencerStats {
+  std::uint64_t broadcasts = 0;
+  std::uint64_t stamped = 0;     ///< events ordered (sequencer only).
+  std::uint64_t delivered = 0;
+  std::uint64_t unicastsSent = 0;
+  std::uint64_t stalled = 0;     ///< deliveries blocked behind a gap (high-water).
+};
+
+class SequencerProcess {
+ public:
+  /// `members` is the full static membership (the centralized baseline
+  /// has no PSS — it needs to know everyone, another scalability cost).
+  SequencerProcess(ProcessId self, ProcessId sequencerId, std::vector<ProcessId> members,
+                   DeliverFn deliver);
+
+  struct Outgoing {
+    ProcessId to = 0;
+    std::optional<SubmitMessage> submit;
+    std::optional<StampedMessage> stamped;
+  };
+
+  /// Application broadcast: returns the unicast(s) to transmit. A
+  /// non-sequencer emits one submit; the sequencer stamps locally and
+  /// emits n-1 stamped unicasts.
+  [[nodiscard]] std::vector<Outgoing> broadcast(PayloadPtr payload);
+
+  /// Sequencer-side: stamp a submission, fan out to all members.
+  [[nodiscard]] std::vector<Outgoing> onSubmit(const SubmitMessage& message);
+
+  /// Member-side: buffer and deliver in contiguous sequence order.
+  void onStamped(const StampedMessage& message);
+
+  [[nodiscard]] bool isSequencer() const noexcept { return self_ == sequencerId_; }
+  [[nodiscard]] const SequencerStats& stats() const noexcept { return stats_; }
+  /// Next sequence number this member is waiting for.
+  [[nodiscard]] std::uint64_t expectedSequence() const noexcept { return nextToDeliver_; }
+  /// Event sequence number the next broadcast() will use. Lets a harness
+  /// pre-register the event id before broadcast() delivers it locally.
+  [[nodiscard]] std::uint32_t nextEventSequence() const noexcept { return nextEventSequence_; }
+
+ private:
+  [[nodiscard]] std::vector<Outgoing> stampAndFanOut(const Event& event);
+  void deliverReady();
+
+  ProcessId self_;
+  ProcessId sequencerId_;
+  std::vector<ProcessId> members_;
+  DeliverFn deliver_;
+
+  std::uint64_t nextStamp_ = 0;      ///< sequencer: next sequence to assign.
+  std::uint64_t nextToDeliver_ = 0;  ///< member: delivery frontier.
+  std::map<std::uint64_t, Event> pending_;  ///< stamped but undeliverable yet.
+  std::uint32_t nextEventSequence_ = 0;
+  SequencerStats stats_;
+};
+
+}  // namespace epto::baselines

@@ -1,0 +1,137 @@
+#include "codec/ball_codec.h"
+
+#include <limits>
+
+#include "codec/checksum.h"
+#include "codec/varint.h"
+
+namespace epto::codec {
+
+std::string_view toString(DecodeError error) noexcept {
+  switch (error) {
+    case DecodeError::None:
+      return "none";
+    case DecodeError::Truncated:
+      return "truncated frame";
+    case DecodeError::BadMagic:
+      return "bad magic";
+    case DecodeError::BadVersion:
+      return "unsupported version";
+    case DecodeError::BadVarint:
+      return "malformed varint";
+    case DecodeError::LengthOverflow:
+      return "length exceeds frame";
+    case DecodeError::ChecksumMismatch:
+      return "checksum mismatch";
+    case DecodeError::TrailingGarbage:
+      return "trailing garbage";
+  }
+  return "unknown";
+}
+
+std::vector<std::byte> encodeBall(const Ball& ball) {
+  std::vector<std::byte> out;
+  // Rough reservation: header + ~12 bytes per event + payloads.
+  std::size_t payloadTotal = 0;
+  for (const Event& event : ball) {
+    if (event.payload != nullptr) payloadTotal += event.payload->size();
+  }
+  out.reserve(8 + ball.size() * 12 + payloadTotal);
+
+  out.push_back(static_cast<std::byte>(kMagic & 0xFF));
+  out.push_back(static_cast<std::byte>(kMagic >> 8));
+  out.push_back(static_cast<std::byte>(kVersion));
+  putVarint(out, ball.size());
+  for (const Event& event : ball) {
+    putVarint(out, event.id.source);
+    putVarint(out, event.id.sequence);
+    putVarint(out, event.ts);
+    putVarint(out, event.ttl);
+    if (event.payload != nullptr) {
+      putVarint(out, event.payload->size());
+      out.insert(out.end(), event.payload->begin(), event.payload->end());
+    } else {
+      putVarint(out, 0);
+    }
+  }
+  const std::uint32_t crc = crc32c(out);
+  out.push_back(static_cast<std::byte>(crc & 0xFF));
+  out.push_back(static_cast<std::byte>((crc >> 8) & 0xFF));
+  out.push_back(static_cast<std::byte>((crc >> 16) & 0xFF));
+  out.push_back(static_cast<std::byte>((crc >> 24) & 0xFF));
+  return out;
+}
+
+namespace {
+
+DecodeResult fail(DecodeError error) {
+  DecodeResult result;
+  result.error = error;
+  return result;
+}
+
+}  // namespace
+
+DecodeResult decodeBall(std::span<const std::byte> frame) {
+  // The CRC trailer is fixed-width; split it off first.
+  if (frame.size() < 4) return fail(DecodeError::Truncated);
+  const std::span<const std::byte> body = frame.first(frame.size() - 4);
+  const std::span<const std::byte> trailer = frame.last(4);
+  std::uint32_t storedCrc = 0;
+  for (int i = 3; i >= 0; --i) {
+    storedCrc = (storedCrc << 8) | static_cast<std::uint32_t>(trailer[static_cast<std::size_t>(i)]);
+  }
+  if (crc32c(body) != storedCrc) return fail(DecodeError::ChecksumMismatch);
+
+  ByteReader reader(body);
+  const auto magicLo = reader.readByte();
+  const auto magicHi = reader.readByte();
+  if (!magicLo.has_value() || !magicHi.has_value()) return fail(DecodeError::Truncated);
+  if ((static_cast<std::uint16_t>(*magicHi) << 8 | *magicLo) != kMagic) {
+    return fail(DecodeError::BadMagic);
+  }
+  const auto version = reader.readByte();
+  if (!version.has_value()) return fail(DecodeError::Truncated);
+  if (*version != kVersion) return fail(DecodeError::BadVersion);
+
+  const auto count = reader.readVarint();
+  if (!count.has_value()) return fail(DecodeError::BadVarint);
+  // A non-empty event costs at least 5 body bytes; reject counts that a
+  // frame of this size cannot possibly hold before allocating.
+  if (*count > reader.remaining()) return fail(DecodeError::LengthOverflow);
+
+  DecodeResult result;
+  result.ball.reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    Event event;
+    const auto source = reader.readVarint();
+    const auto sequence = reader.readVarint();
+    const auto ts = reader.readVarint();
+    const auto ttl = reader.readVarint();
+    const auto payloadLen = reader.readVarint();
+    if (!source.has_value() || !sequence.has_value() || !ts.has_value() ||
+        !ttl.has_value() || !payloadLen.has_value()) {
+      return fail(DecodeError::BadVarint);
+    }
+    if (*source > std::numeric_limits<ProcessId>::max() ||
+        *sequence > std::numeric_limits<std::uint32_t>::max() ||
+        *ttl > std::numeric_limits<std::uint32_t>::max()) {
+      return fail(DecodeError::LengthOverflow);
+    }
+    event.id = EventId{static_cast<ProcessId>(*source),
+                       static_cast<std::uint32_t>(*sequence)};
+    event.ts = *ts;
+    event.ttl = static_cast<std::uint32_t>(*ttl);
+    if (*payloadLen > 0) {
+      const auto payload = reader.readBytes(static_cast<std::size_t>(*payloadLen));
+      if (!payload.has_value()) return fail(DecodeError::LengthOverflow);
+      event.payload =
+          std::make_shared<PayloadBytes>(payload->begin(), payload->end());
+    }
+    result.ball.push_back(std::move(event));
+  }
+  if (!reader.exhausted()) return fail(DecodeError::TrailingGarbage);
+  return result;
+}
+
+}  // namespace epto::codec

@@ -1,0 +1,63 @@
+// EpTO wire format: serialization of balls for real transports.
+//
+// Frame layout (all multi-byte integers are varints unless noted):
+//
+//   magic      u16-LE     0xE970 ("EpTO")
+//   version    u8         1
+//   count      varint     number of events
+//   events     count x {
+//     source     varint
+//     sequence   varint
+//     ts         varint
+//     ttl        varint
+//     payloadLen varint
+//     payload    payloadLen raw bytes
+//   }
+//   crc32c     u32-LE     over everything above
+//
+// Decoding is fully defensive: truncated frames, bad magic, unsupported
+// versions, overflowing varints, lying length fields and checksum
+// mismatches are all rejected with a precise error code — network input
+// is never trusted. A decode allocates at most `count` events and the
+// declared payload bytes, both bounded by the frame size itself.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/types.h"
+
+namespace epto::codec {
+
+inline constexpr std::uint16_t kMagic = 0xE970;
+inline constexpr std::uint8_t kVersion = 1;
+
+enum class DecodeError : std::uint8_t {
+  None,
+  Truncated,        ///< frame ends mid-field
+  BadMagic,         ///< first two bytes are not kMagic
+  BadVersion,       ///< version byte unsupported
+  BadVarint,        ///< malformed or overflowing varint
+  LengthOverflow,   ///< a declared length exceeds the remaining frame
+  ChecksumMismatch, ///< CRC32C trailer does not match the body
+  TrailingGarbage,  ///< bytes left after the checksum
+};
+
+[[nodiscard]] std::string_view toString(DecodeError error) noexcept;
+
+/// Serialize a ball into a self-contained frame.
+[[nodiscard]] std::vector<std::byte> encodeBall(const Ball& ball);
+
+struct DecodeResult {
+  Ball ball;
+  DecodeError error = DecodeError::None;
+
+  [[nodiscard]] bool ok() const noexcept { return error == DecodeError::None; }
+};
+
+/// Parse one frame. On failure, `ball` is empty and `error` says why.
+[[nodiscard]] DecodeResult decodeBall(std::span<const std::byte> frame);
+
+}  // namespace epto::codec

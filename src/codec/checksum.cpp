@@ -1,0 +1,34 @@
+#include "codec/checksum.h"
+
+#include <array>
+
+namespace epto::codec {
+
+namespace {
+
+/// Table for the reflected CRC32C polynomial 0x82F63B78.
+constexpr std::array<std::uint32_t, 256> makeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) != 0 ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = makeTable();
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::byte> data) noexcept {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::byte b : data) {
+    crc = kTable[(crc ^ static_cast<std::uint32_t>(b)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace epto::codec

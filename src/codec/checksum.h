@@ -1,0 +1,19 @@
+// CRC32C (Castagnoli) — corruption detection for the EpTO wire format.
+//
+// Balls traverse lossy, possibly-mangling transports; the codec trailer
+// carries a CRC32C over the frame body so that a corrupted ball is
+// rejected instead of poisoning the ordering state. Software
+// table-driven implementation (the usual 8-bit-slice variant), no
+// hardware dependency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace epto::codec {
+
+/// CRC32C of `data` (initial value per the standard: all-ones, reflected).
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::byte> data) noexcept;
+
+}  // namespace epto::codec

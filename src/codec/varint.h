@@ -1,0 +1,70 @@
+// LEB128 variable-length integer encoding.
+//
+// The EpTO wire format (codec/ball_codec.h) encodes timestamps, ttls and
+// lengths as varints: balls carry many small integers (a fresh event has
+// ttl <= TTL ~ tens; round-trip clock values grow slowly), so LEB128
+// roughly halves ball sizes compared to fixed-width fields.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace epto::codec {
+
+/// Append `value` to `out` as LEB128 (1-10 bytes).
+inline void putVarint(std::vector<std::byte>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::byte>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(value));
+}
+
+/// Cursor-based reader over an immutable buffer. All reads are bounds-
+/// checked; a failed read returns nullopt and leaves the cursor where
+/// the failure occurred (decoding aborts anyway).
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t position() const noexcept { return position_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - position_; }
+  [[nodiscard]] bool exhausted() const noexcept { return position_ >= data_.size(); }
+
+  [[nodiscard]] std::optional<std::uint8_t> readByte() {
+    if (position_ >= data_.size()) return std::nullopt;
+    return static_cast<std::uint8_t>(data_[position_++]);
+  }
+
+  /// LEB128 decode, rejecting encodings longer than 10 bytes and
+  /// non-canonical overlong final bytes that overflow 64 bits.
+  [[nodiscard]] std::optional<std::uint64_t> readVarint() {
+    std::uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      const auto byte = readByte();
+      if (!byte.has_value()) return std::nullopt;
+      const std::uint64_t chunk = *byte & 0x7F;
+      if (shift == 63 && chunk > 1) return std::nullopt;  // would overflow
+      value |= chunk << shift;
+      if ((*byte & 0x80) == 0) return value;
+    }
+    return std::nullopt;  // continuation bit never cleared
+  }
+
+  /// Raw byte run of exactly `length`.
+  [[nodiscard]] std::optional<std::span<const std::byte>> readBytes(std::size_t length) {
+    if (remaining() < length) return std::nullopt;
+    const auto out = data_.subspan(position_, length);
+    position_ += length;
+    return out;
+  }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace epto::codec

@@ -1,0 +1,31 @@
+#include "core/config.h"
+
+#include "util/ensure.h"
+
+namespace epto {
+
+Config Config::forSystemSize(std::size_t systemSize, ClockMode mode,
+                             const Robustness& robustness) {
+  analysis::ParameterInputs inputs;
+  inputs.systemSize = systemSize;
+  inputs.c = robustness.c;
+  inputs.logicalTime = (mode == ClockMode::Logical);
+  inputs.churnPerRound = robustness.churnPerRound;
+  inputs.messageLossRate = robustness.messageLossRate;
+  inputs.driftRatio = robustness.driftRatio;
+  inputs.latencyBelowRound = robustness.latencyBelowRound;
+
+  const analysis::Parameters params = analysis::computeParameters(inputs);
+  Config config;
+  config.fanout = params.fanout;
+  config.ttl = params.ttl;
+  config.clockMode = mode;
+  return config;
+}
+
+void Config::validate() const {
+  EPTO_ENSURE_MSG(fanout >= 1, "Config.fanout must be at least 1");
+  EPTO_ENSURE_MSG(ttl >= 1, "Config.ttl must be at least 1");
+}
+
+}  // namespace epto

@@ -1,0 +1,54 @@
+// EpTO protocol configuration.
+//
+// A Config fully determines a process's protocol behaviour: fanout K,
+// stability horizon TTL, clock discipline and the optional extensions.
+// Config::forSystemSize derives K and TTL from the paper's Lemmas 3-7 via
+// epto::analysis::computeParameters; every field can also be set by hand
+// (the evaluation sweeps TTL manually, e.g. Fig. 6 contrasts the
+// theoretical TTL=15 for n=100 against an empirical TTL=5).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "analysis/parameters.h"
+
+namespace epto {
+
+/// Which stability oracle a process runs (paper Alg. 3 vs Alg. 4).
+enum class ClockMode : std::uint8_t {
+  Global,   ///< synchronized physical time (GPS/atomic, or simulator ticks)
+  Logical,  ///< scalar Lamport clock; no synchronization assumption
+};
+
+/// Environmental assumptions fed into Lemmas 3-7 when deriving K and TTL.
+struct Robustness {
+  double c = 2.0;                  ///< Theorem 2 constant, must be > 1.
+  double churnPerRound = 0.0;      ///< Lemma 7 alpha.
+  double messageLossRate = 0.0;    ///< Lemma 7 epsilon.
+  double driftRatio = 1.0;         ///< Lemma 5 delta_max/delta_min.
+  bool latencyBelowRound = false;  ///< Lemma 6 extra round.
+};
+
+struct Config {
+  std::size_t fanout = 0;   ///< K — gossip targets per round.
+  std::uint32_t ttl = 0;    ///< TTL — relay rounds / stability age.
+  ClockMode clockMode = ClockMode::Logical;
+
+  /// §8.2 tagged delivery: surface order-violating events with
+  /// DeliveryTag::OutOfOrder instead of dropping them.
+  bool tagOutOfOrder = false;
+  /// Retention (in rounds) of delivered-event ids for tagged-delivery
+  /// duplicate suppression; 0 = remember forever. Ignored unless
+  /// tagOutOfOrder is set.
+  std::uint32_t deliveredRetentionRounds = 0;
+
+  /// Derive K and TTL for a system of (up to) `systemSize` processes.
+  [[nodiscard]] static Config forSystemSize(std::size_t systemSize, ClockMode mode,
+                                            const Robustness& robustness = Robustness{});
+
+  /// Throws util::ContractViolation when the configuration is unusable.
+  void validate() const;
+};
+
+}  // namespace epto

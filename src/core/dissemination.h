@@ -1,0 +1,85 @@
+// EpTO dissemination component — paper Algorithm 1.
+//
+// The component is sans-io: it never touches a socket or a timer. The
+// driver (discrete-event simulator, threaded runtime, or an application's
+// own event loop) calls
+//   * broadcast()  when the application EpTO-broadcasts (Alg. 1 l.6-10),
+//   * onBall()     when a ball arrives from the network (Alg. 1 l.11-19),
+//   * onRound()    every delta time units (Alg. 1 l.20-28); the returned
+//                  RoundOutput carries the ball to transmit and the K
+//                  gossip targets drawn from the peer-sampling service.
+// The three entry points must be called from one logical thread of
+// control, matching the paper's "procedures executed atomically".
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ordering.h"
+#include "core/stability_oracle.h"
+#include "core/types.h"
+
+namespace epto {
+
+/// Counters exposed for tests, benches and operational visibility.
+struct DisseminationStats {
+  std::uint64_t broadcasts = 0;      ///< local EpTO-broadcast calls.
+  std::uint64_t ballsReceived = 0;   ///< onBall invocations.
+  std::uint64_t ballsSent = 0;       ///< ball transmissions (one per target).
+  std::uint64_t eventsRelayed = 0;   ///< event copies placed in outgoing balls.
+  std::uint64_t eventsExpired = 0;   ///< received events dropped, ttl >= TTL.
+  std::uint64_t rounds = 0;          ///< onRound invocations.
+  std::size_t maxBallSize = 0;       ///< high-water mark of events per ball.
+};
+
+class DisseminationComponent {
+ public:
+  struct Options {
+    std::size_t fanout = 0;  ///< K — gossip targets per round.
+    std::uint32_t ttl = 0;   ///< TTL — rounds each event is relayed.
+  };
+
+  /// What one round produced. When `ball` is null the round was idle and
+  /// nothing is transmitted (Alg. 1 line 23's emptiness check).
+  struct RoundOutput {
+    BallPtr ball;
+    std::vector<ProcessId> targets;
+  };
+
+  /// The oracle and sampler must outlive the component; `ordering` is the
+  /// same process's ordering component (Alg. 1 line 27 hands it the ball).
+  DisseminationComponent(ProcessId self, Options options, StabilityOracle& oracle,
+                         PeerSampler& sampler, OrderingComponent& ordering);
+
+  /// EpTO-broadcast: timestamp the payload with the oracle clock and
+  /// queue it for relaying. Returns the newly created event (ttl = 0) so
+  /// the caller knows its id, timestamp and order key.
+  Event broadcast(PayloadPtr payload);
+
+  /// Network receive callback for one incoming ball.
+  void onBall(const Ball& ball);
+
+  /// The periodic relay task; call every delta time units.
+  RoundOutput onRound();
+
+  [[nodiscard]] ProcessId self() const noexcept { return self_; }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+  [[nodiscard]] const DisseminationStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t pendingRelayCount() const noexcept { return nextBall_.size(); }
+
+ private:
+  ProcessId self_;
+  Options options_;
+  StabilityOracle& oracle_;
+  PeerSampler& sampler_;
+  OrderingComponent& ordering_;
+
+  /// Alg. 1 `nextBall`: events to relay in the next round, by id.
+  std::unordered_map<EventId, Event, EventIdHash> nextBall_;
+  std::uint32_t nextSequence_ = 0;
+
+  DisseminationStats stats_;
+};
+
+}  // namespace epto

@@ -1,0 +1,137 @@
+#include "core/ordering.h"
+
+#include <algorithm>
+
+#include "util/ensure.h"
+
+namespace epto {
+
+OrderingComponent::OrderingComponent(Options options, const StabilityOracle& oracle,
+                                     DeliverFn deliver)
+    : options_(options), oracle_(oracle), deliver_(std::move(deliver)) {
+  EPTO_ENSURE_MSG(deliver_ != nullptr, "ordering component needs a delivery callback");
+}
+
+void OrderingComponent::orderEvents(const Ball& ball) {
+  ++stats_.rounds;
+
+  // Alg. 2 lines 6-7: a new round started, age every known event.
+  for (auto& [id, event] : received_) {
+    ++event.ttl;
+  }
+
+  // Alg. 2 lines 8-14: absorb the ball into `received`.
+  for (const Event& event : ball) {
+    absorb(event);
+  }
+  stats_.maxReceivedSize = std::max(stats_.maxReceivedSize, received_.size());
+
+  // Alg. 2 lines 15-30: deliver what is stable and unobstructed.
+  deliverBatch();
+
+  if (options_.tagOutOfOrder && options_.deliveredRetentionRounds != 0) {
+    pruneDeliveredMemory();
+  }
+}
+
+void OrderingComponent::absorb(const Event& event) {
+  const OrderKey key = event.orderKey();
+
+  // Alg. 2 line 9 (strengthened to full keys): an event sorting at or
+  // before the delivery frontier can never be delivered in order.
+  if (lastDelivered_.has_value() && key <= *lastDelivered_) {
+    if (alreadyDelivered(event.id)) {
+      ++stats_.droppedDuplicates;
+      return;
+    }
+    if (options_.tagOutOfOrder) {
+      // §8.2: surface the event to the application, explicitly tagged,
+      // instead of dropping it. rememberDelivered() suppresses the
+      // further copies that are still circulating.
+      rememberDelivered(event.id);
+      ++stats_.deliveredOutOfOrder;
+      deliver_(event, DeliveryTag::OutOfOrder);
+    } else {
+      ++stats_.droppedOutOfOrder;
+    }
+    return;
+  }
+
+  // Alg. 2 lines 10-14: insert, or keep the larger ttl of both copies.
+  auto [it, inserted] = received_.try_emplace(event.id, event);
+  if (!inserted) {
+    if (it->second.ttl < event.ttl) {
+      it->second.ttl = event.ttl;
+      ++stats_.ttlMerges;
+    }
+  }
+}
+
+void OrderingComponent::deliverBatch() {
+  // Alg. 2 lines 15-21: split `received` into deliverable events and the
+  // minimum key among events that must still age.
+  std::optional<OrderKey> minQueued;
+  std::vector<Event> deliverable;
+  for (const auto& [id, event] : received_) {
+    if (oracle_.isDeliverable(event)) {
+      deliverable.push_back(event);
+    } else {
+      const OrderKey key = event.orderKey();
+      if (!minQueued.has_value() || key < *minQueued) minQueued = key;
+    }
+  }
+
+  // Alg. 2 lines 22-26: a deliverable event sorting after a queued event
+  // cannot be delivered yet without risking an order violation.
+  if (minQueued.has_value()) {
+    std::erase_if(deliverable,
+                  [&](const Event& e) { return e.orderKey() > *minQueued; });
+  }
+  if (deliverable.empty()) return;
+
+  // Alg. 2 lines 27-30: deliver in total order.
+  std::sort(deliverable.begin(), deliverable.end(),
+            [](const Event& a, const Event& b) { return a.orderKey() < b.orderKey(); });
+  for (const Event& event : deliverable) {
+    received_.erase(event.id);
+    lastDelivered_ = event.orderKey();
+    if (options_.tagOutOfOrder) rememberDelivered(event.id);
+    ++stats_.deliveredOrdered;
+    deliver_(event, DeliveryTag::Ordered);
+  }
+}
+
+void OrderingComponent::rememberDelivered(const EventId& id) {
+  deliveredMemory_.emplace(id, stats_.rounds);
+}
+
+bool OrderingComponent::alreadyDelivered(const EventId& id) const {
+  return options_.tagOutOfOrder && deliveredMemory_.contains(id);
+}
+
+void OrderingComponent::pruneDeliveredMemory() {
+  const std::uint64_t now = stats_.rounds;
+  const std::uint64_t retention = options_.deliveredRetentionRounds;
+  if (now < retention) return;
+  const std::uint64_t horizon = now - retention;
+  std::erase_if(deliveredMemory_,
+                [&](const auto& entry) { return entry.second < horizon; });
+}
+
+std::vector<Event> OrderingComponent::pendingEvents() const {
+  std::vector<Event> pending;
+  pending.reserve(received_.size());
+  for (const auto& [id, event] : received_) pending.push_back(event);
+  std::sort(pending.begin(), pending.end(),
+            [](const Event& a, const Event& b) { return a.orderKey() < b.orderKey(); });
+  return pending;
+}
+
+bool OrderingComponent::checkInvariants() const {
+  if (!lastDelivered_.has_value()) return true;
+  return std::all_of(received_.begin(), received_.end(), [&](const auto& entry) {
+    return entry.second.orderKey() > *lastDelivered_;
+  });
+}
+
+}  // namespace epto

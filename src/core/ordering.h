@@ -1,0 +1,108 @@
+// EpTO ordering component — paper Algorithm 2, plus the tagged-delivery
+// (§8.2) and delivery-tradeoff (§8.4) extensions.
+//
+// The ordering component receives, once per round, the ball assembled by
+// the dissemination component. It ages known events, absorbs the new ones,
+// and delivers to the application every event that (a) the stability
+// oracle declares deliverable and (b) cannot be preceded by any event
+// still queued — all in strict total order by OrderKey.
+//
+// Deviations from the pseudocode, argued in DESIGN.md §3:
+//   * comparisons use the full OrderKey (ts, source, seq) instead of the
+//     bare timestamp, which removes an ordering corner case under
+//     timestamp ties and is otherwise identical;
+//   * orderEvents() must be invoked every round even when the ball is
+//     empty — Alg. 1 line 27 only calls it when nextBall is non-empty,
+//     but the validity proof (and liveness in a quiescent system)
+//     requires received events to age every round;
+//   * the `delivered` set is only materialized when tagged delivery is
+//     enabled, and is pruned after a configurable retention window. For
+//     plain EpTO the `key <= lastDelivered` filter already rejects every
+//     duplicate, so the set the paper carries is redundant.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/stability_oracle.h"
+#include "core/types.h"
+
+namespace epto {
+
+/// Counters exposed for tests, benches and operational visibility.
+struct OrderingStats {
+  std::uint64_t rounds = 0;               ///< orderEvents invocations.
+  std::uint64_t deliveredOrdered = 0;     ///< normal EpTO-deliver count.
+  std::uint64_t deliveredOutOfOrder = 0;  ///< §8.2 tagged deliveries.
+  std::uint64_t droppedOutOfOrder = 0;    ///< late events dropped (no tagging).
+  std::uint64_t droppedDuplicates = 0;    ///< duplicates of past deliveries.
+  std::uint64_t ttlMerges = 0;            ///< max-merge of a known event's ttl.
+  std::size_t maxReceivedSize = 0;        ///< high-water mark of `received`.
+};
+
+class OrderingComponent {
+ public:
+  struct Options {
+    /// Stability horizon; events become deliverable once ttl > ttl.
+    std::uint32_t ttl = 0;
+    /// §8.2: deliver late events tagged DeliveryTag::OutOfOrder instead
+    /// of silently dropping them.
+    bool tagOutOfOrder = false;
+    /// Rounds a delivered event id is remembered for duplicate
+    /// suppression of tagged deliveries; 0 keeps ids forever. Only used
+    /// when tagOutOfOrder is set — see header comment. The window must
+    /// cover the longest possible copy lifetime: a relay chain has at
+    /// most TTL+1 hops, and each hop can add up to one round of queueing
+    /// plus the network's full latency tail, so use roughly
+    /// (TTL + 2) * (ceil(maxLatency / delta) + 1) rounds.
+    std::uint32_t deliveredRetentionRounds = 0;
+  };
+
+  /// The oracle must outlive the component. Deliveries are synchronous,
+  /// from inside orderEvents().
+  OrderingComponent(Options options, const StabilityOracle& oracle, DeliverFn deliver);
+
+  /// One round of Algorithm 2. `ball` may be empty (idle round).
+  void orderEvents(const Ball& ball);
+
+  /// §8.4 delivery-tradeoff exposure: snapshot of known-but-undelivered
+  /// events (their ttl is the age in rounds; feed it to
+  /// analysis::estimatedStability for a deliverability probability).
+  [[nodiscard]] std::vector<Event> pendingEvents() const;
+
+  [[nodiscard]] const OrderingStats& stats() const noexcept { return stats_; }
+
+  /// Key of the most recently delivered event, if any.
+  [[nodiscard]] std::optional<OrderKey> lastDelivered() const noexcept {
+    return lastDelivered_;
+  }
+
+  /// Internal-invariant check used by tests: every queued event must sort
+  /// after the last delivered event. Returns false on violation.
+  [[nodiscard]] bool checkInvariants() const;
+
+ private:
+  void absorb(const Event& event);
+  void deliverBatch();
+  void rememberDelivered(const EventId& id);
+  [[nodiscard]] bool alreadyDelivered(const EventId& id) const;
+  void pruneDeliveredMemory();
+
+  Options options_;
+  const StabilityOracle& oracle_;
+  DeliverFn deliver_;
+
+  /// Alg. 2 `received`: known but not yet delivered events, by id.
+  std::unordered_map<EventId, Event, EventIdHash> received_;
+  /// Alg. 2 `lastDeliveredTs`, strengthened to the full order key.
+  std::optional<OrderKey> lastDelivered_;
+  /// Delivered-id memory (only populated when tagging): id -> round
+  /// at which it was delivered, for retention-window pruning.
+  std::unordered_map<EventId, std::uint64_t, EventIdHash> deliveredMemory_;
+
+  OrderingStats stats_;
+};
+
+}  // namespace epto

@@ -1,0 +1,50 @@
+#include "core/process.h"
+
+#include "util/ensure.h"
+
+namespace epto {
+
+namespace {
+std::shared_ptr<PeerSampler> requireSampler(std::shared_ptr<PeerSampler> sampler) {
+  EPTO_ENSURE_MSG(sampler != nullptr, "Process requires a peer sampler");
+  return sampler;
+}
+}  // namespace
+
+std::unique_ptr<StabilityOracle> Process::makeOracle(const Config& config,
+                                                     GlobalClockOracle::TimeSource globalTime) {
+  if (config.clockMode == ClockMode::Global) {
+    EPTO_ENSURE_MSG(globalTime != nullptr,
+                    "ClockMode::Global requires a global time source");
+    return std::make_unique<GlobalClockOracle>(config.ttl, std::move(globalTime));
+  }
+  return std::make_unique<LogicalClockOracle>(config.ttl);
+}
+
+Process::Process(ProcessId id, const Config& config, std::shared_ptr<PeerSampler> sampler,
+                 DeliverFn deliver, GlobalClockOracle::TimeSource globalTime)
+    : id_(id),
+      config_(config),
+      sampler_(requireSampler(std::move(sampler))),
+      oracle_(makeOracle(config_, std::move(globalTime))),
+      ordering_(
+          OrderingComponent::Options{
+              .ttl = config_.ttl,
+              .tagOutOfOrder = config_.tagOutOfOrder,
+              .deliveredRetentionRounds = config_.deliveredRetentionRounds,
+          },
+          *oracle_, std::move(deliver)),
+      dissemination_(id_,
+                     DisseminationComponent::Options{
+                         .fanout = config_.fanout,
+                         .ttl = config_.ttl,
+                     },
+                     *oracle_, *sampler_, ordering_) {
+  config_.validate();
+}
+
+Event Process::broadcast(PayloadPtr payload) {
+  return dissemination_.broadcast(std::move(payload));
+}
+
+}  // namespace epto

@@ -1,0 +1,81 @@
+// epto::Process — the public facade of the EpTO protocol.
+//
+// One Process instance embodies one participant: it owns the stability
+// oracle matching the configured clock mode, the ordering component and
+// the dissemination component, and wires them together per Figure 2 of
+// the paper. It remains sans-io; see DisseminationComponent for the
+// driving contract.
+//
+// Typical use:
+//
+//   auto cfg = epto::Config::forSystemSize(1000, epto::ClockMode::Logical);
+//   epto::Process p(myId, cfg, sampler,
+//                   [](const epto::Event& e, epto::DeliveryTag) { apply(e); });
+//   p.broadcast(payload);                   // when the application sends
+//   p.onBall(ball);                         // when the network delivers
+//   auto out = p.onRound();                 // every delta time units
+//   if (out.ball) for (auto q : out.targets) transport.send(q, out.ball);
+#pragma once
+
+#include <memory>
+
+#include "core/config.h"
+#include "core/dissemination.h"
+#include "core/ordering.h"
+#include "core/stability_oracle.h"
+#include "core/types.h"
+
+namespace epto {
+
+class Process {
+ public:
+  using RoundOutput = DisseminationComponent::RoundOutput;
+
+  /// `sampler` is shared with the driver (e.g. a Cyclon instance that the
+  /// driver also pumps); `globalTime` is required for ClockMode::Global
+  /// and ignored for ClockMode::Logical.
+  Process(ProcessId id, const Config& config, std::shared_ptr<PeerSampler> sampler,
+          DeliverFn deliver, GlobalClockOracle::TimeSource globalTime = {});
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// EpTO-broadcast. The payload may be null (pure ordering signal).
+  /// Returns the created event (id, timestamp, order key).
+  Event broadcast(PayloadPtr payload = {});
+
+  /// Network receive callback.
+  void onBall(const Ball& ball) { dissemination_.onBall(ball); }
+
+  /// The periodic round task; call every delta time units.
+  RoundOutput onRound() { return dissemination_.onRound(); }
+
+  [[nodiscard]] ProcessId id() const noexcept { return id_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] const OrderingStats& orderingStats() const noexcept {
+    return ordering_.stats();
+  }
+  [[nodiscard]] const DisseminationStats& disseminationStats() const noexcept {
+    return dissemination_.stats();
+  }
+  /// §8.4: known-but-undelivered events, sorted by order key.
+  [[nodiscard]] std::vector<Event> pendingEvents() const { return ordering_.pendingEvents(); }
+  [[nodiscard]] std::optional<OrderKey> lastDelivered() const {
+    return ordering_.lastDelivered();
+  }
+  [[nodiscard]] const StabilityOracle& oracle() const noexcept { return *oracle_; }
+  [[nodiscard]] bool checkInvariants() const { return ordering_.checkInvariants(); }
+
+ private:
+  static std::unique_ptr<StabilityOracle> makeOracle(const Config& config,
+                                                     GlobalClockOracle::TimeSource globalTime);
+
+  ProcessId id_;
+  Config config_;
+  std::shared_ptr<PeerSampler> sampler_;
+  std::unique_ptr<StabilityOracle> oracle_;
+  OrderingComponent ordering_;
+  DisseminationComponent dissemination_;
+};
+
+}  // namespace epto

@@ -1,0 +1,109 @@
+// Fundamental protocol types shared across the EpTO library.
+//
+// Terminology follows the paper (Matos et al., Middleware 2015):
+//   * an *event* is the unit an application EpTO-broadcasts and
+//     EpTO-delivers (paper Alg. 1/2);
+//   * a *ball* is the batch of events a process relays to its K gossip
+//     targets once per round (the balls-and-bins abstraction of §4.1).
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace epto {
+
+/// Unique identifier of a process. The paper assumes "each process has a
+/// unique id" (§2); ids also break ordering ties between concurrent events.
+using ProcessId = std::uint32_t;
+
+/// Logical or global clock value, and simulation time, in ticks.
+using Timestamp = std::uint64_t;
+
+/// Application payload. Shared immutably so that the many copies of an
+/// Event created during dissemination never duplicate payload bytes
+/// (mirrors serialize-once transmission in a real deployment).
+using PayloadBytes = std::vector<std::byte>;
+using PayloadPtr = std::shared_ptr<const PayloadBytes>;
+
+/// Globally unique event identifier: broadcasting process + per-source
+/// sequence number. Identity never changes as the event is relayed.
+struct EventId {
+  ProcessId source = 0;
+  std::uint32_t sequence = 0;
+
+  friend auto operator<=>(const EventId&, const EventId&) = default;
+
+  [[nodiscard]] std::uint64_t packed() const noexcept {
+    return (static_cast<std::uint64_t>(source) << 32) | sequence;
+  }
+};
+
+struct EventIdHash {
+  std::size_t operator()(const EventId& id) const noexcept {
+    return static_cast<std::size_t>(util::mix64(id.packed()));
+  }
+};
+
+/// The total-order key: events are delivered sorted by timestamp, ties
+/// broken by the broadcaster id (paper §2). The sequence number is a
+/// repository-level strengthening: with a global clock a process may
+/// broadcast twice at the same tick, and the sequence disambiguates
+/// deterministically (see DESIGN.md §3.1). Lexicographic comparison.
+struct OrderKey {
+  Timestamp ts = 0;
+  ProcessId source = 0;
+  std::uint32_t sequence = 0;
+
+  friend auto operator<=>(const OrderKey&, const OrderKey&) = default;
+};
+
+/// An EpTO event as it travels inside balls. `ttl` counts how many rounds
+/// the event has been relayed (Alg. 1) and, at the ordering component, how
+/// many rounds it has aged (Alg. 2); all other fields are immutable.
+struct Event {
+  EventId id;
+  Timestamp ts = 0;
+  std::uint32_t ttl = 0;
+  PayloadPtr payload;
+
+  [[nodiscard]] OrderKey orderKey() const noexcept { return {ts, id.source, id.sequence}; }
+};
+
+/// A ball: the set of events a process relays in one round. Transmitted
+/// as an immutable shared snapshot; receivers never mutate it.
+using Ball = std::vector<Event>;
+using BallPtr = std::shared_ptr<const Ball>;
+
+/// How an event reached the application (paper §8.2, "tagged delivery").
+/// Ordered deliveries are the normal EpTO-deliver; OutOfOrder deliveries
+/// are events the paper's baseline algorithm would silently drop because
+/// delivering them in sequence is no longer possible.
+enum class DeliveryTag : std::uint8_t {
+  Ordered,
+  OutOfOrder,
+};
+
+/// Delivery callback invoked by the ordering component.
+using DeliverFn = std::function<void(const Event&, DeliveryTag)>;
+
+/// Peer-sampling service interface (paper §2). Implementations return a
+/// uniformly random sample of *other* processes believed correct; the
+/// fanout-K gossip targets of each round are drawn from it. Inaccurate
+/// views under churn behave like message loss (§2) — implementations need
+/// not be perfect.
+class PeerSampler {
+ public:
+  virtual ~PeerSampler() = default;
+
+  /// Up to `k` peer ids, chosen uniformly at random, never containing the
+  /// calling process. Fewer than `k` may be returned if the view is small.
+  [[nodiscard]] virtual std::vector<ProcessId> samplePeers(std::size_t k) = 0;
+};
+
+}  // namespace epto

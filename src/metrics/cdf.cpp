@@ -1,0 +1,85 @@
+#include "metrics/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/ensure.h"
+
+namespace epto::metrics {
+
+void Cdf::add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void Cdf::merge(const Cdf& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+}
+
+void Cdf::sortIfNeeded() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::percentile(double p) const {
+  EPTO_ENSURE_MSG(!samples_.empty(), "percentile of an empty sample set");
+  EPTO_ENSURE_MSG(p >= 0.0 && p <= 1.0, "percentile p must be in [0,1]");
+  sortIfNeeded();
+  if (p <= 0.0) return samples_.front();
+  // Nearest-rank: smallest value with cumulative fraction >= p.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(samples_.size())));
+  return samples_[std::min(samples_.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+SummaryStats Cdf::summary() const {
+  sortIfNeeded();
+  return summarize(samples_);
+}
+
+std::vector<Cdf::Row> Cdf::rows(std::size_t steps) const {
+  EPTO_ENSURE_MSG(steps >= 2, "a CDF needs at least two rows");
+  std::vector<Row> out;
+  if (samples_.empty()) return out;
+  sortIfNeeded();
+  out.reserve(steps);
+  for (std::size_t i = 1; i <= steps; ++i) {
+    const double p = static_cast<double>(i) / static_cast<double>(steps);
+    out.push_back(Row{percentile(p), p});
+  }
+  return out;
+}
+
+std::string Cdf::formatRows(const std::string& label, std::size_t steps) const {
+  std::ostringstream os;
+  for (const Row& row : rows(steps)) {
+    os << label << " p=" << static_cast<int>(std::lround(row.cumulative * 100.0))
+       << " value=" << row.value << '\n';
+  }
+  return os.str();
+}
+
+SummaryStats summarize(const std::vector<double>& values) {
+  SummaryStats s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (const double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (const double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() < 2 ? 0.0 : std::sqrt(sq / static_cast<double>(values.size() - 1));
+  return s;
+}
+
+}  // namespace epto::metrics

@@ -1,0 +1,61 @@
+// Sample accumulation and CDF reporting.
+//
+// The paper's evaluation reports delivery delays as CDFs over simulator
+// ticks (Figures 6-10). Cdf collects raw samples and answers percentile /
+// moment queries; rows() emits the (value, cumulative %) series that the
+// bench harnesses print in the same shape the paper plots.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace epto::metrics {
+
+/// Plain summary of a sample set.
+struct SummaryStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+class Cdf {
+ public:
+  void add(double sample);
+  void merge(const Cdf& other);
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Value below which fraction `p` (0..1) of the samples lie
+  /// (nearest-rank). Requires a non-empty sample set.
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] SummaryStats summary() const;
+
+  /// `steps` evenly spaced CDF points: (sample value, cumulative fraction).
+  /// The final row is always (max, 1.0).
+  struct Row {
+    double value = 0.0;
+    double cumulative = 0.0;
+  };
+  [[nodiscard]] std::vector<Row> rows(std::size_t steps) const;
+
+  /// One formatted CDF line per row: "<label> p=<cum%> value=<v>".
+  [[nodiscard]] std::string formatRows(const std::string& label, std::size_t steps) const;
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  void sortIfNeeded() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Summary of an arbitrary range of doubles.
+SummaryStats summarize(const std::vector<double>& values);
+
+}  // namespace epto::metrics

@@ -1,0 +1,141 @@
+#include "metrics/delivery_tracker.h"
+
+#include <algorithm>
+
+#include "util/ensure.h"
+
+namespace epto::metrics {
+
+void DeliveryTracker::onBroadcast(ProcessId source, const EventId& id, const OrderKey& key,
+                                  Timestamp when) {
+  auto [it, inserted] = events_.try_emplace(id);
+  EPTO_ENSURE_MSG(inserted, "event id broadcast twice — ids must be unique");
+  it->second.source = source;
+  it->second.key = key;
+  it->second.broadcastAt = when;
+  ++broadcasts_;
+}
+
+void DeliveryTracker::onDeliver(ProcessId process, const EventId& id, Timestamp when,
+                                DeliveryTag tag) {
+  const auto eventIt = events_.find(id);
+  if (eventIt == events_.end()) {
+    // Delivery of an event that was never broadcast: integrity violation.
+    ++integrityViolations_;
+    ++unknownDeliveries_;
+    return;
+  }
+  EventRecord& record = eventIt->second;
+
+  if (tag == DeliveryTag::Ordered) {
+    if (checkTotalOrder_) {
+      const auto [frontierIt, first] = frontier_.try_emplace(process, record.key);
+      if (!first) {
+        // Strictly-increasing keys <=> total order and (because keys are
+        // unique per event) no ordered duplicates.
+        if (!(frontierIt->second < record.key)) ++orderViolations_;
+        frontierIt->second = record.key;
+      }
+    }
+    record.orderedBy.push_back(process);
+    const Timestamp delta = when >= record.broadcastAt ? when - record.broadcastAt : 0;
+    record.orderedDelay.push_back(static_cast<std::uint32_t>(delta));
+    ++deliveries_;
+  } else {
+    record.taggedBy.push_back(process);
+    ++taggedDeliveries_;
+  }
+}
+
+namespace {
+
+/// Count duplicate entries in-place (sorts the vector).
+std::uint64_t countDuplicates(std::vector<ProcessId>& ids) {
+  std::sort(ids.begin(), ids.end());
+  std::uint64_t dupes = 0;
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    if (ids[i] == ids[i - 1]) ++dupes;
+  }
+  return dupes;
+}
+
+}  // namespace
+
+TrackerReport DeliveryTracker::finalize(
+    const std::unordered_map<ProcessId, ProcessLifetime>& lifetimes,
+    Timestamp measurementCutoff) const {
+  TrackerReport report;
+  report.integrityViolations = integrityViolations_;
+  report.unknownDeliveries = unknownDeliveries_;
+  report.orderViolations = orderViolations_;
+  report.broadcasts = broadcasts_;
+  report.deliveries = deliveries_;
+  report.taggedDeliveries = taggedDeliveries_;
+
+  // Processes judged for agreement: present for the whole measured window.
+  std::vector<std::pair<ProcessId, Timestamp>> correct;  // (id, joinedAt)
+  for (const auto& [pid, life] : lifetimes) {
+    if (!life.leftAt.has_value()) correct.emplace_back(pid, life.joinedAt);
+  }
+
+  for (const auto& [id, record] : events_) {
+    if (record.broadcastAt > measurementCutoff) continue;  // too young to judge
+    ++report.eventsMeasured;
+
+    for (const std::uint32_t delay : record.orderedDelay) {
+      report.delays.add(delay);
+    }
+
+    // Duplicate detection across both delivery kinds. A process that
+    // received the event both ordered and tagged also counts as a dupe.
+    std::vector<ProcessId> ordered = record.orderedBy;
+    const std::uint64_t dupOrdered = countDuplicates(ordered);  // sorts
+    std::vector<ProcessId> tagged = record.taggedBy;
+    const std::uint64_t dupTagged = countDuplicates(tagged);  // sorts
+    ordered.erase(std::unique(ordered.begin(), ordered.end()), ordered.end());
+    tagged.erase(std::unique(tagged.begin(), tagged.end()), tagged.end());
+    std::vector<ProcessId> both;
+    std::set_intersection(ordered.begin(), ordered.end(), tagged.begin(), tagged.end(),
+                          std::back_inserter(both));
+    report.duplicateOrdered += dupOrdered;
+    report.duplicateTagged += dupTagged;
+    report.orderedAndTagged += both.size();
+    report.integrityViolations += dupOrdered + dupTagged + both.size();
+    std::vector<ProcessId> got;  // union of receivers, sorted unique
+    std::set_union(ordered.begin(), ordered.end(), tagged.begin(), tagged.end(),
+                   std::back_inserter(got));
+
+    // Validity: a correct broadcaster must have (ordered-)delivered its
+    // own event.
+    const auto sourceLife = lifetimes.find(record.source);
+    const bool sourceCorrect =
+        sourceLife != lifetimes.end() && !sourceLife->second.leftAt.has_value();
+    if (sourceCorrect &&
+        !std::binary_search(ordered.begin(), ordered.end(), record.source)) {
+      ++report.validityViolations;
+    }
+
+    // Agreement (Table 1) is conditional: "IF a process EpTO-delivers an
+    // event e, then w.h.p. all correct processes eventually deliver e."
+    // An event no process delivered — e.g. its broadcaster was churned
+    // out before the first relay — is vacuously agreed upon (and a
+    // correct broadcaster that failed to self-deliver is already a
+    // validity violation above).
+    if (got.empty()) continue;
+    // Every process present since before the broadcast should have the
+    // event (ordered or tagged); later joiners are exempt (§5.4).
+    for (const auto& [pid, joinedAt] : correct) {
+      if (joinedAt > record.broadcastAt) continue;
+      if (!std::binary_search(got.begin(), got.end(), pid)) {
+        ++report.holes;
+        if (report.holeSamples.size() < 64) {
+          report.holeSamples.push_back(
+              TrackerReport::HoleInfo{id, pid, record.broadcastAt, joinedAt});
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace epto::metrics

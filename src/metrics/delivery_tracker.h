@@ -1,0 +1,130 @@
+// DeliveryTracker — the evaluation harness's correctness referee.
+//
+// Every experiment (simulated or threaded) routes two facts through a
+// tracker: "process s EpTO-broadcast event e at time t" and "process p
+// EpTO-delivered event e at time t". From these the tracker verifies the
+// Table 1 specification of the paper:
+//   * Integrity   — no duplicate deliveries, no delivery of an event that
+//                   was never broadcast;
+//   * Total Order — every process's ordered-delivery sequence is strictly
+//                   increasing in OrderKey. Because OrderKey totally
+//                   orders all events, per-process monotonicity is
+//                   equivalent to pairwise identical relative order
+//                   across processes (checked online, O(1) per delivery);
+//   * Validity    — every correct broadcaster delivered its own events
+//                   (checked at finalize);
+//   * Agreement   — "holes": events a correct process missed although it
+//                   was present from the broadcast to the end of the run
+//                   (counted at finalize, over events old enough to have
+//                   stabilized).
+// It also accumulates the delivery-delay distribution the figures plot.
+//
+// Memory: per event one vector of deliverer ids; delays live in an exact
+// integer histogram. A 3,200-process run with ~6k events fits in tens of
+// megabytes, which is what lets the benches reproduce Fig. 7b's sweep.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+#include "metrics/histogram.h"
+
+namespace epto::metrics {
+
+/// Lifetime of a process from the experiment's point of view.
+struct ProcessLifetime {
+  Timestamp joinedAt = 0;
+  std::optional<Timestamp> leftAt;  ///< empty = still alive at the end.
+};
+
+/// Verdict and measurements of one experiment.
+struct TrackerReport {
+  // Table 1 verdicts.
+  std::uint64_t integrityViolations = 0;  ///< dupes / unknown-event deliveries.
+  // Breakdown of integrityViolations (diagnostic):
+  std::uint64_t duplicateOrdered = 0;   ///< same event ordered twice at a process.
+  std::uint64_t duplicateTagged = 0;    ///< same event tagged twice at a process.
+  std::uint64_t orderedAndTagged = 0;   ///< same event via both paths at a process.
+  std::uint64_t unknownDeliveries = 0;  ///< deliveries of never-broadcast events.
+  std::uint64_t orderViolations = 0;      ///< non-monotonic ordered deliveries.
+  std::uint64_t validityViolations = 0;   ///< broadcaster missed its own event.
+  std::uint64_t holes = 0;                ///< agreement misses (see header).
+  // Volume.
+  std::uint64_t broadcasts = 0;
+  std::uint64_t deliveries = 0;        ///< ordered deliveries.
+  std::uint64_t taggedDeliveries = 0;  ///< §8.2 out-of-order deliveries.
+  std::uint64_t eventsMeasured = 0;    ///< events old enough to judge.
+  /// Delay (delivery time - broadcast time) over ordered deliveries of
+  /// measured events, in ticks.
+  Histogram delays;
+
+  /// Up to 64 concrete (event, process) hole descriptions, for diagnosis.
+  struct HoleInfo {
+    EventId event;
+    ProcessId process = 0;
+    Timestamp broadcastAt = 0;
+    Timestamp processJoinedAt = 0;
+  };
+  std::vector<HoleInfo> holeSamples;
+
+  [[nodiscard]] bool allPropertiesHold() const {
+    return integrityViolations == 0 && orderViolations == 0 &&
+           validityViolations == 0 && holes == 0;
+  }
+};
+
+class DeliveryTracker {
+ public:
+  /// `checkTotalOrder = false` disables the monotonicity check — used for
+  /// deliberately unordered protocols (the Fig. 6 baseline), which still
+  /// need delay, integrity and agreement accounting.
+  explicit DeliveryTracker(bool checkTotalOrder = true)
+      : checkTotalOrder_(checkTotalOrder) {}
+
+  /// Record an EpTO-broadcast. Event ids must be unique across the run.
+  void onBroadcast(ProcessId source, const EventId& id, const OrderKey& key,
+                   Timestamp when);
+
+  /// Record a delivery at `process`. Order violations are detected
+  /// immediately; duplicates at finalize.
+  void onDeliver(ProcessId process, const EventId& id, Timestamp when,
+                 DeliveryTag tag = DeliveryTag::Ordered);
+
+  /// Judge the run. `lifetimes` describes every process that ever
+  /// existed; `measurementCutoff` excludes events broadcast after it —
+  /// they were too young to stabilize before the run ended, so they are
+  /// not judged for agreement/validity and add no delay samples.
+  [[nodiscard]] TrackerReport finalize(
+      const std::unordered_map<ProcessId, ProcessLifetime>& lifetimes,
+      Timestamp measurementCutoff) const;
+
+  [[nodiscard]] std::uint64_t broadcastCount() const noexcept { return broadcasts_; }
+  [[nodiscard]] std::uint64_t deliveryCount() const noexcept { return deliveries_; }
+
+ private:
+  struct EventRecord {
+    ProcessId source = 0;
+    OrderKey key;
+    Timestamp broadcastAt = 0;
+    /// Ordered deliverers, with per-delivery delay stored alongside.
+    std::vector<ProcessId> orderedBy;
+    std::vector<std::uint32_t> orderedDelay;  // parallel to orderedBy
+    std::vector<ProcessId> taggedBy;
+  };
+
+  bool checkTotalOrder_ = true;
+  std::unordered_map<EventId, EventRecord, EventIdHash> events_;
+  /// Delivery frontier per process, for the online monotonicity check.
+  std::unordered_map<ProcessId, OrderKey> frontier_;
+  std::uint64_t broadcasts_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t taggedDeliveries_ = 0;
+  std::uint64_t integrityViolations_ = 0;
+  std::uint64_t unknownDeliveries_ = 0;
+  std::uint64_t orderViolations_ = 0;
+};
+
+}  // namespace epto::metrics

@@ -1,0 +1,73 @@
+#include "metrics/histogram.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/ensure.h"
+
+namespace epto::metrics {
+
+void Histogram::add(std::uint64_t value, std::uint64_t count) {
+  bins_[value] += count;
+  total_ += count;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (const auto& [value, count] : other.bins_) add(value, count);
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  EPTO_ENSURE_MSG(total_ > 0, "percentile of an empty histogram");
+  EPTO_ENSURE_MSG(p >= 0.0 && p <= 1.0, "percentile p must be in [0,1]");
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(total_)));
+  std::uint64_t cumulative = 0;
+  for (const auto& [value, count] : bins_) {
+    cumulative += count;
+    if (cumulative >= target) return value;
+  }
+  return bins_.rbegin()->first;
+}
+
+SummaryStats Histogram::summary() const {
+  SummaryStats s;
+  s.count = total_;
+  if (total_ == 0) return s;
+  s.min = static_cast<double>(bins_.begin()->first);
+  s.max = static_cast<double>(bins_.rbegin()->first);
+  double sum = 0.0;
+  for (const auto& [value, count] : bins_) {
+    sum += static_cast<double>(value) * static_cast<double>(count);
+  }
+  s.mean = sum / static_cast<double>(total_);
+  double sq = 0.0;
+  for (const auto& [value, count] : bins_) {
+    const double d = static_cast<double>(value) - s.mean;
+    sq += d * d * static_cast<double>(count);
+  }
+  s.stddev = total_ < 2 ? 0.0 : std::sqrt(sq / static_cast<double>(total_ - 1));
+  return s;
+}
+
+std::vector<Cdf::Row> Histogram::rows(std::size_t steps) const {
+  EPTO_ENSURE_MSG(steps >= 2, "a CDF needs at least two rows");
+  std::vector<Cdf::Row> out;
+  if (total_ == 0) return out;
+  out.reserve(steps);
+  for (std::size_t i = 1; i <= steps; ++i) {
+    const double p = static_cast<double>(i) / static_cast<double>(steps);
+    out.push_back(Cdf::Row{static_cast<double>(percentile(p)), p});
+  }
+  return out;
+}
+
+std::string Histogram::formatRows(const std::string& label, std::size_t steps) const {
+  std::ostringstream os;
+  for (const Cdf::Row& row : rows(steps)) {
+    os << label << " p=" << static_cast<int>(std::lround(row.cumulative * 100.0))
+       << " value=" << row.value << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace epto::metrics

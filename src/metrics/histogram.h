@@ -1,0 +1,47 @@
+// Integer-valued histogram with percentile queries.
+//
+// Delivery delays are integer tick differences and experiments produce
+// millions of them; storing raw samples (as Cdf does) would dominate the
+// memory of large runs. Histogram bins identical values together — exact,
+// not approximate, because the domain is integral.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/cdf.h"
+
+namespace epto::metrics {
+
+class Histogram {
+ public:
+  void add(std::uint64_t value, std::uint64_t count = 1);
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+
+  /// Smallest value whose cumulative count reaches fraction `p` (0..1).
+  /// Requires a non-empty histogram.
+  [[nodiscard]] std::uint64_t percentile(double p) const;
+
+  [[nodiscard]] SummaryStats summary() const;
+
+  /// `steps` evenly spaced CDF points, same shape as Cdf::rows.
+  [[nodiscard]] std::vector<Cdf::Row> rows(std::size_t steps) const;
+
+  /// One formatted CDF line per row: "<label> p=<cum%> value=<v>".
+  [[nodiscard]] std::string formatRows(const std::string& label, std::size_t steps) const;
+
+  [[nodiscard]] const std::map<std::uint64_t, std::uint64_t>& bins() const noexcept {
+    return bins_;
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace epto::metrics

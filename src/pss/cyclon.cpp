@@ -1,0 +1,139 @@
+#include "pss/cyclon.h"
+
+#include <algorithm>
+
+#include "util/ensure.h"
+
+namespace epto::pss {
+
+Cyclon::Cyclon(ProcessId self, Options options, util::Rng rng)
+    : self_(self), options_(options), rng_(rng) {
+  EPTO_ENSURE_MSG(options_.viewSize >= 1, "Cyclon view size must be positive");
+  EPTO_ENSURE_MSG(options_.shuffleLength >= 1 && options_.shuffleLength <= options_.viewSize,
+                  "shuffle length must be in [1, viewSize]");
+  cache_.reserve(options_.viewSize);
+}
+
+bool Cyclon::contains(ProcessId id) const {
+  return std::any_of(cache_.begin(), cache_.end(),
+                     [&](const CyclonEntry& e) { return e.id == id; });
+}
+
+void Cyclon::removeEntry(ProcessId id) {
+  std::erase_if(cache_, [&](const CyclonEntry& e) { return e.id == id; });
+}
+
+void Cyclon::bootstrap(std::span<const ProcessId> seeds) {
+  for (const ProcessId seed : seeds) {
+    if (cache_.size() >= options_.viewSize) break;
+    if (seed == self_ || contains(seed)) continue;
+    cache_.push_back(CyclonEntry{seed, 0});
+  }
+}
+
+std::optional<Cyclon::ShuffleRequest> Cyclon::onShuffleTimer() {
+  if (cache_.empty()) return std::nullopt;
+  ++stats_.shufflesStarted;
+
+  // Step 1: age the whole cache.
+  for (CyclonEntry& e : cache_) ++e.age;
+
+  // Step 2: the exchange partner is the oldest neighbor.
+  const auto oldest = std::max_element(
+      cache_.begin(), cache_.end(),
+      [](const CyclonEntry& a, const CyclonEntry& b) { return a.age < b.age; });
+  const ProcessId target = oldest->id;
+
+  // Step 3-4: random subset of l-1 other entries, plus (self, 0). The
+  // partner's own entry is removed — it is replaced by what the reply
+  // teaches us, and a failed partner must not linger in the cache.
+  cache_.erase(oldest);
+  CyclonView outgoing;
+  outgoing.push_back(CyclonEntry{self_, 0});
+  // Partial Fisher-Yates to draw l-1 distinct entries.
+  const std::size_t want = std::min(options_.shuffleLength - 1, cache_.size());
+  for (std::size_t i = 0; i < want; ++i) {
+    const std::size_t j = i + rng_.below(cache_.size() - i);
+    std::swap(cache_[i], cache_[j]);
+    outgoing.push_back(cache_[i]);
+  }
+
+  pending_ = ShuffleRequest{target, outgoing};
+  return pending_;
+}
+
+CyclonView Cyclon::onShuffleRequest(ProcessId from, const CyclonView& received) {
+  ++stats_.shufflesAnswered;
+
+  // Reply with a random subset of at most l entries (self never included;
+  // the requester knows about us already).
+  CyclonView reply;
+  const std::size_t want = std::min(options_.shuffleLength, cache_.size());
+  for (std::size_t i = 0; i < want; ++i) {
+    const std::size_t j = i + rng_.below(cache_.size() - i);
+    std::swap(cache_[i], cache_[j]);
+    reply.push_back(cache_[i]);
+  }
+
+  // The requester identified itself in the received view with age 0; the
+  // entries we shipped in `reply` are the replacement candidates.
+  merge(received, reply);
+  (void)from;
+  return reply;
+}
+
+void Cyclon::onShuffleReply(const CyclonView& received) {
+  if (!pending_.has_value()) {
+    // Late reply to an abandoned shuffle: integrate entries into free
+    // slots only (sent-set is unknown by now).
+    merge(received, CyclonView{});
+    return;
+  }
+  ++stats_.repliesIntegrated;
+  const CyclonView sent = std::move(pending_->entries);
+  pending_.reset();
+  merge(received, sent);
+}
+
+void Cyclon::merge(const CyclonView& received, const CyclonView& sent) {
+  // Replacement candidates: positions of entries we shipped out (they are
+  // redundant — the other side knows them now).
+  for (const CyclonEntry& incoming : received) {
+    if (incoming.id == self_ || contains(incoming.id)) continue;
+
+    if (cache_.size() < options_.viewSize) {
+      cache_.push_back(incoming);
+      ++stats_.entriesLearned;
+      continue;
+    }
+    // Cache full: overwrite one of the entries that was in `sent` and is
+    // still present; otherwise drop the incoming entry (standard Cyclon).
+    bool placed = false;
+    for (const CyclonEntry& candidate : sent) {
+      const auto slot = std::find_if(cache_.begin(), cache_.end(), [&](const CyclonEntry& e) {
+        return e.id == candidate.id;
+      });
+      if (slot != cache_.end()) {
+        *slot = incoming;
+        placed = true;
+        ++stats_.entriesLearned;
+        break;
+      }
+    }
+    if (!placed) continue;
+  }
+}
+
+std::vector<ProcessId> Cyclon::samplePeers(std::size_t k) {
+  std::vector<ProcessId> out;
+  const std::size_t want = std::min(k, cache_.size());
+  out.reserve(want);
+  for (std::size_t i = 0; i < want; ++i) {
+    const std::size_t j = i + rng_.below(cache_.size() - i);
+    std::swap(cache_[i], cache_[j]);
+    out.push_back(cache_[i].id);
+  }
+  return out;
+}
+
+}  // namespace epto::pss

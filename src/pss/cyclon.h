@@ -1,0 +1,98 @@
+// Cyclon — inexpensive membership management for unstructured P2P
+// overlays (Voulgaris, Gavidia, van Steen, JNSM 2005; paper reference
+// [28], used for Figure 9).
+//
+// Each node keeps a small partial view (the "cache") of (neighbor, age)
+// entries. Periodically it shuffles: it picks its *oldest* neighbor Q,
+// sends Q a random subset of its view with itself inserted at age 0, and
+// integrates Q's reply, preferring to overwrite the entries it just sent.
+// Aging guarantees dead neighbors are eventually shuffled out.
+//
+// The implementation is sans-io like the EpTO core: the driver owns
+// timers and the network, and moves ShuffleRequest/reply views around.
+// The class implements epto::PeerSampler so an EpTO process can gossip
+// straight out of its Cyclon view.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace epto::pss {
+
+struct CyclonEntry {
+  ProcessId id = 0;
+  std::uint32_t age = 0;
+};
+
+using CyclonView = std::vector<CyclonEntry>;
+
+struct CyclonStats {
+  std::uint64_t shufflesStarted = 0;
+  std::uint64_t shufflesAnswered = 0;
+  std::uint64_t repliesIntegrated = 0;
+  std::uint64_t entriesLearned = 0;
+};
+
+class Cyclon final : public PeerSampler {
+ public:
+  struct Options {
+    std::size_t viewSize = 20;       ///< cache size c.
+    std::size_t shuffleLength = 8;   ///< entries exchanged per shuffle, l <= c.
+  };
+
+  Cyclon(ProcessId self, Options options, util::Rng rng);
+
+  /// Seed the cache with bootstrap neighbors (age 0). Typically the ids a
+  /// joining node learned from its introducer.
+  void bootstrap(std::span<const ProcessId> seeds);
+
+  /// What one shuffle period produces: a request to ship to `target`.
+  struct ShuffleRequest {
+    ProcessId target = 0;
+    CyclonView entries;
+  };
+
+  /// Periodic shuffle initiation. Increments all ages, picks the oldest
+  /// neighbor and assembles the outgoing subset. Returns nothing when the
+  /// cache is empty. At most one shuffle is outstanding: starting a new
+  /// one abandons a lost earlier exchange (its reply, if it still
+  /// arrives, is integrated on a best-effort basis).
+  [[nodiscard]] std::optional<ShuffleRequest> onShuffleTimer();
+
+  /// Handle a shuffle request from `from`; returns the reply view to send
+  /// back (a random subset of the local cache, never containing self).
+  [[nodiscard]] CyclonView onShuffleRequest(ProcessId from, const CyclonView& received);
+
+  /// Handle the reply to this node's own pending shuffle.
+  void onShuffleReply(const CyclonView& received);
+
+  // PeerSampler: k distinct uniformly random neighbors from the cache.
+  [[nodiscard]] std::vector<ProcessId> samplePeers(std::size_t k) override;
+
+  [[nodiscard]] const CyclonView& view() const noexcept { return cache_; }
+  [[nodiscard]] const CyclonStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] ProcessId self() const noexcept { return self_; }
+
+ private:
+  /// Integrate `received` into the cache: skip self and duplicates, fill
+  /// free slots, then overwrite the slots whose entries were in `sent`.
+  void merge(const CyclonView& received, const CyclonView& sent);
+  [[nodiscard]] bool contains(ProcessId id) const;
+  void removeEntry(ProcessId id);
+
+  ProcessId self_;
+  Options options_;
+  util::Rng rng_;
+  CyclonView cache_;
+  /// Entries shipped in the pending self-initiated shuffle (replacement
+  /// candidates for the reply), plus the peer they went to.
+  std::optional<ShuffleRequest> pending_;
+  CyclonStats stats_;
+};
+
+}  // namespace epto::pss

@@ -1,0 +1,164 @@
+#include "pss/generic_pss.h"
+
+#include <algorithm>
+
+#include "util/ensure.h"
+
+namespace epto::pss {
+
+GenericPss::GenericPss(ProcessId self, Options options, util::Rng rng)
+    : self_(self), options_(options), rng_(rng) {
+  EPTO_ENSURE_MSG(options_.viewSize >= 1, "view size must be positive");
+  EPTO_ENSURE_MSG(options_.gossipLength >= 1 && options_.gossipLength <= options_.viewSize,
+                  "gossip length must be in [1, viewSize]");
+  // The framework requires H, S <= gossipLength / 2.
+  options_.healing = std::min(options_.healing, options_.gossipLength / 2);
+  options_.swap = std::min(options_.swap, options_.gossipLength / 2);
+  view_.reserve(options_.viewSize);
+}
+
+bool GenericPss::contains(ProcessId id) const {
+  return std::any_of(view_.begin(), view_.end(),
+                     [&](const Descriptor& d) { return d.id == id; });
+}
+
+void GenericPss::bootstrap(std::span<const ProcessId> seeds) {
+  for (const ProcessId seed : seeds) {
+    if (view_.size() >= options_.viewSize) break;
+    if (seed == self_ || contains(seed)) continue;
+    view_.push_back(Descriptor{seed, 0});
+  }
+}
+
+DescriptorView GenericPss::buildBuffer() {
+  // Framework: buffer <- ((self, 0)); shuffle the view; move the H
+  // oldest to the end (so they are least likely to be shipped); append
+  // the first gossipLength - 1 entries.
+  DescriptorView buffer;
+  buffer.push_back(Descriptor{self_, 0});
+
+  DescriptorView shuffled = view_;
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng_.below(i)]);
+  }
+  if (options_.healing > 0 && shuffled.size() > options_.healing) {
+    std::partial_sort(shuffled.begin(),
+                      shuffled.begin() + static_cast<std::ptrdiff_t>(shuffled.size() -
+                                                                     options_.healing),
+                      shuffled.end(),
+                      [](const Descriptor& a, const Descriptor& b) { return a.age < b.age; });
+  }
+  const std::size_t want = std::min(options_.gossipLength - 1, shuffled.size());
+  buffer.insert(buffer.end(), shuffled.begin(),
+                shuffled.begin() + static_cast<std::ptrdiff_t>(want));
+  return buffer;
+}
+
+std::optional<GenericPss::GossipMessage> GenericPss::onGossipTimer() {
+  if (view_.empty()) return std::nullopt;
+  ++stats_.cyclesStarted;
+
+  // Peer selection.
+  std::size_t peerIndex = 0;
+  if (options_.peerSelection == PeerSelection::Random) {
+    peerIndex = rng_.below(view_.size());
+  } else {
+    peerIndex = static_cast<std::size_t>(
+        std::max_element(view_.begin(), view_.end(),
+                         [](const Descriptor& a, const Descriptor& b) {
+                           return a.age < b.age;
+                         }) -
+        view_.begin());
+  }
+  const ProcessId target = view_[peerIndex].id;
+
+  GossipMessage message;
+  message.target = target;
+  message.buffer = buildBuffer();
+  pendingSent_ = message.buffer;
+
+  // Age the whole view at the end of the cycle.
+  for (Descriptor& d : view_) ++d.age;
+  return message;
+}
+
+std::optional<DescriptorView> GenericPss::onGossip(ProcessId /*from*/,
+                                                   const DescriptorView& buffer) {
+  ++stats_.gossipsAnswered;
+  std::optional<DescriptorView> reply;
+  if (options_.pull) reply = buildBuffer();
+  select(buffer, reply.has_value() ? *reply : DescriptorView{});
+  return reply;
+}
+
+void GenericPss::onGossipReply(const DescriptorView& buffer) {
+  ++stats_.repliesIntegrated;
+  select(buffer, pendingSent_);
+  pendingSent_.clear();
+}
+
+void GenericPss::select(const DescriptorView& received, const DescriptorView& sent) {
+  // Framework view selection:
+  //   view <- view ++ received, deduplicated keeping the youngest copy;
+  //   remove min(H, size - c) oldest;
+  //   remove min(S, size - c) of the entries just sent;
+  //   remove random entries until |view| == c.
+  for (const Descriptor& incoming : received) {
+    if (incoming.id == self_) continue;
+    const auto it = std::find_if(view_.begin(), view_.end(), [&](const Descriptor& d) {
+      return d.id == incoming.id;
+    });
+    if (it == view_.end()) {
+      view_.push_back(incoming);
+    } else if (incoming.age < it->age) {
+      it->age = incoming.age;
+    }
+  }
+
+  const std::size_t c = options_.viewSize;
+  // Healer: drop the oldest surplus entries.
+  if (view_.size() > c) {
+    const std::size_t toDrop = std::min(options_.healing, view_.size() - c);
+    if (toDrop > 0) {
+      std::partial_sort(view_.begin(), view_.begin() + static_cast<std::ptrdiff_t>(toDrop),
+                        view_.end(), [](const Descriptor& a, const Descriptor& b) {
+                          return a.age > b.age;
+                        });
+      view_.erase(view_.begin(), view_.begin() + static_cast<std::ptrdiff_t>(toDrop));
+    }
+  }
+  // Swapper: drop entries that were just shipped (the other side knows
+  // them now).
+  if (view_.size() > c) {
+    std::size_t toDrop = std::min(options_.swap, view_.size() - c);
+    for (const Descriptor& shipped : sent) {
+      if (toDrop == 0) break;
+      if (shipped.id == self_) continue;
+      const auto it = std::find_if(view_.begin(), view_.end(), [&](const Descriptor& d) {
+        return d.id == shipped.id;
+      });
+      if (it != view_.end()) {
+        view_.erase(it);
+        --toDrop;
+      }
+    }
+  }
+  // Random truncation to c.
+  while (view_.size() > c) {
+    view_.erase(view_.begin() + static_cast<std::ptrdiff_t>(rng_.below(view_.size())));
+  }
+}
+
+std::vector<ProcessId> GenericPss::samplePeers(std::size_t k) {
+  std::vector<ProcessId> out;
+  const std::size_t want = std::min(k, view_.size());
+  out.reserve(want);
+  for (std::size_t i = 0; i < want; ++i) {
+    const std::size_t j = i + rng_.below(view_.size() - i);
+    std::swap(view_[i], view_[j]);
+    out.push_back(view_[i].id);
+  }
+  return out;
+}
+
+}  // namespace epto::pss

@@ -1,0 +1,114 @@
+// Generic gossip-based peer sampling — the framework of Jelasity,
+// Voulgaris, Guerraoui, Kermarrec & van Steen (ACM TOCS 2007), the
+// paper's reference [17] for the PSS assumption and for "adjusting the
+// PSS properties to favour freshness" (§6, discussion of Fig. 9).
+//
+// The framework spans a design space with three axes:
+//   * peer selection  — who to gossip with: a random neighbor or the
+//                       oldest one (tail);
+//   * view propagation — push only, or push-pull;
+//   * view selection  — how to merge views: keep random entries (blind),
+//                       drop the H oldest first (healer, favours
+//                       freshness), or drop the S entries just sent
+//                       (swapper, favours balance).
+// Cyclon (pss/cyclon.h) is one point in this space (tail, push-pull,
+// swapper); this class exposes the whole space so the ablation bench can
+// measure how PSS freshness policies affect EpTO under churn.
+//
+// Sans-io: the driver owns timers and the network and moves view buffers
+// around, exactly like the Cyclon driver contract.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace epto::pss {
+
+/// A view entry: a peer plus its age in gossip cycles.
+struct Descriptor {
+  ProcessId id = 0;
+  std::uint32_t age = 0;
+};
+
+using DescriptorView = std::vector<Descriptor>;
+
+enum class PeerSelection : std::uint8_t {
+  Random,  ///< uniform neighbor
+  Tail,    ///< oldest neighbor (the paper's best-under-churn choice)
+};
+
+enum class ViewSelection : std::uint8_t {
+  Blind,    ///< random truncation
+  Healer,   ///< drop oldest entries first (favours freshness)
+  Swapper,  ///< drop the entries just shipped (favours balance)
+};
+
+struct GenericPssStats {
+  std::uint64_t cyclesStarted = 0;
+  std::uint64_t gossipsAnswered = 0;
+  std::uint64_t repliesIntegrated = 0;
+};
+
+class GenericPss final : public PeerSampler {
+ public:
+  struct Options {
+    std::size_t viewSize = 20;      ///< c
+    std::size_t gossipLength = 10;  ///< entries exchanged per cycle (<= c)
+    bool pull = true;               ///< push-pull (true) or push-only
+    PeerSelection peerSelection = PeerSelection::Tail;
+    ViewSelection viewSelection = ViewSelection::Healer;
+    /// healing parameter H and swap parameter S of the framework; both
+    /// are clamped to gossipLength/2 internally per the paper.
+    std::size_t healing = 3;
+    std::size_t swap = 2;
+  };
+
+  GenericPss(ProcessId self, Options options, util::Rng rng);
+
+  void bootstrap(std::span<const ProcessId> seeds);
+
+  struct GossipMessage {
+    ProcessId target = 0;
+    DescriptorView buffer;
+  };
+
+  /// Active cycle: pick a peer, assemble the push buffer. nullopt when
+  /// the view is empty.
+  [[nodiscard]] std::optional<GossipMessage> onGossipTimer();
+
+  /// Passive side: merge the pushed buffer; with pull enabled, returns
+  /// the reply buffer to ship back.
+  [[nodiscard]] std::optional<DescriptorView> onGossip(ProcessId from,
+                                                       const DescriptorView& buffer);
+
+  /// Active side: merge the pull reply.
+  void onGossipReply(const DescriptorView& buffer);
+
+  // PeerSampler: k distinct uniformly random neighbors from the view.
+  [[nodiscard]] std::vector<ProcessId> samplePeers(std::size_t k) override;
+
+  [[nodiscard]] const DescriptorView& view() const noexcept { return view_; }
+  [[nodiscard]] const GenericPssStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] ProcessId self() const noexcept { return self_; }
+
+ private:
+  [[nodiscard]] DescriptorView buildBuffer();
+  void select(const DescriptorView& received, const DescriptorView& sent);
+  [[nodiscard]] bool contains(ProcessId id) const;
+
+  ProcessId self_;
+  Options options_;
+  util::Rng rng_;
+  DescriptorView view_;
+  /// Entries shipped in the pending self-initiated exchange (swap
+  /// candidates when the reply arrives).
+  DescriptorView pendingSent_;
+  GenericPssStats stats_;
+};
+
+}  // namespace epto::pss

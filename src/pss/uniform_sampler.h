@@ -1,0 +1,32 @@
+// Idealized peer-sampling service.
+//
+// The paper's base assumption (§2) is a PSS that returns a uniform random
+// sample of correct processes. In simulation this is realized by sampling
+// the membership directory directly — the "oracle" view. Figure 9 replaces
+// this oracle with the real Cyclon protocol (pss/cyclon.h) to measure the
+// cost of an imperfect view.
+#pragma once
+
+#include "core/types.h"
+#include "sim/membership.h"
+#include "util/rng.h"
+
+namespace epto::pss {
+
+class UniformSampler final : public PeerSampler {
+ public:
+  /// The directory must outlive the sampler.
+  UniformSampler(ProcessId self, const sim::MembershipDirectory& membership, util::Rng rng)
+      : self_(self), membership_(membership), rng_(rng) {}
+
+  [[nodiscard]] std::vector<ProcessId> samplePeers(std::size_t k) override {
+    return membership_.sampleOthers(self_, k, rng_);
+  }
+
+ private:
+  ProcessId self_;
+  const sim::MembershipDirectory& membership_;
+  util::Rng rng_;
+};
+
+}  // namespace epto::pss

@@ -1,0 +1,189 @@
+#include "runtime/runtime_cluster.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/ensure.h"
+
+namespace epto::runtime {
+
+namespace {
+
+/// Uniform sampler over a static membership 0..count-1 (the runtime
+/// cluster has fixed membership; a deployment would plug a real PSS in).
+class StaticUniformSampler final : public PeerSampler {
+ public:
+  StaticUniformSampler(ProcessId self, std::size_t count, util::Rng rng)
+      : self_(self), rng_(rng) {
+    others_.reserve(count - 1);
+    for (std::size_t id = 0; id < count; ++id) {
+      if (static_cast<ProcessId>(id) != self) others_.push_back(static_cast<ProcessId>(id));
+    }
+  }
+
+  std::vector<ProcessId> samplePeers(std::size_t k) override {
+    const std::size_t want = std::min(k, others_.size());
+    for (std::size_t i = 0; i < want; ++i) {
+      const std::size_t j = i + rng_.below(others_.size() - i);
+      std::swap(others_[i], others_[j]);
+    }
+    return {others_.begin(), others_.begin() + static_cast<std::ptrdiff_t>(want)};
+  }
+
+ private:
+  ProcessId self_;
+  util::Rng rng_;
+  std::vector<ProcessId> others_;
+};
+
+}  // namespace
+
+RuntimeCluster::RuntimeCluster(RuntimeOptions options)
+    : options_(options),
+      epoch_(Clock::now()),
+      masterRng_(options.seed),
+      transport_(InMemoryTransport::Options{options.lossRate, options.minDelay,
+                                            options.maxDelay, options.serializeFrames,
+                                            options.corruptionRate},
+                 masterRng_.split()) {
+  EPTO_ENSURE_MSG(options_.nodeCount >= 2, "need at least two nodes");
+  EPTO_ENSURE_MSG(options_.roundPeriod.count() > 0, "round period must be positive");
+
+  const Config derived = Config::forSystemSize(options_.nodeCount, options_.clockMode,
+                                               Robustness{.c = options_.c});
+  fanout_ = options_.fanoutOverride.value_or(derived.fanout);
+  ttl_ = options_.ttlOverride.value_or(derived.ttl);
+
+  nodes_.reserve(options_.nodeCount);
+  for (std::size_t i = 0; i < options_.nodeCount; ++i) {
+    const auto id = static_cast<ProcessId>(i);
+    transport_.registerEndpoint(id);
+
+    auto node = std::make_unique<NodeState>();
+    node->id = id;
+
+    Config cfg;
+    cfg.fanout = fanout_;
+    cfg.ttl = ttl_;
+    cfg.clockMode = options_.clockMode;
+    auto sampler = std::make_shared<StaticUniformSampler>(id, options_.nodeCount,
+                                                          masterRng_.split());
+    node->process = std::make_unique<Process>(
+        id, cfg, std::move(sampler),
+        [this, id](const Event& event, DeliveryTag tag) {
+          const std::scoped_lock lock(trackerMutex_);
+          tracker_.onDeliver(id, event.id, ticksNow(), tag);
+        },
+        [this]() { return ticksNow(); });
+    nodes_.push_back(std::move(node));
+  }
+}
+
+RuntimeCluster::~RuntimeCluster() { stop(); }
+
+Timestamp RuntimeCluster::ticksNow() const {
+  return static_cast<Timestamp>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - epoch_).count());
+}
+
+void RuntimeCluster::start() {
+  EPTO_ENSURE_MSG(!running_.exchange(true), "cluster already started");
+  stopRequested_ = false;
+  for (auto& node : nodes_) {
+    node->thread = std::thread([this, raw = node.get()] { nodeLoop(*raw); });
+  }
+}
+
+void RuntimeCluster::broadcast(std::size_t index, PayloadPtr payload) {
+  EPTO_ENSURE_MSG(index < nodes_.size(), "node index out of range");
+  NodeState& node = *nodes_[index];
+  {
+    const std::scoped_lock lock(node.broadcastMutex);
+    node.pendingBroadcasts.push_back(std::move(payload));
+  }
+  requestedBroadcasts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RuntimeCluster::nodeLoop(NodeState& node) {
+  util::Rng rng(util::mix64(options_.seed) ^ node.id);
+  const auto jitteredPeriod = [&]() {
+    const double factor = 1.0 + options_.roundJitter * (2.0 * rng.uniform01() - 1.0);
+    return std::chrono::microseconds(static_cast<std::int64_t>(
+        std::max(1.0, static_cast<double>(options_.roundPeriod.count()) * factor)));
+  };
+
+  Mailbox& mailbox = transport_.mailboxOf(node.id);
+  auto nextRound = Clock::now() + jitteredPeriod();
+
+  while (!stopRequested_.load(std::memory_order_relaxed)) {
+    mailbox.waitReadyOrDeadline(nextRound);
+
+    for (Envelope& envelope : mailbox.drainReady(Clock::now())) {
+      if (const BallPtr ball = transport_.openEnvelope(envelope); ball != nullptr) {
+        node.process->onBall(*ball);
+      }
+    }
+
+    if (Clock::now() < nextRound) continue;
+
+    // Inject application broadcasts at the round boundary.
+    std::vector<PayloadPtr> pending;
+    {
+      const std::scoped_lock lock(node.broadcastMutex);
+      pending.swap(node.pendingBroadcasts);
+    }
+    for (PayloadPtr& payload : pending) {
+      const Event event = node.process->broadcast(std::move(payload));
+      const std::scoped_lock lock(trackerMutex_);
+      tracker_.onBroadcast(node.id, event.id, event.orderKey(), ticksNow());
+      expectedDeliveries_ += nodes_.size();
+    }
+
+    const auto out = node.process->onRound();
+    if (out.ball != nullptr) {
+      for (const ProcessId target : out.targets) {
+        transport_.send(node.id, target, out.ball);
+      }
+    }
+    nextRound += jitteredPeriod();
+  }
+}
+
+bool RuntimeCluster::awaitQuiescence(std::chrono::milliseconds timeout) {
+  const auto deadline = Clock::now() + timeout;
+  for (;;) {
+    {
+      const std::scoped_lock lock(trackerMutex_);
+      const bool allInjected =
+          tracker_.broadcastCount() >= requestedBroadcasts_.load(std::memory_order_relaxed);
+      if (allInjected && tracker_.deliveryCount() >= expectedDeliveries_) return true;
+    }
+    if (Clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+void RuntimeCluster::stop() {
+  if (!running_.exchange(false)) return;
+  stopRequested_ = true;
+  for (auto& node : nodes_) transport_.mailboxOf(node->id).interrupt();
+  for (auto& node : nodes_) {
+    if (node->thread.joinable()) node->thread.join();
+  }
+}
+
+metrics::TrackerReport RuntimeCluster::report() const {
+  std::unordered_map<ProcessId, metrics::ProcessLifetime> lifetimes;
+  for (const auto& node : nodes_) {
+    lifetimes[node->id] = metrics::ProcessLifetime{0, std::nullopt};
+  }
+  const std::scoped_lock lock(trackerMutex_);
+  return tracker_.finalize(lifetimes, ticksNow());
+}
+
+std::uint64_t RuntimeCluster::broadcastCount() const {
+  const std::scoped_lock lock(trackerMutex_);
+  return tracker_.broadcastCount();
+}
+
+}  // namespace epto::runtime

@@ -1,0 +1,120 @@
+// RuntimeCluster — a real multi-threaded EpTO deployment in one address
+// space (the §8.5 "real system implementation" the paper leaves as future
+// work).
+//
+// Each node runs on its own thread: it blocks on its mailbox until the
+// next (steady-clock) round boundary, feeds arriving balls to its
+// sans-io epto::Process, injects application broadcasts, executes the
+// round and ships the resulting ball through the loss/delay-injecting
+// InMemoryTransport. Nothing is synchronized across nodes — rounds drift
+// and interleave like real processes — which exercises exactly the
+// asynchrony the discrete simulator serializes away.
+//
+// The protocol core itself is only ever touched from its owning node
+// thread; cross-thread interaction happens through the mailbox, the
+// broadcast queue and the mutex-guarded tracker.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/process.h"
+#include "metrics/delivery_tracker.h"
+#include "runtime/transport.h"
+#include "util/rng.h"
+
+namespace epto::runtime {
+
+struct RuntimeOptions {
+  std::size_t nodeCount = 8;
+  /// Round period delta; jittered per round by +- roundJitter.
+  std::chrono::microseconds roundPeriod{3000};
+  double roundJitter = 0.05;
+  ClockMode clockMode = ClockMode::Logical;
+  double c = 2.0;
+  std::optional<std::size_t> fanoutOverride;
+  std::optional<std::uint32_t> ttlOverride;
+  /// Transport adversity.
+  double lossRate = 0.0;
+  std::chrono::microseconds minDelay{0};
+  std::chrono::microseconds maxDelay{0};
+  /// Ship balls as wire-codec frames (serialize/deserialize end-to-end)
+  /// instead of shared pointers; see codec/ball_codec.h.
+  bool serializeFrames = false;
+  /// With serializeFrames: per-frame probability of a flipped bit in
+  /// flight; corrupted frames must be detected and dropped by CRC.
+  double corruptionRate = 0.0;
+  std::uint64_t seed = 42;
+};
+
+class RuntimeCluster {
+ public:
+  explicit RuntimeCluster(RuntimeOptions options);
+  ~RuntimeCluster();
+
+  RuntimeCluster(const RuntimeCluster&) = delete;
+  RuntimeCluster& operator=(const RuntimeCluster&) = delete;
+
+  /// Launch all node threads.
+  void start();
+
+  /// Ask node `index` to broadcast; the event is created on the node's
+  /// thread before its next round. Callable from any thread.
+  void broadcast(std::size_t index, PayloadPtr payload = {});
+
+  /// Signal and join all node threads. Idempotent.
+  void stop();
+
+  /// Block until every broadcast so far has been delivered everywhere or
+  /// `timeout` elapsed. Returns true when fully drained.
+  bool awaitQuiescence(std::chrono::milliseconds timeout);
+
+  /// Judge the run so far (normally called after stop()).
+  [[nodiscard]] metrics::TrackerReport report() const;
+
+  [[nodiscard]] std::size_t fanoutUsed() const noexcept { return fanout_; }
+  [[nodiscard]] std::uint32_t ttlUsed() const noexcept { return ttl_; }
+  [[nodiscard]] InMemoryTransport::Stats transportStats() const {
+    return transport_.stats();
+  }
+  [[nodiscard]] std::uint64_t broadcastCount() const;
+
+ private:
+  struct NodeState {
+    ProcessId id = 0;
+    std::unique_ptr<Process> process;
+    std::thread thread;
+    std::mutex broadcastMutex;
+    std::vector<PayloadPtr> pendingBroadcasts;
+  };
+
+  void nodeLoop(NodeState& node);
+  [[nodiscard]] Timestamp ticksNow() const;
+
+  RuntimeOptions options_;
+  std::size_t fanout_ = 0;
+  std::uint32_t ttl_ = 0;
+  Clock::time_point epoch_;
+
+  util::Rng masterRng_;
+  InMemoryTransport transport_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+
+  mutable std::mutex trackerMutex_;
+  metrics::DeliveryTracker tracker_;
+  std::uint64_t expectedDeliveries_ = 0;  // broadcasts * nodeCount, under trackerMutex_
+  /// broadcast() requests not yet injected by node threads; quiescence
+  /// requires the queue drained AND every event delivered everywhere.
+  std::atomic<std::uint64_t> requestedBroadcasts_{0};
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopRequested_{false};
+};
+
+}  // namespace epto::runtime

@@ -1,0 +1,134 @@
+#include "runtime/transport.h"
+
+#include "codec/ball_codec.h"
+#include "util/ensure.h"
+
+namespace epto::runtime {
+
+void Mailbox::push(Envelope envelope) {
+  {
+    const std::scoped_lock lock(mutex_);
+    queue_.push(std::move(envelope));
+  }
+  cv_.notify_one();
+}
+
+std::vector<Envelope> Mailbox::drainReady(Clock::time_point now) {
+  std::vector<Envelope> ready;
+  const std::scoped_lock lock(mutex_);
+  while (!queue_.empty() && queue_.top().deliverAt <= now) {
+    ready.push_back(queue_.top());
+    queue_.pop();
+  }
+  return ready;
+}
+
+void Mailbox::waitReadyOrDeadline(Clock::time_point deadline) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    const auto now = Clock::now();
+    if (now >= deadline) return;
+    if (!queue_.empty()) {
+      if (queue_.top().deliverAt <= now) return;
+      // Sleep until the earliest in-flight message lands (or the round
+      // boundary, whichever is first).
+      const auto wake = std::min(deadline, queue_.top().deliverAt);
+      cv_.wait_until(lock, wake);
+    } else {
+      cv_.wait_until(lock, deadline);
+    }
+    // Spurious wakeups and interrupt() both land here; the loop
+    // re-evaluates the condition and the deadline.
+    if (Clock::now() >= deadline) return;
+  }
+}
+
+void Mailbox::interrupt() { cv_.notify_all(); }
+
+InMemoryTransport::InMemoryTransport(Options options, util::Rng rng)
+    : options_(options), rng_(rng) {
+  EPTO_ENSURE_MSG(options_.lossRate >= 0.0 && options_.lossRate < 1.0,
+                  "loss rate must be in [0, 1)");
+  EPTO_ENSURE_MSG(options_.minDelay <= options_.maxDelay,
+                  "minDelay must not exceed maxDelay");
+}
+
+void InMemoryTransport::registerEndpoint(ProcessId id) {
+  const auto [it, inserted] = mailboxes_.emplace(id, std::make_unique<Mailbox>());
+  EPTO_ENSURE_MSG(inserted, "endpoint registered twice");
+}
+
+Mailbox& InMemoryTransport::mailboxOf(ProcessId id) {
+  const auto it = mailboxes_.find(id);
+  EPTO_ENSURE_MSG(it != mailboxes_.end(), "unknown endpoint");
+  return *it->second;
+}
+
+void InMemoryTransport::send(ProcessId from, ProcessId to, BallPtr ball) {
+  bool dropped = false;
+  bool corrupt = false;
+  std::size_t corruptOffsetSeed = 0;
+  std::chrono::microseconds delay{0};
+  {
+    const std::scoped_lock lock(rngMutex_);
+    dropped = rng_.chance(options_.lossRate);
+    if (!dropped && options_.maxDelay > options_.minDelay) {
+      const auto span =
+          static_cast<std::uint64_t>((options_.maxDelay - options_.minDelay).count());
+      delay = options_.minDelay + std::chrono::microseconds(rng_.below(span + 1));
+    } else {
+      delay = options_.minDelay;
+    }
+    if (!dropped && options_.serializeFrames) {
+      corrupt = rng_.chance(options_.corruptionRate);
+      if (corrupt) corruptOffsetSeed = static_cast<std::size_t>(rng_());
+    }
+  }
+
+  Envelope envelope;
+  envelope.from = from;
+  envelope.deliverAt = Clock::now() + delay;
+  std::size_t bytes = 0;
+  if (!dropped) {
+    if (options_.serializeFrames) {
+      auto frame = codec::encodeBall(*ball);
+      if (corrupt && !frame.empty()) {
+        // Flip one bit of one byte — the classic in-flight mangling.
+        frame[corruptOffsetSeed % frame.size()] ^= std::byte{0x10};
+      }
+      bytes = frame.size();
+      envelope.frame =
+          std::make_shared<const std::vector<std::byte>>(std::move(frame));
+    } else {
+      envelope.ball = std::move(ball);
+    }
+  }
+
+  {
+    const std::scoped_lock lock(statsMutex_);
+    ++stats_.sent;
+    stats_.bytesSent += bytes;
+    if (dropped) ++stats_.dropped;
+  }
+  if (dropped) return;
+  mailboxOf(to).push(std::move(envelope));
+}
+
+BallPtr InMemoryTransport::openEnvelope(const Envelope& envelope) {
+  if (envelope.ball != nullptr) return envelope.ball;
+  EPTO_ENSURE_MSG(envelope.frame != nullptr, "envelope carries neither ball nor frame");
+  auto decoded = codec::decodeBall(*envelope.frame);
+  if (!decoded.ok()) {
+    const std::scoped_lock lock(statsMutex_);
+    ++stats_.framesRejected;
+    return nullptr;
+  }
+  return std::make_shared<const Ball>(std::move(decoded.ball));
+}
+
+InMemoryTransport::Stats InMemoryTransport::stats() const {
+  const std::scoped_lock lock(statsMutex_);
+  return stats_;
+}
+
+}  // namespace epto::runtime

@@ -1,0 +1,113 @@
+// In-memory transport for the threaded runtime (paper §8.5).
+//
+// The real-system counterpart of sim::SimNetwork: every node owns a
+// mailbox; send() applies an independent loss trial and a uniformly
+// random delivery delay, then enqueues the ball into the target's
+// mailbox. Node threads block on their mailbox with a deadline (the next
+// round boundary), which gives the runtime real asynchrony — messages
+// arrive whenever they arrive, rounds fire on the node's own steady
+// clock, and nothing is globally synchronized.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace epto::runtime {
+
+using Clock = std::chrono::steady_clock;
+
+struct Envelope {
+  ProcessId from = 0;
+  /// Exactly one of `ball` (in-memory mode) or `frame` (serialized mode)
+  /// is set; see InMemoryTransport::Options::serializeFrames.
+  BallPtr ball;
+  std::shared_ptr<const std::vector<std::byte>> frame;
+  Clock::time_point deliverAt;
+};
+
+/// One node's inbox. Thread-safe; a single consumer (the node thread)
+/// and many producers.
+class Mailbox {
+ public:
+  void push(Envelope envelope);
+
+  /// All envelopes whose delivery time has passed, in delivery order.
+  [[nodiscard]] std::vector<Envelope> drainReady(Clock::time_point now);
+
+  /// Block until an envelope is (or becomes) ready, or until `deadline`.
+  void waitReadyOrDeadline(Clock::time_point deadline);
+
+  /// Wake a blocked consumer (used on shutdown).
+  void interrupt();
+
+ private:
+  struct Later {
+    bool operator()(const Envelope& a, const Envelope& b) const {
+      return a.deliverAt > b.deliverAt;
+    }
+  };
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<Envelope, std::vector<Envelope>, Later> queue_;
+};
+
+/// Shared loss/delay-injecting fabric connecting the mailboxes.
+class InMemoryTransport {
+ public:
+  struct Options {
+    double lossRate = 0.0;
+    std::chrono::microseconds minDelay{0};
+    std::chrono::microseconds maxDelay{0};
+    /// Encode every ball through the wire codec (codec/ball_codec.h) and
+    /// ship bytes instead of a shared pointer — what a datagram transport
+    /// would do. Receivers decode via openEnvelope().
+    bool serializeFrames = false;
+    /// With serializeFrames: probability that one random byte of a frame
+    /// is flipped in flight. Receivers must detect and drop (CRC32C).
+    double corruptionRate = 0.0;
+  };
+
+  InMemoryTransport(Options options, util::Rng rng);
+
+  /// Create the mailbox for `id`. Must happen before anyone sends to it.
+  void registerEndpoint(ProcessId id);
+
+  /// Fire-and-forget transmission; callable from any thread.
+  void send(ProcessId from, ProcessId to, BallPtr ball);
+
+  [[nodiscard]] Mailbox& mailboxOf(ProcessId id);
+
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t bytesSent = 0;        ///< serialized mode only.
+    std::uint64_t framesRejected = 0;   ///< corrupted frames caught by decode.
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Extract the ball from an envelope: returns the shared ball directly
+  /// in in-memory mode, or decodes the frame in serialized mode. Returns
+  /// nullptr (and counts a rejection) when the frame fails validation —
+  /// a corrupted datagram behaves exactly like a lost one.
+  [[nodiscard]] BallPtr openEnvelope(const Envelope& envelope);
+
+ private:
+  Options options_;
+  mutable std::mutex rngMutex_;
+  util::Rng rng_;
+  std::unordered_map<ProcessId, std::unique_ptr<Mailbox>> mailboxes_;
+  mutable std::mutex statsMutex_;
+  Stats stats_;
+};
+
+}  // namespace epto::runtime

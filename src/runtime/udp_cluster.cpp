@@ -1,0 +1,178 @@
+#include "runtime/udp_cluster.h"
+
+#include <algorithm>
+
+#include "codec/ball_codec.h"
+#include "util/ensure.h"
+
+namespace epto::runtime {
+
+namespace {
+
+/// Uniform sampler over the static membership 0..count-1.
+class StaticSampler final : public PeerSampler {
+ public:
+  StaticSampler(ProcessId self, std::size_t count, util::Rng rng) : rng_(rng) {
+    others_.reserve(count - 1);
+    for (std::size_t id = 0; id < count; ++id) {
+      if (static_cast<ProcessId>(id) != self) others_.push_back(static_cast<ProcessId>(id));
+    }
+  }
+
+  std::vector<ProcessId> samplePeers(std::size_t k) override {
+    const std::size_t want = std::min(k, others_.size());
+    for (std::size_t i = 0; i < want; ++i) {
+      const std::size_t j = i + rng_.below(others_.size() - i);
+      std::swap(others_[i], others_[j]);
+    }
+    return {others_.begin(), others_.begin() + static_cast<std::ptrdiff_t>(want)};
+  }
+
+ private:
+  util::Rng rng_;
+  std::vector<ProcessId> others_;
+};
+
+}  // namespace
+
+UdpCluster::UdpCluster(UdpClusterOptions options)
+    : options_(options),
+      epoch_(std::chrono::steady_clock::now()),
+      masterRng_(options.seed) {
+  EPTO_ENSURE_MSG(options_.nodeCount >= 2, "need at least two nodes");
+  EPTO_ENSURE_MSG(options_.roundPeriod.count() > 0, "round period must be positive");
+
+  const Config derived = Config::forSystemSize(options_.nodeCount, options_.clockMode,
+                                               Robustness{.c = options_.c});
+  fanout_ = options_.fanoutOverride.value_or(derived.fanout);
+  ttl_ = options_.ttlOverride.value_or(derived.ttl);
+
+  nodes_.reserve(options_.nodeCount);
+  ports_.reserve(options_.nodeCount);
+  for (std::size_t i = 0; i < options_.nodeCount; ++i) {
+    const auto id = static_cast<ProcessId>(i);
+    auto node = std::make_unique<NodeState>();  // socket binds here
+    node->id = id;
+    ports_.push_back(node->socket.port());
+
+    Config cfg;
+    cfg.fanout = fanout_;
+    cfg.ttl = ttl_;
+    cfg.clockMode = options_.clockMode;
+    node->process = std::make_unique<Process>(
+        id, cfg, std::make_shared<StaticSampler>(id, options_.nodeCount, masterRng_.split()),
+        [this, id](const Event& event, DeliveryTag tag) {
+          const std::scoped_lock lock(trackerMutex_);
+          tracker_.onDeliver(id, event.id, ticksNow(), tag);
+        },
+        [this]() { return ticksNow(); });
+    nodes_.push_back(std::move(node));
+  }
+}
+
+UdpCluster::~UdpCluster() { stop(); }
+
+Timestamp UdpCluster::ticksNow() const {
+  return static_cast<Timestamp>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                    std::chrono::steady_clock::now() - epoch_)
+                                    .count());
+}
+
+void UdpCluster::start() {
+  EPTO_ENSURE_MSG(!running_.exchange(true), "cluster already started");
+  stopRequested_ = false;
+  for (auto& node : nodes_) {
+    node->thread = std::thread([this, raw = node.get()] { nodeLoop(*raw); });
+  }
+}
+
+void UdpCluster::broadcast(std::size_t index, PayloadPtr payload) {
+  EPTO_ENSURE_MSG(index < nodes_.size(), "node index out of range");
+  {
+    const std::scoped_lock lock(nodes_[index]->broadcastMutex);
+    nodes_[index]->pendingBroadcasts.push_back(std::move(payload));
+  }
+  requestedBroadcasts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void UdpCluster::nodeLoop(NodeState& node) {
+  using Clock = std::chrono::steady_clock;
+  util::Rng rng(util::mix64(options_.seed ^ 0xDA7A6A4Dull) ^ node.id);
+  const auto jitteredPeriod = [&]() {
+    const double factor = 1.0 + options_.roundJitter * (2.0 * rng.uniform01() - 1.0);
+    return std::chrono::microseconds(static_cast<std::int64_t>(
+        std::max(1.0, static_cast<double>(options_.roundPeriod.count()) * factor)));
+  };
+
+  auto nextRound = Clock::now() + jitteredPeriod();
+  while (!stopRequested_.load(std::memory_order_relaxed)) {
+    // Receive until the round boundary; poll() granularity is 1ms, so
+    // short remainders degrade to a non-blocking check.
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        nextRound - Clock::now());
+    const int timeout = static_cast<int>(std::clamp<long>(remaining.count(), 0, 50));
+    if (auto datagram = node.socket.receive(timeout); datagram.has_value()) {
+      auto decoded = codec::decodeBall(*datagram);
+      if (decoded.ok()) {
+        node.process->onBall(decoded.ball);
+      } else {
+        framesRejected_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (Clock::now() < nextRound) continue;
+
+    std::vector<PayloadPtr> pending;
+    {
+      const std::scoped_lock lock(node.broadcastMutex);
+      pending.swap(node.pendingBroadcasts);
+    }
+    for (PayloadPtr& payload : pending) {
+      const Event event = node.process->broadcast(std::move(payload));
+      const std::scoped_lock lock(trackerMutex_);
+      tracker_.onBroadcast(node.id, event.id, event.orderKey(), ticksNow());
+      expectedDeliveries_ += nodes_.size();
+    }
+
+    const auto out = node.process->onRound();
+    if (out.ball != nullptr) {
+      const auto frame = codec::encodeBall(*out.ball);
+      for (const ProcessId target : out.targets) {
+        (void)node.socket.sendTo(ports_[target], frame);  // drop = loss
+      }
+    }
+    nextRound += jitteredPeriod();
+  }
+}
+
+bool UdpCluster::awaitQuiescence(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    {
+      const std::scoped_lock lock(trackerMutex_);
+      const bool allInjected =
+          tracker_.broadcastCount() >= requestedBroadcasts_.load(std::memory_order_relaxed);
+      if (allInjected && tracker_.deliveryCount() >= expectedDeliveries_) return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+void UdpCluster::stop() {
+  if (!running_.exchange(false)) return;
+  stopRequested_ = true;
+  for (auto& node : nodes_) {
+    if (node->thread.joinable()) node->thread.join();
+  }
+}
+
+metrics::TrackerReport UdpCluster::report() const {
+  std::unordered_map<ProcessId, metrics::ProcessLifetime> lifetimes;
+  for (const auto& node : nodes_) {
+    lifetimes[node->id] = metrics::ProcessLifetime{0, std::nullopt};
+  }
+  const std::scoped_lock lock(trackerMutex_);
+  return tracker_.finalize(lifetimes, ticksNow());
+}
+
+}  // namespace epto::runtime

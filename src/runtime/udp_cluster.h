@@ -1,0 +1,101 @@
+// UdpCluster — EpTO over real UDP sockets on loopback (paper §8.5).
+//
+// The strongest "real system" configuration in this repository: every
+// node owns a UDP socket and a thread; balls are serialized through the
+// wire codec into datagrams; nothing but the OS network stack sits
+// between processes. The node loop is single-threaded per node (receive
+// with a deadline, then run the round), so the sans-io core again needs
+// no locks.
+//
+// Membership is a static port table exchanged at startup — a real
+// deployment would gossip addresses through the PSS; the protocol logic
+// is identical.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/process.h"
+#include "metrics/delivery_tracker.h"
+#include "runtime/udp_transport.h"
+#include "util/rng.h"
+
+namespace epto::runtime {
+
+struct UdpClusterOptions {
+  std::size_t nodeCount = 6;
+  std::chrono::microseconds roundPeriod{4000};
+  double roundJitter = 0.05;
+  ClockMode clockMode = ClockMode::Logical;
+  double c = 2.0;
+  std::optional<std::size_t> fanoutOverride;
+  std::optional<std::uint32_t> ttlOverride;
+  std::uint64_t seed = 42;
+};
+
+class UdpCluster {
+ public:
+  explicit UdpCluster(UdpClusterOptions options);
+  ~UdpCluster();
+
+  UdpCluster(const UdpCluster&) = delete;
+  UdpCluster& operator=(const UdpCluster&) = delete;
+
+  void start();
+
+  /// Ask node `index` to broadcast before its next round (thread-safe).
+  void broadcast(std::size_t index, PayloadPtr payload = {});
+
+  /// Block until all requested broadcasts delivered everywhere, or timeout.
+  bool awaitQuiescence(std::chrono::milliseconds timeout);
+
+  /// Signal and join all node threads. Idempotent.
+  void stop();
+
+  [[nodiscard]] metrics::TrackerReport report() const;
+  [[nodiscard]] std::size_t fanoutUsed() const noexcept { return fanout_; }
+  [[nodiscard]] std::uint32_t ttlUsed() const noexcept { return ttl_; }
+  /// Datagrams that arrived but failed frame validation.
+  [[nodiscard]] std::uint64_t framesRejected() const noexcept {
+    return framesRejected_.load();
+  }
+
+ private:
+  struct NodeState {
+    ProcessId id = 0;
+    UdpSocket socket;
+    std::unique_ptr<Process> process;
+    std::thread thread;
+    std::mutex broadcastMutex;
+    std::vector<PayloadPtr> pendingBroadcasts;
+  };
+
+  void nodeLoop(NodeState& node);
+  [[nodiscard]] Timestamp ticksNow() const;
+
+  UdpClusterOptions options_;
+  std::size_t fanout_ = 0;
+  std::uint32_t ttl_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+
+  util::Rng masterRng_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+  std::vector<std::uint16_t> ports_;  // ProcessId -> UDP port
+
+  mutable std::mutex trackerMutex_;
+  metrics::DeliveryTracker tracker_;
+  std::uint64_t expectedDeliveries_ = 0;
+  std::atomic<std::uint64_t> requestedBroadcasts_{0};
+  std::atomic<std::uint64_t> framesRejected_{0};
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopRequested_{false};
+};
+
+}  // namespace epto::runtime

@@ -1,0 +1,79 @@
+#include "runtime/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "codec/ball_codec.h"
+#include "util/ensure.h"
+
+namespace epto::runtime {
+
+UdpSocket::UdpSocket() {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  EPTO_ENSURE_MSG(fd_ >= 0, "socket() failed");
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = 0;  // OS-assigned
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    EPTO_ENSURE_MSG(false, "bind() failed");
+  }
+
+  sockaddr_in bound{};
+  socklen_t length = sizeof bound;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &length) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    EPTO_ENSURE_MSG(false, "getsockname() failed");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+UdpSocket::~UdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+bool UdpSocket::sendTo(std::uint16_t port, const std::vector<std::byte>& frame) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  const auto sent =
+      ::sendto(fd_, frame.data(), frame.size(), 0,
+               reinterpret_cast<const sockaddr*>(&address), sizeof address);
+  return sent == static_cast<ssize_t>(frame.size());
+}
+
+std::optional<std::vector<std::byte>> UdpSocket::receive(int timeoutMillis) {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int ready = ::poll(&pfd, 1, timeoutMillis);
+  if (ready <= 0 || (pfd.revents & POLLIN) == 0) return std::nullopt;
+
+  std::array<std::byte, 65536> buffer;
+  const auto received = ::recvfrom(fd_, buffer.data(), buffer.size(), 0, nullptr, nullptr);
+  if (received < 0) return std::nullopt;
+  return std::vector<std::byte>(buffer.begin(), buffer.begin() + received);
+}
+
+bool sendBall(UdpSocket& socket, std::uint16_t port, const Ball& ball) {
+  return socket.sendTo(port, codec::encodeBall(ball));
+}
+
+}  // namespace epto::runtime

@@ -1,0 +1,55 @@
+// UDP datagram transport — EpTO over real sockets (paper §8.5).
+//
+// Each node owns one UDP socket bound to 127.0.0.1; balls travel as
+// wire-codec frames (codec/ball_codec.h), one frame per datagram. UDP's
+// semantics are exactly EpTO's assumptions: unordered, unreliable,
+// unacknowledged — the protocol needs nothing more. Frames that fail
+// validation (truncated datagrams, corruption) are counted and dropped,
+// indistinguishable from loss, which the dissemination redundancy
+// absorbs.
+//
+// UdpSocket is a small RAII wrapper; UdpCluster (udp_cluster.h) builds a
+// full multi-process-style deployment on top of it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/types.h"
+
+namespace epto::runtime {
+
+/// RAII UDP/IPv4 socket bound to 127.0.0.1 on an OS-assigned port.
+class UdpSocket {
+ public:
+  /// Binds immediately; throws util::ContractViolation on OS failure.
+  UdpSocket();
+  ~UdpSocket();
+
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&&) = delete;
+
+  /// The locally bound port (the node's address).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Fire-and-forget datagram to 127.0.0.1:`port`. Returns false when
+  /// the OS refused the send (treated as loss by callers).
+  bool sendTo(std::uint16_t port, const std::vector<std::byte>& frame);
+
+  /// Blocking receive with a timeout. Returns the datagram payload, or
+  /// nullopt on timeout. Datagrams larger than 64 KiB are truncated by
+  /// UDP itself and will fail frame validation downstream.
+  [[nodiscard]] std::optional<std::vector<std::byte>> receive(int timeoutMillis);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Encode and transmit one ball as a single datagram.
+bool sendBall(UdpSocket& socket, std::uint16_t port, const Ball& ball);
+
+}  // namespace epto::runtime

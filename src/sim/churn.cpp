@@ -1,0 +1,49 @@
+#include "sim/churn.h"
+
+#include <cmath>
+
+#include "util/ensure.h"
+
+namespace epto::sim {
+
+ChurnDriver::ChurnDriver(Simulator& simulator, MembershipDirectory& membership,
+                         Options options, std::function<void(ProcessId)> kill,
+                         std::function<void(std::size_t)> spawn, util::Rng rng)
+    : simulator_(simulator),
+      membership_(membership),
+      options_(options),
+      kill_(std::move(kill)),
+      spawn_(std::move(spawn)),
+      rng_(rng) {
+  EPTO_ENSURE_MSG(options_.ratePerPulse >= 0.0 && options_.ratePerPulse < 1.0,
+                  "churn rate must be in [0, 1)");
+  EPTO_ENSURE_MSG(options_.period > 0, "churn period must be positive");
+  EPTO_ENSURE_MSG(kill_ != nullptr && spawn_ != nullptr, "churn driver needs callbacks");
+}
+
+void ChurnDriver::start() {
+  if (options_.ratePerPulse <= 0.0) return;
+  simulator_.schedule(options_.period, [this] { pulse(); });
+}
+
+void ChurnDriver::pulse() {
+  if (options_.stopAfter != 0 && simulator_.now() >= options_.stopAfter) return;
+  ++stats_.pulses;
+
+  const auto victims = static_cast<std::size_t>(
+      std::llround(options_.ratePerPulse * static_cast<double>(membership_.size())));
+  // Remove first, then add the same count — the system size stays
+  // constant across a pulse, as in the paper's model.
+  for (std::size_t i = 0; i < victims && membership_.size() > 1; ++i) {
+    const ProcessId victim =
+        membership_.aliveIds()[rng_.below(membership_.size())];
+    ++stats_.removed;
+    kill_(victim);
+  }
+  stats_.added += victims;
+  spawn_(victims);
+
+  simulator_.schedule(options_.period, [this] { pulse(); });
+}
+
+}  // namespace epto::sim

@@ -1,0 +1,56 @@
+// Churn driver — paper §5.4 / §6.
+//
+// "We subject the system to a given churn rate by removing churnRate
+// percent nodes uniformly at random and adding churnRate percent nodes
+// every delta simulator ticks." The driver owns the schedule; the actual
+// creation/destruction of processes is delegated to the cluster through
+// callbacks, so the driver is reusable by any experiment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/membership.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace epto::sim {
+
+struct ChurnStats {
+  std::uint64_t removed = 0;
+  std::uint64_t added = 0;
+  std::uint64_t pulses = 0;
+};
+
+class ChurnDriver {
+ public:
+  struct Options {
+    double ratePerPulse = 0.0;  ///< fraction of the system replaced per pulse.
+    Timestamp period = 0;       ///< ticks between pulses (the paper uses delta).
+    Timestamp stopAfter = 0;    ///< no pulses at or after this tick (0 = forever).
+  };
+
+  /// `kill(id)` must tear one process down; `spawn(count)` must create
+  /// `count` fresh processes (and register them in the directory).
+  ChurnDriver(Simulator& simulator, MembershipDirectory& membership, Options options,
+              std::function<void(ProcessId)> kill, std::function<void(std::size_t)> spawn,
+              util::Rng rng);
+
+  /// Schedule the first pulse `period` ticks from now.
+  void start();
+
+  [[nodiscard]] const ChurnStats& stats() const noexcept { return stats_; }
+
+ private:
+  void pulse();
+
+  Simulator& simulator_;
+  MembershipDirectory& membership_;
+  Options options_;
+  std::function<void(ProcessId)> kill_;
+  std::function<void(std::size_t)> spawn_;
+  util::Rng rng_;
+  ChurnStats stats_;
+};
+
+}  // namespace epto::sim

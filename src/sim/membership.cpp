@@ -1,0 +1,67 @@
+#include "sim/membership.h"
+
+#include <algorithm>
+
+#include "util/ensure.h"
+
+namespace epto::sim {
+
+void MembershipDirectory::add(ProcessId id) {
+  const auto [it, inserted] = index_.emplace(id, alive_.size());
+  EPTO_ENSURE_MSG(inserted, "process already in the membership directory");
+  alive_.push_back(id);
+}
+
+void MembershipDirectory::remove(ProcessId id) {
+  const auto it = index_.find(id);
+  EPTO_ENSURE_MSG(it != index_.end(), "removing a process that is not alive");
+  const std::size_t pos = it->second;
+  const ProcessId last = alive_.back();
+  alive_[pos] = last;
+  index_[last] = pos;
+  alive_.pop_back();
+  index_.erase(it);
+}
+
+ProcessId MembershipDirectory::sampleOther(ProcessId self, util::Rng& rng) const {
+  EPTO_ENSURE_MSG(alive_.size() >= 2 || (alive_.size() == 1 && alive_[0] != self),
+                  "no other process to sample");
+  for (;;) {
+    const ProcessId candidate = alive_[rng.below(alive_.size())];
+    if (candidate != self) return candidate;
+  }
+}
+
+std::vector<ProcessId> MembershipDirectory::sampleOthers(ProcessId self, std::size_t k,
+                                                         util::Rng& rng) const {
+  std::vector<ProcessId> out;
+  const std::size_t others = alive_.size() - (isAlive(self) ? 1 : 0);
+  if (others == 0 || k == 0) return out;
+
+  if (k >= others) {
+    // Everyone else.
+    out.reserve(others);
+    for (const ProcessId id : alive_) {
+      if (id != self) out.push_back(id);
+    }
+    return out;
+  }
+
+  // Floyd's algorithm over positions keeps the draw uniform without
+  // copying the alive vector; remap positions to skip `self`.
+  std::vector<std::size_t> positions(alive_.size());
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < alive_.size(); ++i) {
+    if (alive_[i] != self) positions[m++] = i;
+  }
+  // Partial Fisher-Yates over the first k slots of `positions[0..m)`.
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + rng.below(m - i);
+    std::swap(positions[i], positions[j]);
+    out.push_back(alive_[positions[i]]);
+  }
+  return out;
+}
+
+}  // namespace epto::sim

@@ -1,0 +1,45 @@
+// Membership directory for simulated clusters.
+//
+// Tracks the set of currently-alive process ids with O(1) add/remove and
+// O(1) uniform sampling (swap-with-last vector plus an index map). The
+// uniform-oracle peer sampler (pss/uniform_sampler.h) reads it directly —
+// this is the paper's idealized PSS assumption (§2) — while Cyclon (Fig. 9)
+// only consults it at bootstrap.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace epto::sim {
+
+class MembershipDirectory {
+ public:
+  /// Register a live process. Pre: not already present.
+  void add(ProcessId id);
+
+  /// Remove a process (crash or departure). Pre: present.
+  void remove(ProcessId id);
+
+  [[nodiscard]] bool isAlive(ProcessId id) const { return index_.contains(id); }
+  [[nodiscard]] std::size_t size() const noexcept { return alive_.size(); }
+  [[nodiscard]] const std::vector<ProcessId>& aliveIds() const noexcept { return alive_; }
+
+  /// One alive process chosen uniformly at random, excluding `self`.
+  /// Pre: at least one other process is alive.
+  [[nodiscard]] ProcessId sampleOther(ProcessId self, util::Rng& rng) const;
+
+  /// Up to `k` *distinct* alive processes, uniform, excluding `self`.
+  /// Returns fewer when the system is small.
+  [[nodiscard]] std::vector<ProcessId> sampleOthers(ProcessId self, std::size_t k,
+                                                    util::Rng& rng) const;
+
+ private:
+  std::vector<ProcessId> alive_;
+  std::unordered_map<ProcessId, std::size_t> index_;
+};
+
+}  // namespace epto::sim

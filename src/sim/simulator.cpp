@@ -1,0 +1,34 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace epto::sim {
+
+void Simulator::scheduleAt(Timestamp when, Action action) {
+  EPTO_ENSURE_MSG(action != nullptr, "cannot schedule a null action");
+  EPTO_ENSURE_MSG(when >= now_, "cannot schedule into the past");
+  queue_.push(Entry{when, nextSequence_++, std::move(action)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the action must be moved out, so pop
+  // via a const_cast-free copy of the small fields and a move of the
+  // closure through a temporary.
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = entry.when;
+  ++executed_;
+  entry.action();
+  return true;
+}
+
+void Simulator::runUntil(Timestamp end) {
+  EPTO_ENSURE_MSG(end >= now_, "cannot run backwards");
+  while (!queue_.empty() && queue_.top().when <= end) {
+    step();
+  }
+  now_ = end;
+}
+
+}  // namespace epto::sim

@@ -1,0 +1,107 @@
+#include "util/empirical_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/ensure.h"
+
+namespace epto::util {
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<Knot> knots)
+    : knots_(std::move(knots)) {
+  EPTO_ENSURE_MSG(knots_.size() >= 2, "a distribution needs at least two knots");
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    EPTO_ENSURE_MSG(knots_[i].value > knots_[i - 1].value, "knot values must strictly increase");
+    EPTO_ENSURE_MSG(knots_[i].cumulativeProbability >= knots_[i - 1].cumulativeProbability,
+                    "knot probabilities must be non-decreasing");
+  }
+  EPTO_ENSURE_MSG(knots_.front().cumulativeProbability >= 0.0, "CDF must start at >= 0");
+  EPTO_ENSURE_MSG(std::abs(knots_.back().cumulativeProbability - 1.0) < 1e-12,
+                  "CDF must end at 1.0");
+}
+
+double EmpiricalDistribution::quantile(double p) const {
+  EPTO_ENSURE_MSG(p >= 0.0 && p <= 1.0, "quantile argument must be in [0,1]");
+  if (p <= knots_.front().cumulativeProbability) return knots_.front().value;
+  if (p >= 1.0) return knots_.back().value;
+  const auto it = std::lower_bound(
+      knots_.begin(), knots_.end(), p,
+      [](const Knot& k, double prob) { return k.cumulativeProbability < prob; });
+  const Knot& hi = *it;
+  const Knot& lo = *(it - 1);
+  const double span = hi.cumulativeProbability - lo.cumulativeProbability;
+  if (span <= 0.0) return lo.value;  // vertical CDF step: atom at lo.value
+  const double t = (p - lo.cumulativeProbability) / span;
+  return lo.value + t * (hi.value - lo.value);
+}
+
+double EmpiricalDistribution::cdf(double v) const {
+  if (v <= knots_.front().value) return v < knots_.front().value ? 0.0 : knots_.front().cumulativeProbability;
+  if (v >= knots_.back().value) return 1.0;
+  const auto it = std::lower_bound(knots_.begin(), knots_.end(), v,
+                                   [](const Knot& k, double value) { return k.value < value; });
+  const Knot& hi = *it;
+  const Knot& lo = *(it - 1);
+  const double t = (v - lo.value) / (hi.value - lo.value);
+  return lo.cumulativeProbability + t * (hi.cumulativeProbability - lo.cumulativeProbability);
+}
+
+std::uint64_t EmpiricalDistribution::sampleTicks(Rng& rng) const {
+  const double v = sample(rng);
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(v));
+}
+
+double EmpiricalDistribution::rawMoment(int order) const {
+  EPTO_ENSURE_MSG(order == 1 || order == 2, "only the first two moments are supported");
+  // Integrate v^order over the piecewise density. Each CDF segment
+  // [lo, hi] carries mass (hi.p - lo.p) uniformly over [lo.v, hi.v].
+  // The closed forms below — (lo+hi)/2 and (lo^2 + lo*hi + hi^2)/3 — are
+  // numerically stable even for epsilon-wide segments (atoms), unlike the
+  // generic (hi^{k+1} - lo^{k+1}) / ((k+1)(hi - lo)) quotient.
+  double total = knots_.front().cumulativeProbability *
+                 std::pow(knots_.front().value, order);  // atom at the left edge
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    const Knot& lo = knots_[i - 1];
+    const Knot& hi = knots_[i];
+    const double mass = hi.cumulativeProbability - lo.cumulativeProbability;
+    if (mass <= 0.0) continue;
+    const double segmentMoment =
+        order == 1 ? 0.5 * (lo.value + hi.value)
+                   : (lo.value * lo.value + lo.value * hi.value + hi.value * hi.value) / 3.0;
+    total += mass * segmentMoment;
+  }
+  return total;
+}
+
+double EmpiricalDistribution::mean() const { return rawMoment(1); }
+
+double EmpiricalDistribution::stddev() const {
+  const double m = mean();
+  const double variance = rawMoment(2) - m * m;
+  return variance <= 0.0 ? 0.0 : std::sqrt(variance);
+}
+
+const EmpiricalDistribution& planetLabLatency() {
+  // Knots fitted to the paper's published statistics for the 226-node
+  // PlanetLab sample (Fig. 5): mean ~157, sigma ~119, p5 = 15, p50 = 125,
+  // p95 = 366, with a heavy tail out to ~6x the round duration delta = 125.
+  static const EmpiricalDistribution dist{{
+      {5.0, 0.0},    {15.0, 0.05},  {60.0, 0.20},   {100.0, 0.35},
+      {125.0, 0.50}, {170.0, 0.65}, {225.0, 0.80},  {300.0, 0.90},
+      {366.0, 0.95}, {450.0, 0.98}, {560.0, 0.995}, {800.0, 1.0},
+  }};
+  return dist;
+}
+
+EmpiricalDistribution constantDistribution(double value) {
+  // Represent an atom at `value` with an epsilon-wide segment.
+  const double eps = std::max(1e-9, std::abs(value) * 1e-12);
+  return EmpiricalDistribution{{{value - eps, 0.0}, {value + eps, 1.0}}};
+}
+
+EmpiricalDistribution uniformDistribution(double lo, double hi) {
+  EPTO_ENSURE_MSG(lo < hi, "uniformDistribution requires lo < hi");
+  return EmpiricalDistribution{{{lo, 0.0}, {hi, 1.0}}};
+}
+
+}  // namespace epto::util

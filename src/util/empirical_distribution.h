@@ -1,0 +1,78 @@
+// Empirical (piecewise-linear) distributions sampled by inverse transform.
+//
+// The EpTO evaluation (paper §6, Fig. 5) draws end-to-end latencies from a
+// sample measured on 226 geographically dispersed PlanetLab nodes. That raw
+// sample is not published, so this module provides:
+//   * EmpiricalDistribution — a general piecewise-linear CDF defined by
+//     (value, cumulative-probability) knots, sampled via inverse transform;
+//   * planetLabLatency()   — a synthetic instance whose knots were fitted to
+//     the statistics the paper does publish (mean ≈ 157, σ ≈ 119, p5 = 15,
+//     p50 = 125, p95 = 366 simulator ticks, worst case ≈ 6× the δ = 125
+//     round duration).
+// See DESIGN.md §4 for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace epto::util {
+
+/// A continuous distribution described by a piecewise-linear CDF.
+///
+/// Knots must have strictly increasing values and non-decreasing cumulative
+/// probabilities; the first knot's probability is treated as the CDF at the
+/// left edge and the final knot must have cumulative probability 1.0.
+class EmpiricalDistribution {
+ public:
+  struct Knot {
+    double value = 0.0;
+    double cumulativeProbability = 0.0;
+  };
+
+  EmpiricalDistribution(std::initializer_list<Knot> knots)
+      : EmpiricalDistribution(std::vector<Knot>(knots)) {}
+  explicit EmpiricalDistribution(std::vector<Knot> knots);
+
+  /// Inverse-transform sample: quantile(u) for u ~ U[0,1).
+  [[nodiscard]] double sample(Rng& rng) const { return quantile(rng.uniform01()); }
+
+  /// Sample rounded to a non-negative integer tick.
+  [[nodiscard]] std::uint64_t sampleTicks(Rng& rng) const;
+
+  /// The value below which a fraction p of the mass lies (0 <= p <= 1).
+  [[nodiscard]] double quantile(double p) const;
+
+  /// CDF evaluated at v (linear interpolation between knots).
+  [[nodiscard]] double cdf(double v) const;
+
+  /// Analytic mean of the piecewise-linear distribution.
+  [[nodiscard]] double mean() const;
+
+  /// Analytic standard deviation of the piecewise-linear distribution.
+  [[nodiscard]] double stddev() const;
+
+  [[nodiscard]] double minValue() const { return knots_.front().value; }
+  [[nodiscard]] double maxValue() const { return knots_.back().value; }
+  [[nodiscard]] const std::vector<Knot>& knots() const { return knots_; }
+
+ private:
+  [[nodiscard]] double rawMoment(int order) const;
+
+  std::vector<Knot> knots_;
+};
+
+/// Synthetic stand-in for the paper's PlanetLab latency sample (Fig. 5),
+/// in simulator ticks. Matches the published mean/σ/percentiles.
+const EmpiricalDistribution& planetLabLatency();
+
+/// Degenerate distribution: every sample equals `value`. Useful for tests
+/// and for the idealized-synchrony analysis scenarios of paper §4.
+EmpiricalDistribution constantDistribution(double value);
+
+/// Uniform distribution on [lo, hi].
+EmpiricalDistribution uniformDistribution(double lo, double hi);
+
+}  // namespace epto::util

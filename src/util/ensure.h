@@ -1,0 +1,40 @@
+// Lightweight contract checking for the EpTO library.
+//
+// EPTO_ENSURE is used for preconditions and invariants that guard the public
+// API surface: violations indicate a caller bug or a broken internal
+// invariant, so they throw (rather than abort) to keep the library usable
+// inside long-lived processes and to make violations testable.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace epto::util {
+
+/// Thrown when a contract annotated with EPTO_ENSURE is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void raiseContractViolation(const char* expr, const char* file, int line,
+                                                const char* msg) {
+  throw ContractViolation(std::string("contract violation: ") + expr + " at " + file + ":" +
+                          std::to_string(line) + (msg != nullptr ? std::string(": ") + msg : ""));
+}
+
+}  // namespace epto::util
+
+#define EPTO_ENSURE(expr)                                                    \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::epto::util::raiseContractViolation(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                        \
+  } while (false)
+
+#define EPTO_ENSURE_MSG(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::epto::util::raiseContractViolation(#expr, __FILE__, __LINE__, msg); \
+    }                                                                       \
+  } while (false)

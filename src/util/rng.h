@@ -1,0 +1,112 @@
+// Deterministic, splittable random number generation.
+//
+// Everything in this repository that needs randomness (peer selection,
+// network latency sampling, workload generation, churn) draws from an
+// epto::util::Rng so that every simulation and every test is reproducible
+// from a single 64-bit seed. The generator is xoshiro256** seeded through
+// SplitMix64, following the reference construction by Blackman & Vigna.
+//
+// Rng::split() derives an independent child stream; each simulated process
+// and each subsystem gets its own stream so that adding randomness consumers
+// in one component does not perturb the draws seen by another.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "util/ensure.h"
+
+namespace epto::util {
+
+/// SplitMix64 step; used for seeding and for stateless hashing of ids.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// One-shot SplitMix64 hash of a 64-bit value (useful for deterministic
+/// per-id derivations without carrying generator state).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** — fast, high-quality, 256-bit state, deterministic.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derive an independent child generator. The child is seeded from the
+  /// parent's next output, so repeated splits yield distinct streams.
+  Rng split() noexcept { return Rng((*this)() ^ 0xA5A5A5A5DEADBEEFULL); }
+
+  /// Uniform integer in [0, bound). Uses Lemire-style rejection to avoid
+  /// modulo bias. bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    EPTO_ENSURE_MSG(bound > 0, "Rng::below requires a positive bound");
+    // Rejection sampling on the top bits: unbiased and branch-cheap.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in the closed interval [lo, hi].
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    EPTO_ENSURE_MSG(lo <= hi, "Rng::between requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(span == 0 ? (*this)() : below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    // 53 random mantissa bits, the standard (x >> 11) * 2^-53 construction.
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace epto::util

@@ -1,0 +1,387 @@
+#include "workload/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "pss/uniform_sampler.h"
+#include "util/ensure.h"
+
+namespace epto::workload {
+
+namespace {
+
+const util::EmpiricalDistribution& latencyOf(const ExperimentConfig& config) {
+  return config.latency != nullptr ? *config.latency : util::planetLabLatency();
+}
+
+}  // namespace
+
+SimCluster::SimCluster(const ExperimentConfig& config)
+    : config_(config),
+      masterRng_(config.seed),
+      network_(simulator_,
+               sim::SimNetwork<NetMessage>::Options{&latencyOf(config),
+                                                    config.messageLossRate},
+               masterRng_.split()),
+      // The monotonic-key order check applies where the broadcast-time
+      // key IS the delivery order (EpTO, Pbcast). The balls-and-bins
+      // baseline is deliberately unordered, and the fixed-sequencer's
+      // order is the stamp order, which is not known at broadcast time
+      // (its contiguity is asserted by unit tests instead).
+      tracker_(config.protocol == Protocol::Epto || config.protocol == Protocol::Pbcast) {
+  EPTO_ENSURE_MSG(config_.systemSize >= 2, "need at least two processes");
+  EPTO_ENSURE_MSG(config_.roundInterval >= 1, "round interval must be positive");
+  EPTO_ENSURE_MSG(config_.broadcastProbability >= 0.0 && config_.broadcastProbability <= 1.0,
+                  "broadcast probability must be in [0,1]");
+  EPTO_ENSURE_MSG(!(config_.protocol == Protocol::FixedSequencer && config_.churnRate > 0.0),
+                  "the fixed-sequencer baseline has static membership");
+
+  // Derive K and TTL (Lemmas 3-7), honouring manual overrides.
+  Robustness robustness;
+  robustness.c = config_.c;
+  if (config_.compensateFanout) {
+    robustness.churnPerRound =
+        config_.churnRate * static_cast<double>(config_.systemSize);
+    robustness.messageLossRate = config_.messageLossRate;
+  }
+  const Config derived =
+      Config::forSystemSize(config_.systemSize, config_.clockMode, robustness);
+  fanout_ = config_.fanoutOverride.value_or(derived.fanout);
+  ttl_ = config_.ttlOverride.value_or(derived.ttl);
+
+  network_.setReceiver([this](ProcessId from, ProcessId to, const NetMessage& message) {
+    onMessage(from, to, message);
+  });
+
+  // Phase schedule.
+  const std::uint64_t warmupRounds = config_.warmupRounds.value_or(
+      config_.pss == PssKind::UniformOracle ? 0 : 30);  // let real PSSes mix
+  warmupEnd_ = warmupRounds * config_.roundInterval;
+  broadcastEnd_ = warmupEnd_ + config_.broadcastRounds * config_.roundInterval;
+  const Timestamp maxLatency =
+      static_cast<Timestamp>(std::llround(latencyOf(config_).maxValue()));
+  const Timestamp drain =
+      config_.drainTicks != 0
+          ? config_.drainTicks
+          : (static_cast<Timestamp>(ttl_) + 6) * config_.roundInterval + 5 * maxLatency;
+  runEnd_ = broadcastEnd_ + drain;
+
+  if (config_.protocol == Protocol::FixedSequencer) {
+    staticMembers_.reserve(config_.systemSize);
+    for (std::size_t i = 0; i < config_.systemSize; ++i) {
+      staticMembers_.push_back(static_cast<ProcessId>(i));
+    }
+  }
+
+  for (std::size_t i = 0; i < config_.systemSize; ++i) spawnNode();
+
+  // Resolve the perturbed-process plan against the initial membership.
+  if (config_.pause.fraction > 0.0 && config_.pause.durationRounds > 0) {
+    EPTO_ENSURE_MSG(config_.pause.fraction < 1.0,
+                    "pausing the whole system leaves nobody to gossip");
+    const auto count = static_cast<std::size_t>(
+        config_.pause.fraction * static_cast<double>(config_.systemSize));
+    auto pickRng = masterRng_.split();
+    const auto victims = membership_.sampleOthers(
+        /*self=*/std::numeric_limits<ProcessId>::max(), count, pickRng);
+    pausedIds_.insert(victims.begin(), victims.end());
+    pauseStart_ = warmupEnd_ + config_.pause.startRound * config_.roundInterval;
+    pauseEnd_ = pauseStart_ + config_.pause.durationRounds * config_.roundInterval;
+    // Paused processes need their whole stability horizon again after
+    // resuming; stretch the run so their catch-up is observable.
+    runEnd_ = std::max(runEnd_, pauseEnd_ + (static_cast<Timestamp>(ttl_) + 6) *
+                                                config_.roundInterval +
+                                    5 * maxLatency);
+  }
+
+  if (config_.churnRate > 0.0) {
+    churn_ = std::make_unique<sim::ChurnDriver>(
+        simulator_, membership_,
+        sim::ChurnDriver::Options{config_.churnRate, config_.roundInterval,
+                                  /*stopAfter=*/broadcastEnd_},
+        [this](ProcessId id) { killNode(id); },
+        [this](std::size_t count) {
+          for (std::size_t i = 0; i < count; ++i) spawnNode();
+        },
+        masterRng_.split());
+    churn_->start();
+  }
+}
+
+DeliverFn SimCluster::makeDeliverFn(ProcessId id) {
+  return [this, id](const Event& event, DeliveryTag tag) {
+    tracker_.onDeliver(id, event.id, simulator_.now(), tag);
+  };
+}
+
+void SimCluster::spawnNode() {
+  const ProcessId id = nextId_++;
+  Node node;
+  node.id = id;
+  node.rng = masterRng_.split();
+  node.speedFactor =
+      config_.processSpeedSpread <= 0.0
+          ? 1.0
+          : 1.0 + config_.processSpeedSpread * (2.0 * node.rng.uniform01() - 1.0);
+
+  // The PSS. New nodes bootstrap their Cyclon cache from the live
+  // directory — the "introducer" a joining node contacts in a real
+  // deployment.
+  std::shared_ptr<PeerSampler> sampler;
+  if (config_.pss == PssKind::Cyclon) {
+    node.cyclon = std::make_shared<pss::Cyclon>(id, config_.cyclonOptions, node.rng.split());
+    const auto seeds = membership_.sampleOthers(
+        id, config_.cyclonOptions.viewSize, node.rng);
+    node.cyclon->bootstrap(seeds);
+    sampler = node.cyclon;
+  } else if (config_.pss == PssKind::Generic) {
+    node.generic = std::make_shared<pss::GenericPss>(id, config_.genericPssOptions,
+                                                     node.rng.split());
+    const auto seeds = membership_.sampleOthers(
+        id, config_.genericPssOptions.viewSize, node.rng);
+    node.generic->bootstrap(seeds);
+    sampler = node.generic;
+  } else {
+    sampler = std::make_shared<pss::UniformSampler>(id, membership_, node.rng.split());
+  }
+
+  node.sampler = sampler;  // keeps the sampler alive for reference holders
+
+  switch (config_.protocol) {
+    case Protocol::Epto: {
+      Config cfg;
+      cfg.fanout = fanout_;
+      cfg.ttl = ttl_;
+      cfg.clockMode = config_.clockMode;
+      cfg.tagOutOfOrder = config_.tagOutOfOrder;
+      // Duplicate suppression must outlive the slowest possible copy: a
+      // relay chain is at most TTL+1 hops and each hop can add up to a
+      // round of queueing plus the full latency tail.
+      if (config_.tagOutOfOrder) {
+        const auto maxLatencyRounds = static_cast<std::uint32_t>(
+            static_cast<Timestamp>(latencyOf(config_).maxValue()) /
+                config_.roundInterval +
+            1);
+        cfg.deliveredRetentionRounds = (ttl_ + 2) * (maxLatencyRounds + 1) + 8;
+      }
+      node.epto = std::make_unique<Process>(
+          id, cfg, sampler, makeDeliverFn(id),
+          [this]() { return simulator_.now(); });
+      break;
+    }
+    case Protocol::BallsBinsBaseline:
+      node.ballsBins = std::make_unique<baselines::BallsBinsBroadcast>(
+          id, baselines::BallsBinsBroadcast::Options{fanout_, ttl_}, *sampler,
+          makeDeliverFn(id));
+      break;
+    case Protocol::FixedSequencer:
+      node.sequencer = std::make_unique<baselines::SequencerProcess>(
+          id, /*sequencerId=*/0, staticMembers_, makeDeliverFn(id));
+      break;
+    case Protocol::Pbcast:
+      node.pbcast = std::make_unique<baselines::PbcastProcess>(
+          id,
+          baselines::PbcastProcess::Options{
+              .fanout = fanout_,
+              .relayRounds = ttl_,
+              // Stability must cover relaying plus in-flight slack.
+              .stabilityRounds = ttl_ + 2,
+          },
+          *sampler, makeDeliverFn(id));
+      break;
+  }
+
+  membership_.add(id);
+  lifetimes_[id] = metrics::ProcessLifetime{simulator_.now(), std::nullopt};
+  nodes_.emplace(id, std::move(node));
+  scheduleRound(id);
+}
+
+void SimCluster::killNode(ProcessId id) {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) return;
+  membership_.remove(id);
+  lifetimes_[id].leftAt = simulator_.now();
+  nodes_.erase(it);
+}
+
+void SimCluster::scheduleRound(ProcessId id) {
+  const auto nodeIt = nodes_.find(id);
+  EPTO_ENSURE(nodeIt != nodes_.end());
+  Node& node = nodeIt->second;
+  // delta * speedFactor * (1 +- U[0, jitter]) — "processes execute at
+  // time now() + delta +- Delta" (paper §6).
+  const double jitter = 1.0 + config_.roundJitter * (2.0 * node.rng.uniform01() - 1.0);
+  const double period =
+      std::max(1.0, static_cast<double>(config_.roundInterval) * node.speedFactor * jitter);
+  simulator_.schedule(static_cast<Timestamp>(std::llround(period)), [this, id] {
+    const auto it = nodes_.find(id);
+    if (it == nodes_.end()) return;  // churned out meanwhile
+    runRound(it->second);
+    scheduleRound(id);
+  });
+}
+
+void SimCluster::maybeBroadcast(Node& node) {
+  const Timestamp now = simulator_.now();
+  if (now < warmupEnd_ || now >= broadcastEnd_) return;
+  if (!node.rng.chance(config_.broadcastProbability)) return;
+
+  // Applications broadcast at arbitrary moments, not at round boundaries:
+  // place the broadcast uniformly within the coming round. The event then
+  // waits (on average delta/2) in nextBall until the process's next round
+  // — the same first-hop delay a real deployment pays.
+  const Timestamp offset = node.rng.below(config_.roundInterval);
+  const ProcessId id = node.id;
+  simulator_.schedule(offset, [this, id] {
+    const auto it = nodes_.find(id);
+    if (it == nodes_.end()) return;                    // churned out meanwhile
+    if (simulator_.now() >= broadcastEnd_) return;     // window closed
+    doBroadcast(it->second);
+  });
+}
+
+void SimCluster::doBroadcast(Node& node) {
+  const Timestamp now = simulator_.now();
+  if (node.epto != nullptr) {
+    const Event event = node.epto->broadcast(nullptr);
+    tracker_.onBroadcast(node.id, event.id, event.orderKey(), now);
+  } else if (node.ballsBins != nullptr) {
+    // broadcast() delivers locally before returning, so pre-register the
+    // (deterministic) id it will use.
+    const EventId id{node.id, node.ballsBins->nextSequence()};
+    tracker_.onBroadcast(node.id, id, OrderKey{0, id.source, id.sequence}, now);
+    (void)node.ballsBins->broadcast(nullptr);
+  } else if (node.sequencer != nullptr) {
+    // The sequencer's own broadcasts may also deliver locally inside
+    // broadcast(); pre-register likewise.
+    const EventId id{node.id, node.sequencer->nextEventSequence()};
+    tracker_.onBroadcast(node.id, id, OrderKey{0, id.source, id.sequence}, now);
+    sendSequencerOutgoing(node.id, node.sequencer->broadcast(nullptr));
+  } else if (node.pbcast != nullptr) {
+    const Event event = node.pbcast->broadcast(nullptr);
+    tracker_.onBroadcast(node.id, event.id, event.orderKey(), now);
+  }
+}
+
+void SimCluster::runRound(Node& node) {
+  // A perturbed process is stalled: its scheduler fires but nothing runs.
+  // Incoming balls keep landing in its nextBall (the transport buffers);
+  // on resume the backlog is relayed, aged and delivered as usual.
+  if (!pausedIds_.empty() && pausedIds_.contains(node.id)) {
+    const Timestamp now = simulator_.now();
+    if (now >= pauseStart_ && now < pauseEnd_) return;
+  }
+  ++roundsExecuted_;
+  maybeBroadcast(node);
+
+  // PSS gossip piggybacks on the round cadence (one exchange per round,
+  // the standard deployment choice).
+  if (node.cyclon != nullptr) {
+    if (auto request = node.cyclon->onShuffleTimer(); request.has_value()) {
+      network_.send(node.id, request->target, ShuffleRequestMsg{std::move(request->entries)});
+    }
+  }
+  if (node.generic != nullptr) {
+    if (auto push = node.generic->onGossipTimer(); push.has_value()) {
+      network_.send(node.id, push->target, GossipPushMsg{std::move(push->buffer)});
+    }
+  }
+
+  if (node.epto != nullptr) {
+    const auto out = node.epto->onRound();
+    if (out.ball != nullptr) {
+      for (const ProcessId target : out.targets) network_.send(node.id, target, out.ball);
+    }
+  } else if (node.ballsBins != nullptr) {
+    const auto out = node.ballsBins->onRound();
+    if (out.ball != nullptr) {
+      for (const ProcessId target : out.targets) network_.send(node.id, target, out.ball);
+    }
+  } else if (node.pbcast != nullptr) {
+    const auto out = node.pbcast->onRound();
+    if (out.ball != nullptr) {
+      for (const ProcessId target : out.targets) network_.send(node.id, target, out.ball);
+    }
+  }
+  // FixedSequencer is purely message-driven; rounds only pace broadcasts.
+}
+
+void SimCluster::sendSequencerOutgoing(
+    ProcessId from, const std::vector<baselines::SequencerProcess::Outgoing>& outs) {
+  for (const auto& out : outs) {
+    if (out.submit.has_value()) {
+      network_.send(from, out.to, *out.submit);
+    } else if (out.stamped.has_value()) {
+      network_.send(from, out.to, *out.stamped);
+    }
+  }
+}
+
+void SimCluster::onMessage(ProcessId from, ProcessId to, const NetMessage& message) {
+  const auto it = nodes_.find(to);
+  if (it == nodes_.end()) return;  // target crashed while the message flew
+  Node& node = it->second;
+
+  if (const auto* ball = std::get_if<BallPtr>(&message)) {
+    if (node.epto != nullptr) {
+      node.epto->onBall(**ball);
+    } else if (node.ballsBins != nullptr) {
+      node.ballsBins->onBall(**ball);
+    } else if (node.pbcast != nullptr) {
+      node.pbcast->onGossip(**ball);
+    }
+  } else if (const auto* request = std::get_if<ShuffleRequestMsg>(&message)) {
+    if (node.cyclon != nullptr) {
+      auto reply = node.cyclon->onShuffleRequest(from, request->entries);
+      network_.send(to, from, ShuffleReplyMsg{std::move(reply)});
+    }
+  } else if (const auto* reply = std::get_if<ShuffleReplyMsg>(&message)) {
+    if (node.cyclon != nullptr) node.cyclon->onShuffleReply(reply->entries);
+  } else if (const auto* push = std::get_if<GossipPushMsg>(&message)) {
+    if (node.generic != nullptr) {
+      if (auto reply = node.generic->onGossip(from, push->buffer); reply.has_value()) {
+        network_.send(to, from, GossipReplyMsg{std::move(*reply)});
+      }
+    }
+  } else if (const auto* gossipReply = std::get_if<GossipReplyMsg>(&message)) {
+    if (node.generic != nullptr) node.generic->onGossipReply(gossipReply->buffer);
+  } else if (const auto* submit = std::get_if<baselines::SubmitMessage>(&message)) {
+    if (node.sequencer != nullptr && node.sequencer->isSequencer()) {
+      sendSequencerOutgoing(to, node.sequencer->onSubmit(*submit));
+    }
+  } else if (const auto* stamped = std::get_if<baselines::StampedMessage>(&message)) {
+    if (node.sequencer != nullptr) node.sequencer->onStamped(*stamped);
+  }
+}
+
+void SimCluster::run() { simulator_.runUntil(runEnd_); }
+
+std::vector<Event> SimCluster::pendingEventsOf(ProcessId id) const {
+  const auto it = nodes_.find(id);
+  EPTO_ENSURE_MSG(it != nodes_.end(), "no such live process");
+  EPTO_ENSURE_MSG(it->second.epto != nullptr, "pending events exist only for EpTO nodes");
+  return it->second.epto->pendingEvents();
+}
+
+ExperimentResult SimCluster::result() const {
+  ExperimentResult result;
+  result.report = tracker_.finalize(lifetimes_, broadcastEnd_);
+  result.network = network_.stats();
+  result.fanoutUsed = fanout_;
+  result.ttlUsed = ttl_;
+  result.roundsExecuted = roundsExecuted_;
+  result.simulatedTicks = simulator_.now();
+  result.finalSystemSize = membership_.size();
+  for (const auto& [id, node] : nodes_) {
+    if (node.epto != nullptr) {
+      result.eventsRelayed += node.epto->disseminationStats().eventsRelayed;
+      result.maxBallSize =
+          std::max(result.maxBallSize, node.epto->disseminationStats().maxBallSize);
+    }
+  }
+  return result;
+}
+
+}  // namespace epto::workload

@@ -1,0 +1,120 @@
+// SimCluster — the full simulated deployment driving an experiment.
+//
+// Owns the discrete-event simulator, the network, the membership
+// directory, the churn driver and one node per process (an EpTO Process,
+// a balls-and-bins baseline instance, or a fixed-sequencer instance, plus
+// its PSS). Exposed as a class (rather than hidden behind runExperiment)
+// so integration tests can step the simulation and inspect live state.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <variant>
+#include <vector>
+
+#include "baselines/balls_bins_broadcast.h"
+#include "baselines/pbcast.h"
+#include "baselines/sequencer.h"
+#include "core/process.h"
+#include "metrics/delivery_tracker.h"
+#include "pss/cyclon.h"
+#include "sim/churn.h"
+#include "sim/membership.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "workload/experiment.h"
+
+namespace epto::workload {
+
+/// PSS gossip traffic shares the simulated network with the balls.
+struct ShuffleRequestMsg {
+  pss::CyclonView entries;
+};
+struct ShuffleReplyMsg {
+  pss::CyclonView entries;
+};
+struct GossipPushMsg {
+  pss::DescriptorView buffer;
+};
+struct GossipReplyMsg {
+  pss::DescriptorView buffer;
+};
+
+using NetMessage =
+    std::variant<BallPtr, ShuffleRequestMsg, ShuffleReplyMsg, GossipPushMsg,
+                 GossipReplyMsg, baselines::SubmitMessage, baselines::StampedMessage>;
+
+class SimCluster {
+ public:
+  explicit SimCluster(const ExperimentConfig& config);
+
+  /// Execute the whole schedule: warmup, broadcast window, drain.
+  void run();
+
+  /// Judge the run (call after run()).
+  [[nodiscard]] ExperimentResult result() const;
+
+  // --- introspection for tests -------------------------------------------
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return simulator_; }
+  [[nodiscard]] const sim::MembershipDirectory& membership() const noexcept {
+    return membership_;
+  }
+  [[nodiscard]] const metrics::DeliveryTracker& tracker() const noexcept { return tracker_; }
+  [[nodiscard]] std::size_t liveNodeCount() const noexcept { return nodes_.size(); }
+  [[nodiscard]] Timestamp broadcastWindowEnd() const noexcept { return broadcastEnd_; }
+  /// Per-node pending (received-but-undelivered) events — §8.4 surface.
+  [[nodiscard]] std::vector<Event> pendingEventsOf(ProcessId id) const;
+
+ private:
+  struct Node {
+    ProcessId id = 0;
+    double speedFactor = 1.0;
+    util::Rng rng;
+    std::shared_ptr<PeerSampler> sampler;
+    std::shared_ptr<pss::Cyclon> cyclon;      // aliases sampler for PssKind::Cyclon
+    std::shared_ptr<pss::GenericPss> generic; // aliases sampler for PssKind::Generic
+    std::unique_ptr<Process> epto;
+    std::unique_ptr<baselines::BallsBinsBroadcast> ballsBins;
+    std::unique_ptr<baselines::SequencerProcess> sequencer;
+    std::unique_ptr<baselines::PbcastProcess> pbcast;
+  };
+
+  void spawnNode();
+  void killNode(ProcessId id);
+  void scheduleRound(ProcessId id);
+  void runRound(Node& node);
+  void maybeBroadcast(Node& node);
+  void doBroadcast(Node& node);
+  void onMessage(ProcessId from, ProcessId to, const NetMessage& message);
+  void sendSequencerOutgoing(ProcessId from,
+                             const std::vector<baselines::SequencerProcess::Outgoing>& outs);
+  [[nodiscard]] DeliverFn makeDeliverFn(ProcessId id);
+
+  ExperimentConfig config_;
+  std::size_t fanout_ = 0;
+  std::uint32_t ttl_ = 0;
+  Timestamp warmupEnd_ = 0;
+  Timestamp broadcastEnd_ = 0;
+  Timestamp runEnd_ = 0;
+
+  util::Rng masterRng_;
+  sim::Simulator simulator_;
+  sim::MembershipDirectory membership_;
+  sim::SimNetwork<NetMessage> network_;
+  metrics::DeliveryTracker tracker_;
+  std::unique_ptr<sim::ChurnDriver> churn_;
+
+  std::unordered_map<ProcessId, Node> nodes_;
+  std::unordered_map<ProcessId, metrics::ProcessLifetime> lifetimes_;
+  /// Perturbed-process plan (ExperimentConfig::PausePlan), resolved.
+  std::unordered_set<ProcessId> pausedIds_;
+  Timestamp pauseStart_ = 0;
+  Timestamp pauseEnd_ = 0;
+  std::vector<ProcessId> staticMembers_;  // FixedSequencer only
+  ProcessId nextId_ = 0;
+
+  std::uint64_t roundsExecuted_ = 0;
+};
+
+}  // namespace epto::workload

@@ -1,0 +1,13 @@
+#include "workload/experiment.h"
+
+#include "workload/cluster.h"
+
+namespace epto::workload {
+
+ExperimentResult runExperiment(const ExperimentConfig& config) {
+  SimCluster cluster(config);
+  cluster.run();
+  return cluster.result();
+}
+
+}  // namespace epto::workload

@@ -1,0 +1,121 @@
+// Experiment harness — configuration and result types for the paper's §6
+// evaluation, shared by the bench binaries, the integration tests and the
+// examples.
+//
+// One ExperimentConfig describes a complete simulated run: system size,
+// round period delta with drift, Bernoulli broadcast workload, clock mode,
+// protocol under test (EpTO, the unordered balls-and-bins baseline of
+// Fig. 6, or the fixed-sequencer contrast), PSS implementation (oracle vs
+// Cyclon, Fig. 8 vs Fig. 9), churn, message loss, and the measurement
+// window. runExperiment() executes it deterministically from the seed and
+// returns the Table 1 verdicts plus the delay distribution.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/config.h"
+#include "metrics/delivery_tracker.h"
+#include "pss/cyclon.h"
+#include "pss/generic_pss.h"
+#include "sim/network.h"
+#include "util/empirical_distribution.h"
+
+namespace epto::workload {
+
+enum class Protocol : std::uint8_t {
+  Epto,               ///< the full protocol (Alg. 1 + Alg. 2).
+  BallsBinsBaseline,  ///< dissemination only, unordered (Fig. 6 baseline).
+  FixedSequencer,     ///< centralized deterministic total order (ablation).
+  Pbcast,             ///< synchronous-rounds probabilistic TO [16] (ablation).
+};
+
+enum class PssKind : std::uint8_t {
+  UniformOracle,  ///< perfectly fresh uniform view (paper §2 assumption).
+  Cyclon,         ///< real shuffle-based PSS (Fig. 9).
+  Generic,        ///< Jelasity et al. [17] framework (freshness ablation).
+};
+
+struct ExperimentConfig {
+  std::size_t systemSize = 100;
+  /// Round period delta in ticks (paper uses 125).
+  Timestamp roundInterval = 125;
+  /// Per-round uniform jitter: each round fires after
+  /// delta * speedFactor * (1 +- U[0, roundJitter]) ticks (paper: 1%).
+  double roundJitter = 0.01;
+  /// Per-process systematic speed spread (paper §5.3 ablation): each
+  /// process draws speedFactor ~ U[1 - s, 1 + s] once at creation.
+  double processSpeedSpread = 0.0;
+  /// Probability that a process broadcasts one event per round during the
+  /// broadcast window (paper: 1%, 5%, 10%).
+  double broadcastProbability = 0.05;
+
+  Protocol protocol = Protocol::Epto;
+  ClockMode clockMode = ClockMode::Global;
+
+  /// Theorem 2 constant used when deriving K and TTL. The paper's
+  /// evaluation uses "the TTL given by the theoretical analysis (TTL=15)"
+  /// for n = 100, which corresponds to c ~= 1.25 (ceil(2.25 * log2 100)
+  /// = 15); we default to the same so derived TTLs match the paper's.
+  double c = 1.25;
+  /// Manual overrides (the evaluation sweeps TTL by hand, e.g. Fig. 6).
+  std::optional<std::size_t> fanoutOverride;
+  std::optional<std::uint32_t> ttlOverride;
+  /// Apply Lemma 7 fanout compensation for the configured churn/loss.
+  bool compensateFanout = false;
+  /// §8.2 tagged delivery.
+  bool tagOutOfOrder = false;
+
+  /// Fraction of the system replaced every roundInterval ticks (Fig. 8/9).
+  double churnRate = 0.0;
+  /// Per-transmission loss probability (Fig. 10).
+  double messageLossRate = 0.0;
+
+  /// Perturbed processes (§5.3's degenerate slow processes / §8.2's
+  /// motivation): a fraction of the initial membership stops executing
+  /// rounds for a window — no relaying, no aging, no deliveries — while
+  /// incoming balls keep accumulating (a stalled-scheduler/GC-pause
+  /// model). They resume afterwards and must catch up without holes.
+  struct PausePlan {
+    double fraction = 0.0;            ///< of the initial processes.
+    std::uint64_t startRound = 0;     ///< rounds after warmup ends.
+    std::uint64_t durationRounds = 0; ///< length of the stall.
+  };
+  PausePlan pause;
+
+  PssKind pss = PssKind::UniformOracle;
+  pss::Cyclon::Options cyclonOptions{.viewSize = 20, .shuffleLength = 8};
+  pss::GenericPss::Options genericPssOptions{};
+
+  /// One-way latency distribution; null = the PlanetLab-like default
+  /// (Fig. 5).
+  const util::EmpiricalDistribution* latency = nullptr;
+
+  /// Rounds before broadcasting starts (lets Cyclon mix; 0 = automatic:
+  /// 0 for the oracle PSS, 30 rounds for Cyclon).
+  std::optional<std::uint64_t> warmupRounds;
+  /// Number of round-periods during which processes broadcast.
+  std::uint64_t broadcastRounds = 40;
+  /// Extra ticks after the broadcast window for events to stabilize;
+  /// 0 = automatic from TTL, delta and the latency tail.
+  Timestamp drainTicks = 0;
+
+  std::uint64_t seed = 42;
+};
+
+struct ExperimentResult {
+  metrics::TrackerReport report;
+  sim::NetworkStats network;
+  std::size_t fanoutUsed = 0;
+  std::uint32_t ttlUsed = 0;
+  std::uint64_t roundsExecuted = 0;
+  std::uint64_t eventsRelayed = 0;   ///< event copies sent (EpTO only).
+  std::size_t maxBallSize = 0;       ///< largest ball observed (EpTO only).
+  Timestamp simulatedTicks = 0;
+  std::size_t finalSystemSize = 0;
+};
+
+/// Run one experiment to completion. Deterministic in config.seed.
+[[nodiscard]] ExperimentResult runExperiment(const ExperimentConfig& config);
+
+}  // namespace epto::workload

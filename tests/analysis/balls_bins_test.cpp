@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/balls_bins.h"
+#include "util/ensure.h"
+#include "util/rng.h"
+
+namespace epto::analysis {
+namespace {
+
+TEST(BallsGuaranteed, Formula) {
+  EXPECT_NEAR(ballsGuaranteed(1024, 2.0), 2.0 * 1024 * 10.0, 1e-6);
+  EXPECT_THROW((void)ballsGuaranteed(1, 2.0), util::ContractViolation);
+  EXPECT_THROW((void)ballsGuaranteed(100, 0.0), util::ContractViolation);
+}
+
+TEST(MissProbability, ZeroBallsMeansCertainMiss) {
+  EXPECT_DOUBLE_EQ(missProbabilityFixedProcess(100, 0.0), 1.0);
+}
+
+TEST(MissProbability, MatchesDirectPower) {
+  const double direct = std::pow(1.0 - 1.0 / 100.0, 500.0);
+  EXPECT_NEAR(missProbabilityFixedProcess(100, 500.0), direct, 1e-12);
+}
+
+TEST(MissProbability, DecreasesWithMoreBalls) {
+  double previous = 1.0;
+  for (double balls = 100; balls <= 3200; balls *= 2) {
+    const double p = missProbabilityFixedProcess(100, balls);
+    EXPECT_LT(p, previous);
+    previous = p;
+  }
+}
+
+TEST(HoleProbabilityFixedProcess, Figure3aMagnitudes) {
+  // Paper Fig. 3a: at n = 1000 the bound for a fixed process is below
+  // 1e-8 for c=2 and plunges further as c grows.
+  EXPECT_LT(holeProbabilityFixedProcess(1000, 2.0), 1e-8);
+  EXPECT_LT(holeProbabilityFixedProcess(1000, 3.0), 1e-12);
+  EXPECT_LT(holeProbabilityFixedProcess(1000, 4.0), 1e-16);
+}
+
+TEST(HoleProbabilityFixedProcess, MonotoneInC) {
+  for (std::size_t n = 100; n <= 1000; n += 300) {
+    EXPECT_GT(holeProbabilityFixedProcess(n, 2.0), holeProbabilityFixedProcess(n, 3.0));
+    EXPECT_GT(holeProbabilityFixedProcess(n, 3.0), holeProbabilityFixedProcess(n, 4.0));
+  }
+}
+
+TEST(HoleProbabilityFixedProcess, DecreasesWithSystemSize) {
+  // The defining property of the c n log2 n ball count: bigger systems
+  // get *stronger* per-process guarantees.
+  EXPECT_GT(holeProbabilityFixedProcess(100, 2.0), holeProbabilityFixedProcess(1000, 2.0));
+}
+
+TEST(HoleProbabilityAnyProcess, IsUnionBound) {
+  const std::size_t n = 500;
+  EXPECT_NEAR(holeProbabilityAnyProcess(n, 2.0),
+              static_cast<double>(n) * holeProbabilityFixedProcess(n, 2.0), 1e-15);
+}
+
+TEST(HoleProbabilityAnyProcess, CappedAtOne) {
+  // With c tiny the union bound exceeds 1 and must be clamped.
+  EXPECT_LE(holeProbabilityAnyProcess(2, 0.1), 1.0);
+}
+
+TEST(EstimatedBalls, GrowsGeometricallyThenSaturates) {
+  const std::size_t n = 100;
+  const std::size_t k = 5;
+  // Round 1: K balls. Round 2: K + K^2 ...
+  EXPECT_DOUBLE_EQ(estimatedBalls(n, k, 1), 5.0);
+  EXPECT_DOUBLE_EQ(estimatedBalls(n, k, 2), 5.0 + 25.0);
+  // After saturation each round adds n*K.
+  const double atTen = estimatedBalls(n, k, 10);
+  const double atEleven = estimatedBalls(n, k, 11);
+  EXPECT_NEAR(atEleven - atTen, static_cast<double>(n * k), 1e-6);
+}
+
+TEST(EstimatedStability, MonotoneInAgeAndApproachesOne) {
+  const std::size_t n = 100;
+  const std::size_t k = 17;
+  double previous = -1.0;
+  for (std::uint32_t rounds = 1; rounds <= 8; ++rounds) {
+    const double p = estimatedStability(n, k, rounds);
+    EXPECT_GE(p, previous);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    previous = p;
+  }
+  EXPECT_GT(estimatedStability(n, k, 8), 0.999);
+}
+
+TEST(EstimatedStability, FreshEventIsUnstable) {
+  EXPECT_LT(estimatedStability(1000, 20, 1), 0.01);
+}
+
+/// Monte-Carlo cross-check of the closed form: throw B balls into n bins
+/// and compare the empirical fixed-bin miss rate with the bound.
+TEST(MissProbability, AgreesWithMonteCarlo) {
+  const std::size_t n = 50;
+  const double balls = 150;
+  util::Rng rng(99);
+  const int trials = 20000;
+  int misses = 0;
+  for (int t = 0; t < trials; ++t) {
+    bool hit = false;
+    for (int b = 0; b < static_cast<int>(balls); ++b) {
+      if (rng.below(n) == 0) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) ++misses;
+  }
+  const double empirical = static_cast<double>(misses) / trials;
+  const double analytic = missProbabilityFixedProcess(n, balls);
+  EXPECT_NEAR(empirical, analytic, 0.25 * analytic + 0.002);
+}
+
+}  // namespace
+}  // namespace epto::analysis

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/parameters.h"
+#include "util/ensure.h"
+
+namespace epto::analysis {
+namespace {
+
+TEST(BaseFanout, MatchesTheorem2Formula) {
+  // K = ceil(2e ln n / ln ln n).
+  for (const std::size_t n : {100u, 500u, 1000u, 10000u}) {
+    const double lnN = std::log(static_cast<double>(n));
+    const double expected = std::ceil(2.0 * std::exp(1.0) * lnN / std::log(lnN));
+    EXPECT_EQ(baseFanout(n), static_cast<std::size_t>(expected)) << "n=" << n;
+  }
+}
+
+TEST(BaseFanout, KnownValues) {
+  EXPECT_EQ(baseFanout(100), 17u);   // 2e*4.605/1.527 = 16.4 -> 17
+  EXPECT_EQ(baseFanout(1000), 20u);  // 2e*6.908/1.933 = 19.4 -> 20
+}
+
+TEST(BaseFanout, TinySystemsGossipToEveryone) {
+  EXPECT_EQ(baseFanout(2), 1u);
+  EXPECT_EQ(baseFanout(3), 2u);
+  EXPECT_EQ(baseFanout(10), 9u);
+}
+
+TEST(BaseFanout, ClampedToSystemSize) {
+  for (std::size_t n = 2; n <= 64; ++n) {
+    EXPECT_LE(baseFanout(n), n - 1) << "n=" << n;
+    EXPECT_GE(baseFanout(n), 1u);
+  }
+}
+
+TEST(BaseFanout, GrowsSublinearly) {
+  // The whole point of the fanout formula: 100x more processes needs only
+  // a slightly larger K.
+  EXPECT_LE(baseFanout(10000), baseFanout(100) + 6);
+}
+
+TEST(BaseFanout, RejectsDegenerateSystem) {
+  EXPECT_THROW((void)baseFanout(0), util::ContractViolation);
+  EXPECT_THROW((void)baseFanout(1), util::ContractViolation);
+}
+
+TEST(BaseTtl, MatchesLemma3Formula) {
+  // TTL = ceil((c+1) log2 n).
+  EXPECT_EQ(baseTtl(100, 1.25), 15u);  // the paper's "theoretical TTL=15"
+  EXPECT_EQ(baseTtl(100, 2.0), 20u);
+  EXPECT_EQ(baseTtl(1024, 2.0), 30u);
+}
+
+TEST(BaseTtl, RejectsBadInputs) {
+  EXPECT_THROW((void)baseTtl(1, 2.0), util::ContractViolation);
+  EXPECT_THROW((void)baseTtl(100, 1.0), util::ContractViolation);  // needs c > 1
+  EXPECT_THROW((void)baseTtl(100, 0.5), util::ContractViolation);
+}
+
+TEST(ComputeParameters, IdealConditionsMatchBaseFormulas) {
+  const auto params = computeParameters({.systemSize = 100, .c = 2.0});
+  EXPECT_EQ(params.fanout, baseFanout(100));
+  EXPECT_EQ(params.ttl, baseTtl(100, 2.0));
+}
+
+TEST(ComputeParameters, LogicalTimeDoublesTtl) {
+  // Lemma 4.
+  const auto global = computeParameters({.systemSize = 100, .c = 2.0});
+  const auto logical =
+      computeParameters({.systemSize = 100, .c = 2.0, .logicalTime = true});
+  EXPECT_EQ(logical.ttl, 2 * global.ttl);
+  EXPECT_EQ(logical.fanout, global.fanout);
+}
+
+TEST(ComputeParameters, ChurnInflatesFanout) {
+  // Lemma 7: K' = K * n/(n - alpha).
+  const auto base = computeParameters({.systemSize = 1000, .c = 2.0});
+  const auto churned =
+      computeParameters({.systemSize = 1000, .c = 2.0, .churnPerRound = 500.0});
+  EXPECT_GE(churned.fanout, 2 * base.fanout - 1);  // n/(n-alpha) = 2
+  EXPECT_EQ(churned.ttl, base.ttl);
+}
+
+TEST(ComputeParameters, LossInflatesFanout) {
+  // Lemma 7: K' = K / (1 - eps).
+  const auto base = computeParameters({.systemSize = 1000, .c = 2.0});
+  const auto lossy =
+      computeParameters({.systemSize = 1000, .c = 2.0, .messageLossRate = 0.5});
+  EXPECT_GE(lossy.fanout, 2 * base.fanout - 1);
+}
+
+TEST(ComputeParameters, FanoutNeverExceedsSystem) {
+  const auto params = computeParameters(
+      {.systemSize = 20, .c = 2.0, .churnPerRound = 10.0, .messageLossRate = 0.9});
+  EXPECT_LE(params.fanout, 19u);
+}
+
+TEST(ComputeParameters, DriftStretchesTtl) {
+  // Lemma 5: TTL * delta_max/delta_min.
+  const auto base = computeParameters({.systemSize = 100, .c = 2.0});
+  const auto drifted =
+      computeParameters({.systemSize = 100, .c = 2.0, .driftRatio = 2.0});
+  EXPECT_EQ(drifted.ttl, 2 * base.ttl);
+}
+
+TEST(ComputeParameters, LatencyAddsOneRound) {
+  // Lemma 6.
+  const auto base = computeParameters({.systemSize = 100, .c = 2.0});
+  const auto latent =
+      computeParameters({.systemSize = 100, .c = 2.0, .latencyBelowRound = true});
+  EXPECT_EQ(latent.ttl, base.ttl + 1);
+}
+
+TEST(ComputeParameters, CompositionOfAllLemmas) {
+  // Logical time + drift + latency: TTL = (2 * base) * drift + 1.
+  const auto base = computeParameters({.systemSize = 100, .c = 2.0});
+  const auto all = computeParameters({.systemSize = 100,
+                                      .c = 2.0,
+                                      .logicalTime = true,
+                                      .driftRatio = 1.5,
+                                      .latencyBelowRound = true});
+  EXPECT_EQ(all.ttl, static_cast<std::uint32_t>(std::ceil(2.0 * base.ttl * 1.5)) + 1);
+}
+
+TEST(ComputeParameters, RejectsBadEnvironments) {
+  EXPECT_THROW((void)computeParameters({.systemSize = 1}), util::ContractViolation);
+  EXPECT_THROW((void)computeParameters({.systemSize = 100, .c = 0.9}),
+               util::ContractViolation);
+  EXPECT_THROW((void)computeParameters({.systemSize = 100, .messageLossRate = 1.0}),
+               util::ContractViolation);
+  EXPECT_THROW((void)computeParameters({.systemSize = 100, .churnPerRound = 100.0}),
+               util::ContractViolation);
+  EXPECT_THROW((void)computeParameters({.systemSize = 100, .driftRatio = 0.5}),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace epto::analysis

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "app/replicated_log.h"
+
+namespace epto::app {
+namespace {
+
+class EveryoneSampler final : public PeerSampler {
+ public:
+  EveryoneSampler(ProcessId self, std::size_t n) {
+    for (ProcessId id = 0; id < n; ++id) {
+      if (id != self) others_.push_back(id);
+    }
+  }
+  std::vector<ProcessId> samplePeers(std::size_t k) override {
+    // Rotate so every peer is targeted over time even when k < n-1.
+    std::vector<ProcessId> out;
+    for (std::size_t i = 0; i < k && i < others_.size(); ++i) {
+      out.push_back(others_[(cursor_ + i) % others_.size()]);
+    }
+    if (!others_.empty()) cursor_ = (cursor_ + 1) % others_.size();
+    return out;
+  }
+
+ private:
+  std::vector<ProcessId> others_;
+  std::size_t cursor_ = 0;
+};
+
+Config tinyConfig(std::uint32_t ttl = 4, std::size_t fanout = 3) {
+  Config config;
+  config.fanout = fanout;
+  config.ttl = ttl;
+  config.clockMode = ClockMode::Logical;
+  return config;
+}
+
+PayloadPtr bytesOf(std::initializer_list<int> values) {
+  auto payload = std::make_shared<PayloadBytes>();
+  for (const int v : values) payload->push_back(static_cast<std::byte>(v));
+  return payload;
+}
+
+/// Drive a set of logs with a synchronous hand network.
+void pump(std::vector<std::unique_ptr<ReplicatedLog>>& logs, int rounds) {
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<std::pair<std::size_t, Process::RoundOutput>> outputs;
+    for (std::size_t i = 0; i < logs.size(); ++i) {
+      outputs.emplace_back(i, logs[i]->process().onRound());
+    }
+    for (auto& [from, out] : outputs) {
+      if (out.ball == nullptr) continue;
+      for (const ProcessId target : out.targets) logs[target]->process().onBall(*out.ball);
+    }
+  }
+}
+
+std::vector<std::unique_ptr<ReplicatedLog>> makeCluster(std::size_t n,
+                                                        ReplicatedLog::CommitFn commit = {}) {
+  std::vector<std::unique_ptr<ReplicatedLog>> logs;
+  for (ProcessId id = 0; id < n; ++id) {
+    logs.push_back(std::make_unique<ReplicatedLog>(
+        id, tinyConfig(), std::make_shared<EveryoneSampler>(id, n), commit));
+  }
+  return logs;
+}
+
+TEST(ReplicatedLog, EntriesGetConsecutiveIndices) {
+  auto logs = makeCluster(4);
+  logs[0]->append(bytesOf({1}));
+  logs[1]->append(bytesOf({2}));
+  logs[2]->append(bytesOf({3}));
+  pump(logs, 12);
+  for (const auto& log : logs) {
+    ASSERT_EQ(log->size(), 3u);
+    for (std::uint64_t i = 0; i < 3; ++i) EXPECT_EQ(log->entries()[i].index, i);
+  }
+}
+
+TEST(ReplicatedLog, AllReplicasConvergeToSameDigest) {
+  auto logs = makeCluster(5);
+  for (std::size_t i = 0; i < 5; ++i) logs[i]->append(bytesOf({static_cast<int>(i)}));
+  pump(logs, 14);
+  for (const auto& log : logs) {
+    EXPECT_EQ(log->size(), 5u);
+    EXPECT_EQ(log->digest(), logs[0]->digest());
+  }
+}
+
+TEST(ReplicatedLog, DigestDetectsDivergence) {
+  auto a = makeCluster(2);
+  auto b = makeCluster(2);
+  a[0]->append(bytesOf({1}));
+  b[0]->append(bytesOf({2}));  // different payload
+  pump(a, 10);
+  pump(b, 10);
+  ASSERT_EQ(a[0]->size(), 1u);
+  ASSERT_EQ(b[0]->size(), 1u);
+  EXPECT_NE(a[0]->digest(), b[0]->digest());
+}
+
+TEST(ReplicatedLog, CommitCallbackFiresInOrder) {
+  std::map<ProcessId, std::vector<std::uint64_t>> seen;
+  std::vector<std::unique_ptr<ReplicatedLog>> logs;
+  constexpr std::size_t kN = 3;
+  for (ProcessId id = 0; id < kN; ++id) {
+    logs.push_back(std::make_unique<ReplicatedLog>(
+        id, tinyConfig(), std::make_shared<EveryoneSampler>(id, kN),
+        [&seen, id](const LogEntry& entry) { seen[id].push_back(entry.index); }));
+  }
+  logs[0]->append(bytesOf({1}));
+  logs[2]->append(bytesOf({2}));
+  pump(logs, 12);
+  for (const auto& [id, indices] : seen) {
+    EXPECT_EQ(indices, (std::vector<std::uint64_t>{0, 1})) << "process " << id;
+  }
+}
+
+TEST(ReplicatedLog, EntriesKeepPayloadAndKey) {
+  auto logs = makeCluster(2);
+  const Event event = logs[0]->append(bytesOf({42}));
+  pump(logs, 10);
+  ASSERT_EQ(logs[1]->size(), 1u);
+  const LogEntry& entry = logs[1]->entries()[0];
+  EXPECT_EQ(entry.id, event.id);
+  EXPECT_EQ(entry.key, event.orderKey());
+  ASSERT_NE(entry.payload, nullptr);
+  EXPECT_EQ((*entry.payload)[0], std::byte{42});
+}
+
+TEST(ReplicatedLog, EmptyLogDigestIsStableBasis) {
+  auto logs = makeCluster(2);
+  EXPECT_EQ(logs[0]->digest(), logs[1]->digest());
+  EXPECT_EQ(logs[0]->size(), 0u);
+}
+
+}  // namespace
+}  // namespace epto::app

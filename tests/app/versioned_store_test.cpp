@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "app/versioned_store.h"
+#include "util/ensure.h"
+
+namespace epto::app {
+namespace {
+
+class EveryoneSampler final : public PeerSampler {
+ public:
+  EveryoneSampler(ProcessId self, std::size_t n) {
+    for (ProcessId id = 0; id < n; ++id) {
+      if (id != self) others_.push_back(id);
+    }
+  }
+  std::vector<ProcessId> samplePeers(std::size_t k) override {
+    // Rotate so every peer is targeted over time even when k < n-1.
+    std::vector<ProcessId> out;
+    for (std::size_t i = 0; i < k && i < others_.size(); ++i) {
+      out.push_back(others_[(cursor_ + i) % others_.size()]);
+    }
+    if (!others_.empty()) cursor_ = (cursor_ + 1) % others_.size();
+    return out;
+  }
+
+ private:
+  std::vector<ProcessId> others_;
+  std::size_t cursor_ = 0;
+};
+
+Config tinyConfig() {
+  Config config;
+  config.fanout = 3;
+  config.ttl = 4;
+  config.clockMode = ClockMode::Logical;
+  return config;
+}
+
+std::vector<std::unique_ptr<VersionedStore>> makeCluster(
+    std::size_t n, VersionedStore::Options options = {}) {
+  std::vector<std::unique_ptr<VersionedStore>> stores;
+  for (ProcessId id = 0; id < n; ++id) {
+    stores.push_back(std::make_unique<VersionedStore>(
+        id, tinyConfig(), std::make_shared<EveryoneSampler>(id, n), options));
+  }
+  return stores;
+}
+
+void pump(std::vector<std::unique_ptr<VersionedStore>>& stores, int rounds) {
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<std::pair<std::size_t, Process::RoundOutput>> outputs;
+    for (std::size_t i = 0; i < stores.size(); ++i) {
+      outputs.emplace_back(i, stores[i]->process().onRound());
+    }
+    for (auto& [from, out] : outputs) {
+      if (out.ball == nullptr) continue;
+      for (const ProcessId target : out.targets) {
+        stores[target]->process().onBall(*out.ball);
+      }
+    }
+  }
+}
+
+TEST(VersionedStore, PutThenGetEverywhere) {
+  auto stores = makeCluster(4);
+  stores[0]->put("city", "neuchatel");
+  pump(stores, 12);
+  for (const auto& store : stores) {
+    const auto value = store->get("city");
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(value->value, "neuchatel");
+    EXPECT_EQ(value->version, 1u);
+  }
+}
+
+TEST(VersionedStore, MissingKeyIsEmpty) {
+  auto stores = makeCluster(2);
+  EXPECT_FALSE(stores[0]->get("nothing").has_value());
+  EXPECT_TRUE(stores[0]->history("nothing").empty());
+  EXPECT_FALSE(stores[0]->getVersion("nothing", 1).has_value());
+}
+
+TEST(VersionedStore, VersionsIncreasePerKey) {
+  auto stores = makeCluster(3);
+  stores[0]->put("k", "v1");
+  pump(stores, 10);
+  stores[1]->put("k", "v2");
+  stores[2]->put("other", "x");
+  pump(stores, 10);
+  for (const auto& store : stores) {
+    EXPECT_EQ(store->get("k")->version, 2u);
+    EXPECT_EQ(store->get("k")->value, "v2");
+    EXPECT_EQ(store->get("other")->version, 1u);
+  }
+}
+
+TEST(VersionedStore, ConcurrentConflictingPutsResolveIdentically) {
+  // The DataFlasks problem: three replicas write the same key at once.
+  // Total order picks one winner — the same one everywhere — and the
+  // losers become earlier versions, not lost writes.
+  auto stores = makeCluster(5);
+  stores[1]->put("leader", "r1");
+  stores[3]->put("leader", "r3");
+  stores[4]->put("leader", "r4");
+  pump(stores, 14);
+  const auto reference = stores[0]->get("leader");
+  ASSERT_TRUE(reference.has_value());
+  EXPECT_EQ(reference->version, 3u);  // all three writes applied
+  for (const auto& store : stores) {
+    EXPECT_EQ(store->get("leader")->value, reference->value);
+    EXPECT_EQ(store->digest(), stores[0]->digest());
+    EXPECT_EQ(store->history("leader").size(), 3u);
+  }
+}
+
+TEST(VersionedStore, HistoryRetainsBoundedVersions) {
+  auto stores = makeCluster(2, VersionedStore::Options{.historyDepth = 2});
+  for (int i = 1; i <= 4; ++i) {
+    stores[0]->put("k", "v" + std::to_string(i));
+    pump(stores, 8);
+  }
+  const auto history = stores[1]->history("k");
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].version, 3u);
+  EXPECT_EQ(history[1].version, 4u);
+  // Evicted versions are gone; retained ones resolvable.
+  EXPECT_FALSE(stores[1]->getVersion("k", 1).has_value());
+  EXPECT_EQ(stores[1]->getVersion("k", 3)->value, "v3");
+}
+
+TEST(VersionedStore, CommitCountTracksLog) {
+  auto stores = makeCluster(2);
+  stores[0]->put("a", "1");
+  stores[1]->put("b", "2");
+  pump(stores, 10);
+  EXPECT_EQ(stores[0]->commitCount(), 2u);
+  EXPECT_EQ(stores[0]->keyCount(), 2u);
+}
+
+TEST(VersionedStore, EncodeDecodeRoundTrip) {
+  const auto payload = VersionedStore::encodePut("key with spaces", "value\0x");
+  const auto decoded = VersionedStore::decodePut(payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->first, "key with spaces");
+  EXPECT_EQ(decoded->second, "value\0x");
+}
+
+TEST(VersionedStore, DecodeRejectsGarbage) {
+  EXPECT_FALSE(VersionedStore::decodePut(nullptr).has_value());
+  auto junk = std::make_shared<PayloadBytes>(PayloadBytes{std::byte{0xFF}});
+  EXPECT_FALSE(VersionedStore::decodePut(junk).has_value());
+  // Valid put plus trailing garbage must also be rejected.
+  auto padded = std::make_shared<PayloadBytes>(*VersionedStore::encodePut("a", "b"));
+  padded->push_back(std::byte{0});
+  EXPECT_FALSE(VersionedStore::decodePut(padded).has_value());
+}
+
+TEST(VersionedStore, EmptyKeyAndValueAreLegal) {
+  auto stores = makeCluster(2);
+  stores[0]->put("", "");
+  pump(stores, 10);
+  const auto value = stores[1]->get("");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->value, "");
+}
+
+TEST(VersionedStore, RejectsZeroHistoryDepth) {
+  EXPECT_THROW(VersionedStore(0, tinyConfig(), std::make_shared<EveryoneSampler>(0, 2),
+                              VersionedStore::Options{.historyDepth = 0}),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace epto::app

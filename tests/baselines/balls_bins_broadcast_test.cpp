@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/balls_bins_broadcast.h"
+#include "util/ensure.h"
+
+namespace epto::baselines {
+namespace {
+
+class FixedSampler final : public PeerSampler {
+ public:
+  explicit FixedSampler(std::vector<ProcessId> peers) : peers_(std::move(peers)) {}
+  std::vector<ProcessId> samplePeers(std::size_t k) override {
+    auto out = peers_;
+    if (out.size() > k) out.resize(k);
+    return out;
+  }
+
+ private:
+  std::vector<ProcessId> peers_;
+};
+
+Event remoteEvent(ProcessId source, std::uint32_t seq, std::uint32_t ttl) {
+  Event e;
+  e.id = EventId{source, seq};
+  e.ttl = ttl;
+  return e;
+}
+
+class BallsBinsTest : public ::testing::Test {
+ protected:
+  void build(std::size_t fanout = 2, std::uint32_t ttl = 3) {
+    sampler_ = std::make_unique<FixedSampler>(std::vector<ProcessId>{10, 11});
+    baseline_ = std::make_unique<BallsBinsBroadcast>(
+        ProcessId{7}, BallsBinsBroadcast::Options{fanout, ttl}, *sampler_,
+        [this](const Event& e, DeliveryTag) { delivered_.push_back(e); });
+  }
+
+  std::unique_ptr<FixedSampler> sampler_;
+  std::unique_ptr<BallsBinsBroadcast> baseline_;
+  std::vector<Event> delivered_;
+};
+
+TEST_F(BallsBinsTest, BroadcastDeliversLocallyImmediately) {
+  build();
+  const Event event = baseline_->broadcast(nullptr);
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(delivered_[0].id, event.id);
+}
+
+TEST_F(BallsBinsTest, FirstReceptionDelivers) {
+  build();
+  baseline_->onBall({remoteEvent(1, 0, 1)});
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(delivered_[0].id, (EventId{1, 0}));
+}
+
+TEST_F(BallsBinsTest, DuplicatesNeverRedeliver) {
+  build();
+  for (int i = 0; i < 5; ++i) baseline_->onBall({remoteEvent(1, 0, 1)});
+  EXPECT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(baseline_->stats().duplicatesIgnored, 4u);
+}
+
+TEST_F(BallsBinsTest, ExpiredCopiesStillDeliverButAreNotRelayed) {
+  build(2, 3);
+  baseline_->onBall({remoteEvent(1, 0, 3)});  // ttl == TTL
+  EXPECT_EQ(delivered_.size(), 1u);           // infection counts
+  EXPECT_EQ(baseline_->onRound().ball, nullptr);  // but no relay
+}
+
+TEST_F(BallsBinsTest, FreshCopiesAreRelayedWithIncrementedTtl) {
+  build(2, 3);
+  baseline_->onBall({remoteEvent(1, 0, 1)});
+  const auto out = baseline_->onRound();
+  ASSERT_NE(out.ball, nullptr);
+  ASSERT_EQ(out.ball->size(), 1u);
+  EXPECT_EQ((*out.ball)[0].ttl, 2u);
+  EXPECT_EQ(out.targets, (std::vector<ProcessId>{10, 11}));
+}
+
+TEST_F(BallsBinsTest, NextBallClearedAfterRound) {
+  build();
+  baseline_->broadcast(nullptr);
+  EXPECT_NE(baseline_->onRound().ball, nullptr);
+  EXPECT_EQ(baseline_->onRound().ball, nullptr);
+}
+
+TEST_F(BallsBinsTest, SequencesIncrease) {
+  build();
+  EXPECT_EQ(baseline_->nextSequence(), 0u);
+  baseline_->broadcast(nullptr);
+  EXPECT_EQ(baseline_->nextSequence(), 1u);
+  EXPECT_EQ(baseline_->broadcast(nullptr).id.sequence, 1u);
+}
+
+TEST_F(BallsBinsTest, RejectsDegenerateOptions) {
+  FixedSampler sampler({1});
+  const auto deliver = [](const Event&, DeliveryTag) {};
+  EXPECT_THROW(
+      BallsBinsBroadcast(0, {.fanout = 0, .ttl = 3}, sampler, deliver),
+      util::ContractViolation);
+  EXPECT_THROW(
+      BallsBinsBroadcast(0, {.fanout = 2, .ttl = 0}, sampler, deliver),
+      util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace epto::baselines

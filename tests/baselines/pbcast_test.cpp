@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/pbcast.h"
+#include "util/ensure.h"
+
+namespace epto::baselines {
+namespace {
+
+class FixedSampler final : public PeerSampler {
+ public:
+  explicit FixedSampler(std::vector<ProcessId> peers) : peers_(std::move(peers)) {}
+  std::vector<ProcessId> samplePeers(std::size_t k) override {
+    auto out = peers_;
+    if (out.size() > k) out.resize(k);
+    return out;
+  }
+
+ private:
+  std::vector<ProcessId> peers_;
+};
+
+Event remoteEvent(ProcessId source, std::uint32_t seq, Timestamp originRound,
+                  std::uint32_t ttl) {
+  Event e;
+  e.id = EventId{source, seq};
+  e.ts = originRound;
+  e.ttl = ttl;
+  return e;
+}
+
+class PbcastTest : public ::testing::Test {
+ protected:
+  void build(std::size_t fanout = 2, std::uint32_t relay = 3, std::uint32_t stability = 5) {
+    sampler_ = std::make_unique<FixedSampler>(std::vector<ProcessId>{10, 11});
+    pbcast_ = std::make_unique<PbcastProcess>(
+        ProcessId{7}, PbcastProcess::Options{fanout, relay, stability}, *sampler_,
+        [this](const Event& e, DeliveryTag) { delivered_.push_back(e); });
+  }
+
+  std::unique_ptr<FixedSampler> sampler_;
+  std::unique_ptr<PbcastProcess> pbcast_;
+  std::vector<Event> delivered_;
+};
+
+TEST_F(PbcastTest, DeliversOwnBroadcastAfterStabilityRounds) {
+  build(2, 3, 5);
+  pbcast_->broadcast(nullptr);  // origin round 0
+  for (int round = 1; round <= 5; ++round) {
+    (void)pbcast_->onRound();
+    if (round < 5) {
+      EXPECT_TRUE(delivered_.empty()) << "round " << round;
+    }
+  }
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(delivered_[0].id, (EventId{7, 0}));
+}
+
+TEST_F(PbcastTest, BatchesDeliverInDeterministicOrder) {
+  build(2, 3, 5);
+  pbcast_->onGossip({remoteEvent(9, 0, 0, 1), remoteEvent(2, 0, 0, 1)});
+  pbcast_->broadcast(nullptr);  // also origin round 0, source 7
+  for (int round = 1; round <= 5; ++round) (void)pbcast_->onRound();
+  ASSERT_EQ(delivered_.size(), 3u);
+  EXPECT_EQ(delivered_[0].id.source, 2u);  // (round 0, src 2) first
+  EXPECT_EQ(delivered_[1].id.source, 7u);
+  EXPECT_EQ(delivered_[2].id.source, 9u);
+}
+
+TEST_F(PbcastTest, BatchesFromDifferentRoundsStayOrdered) {
+  build(2, 3, 5);
+  pbcast_->broadcast(nullptr);          // round 0
+  (void)pbcast_->onRound();             // round 1
+  pbcast_->broadcast(nullptr);          // round 1
+  for (int i = 0; i < 6; ++i) (void)pbcast_->onRound();
+  ASSERT_EQ(delivered_.size(), 2u);
+  EXPECT_LT(delivered_[0].orderKey(), delivered_[1].orderKey());
+}
+
+TEST_F(PbcastTest, LateCopyIsDroppedForever) {
+  // The synchronous-model fragility EpTO fixes: a copy arriving after
+  // its batch shipped is useless.
+  build(2, 3, 5);
+  for (int i = 0; i < 10; ++i) (void)pbcast_->onRound();  // round 10
+  pbcast_->onGossip({remoteEvent(9, 0, /*originRound=*/2, 1)});
+  for (int i = 0; i < 10; ++i) (void)pbcast_->onRound();
+  EXPECT_TRUE(delivered_.empty());
+  EXPECT_EQ(pbcast_->stats().lateDrops, 1u);
+}
+
+TEST_F(PbcastTest, DuplicatesIgnored) {
+  build();
+  pbcast_->onGossip({remoteEvent(9, 0, 0, 1)});
+  pbcast_->onGossip({remoteEvent(9, 0, 0, 2)});
+  EXPECT_EQ(pbcast_->stats().duplicates, 1u);
+  for (int i = 0; i < 6; ++i) (void)pbcast_->onRound();
+  EXPECT_EQ(delivered_.size(), 1u);
+}
+
+TEST_F(PbcastTest, RelaysForConfiguredRoundsOnly) {
+  build(2, /*relay=*/2, /*stability=*/5);
+  pbcast_->broadcast(nullptr);
+  EXPECT_NE(pbcast_->onRound().ball, nullptr);  // relay 1
+  EXPECT_NE(pbcast_->onRound().ball, nullptr);  // relay 2
+  EXPECT_EQ(pbcast_->onRound().ball, nullptr);  // done relaying
+}
+
+TEST_F(PbcastTest, GossipCarriesIncrementedTtl) {
+  build(2, 3, 5);
+  pbcast_->onGossip({remoteEvent(9, 0, 0, 1)});
+  const auto out = pbcast_->onRound();
+  ASSERT_NE(out.ball, nullptr);
+  EXPECT_EQ((*out.ball)[0].ttl, 2u);
+}
+
+TEST_F(PbcastTest, RejectsDegenerateOptions) {
+  FixedSampler sampler({1});
+  const auto deliver = [](const Event&, DeliveryTag) {};
+  EXPECT_THROW(PbcastProcess(0, {0, 3, 5}, sampler, deliver), util::ContractViolation);
+  EXPECT_THROW(PbcastProcess(0, {2, 0, 5}, sampler, deliver), util::ContractViolation);
+  EXPECT_THROW(PbcastProcess(0, {2, 5, 3}, sampler, deliver), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace epto::baselines

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "baselines/sequencer.h"
+#include "util/ensure.h"
+
+namespace epto::baselines {
+namespace {
+
+/// A hand-driven trio: process 0 is the sequencer.
+class SequencerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::vector<ProcessId> members{0, 1, 2};
+    for (const ProcessId id : members) {
+      nodes_[id] = std::make_unique<SequencerProcess>(
+          id, /*sequencerId=*/0, members,
+          [this, id](const Event& e, DeliveryTag) { logs_[id].push_back(e); });
+    }
+  }
+
+  /// Route outgoing unicasts, optionally dropping stamped message #drop.
+  void route(const std::vector<SequencerProcess::Outgoing>& outs, int dropStamp = -1) {
+    for (const auto& out : outs) {
+      if (out.submit.has_value()) {
+        route(nodes_[0]->onSubmit(*out.submit), dropStamp);
+      } else if (out.stamped.has_value()) {
+        if (dropStamp >= 0 &&
+            out.stamped->sequence == static_cast<std::uint64_t>(dropStamp)) {
+          continue;  // simulated loss
+        }
+        nodes_[out.to]->onStamped(*out.stamped);
+      }
+    }
+  }
+
+  std::map<ProcessId, std::unique_ptr<SequencerProcess>> nodes_;
+  std::map<ProcessId, std::vector<Event>> logs_;
+};
+
+TEST_F(SequencerTest, MemberBroadcastGoesThroughTheSequencer) {
+  route(nodes_[1]->broadcast(nullptr));
+  for (const auto& [id, log] : logs_) {
+    ASSERT_EQ(log.size(), 1u) << "process " << id;
+    EXPECT_EQ(log[0].id, (EventId{1, 0}));
+  }
+}
+
+TEST_F(SequencerTest, SequencerBroadcastsDirectly) {
+  route(nodes_[0]->broadcast(nullptr));
+  for (const auto& [id, log] : logs_) ASSERT_EQ(log.size(), 1u);
+}
+
+TEST_F(SequencerTest, AllMembersDeliverInStampOrder) {
+  route(nodes_[1]->broadcast(nullptr));
+  route(nodes_[2]->broadcast(nullptr));
+  route(nodes_[0]->broadcast(nullptr));
+  route(nodes_[2]->broadcast(nullptr));
+  for (const auto& [id, log] : logs_) {
+    ASSERT_EQ(log.size(), 4u) << "process " << id;
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(log[i].id, logs_[0][i].id) << "divergence at " << i;
+    }
+  }
+}
+
+TEST_F(SequencerTest, OutOfOrderStampsAreBufferedNotDropped) {
+  SequencerProcess& node = *nodes_[1];
+  Event e1;
+  e1.id = EventId{2, 0};
+  Event e2;
+  e2.id = EventId{2, 1};
+  node.onStamped(StampedMessage{1, e2});  // stamp 1 arrives before stamp 0
+  EXPECT_TRUE(logs_[1].empty());
+  node.onStamped(StampedMessage{0, e1});
+  ASSERT_EQ(logs_[1].size(), 2u);
+  EXPECT_EQ(logs_[1][0].id, e1.id);
+  EXPECT_EQ(logs_[1][1].id, e2.id);
+}
+
+TEST_F(SequencerTest, LostStampStallsTheMemberForever) {
+  // The fragility the ablation highlights: drop stamp 0 towards everyone,
+  // every later event stays buffered at non-sequencer members.
+  route(nodes_[1]->broadcast(nullptr), /*dropStamp=*/0);
+  route(nodes_[1]->broadcast(nullptr));
+  route(nodes_[1]->broadcast(nullptr));
+  EXPECT_EQ(logs_[0].size(), 3u);  // the sequencer itself is fine
+  EXPECT_TRUE(logs_[1].empty());
+  EXPECT_TRUE(logs_[2].empty());
+  EXPECT_EQ(nodes_[1]->expectedSequence(), 0u);
+  EXPECT_GE(nodes_[1]->stats().stalled, 2u);  // stamps 1 and 2 buffered
+}
+
+TEST_F(SequencerTest, StaleDuplicateStampIsIgnored) {
+  route(nodes_[1]->broadcast(nullptr));
+  Event e;
+  e.id = EventId{1, 0};
+  nodes_[2]->onStamped(StampedMessage{0, e});  // replay of stamp 0
+  EXPECT_EQ(logs_[2].size(), 1u);
+}
+
+TEST_F(SequencerTest, SequencerSendsOneUnicastPerMemberPerEvent) {
+  route(nodes_[1]->broadcast(nullptr));
+  // Member 1: one submit. Sequencer: two stamped unicasts (members 1, 2).
+  EXPECT_EQ(nodes_[1]->stats().unicastsSent, 1u);
+  EXPECT_EQ(nodes_[0]->stats().unicastsSent, 2u);
+  EXPECT_EQ(nodes_[0]->stats().stamped, 1u);
+}
+
+TEST_F(SequencerTest, NonSequencerRejectsSubmissions) {
+  SubmitMessage submit;
+  EXPECT_THROW((void)nodes_[1]->onSubmit(submit), util::ContractViolation);
+}
+
+TEST(SequencerProcess, SequencerMustBeAMember) {
+  EXPECT_THROW(SequencerProcess(1, 9, {0, 1, 2}, [](const Event&, DeliveryTag) {}),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace epto::baselines

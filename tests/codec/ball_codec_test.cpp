@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "codec/ball_codec.h"
+#include "codec/checksum.h"
+#include "codec/varint.h"
+#include "util/rng.h"
+
+namespace epto::codec {
+namespace {
+
+Event makeEvent(ProcessId source, std::uint32_t seq, Timestamp ts, std::uint32_t ttl,
+                std::size_t payloadBytes = 0) {
+  Event e;
+  e.id = EventId{source, seq};
+  e.ts = ts;
+  e.ttl = ttl;
+  if (payloadBytes > 0) {
+    auto payload = std::make_shared<PayloadBytes>();
+    for (std::size_t i = 0; i < payloadBytes; ++i) {
+      payload->push_back(static_cast<std::byte>(i * 31 + source));
+    }
+    e.payload = std::move(payload);
+  }
+  return e;
+}
+
+void expectSameBall(const Ball& a, const Ball& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].ts, b[i].ts);
+    EXPECT_EQ(a[i].ttl, b[i].ttl);
+    const bool aHas = a[i].payload != nullptr && !a[i].payload->empty();
+    const bool bHas = b[i].payload != nullptr && !b[i].payload->empty();
+    ASSERT_EQ(aHas, bHas);
+    if (aHas) {
+      EXPECT_EQ(*a[i].payload, *b[i].payload);
+    }
+  }
+}
+
+TEST(BallCodec, EmptyBallRoundTrips) {
+  const auto frame = encodeBall({});
+  const auto decoded = decodeBall(frame);
+  ASSERT_TRUE(decoded.ok()) << toString(decoded.error);
+  EXPECT_TRUE(decoded.ball.empty());
+}
+
+TEST(BallCodec, TypicalBallRoundTrips) {
+  Ball ball{makeEvent(1, 0, 100, 3), makeEvent(2, 7, 101, 15, 32),
+            makeEvent(0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFFFFFFFFFFULL, 0xFFFFFFFF),
+            makeEvent(3, 1, 0, 0, 1)};
+  const auto frame = encodeBall(ball);
+  const auto decoded = decodeBall(frame);
+  ASSERT_TRUE(decoded.ok()) << toString(decoded.error);
+  expectSameBall(ball, decoded.ball);
+}
+
+TEST(BallCodec, RandomBallsRoundTrip) {
+  util::Rng rng(2718);
+  for (int trial = 0; trial < 300; ++trial) {
+    Ball ball;
+    const std::size_t count = rng.below(40);
+    for (std::size_t i = 0; i < count; ++i) {
+      ball.push_back(makeEvent(static_cast<ProcessId>(rng()),
+                               static_cast<std::uint32_t>(rng()), rng(),
+                               static_cast<std::uint32_t>(rng()), rng.below(64)));
+    }
+    const auto frame = encodeBall(ball);
+    const auto decoded = decodeBall(frame);
+    ASSERT_TRUE(decoded.ok()) << toString(decoded.error);
+    expectSameBall(ball, decoded.ball);
+  }
+}
+
+TEST(BallCodec, EveryTruncationRejected) {
+  const auto frame = encodeBall({makeEvent(1, 2, 3, 4, 10), makeEvent(5, 6, 7, 8)});
+  for (std::size_t keep = 0; keep < frame.size(); ++keep) {
+    const auto decoded = decodeBall(std::span(frame.data(), keep));
+    EXPECT_FALSE(decoded.ok()) << "kept " << keep << " bytes";
+  }
+}
+
+TEST(BallCodec, EverySingleBitFlipRejected) {
+  // The CRC32C trailer guarantees any single-bit corruption is caught.
+  auto frame = encodeBall({makeEvent(1, 2, 3, 4, 8)});
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      frame[i] ^= static_cast<std::byte>(1 << bit);
+      const auto decoded = decodeBall(frame);
+      EXPECT_FALSE(decoded.ok()) << "byte " << i << " bit " << bit;
+      frame[i] ^= static_cast<std::byte>(1 << bit);
+    }
+  }
+  EXPECT_TRUE(decodeBall(frame).ok());  // restored frame is fine again
+}
+
+TEST(BallCodec, BadMagicReported) {
+  auto frame = encodeBall({});
+  frame[0] = std::byte{0x00};
+  // Re-stamp the CRC so the specific error is BadMagic, not checksum.
+  const auto body = std::span(frame.data(), frame.size() - 4);
+  const std::uint32_t crc = crc32c(body);
+  for (int i = 0; i < 4; ++i) {
+    frame[frame.size() - 4 + static_cast<std::size_t>(i)] =
+        static_cast<std::byte>((crc >> (8 * i)) & 0xFF);
+  }
+  EXPECT_EQ(decodeBall(frame).error, DecodeError::BadMagic);
+}
+
+TEST(BallCodec, BadVersionReported) {
+  auto frame = encodeBall({});
+  frame[2] = std::byte{99};
+  const std::uint32_t crc = crc32c(std::span(frame.data(), frame.size() - 4));
+  for (int i = 0; i < 4; ++i) {
+    frame[frame.size() - 4 + static_cast<std::size_t>(i)] =
+        static_cast<std::byte>((crc >> (8 * i)) & 0xFF);
+  }
+  EXPECT_EQ(decodeBall(frame).error, DecodeError::BadVersion);
+}
+
+TEST(BallCodec, LyingEventCountRejectedWithoutHugeAllocation) {
+  // Hand-craft a frame declaring 2^40 events in a 20-byte body.
+  std::vector<std::byte> frame;
+  frame.push_back(std::byte{0x70});
+  frame.push_back(std::byte{0xE9});
+  frame.push_back(std::byte{1});
+  putVarint(frame, 1ULL << 40);
+  const std::uint32_t crc = crc32c(frame);
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<std::byte>((crc >> (8 * i)) & 0xFF));
+  }
+  EXPECT_EQ(decodeBall(frame).error, DecodeError::LengthOverflow);
+}
+
+TEST(BallCodec, LyingPayloadLengthRejected) {
+  std::vector<std::byte> frame;
+  frame.push_back(std::byte{0x70});
+  frame.push_back(std::byte{0xE9});
+  frame.push_back(std::byte{1});
+  putVarint(frame, 1);   // one event
+  putVarint(frame, 1);   // source
+  putVarint(frame, 0);   // sequence
+  putVarint(frame, 10);  // ts
+  putVarint(frame, 2);   // ttl
+  putVarint(frame, 1000);  // payload length: lies
+  const std::uint32_t crc = crc32c(frame);
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<std::byte>((crc >> (8 * i)) & 0xFF));
+  }
+  EXPECT_EQ(decodeBall(frame).error, DecodeError::LengthOverflow);
+}
+
+TEST(BallCodec, TrailingGarbageRejected) {
+  std::vector<std::byte> frame;
+  frame.push_back(std::byte{0x70});
+  frame.push_back(std::byte{0xE9});
+  frame.push_back(std::byte{1});
+  putVarint(frame, 0);               // zero events
+  frame.push_back(std::byte{0xAB});  // stray byte
+  const std::uint32_t crc = crc32c(frame);
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<std::byte>((crc >> (8 * i)) & 0xFF));
+  }
+  EXPECT_EQ(decodeBall(frame).error, DecodeError::TrailingGarbage);
+}
+
+TEST(BallCodec, RandomGarbageNeverCrashesOrSucceeds) {
+  util::Rng rng(777);
+  int accepted = 0;
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::vector<std::byte> junk(rng.below(64));
+    for (auto& b : junk) b = static_cast<std::byte>(rng());
+    if (decodeBall(junk).ok()) ++accepted;
+  }
+  // 32-bit CRC + magic: the odds of random junk validating are ~2^-48.
+  EXPECT_EQ(accepted, 0);
+}
+
+TEST(BallCodec, OversizedFieldsInValidFrameRejected) {
+  // A frame can be internally consistent (CRC fine) yet declare a source
+  // id beyond 32 bits — the decoder must range-check.
+  std::vector<std::byte> frame;
+  frame.push_back(std::byte{0x70});
+  frame.push_back(std::byte{0xE9});
+  frame.push_back(std::byte{1});
+  putVarint(frame, 1);
+  putVarint(frame, 1ULL << 40);  // source exceeds ProcessId
+  putVarint(frame, 0);
+  putVarint(frame, 1);
+  putVarint(frame, 1);
+  putVarint(frame, 0);
+  const std::uint32_t crc = crc32c(frame);
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<std::byte>((crc >> (8 * i)) & 0xFF));
+  }
+  EXPECT_EQ(decodeBall(frame).error, DecodeError::LengthOverflow);
+}
+
+TEST(BallCodec, WireSizeIsCompact) {
+  // 100 payload-free events with small ts/ttl must encode well under the
+  // 24-byte in-memory footprint per event.
+  Ball ball;
+  for (std::uint32_t i = 0; i < 100; ++i) ball.push_back(makeEvent(i, i, 1000 + i, 5));
+  const auto frame = encodeBall(ball);
+  EXPECT_LT(frame.size(), 100 * 10 + 16);
+}
+
+TEST(BallCodec, ErrorStringsAreHuman) {
+  EXPECT_EQ(toString(DecodeError::None), "none");
+  EXPECT_EQ(toString(DecodeError::ChecksumMismatch), "checksum mismatch");
+  EXPECT_EQ(toString(DecodeError::Truncated), "truncated frame");
+}
+
+}  // namespace
+}  // namespace epto::codec

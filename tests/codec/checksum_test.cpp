@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "codec/checksum.h"
+
+namespace epto::codec {
+namespace {
+
+std::vector<std::byte> bytesOf(std::string_view text) {
+  std::vector<std::byte> out(text.size());
+  std::memcpy(out.data(), text.data(), text.size());
+  return out;
+}
+
+TEST(Crc32c, KnownVectors) {
+  // Published CRC32C test vectors.
+  EXPECT_EQ(crc32c({}), 0x00000000u);
+  EXPECT_EQ(crc32c(bytesOf("123456789")), 0xE3069283u);
+  const std::vector<std::byte> zeros(32, std::byte{0});
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+  const std::vector<std::byte> ones(32, std::byte{0xFF});
+  EXPECT_EQ(crc32c(ones), 0x62A8AB43u);
+}
+
+TEST(Crc32c, SensitiveToEveryBit) {
+  auto data = bytesOf("the quick brown fox jumps over the lazy dog");
+  const std::uint32_t reference = crc32c(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[i] ^= static_cast<std::byte>(1 << bit);
+      EXPECT_NE(crc32c(data), reference) << "byte " << i << " bit " << bit;
+      data[i] ^= static_cast<std::byte>(1 << bit);
+    }
+  }
+  EXPECT_EQ(crc32c(data), reference);  // restored
+}
+
+TEST(Crc32c, Deterministic) {
+  const auto data = bytesOf("epto");
+  EXPECT_EQ(crc32c(data), crc32c(data));
+}
+
+}  // namespace
+}  // namespace epto::codec

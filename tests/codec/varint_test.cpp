@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "codec/varint.h"
+#include "util/rng.h"
+
+namespace epto::codec {
+namespace {
+
+std::vector<std::byte> encode(std::uint64_t value) {
+  std::vector<std::byte> out;
+  putVarint(out, value);
+  return out;
+}
+
+TEST(Varint, KnownEncodings) {
+  EXPECT_EQ(encode(0).size(), 1u);
+  EXPECT_EQ(encode(0)[0], std::byte{0});
+  EXPECT_EQ(encode(127).size(), 1u);
+  EXPECT_EQ(encode(128).size(), 2u);
+  EXPECT_EQ(encode(128)[0], std::byte{0x80});
+  EXPECT_EQ(encode(128)[1], std::byte{0x01});
+  EXPECT_EQ(encode(300), (std::vector<std::byte>{std::byte{0xAC}, std::byte{0x02}}));
+  EXPECT_EQ(encode(std::numeric_limits<std::uint64_t>::max()).size(), 10u);
+}
+
+TEST(Varint, RoundTripBoundaries) {
+  const std::vector<std::uint64_t> boundaries{
+      0, 1, 127, 128, 16383, 16384, 2097151, 2097152,
+      0xFFFFFFFFULL, 0x100000000ULL, std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t value : boundaries) {
+    const auto bytes = encode(value);
+    ByteReader reader(bytes);
+    const auto decoded = reader.readVarint();
+    ASSERT_TRUE(decoded.has_value()) << value;
+    EXPECT_EQ(*decoded, value);
+    EXPECT_TRUE(reader.exhausted());
+  }
+}
+
+TEST(Varint, RoundTripRandom) {
+  util::Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    // Mix of magnitudes: shift a full-width draw by a random amount.
+    const std::uint64_t value = rng() >> (rng.below(64));
+    const auto bytes = encode(value);
+    ByteReader reader(bytes);
+    const auto decoded = reader.readVarint();
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, value);
+  }
+}
+
+TEST(Varint, TruncatedRejected) {
+  auto bytes = encode(std::numeric_limits<std::uint64_t>::max());
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    ByteReader reader(std::span(bytes.data(), keep));
+    EXPECT_FALSE(reader.readVarint().has_value()) << "kept " << keep;
+  }
+}
+
+TEST(Varint, OverlongContinuationRejected) {
+  // Eleven continuation bytes: the continuation bit never clears within
+  // the 64-bit budget.
+  std::vector<std::byte> bytes(11, std::byte{0x80});
+  ByteReader reader(bytes);
+  EXPECT_FALSE(reader.readVarint().has_value());
+}
+
+TEST(Varint, OverflowingFinalChunkRejected) {
+  // Nine 0x80 bytes then 0x7F: the last chunk shifts past bit 63.
+  std::vector<std::byte> bytes(9, std::byte{0x80});
+  bytes.push_back(std::byte{0x7F});
+  ByteReader reader(bytes);
+  EXPECT_FALSE(reader.readVarint().has_value());
+}
+
+TEST(ByteReader, BytesAndBounds) {
+  const std::vector<std::byte> data{std::byte{1}, std::byte{2}, std::byte{3}};
+  ByteReader reader(data);
+  EXPECT_EQ(reader.remaining(), 3u);
+  const auto two = reader.readBytes(2);
+  ASSERT_TRUE(two.has_value());
+  EXPECT_EQ((*two)[1], std::byte{2});
+  EXPECT_FALSE(reader.readBytes(2).has_value());  // only 1 left
+  EXPECT_TRUE(reader.readBytes(1).has_value());
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_FALSE(reader.readByte().has_value());
+}
+
+}  // namespace
+}  // namespace epto::codec

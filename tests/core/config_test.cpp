@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "analysis/parameters.h"
+#include "core/config.h"
+#include "util/ensure.h"
+
+namespace epto {
+namespace {
+
+TEST(Config, ForSystemSizeGlobalMatchesLemma3) {
+  const auto config = Config::forSystemSize(100, ClockMode::Global, Robustness{.c = 2.0});
+  EXPECT_EQ(config.fanout, analysis::baseFanout(100));
+  EXPECT_EQ(config.ttl, analysis::baseTtl(100, 2.0));
+  EXPECT_EQ(config.clockMode, ClockMode::Global);
+}
+
+TEST(Config, ForSystemSizeLogicalDoublesTtl) {
+  const auto global = Config::forSystemSize(100, ClockMode::Global, Robustness{.c = 2.0});
+  const auto logical = Config::forSystemSize(100, ClockMode::Logical, Robustness{.c = 2.0});
+  EXPECT_EQ(logical.ttl, 2 * global.ttl);
+}
+
+TEST(Config, PaperEvaluationTtl) {
+  // The paper's n=100 evaluation uses "the TTL given by the theoretical
+  // analysis (TTL=15)".
+  const auto config =
+      Config::forSystemSize(100, ClockMode::Global, Robustness{.c = 1.25});
+  EXPECT_EQ(config.ttl, 15u);
+  EXPECT_EQ(config.fanout, 17u);
+}
+
+TEST(Config, RobustnessFlowsThrough) {
+  const auto base = Config::forSystemSize(1000, ClockMode::Global, Robustness{.c = 2.0});
+  const auto hard = Config::forSystemSize(
+      1000, ClockMode::Global,
+      Robustness{.c = 2.0, .churnPerRound = 100.0, .messageLossRate = 0.1});
+  EXPECT_GT(hard.fanout, base.fanout);
+  EXPECT_EQ(hard.ttl, base.ttl);
+}
+
+TEST(Config, ValidateRejectsZeroParameters) {
+  Config config;
+  config.fanout = 0;
+  config.ttl = 5;
+  EXPECT_THROW(config.validate(), util::ContractViolation);
+  config.fanout = 3;
+  config.ttl = 0;
+  EXPECT_THROW(config.validate(), util::ContractViolation);
+  config.ttl = 5;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(Config, DefaultsAreConservative) {
+  Config config;
+  EXPECT_EQ(config.clockMode, ClockMode::Logical);
+  EXPECT_FALSE(config.tagOutOfOrder);
+}
+
+}  // namespace
+}  // namespace epto

@@ -1,0 +1,201 @@
+// Unit tests of the dissemination component (paper Algorithm 1).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/dissemination.h"
+#include "core/ordering.h"
+#include "core/stability_oracle.h"
+
+namespace epto {
+namespace {
+
+/// Sampler returning a scripted peer set.
+class ScriptedSampler final : public PeerSampler {
+ public:
+  explicit ScriptedSampler(std::vector<ProcessId> peers) : peers_(std::move(peers)) {}
+  std::vector<ProcessId> samplePeers(std::size_t k) override {
+    ++calls_;
+    lastK_ = k;
+    std::vector<ProcessId> out = peers_;
+    if (out.size() > k) out.resize(k);
+    return out;
+  }
+  std::size_t calls_ = 0;
+  std::size_t lastK_ = 0;
+
+ private:
+  std::vector<ProcessId> peers_;
+};
+
+class DisseminationTest : public ::testing::Test {
+ protected:
+  void build(std::size_t fanout, std::uint32_t ttl,
+             std::vector<ProcessId> peers = {10, 11, 12}) {
+    oracle_ = std::make_unique<LogicalClockOracle>(ttl);
+    ordering_ = std::make_unique<OrderingComponent>(
+        OrderingComponent::Options{.ttl = ttl}, *oracle_,
+        [this](const Event& e, DeliveryTag) { delivered_.push_back(e); });
+    sampler_ = std::make_unique<ScriptedSampler>(std::move(peers));
+    dissemination_ = std::make_unique<DisseminationComponent>(
+        ProcessId{7}, DisseminationComponent::Options{fanout, ttl}, *oracle_, *sampler_,
+        *ordering_);
+  }
+
+  std::unique_ptr<LogicalClockOracle> oracle_;
+  std::unique_ptr<OrderingComponent> ordering_;
+  std::unique_ptr<ScriptedSampler> sampler_;
+  std::unique_ptr<DisseminationComponent> dissemination_;
+  std::vector<Event> delivered_;
+};
+
+Event remoteEvent(ProcessId source, std::uint32_t seq, Timestamp ts, std::uint32_t ttl) {
+  Event e;
+  e.id = EventId{source, seq};
+  e.ts = ts;
+  e.ttl = ttl;
+  return e;
+}
+
+TEST_F(DisseminationTest, BroadcastStampsAndQueues) {
+  build(3, 5);
+  const Event event = dissemination_->broadcast(nullptr);
+  EXPECT_EQ(event.id.source, 7u);
+  EXPECT_EQ(event.id.sequence, 0u);
+  EXPECT_EQ(event.ts, 1u);  // logical clock first tick
+  EXPECT_EQ(event.ttl, 0u);
+  EXPECT_EQ(dissemination_->pendingRelayCount(), 1u);
+}
+
+TEST_F(DisseminationTest, SequenceNumbersIncrease) {
+  build(3, 5);
+  EXPECT_EQ(dissemination_->broadcast(nullptr).id.sequence, 0u);
+  EXPECT_EQ(dissemination_->broadcast(nullptr).id.sequence, 1u);
+  EXPECT_EQ(dissemination_->broadcast(nullptr).id.sequence, 2u);
+}
+
+TEST_F(DisseminationTest, RoundIncrementsTtlBeforeSending) {
+  build(3, 5);
+  dissemination_->broadcast(nullptr);
+  const auto out = dissemination_->onRound();
+  ASSERT_NE(out.ball, nullptr);
+  ASSERT_EQ(out.ball->size(), 1u);
+  EXPECT_EQ((*out.ball)[0].ttl, 1u);  // Alg. 1 line 22
+  EXPECT_EQ(out.targets, (std::vector<ProcessId>{10, 11, 12}));
+}
+
+TEST_F(DisseminationTest, EmptyRoundSendsNothingButAgesOrdering) {
+  build(3, 2);
+  // Seed the ordering component directly, then verify an empty
+  // dissemination round still ages it (the liveness fix — see DESIGN.md).
+  ordering_->orderEvents({remoteEvent(1, 0, 5, 0)});
+  for (int i = 0; i < 3; ++i) {
+    const auto out = dissemination_->onRound();
+    EXPECT_EQ(out.ball, nullptr);
+    EXPECT_TRUE(out.targets.empty());
+  }
+  EXPECT_EQ(delivered_.size(), 1u);
+}
+
+TEST_F(DisseminationTest, ReceivedEventsAreRelayedOnce) {
+  build(2, 5);
+  dissemination_->onBall({remoteEvent(1, 0, 5, 2)});
+  EXPECT_EQ(dissemination_->pendingRelayCount(), 1u);
+  const auto out = dissemination_->onRound();
+  ASSERT_NE(out.ball, nullptr);
+  EXPECT_EQ((*out.ball)[0].ttl, 3u);  // received at 2, incremented
+  // nextBall cleared: a second round is idle.
+  EXPECT_EQ(dissemination_->onRound().ball, nullptr);
+}
+
+TEST_F(DisseminationTest, ExpiredEventsAreNotRelayedNorOrdered) {
+  build(2, 5);
+  dissemination_->onBall({remoteEvent(1, 0, 5, 5)});  // ttl == TTL: dead on arrival
+  EXPECT_EQ(dissemination_->pendingRelayCount(), 0u);
+  EXPECT_EQ(dissemination_->stats().eventsExpired, 1u);
+  for (int i = 0; i < 10; ++i) dissemination_->onRound();
+  EXPECT_TRUE(delivered_.empty());
+}
+
+TEST_F(DisseminationTest, TtlMaxMergeKeepsOldestCopy) {
+  build(2, 9);
+  dissemination_->onBall({remoteEvent(1, 0, 5, 2)});
+  dissemination_->onBall({remoteEvent(1, 0, 5, 7)});
+  dissemination_->onBall({remoteEvent(1, 0, 5, 4)});
+  const auto out = dissemination_->onRound();
+  ASSERT_NE(out.ball, nullptr);
+  ASSERT_EQ(out.ball->size(), 1u);
+  EXPECT_EQ((*out.ball)[0].ttl, 8u);  // max(2,7,4) + 1
+}
+
+TEST_F(DisseminationTest, BallGroupsAllPendingEvents) {
+  // "each process groups all the received events per round in the same
+  // ball" (§4.2) — the traffic saver.
+  build(2, 9);
+  dissemination_->broadcast(nullptr);
+  dissemination_->onBall({remoteEvent(1, 0, 5, 2), remoteEvent(2, 0, 6, 1)});
+  const auto out = dissemination_->onRound();
+  ASSERT_NE(out.ball, nullptr);
+  EXPECT_EQ(out.ball->size(), 3u);
+  EXPECT_EQ(dissemination_->stats().maxBallSize, 3u);
+}
+
+TEST_F(DisseminationTest, BallContentsAreSortedById) {
+  build(2, 9);
+  dissemination_->onBall({remoteEvent(5, 0, 5, 2), remoteEvent(1, 0, 6, 1),
+                          remoteEvent(3, 0, 7, 1)});
+  const auto out = dissemination_->onRound();
+  ASSERT_NE(out.ball, nullptr);
+  EXPECT_TRUE(std::is_sorted(out.ball->begin(), out.ball->end(),
+                             [](const Event& a, const Event& b) { return a.id < b.id; }));
+}
+
+TEST_F(DisseminationTest, ReceptionUpdatesLogicalClock) {
+  build(2, 5);
+  dissemination_->onBall({remoteEvent(1, 0, 100, 1)});
+  EXPECT_EQ(oracle_->current(), 100u);
+  // Next broadcast is ordered after everything seen.
+  EXPECT_EQ(dissemination_->broadcast(nullptr).ts, 101u);
+}
+
+TEST_F(DisseminationTest, RoundHandsBallToOrdering) {
+  build(2, 1);
+  dissemination_->onBall({remoteEvent(1, 0, 5, 0)});
+  dissemination_->onRound();  // relays and orders (ttl 1)
+  dissemination_->onRound();  // ages to 2 > 1: delivered
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(delivered_[0].id, (EventId{1, 0}));
+}
+
+TEST_F(DisseminationTest, FanoutPassedToSampler) {
+  build(2, 5, {10, 11, 12, 13});
+  dissemination_->broadcast(nullptr);
+  const auto out = dissemination_->onRound();
+  EXPECT_EQ(sampler_->lastK_, 2u);
+  EXPECT_EQ(out.targets.size(), 2u);
+  EXPECT_EQ(dissemination_->stats().ballsSent, 2u);
+}
+
+TEST_F(DisseminationTest, StatsCountRelayedCopies) {
+  build(3, 5);
+  dissemination_->broadcast(nullptr);
+  dissemination_->broadcast(nullptr);
+  dissemination_->onRound();
+  EXPECT_EQ(dissemination_->stats().eventsRelayed, 6u);  // 2 events x 3 targets
+  EXPECT_EQ(dissemination_->stats().broadcasts, 2u);
+  EXPECT_EQ(dissemination_->stats().rounds, 1u);
+}
+
+TEST_F(DisseminationTest, RejectsDegenerateOptions) {
+  LogicalClockOracle oracle(5);
+  OrderingComponent ordering({.ttl = 5}, oracle, [](const Event&, DeliveryTag) {});
+  ScriptedSampler sampler({1});
+  EXPECT_THROW(DisseminationComponent(0, {.fanout = 0, .ttl = 5}, oracle, sampler, ordering),
+               util::ContractViolation);
+  EXPECT_THROW(DisseminationComponent(0, {.fanout = 1, .ttl = 0}, oracle, sampler, ordering),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace epto

@@ -1,0 +1,275 @@
+// Unit tests of the ordering component (paper Algorithm 2), including the
+// paper's own illustrative scenarios (Figure 1) and the §8.2 tagged
+// delivery extension.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/ordering.h"
+#include "core/stability_oracle.h"
+
+namespace epto {
+namespace {
+
+Event makeEvent(ProcessId source, std::uint32_t seq, Timestamp ts, std::uint32_t ttl = 0) {
+  Event e;
+  e.id = EventId{source, seq};
+  e.ts = ts;
+  e.ttl = ttl;
+  return e;
+}
+
+/// Test fixture owning an oracle, a component and the delivery log.
+class OrderingTest : public ::testing::Test {
+ protected:
+  void build(std::uint32_t ttl, bool tag = false, std::uint32_t retention = 0) {
+    oracle_ = std::make_unique<LogicalClockOracle>(ttl);
+    ordering_ = std::make_unique<OrderingComponent>(
+        OrderingComponent::Options{ttl, tag, retention}, *oracle_,
+        [this](const Event& e, DeliveryTag t) { log_.emplace_back(e, t); });
+  }
+
+  /// Run `rounds` empty rounds (pure aging).
+  void age(int rounds) {
+    for (int i = 0; i < rounds; ++i) ordering_->orderEvents({});
+  }
+
+  [[nodiscard]] std::vector<EventId> orderedIds() const {
+    std::vector<EventId> ids;
+    for (const auto& [e, t] : log_) {
+      if (t == DeliveryTag::Ordered) ids.push_back(e.id);
+    }
+    return ids;
+  }
+
+  std::unique_ptr<LogicalClockOracle> oracle_;
+  std::unique_ptr<OrderingComponent> ordering_;
+  std::vector<std::pair<Event, DeliveryTag>> log_;
+};
+
+TEST_F(OrderingTest, DeliversAfterTtlRounds) {
+  build(3);
+  ordering_->orderEvents({makeEvent(1, 0, 10)});  // absorbed with ttl 0
+  EXPECT_TRUE(log_.empty());
+  age(3);
+  EXPECT_TRUE(log_.empty());  // ttl now 3, needs > 3
+  age(1);
+  ASSERT_EQ(log_.size(), 1u);
+  EXPECT_EQ(log_[0].first.id, (EventId{1, 0}));
+  EXPECT_EQ(log_[0].second, DeliveryTag::Ordered);
+}
+
+TEST_F(OrderingTest, DeliversInTimestampOrder) {
+  build(2);
+  // Arrive out of timestamp order within one ball.
+  ordering_->orderEvents({makeEvent(2, 0, 30), makeEvent(1, 0, 10), makeEvent(3, 0, 20)});
+  age(3);
+  const auto ids = orderedIds();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], (EventId{1, 0}));
+  EXPECT_EQ(ids[1], (EventId{3, 0}));
+  EXPECT_EQ(ids[2], (EventId{2, 0}));
+}
+
+TEST_F(OrderingTest, TimestampTiesBrokenBySourceId) {
+  build(2);
+  ordering_->orderEvents({makeEvent(9, 0, 10), makeEvent(2, 0, 10), makeEvent(5, 0, 10)});
+  age(3);
+  const auto ids = orderedIds();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0].source, 2u);
+  EXPECT_EQ(ids[1].source, 5u);
+  EXPECT_EQ(ids[2].source, 9u);
+}
+
+TEST_F(OrderingTest, FullTieBrokenBySequence) {
+  build(2);
+  // Same source, same timestamp (possible with a global clock): sequence
+  // disambiguates deterministically.
+  ordering_->orderEvents({makeEvent(1, 5, 10), makeEvent(1, 2, 10)});
+  age(3);
+  const auto ids = orderedIds();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0].sequence, 2u);
+  EXPECT_EQ(ids[1].sequence, 5u);
+}
+
+TEST_F(OrderingTest, StableEventWaitsForSmallerUnstableEvent) {
+  // Alg. 2 lines 22-26: a deliverable event with a timestamp above the
+  // minimum queued timestamp must wait.
+  build(3);
+  ordering_->orderEvents({makeEvent(2, 0, 20)});
+  age(2);  // (2,0) aged to ttl 2
+  // A younger event with a *smaller* timestamp shows up; this round also
+  // ages (2,0) to ttl 3 — one short of deliverable.
+  ordering_->orderEvents({makeEvent(1, 0, 10)});
+  EXPECT_TRUE(log_.empty());
+  // Next round (2,0) is deliverable (ttl 4 > 3) but (1,0) blocks it until
+  // it stabilizes too.
+  age(1);
+  EXPECT_TRUE(log_.empty());
+  age(3);  // (1,0) reaches ttl 4: both deliver, in key order
+  const auto ids = orderedIds();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], (EventId{1, 0}));
+  EXPECT_EQ(ids[1], (EventId{2, 0}));
+}
+
+TEST_F(OrderingTest, LateEventSortingBeforeFrontierIsDropped) {
+  build(2);
+  ordering_->orderEvents({makeEvent(2, 0, 20)});
+  age(3);
+  ASSERT_EQ(log_.size(), 1u);
+  // A latecomer with a smaller timestamp can no longer be delivered.
+  ordering_->orderEvents({makeEvent(1, 0, 10)});
+  age(3);
+  EXPECT_EQ(log_.size(), 1u);
+  EXPECT_EQ(ordering_->stats().droppedOutOfOrder, 1u);
+}
+
+TEST_F(OrderingTest, DuplicateOfPendingEventMergesTtl) {
+  build(5);
+  ordering_->orderEvents({makeEvent(1, 0, 10, 0)});
+  // The same event arrives again with a larger ttl (it aged elsewhere).
+  ordering_->orderEvents({makeEvent(1, 0, 10, 5)});
+  EXPECT_EQ(ordering_->stats().ttlMerges, 1u);
+  // ttl is now 5; one more aging round makes it 6 > 5 -> deliverable.
+  age(1);
+  ASSERT_EQ(log_.size(), 1u);
+}
+
+TEST_F(OrderingTest, DuplicateWithSmallerTtlIsIgnored) {
+  build(5);
+  ordering_->orderEvents({makeEvent(1, 0, 10, 4)});
+  ordering_->orderEvents({makeEvent(1, 0, 10, 1)});
+  EXPECT_EQ(ordering_->stats().ttlMerges, 0u);
+  // Aged to 5 then 6 after two more rounds: exactly one delivery.
+  age(2);
+  EXPECT_EQ(log_.size(), 1u);
+}
+
+TEST_F(OrderingTest, DuplicateOfDeliveredEventNeverRedelivers) {
+  build(2);
+  ordering_->orderEvents({makeEvent(1, 0, 10)});
+  age(3);
+  ASSERT_EQ(log_.size(), 1u);
+  for (int i = 0; i < 5; ++i) ordering_->orderEvents({makeEvent(1, 0, 10)});
+  age(5);
+  EXPECT_EQ(log_.size(), 1u);  // integrity
+}
+
+TEST_F(OrderingTest, PaperFigure1RunA_HolesAllowedOrderKept) {
+  // Run A: r misses e but delivers e' and e'' in order — a valid EpTO run.
+  build(2);
+  // Process r receives only e' (ts 20) and e'' (ts 30); e (ts 10) is lost.
+  ordering_->orderEvents({makeEvent(2, 0, 20), makeEvent(3, 0, 30)});
+  age(3);
+  const auto ids = orderedIds();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], (EventId{2, 0}));  // e' before e''
+  EXPECT_EQ(ids[1], (EventId{3, 0}));
+}
+
+TEST_F(OrderingTest, PaperFigure1RunB_OrderViolationImpossible) {
+  // Run B: r would deliver e'' then e, e' — EpTO must never do that.
+  // Feed r all three events; regardless of arrival order the delivery
+  // order must be (e, e', e'').
+  build(2);
+  ordering_->orderEvents({makeEvent(3, 0, 30)});  // e'' first
+  ordering_->orderEvents({makeEvent(1, 0, 10), makeEvent(2, 0, 20)});
+  age(4);
+  const auto ids = orderedIds();
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], (EventId{1, 0}));
+  EXPECT_EQ(ids[1], (EventId{2, 0}));
+  EXPECT_EQ(ids[2], (EventId{3, 0}));
+}
+
+TEST_F(OrderingTest, TaggedDeliverySurfacesLateEvents) {
+  // §8.2: instead of dropping, deliver tagged as out-of-order.
+  build(2, /*tag=*/true);
+  ordering_->orderEvents({makeEvent(2, 0, 20)});
+  age(3);
+  ASSERT_EQ(log_.size(), 1u);
+  ordering_->orderEvents({makeEvent(1, 0, 10)});  // too late
+  ASSERT_EQ(log_.size(), 2u);
+  EXPECT_EQ(log_[1].second, DeliveryTag::OutOfOrder);
+  EXPECT_EQ(log_[1].first.id, (EventId{1, 0}));
+  EXPECT_EQ(ordering_->stats().deliveredOutOfOrder, 1u);
+}
+
+TEST_F(OrderingTest, TaggedDeliveryDeduplicates) {
+  build(2, /*tag=*/true);
+  ordering_->orderEvents({makeEvent(2, 0, 20)});
+  age(3);
+  for (int i = 0; i < 4; ++i) ordering_->orderEvents({makeEvent(1, 0, 10)});
+  EXPECT_EQ(ordering_->stats().deliveredOutOfOrder, 1u);
+  EXPECT_EQ(ordering_->stats().droppedDuplicates, 3u);
+}
+
+TEST_F(OrderingTest, TaggedDeliveryNeverDuplicatesOrderedDelivery) {
+  build(2, /*tag=*/true);
+  ordering_->orderEvents({makeEvent(1, 0, 10)});
+  age(3);
+  ASSERT_EQ(log_.size(), 1u);
+  // The same event arrives again after delivery: must be recognized as a
+  // duplicate, not tagged.
+  ordering_->orderEvents({makeEvent(1, 0, 10)});
+  EXPECT_EQ(log_.size(), 1u);
+  EXPECT_EQ(ordering_->stats().droppedDuplicates, 1u);
+}
+
+TEST_F(OrderingTest, RetentionWindowPrunesDeliveredMemory) {
+  build(2, /*tag=*/true, /*retention=*/4);
+  ordering_->orderEvents({makeEvent(1, 0, 10)});
+  age(3);
+  ASSERT_EQ(log_.size(), 1u);
+  // Long after the retention window, a replayed copy is no longer
+  // recognized — it is tagged once more. This documents the bounded-
+  // memory trade-off: replay protection only inside the window (real
+  // dissemination stops after ~TTL rounds, so the window suffices).
+  age(10);
+  ordering_->orderEvents({makeEvent(1, 0, 10)});
+  EXPECT_EQ(ordering_->stats().deliveredOutOfOrder, 1u);
+}
+
+TEST_F(OrderingTest, PendingEventsSortedAndAging) {
+  build(10);
+  ordering_->orderEvents({makeEvent(2, 0, 20), makeEvent(1, 0, 10)});
+  age(2);
+  const auto pending = ordering_->pendingEvents();
+  ASSERT_EQ(pending.size(), 2u);
+  EXPECT_EQ(pending[0].id, (EventId{1, 0}));
+  EXPECT_EQ(pending[1].id, (EventId{2, 0}));
+  EXPECT_EQ(pending[0].ttl, 2u);  // absorbed with ttl 0, aged twice
+}
+
+TEST_F(OrderingTest, InvariantHoldsThroughRandomishWorkload) {
+  build(3);
+  Timestamp ts = 1;
+  for (std::uint32_t round = 0; round < 50; ++round) {
+    Ball ball;
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      ball.push_back(makeEvent(i + 1, round, ts + (i * 7 + round * 3) % 20));
+    }
+    ts += 5;
+    ordering_->orderEvents(ball);
+    ASSERT_TRUE(ordering_->checkInvariants()) << "round " << round;
+  }
+}
+
+TEST_F(OrderingTest, StatsTrackRoundsAndHighWaterMark) {
+  build(5);
+  ordering_->orderEvents({makeEvent(1, 0, 10), makeEvent(2, 0, 11)});
+  age(2);
+  EXPECT_EQ(ordering_->stats().rounds, 3u);
+  EXPECT_EQ(ordering_->stats().maxReceivedSize, 2u);
+}
+
+TEST(OrderingComponent, RequiresDeliverCallback) {
+  LogicalClockOracle oracle(3);
+  EXPECT_THROW(OrderingComponent({.ttl = 3}, oracle, nullptr), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace epto

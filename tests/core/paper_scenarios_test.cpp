@@ -1,0 +1,133 @@
+// Reconstructions of the paper's illustrative scenarios:
+//   * Figure 4 — the concurrency hole with logical time that motivates
+//     Lemma 4's TTL doubling: with the undoubled TTL the hole happens
+//     exactly as the paper describes; with the doubled TTL it does not.
+//   * The §5.1 claim that network activity keeps logical clocks tight.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/process.h"
+
+namespace epto {
+namespace {
+
+/// Sampler always pointing at the single peer.
+class PeerSamplerTo final : public PeerSampler {
+ public:
+  explicit PeerSamplerTo(ProcessId target) : target_(target) {}
+  std::vector<ProcessId> samplePeers(std::size_t) override { return {target_}; }
+
+ private:
+  ProcessId target_;
+};
+
+struct Delivered {
+  std::vector<Event> ordered;
+  std::vector<Event> tagged;
+};
+
+std::unique_ptr<Process> makeProcess(ProcessId id, ProcessId peer, std::uint32_t ttl,
+                                     Delivered& log, bool tag = false) {
+  Config config;
+  config.fanout = 1;
+  config.ttl = ttl;
+  config.clockMode = ClockMode::Logical;
+  config.tagOutOfOrder = tag;
+  return std::make_unique<Process>(
+      id, config, std::make_shared<PeerSamplerTo>(peer),
+      [&log](const Event& e, DeliveryTag t) {
+        (t == DeliveryTag::Ordered ? log.ordered : log.tagged).push_back(e);
+      });
+}
+
+/// Drive the Figure 4 schedule: q broadcasts e at round 0; the ball takes
+/// until round 2 to reach p; p broadcasts e' just before receiving it.
+/// p.id (0) precedes q.id (1), so e' (ts 1, src 0) precedes e (ts 1,
+/// src 1) in the total order. Returns what q delivered.
+Delivered runFigure4(std::uint32_t ttl, bool tag = false) {
+  Delivered atP;
+  Delivered atQ;
+  auto p = makeProcess(0, 1, ttl, atP, tag);
+  auto q = makeProcess(1, 0, ttl, atQ, tag);
+
+  // Round 0: q broadcasts e (logical ts 1).
+  const Event e = q->broadcast();
+  EXPECT_EQ(e.ts, 1u);
+  auto qOut = q->onRound();  // ball carrying e, in flight for two rounds
+  p->onRound();
+
+  // Round 1: the ball is still in flight (large latency).
+  q->onRound();
+  p->onRound();
+
+  // Round 2: p broadcasts e' *just before* receiving e, so e' also has
+  // logical ts 1 (p's clock never saw e).
+  const Event ePrime = p->broadcast();
+  EXPECT_EQ(ePrime.ts, 1u);
+  EXPECT_NE(qOut.ball, nullptr);
+  if (qOut.ball == nullptr) return atQ;
+  p->onBall(*qOut.ball);
+
+  // Let both processes run long enough for every TTL to expire, shipping
+  // every ball with one-round latency from here on.
+  for (int round = 0; round < 2 * static_cast<int>(ttl) + 6; ++round) {
+    auto fromP = p->onRound();
+    auto fromQ = q->onRound();
+    if (fromP.ball != nullptr) q->onBall(*fromP.ball);
+    if (fromQ.ball != nullptr) p->onBall(*fromQ.ball);
+  }
+  return atQ;
+}
+
+TEST(PaperFigure4, UndoubledTtlCreatesTheConcurrencyHole) {
+  // With TTL = 2 (the figure's value), e stabilizes at q before e'
+  // arrives; delivering e makes e' undeliverable — the hole.
+  const Delivered atQ = runFigure4(/*ttl=*/2);
+  ASSERT_EQ(atQ.ordered.size(), 1u);
+  EXPECT_EQ(atQ.ordered[0].id, (EventId{1, 0}));  // e only; e' is the hole
+}
+
+TEST(PaperFigure4, DoubledTtlDeliversBothInOrder) {
+  // Lemma 4: doubling TTL gives e' time to reach q before e is delivered.
+  const Delivered atQ = runFigure4(/*ttl=*/4);
+  ASSERT_EQ(atQ.ordered.size(), 2u);
+  EXPECT_EQ(atQ.ordered[0].id, (EventId{0, 0}));  // e' first (smaller source id)
+  EXPECT_EQ(atQ.ordered[1].id, (EventId{1, 0}));
+}
+
+TEST(PaperFigure4, TaggedDeliveryConvertsTheHoleIntoAnOutOfOrderEvent) {
+  // §8.2: with tagged delivery the dropped e' is surfaced to the
+  // application instead of silently disappearing.
+  const Delivered atQ = runFigure4(/*ttl=*/2, /*tag=*/true);
+  ASSERT_EQ(atQ.ordered.size(), 1u);
+  ASSERT_EQ(atQ.tagged.size(), 1u);
+  EXPECT_EQ(atQ.tagged[0].id, (EventId{0, 0}));
+}
+
+TEST(PaperSection51, NetworkActivityKeepsLogicalClocksTight) {
+  // "processes update their logical clocks every time they receive a
+  // ball" — with traffic flowing, two logical clocks stay within one
+  // ball-exchange of each other.
+  Delivered atP;
+  Delivered atQ;
+  auto p = makeProcess(0, 1, /*ttl=*/4, atP);
+  auto q = makeProcess(1, 0, /*ttl=*/4, atQ);
+  for (int round = 0; round < 30; ++round) {
+    if (round % 3 == 0) p->broadcast();
+    if (round % 5 == 0) q->broadcast();
+    auto fromP = p->onRound();
+    auto fromQ = q->onRound();
+    if (fromP.ball != nullptr) q->onBall(*fromP.ball);
+    if (fromQ.ball != nullptr) p->onBall(*fromQ.ball);
+  }
+  const auto& clockP = dynamic_cast<const LogicalClockOracle&>(p->oracle());
+  const auto& clockQ = dynamic_cast<const LogicalClockOracle&>(q->oracle());
+  EXPECT_LE(clockP.current() > clockQ.current() ? clockP.current() - clockQ.current()
+                                                : clockQ.current() - clockP.current(),
+            2u);
+}
+
+}  // namespace
+}  // namespace epto

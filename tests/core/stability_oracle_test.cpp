@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "core/stability_oracle.h"
+#include "util/ensure.h"
+
+namespace epto {
+namespace {
+
+Event eventWithTtl(std::uint32_t ttl) {
+  Event e;
+  e.id = EventId{1, 0};
+  e.ts = 5;
+  e.ttl = ttl;
+  return e;
+}
+
+TEST(GlobalClockOracle, DeliverableStrictlyAboveTtl) {
+  Timestamp now = 0;
+  GlobalClockOracle oracle(10, [&now] { return now; });
+  EXPECT_FALSE(oracle.isDeliverable(eventWithTtl(9)));
+  EXPECT_FALSE(oracle.isDeliverable(eventWithTtl(10)));  // Alg. 3: strict >
+  EXPECT_TRUE(oracle.isDeliverable(eventWithTtl(11)));
+}
+
+TEST(GlobalClockOracle, ReadsTheInjectedTimeSource) {
+  Timestamp now = 100;
+  GlobalClockOracle oracle(10, [&now] { return now; });
+  EXPECT_EQ(oracle.getClock(), 100u);
+  now = 250;
+  EXPECT_EQ(oracle.getClock(), 250u);
+}
+
+TEST(GlobalClockOracle, UpdateClockIsANoop) {
+  Timestamp now = 100;
+  GlobalClockOracle oracle(10, [&now] { return now; });
+  oracle.updateClock(9999);
+  EXPECT_EQ(oracle.getClock(), 100u);
+}
+
+TEST(GlobalClockOracle, RequiresTimeSource) {
+  EXPECT_THROW(GlobalClockOracle(10, nullptr), util::ContractViolation);
+}
+
+TEST(LogicalClockOracle, GetClockIncrements) {
+  // Alg. 4: the clock advances on every broadcast.
+  LogicalClockOracle oracle(10);
+  EXPECT_EQ(oracle.getClock(), 1u);
+  EXPECT_EQ(oracle.getClock(), 2u);
+  EXPECT_EQ(oracle.getClock(), 3u);
+  EXPECT_EQ(oracle.current(), 3u);
+}
+
+TEST(LogicalClockOracle, UpdateClockTakesMaximum) {
+  LogicalClockOracle oracle(10);
+  oracle.updateClock(7);
+  EXPECT_EQ(oracle.current(), 7u);
+  oracle.updateClock(3);  // older timestamp must not move the clock back
+  EXPECT_EQ(oracle.current(), 7u);
+  EXPECT_EQ(oracle.getClock(), 8u);
+}
+
+TEST(LogicalClockOracle, InitialClockConfigurable) {
+  LogicalClockOracle oracle(10, /*initialClock=*/100);
+  EXPECT_EQ(oracle.getClock(), 101u);
+}
+
+TEST(LogicalClockOracle, DeliverabilityMatchesGlobal) {
+  LogicalClockOracle oracle(4);
+  EXPECT_FALSE(oracle.isDeliverable(eventWithTtl(4)));
+  EXPECT_TRUE(oracle.isDeliverable(eventWithTtl(5)));
+}
+
+TEST(LogicalClockOracle, LamportHappensBeforeAcrossTwoProcesses) {
+  // p broadcasts, q receives, q's next broadcast must be timestamped
+  // after p's event.
+  LogicalClockOracle p(10);
+  LogicalClockOracle q(10);
+  const Timestamp tsP = p.getClock();
+  q.updateClock(tsP);
+  const Timestamp tsQ = q.getClock();
+  EXPECT_GT(tsQ, tsP);
+}
+
+}  // namespace
+}  // namespace epto

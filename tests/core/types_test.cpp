@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/types.h"
+
+namespace epto {
+namespace {
+
+TEST(EventId, OrderingAndEquality) {
+  constexpr EventId a{1, 0};
+  constexpr EventId b{1, 1};
+  constexpr EventId c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (EventId{1, 0}));
+  EXPECT_NE(a, b);
+}
+
+TEST(EventId, PackedIsInjective) {
+  EXPECT_NE((EventId{1, 0}).packed(), (EventId{0, 1}).packed());
+  EXPECT_EQ((EventId{3, 7}).packed(), (3ULL << 32) | 7ULL);
+}
+
+TEST(EventId, HashSpreads) {
+  std::unordered_set<std::size_t> hashes;
+  EventIdHash hash;
+  for (ProcessId s = 0; s < 30; ++s) {
+    for (std::uint32_t q = 0; q < 30; ++q) hashes.insert(hash(EventId{s, q}));
+  }
+  EXPECT_EQ(hashes.size(), 900u);  // no collision in a tiny dense grid
+}
+
+TEST(OrderKey, LexicographicTotalOrder) {
+  // Timestamp dominates, then source, then sequence (paper §2 plus the
+  // sequence strengthening of DESIGN.md §3.1).
+  EXPECT_LT((OrderKey{1, 9, 9}), (OrderKey{2, 0, 0}));
+  EXPECT_LT((OrderKey{5, 1, 9}), (OrderKey{5, 2, 0}));
+  EXPECT_LT((OrderKey{5, 1, 1}), (OrderKey{5, 1, 2}));
+  EXPECT_EQ((OrderKey{5, 1, 1}), (OrderKey{5, 1, 1}));
+}
+
+TEST(Event, OrderKeyDerivedFromFields) {
+  Event e;
+  e.id = EventId{4, 2};
+  e.ts = 77;
+  EXPECT_EQ(e.orderKey(), (OrderKey{77, 4, 2}));
+}
+
+TEST(Event, PayloadSharingDoesNotCopyBytes) {
+  Event e;
+  e.payload = std::make_shared<PayloadBytes>(PayloadBytes{std::byte{1}, std::byte{2}});
+  const Event copy = e;
+  EXPECT_EQ(copy.payload.get(), e.payload.get());
+  EXPECT_EQ(e.payload.use_count(), 2);
+}
+
+}  // namespace
+}  // namespace epto

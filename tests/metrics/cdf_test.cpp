@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "metrics/cdf.h"
+#include "util/ensure.h"
+
+namespace epto::metrics {
+namespace {
+
+TEST(Cdf, EmptyBehaviour) {
+  Cdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_EQ(cdf.size(), 0u);
+  EXPECT_THROW((void)cdf.percentile(0.5), util::ContractViolation);
+  EXPECT_TRUE(cdf.rows(10).empty());
+  EXPECT_EQ(cdf.summary().count, 0u);
+}
+
+TEST(Cdf, SingleSample) {
+  Cdf cdf;
+  cdf.add(42.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(1.0), 42.0);
+  const auto s = cdf.summary();
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Cdf, NearestRankPercentiles) {
+  Cdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  EXPECT_DOUBLE_EQ(cdf.percentile(0.01), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(cdf.percentile(1.00), 100.0);
+}
+
+TEST(Cdf, PercentileValidatesInput) {
+  Cdf cdf;
+  cdf.add(1.0);
+  EXPECT_THROW((void)cdf.percentile(-0.1), util::ContractViolation);
+  EXPECT_THROW((void)cdf.percentile(1.1), util::ContractViolation);
+}
+
+TEST(Cdf, UnsortedInsertionOrderDoesNotMatter) {
+  Cdf a;
+  Cdf b;
+  for (const double v : {5.0, 1.0, 3.0, 2.0, 4.0}) a.add(v);
+  for (const double v : {1.0, 2.0, 3.0, 4.0, 5.0}) b.add(v);
+  for (const double p : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), b.percentile(p));
+  }
+}
+
+TEST(Cdf, MergeCombinesSamples) {
+  Cdf a;
+  Cdf b;
+  a.add(1.0);
+  a.add(2.0);
+  b.add(3.0);
+  b.add(4.0);
+  a.merge(b);
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_DOUBLE_EQ(a.percentile(1.0), 4.0);
+}
+
+TEST(Cdf, RowsEndAtMax) {
+  Cdf cdf;
+  for (int i = 0; i < 50; ++i) cdf.add(i);
+  const auto rows = cdf.rows(10);
+  ASSERT_EQ(rows.size(), 10u);
+  EXPECT_DOUBLE_EQ(rows.back().value, 49.0);
+  EXPECT_DOUBLE_EQ(rows.back().cumulative, 1.0);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].value, rows[i - 1].value);
+  }
+  EXPECT_THROW((void)cdf.rows(1), util::ContractViolation);
+}
+
+TEST(Cdf, FormatRowsShape) {
+  Cdf cdf;
+  cdf.add(10.0);
+  cdf.add(20.0);
+  const std::string text = cdf.formatRows("lbl", 2);
+  EXPECT_NE(text.find("lbl p=50 value=10"), std::string::npos);
+  EXPECT_NE(text.find("lbl p=100 value=20"), std::string::npos);
+}
+
+TEST(Summarize, MeanAndStddev) {
+  const auto s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_EQ(s.count, 8u);
+}
+
+}  // namespace
+}  // namespace epto::metrics

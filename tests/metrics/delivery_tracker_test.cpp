@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "metrics/delivery_tracker.h"
+#include "util/ensure.h"
+
+namespace epto::metrics {
+namespace {
+
+constexpr EventId kE1{1, 0};
+constexpr EventId kE2{2, 0};
+constexpr EventId kE3{1, 1};
+
+OrderKey keyOf(const EventId& id, Timestamp ts) { return {ts, id.source, id.sequence}; }
+
+std::unordered_map<ProcessId, ProcessLifetime> allAlive(std::initializer_list<ProcessId> ids) {
+  std::unordered_map<ProcessId, ProcessLifetime> lifetimes;
+  for (const ProcessId id : ids) lifetimes[id] = ProcessLifetime{0, std::nullopt};
+  return lifetimes;
+}
+
+TEST(DeliveryTracker, CleanRunHasNoViolations) {
+  DeliveryTracker tracker;
+  tracker.onBroadcast(1, kE1, keyOf(kE1, 10), 100);
+  tracker.onBroadcast(2, kE2, keyOf(kE2, 20), 110);
+  for (const ProcessId p : {1u, 2u, 3u}) {
+    tracker.onDeliver(p, kE1, 500);
+    tracker.onDeliver(p, kE2, 600);
+  }
+  const auto report = tracker.finalize(allAlive({1, 2, 3}), 1000);
+  EXPECT_TRUE(report.allPropertiesHold());
+  EXPECT_EQ(report.broadcasts, 2u);
+  EXPECT_EQ(report.deliveries, 6u);
+  EXPECT_EQ(report.eventsMeasured, 2u);
+  EXPECT_EQ(report.delays.total(), 6u);
+  EXPECT_EQ(report.delays.percentile(1.0), 490u);  // kE2: 600 - 110
+  EXPECT_EQ(report.delays.percentile(0.1), 400u);  // kE1: 500 - 100
+}
+
+TEST(DeliveryTracker, DetectsOrderViolation) {
+  DeliveryTracker tracker;
+  tracker.onBroadcast(1, kE1, keyOf(kE1, 10), 0);
+  tracker.onBroadcast(2, kE2, keyOf(kE2, 20), 0);
+  // Process 3 delivers the later-keyed event first.
+  tracker.onDeliver(3, kE2, 100);
+  tracker.onDeliver(3, kE1, 200);
+  const auto report = tracker.finalize(allAlive({3}), 1000);
+  EXPECT_EQ(report.orderViolations, 1u);
+}
+
+TEST(DeliveryTracker, OrderCheckCanBeDisabled) {
+  DeliveryTracker tracker(/*checkTotalOrder=*/false);
+  tracker.onBroadcast(1, kE1, keyOf(kE1, 10), 0);
+  tracker.onBroadcast(2, kE2, keyOf(kE2, 20), 0);
+  tracker.onDeliver(3, kE2, 100);
+  tracker.onDeliver(3, kE1, 200);
+  const auto report = tracker.finalize(allAlive({3}), 1000);
+  EXPECT_EQ(report.orderViolations, 0u);
+}
+
+TEST(DeliveryTracker, DetectsDuplicateDelivery) {
+  DeliveryTracker tracker(/*checkTotalOrder=*/false);
+  tracker.onBroadcast(1, kE1, keyOf(kE1, 10), 0);
+  tracker.onDeliver(2, kE1, 100);
+  tracker.onDeliver(2, kE1, 150);
+  const auto report = tracker.finalize(allAlive({2}), 1000);
+  EXPECT_EQ(report.integrityViolations, 1u);
+}
+
+TEST(DeliveryTracker, DuplicateOrderedDeliveryAlsoTripsOrderCheck) {
+  DeliveryTracker tracker;
+  tracker.onBroadcast(1, kE1, keyOf(kE1, 10), 0);
+  tracker.onDeliver(2, kE1, 100);
+  tracker.onDeliver(2, kE1, 150);  // same key again: not strictly increasing
+  const auto report = tracker.finalize(allAlive({2}), 1000);
+  EXPECT_GE(report.orderViolations + report.integrityViolations, 2u);
+}
+
+TEST(DeliveryTracker, DetectsDeliveryOfUnknownEvent) {
+  DeliveryTracker tracker;
+  tracker.onDeliver(2, kE1, 100);
+  const auto report = tracker.finalize(allAlive({2}), 1000);
+  EXPECT_EQ(report.integrityViolations, 1u);
+}
+
+TEST(DeliveryTracker, DetectsHole) {
+  DeliveryTracker tracker;
+  tracker.onBroadcast(1, kE1, keyOf(kE1, 10), 0);
+  tracker.onDeliver(1, kE1, 100);
+  tracker.onDeliver(2, kE1, 100);
+  // Process 3 is alive the whole run but never delivered kE1.
+  const auto report = tracker.finalize(allAlive({1, 2, 3}), 1000);
+  EXPECT_EQ(report.holes, 1u);
+}
+
+TEST(DeliveryTracker, UndeliveredEventFromDepartedSourceIsVacuouslyAgreed) {
+  // Agreement is conditional on at least one delivery: an event whose
+  // broadcaster died before relaying it (no process ever delivered it)
+  // produces no holes and, because the source departed, no validity
+  // violation either.
+  DeliveryTracker tracker;
+  tracker.onBroadcast(1, kE1, keyOf(kE1, 10), 0);
+  auto lifetimes = allAlive({2, 3});
+  lifetimes[1] = ProcessLifetime{0, 5};  // broadcaster churned out
+  const auto report = tracker.finalize(lifetimes, 1000);
+  EXPECT_EQ(report.holes, 0u);
+  EXPECT_EQ(report.validityViolations, 0u);
+}
+
+TEST(DeliveryTracker, SingleDeliveryMakesAgreementBinding) {
+  DeliveryTracker tracker;
+  tracker.onBroadcast(1, kE1, keyOf(kE1, 10), 0);
+  tracker.onDeliver(2, kE1, 50);
+  auto lifetimes = allAlive({2, 3});
+  lifetimes[1] = ProcessLifetime{0, 5};
+  const auto report = tracker.finalize(lifetimes, 1000);
+  EXPECT_EQ(report.holes, 1u);  // process 3 should have it now
+}
+
+TEST(DeliveryTracker, DepartedProcessIsNotJudgedForHoles) {
+  DeliveryTracker tracker;
+  tracker.onBroadcast(1, kE1, keyOf(kE1, 10), 0);
+  tracker.onDeliver(1, kE1, 100);
+  auto lifetimes = allAlive({1});
+  lifetimes[9] = ProcessLifetime{0, 50};  // left before the event stabilized
+  const auto report = tracker.finalize(lifetimes, 1000);
+  EXPECT_EQ(report.holes, 0u);
+}
+
+TEST(DeliveryTracker, LateJoinerIsExemptForOlderEvents) {
+  DeliveryTracker tracker;
+  tracker.onBroadcast(1, kE1, keyOf(kE1, 10), 100);
+  tracker.onBroadcast(1, kE3, keyOf(kE3, 30), 300);
+  tracker.onDeliver(1, kE1, 400);
+  tracker.onDeliver(1, kE3, 700);
+  tracker.onDeliver(7, kE3, 700);  // joiner got the newer event only
+  auto lifetimes = allAlive({1});
+  lifetimes[7] = ProcessLifetime{200, std::nullopt};  // joined after kE1
+  const auto report = tracker.finalize(lifetimes, 1000);
+  EXPECT_EQ(report.holes, 0u);
+}
+
+TEST(DeliveryTracker, ValidityRequiresSourceDelivery) {
+  DeliveryTracker tracker;
+  tracker.onBroadcast(1, kE1, keyOf(kE1, 10), 0);
+  tracker.onDeliver(2, kE1, 100);  // everyone but the broadcaster
+  const auto report = tracker.finalize(allAlive({1, 2}), 1000);
+  EXPECT_EQ(report.validityViolations, 1u);
+  EXPECT_EQ(report.holes, 1u);  // and it is also a hole at process 1
+}
+
+TEST(DeliveryTracker, DepartedSourceIsExemptFromValidity) {
+  DeliveryTracker tracker;
+  tracker.onBroadcast(1, kE1, keyOf(kE1, 10), 0);
+  tracker.onDeliver(2, kE1, 100);
+  auto lifetimes = allAlive({2});
+  lifetimes[1] = ProcessLifetime{0, 50};
+  const auto report = tracker.finalize(lifetimes, 1000);
+  EXPECT_EQ(report.validityViolations, 0u);
+}
+
+TEST(DeliveryTracker, EventsAfterCutoffAreNotJudged) {
+  DeliveryTracker tracker;
+  tracker.onBroadcast(1, kE1, keyOf(kE1, 10), 900);  // after cutoff
+  const auto report = tracker.finalize(allAlive({1, 2}), 500);
+  EXPECT_EQ(report.eventsMeasured, 0u);
+  EXPECT_EQ(report.holes, 0u);
+  EXPECT_EQ(report.validityViolations, 0u);
+  EXPECT_TRUE(report.delays.empty());
+}
+
+TEST(DeliveryTracker, TaggedDeliveryCountsForAgreementButNotDelay) {
+  DeliveryTracker tracker;
+  tracker.onBroadcast(1, kE1, keyOf(kE1, 10), 0);
+  tracker.onDeliver(1, kE1, 100, DeliveryTag::Ordered);
+  tracker.onDeliver(2, kE1, 100, DeliveryTag::OutOfOrder);
+  const auto report = tracker.finalize(allAlive({1, 2}), 1000);
+  EXPECT_EQ(report.holes, 0u);
+  EXPECT_EQ(report.taggedDeliveries, 1u);
+  EXPECT_EQ(report.delays.total(), 1u);  // only the ordered one
+}
+
+TEST(DeliveryTracker, OrderedPlusTaggedAtSameProcessIsDuplicate) {
+  DeliveryTracker tracker;
+  tracker.onBroadcast(1, kE1, keyOf(kE1, 10), 0);
+  tracker.onDeliver(2, kE1, 100, DeliveryTag::Ordered);
+  tracker.onDeliver(2, kE1, 120, DeliveryTag::OutOfOrder);
+  const auto report = tracker.finalize(allAlive({2}), 1000);
+  EXPECT_EQ(report.integrityViolations, 1u);
+}
+
+TEST(DeliveryTracker, RejectsDoubleBroadcastOfSameId) {
+  DeliveryTracker tracker;
+  tracker.onBroadcast(1, kE1, keyOf(kE1, 10), 0);
+  EXPECT_THROW(tracker.onBroadcast(1, kE1, keyOf(kE1, 11), 5), util::ContractViolation);
+}
+
+TEST(DeliveryTracker, DelayClampsToZeroForClockSkew) {
+  DeliveryTracker tracker;
+  tracker.onBroadcast(1, kE1, keyOf(kE1, 10), 100);
+  tracker.onDeliver(1, kE1, 90);  // delivered "before" broadcast per local clock
+  const auto report = tracker.finalize(allAlive({1}), 1000);
+  EXPECT_EQ(report.delays.percentile(1.0), 0u);
+}
+
+}  // namespace
+}  // namespace epto::metrics

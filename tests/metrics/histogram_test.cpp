@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "metrics/histogram.h"
+#include "util/ensure.h"
+
+namespace epto::metrics {
+namespace {
+
+TEST(Histogram, EmptyBehaviour) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_THROW((void)h.percentile(0.5), util::ContractViolation);
+  EXPECT_TRUE(h.rows(10).empty());
+  EXPECT_EQ(h.summary().count, 0u);
+}
+
+TEST(Histogram, CountsAndPercentiles) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.add(v);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.percentile(0.01), 1u);
+  EXPECT_EQ(h.percentile(0.50), 50u);
+  EXPECT_EQ(h.percentile(1.00), 100u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h;
+  h.add(5, 99);
+  h.add(10, 1);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.percentile(0.99), 5u);
+  EXPECT_EQ(h.percentile(1.0), 10u);
+}
+
+TEST(Histogram, MatchesCdfOnSameData) {
+  Histogram h;
+  Cdf cdf;
+  for (const std::uint64_t v : {7u, 3u, 3u, 9u, 1u, 7u, 7u}) {
+    h.add(v);
+    cdf.add(static_cast<double>(v));
+  }
+  for (const double p : {0.2, 0.5, 0.8, 1.0}) {
+    EXPECT_DOUBLE_EQ(static_cast<double>(h.percentile(p)), cdf.percentile(p));
+  }
+  EXPECT_DOUBLE_EQ(h.summary().mean, cdf.summary().mean);
+  EXPECT_NEAR(h.summary().stddev, cdf.summary().stddev, 1e-12);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a;
+  Histogram b;
+  a.add(1, 2);
+  b.add(1, 3);
+  b.add(5, 1);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 6u);
+  EXPECT_EQ(a.bins().at(1), 5u);
+  EXPECT_EQ(a.bins().at(5), 1u);
+}
+
+TEST(Histogram, SummaryMoments) {
+  Histogram h;
+  h.add(2);
+  h.add(4);
+  h.add(6);
+  const auto s = h.summary();
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_NEAR(s.stddev, 2.0, 1e-12);
+}
+
+TEST(Histogram, RowsMonotone) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 1000; v += 7) h.add(v);
+  const auto rows = h.rows(20);
+  ASSERT_EQ(rows.size(), 20u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].value, rows[i - 1].value);
+    EXPECT_GT(rows[i].cumulative, rows[i - 1].cumulative);
+  }
+}
+
+TEST(Histogram, FormatRowsShape) {
+  Histogram h;
+  h.add(10);
+  h.add(20);
+  const std::string text = h.formatRows("lbl", 2);
+  EXPECT_NE(text.find("lbl p=50 value=10"), std::string::npos);
+  EXPECT_NE(text.find("lbl p=100 value=20"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace epto::metrics

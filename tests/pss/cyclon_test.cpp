@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "pss/cyclon.h"
+#include "util/ensure.h"
+
+namespace epto::pss {
+namespace {
+
+std::vector<ProcessId> seedRange(ProcessId first, ProcessId last) {
+  std::vector<ProcessId> seeds;
+  for (ProcessId id = first; id <= last; ++id) seeds.push_back(id);
+  return seeds;
+}
+
+bool viewContains(const CyclonView& view, ProcessId id) {
+  return std::any_of(view.begin(), view.end(),
+                     [&](const CyclonEntry& e) { return e.id == id; });
+}
+
+TEST(Cyclon, RejectsBadOptions) {
+  EXPECT_THROW(Cyclon(1, {.viewSize = 0, .shuffleLength = 1}, util::Rng(1)),
+               util::ContractViolation);
+  EXPECT_THROW(Cyclon(1, {.viewSize = 4, .shuffleLength = 5}, util::Rng(1)),
+               util::ContractViolation);
+  EXPECT_THROW(Cyclon(1, {.viewSize = 4, .shuffleLength = 0}, util::Rng(1)),
+               util::ContractViolation);
+}
+
+TEST(Cyclon, BootstrapFillsUpToViewSizeSkippingSelfAndDupes) {
+  Cyclon node(1, {.viewSize = 5, .shuffleLength = 3}, util::Rng(1));
+  const std::vector<ProcessId> seeds{1, 2, 2, 3, 4, 5, 6, 7};
+  node.bootstrap(seeds);
+  EXPECT_EQ(node.view().size(), 5u);
+  EXPECT_FALSE(viewContains(node.view(), 1));  // never self
+  std::set<ProcessId> unique;
+  for (const auto& e : node.view()) unique.insert(e.id);
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Cyclon, EmptyCacheProducesNoShuffle) {
+  Cyclon node(1, {.viewSize = 5, .shuffleLength = 3}, util::Rng(1));
+  EXPECT_FALSE(node.onShuffleTimer().has_value());
+}
+
+TEST(Cyclon, ShuffleTargetsTheOldestNeighbor) {
+  Cyclon node(1, {.viewSize = 5, .shuffleLength = 3}, util::Rng(1));
+  node.bootstrap(seedRange(2, 4));
+  // First shuffle ages everyone to 1 and picks some neighbor; feed a
+  // reply naming a new node so ages diverge.
+  auto first = node.onShuffleTimer();
+  ASSERT_TRUE(first.has_value());
+  node.onShuffleReply({CyclonEntry{9, 0}});
+  // 9 entered at age 0; the others are at age >= 1. The next shuffle must
+  // pick one of the older originals, not 9.
+  const auto second = node.onShuffleTimer();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(second->target, 9u);
+}
+
+TEST(Cyclon, OutgoingContainsSelfAtAgeZeroAndRespectsLength) {
+  Cyclon node(1, {.viewSize = 8, .shuffleLength = 4}, util::Rng(3));
+  node.bootstrap(seedRange(2, 9));
+  const auto request = node.onShuffleTimer();
+  ASSERT_TRUE(request.has_value());
+  EXPECT_LE(request->entries.size(), 4u);
+  ASSERT_FALSE(request->entries.empty());
+  EXPECT_EQ(request->entries[0].id, 1u);
+  EXPECT_EQ(request->entries[0].age, 0u);
+}
+
+TEST(Cyclon, ShuffleRemovesThePartnerFromTheCache) {
+  // The partner's entry is sacrificed: if it is dead, it must not linger.
+  Cyclon node(1, {.viewSize = 5, .shuffleLength = 3}, util::Rng(5));
+  node.bootstrap(seedRange(2, 6));
+  const auto request = node.onShuffleTimer();
+  ASSERT_TRUE(request.has_value());
+  EXPECT_FALSE(viewContains(node.view(), request->target));
+}
+
+TEST(Cyclon, RequestReplyExchangeTeachesBothSides) {
+  Cyclon a(1, {.viewSize = 5, .shuffleLength = 3}, util::Rng(7));
+  Cyclon b(2, {.viewSize = 5, .shuffleLength = 3}, util::Rng(8));
+  a.bootstrap(std::vector<ProcessId>{2});
+  b.bootstrap(std::vector<ProcessId>{3, 4, 5});
+  const auto request = a.onShuffleTimer();
+  ASSERT_TRUE(request.has_value());
+  ASSERT_EQ(request->target, 2u);
+  const auto reply = b.onShuffleRequest(1, request->entries);
+  a.onShuffleReply(reply);
+  // b learned about a (it was in the request at age 0).
+  EXPECT_TRUE(viewContains(b.view(), 1));
+  // a learned something from b's reply.
+  EXPECT_FALSE(a.view().empty());
+  for (const auto& e : a.view()) EXPECT_NE(e.id, 1u);  // never self
+  EXPECT_EQ(a.stats().repliesIntegrated, 1u);
+  EXPECT_EQ(b.stats().shufflesAnswered, 1u);
+}
+
+TEST(Cyclon, MergeNeverDuplicatesOrStoresSelf) {
+  Cyclon node(1, {.viewSize = 10, .shuffleLength = 5}, util::Rng(9));
+  node.bootstrap(seedRange(2, 5));
+  node.onShuffleReply({CyclonEntry{1, 0}, CyclonEntry{2, 3}, CyclonEntry{6, 0}});
+  std::map<ProcessId, int> counts;
+  for (const auto& e : node.view()) ++counts[e.id];
+  EXPECT_EQ(counts.count(1), 0u);
+  for (const auto& [id, count] : counts) EXPECT_EQ(count, 1) << "id " << id;
+  EXPECT_TRUE(viewContains(node.view(), 6));
+}
+
+TEST(Cyclon, CacheNeverExceedsViewSize) {
+  Cyclon node(1, {.viewSize = 4, .shuffleLength = 2}, util::Rng(11));
+  node.bootstrap(seedRange(2, 5));
+  for (ProcessId id = 10; id < 40; ++id) {
+    node.onShuffleReply({CyclonEntry{id, 0}});
+    EXPECT_LE(node.view().size(), 4u);
+  }
+}
+
+TEST(Cyclon, FullCacheReplacesOnlySentEntries) {
+  Cyclon node(1, {.viewSize = 4, .shuffleLength = 2}, util::Rng(13));
+  node.bootstrap(seedRange(2, 5));  // cache full: 2,3,4,5
+  const auto request = node.onShuffleTimer();
+  ASSERT_TRUE(request.has_value());
+  // Reply with two unknown nodes; they may only displace shipped entries.
+  node.onShuffleReply({CyclonEntry{20, 0}, CyclonEntry{21, 0}});
+  EXPECT_LE(node.view().size(), 4u);
+  // The entries never shipped must survive.
+  std::set<ProcessId> shipped;
+  for (const auto& e : request->entries) shipped.insert(e.id);
+  for (ProcessId original = 2; original <= 5; ++original) {
+    if (original == request->target || shipped.contains(original)) continue;
+    EXPECT_TRUE(viewContains(node.view(), original)) << "lost " << original;
+  }
+}
+
+TEST(Cyclon, SamplePeersDistinctAndFromView) {
+  Cyclon node(1, {.viewSize = 10, .shuffleLength = 4}, util::Rng(15));
+  node.bootstrap(seedRange(2, 11));
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto peers = node.samplePeers(4);
+    ASSERT_EQ(peers.size(), 4u);
+    std::set<ProcessId> unique(peers.begin(), peers.end());
+    EXPECT_EQ(unique.size(), 4u);
+    for (const ProcessId p : peers) {
+      EXPECT_GE(p, 2u);
+      EXPECT_LE(p, 11u);
+    }
+  }
+}
+
+TEST(Cyclon, SamplePeersCapsAtViewSize) {
+  Cyclon node(1, {.viewSize = 5, .shuffleLength = 2}, util::Rng(17));
+  node.bootstrap(std::vector<ProcessId>{2, 3});
+  EXPECT_EQ(node.samplePeers(10).size(), 2u);
+}
+
+TEST(Cyclon, AgesGrowForUnchosenEntriesAndPartnersDrainWithoutReplies) {
+  Cyclon node(1, {.viewSize = 3, .shuffleLength = 2}, util::Rng(19));
+  node.bootstrap(std::vector<ProcessId>{2, 3, 4});
+  // Each unanswered shuffle ages the cache and sacrifices the oldest
+  // partner entry: a node cut off from the network drains its view —
+  // exactly the self-cleaning behaviour that flushes dead neighbors.
+  (void)node.onShuffleTimer();
+  ASSERT_EQ(node.view().size(), 2u);
+  for (const auto& e : node.view()) EXPECT_EQ(e.age, 1u);
+  (void)node.onShuffleTimer();
+  ASSERT_EQ(node.view().size(), 1u);
+  EXPECT_EQ(node.view()[0].age, 2u);
+  (void)node.onShuffleTimer();
+  EXPECT_TRUE(node.view().empty());
+  EXPECT_FALSE(node.onShuffleTimer().has_value());
+}
+
+/// End-to-end mixing: a ring-bootstrapped overlay converges to views that
+/// reach well beyond the initial neighbors.
+TEST(Cyclon, OverlayMixesBeyondBootstrapNeighbors) {
+  constexpr std::size_t kN = 32;
+  constexpr std::size_t kView = 6;
+  std::vector<std::unique_ptr<Cyclon>> nodes;
+  util::Rng rng(23);
+  for (ProcessId id = 0; id < kN; ++id) {
+    nodes.push_back(std::make_unique<Cyclon>(
+        id, Cyclon::Options{.viewSize = kView, .shuffleLength = 3}, rng.split()));
+    // Ring bootstrap: each node knows only its 2 successors.
+    nodes.back()->bootstrap(
+        std::vector<ProcessId>{static_cast<ProcessId>((id + 1) % kN),
+                               static_cast<ProcessId>((id + 2) % kN)});
+  }
+  for (int round = 0; round < 60; ++round) {
+    for (auto& node : nodes) {
+      auto request = node->onShuffleTimer();
+      if (!request.has_value()) continue;
+      auto reply = nodes[request->target]->onShuffleRequest(node->self(),
+                                                            request->entries);
+      node->onShuffleReply(reply);
+    }
+  }
+  // Views filled and, across the overlay, referencing many distinct nodes.
+  std::set<ProcessId> referenced;
+  for (const auto& node : nodes) {
+    EXPECT_EQ(node->view().size(), kView);
+    for (const auto& e : node->view()) referenced.insert(e.id);
+  }
+  EXPECT_EQ(referenced.size(), kN);  // everyone is known to someone
+  // Individual views escape the ring neighborhood.
+  int farLinks = 0;
+  for (const auto& node : nodes) {
+    for (const auto& e : node->view()) {
+      const auto distance =
+          (e.id + kN - node->self()) % kN;
+      if (distance > 4 && distance < kN - 4) ++farLinks;
+    }
+  }
+  EXPECT_GT(farLinks, static_cast<int>(kN));
+}
+
+}  // namespace
+}  // namespace epto::pss

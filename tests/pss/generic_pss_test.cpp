@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "pss/generic_pss.h"
+#include "util/ensure.h"
+
+namespace epto::pss {
+namespace {
+
+std::vector<ProcessId> seedRange(ProcessId first, ProcessId last) {
+  std::vector<ProcessId> seeds;
+  for (ProcessId id = first; id <= last; ++id) seeds.push_back(id);
+  return seeds;
+}
+
+bool viewContains(const DescriptorView& view, ProcessId id) {
+  return std::any_of(view.begin(), view.end(),
+                     [&](const Descriptor& d) { return d.id == id; });
+}
+
+GenericPss::Options smallOptions() {
+  GenericPss::Options options;
+  options.viewSize = 8;
+  options.gossipLength = 4;
+  options.healing = 1;
+  options.swap = 1;
+  return options;
+}
+
+TEST(GenericPss, RejectsBadOptions) {
+  GenericPss::Options bad = smallOptions();
+  bad.viewSize = 0;
+  EXPECT_THROW(GenericPss(1, bad, util::Rng(1)), util::ContractViolation);
+  bad = smallOptions();
+  bad.gossipLength = 9;  // > viewSize
+  EXPECT_THROW(GenericPss(1, bad, util::Rng(1)), util::ContractViolation);
+}
+
+TEST(GenericPss, BootstrapSkipsSelfAndDuplicates) {
+  GenericPss node(1, smallOptions(), util::Rng(1));
+  const std::vector<ProcessId> seeds{1, 2, 2, 3};
+  node.bootstrap(seeds);
+  EXPECT_EQ(node.view().size(), 2u);
+  EXPECT_FALSE(viewContains(node.view(), 1));
+}
+
+TEST(GenericPss, EmptyViewProducesNoGossip) {
+  GenericPss node(1, smallOptions(), util::Rng(1));
+  EXPECT_FALSE(node.onGossipTimer().has_value());
+}
+
+TEST(GenericPss, BufferLeadsWithFreshSelf) {
+  GenericPss node(1, smallOptions(), util::Rng(3));
+  node.bootstrap(seedRange(2, 9));
+  const auto message = node.onGossipTimer();
+  ASSERT_TRUE(message.has_value());
+  ASSERT_FALSE(message->buffer.empty());
+  EXPECT_EQ(message->buffer[0].id, 1u);
+  EXPECT_EQ(message->buffer[0].age, 0u);
+  EXPECT_LE(message->buffer.size(), 4u);
+}
+
+TEST(GenericPss, TailSelectionPicksOldestNeighbor) {
+  auto options = smallOptions();
+  options.peerSelection = PeerSelection::Tail;
+  GenericPss node(1, options, util::Rng(5));
+  node.bootstrap(seedRange(2, 4));
+  (void)node.onGossipTimer();  // ages everyone to 1
+  // Teach it a fresh entry.
+  node.onGossipReply({Descriptor{9, 0}});
+  const auto message = node.onGossipTimer();
+  ASSERT_TRUE(message.has_value());
+  EXPECT_NE(message->target, 9u);  // 9 is the youngest
+}
+
+TEST(GenericPss, CycleAgesTheView) {
+  GenericPss node(1, smallOptions(), util::Rng(7));
+  node.bootstrap(seedRange(2, 5));
+  (void)node.onGossipTimer();
+  (void)node.onGossipTimer();
+  for (const auto& d : node.view()) EXPECT_GE(d.age, 2u);
+}
+
+TEST(GenericPss, PushPullAnswersWithBuffer) {
+  GenericPss node(1, smallOptions(), util::Rng(9));
+  node.bootstrap(seedRange(2, 5));
+  const auto reply = node.onGossip(7, {Descriptor{7, 0}});
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_FALSE(reply->empty());
+  EXPECT_TRUE(viewContains(node.view(), 7));  // learned the pusher
+}
+
+TEST(GenericPss, PushOnlyModeDoesNotReply) {
+  auto options = smallOptions();
+  options.pull = false;
+  GenericPss node(1, options, util::Rng(11));
+  node.bootstrap(seedRange(2, 5));
+  EXPECT_FALSE(node.onGossip(7, {Descriptor{7, 0}}).has_value());
+  EXPECT_TRUE(viewContains(node.view(), 7));
+}
+
+TEST(GenericPss, MergeKeepsYoungestDuplicate) {
+  GenericPss node(1, smallOptions(), util::Rng(13));
+  node.bootstrap(seedRange(2, 5));
+  (void)node.onGossipTimer();  // entry 2 now age 1
+  node.onGossipReply({Descriptor{2, 0}});
+  const auto it = std::find_if(node.view().begin(), node.view().end(),
+                               [](const Descriptor& d) { return d.id == 2; });
+  ASSERT_NE(it, node.view().end());
+  EXPECT_EQ(it->age, 0u);
+}
+
+TEST(GenericPss, MergeNeverStoresSelfOrExceedsViewSize) {
+  GenericPss node(1, smallOptions(), util::Rng(15));
+  node.bootstrap(seedRange(2, 9));  // full view
+  DescriptorView flood;
+  for (ProcessId id = 20; id < 40; ++id) flood.push_back(Descriptor{id, 0});
+  flood.push_back(Descriptor{1, 0});
+  (void)node.onGossip(20, flood);
+  EXPECT_LE(node.view().size(), 8u);
+  EXPECT_FALSE(viewContains(node.view(), 1));
+}
+
+TEST(GenericPss, HealerDropsOldestOnOverflow) {
+  auto options = smallOptions();
+  options.viewSize = 4;
+  options.gossipLength = 4;
+  options.healing = 2;
+  options.swap = 0;
+  GenericPss node(1, options, util::Rng(17));
+  node.bootstrap(seedRange(2, 5));
+  // Age the originals, then flood with fresh entries: the old ones must
+  // be the first casualties.
+  (void)node.onGossipTimer();
+  (void)node.onGossipTimer();
+  (void)node.onGossip(30, {Descriptor{30, 0}, Descriptor{31, 0}});
+  std::uint32_t maxAge = 0;
+  for (const auto& d : node.view()) maxAge = std::max(maxAge, d.age);
+  EXPECT_TRUE(viewContains(node.view(), 30));
+  EXPECT_TRUE(viewContains(node.view(), 31));
+  // With healing=2 and 2 fresh arrivals, the two oldest originals died.
+  EXPECT_LE(std::count_if(node.view().begin(), node.view().end(),
+                          [&](const Descriptor& d) { return d.age == maxAge; }),
+            2);
+}
+
+TEST(GenericPss, SamplePeersDistinctAndFromView) {
+  GenericPss node(1, smallOptions(), util::Rng(19));
+  node.bootstrap(seedRange(2, 9));
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto peers = node.samplePeers(4);
+    ASSERT_EQ(peers.size(), 4u);
+    std::set<ProcessId> unique(peers.begin(), peers.end());
+    EXPECT_EQ(unique.size(), 4u);
+    for (const ProcessId p : peers) EXPECT_TRUE(viewContains(node.view(), p));
+  }
+}
+
+TEST(GenericPss, OverlayMixesFromRingBootstrap) {
+  constexpr std::size_t kN = 24;
+  std::vector<std::unique_ptr<GenericPss>> nodes;
+  util::Rng rng(21);
+  for (ProcessId id = 0; id < kN; ++id) {
+    auto options = smallOptions();
+    options.viewSize = 6;
+    options.gossipLength = 3;
+    nodes.push_back(std::make_unique<GenericPss>(id, options, rng.split()));
+    nodes.back()->bootstrap(std::vector<ProcessId>{
+        static_cast<ProcessId>((id + 1) % kN), static_cast<ProcessId>((id + 2) % kN)});
+  }
+  for (int round = 0; round < 50; ++round) {
+    for (auto& node : nodes) {
+      auto message = node->onGossipTimer();
+      if (!message.has_value()) continue;
+      auto reply = nodes[message->target]->onGossip(node->self(), message->buffer);
+      if (reply.has_value()) node->onGossipReply(*reply);
+    }
+  }
+  std::set<ProcessId> referenced;
+  for (const auto& node : nodes) {
+    EXPECT_GE(node->view().size(), 5u);
+    for (const auto& d : node->view()) referenced.insert(d.id);
+  }
+  EXPECT_EQ(referenced.size(), kN);
+}
+
+}  // namespace
+}  // namespace epto::pss

@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pss/uniform_sampler.h"
+
+namespace epto::pss {
+namespace {
+
+TEST(UniformSampler, SamplesDistinctOthers) {
+  sim::MembershipDirectory membership;
+  for (ProcessId id = 0; id < 10; ++id) membership.add(id);
+  UniformSampler sampler(3, membership, util::Rng(1));
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto peers = sampler.samplePeers(4);
+    ASSERT_EQ(peers.size(), 4u);
+    std::set<ProcessId> unique(peers.begin(), peers.end());
+    EXPECT_EQ(unique.size(), 4u);
+    EXPECT_FALSE(unique.contains(3));
+  }
+}
+
+TEST(UniformSampler, TracksMembershipChangesInstantly) {
+  // The oracle PSS is always perfectly fresh — the §2 idealization that
+  // Fig. 9 replaces with Cyclon.
+  sim::MembershipDirectory membership;
+  membership.add(0);
+  membership.add(1);
+  membership.add(2);
+  UniformSampler sampler(0, membership, util::Rng(3));
+  membership.remove(1);
+  membership.add(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    for (const ProcessId peer : sampler.samplePeers(2)) {
+      EXPECT_NE(peer, 1u);
+      EXPECT_TRUE(peer == 2 || peer == 7);
+    }
+  }
+}
+
+TEST(UniformSampler, ReturnsFewerWhenSystemIsSmall) {
+  sim::MembershipDirectory membership;
+  membership.add(0);
+  membership.add(1);
+  UniformSampler sampler(0, membership, util::Rng(5));
+  EXPECT_EQ(sampler.samplePeers(17).size(), 1u);
+}
+
+}  // namespace
+}  // namespace epto::pss

@@ -1,0 +1,127 @@
+// Tests of EpTO over real UDP sockets on loopback (§8.5).
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "codec/ball_codec.h"
+#include "runtime/udp_cluster.h"
+#include "runtime/udp_transport.h"
+
+namespace epto::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+Ball makeBall(std::uint32_t seq) {
+  Ball ball;
+  Event e;
+  e.id = EventId{1, seq};
+  e.ts = 10 + seq;
+  e.ttl = 2;
+  ball.push_back(e);
+  return ball;
+}
+
+TEST(UdpSocket, BindsToDistinctLoopbackPorts) {
+  UdpSocket a;
+  UdpSocket b;
+  EXPECT_GT(a.port(), 0);
+  EXPECT_GT(b.port(), 0);
+  EXPECT_NE(a.port(), b.port());
+}
+
+TEST(UdpSocket, DatagramRoundTrip) {
+  UdpSocket sender;
+  UdpSocket receiver;
+  ASSERT_TRUE(sendBall(sender, receiver.port(), makeBall(7)));
+  const auto datagram = receiver.receive(2000);
+  ASSERT_TRUE(datagram.has_value());
+  const auto decoded = codec::decodeBall(*datagram);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.ball.size(), 1u);
+  EXPECT_EQ(decoded.ball[0].id.sequence, 7u);
+  EXPECT_EQ(decoded.ball[0].ts, 17u);
+}
+
+TEST(UdpSocket, ReceiveTimesOutWhenQuiet) {
+  UdpSocket socket;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(socket.receive(30).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 25ms);
+}
+
+TEST(UdpSocket, ManyDatagramsArrive) {
+  UdpSocket sender;
+  UdpSocket receiver;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(sendBall(sender, receiver.port(), makeBall(i)));
+  }
+  int received = 0;
+  while (receiver.receive(100).has_value()) ++received;
+  // Loopback UDP can drop under pressure, but most must land.
+  EXPECT_GE(received, 40);
+}
+
+TEST(UdpSocket, GarbageDatagramFailsValidationNotCrash) {
+  UdpSocket sender;
+  UdpSocket receiver;
+  ASSERT_TRUE(sender.sendTo(receiver.port(),
+                            {std::byte{0xDE}, std::byte{0xAD}, std::byte{0xBE}}));
+  const auto datagram = receiver.receive(2000);
+  ASSERT_TRUE(datagram.has_value());
+  EXPECT_FALSE(codec::decodeBall(*datagram).ok());
+}
+
+TEST(UdpCluster, TotalOrderOverRealSockets) {
+  UdpClusterOptions options;
+  options.nodeCount = 6;
+  options.roundPeriod = 4ms;
+  options.seed = 11;
+  UdpCluster cluster(options);
+  cluster.start();
+  for (std::size_t i = 0; i < 6; ++i) cluster.broadcast(i);
+  ASSERT_TRUE(cluster.awaitQuiescence(30s));
+  cluster.stop();
+  const auto report = cluster.report();
+  EXPECT_EQ(report.broadcasts, 6u);
+  EXPECT_EQ(report.deliveries, 36u);
+  EXPECT_EQ(report.orderViolations, 0u);
+  EXPECT_EQ(report.integrityViolations, 0u);
+  EXPECT_EQ(report.holes, 0u);
+  EXPECT_EQ(cluster.framesRejected(), 0u);
+}
+
+TEST(UdpCluster, GlobalClockModeOverSockets) {
+  UdpClusterOptions options;
+  options.nodeCount = 5;
+  options.roundPeriod = 4ms;
+  options.clockMode = ClockMode::Global;
+  options.seed = 13;
+  UdpCluster cluster(options);
+  cluster.start();
+  for (std::size_t i = 0; i < 5; ++i) cluster.broadcast(i % 5);
+  ASSERT_TRUE(cluster.awaitQuiescence(30s));
+  cluster.stop();
+  const auto report = cluster.report();
+  EXPECT_EQ(report.deliveries, 25u);
+  EXPECT_TRUE(report.allPropertiesHold());
+}
+
+TEST(UdpCluster, StopIsIdempotent) {
+  UdpClusterOptions options;
+  options.nodeCount = 3;
+  options.roundPeriod = 3ms;
+  UdpCluster cluster(options);
+  cluster.start();
+  cluster.stop();
+  cluster.stop();
+}
+
+TEST(UdpCluster, RejectsDegenerateOptions) {
+  UdpClusterOptions options;
+  options.nodeCount = 1;
+  EXPECT_THROW(UdpCluster{options}, util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace epto::runtime

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/churn.h"
+#include "util/ensure.h"
+
+namespace epto::sim {
+namespace {
+
+class ChurnTest : public ::testing::Test {
+ protected:
+  void build(double rate, Timestamp period, Timestamp stopAfter = 0,
+             std::size_t initial = 100) {
+    for (ProcessId id = 0; id < initial; ++id) {
+      membership_.add(id);
+      nextId_ = id + 1;
+    }
+    driver_ = std::make_unique<ChurnDriver>(
+        sim_, membership_, ChurnDriver::Options{rate, period, stopAfter},
+        [this](ProcessId id) {
+          membership_.remove(id);
+          killed_.insert(id);
+        },
+        [this](std::size_t count) {
+          for (std::size_t i = 0; i < count; ++i) membership_.add(nextId_++);
+        },
+        util::Rng(31));
+  }
+
+  Simulator sim_;
+  MembershipDirectory membership_;
+  std::unique_ptr<ChurnDriver> driver_;
+  std::set<ProcessId> killed_;
+  ProcessId nextId_ = 0;
+};
+
+TEST_F(ChurnTest, ReplacesTheConfiguredFractionEachPulse) {
+  build(0.1, 125);
+  driver_->start();
+  sim_.runUntil(125);
+  EXPECT_EQ(driver_->stats().pulses, 1u);
+  EXPECT_EQ(driver_->stats().removed, 10u);
+  EXPECT_EQ(driver_->stats().added, 10u);
+  EXPECT_EQ(membership_.size(), 100u);  // size constant across a pulse
+}
+
+TEST_F(ChurnTest, PulsesRepeatEveryPeriod) {
+  build(0.05, 100);
+  driver_->start();
+  sim_.runUntil(1000);
+  EXPECT_EQ(driver_->stats().pulses, 10u);
+  EXPECT_EQ(driver_->stats().removed, 50u);
+  EXPECT_EQ(membership_.size(), 100u);
+}
+
+TEST_F(ChurnTest, StopAfterEndsTheChurn) {
+  build(0.1, 100, /*stopAfter=*/350);
+  driver_->start();
+  sim_.runUntil(2000);
+  EXPECT_EQ(driver_->stats().pulses, 3u);  // pulses at 100, 200, 300
+}
+
+TEST_F(ChurnTest, ZeroRateNeverPulses) {
+  build(0.0, 100);
+  driver_->start();
+  sim_.runUntil(1000);
+  EXPECT_EQ(driver_->stats().pulses, 0u);
+  EXPECT_TRUE(killed_.empty());
+}
+
+TEST_F(ChurnTest, VictimsAreActuallyRemovedAndNewIdsAdded) {
+  build(0.2, 50);
+  driver_->start();
+  sim_.runUntil(50);
+  EXPECT_EQ(killed_.size(), 20u);
+  for (const ProcessId id : killed_) EXPECT_FALSE(membership_.isAlive(id));
+  // Replacements got fresh ids beyond the initial range.
+  EXPECT_GE(nextId_, 120u);
+}
+
+TEST_F(ChurnTest, RejectsBadOptions) {
+  MembershipDirectory membership;
+  Simulator sim;
+  const auto kill = [](ProcessId) {};
+  const auto spawn = [](std::size_t) {};
+  EXPECT_THROW(
+      ChurnDriver(sim, membership, {1.0, 100, 0}, kill, spawn, util::Rng(1)),
+      util::ContractViolation);
+  EXPECT_THROW(
+      ChurnDriver(sim, membership, {0.1, 0, 0}, kill, spawn, util::Rng(1)),
+      util::ContractViolation);
+  EXPECT_THROW(ChurnDriver(sim, membership, {0.1, 100, 0}, nullptr, spawn, util::Rng(1)),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace epto::sim

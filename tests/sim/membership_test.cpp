@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sim/membership.h"
+#include "util/ensure.h"
+
+namespace epto::sim {
+namespace {
+
+TEST(Membership, AddRemoveIsAliveSize) {
+  MembershipDirectory directory;
+  directory.add(1);
+  directory.add(2);
+  EXPECT_TRUE(directory.isAlive(1));
+  EXPECT_FALSE(directory.isAlive(3));
+  EXPECT_EQ(directory.size(), 2u);
+  directory.remove(1);
+  EXPECT_FALSE(directory.isAlive(1));
+  EXPECT_EQ(directory.size(), 1u);
+}
+
+TEST(Membership, DoubleAddAndGhostRemoveThrow) {
+  MembershipDirectory directory;
+  directory.add(1);
+  EXPECT_THROW(directory.add(1), util::ContractViolation);
+  EXPECT_THROW(directory.remove(9), util::ContractViolation);
+}
+
+TEST(Membership, SwapRemoveKeepsIndexConsistent) {
+  MembershipDirectory directory;
+  for (ProcessId id = 0; id < 10; ++id) directory.add(id);
+  directory.remove(0);  // swaps the last element into slot 0
+  directory.remove(9);
+  directory.remove(4);
+  std::set<ProcessId> expected{1, 2, 3, 5, 6, 7, 8};
+  std::set<ProcessId> actual(directory.aliveIds().begin(), directory.aliveIds().end());
+  EXPECT_EQ(actual, expected);
+  for (const ProcessId id : expected) EXPECT_TRUE(directory.isAlive(id));
+}
+
+TEST(Membership, SampleOtherNeverReturnsSelf) {
+  MembershipDirectory directory;
+  directory.add(1);
+  directory.add(2);
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(directory.sampleOther(1, rng), 2u);
+}
+
+TEST(Membership, SampleOthersDistinctAndExcludesSelf) {
+  MembershipDirectory directory;
+  for (ProcessId id = 0; id < 20; ++id) directory.add(id);
+  util::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto sample = directory.sampleOthers(7, 5, rng);
+    ASSERT_EQ(sample.size(), 5u);
+    std::set<ProcessId> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 5u);
+    EXPECT_FALSE(unique.contains(7));
+  }
+}
+
+TEST(Membership, SampleOthersCapsAtAvailablePeers) {
+  MembershipDirectory directory;
+  directory.add(1);
+  directory.add(2);
+  directory.add(3);
+  util::Rng rng(7);
+  const auto sample = directory.sampleOthers(1, 10, rng);
+  std::set<ProcessId> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique, (std::set<ProcessId>{2, 3}));
+}
+
+TEST(Membership, SampleOthersZeroOrEmpty) {
+  MembershipDirectory directory;
+  util::Rng rng(9);
+  directory.add(1);
+  EXPECT_TRUE(directory.sampleOthers(1, 3, rng).empty());
+  directory.add(2);
+  EXPECT_TRUE(directory.sampleOthers(1, 0, rng).empty());
+}
+
+TEST(Membership, SampleOthersWorksForNonMemberSelf) {
+  // A caller that is not (or no longer) in the directory can still sample.
+  MembershipDirectory directory;
+  directory.add(1);
+  directory.add(2);
+  util::Rng rng(11);
+  const auto sample = directory.sampleOthers(99, 2, rng);
+  EXPECT_EQ(sample.size(), 2u);
+}
+
+TEST(Membership, SamplingIsApproximatelyUniform) {
+  MembershipDirectory directory;
+  for (ProcessId id = 0; id < 10; ++id) directory.add(id);
+  util::Rng rng(13);
+  std::map<ProcessId, int> counts;
+  const int trials = 90000;
+  for (int i = 0; i < trials; ++i) ++counts[directory.sampleOther(0, rng)];
+  for (ProcessId id = 1; id < 10; ++id) {
+    EXPECT_NEAR(counts[id], trials / 9, trials / 90) << "id " << id;
+  }
+}
+
+TEST(Membership, SubsetSamplingIsApproximatelyUniform) {
+  MembershipDirectory directory;
+  for (ProcessId id = 0; id < 10; ++id) directory.add(id);
+  util::Rng rng(17);
+  std::map<ProcessId, int> counts;
+  const int trials = 30000;
+  for (int i = 0; i < trials; ++i) {
+    for (const ProcessId id : directory.sampleOthers(0, 3, rng)) ++counts[id];
+  }
+  for (ProcessId id = 1; id < 10; ++id) {
+    EXPECT_NEAR(counts[id], trials / 3, trials / 30) << "id " << id;
+  }
+}
+
+}  // namespace
+}  // namespace epto::sim

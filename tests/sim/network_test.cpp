@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+#include "util/ensure.h"
+
+namespace epto::sim {
+namespace {
+
+struct Received {
+  ProcessId from;
+  ProcessId to;
+  std::string body;
+  Timestamp at;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  void build(double lossRate, util::EmpiricalDistribution latency) {
+    latency_ = std::move(latency);
+    network_ = std::make_unique<SimNetwork<std::string>>(
+        sim_, SimNetwork<std::string>::Options{&latency_, lossRate}, util::Rng(21));
+    network_->setReceiver([this](ProcessId from, ProcessId to, const std::string& body) {
+      log_.push_back(Received{from, to, body, sim_.now()});
+    });
+  }
+
+  Simulator sim_;
+  util::EmpiricalDistribution latency_ = util::constantDistribution(10.0);
+  std::unique_ptr<SimNetwork<std::string>> network_;
+  std::vector<Received> log_;
+};
+
+TEST_F(NetworkTest, DeliversAfterSampledLatency) {
+  build(0.0, util::constantDistribution(10.0));
+  network_->send(1, 2, "hello");
+  sim_.runUntil(9);
+  EXPECT_TRUE(log_.empty());
+  sim_.runUntil(10);
+  ASSERT_EQ(log_.size(), 1u);
+  EXPECT_EQ(log_[0].from, 1u);
+  EXPECT_EQ(log_[0].to, 2u);
+  EXPECT_EQ(log_[0].body, "hello");
+  EXPECT_EQ(log_[0].at, 10u);
+}
+
+TEST_F(NetworkTest, IndependentLatenciesCanReorderMessages) {
+  build(0.0, util::uniformDistribution(1.0, 200.0));
+  for (int i = 0; i < 50; ++i) network_->send(1, 2, std::to_string(i));
+  sim_.runUntil(1000);
+  ASSERT_EQ(log_.size(), 50u);
+  bool reordered = false;
+  for (std::size_t i = 1; i < log_.size(); ++i) {
+    if (std::stoi(log_[i].body) < std::stoi(log_[i - 1].body)) reordered = true;
+  }
+  EXPECT_TRUE(reordered);  // asynchrony: no FIFO guarantee
+}
+
+TEST_F(NetworkTest, LossDropsTheConfiguredFraction) {
+  build(0.3, util::constantDistribution(1.0));
+  const int sends = 20000;
+  for (int i = 0; i < sends; ++i) network_->send(1, 2, "x");
+  sim_.runUntil(10);
+  EXPECT_NEAR(static_cast<double>(log_.size()), sends * 0.7, sends * 0.02);
+  EXPECT_EQ(network_->stats().sent, static_cast<std::uint64_t>(sends));
+  EXPECT_EQ(network_->stats().dropped + network_->stats().delivered,
+            static_cast<std::uint64_t>(sends));
+}
+
+TEST_F(NetworkTest, ZeroLossDeliversEverything) {
+  build(0.0, util::constantDistribution(1.0));
+  for (int i = 0; i < 100; ++i) network_->send(1, 2, "x");
+  sim_.runUntil(10);
+  EXPECT_EQ(log_.size(), 100u);
+  EXPECT_EQ(network_->stats().dropped, 0u);
+}
+
+TEST_F(NetworkTest, RejectsBadOptions) {
+  EXPECT_THROW(SimNetwork<std::string>(
+                   sim_, SimNetwork<std::string>::Options{nullptr, 0.0}, util::Rng(1)),
+               util::ContractViolation);
+  EXPECT_THROW(SimNetwork<std::string>(
+                   sim_, SimNetwork<std::string>::Options{&latency_, 1.0}, util::Rng(1)),
+               util::ContractViolation);
+}
+
+TEST_F(NetworkTest, SendWithoutReceiverThrows) {
+  SimNetwork<std::string> net(sim_, SimNetwork<std::string>::Options{&latency_, 0.0},
+                              util::Rng(1));
+  EXPECT_THROW(net.send(1, 2, "x"), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace epto::sim

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/cdf.h"
+#include "util/empirical_distribution.h"
+#include "util/ensure.h"
+#include "util/rng.h"
+
+namespace epto::util {
+namespace {
+
+TEST(EmpiricalDistribution, RejectsDegenerateKnotSets) {
+  EXPECT_THROW(EmpiricalDistribution({{1.0, 1.0}}), ContractViolation);
+  // Non-increasing values.
+  EXPECT_THROW(EmpiricalDistribution({{2.0, 0.0}, {1.0, 1.0}}), ContractViolation);
+  // Decreasing probability.
+  EXPECT_THROW(EmpiricalDistribution({{0.0, 0.5}, {1.0, 0.2}, {2.0, 1.0}}),
+               ContractViolation);
+  // Does not end at 1.
+  EXPECT_THROW(EmpiricalDistribution({{0.0, 0.0}, {1.0, 0.9}}), ContractViolation);
+}
+
+TEST(EmpiricalDistribution, QuantileInterpolatesLinearly) {
+  const EmpiricalDistribution d{{{0.0, 0.0}, {10.0, 1.0}}};
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 10.0);
+  EXPECT_THROW((void)d.quantile(-0.1), ContractViolation);
+  EXPECT_THROW((void)d.quantile(1.1), ContractViolation);
+}
+
+TEST(EmpiricalDistribution, CdfIsInverseOfQuantile) {
+  const auto& d = planetLabLatency();
+  for (const double p : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-9);
+  }
+}
+
+TEST(EmpiricalDistribution, CdfBoundaryBehaviour) {
+  const EmpiricalDistribution d{{{5.0, 0.0}, {10.0, 1.0}}};
+  EXPECT_DOUBLE_EQ(d.cdf(4.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(11.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.cdf(7.5), 0.5);
+}
+
+TEST(EmpiricalDistribution, UniformMoments) {
+  const auto d = uniformDistribution(0.0, 12.0);
+  EXPECT_NEAR(d.mean(), 6.0, 1e-9);
+  EXPECT_NEAR(d.stddev(), 12.0 / std::sqrt(12.0), 1e-9);
+}
+
+TEST(EmpiricalDistribution, ConstantDistributionIsAnAtom) {
+  const auto d = constantDistribution(125.0);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(d.sample(rng), 125.0, 1e-6);
+    EXPECT_EQ(d.sampleTicks(rng), 125u);
+  }
+  EXPECT_NEAR(d.mean(), 125.0, 1e-6);
+  EXPECT_NEAR(d.stddev(), 0.0, 1e-3);
+}
+
+TEST(EmpiricalDistribution, SampleTicksNeverNegative) {
+  const auto d = uniformDistribution(-5.0, 5.0);
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(d.sampleTicks(rng), 5u);
+  }
+}
+
+TEST(PlanetLabLatency, MatchesPaperStatistics) {
+  // Paper Fig. 5: mean ~157, sigma ~119, p5 = 15, p50 = 125, p95 = 366.
+  const auto& d = planetLabLatency();
+  EXPECT_NEAR(d.mean(), 157.0, 157.0 * 0.08);
+  EXPECT_NEAR(d.stddev(), 119.0, 119.0 * 0.08);
+  EXPECT_NEAR(d.quantile(0.05), 15.0, 1.0);
+  EXPECT_NEAR(d.quantile(0.50), 125.0, 1.0);
+  EXPECT_NEAR(d.quantile(0.95), 366.0, 1.0);
+}
+
+TEST(PlanetLabLatency, WorstCaseIsAboutSixRoundDurations) {
+  // "some processes have a very large latency, up to six times the round
+  // duration" with delta = 125.
+  const auto& d = planetLabLatency();
+  EXPECT_GE(d.maxValue(), 5.0 * 125.0);
+  EXPECT_LE(d.maxValue(), 7.0 * 125.0);
+}
+
+TEST(PlanetLabLatency, SampledMomentsAgreeWithAnalytic) {
+  const auto& d = planetLabLatency();
+  Rng rng(11);
+  metrics::Cdf cdf;
+  for (int i = 0; i < 100000; ++i) cdf.add(d.sample(rng));
+  const auto s = cdf.summary();
+  EXPECT_NEAR(s.mean, d.mean(), d.mean() * 0.02);
+  EXPECT_NEAR(s.stddev, d.stddev(), d.stddev() * 0.03);
+}
+
+}  // namespace
+}  // namespace epto::util

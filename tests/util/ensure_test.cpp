@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/ensure.h"
+
+namespace epto::util {
+namespace {
+
+TEST(Ensure, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(EPTO_ENSURE(1 + 1 == 2));
+  EXPECT_NO_THROW(EPTO_ENSURE_MSG(true, "never shown"));
+}
+
+TEST(Ensure, FailingConditionThrowsContractViolation) {
+  EXPECT_THROW(EPTO_ENSURE(false), ContractViolation);
+  EXPECT_THROW(EPTO_ENSURE_MSG(false, "boom"), ContractViolation);
+}
+
+TEST(Ensure, ViolationIsALogicError) {
+  try {
+    EPTO_ENSURE_MSG(false, "details here");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("contract violation"), std::string::npos);
+    EXPECT_NE(what.find("details here"), std::string::npos);
+    EXPECT_NE(what.find("ensure_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Ensure, MessageIncludesTheExpression) {
+  try {
+    EPTO_ENSURE(2 > 3);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& error) {
+    EXPECT_NE(std::string(error.what()).find("2 > 3"), std::string::npos);
+  }
+}
+
+TEST(Ensure, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  const auto check = [&] {
+    ++evaluations;
+    return true;
+  };
+  EPTO_ENSURE(check());
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace epto::util

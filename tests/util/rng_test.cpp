@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+#include "util/ensure.h"
+#include "util/rng.h"
+
+namespace epto::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedRestartsTheStream) {
+  Rng rng(77);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(rng());
+  rng.reseed(77);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(5);
+  Rng child = parent.split();
+  // The child must differ from a fresh copy of the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitsAreMutuallyDistinct) {
+  Rng parent(5);
+  Rng a = parent.split();
+  Rng b = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(9);
+  EXPECT_THROW((void)rng.below(0), ContractViolation);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(13);
+  std::array<int, 10> counts{};
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.below(10)];
+  for (const int count : counts) {
+    EXPECT_NEAR(count, draws / 10, draws / 100);  // within 10% relative
+  }
+}
+
+TEST(Rng, BetweenCoversClosedInterval) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BetweenRejectsInvertedBounds) {
+  Rng rng(17);
+  EXPECT_THROW((void)rng.between(3, 2), ContractViolation);
+}
+
+TEST(Rng, Uniform01InRangeAndWellSpread) {
+  Rng rng(21);
+  double sum = 0.0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / draws, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(25);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(29);
+  int hits = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits, draws * 0.3, draws * 0.01);
+}
+
+TEST(Rng, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+  // Avalanche sanity: flipping one input bit flips many output bits.
+  const std::uint64_t d = mix64(1) ^ mix64(0);
+  EXPECT_GT(std::popcount(d), 16);
+}
+
+}  // namespace
+}  // namespace epto::util

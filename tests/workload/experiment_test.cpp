@@ -1,0 +1,123 @@
+// Integration tests: full simulated runs asserting the Table 1
+// specification (integrity, validity, total order, probabilistic
+// agreement) under the paper's §6 conditions.
+#include <gtest/gtest.h>
+
+#include "workload/experiment.h"
+
+namespace epto::workload {
+namespace {
+
+ExperimentConfig smallConfig() {
+  ExperimentConfig config;
+  config.systemSize = 60;
+  config.broadcastRounds = 12;
+  config.broadcastProbability = 0.05;
+  config.seed = 7;
+  return config;
+}
+
+void expectTable1(const ExperimentResult& result) {
+  EXPECT_EQ(result.report.integrityViolations, 0u);
+  EXPECT_EQ(result.report.orderViolations, 0u);
+  EXPECT_EQ(result.report.validityViolations, 0u);
+  EXPECT_EQ(result.report.holes, 0u);
+  EXPECT_GT(result.report.broadcasts, 0u);
+  EXPECT_GT(result.report.deliveries, 0u);
+}
+
+TEST(ExperimentIntegration, GlobalClockIdealNetwork) {
+  auto config = smallConfig();
+  config.clockMode = ClockMode::Global;
+  const auto result = runExperiment(config);
+  expectTable1(result);
+  // Agreement means everyone delivered everything: deliveries = events * n.
+  EXPECT_EQ(result.report.deliveries,
+            result.report.eventsMeasured * config.systemSize);
+}
+
+TEST(ExperimentIntegration, LogicalClockIdealNetwork) {
+  auto config = smallConfig();
+  config.clockMode = ClockMode::Logical;
+  const auto result = runExperiment(config);
+  expectTable1(result);
+}
+
+TEST(ExperimentIntegration, GlobalClockWithMessageLoss) {
+  auto config = smallConfig();
+  config.messageLossRate = 0.10;
+  const auto result = runExperiment(config);
+  expectTable1(result);
+}
+
+TEST(ExperimentIntegration, GlobalClockWithChurn) {
+  auto config = smallConfig();
+  config.churnRate = 0.05;
+  const auto result = runExperiment(config);
+  EXPECT_EQ(result.report.integrityViolations, 0u);
+  EXPECT_EQ(result.report.orderViolations, 0u);
+  EXPECT_EQ(result.report.holes, 0u);
+}
+
+TEST(ExperimentIntegration, CyclonPss) {
+  auto config = smallConfig();
+  config.pss = PssKind::Cyclon;
+  const auto result = runExperiment(config);
+  expectTable1(result);
+}
+
+TEST(ExperimentIntegration, BaselineDeliversEverythingUnordered) {
+  auto config = smallConfig();
+  config.protocol = Protocol::BallsBinsBaseline;
+  const auto result = runExperiment(config);
+  EXPECT_EQ(result.report.integrityViolations, 0u);
+  EXPECT_EQ(result.report.holes, 0u);
+  EXPECT_GT(result.report.deliveries, 0u);
+}
+
+TEST(ExperimentIntegration, DeterministicInSeedWithCyclon) {
+  // The real PSS threads extra randomness through shuffles; determinism
+  // must survive it.
+  auto config = smallConfig();
+  config.pss = PssKind::Cyclon;
+  config.churnRate = 0.02;
+  const auto a = runExperiment(config);
+  const auto b = runExperiment(config);
+  EXPECT_EQ(a.report.broadcasts, b.report.broadcasts);
+  EXPECT_EQ(a.report.deliveries, b.report.deliveries);
+  EXPECT_EQ(a.network.sent, b.network.sent);
+}
+
+TEST(ExperimentIntegration, DeterministicInSeedWithGenericPss) {
+  auto config = smallConfig();
+  config.pss = PssKind::Generic;
+  const auto a = runExperiment(config);
+  const auto b = runExperiment(config);
+  EXPECT_EQ(a.report.deliveries, b.report.deliveries);
+  EXPECT_EQ(a.network.sent, b.network.sent);
+}
+
+TEST(ExperimentIntegration, DifferentSeedsProduceDifferentRuns) {
+  auto config = smallConfig();
+  config.seed = 1;
+  const auto a = runExperiment(config);
+  config.seed = 2;
+  const auto b = runExperiment(config);
+  // Workload draws differ, so the traffic pattern must differ.
+  EXPECT_NE(a.network.sent, b.network.sent);
+}
+
+TEST(ExperimentIntegration, DeterministicInSeed) {
+  const auto a = runExperiment(smallConfig());
+  const auto b = runExperiment(smallConfig());
+  EXPECT_EQ(a.report.broadcasts, b.report.broadcasts);
+  EXPECT_EQ(a.report.deliveries, b.report.deliveries);
+  EXPECT_EQ(a.network.sent, b.network.sent);
+  EXPECT_EQ(a.report.delays.total(), b.report.delays.total());
+  if (!a.report.delays.empty() && !b.report.delays.empty()) {
+    EXPECT_EQ(a.report.delays.percentile(0.5), b.report.delays.percentile(0.5));
+  }
+}
+
+}  // namespace
+}  // namespace epto::workload

@@ -1,0 +1,216 @@
+// Property-based sweeps: the Table 1 deterministic-safety properties
+// (integrity, total order, validity) must hold for EVERY combination of
+// seed, clock mode and adversity — they are invariants, not statistics.
+// Probabilistic agreement is asserted as "zero holes" at the theoretical
+// parameters, matching the paper's §6 observation ("in all the
+// experiments that follow, we have not observed a single hole").
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "workload/experiment.h"
+
+namespace epto::workload {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sweep 1: seeds x clock modes on a clean network.
+// ---------------------------------------------------------------------------
+class CleanNetworkSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, ClockMode>> {};
+
+TEST_P(CleanNetworkSweep, Table1Holds) {
+  const auto [seed, mode] = GetParam();
+  ExperimentConfig config;
+  config.systemSize = 50;
+  config.clockMode = mode;
+  config.broadcastRounds = 10;
+  config.seed = seed;
+  const auto result = runExperiment(config);
+  EXPECT_EQ(result.report.integrityViolations, 0u);
+  EXPECT_EQ(result.report.orderViolations, 0u);
+  EXPECT_EQ(result.report.validityViolations, 0u);
+  EXPECT_EQ(result.report.holes, 0u);
+  EXPECT_GT(result.report.eventsMeasured, 0u);
+  // Agreement at theoretical parameters: everyone got everything.
+  EXPECT_EQ(result.report.deliveries,
+            result.report.eventsMeasured * config.systemSize);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndClocks, CleanNetworkSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 13, 21, 34),
+                       ::testing::Values(ClockMode::Global, ClockMode::Logical)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == ClockMode::Global ? "_global" : "_logical");
+    });
+
+// ---------------------------------------------------------------------------
+// Sweep 2: adversity grid — loss x churn, global clock.
+// Safety must hold unconditionally; holes must stay zero at the derived
+// parameters for these (paper-scale) adversity levels.
+// ---------------------------------------------------------------------------
+class AdversitySweep
+    : public ::testing::TestWithParam<std::tuple<double, double, std::uint64_t>> {};
+
+TEST_P(AdversitySweep, SafetyUnconditionalAgreementAtTheoreticalParams) {
+  const auto [loss, churn, seed] = GetParam();
+  ExperimentConfig config;
+  config.systemSize = 50;
+  config.messageLossRate = loss;
+  config.churnRate = churn;
+  config.broadcastRounds = 10;
+  config.seed = seed;
+  // Lemma 7: compensate the fanout for the adversity, and give the
+  // hole-probability bound headroom (small n makes c=1.25 marginal when
+  // churn and loss combine).
+  config.compensateFanout = true;
+  config.c = 2.0;
+  const auto result = runExperiment(config);
+  EXPECT_EQ(result.report.integrityViolations, 0u);
+  EXPECT_EQ(result.report.orderViolations, 0u);
+  EXPECT_EQ(result.report.holes, 0u);
+  if (churn == 0.0) {
+    EXPECT_EQ(result.report.validityViolations, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossChurnGrid, AdversitySweep,
+    ::testing::Combine(::testing::Values(0.0, 0.05, 0.10),
+                       ::testing::Values(0.0, 0.02, 0.05),
+                       ::testing::Values(11, 22)),
+    [](const auto& info) {
+      return "loss" + std::to_string(static_cast<int>(std::get<0>(info.param) * 100)) +
+             "_churn" + std::to_string(static_cast<int>(std::get<1>(info.param) * 100)) +
+             "_seed" + std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Sweep 3: drift — large per-round jitter and systematic speed spread
+// (paper §5.3: "we also tested large random drifts numerically, and EpTO
+// performed very well").
+// ---------------------------------------------------------------------------
+class DriftSweep : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DriftSweep, SafetyHoldsUnderDesynchronizedRounds) {
+  const auto [jitter, spread] = GetParam();
+  ExperimentConfig config;
+  config.systemSize = 50;
+  config.roundJitter = jitter;
+  config.processSpeedSpread = spread;
+  config.clockMode = ClockMode::Logical;  // the harder mode
+  config.broadcastRounds = 10;
+  config.seed = 31;
+  // Lemma 5 headroom for the systematic spread.
+  if (spread > 0.0) {
+    const double ratio = (1.0 + spread) / (1.0 - spread);
+    config.ttlOverride = static_cast<std::uint32_t>(
+        std::ceil(2.0 * 2.25 * std::log2(50.0) * ratio));
+  }
+  const auto result = runExperiment(config);
+  EXPECT_EQ(result.report.integrityViolations, 0u);
+  EXPECT_EQ(result.report.orderViolations, 0u);
+  EXPECT_EQ(result.report.holes, 0u);
+  EXPECT_EQ(result.report.validityViolations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(JitterSpreadGrid, DriftSweep,
+                         ::testing::Combine(::testing::Values(0.0, 0.1, 0.3),
+                                            ::testing::Values(0.0, 0.15)),
+                         [](const auto& info) {
+                           return "jitter" +
+                                  std::to_string(static_cast<int>(
+                                      std::get<0>(info.param) * 100)) +
+                                  "_spread" +
+                                  std::to_string(static_cast<int>(
+                                      std::get<1>(info.param) * 100));
+                         });
+
+// ---------------------------------------------------------------------------
+// Sweep 4: under-provisioned TTL. Safety must STILL hold (holes are
+// allowed, order violations are not) — the protocol degrades by dropping,
+// never by disordering. This is the deterministic-safety/probabilistic-
+// liveness split that distinguishes EpTO from PABCast (paper §7).
+// ---------------------------------------------------------------------------
+class StarvedTtlSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint64_t>> {};
+
+TEST_P(StarvedTtlSweep, SafetyHoldsEvenWhenAgreementFails) {
+  const auto [ttl, seed] = GetParam();
+  ExperimentConfig config;
+  config.systemSize = 50;
+  config.ttlOverride = ttl;
+  config.fanoutOverride = 2;  // also starve the fanout
+  config.broadcastRounds = 10;
+  config.seed = seed;
+  const auto result = runExperiment(config);
+  EXPECT_EQ(result.report.integrityViolations, 0u);
+  EXPECT_EQ(result.report.orderViolations, 0u);
+  // holes may or may not appear — no assertion on them.
+}
+
+INSTANTIATE_TEST_SUITE_P(TtlGrid, StarvedTtlSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(7, 77, 777)),
+                         [](const auto& info) {
+                           return "ttl" + std::to_string(std::get<0>(info.param)) +
+                                  "_seed" + std::to_string(std::get<1>(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Sweep 5: tagged delivery (§8.2) — tagging must never break integrity
+// (no event reaches the application twice in any combination of tags).
+// ---------------------------------------------------------------------------
+class TaggedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TaggedSweep, TaggingPreservesIntegrity) {
+  ExperimentConfig config;
+  config.systemSize = 50;
+  config.ttlOverride = 2;  // force drops so tagging has work to do
+  config.fanoutOverride = 3;
+  config.tagOutOfOrder = true;
+  config.broadcastRounds = 10;
+  config.seed = GetParam();
+  const auto result = runExperiment(config);
+  EXPECT_EQ(result.report.integrityViolations, 0u);
+  EXPECT_EQ(result.report.orderViolations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TaggedSweep, ::testing::Values(3, 14, 159, 2653),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Sweep 6: Cyclon PSS under churn — the Fig. 9 regime as a test.
+// ---------------------------------------------------------------------------
+class CyclonSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CyclonSweep, SafetyHoldsOnARealOverlay) {
+  ExperimentConfig config;
+  config.systemSize = 60;
+  config.pss = PssKind::Cyclon;
+  config.churnRate = GetParam();
+  config.broadcastRounds = 10;
+  config.seed = 41;
+  const auto result = runExperiment(config);
+  EXPECT_EQ(result.report.integrityViolations, 0u);
+  EXPECT_EQ(result.report.orderViolations, 0u);
+  if (GetParam() == 0.0) {
+    EXPECT_EQ(result.report.holes, 0u);
+    EXPECT_EQ(result.report.validityViolations, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChurnLevels, CyclonSweep, ::testing::Values(0.0, 0.02, 0.05),
+                         [](const auto& info) {
+                           return "churn" +
+                                  std::to_string(static_cast<int>(info.param * 100));
+                         });
+
+}  // namespace
+}  // namespace epto::workload
