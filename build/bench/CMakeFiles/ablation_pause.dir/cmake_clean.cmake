@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pause.dir/ablation_pause.cpp.o"
+  "CMakeFiles/ablation_pause.dir/ablation_pause.cpp.o.d"
+  "ablation_pause"
+  "ablation_pause.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pause.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_pbcast.cpp" "bench/CMakeFiles/ablation_pbcast.dir/ablation_pbcast.cpp.o" "gcc" "bench/CMakeFiles/ablation_pbcast.dir/ablation_pbcast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/epto_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/epto_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/epto_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/epto_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/epto_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pss/CMakeFiles/epto_pss.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/epto_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/epto_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pbcast.dir/ablation_pbcast.cpp.o"
+  "CMakeFiles/ablation_pbcast.dir/ablation_pbcast.cpp.o.d"
+  "ablation_pbcast"
+  "ablation_pbcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pbcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

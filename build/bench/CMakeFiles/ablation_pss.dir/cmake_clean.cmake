@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pss.dir/ablation_pss.cpp.o"
+  "CMakeFiles/ablation_pss.dir/ablation_pss.cpp.o.d"
+  "ablation_pss"
+  "ablation_pss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

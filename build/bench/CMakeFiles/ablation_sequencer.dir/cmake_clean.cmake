@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sequencer.dir/ablation_sequencer.cpp.o"
+  "CMakeFiles/ablation_sequencer.dir/ablation_sequencer.cpp.o.d"
+  "ablation_sequencer"
+  "ablation_sequencer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sequencer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_loss.dir/fig10_loss.cpp.o"
+  "CMakeFiles/fig10_loss.dir/fig10_loss.cpp.o.d"
+  "fig10_loss"
+  "fig10_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_rate.dir/fig7a_rate.cpp.o"
+  "CMakeFiles/fig7a_rate.dir/fig7a_rate.cpp.o.d"
+  "fig7a_rate"
+  "fig7a_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

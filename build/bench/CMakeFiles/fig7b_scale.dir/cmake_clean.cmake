@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_scale.dir/fig7b_scale.cpp.o"
+  "CMakeFiles/fig7b_scale.dir/fig7b_scale.cpp.o.d"
+  "fig7b_scale"
+  "fig7b_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_churn.dir/fig8_churn.cpp.o"
+  "CMakeFiles/fig8_churn.dir/fig8_churn.cpp.o.d"
+  "fig8_churn"
+  "fig8_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_cyclon.dir/fig9_cyclon.cpp.o"
+  "CMakeFiles/fig9_cyclon.dir/fig9_cyclon.cpp.o.d"
+  "fig9_cyclon"
+  "fig9_cyclon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cyclon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

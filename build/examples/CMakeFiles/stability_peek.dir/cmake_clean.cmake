@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stability_peek.dir/stability_peek.cpp.o"
+  "CMakeFiles/stability_peek.dir/stability_peek.cpp.o.d"
+  "stability_peek"
+  "stability_peek.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stability_peek.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

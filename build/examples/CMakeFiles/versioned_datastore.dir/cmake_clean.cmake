@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versioned_datastore.dir/versioned_datastore.cpp.o"
+  "CMakeFiles/versioned_datastore.dir/versioned_datastore.cpp.o.d"
+  "versioned_datastore"
+  "versioned_datastore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versioned_datastore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

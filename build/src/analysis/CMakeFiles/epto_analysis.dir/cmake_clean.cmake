@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epto_analysis.dir/balls_bins.cpp.o"
+  "CMakeFiles/epto_analysis.dir/balls_bins.cpp.o.d"
+  "CMakeFiles/epto_analysis.dir/parameters.cpp.o"
+  "CMakeFiles/epto_analysis.dir/parameters.cpp.o.d"
+  "libepto_analysis.a"
+  "libepto_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epto_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/replicated_log.cpp" "src/app/CMakeFiles/epto_app.dir/replicated_log.cpp.o" "gcc" "src/app/CMakeFiles/epto_app.dir/replicated_log.cpp.o.d"
+  "/root/repo/src/app/versioned_store.cpp" "src/app/CMakeFiles/epto_app.dir/versioned_store.cpp.o" "gcc" "src/app/CMakeFiles/epto_app.dir/versioned_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/epto_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/epto_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/epto_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/epto_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

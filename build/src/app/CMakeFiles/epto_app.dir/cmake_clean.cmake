@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epto_app.dir/replicated_log.cpp.o"
+  "CMakeFiles/epto_app.dir/replicated_log.cpp.o.d"
+  "CMakeFiles/epto_app.dir/versioned_store.cpp.o"
+  "CMakeFiles/epto_app.dir/versioned_store.cpp.o.d"
+  "libepto_app.a"
+  "libepto_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epto_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

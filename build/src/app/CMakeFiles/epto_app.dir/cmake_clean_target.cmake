@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libepto_app.a"
+)

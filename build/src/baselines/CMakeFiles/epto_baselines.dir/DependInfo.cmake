@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/balls_bins_broadcast.cpp" "src/baselines/CMakeFiles/epto_baselines.dir/balls_bins_broadcast.cpp.o" "gcc" "src/baselines/CMakeFiles/epto_baselines.dir/balls_bins_broadcast.cpp.o.d"
+  "/root/repo/src/baselines/pbcast.cpp" "src/baselines/CMakeFiles/epto_baselines.dir/pbcast.cpp.o" "gcc" "src/baselines/CMakeFiles/epto_baselines.dir/pbcast.cpp.o.d"
+  "/root/repo/src/baselines/sequencer.cpp" "src/baselines/CMakeFiles/epto_baselines.dir/sequencer.cpp.o" "gcc" "src/baselines/CMakeFiles/epto_baselines.dir/sequencer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/epto_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/epto_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/epto_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

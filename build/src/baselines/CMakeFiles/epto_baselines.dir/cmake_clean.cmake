@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epto_baselines.dir/balls_bins_broadcast.cpp.o"
+  "CMakeFiles/epto_baselines.dir/balls_bins_broadcast.cpp.o.d"
+  "CMakeFiles/epto_baselines.dir/pbcast.cpp.o"
+  "CMakeFiles/epto_baselines.dir/pbcast.cpp.o.d"
+  "CMakeFiles/epto_baselines.dir/sequencer.cpp.o"
+  "CMakeFiles/epto_baselines.dir/sequencer.cpp.o.d"
+  "libepto_baselines.a"
+  "libepto_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epto_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

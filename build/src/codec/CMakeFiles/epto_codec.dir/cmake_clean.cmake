@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epto_codec.dir/ball_codec.cpp.o"
+  "CMakeFiles/epto_codec.dir/ball_codec.cpp.o.d"
+  "CMakeFiles/epto_codec.dir/checksum.cpp.o"
+  "CMakeFiles/epto_codec.dir/checksum.cpp.o.d"
+  "libepto_codec.a"
+  "libepto_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epto_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

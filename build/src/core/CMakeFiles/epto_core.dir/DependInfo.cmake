@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/epto_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/epto_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/dissemination.cpp" "src/core/CMakeFiles/epto_core.dir/dissemination.cpp.o" "gcc" "src/core/CMakeFiles/epto_core.dir/dissemination.cpp.o.d"
+  "/root/repo/src/core/ordering.cpp" "src/core/CMakeFiles/epto_core.dir/ordering.cpp.o" "gcc" "src/core/CMakeFiles/epto_core.dir/ordering.cpp.o.d"
+  "/root/repo/src/core/process.cpp" "src/core/CMakeFiles/epto_core.dir/process.cpp.o" "gcc" "src/core/CMakeFiles/epto_core.dir/process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/epto_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/epto_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epto_core.dir/config.cpp.o"
+  "CMakeFiles/epto_core.dir/config.cpp.o.d"
+  "CMakeFiles/epto_core.dir/dissemination.cpp.o"
+  "CMakeFiles/epto_core.dir/dissemination.cpp.o.d"
+  "CMakeFiles/epto_core.dir/ordering.cpp.o"
+  "CMakeFiles/epto_core.dir/ordering.cpp.o.d"
+  "CMakeFiles/epto_core.dir/process.cpp.o"
+  "CMakeFiles/epto_core.dir/process.cpp.o.d"
+  "libepto_core.a"
+  "libepto_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epto_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

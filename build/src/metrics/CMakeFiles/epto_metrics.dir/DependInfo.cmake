@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/cdf.cpp" "src/metrics/CMakeFiles/epto_metrics.dir/cdf.cpp.o" "gcc" "src/metrics/CMakeFiles/epto_metrics.dir/cdf.cpp.o.d"
+  "/root/repo/src/metrics/delivery_tracker.cpp" "src/metrics/CMakeFiles/epto_metrics.dir/delivery_tracker.cpp.o" "gcc" "src/metrics/CMakeFiles/epto_metrics.dir/delivery_tracker.cpp.o.d"
+  "/root/repo/src/metrics/histogram.cpp" "src/metrics/CMakeFiles/epto_metrics.dir/histogram.cpp.o" "gcc" "src/metrics/CMakeFiles/epto_metrics.dir/histogram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/epto_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/epto_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/epto_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

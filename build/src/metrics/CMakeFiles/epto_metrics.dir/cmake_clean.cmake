@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epto_metrics.dir/cdf.cpp.o"
+  "CMakeFiles/epto_metrics.dir/cdf.cpp.o.d"
+  "CMakeFiles/epto_metrics.dir/delivery_tracker.cpp.o"
+  "CMakeFiles/epto_metrics.dir/delivery_tracker.cpp.o.d"
+  "CMakeFiles/epto_metrics.dir/histogram.cpp.o"
+  "CMakeFiles/epto_metrics.dir/histogram.cpp.o.d"
+  "libepto_metrics.a"
+  "libepto_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epto_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

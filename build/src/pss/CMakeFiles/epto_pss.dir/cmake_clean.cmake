@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epto_pss.dir/cyclon.cpp.o"
+  "CMakeFiles/epto_pss.dir/cyclon.cpp.o.d"
+  "CMakeFiles/epto_pss.dir/generic_pss.cpp.o"
+  "CMakeFiles/epto_pss.dir/generic_pss.cpp.o.d"
+  "libepto_pss.a"
+  "libepto_pss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epto_pss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epto_runtime.dir/runtime_cluster.cpp.o"
+  "CMakeFiles/epto_runtime.dir/runtime_cluster.cpp.o.d"
+  "CMakeFiles/epto_runtime.dir/transport.cpp.o"
+  "CMakeFiles/epto_runtime.dir/transport.cpp.o.d"
+  "CMakeFiles/epto_runtime.dir/udp_cluster.cpp.o"
+  "CMakeFiles/epto_runtime.dir/udp_cluster.cpp.o.d"
+  "CMakeFiles/epto_runtime.dir/udp_transport.cpp.o"
+  "CMakeFiles/epto_runtime.dir/udp_transport.cpp.o.d"
+  "libepto_runtime.a"
+  "libepto_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epto_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epto_sim.dir/churn.cpp.o"
+  "CMakeFiles/epto_sim.dir/churn.cpp.o.d"
+  "CMakeFiles/epto_sim.dir/membership.cpp.o"
+  "CMakeFiles/epto_sim.dir/membership.cpp.o.d"
+  "CMakeFiles/epto_sim.dir/simulator.cpp.o"
+  "CMakeFiles/epto_sim.dir/simulator.cpp.o.d"
+  "libepto_sim.a"
+  "libepto_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epto_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epto_util.dir/empirical_distribution.cpp.o"
+  "CMakeFiles/epto_util.dir/empirical_distribution.cpp.o.d"
+  "libepto_util.a"
+  "libepto_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epto_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

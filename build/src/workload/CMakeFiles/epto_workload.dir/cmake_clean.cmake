@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epto_workload.dir/cluster.cpp.o"
+  "CMakeFiles/epto_workload.dir/cluster.cpp.o.d"
+  "CMakeFiles/epto_workload.dir/experiment.cpp.o"
+  "CMakeFiles/epto_workload.dir/experiment.cpp.o.d"
+  "libepto_workload.a"
+  "libepto_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epto_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epto_integration_tests.dir/workload/experiment_test.cpp.o"
+  "CMakeFiles/epto_integration_tests.dir/workload/experiment_test.cpp.o.d"
+  "epto_integration_tests"
+  "epto_integration_tests.pdb"
+  "epto_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epto_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epto_property_tests.dir/core/ordering_fuzz_test.cpp.o"
+  "CMakeFiles/epto_property_tests.dir/core/ordering_fuzz_test.cpp.o.d"
+  "CMakeFiles/epto_property_tests.dir/workload/cluster_test.cpp.o"
+  "CMakeFiles/epto_property_tests.dir/workload/cluster_test.cpp.o.d"
+  "CMakeFiles/epto_property_tests.dir/workload/property_test.cpp.o"
+  "CMakeFiles/epto_property_tests.dir/workload/property_test.cpp.o.d"
+  "epto_property_tests"
+  "epto_property_tests.pdb"
+  "epto_property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epto_property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

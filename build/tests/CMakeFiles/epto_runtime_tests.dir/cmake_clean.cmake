@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epto_runtime_tests.dir/runtime/runtime_cluster_test.cpp.o"
+  "CMakeFiles/epto_runtime_tests.dir/runtime/runtime_cluster_test.cpp.o.d"
+  "CMakeFiles/epto_runtime_tests.dir/runtime/transport_test.cpp.o"
+  "CMakeFiles/epto_runtime_tests.dir/runtime/transport_test.cpp.o.d"
+  "CMakeFiles/epto_runtime_tests.dir/runtime/udp_test.cpp.o"
+  "CMakeFiles/epto_runtime_tests.dir/runtime/udp_test.cpp.o.d"
+  "epto_runtime_tests"
+  "epto_runtime_tests.pdb"
+  "epto_runtime_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epto_runtime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

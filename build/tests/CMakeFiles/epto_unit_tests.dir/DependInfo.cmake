@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/balls_bins_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/analysis/balls_bins_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/analysis/balls_bins_test.cpp.o.d"
+  "/root/repo/tests/analysis/parameters_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/analysis/parameters_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/analysis/parameters_test.cpp.o.d"
+  "/root/repo/tests/app/replicated_log_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/app/replicated_log_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/app/replicated_log_test.cpp.o.d"
+  "/root/repo/tests/app/versioned_store_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/app/versioned_store_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/app/versioned_store_test.cpp.o.d"
+  "/root/repo/tests/baselines/balls_bins_broadcast_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/baselines/balls_bins_broadcast_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/baselines/balls_bins_broadcast_test.cpp.o.d"
+  "/root/repo/tests/baselines/pbcast_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/baselines/pbcast_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/baselines/pbcast_test.cpp.o.d"
+  "/root/repo/tests/baselines/sequencer_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/baselines/sequencer_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/baselines/sequencer_test.cpp.o.d"
+  "/root/repo/tests/codec/ball_codec_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/codec/ball_codec_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/codec/ball_codec_test.cpp.o.d"
+  "/root/repo/tests/codec/checksum_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/codec/checksum_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/codec/checksum_test.cpp.o.d"
+  "/root/repo/tests/codec/varint_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/codec/varint_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/codec/varint_test.cpp.o.d"
+  "/root/repo/tests/core/config_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/core/config_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/core/config_test.cpp.o.d"
+  "/root/repo/tests/core/dissemination_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/core/dissemination_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/core/dissemination_test.cpp.o.d"
+  "/root/repo/tests/core/ordering_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/core/ordering_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/core/ordering_test.cpp.o.d"
+  "/root/repo/tests/core/paper_scenarios_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/core/paper_scenarios_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/core/paper_scenarios_test.cpp.o.d"
+  "/root/repo/tests/core/process_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/core/process_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/core/process_test.cpp.o.d"
+  "/root/repo/tests/core/stability_oracle_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/core/stability_oracle_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/core/stability_oracle_test.cpp.o.d"
+  "/root/repo/tests/core/types_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/core/types_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/core/types_test.cpp.o.d"
+  "/root/repo/tests/metrics/cdf_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/metrics/cdf_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/metrics/cdf_test.cpp.o.d"
+  "/root/repo/tests/metrics/delivery_tracker_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/metrics/delivery_tracker_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/metrics/delivery_tracker_test.cpp.o.d"
+  "/root/repo/tests/metrics/histogram_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/metrics/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/metrics/histogram_test.cpp.o.d"
+  "/root/repo/tests/pss/cyclon_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/pss/cyclon_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/pss/cyclon_test.cpp.o.d"
+  "/root/repo/tests/pss/generic_pss_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/pss/generic_pss_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/pss/generic_pss_test.cpp.o.d"
+  "/root/repo/tests/pss/uniform_sampler_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/pss/uniform_sampler_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/pss/uniform_sampler_test.cpp.o.d"
+  "/root/repo/tests/sim/churn_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/sim/churn_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/sim/churn_test.cpp.o.d"
+  "/root/repo/tests/sim/membership_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/sim/membership_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/sim/membership_test.cpp.o.d"
+  "/root/repo/tests/sim/network_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/sim/network_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/sim/network_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/sim/simulator_test.cpp.o.d"
+  "/root/repo/tests/util/empirical_distribution_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/util/empirical_distribution_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/util/empirical_distribution_test.cpp.o.d"
+  "/root/repo/tests/util/ensure_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/util/ensure_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/util/ensure_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/epto_unit_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/epto_unit_tests.dir/util/rng_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/epto_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/epto_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/epto_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/epto_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/epto_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/epto_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/epto_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pss/CMakeFiles/epto_pss.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/epto_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/epto_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/epto_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
