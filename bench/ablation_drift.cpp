@@ -10,7 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace epto;
-  const auto args = bench::parseArgs(argc, argv);
+  auto args = bench::parseArgs(argc, argv);
   bench::printHeader("Ablation drift",
                      "delay and holes vs round jitter and per-process speed spread, "
                      "n=200",

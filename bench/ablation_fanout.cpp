@@ -6,7 +6,7 @@
 
 int main(int argc, char** argv) {
   using namespace epto;
-  const auto args = bench::parseArgs(argc, argv);
+  auto args = bench::parseArgs(argc, argv);
   bench::printHeader("Ablation fanout",
                      "delay and holes vs fanout K, n=100 (theory: K=17)", args);
 

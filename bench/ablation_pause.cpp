@@ -14,7 +14,7 @@
 
 int main(int argc, char** argv) {
   using namespace epto;
-  const auto args = bench::parseArgs(argc, argv);
+  auto args = bench::parseArgs(argc, argv);
   bench::printHeader("Ablation pause",
                      "stalled processes resume without holes, n=300, 5% bcast", args);
 

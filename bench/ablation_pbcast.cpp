@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace epto;
-  const auto args = bench::parseArgs(argc, argv);
+  auto args = bench::parseArgs(argc, argv);
   bench::printHeader(
       "Ablation Pbcast",
       "EpTO vs synchronous-rounds probabilistic TO as processes desynchronize, n=200",

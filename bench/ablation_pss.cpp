@@ -13,7 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace epto;
-  const auto args = bench::parseArgs(argc, argv);
+  auto args = bench::parseArgs(argc, argv);
   bench::printHeader("Ablation PSS",
                      "EpTO under churn across peer-sampling designs, n=300", args);
 

@@ -10,7 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace epto;
-  const auto args = bench::parseArgs(argc, argv);
+  auto args = bench::parseArgs(argc, argv);
   bench::printHeader("Ablation sequencer",
                      "EpTO vs fixed-sequencer total order, n=200, 5% bcast", args);
 

@@ -8,7 +8,7 @@
 
 int main(int argc, char** argv) {
   using namespace epto;
-  const auto args = bench::parseArgs(argc, argv);
+  auto args = bench::parseArgs(argc, argv);
   bench::printHeader("Ablation TTL",
                      "delay and holes vs TTL, n=100, 5% bcast (theory: 15 global / "
                      "30 logical)",

@@ -9,15 +9,25 @@
 //     every bench run),
 //   * a "summary" line per condition with mean/percentile delays.
 //
+// With --metrics-out=<path>, every condition additionally appends JSONL
+// to <path>: one "round" line per sampled protocol round (ball size,
+// fanout, buffer occupancy) and one "snapshot" line with the run's final
+// metric registry (histograms + aggregate counters). See DESIGN.md
+// "Observability" for the schema.
+//
 // Default sizes are scaled to a small single-core machine; --paper-scale
 // runs the full published sweep (see EXPERIMENTS.md for the mapping).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "obs/exporters.h"
 #include "workload/experiment.h"
 
 namespace epto::bench {
@@ -26,19 +36,56 @@ struct BenchArgs {
   bool paperScale = false;
   std::uint64_t seed = 42;
   std::size_t cdfSteps = 20;
+  std::string metricsOut;  ///< empty = no JSONL metrics output.
+  /// Open lazily on first runSeries() so binaries that only parse args
+  /// (e.g. --help handling in tests) never create the file.
+  std::shared_ptr<obs::JsonlWriter> metricsWriter;
 };
+
+[[noreturn]] inline void printUsageAndExit(const char* argv0, int code) {
+  std::FILE* out = code == 0 ? stdout : stderr;
+  std::fprintf(out,
+               "usage: %s [options]\n"
+               "  --paper-scale        run the full published sweep instead of the\n"
+               "                       scaled-down defaults\n"
+               "  --seed=<n>           master RNG seed (default 42)\n"
+               "  --cdf-steps=<n>      rows per printed CDF series (default 20)\n"
+               "  --metrics-out=<path> append per-round samples and the final metric\n"
+               "                       snapshot as JSONL to <path>\n"
+               "  --help               print this message and exit\n",
+               argv0);
+  std::exit(code);
+}
 
 inline BenchArgs parseArgs(int argc, char** argv) {
   BenchArgs args;
+  const auto numeric = [&](const char* flag, const char* value) {
+    char* end = nullptr;
+    const std::uint64_t parsed = std::strtoull(value, &end, 10);
+    if (*value == '\0' || end == nullptr || *end != '\0') {
+      std::fprintf(stderr, "%s: %s expects a number, got \"%s\"\n", argv[0], flag, value);
+      printUsageAndExit(argv[0], 2);
+    }
+    return parsed;
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--paper-scale") == 0) {
       args.paperScale = true;
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
-      args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+      args.seed = numeric("--seed", argv[i] + 7);
     } else if (std::strncmp(argv[i], "--cdf-steps=", 12) == 0) {
-      args.cdfSteps = std::strtoull(argv[i] + 12, nullptr, 10);
+      args.cdfSteps = numeric("--cdf-steps", argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      args.metricsOut = argv[i] + 14;
+      if (args.metricsOut.empty()) {
+        std::fprintf(stderr, "%s: --metrics-out requires a path\n", argv[0]);
+        printUsageAndExit(argv[0], 2);
+      }
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      printUsageAndExit(argv[0], 0);
     } else {
-      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::fprintf(stderr, "%s: unknown flag: %s\n", argv[0], argv[i]);
+      printUsageAndExit(argv[0], 2);
     }
   }
   return args;
@@ -53,11 +100,57 @@ inline void printHeader(const std::string& figure, const std::string& what,
   std::printf("# numbers, are the reproduction target — see EXPERIMENTS.md)\n");
 }
 
+/// Append one condition's observability record to the JSONL file: the
+/// sampled rounds, then the final registry snapshot tagged with the
+/// condition label.
+inline void writeMetricsJsonl(BenchArgs& args, const std::string& label,
+                              const workload::ExperimentResult& result) {
+  if (args.metricsOut.empty()) return;
+  if (args.metricsWriter == nullptr) {
+    args.metricsWriter = std::make_shared<obs::JsonlWriter>(args.metricsOut);
+    if (!args.metricsWriter->ok()) {
+      std::fprintf(stderr, "cannot open metrics output: %s\n", args.metricsOut.c_str());
+      std::exit(2);
+    }
+  }
+  auto& writer = *args.metricsWriter;
+  for (const auto& sample : result.roundSamples) {
+    std::string line = "{\"type\":\"round\",\"label\":\"";
+    line += obs::escape(label);
+    line += "\",\"round\":" + std::to_string(sample.round);
+    line += ",\"sim_time\":" + std::to_string(sample.simTime);
+    line += ",\"node\":" + std::to_string(sample.node);
+    line += ",\"ball_size\":" + std::to_string(sample.ballSize);
+    line += ",\"fanout\":" + std::to_string(sample.fanout);
+    line += ",\"buffer_occupancy\":" + std::to_string(sample.bufferOccupancy);
+    line += ",\"pending_relay\":" + std::to_string(sample.pendingRelay);
+    line += "}";
+    writer.writeRaw(line);
+  }
+  std::string line = "{\"type\":\"snapshot\",\"label\":\"";
+  line += obs::escape(label);
+  line += "\",\"ts\":" + std::to_string(result.simulatedTicks);
+  line += ",\"samples\":[";
+  for (std::size_t i = 0; i < result.metrics.size(); ++i) {
+    if (i != 0) line += ',';
+    line += obs::sampleJson(result.metrics[i]);
+  }
+  line += "]}";
+  writer.writeRaw(line);
+  writer.flush();
+}
+
 /// Run one condition and print its CDF series plus verdict/summary lines.
 /// Returns the result for cross-condition comparisons.
 inline workload::ExperimentResult runSeries(const std::string& label,
-                                            const workload::ExperimentConfig& config,
-                                            const BenchArgs& args) {
+                                            const workload::ExperimentConfig& configIn,
+                                            BenchArgs& args) {
+  workload::ExperimentConfig config = configIn;
+  if (!args.metricsOut.empty() && config.metricsSampleEvery == 0) {
+    // Roughly one RoundSample per system round: the global executed-round
+    // counter advances systemSize times per round period.
+    config.metricsSampleEvery = std::max<std::uint64_t>(1, config.systemSize / 8);
+  }
   const auto result = workload::runExperiment(config);
   const auto& delays = result.report.delays;
   if (!delays.empty()) {
@@ -84,6 +177,7 @@ inline workload::ExperimentResult runSeries(const std::string& label,
       static_cast<unsigned long long>(result.report.deliveries), result.fanoutUsed,
       result.ttlUsed);
   std::fflush(stdout);
+  writeMetricsJsonl(args, label, result);
   return result;
 }
 

@@ -7,7 +7,7 @@
 
 int main(int argc, char** argv) {
   using namespace epto;
-  const auto args = bench::parseArgs(argc, argv);
+  auto args = bench::parseArgs(argc, argv);
   bench::printHeader("Figure 10",
                      "delivery delay CDF under message loss, n=500, global clock",
                      args);

@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace epto;
-  const auto args = bench::parseArgs(argc, argv);
+  auto args = bench::parseArgs(argc, argv);
   bench::printHeader("Figure 3a/3b", "hole-probability upper bounds vs system size",
                      args);
 

@@ -13,7 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace epto;
-  const auto args = bench::parseArgs(argc, argv);
+  auto args = bench::parseArgs(argc, argv);
   bench::printHeader("Figure 5", "synthetic PlanetLab-like latency distribution", args);
 
   const auto& dist = util::planetLabLatency();

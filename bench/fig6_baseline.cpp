@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace epto;
-  const auto args = bench::parseArgs(argc, argv);
+  auto args = bench::parseArgs(argc, argv);
   bench::printHeader("Figure 6",
                      "baseline (no order) vs EpTO delivery delay, n=100, 5% bcast",
                      args);

@@ -6,7 +6,7 @@
 
 int main(int argc, char** argv) {
   using namespace epto;
-  const auto args = bench::parseArgs(argc, argv);
+  auto args = bench::parseArgs(argc, argv);
   bench::printHeader("Figure 7a",
                      "delivery delay CDF vs broadcast rate, n=500", args);
 

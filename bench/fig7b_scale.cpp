@@ -11,7 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace epto;
-  const auto args = bench::parseArgs(argc, argv);
+  auto args = bench::parseArgs(argc, argv);
   bench::printHeader("Figure 7b",
                      "delivery delay CDF vs system size (5% broadcast rate)", args);
 

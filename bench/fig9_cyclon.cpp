@@ -7,7 +7,7 @@
 
 int main(int argc, char** argv) {
   using namespace epto;
-  const auto args = bench::parseArgs(argc, argv);
+  auto args = bench::parseArgs(argc, argv);
   bench::printHeader("Figure 9",
                      "delivery delay CDF under churn with Cyclon PSS, n=500", args);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/trace.h"
 #include "util/ensure.h"
 
 namespace epto {
@@ -24,12 +25,16 @@ Event DisseminationComponent::broadcast(PayloadPtr payload) {
   event.payload = std::move(payload);
   nextBall_.insert_or_assign(event.id, event);
   ++stats_.broadcasts;
+  EPTO_TRACE_EVENT(.type = obs::TraceType::Broadcast, .node = self_,
+                   .round = stats_.rounds, .event = event.id, .ts = event.ts);
   return event;
 }
 
 void DisseminationComponent::onBall(const Ball& ball) {
   // Alg. 1 lines 11-19.
   ++stats_.ballsReceived;
+  EPTO_TRACE_EVENT(.type = obs::TraceType::BallReceived, .node = self_,
+                   .round = stats_.rounds, .size = ball.size());
   for (const Event& event : ball) {
     if (event.ttl < options_.ttl) {
       auto [it, inserted] = nextBall_.try_emplace(event.id, event);
@@ -41,6 +46,10 @@ void DisseminationComponent::onBall(const Ball& ball) {
       // ordered (see DESIGN.md: faithful to the pseudocode, and exactly
       // the loss the Theorem 2 ball-count analysis already absorbs).
       ++stats_.eventsExpired;
+      EPTO_TRACE_EVENT(.type = obs::TraceType::Drop, .node = self_,
+                       .round = stats_.rounds, .event = event.id, .ts = event.ts,
+                       .ttl = event.ttl,
+                       .detail = static_cast<std::uint8_t>(obs::DropReason::Expired));
     }
     oracle_.updateClock(event.ts);  // only meaningful with logical time
   }
@@ -68,6 +77,9 @@ DisseminationComponent::RoundOutput DisseminationComponent::onRound() {
     stats_.ballsSent += out.targets.size();
     stats_.eventsRelayed += out.ball->size() * out.targets.size();
     stats_.maxBallSize = std::max(stats_.maxBallSize, out.ball->size());
+    EPTO_TRACE_EVENT(.type = obs::TraceType::BallSent, .node = self_,
+                     .round = stats_.rounds, .size = out.ball->size(),
+                     .aux = out.targets.size());
 
     // Alg. 1 line 27: hand the round's ball to the ordering component.
     ordering_.orderEvents(*out.ball);

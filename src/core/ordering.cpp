@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/ensure.h"
 
 namespace epto {
@@ -42,6 +43,10 @@ void OrderingComponent::absorb(const Event& event) {
   if (lastDelivered_.has_value() && key <= *lastDelivered_) {
     if (alreadyDelivered(event.id)) {
       ++stats_.droppedDuplicates;
+      EPTO_TRACE_EVENT(.type = obs::TraceType::Drop, .node = options_.self,
+                       .round = stats_.rounds, .event = event.id, .ts = event.ts,
+                       .ttl = event.ttl,
+                       .detail = static_cast<std::uint8_t>(obs::DropReason::Duplicate));
       return;
     }
     if (options_.tagOutOfOrder) {
@@ -50,9 +55,17 @@ void OrderingComponent::absorb(const Event& event) {
       // further copies that are still circulating.
       rememberDelivered(event.id);
       ++stats_.deliveredOutOfOrder;
+      EPTO_TRACE_EVENT(.type = obs::TraceType::Deliver, .node = options_.self,
+                       .round = stats_.rounds, .event = event.id, .ts = event.ts,
+                       .ttl = event.ttl,
+                       .detail = static_cast<std::uint8_t>(DeliveryTag::OutOfOrder));
       deliver_(event, DeliveryTag::OutOfOrder);
     } else {
       ++stats_.droppedOutOfOrder;
+      EPTO_TRACE_EVENT(.type = obs::TraceType::Drop, .node = options_.self,
+                       .round = stats_.rounds, .event = event.id, .ts = event.ts,
+                       .ttl = event.ttl,
+                       .detail = static_cast<std::uint8_t>(obs::DropReason::OutOfOrder));
     }
     return;
   }
@@ -61,6 +74,9 @@ void OrderingComponent::absorb(const Event& event) {
   auto [it, inserted] = received_.try_emplace(event.id, event);
   if (!inserted) {
     if (it->second.ttl < event.ttl) {
+      EPTO_TRACE_EVENT(.type = obs::TraceType::TtlMerge, .node = options_.self,
+                       .round = stats_.rounds, .event = event.id, .ts = event.ts,
+                       .ttl = event.ttl, .aux = it->second.ttl);
       it->second.ttl = event.ttl;
       ++stats_.ttlMerges;
     }
@@ -83,9 +99,16 @@ void OrderingComponent::deliverBatch() {
 
   // Alg. 2 lines 22-26: a deliverable event sorting after a queued event
   // cannot be delivered yet without risking an order violation.
+  const std::size_t stableCount = deliverable.size();
   if (minQueued.has_value()) {
     std::erase_if(deliverable,
                   [&](const Event& e) { return e.orderKey() > *minQueued; });
+  }
+  if (stableCount != 0) {
+    EPTO_TRACE_EVENT(.type = obs::TraceType::StabilityDecision, .node = options_.self,
+                     .round = stats_.rounds,
+                     .ts = minQueued.has_value() ? minQueued->ts : 0,
+                     .size = deliverable.size(), .aux = stableCount - deliverable.size());
   }
   if (deliverable.empty()) return;
 
@@ -97,6 +120,10 @@ void OrderingComponent::deliverBatch() {
     lastDelivered_ = event.orderKey();
     if (options_.tagOutOfOrder) rememberDelivered(event.id);
     ++stats_.deliveredOrdered;
+    EPTO_TRACE_EVENT(.type = obs::TraceType::Deliver, .node = options_.self,
+                     .round = stats_.rounds, .event = event.id, .ts = event.ts,
+                     .ttl = event.ttl,
+                     .detail = static_cast<std::uint8_t>(DeliveryTag::Ordered));
     deliver_(event, DeliveryTag::Ordered);
   }
 }

@@ -58,6 +58,8 @@ class OrderingComponent {
     /// plus the network's full latency tail, so use roughly
     /// (TTL + 2) * (ceil(maxLatency / delta) + 1) rounds.
     std::uint32_t deliveredRetentionRounds = 0;
+    /// Owning process id, used only to label trace events.
+    ProcessId self = 0;
   };
 
   /// The oracle must outlive the component. Deliveries are synchronous,
@@ -73,6 +75,9 @@ class OrderingComponent {
   [[nodiscard]] std::vector<Event> pendingEvents() const;
 
   [[nodiscard]] const OrderingStats& stats() const noexcept { return stats_; }
+
+  /// Current `received`-set size (the buffer-occupancy gauge).
+  [[nodiscard]] std::size_t receivedSize() const noexcept { return received_.size(); }
 
   /// Key of the most recently delivered event, if any.
   [[nodiscard]] std::optional<OrderKey> lastDelivered() const noexcept {

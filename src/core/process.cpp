@@ -1,8 +1,41 @@
 #include "core/process.h"
 
+#include <string>
+
 #include "util/ensure.h"
 
 namespace epto {
+
+void MetricsSnapshot::recordTo(obs::Registry& registry) const {
+  const obs::Labels labels{{"node", std::to_string(node)}};
+  const auto counter = [&](const char* name, std::uint64_t value) {
+    registry.counter(name, labels).set(value);
+  };
+  const auto gauge = [&](const char* name, std::int64_t value) {
+    registry.gauge(name, labels).set(value);
+  };
+
+  counter("epto_ordering_rounds_total", ordering.rounds);
+  counter("epto_ordering_delivered_ordered_total", ordering.deliveredOrdered);
+  counter("epto_ordering_delivered_out_of_order_total", ordering.deliveredOutOfOrder);
+  counter("epto_ordering_dropped_out_of_order_total", ordering.droppedOutOfOrder);
+  counter("epto_ordering_dropped_duplicates_total", ordering.droppedDuplicates);
+  counter("epto_ordering_ttl_merges_total", ordering.ttlMerges);
+  gauge("epto_ordering_received_high_water", static_cast<std::int64_t>(ordering.maxReceivedSize));
+
+  counter("epto_dissemination_broadcasts_total", dissemination.broadcasts);
+  counter("epto_dissemination_balls_received_total", dissemination.ballsReceived);
+  counter("epto_dissemination_balls_sent_total", dissemination.ballsSent);
+  counter("epto_dissemination_events_relayed_total", dissemination.eventsRelayed);
+  counter("epto_dissemination_events_expired_total", dissemination.eventsExpired);
+  counter("epto_dissemination_rounds_total", dissemination.rounds);
+  gauge("epto_dissemination_max_ball_size", static_cast<std::int64_t>(dissemination.maxBallSize));
+
+  gauge("epto_received_set_size", static_cast<std::int64_t>(receivedSetSize));
+  gauge("epto_pending_relay_count", static_cast<std::int64_t>(pendingRelayCount));
+  gauge("epto_last_delivered_ts", static_cast<std::int64_t>(lastDeliveredTs));
+  gauge("epto_last_delivered_lag", static_cast<std::int64_t>(lastDeliveredLag));
+}
 
 namespace {
 std::shared_ptr<PeerSampler> requireSampler(std::shared_ptr<PeerSampler> sampler) {
@@ -32,6 +65,7 @@ Process::Process(ProcessId id, const Config& config, std::shared_ptr<PeerSampler
               .ttl = config_.ttl,
               .tagOutOfOrder = config_.tagOutOfOrder,
               .deliveredRetentionRounds = config_.deliveredRetentionRounds,
+              .self = id_,
           },
           *oracle_, std::move(deliver)),
       dissemination_(id_,
@@ -45,6 +79,21 @@ Process::Process(ProcessId id, const Config& config, std::shared_ptr<PeerSampler
 
 Event Process::broadcast(PayloadPtr payload) {
   return dissemination_.broadcast(std::move(payload));
+}
+
+MetricsSnapshot Process::metricsSnapshot() const {
+  MetricsSnapshot snap;
+  snap.node = id_;
+  snap.ordering = ordering_.stats();
+  snap.dissemination = dissemination_.stats();
+  snap.receivedSetSize = ordering_.receivedSize();
+  snap.pendingRelayCount = dissemination_.pendingRelayCount();
+  snap.clock = oracle_->peekClock();
+  if (const auto last = ordering_.lastDelivered(); last.has_value()) {
+    snap.lastDeliveredTs = last->ts;
+    snap.lastDeliveredLag = snap.clock > last->ts ? snap.clock - last->ts : 0;
+  }
+  return snap;
 }
 
 }  // namespace epto

@@ -24,8 +24,33 @@
 #include "core/ordering.h"
 #include "core/stability_oracle.h"
 #include "core/types.h"
+#include "obs/registry.h"
 
 namespace epto {
+
+/// One process's complete metrics surface: the two component counter
+/// structs unified with the instantaneous gauges an operator watches
+/// (buffer occupancy, relay backlog, delivery frontier lag). Cheap to
+/// take — a handful of loads — so every substrate samples it per round.
+struct MetricsSnapshot {
+  ProcessId node = 0;
+  OrderingStats ordering;
+  DisseminationStats dissemination;
+  std::size_t receivedSetSize = 0;    ///< Alg. 2 `received` occupancy.
+  std::size_t pendingRelayCount = 0;  ///< Alg. 1 `nextBall` backlog.
+  Timestamp clock = 0;                ///< oracle clock, not advanced.
+  Timestamp lastDeliveredTs = 0;      ///< 0 until the first delivery.
+  /// clock - lastDeliveredTs, saturating at 0: how far the delivery
+  /// frontier trails the process's own notion of now. A growing lag on
+  /// one node is the signature of a stalled/perturbed process (§8.2).
+  Timestamp lastDeliveredLag = 0;
+
+  /// Publish into a registry under `epto_*` instruments labelled
+  /// node="<id>". Counters mirror via Counter::set (monotonic per node),
+  /// so repeated calls from the owning thread are race-free against a
+  /// concurrent scrape. See README "Observability" for the name list.
+  void recordTo(obs::Registry& registry) const;
+};
 
 class Process {
  public:
@@ -58,6 +83,8 @@ class Process {
   [[nodiscard]] const DisseminationStats& disseminationStats() const noexcept {
     return dissemination_.stats();
   }
+  /// Unified observability snapshot (stats structs + live gauges).
+  [[nodiscard]] MetricsSnapshot metricsSnapshot() const;
   /// §8.4: known-but-undelivered events, sorted by order key.
   [[nodiscard]] std::vector<Event> pendingEvents() const { return ordering_.pendingEvents(); }
   [[nodiscard]] std::optional<OrderKey> lastDelivered() const {

@@ -37,6 +37,11 @@ class StabilityOracle {
 
   /// Observe the timestamp of a received event (Alg. 3/4 `updateClock`).
   virtual void updateClock(Timestamp ts) = 0;
+
+  /// Current clock value without advancing it — observability reads
+  /// (e.g. the last-delivered-lag gauge) must not disturb the logical
+  /// clock the way getClock() does.
+  [[nodiscard]] virtual Timestamp peekClock() const = 0;
 };
 
 /// Algorithm 3: global (a.k.a. physical/synchronized) clock oracle.
@@ -61,6 +66,8 @@ class GlobalClockOracle final : public StabilityOracle {
     // Nothing to do: global time advances on its own (Alg. 3).
   }
 
+  [[nodiscard]] Timestamp peekClock() const override { return timeSource_(); }
+
  private:
   std::uint32_t ttl_;
   TimeSource timeSource_;
@@ -79,6 +86,8 @@ class LogicalClockOracle final : public StabilityOracle {
   [[nodiscard]] Timestamp getClock() override { return ++clock_; }
 
   void updateClock(Timestamp ts) override { clock_ = std::max(clock_, ts); }
+
+  [[nodiscard]] Timestamp peekClock() const override { return clock_; }
 
   /// Current clock value, for inspection and tests.
   [[nodiscard]] Timestamp current() const noexcept { return clock_; }

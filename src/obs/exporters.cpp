@@ -1,0 +1,211 @@
+#include "obs/exporters.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+namespace epto::obs {
+
+namespace {
+
+const char* kindName(Kind kind) {
+  switch (kind) {
+    case Kind::Counter: return "counter";
+    case Kind::Gauge: return "gauge";
+    case Kind::Histogram: return "histogram";
+  }
+  return "untyped";
+}
+
+/// Render a double the way Prometheus expects: integral values without a
+/// fractional part, everything else with enough digits to round-trip.
+std::string formatDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+
+/// `{a="1",b="2"}` or "" when empty; `extra` appends one more pair (the
+/// histogram `le` edge).
+std::string labelBlock(const Labels& labels, std::string_view extraKey = {},
+                       std::string_view extraValue = {}) {
+  if (labels.empty() && extraKey.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape(v);
+    out += "\"";
+  }
+  if (!extraKey.empty()) {
+    if (!first) out.push_back(',');
+    out += extraKey;
+    out += "=\"";
+    out += escape(extraValue);
+    out += "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string prometheusText(const Snapshot& snapshot) {
+  // Group samples by family name, preserving first-appearance order, so
+  // one `# TYPE` header covers every node's instance of the metric.
+  std::vector<std::pair<std::string, std::vector<const Sample*>>> families;
+  std::unordered_map<std::string, std::size_t> familyIndex;
+  for (const Sample& sample : snapshot) {
+    const auto [it, inserted] = familyIndex.emplace(sample.name, families.size());
+    if (inserted) families.push_back({sample.name, {}});
+    families[it->second].second.push_back(&sample);
+  }
+
+  std::string out;
+  char buf[128];
+  for (const auto& [name, samples] : families) {
+    out += "# TYPE " + name + " " + kindName(samples.front()->kind) + "\n";
+    for (const Sample* sample : samples) {
+      switch (sample->kind) {
+        case Kind::Counter:
+          std::snprintf(buf, sizeof buf, " %" PRIu64 "\n", sample->counter);
+          out += name + labelBlock(sample->labels) + buf;
+          break;
+        case Kind::Gauge:
+          std::snprintf(buf, sizeof buf, " %" PRId64 "\n", sample->gauge);
+          out += name + labelBlock(sample->labels) + buf;
+          break;
+        case Kind::Histogram: {
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i <= sample->bounds.size(); ++i) {
+            cumulative += sample->buckets[i];
+            const std::string le = i < sample->bounds.size()
+                                       ? formatDouble(sample->bounds[i])
+                                       : "+Inf";
+            std::snprintf(buf, sizeof buf, " %" PRIu64 "\n", cumulative);
+            out += name + "_bucket" + labelBlock(sample->labels, "le", le) + buf;
+          }
+          out += name + "_sum" + labelBlock(sample->labels) + " " +
+                 formatDouble(sample->sum) + "\n";
+          std::snprintf(buf, sizeof buf, " %" PRIu64 "\n", sample->count);
+          out += name + "_count" + labelBlock(sample->labels) + buf;
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string sampleJson(const Sample& sample) {
+  std::string out = "{\"name\":\"" + escape(sample.name) + "\"";
+  if (!sample.labels.empty()) {
+    out += ",\"labels\":{";
+    bool first = true;
+    for (const auto& [k, v] : sample.labels) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += "\"" + escape(k) + "\":\"" + escape(v) + "\"";
+    }
+    out.push_back('}');
+  }
+  out += ",\"kind\":\"";
+  out += kindName(sample.kind);
+  out += "\"";
+  char buf[64];
+  switch (sample.kind) {
+    case Kind::Counter:
+      std::snprintf(buf, sizeof buf, ",\"value\":%" PRIu64, sample.counter);
+      out += buf;
+      break;
+    case Kind::Gauge:
+      std::snprintf(buf, sizeof buf, ",\"value\":%" PRId64, sample.gauge);
+      out += buf;
+      break;
+    case Kind::Histogram: {
+      out += ",\"bounds\":[";
+      for (std::size_t i = 0; i < sample.bounds.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        out += formatDouble(sample.bounds[i]);
+      }
+      out += "],\"buckets\":[";
+      for (std::size_t i = 0; i < sample.buckets.size(); ++i) {
+        if (i != 0) out.push_back(',');
+        std::snprintf(buf, sizeof buf, "%" PRIu64, sample.buckets[i]);
+        out += buf;
+      }
+      std::snprintf(buf, sizeof buf, "],\"count\":%" PRIu64 ",\"sum\":", sample.count);
+      out += buf;
+      out += formatDouble(sample.sum);
+      break;
+    }
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string jsonLine(const Snapshot& snapshot, std::uint64_t ts) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "{\"ts\":%" PRIu64 ",\"samples\":[", ts);
+  std::string out = buf;
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += sampleJson(snapshot[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+JsonlWriter::JsonlWriter(const std::string& path) : file_(std::fopen(path.c_str(), "w")) {}
+
+JsonlWriter::~JsonlWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlWriter::write(const Snapshot& snapshot, std::uint64_t ts) {
+  writeRaw(jsonLine(snapshot, ts));
+}
+
+void JsonlWriter::writeRaw(std::string_view line) {
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+}
+
+void JsonlWriter::flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+}  // namespace epto::obs

@@ -1,0 +1,158 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/ensure.h"
+
+namespace epto::obs {
+
+Histogram::Histogram(std::vector<double> upperBounds) : bounds_(std::move(upperBounds)) {
+  EPTO_ENSURE_MSG(!bounds_.empty(), "histogram needs at least one bucket bound");
+  EPTO_ENSURE_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                  "histogram bounds must be sorted ascending");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double value) noexcept {
+  std::size_t bucket = bounds_.size();  // +Inf overflow by default
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Double-as-bits CAS add: atomic<double>::fetch_add is C++20 but spotty
+  // across standard libraries; this is portable and wait-free in practice.
+  std::uint64_t expected = sumBits_.load(std::memory_order_relaxed);
+  for (;;) {
+    const double updated = std::bit_cast<double>(expected) + value;
+    if (sumBits_.compare_exchange_weak(expected, std::bit_cast<std::uint64_t>(updated),
+                                       std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucketCounts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::sum() const noexcept {
+  return std::bit_cast<double>(sumBits_.load(std::memory_order_relaxed));
+}
+
+std::string Registry::keyOf(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key.push_back('\x01');
+    key.append(k);
+    key.push_back('\x02');
+    key.append(v);
+  }
+  return key;
+}
+
+Registry::Entry& Registry::findOrCreate(const std::string& name, const Labels& labels,
+                                        Kind kind, std::vector<double> upperBounds) {
+  const std::string key = keyOf(name, labels);
+  const std::scoped_lock lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    EPTO_ENSURE_MSG(it->second->kind == kind,
+                    "instrument re-registered with a different kind");
+    return *it->second;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = labels;
+  entry->kind = kind;
+  switch (kind) {
+    case Kind::Counter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case Kind::Gauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::Histogram:
+      entry->histogram = std::make_unique<Histogram>(
+          upperBounds.empty() ? defaultBounds() : std::move(upperBounds));
+      break;
+  }
+  Entry& ref = *entry;
+  index_.emplace(key, entry.get());
+  entries_.push_back(std::move(entry));
+  return ref;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+  return *findOrCreate(name, labels, Kind::Counter, {}).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+  return *findOrCreate(name, labels, Kind::Gauge, {}).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, const Labels& labels,
+                               std::vector<double> upperBounds) {
+  return *findOrCreate(name, labels, Kind::Histogram, std::move(upperBounds)).histogram;
+}
+
+Snapshot Registry::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  Snapshot snap;
+  snap.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    Sample sample;
+    sample.name = entry->name;
+    sample.labels = entry->labels;
+    sample.kind = entry->kind;
+    switch (entry->kind) {
+      case Kind::Counter:
+        sample.counter = entry->counter->value();
+        break;
+      case Kind::Gauge:
+        sample.gauge = entry->gauge->value();
+        break;
+      case Kind::Histogram:
+        sample.bounds = entry->histogram->bounds();
+        sample.buckets = entry->histogram->bucketCounts();
+        sample.count = entry->histogram->count();
+        sample.sum = entry->histogram->sum();
+        break;
+    }
+    snap.push_back(std::move(sample));
+  }
+  return snap;
+}
+
+std::size_t Registry::instrumentCount() const {
+  const std::scoped_lock lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<double> Registry::exponentialBounds(double start, double factor,
+                                                std::size_t count) {
+  EPTO_ENSURE_MSG(start > 0.0 && factor > 1.0 && count >= 1,
+                  "exponential bounds need start > 0, factor > 1, count >= 1");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double edge = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(edge);
+    edge *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> Registry::defaultBounds() {
+  return exponentialBounds(1.0, 2.0, 13);  // 1 .. 4096
+}
+
+}  // namespace epto::obs

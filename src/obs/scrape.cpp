@@ -1,0 +1,54 @@
+#include "obs/scrape.h"
+
+#include "util/ensure.h"
+
+namespace epto::obs {
+
+ScrapeLoop::ScrapeLoop(Registry& registry, Options options,
+                       std::function<std::uint64_t()> timeSource,
+                       std::function<void()> beforeScrape)
+    : registry_(registry),
+      options_(std::move(options)),
+      timeSource_(std::move(timeSource)),
+      beforeScrape_(std::move(beforeScrape)) {
+  EPTO_ENSURE_MSG(timeSource_ != nullptr, "scrape loop needs a time source");
+  EPTO_ENSURE_MSG(options_.interval.count() > 0, "scrape interval must be positive");
+  if (!options_.jsonlPath.empty()) {
+    writer_ = std::make_unique<JsonlWriter>(options_.jsonlPath);
+  }
+}
+
+ScrapeLoop::~ScrapeLoop() { stop(); }
+
+void ScrapeLoop::scrapeOnce() {
+  if (beforeScrape_) beforeScrape_();
+  const Snapshot snapshot = registry_.snapshot();
+  if (writer_ != nullptr && writer_->ok()) {
+    writer_->write(snapshot, timeSource_());
+    writer_->flush();
+  }
+  scrapes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ScrapeLoop::start() {
+  EPTO_ENSURE_MSG(!running_.exchange(true), "scrape loop already started");
+  stopRequested_.store(false);
+  thread_ = std::thread([this] {
+    auto next = std::chrono::steady_clock::now() + options_.interval;
+    while (!stopRequested_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_until(next);
+      if (stopRequested_.load(std::memory_order_relaxed)) break;
+      scrapeOnce();
+      next += options_.interval;
+    }
+  });
+}
+
+void ScrapeLoop::stop() {
+  if (!running_.exchange(false)) return;
+  stopRequested_.store(true);
+  if (thread_.joinable()) thread_.join();
+  scrapeOnce();  // the final, post-quiescence sample
+}
+
+}  // namespace epto::obs

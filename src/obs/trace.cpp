@@ -1,0 +1,156 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+
+namespace epto::obs {
+
+const char* traceTypeName(TraceType type) {
+  switch (type) {
+    case TraceType::Broadcast: return "broadcast";
+    case TraceType::BallSent: return "ball_sent";
+    case TraceType::BallReceived: return "ball_received";
+    case TraceType::TtlMerge: return "ttl_merge";
+    case TraceType::StabilityDecision: return "stability_decision";
+    case TraceType::Deliver: return "deliver";
+    case TraceType::Drop: return "drop";
+  }
+  return "unknown";
+}
+
+const char* dropReasonName(DropReason reason) {
+  switch (reason) {
+    case DropReason::Expired: return "expired";
+    case DropReason::OutOfOrder: return "out_of_order";
+    case DropReason::Duplicate: return "duplicate";
+  }
+  return "unknown";
+}
+
+std::string traceEventJson(const TraceEvent& event) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"type\":\"%s\",\"node\":%u,\"round\":%" PRIu64
+                ",\"source\":%u,\"seq\":%u,\"ts\":%" PRIu64 ",\"ttl\":%u,\"size\":%" PRIu64
+                ",\"aux\":%" PRIu64 ",\"detail\":%u}",
+                traceTypeName(event.type), event.node, event.round, event.event.source,
+                event.event.sequence, event.ts, event.ttl, event.size, event.aux,
+                event.detail);
+  return buf;
+}
+
+void InMemorySink::consume(const TraceEvent& event) {
+  const std::scoped_lock lock(mutex_);
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> InMemorySink::events() const {
+  const std::scoped_lock lock(mutex_);
+  return events_;
+}
+
+void InMemorySink::clear() {
+  const std::scoped_lock lock(mutex_);
+  events_.clear();
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {}
+
+JsonlTraceSink::~JsonlTraceSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlTraceSink::consume(const TraceEvent& event) {
+  if (file_ == nullptr) return;
+  const std::string line = traceEventJson(event);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::configure(Options options) {
+  const std::scoped_lock lock(mutex_);
+  options_ = options;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  head_ = 0;
+  size_ = 0;
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+void Tracer::setSink(std::shared_ptr<TraceSink> sink) {
+  const std::scoped_lock lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+void Tracer::record(const TraceEvent& event) {
+  const std::scoped_lock lock(mutex_);
+  if (ring_.size() != options_.capacity) ring_.resize(options_.capacity);
+  if (options_.capacity == 0) {
+    ++dropped_;
+    return;
+  }
+  if (size_ == options_.capacity) {
+    // Full: overwrite the oldest slot — the tail of a long run matters
+    // more than its beginning, and dropped_ makes the loss visible.
+    ring_[head_] = event;
+    head_ = (head_ + 1) % options_.capacity;
+    ++dropped_;
+  } else {
+    ring_[(head_ + size_) % options_.capacity] = event;
+    ++size_;
+  }
+  ++recorded_;
+}
+
+std::vector<TraceEvent> Tracer::takeBufferedLocked() {
+  std::vector<TraceEvent> events;
+  events.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    events.push_back(ring_[(head_ + i) % options_.capacity]);
+  }
+  head_ = 0;
+  size_ = 0;
+  return events;
+}
+
+std::size_t Tracer::flush() {
+  std::vector<TraceEvent> events;
+  std::shared_ptr<TraceSink> sink;
+  {
+    const std::scoped_lock lock(mutex_);
+    events = takeBufferedLocked();
+    sink = sink_;
+  }
+  if (sink != nullptr) {
+    for (const TraceEvent& event : events) sink->consume(event);
+  }
+  return events.size();
+}
+
+std::vector<TraceEvent> Tracer::drain() {
+  const std::scoped_lock lock(mutex_);
+  return takeBufferedLocked();
+}
+
+std::size_t Tracer::buffered() const {
+  const std::scoped_lock lock(mutex_);
+  return size_;
+}
+
+std::uint64_t Tracer::recorded() const {
+  const std::scoped_lock lock(mutex_);
+  return recorded_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  const std::scoped_lock lock(mutex_);
+  return dropped_;
+}
+
+}  // namespace epto::obs

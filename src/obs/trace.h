@@ -1,0 +1,166 @@
+// Structured protocol tracing — the "why did this delivery happen late?"
+// layer.
+//
+// The sans-io core emits typed TraceEvents at every protocol decision
+// point (broadcast, ball sent/received, ttl merge, stability decision,
+// deliver, drop) through the EPTO_TRACE_EVENT macro. Two gates keep the
+// hot path honest:
+//   * compile time — building with -DEPTO_TRACE=OFF removes the macro
+//     body entirely; the core contains no trace code and pays zero cost
+//     (the micro_core acceptance bar);
+//   * run time — even when compiled in, record() is only reached after a
+//     relaxed atomic load says tracing is enabled; the default is off.
+//
+// Events land in a bounded ring buffer (oldest overwritten on overflow,
+// with a dropped-count so truncation is visible) and are flushed on
+// demand to a pluggable sink: InMemorySink for tests, JsonlTraceSink for
+// runs. The Tracer is per-OS-process (one global instance) because trace
+// analysis wants a single interleaved timeline across every node a
+// process hosts; the `node` field keeps per-node streams separable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace epto::obs {
+
+enum class TraceType : std::uint8_t {
+  Broadcast,          ///< local EpTO-broadcast (Alg. 1 l.6-10).
+  BallSent,           ///< round emitted a ball; size = events, aux = targets.
+  BallReceived,       ///< ball arrived; size = events.
+  TtlMerge,           ///< known event's ttl max-merged; ttl = incoming, aux = kept.
+  StabilityDecision,  ///< oracle round verdict; size = deliverable, aux = held back.
+  Deliver,            ///< EpTO-deliver; detail = DeliveryTag.
+  Drop,               ///< event discarded; detail = DropReason.
+};
+
+enum class DropReason : std::uint8_t {
+  Expired,     ///< ttl >= TTL on arrival, not relayed or ordered.
+  OutOfOrder,  ///< sorts at/before the delivery frontier, tagging off.
+  Duplicate,   ///< already delivered (tagged-delivery memory hit).
+};
+
+struct TraceEvent {
+  TraceType type = TraceType::Broadcast;
+  ProcessId node = 0;        ///< the process recording the event.
+  std::uint64_t round = 0;   ///< that process's round counter.
+  EventId event{};           ///< protocol event id; {0,0} when n/a.
+  Timestamp ts = 0;          ///< event timestamp (clock value) when known.
+  std::uint32_t ttl = 0;     ///< event ttl at the decision point.
+  std::uint64_t size = 0;    ///< type-specific cardinality (see TraceType).
+  std::uint64_t aux = 0;     ///< type-specific secondary value.
+  std::uint8_t detail = 0;   ///< DeliveryTag or DropReason ordinal.
+};
+
+[[nodiscard]] const char* traceTypeName(TraceType type);
+[[nodiscard]] const char* dropReasonName(DropReason reason);
+/// One event as a single-line JSON object (no newline).
+[[nodiscard]] std::string traceEventJson(const TraceEvent& event);
+
+/// Where flushed events go.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void consume(const TraceEvent& event) = 0;
+};
+
+/// Accumulates events in memory; the test sink.
+class InMemorySink final : public TraceSink {
+ public:
+  void consume(const TraceEvent& event) override;
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Streams each event as one JSON line; the run sink.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  explicit JsonlTraceSink(const std::string& path);
+  ~JsonlTraceSink() override;
+  [[nodiscard]] bool ok() const noexcept { return file_ != nullptr; }
+  void consume(const TraceEvent& event) override;
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+class Tracer {
+ public:
+  struct Options {
+    std::size_t capacity = 4096;  ///< ring slots before wraparound.
+  };
+
+  /// The per-OS-process tracer the EPTO_TRACE_EVENT macro records into.
+  [[nodiscard]] static Tracer& global();
+
+  Tracer() = default;
+  explicit Tracer(Options options) : options_(options) {}
+
+  /// Reset the ring (and drop counters) with new options. Not for use
+  /// while other threads are recording.
+  void configure(Options options);
+
+  void setSink(std::shared_ptr<TraceSink> sink);
+  void setEnabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Append to the ring; on a full ring the oldest event is overwritten
+  /// and `dropped()` advances. Thread-safe.
+  void record(const TraceEvent& event);
+
+  /// Push every buffered event, oldest first, to the sink (if any) and
+  /// clear the ring. Returns the number of events flushed.
+  std::size_t flush();
+
+  /// Remove and return buffered events, oldest first (test convenience;
+  /// does not touch the sink).
+  [[nodiscard]] std::vector<TraceEvent> drain();
+
+  [[nodiscard]] std::size_t buffered() const;
+  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+ private:
+  std::vector<TraceEvent> takeBufferedLocked();
+
+  Options options_{};
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;   // lazily sized to options_.capacity
+  std::size_t head_ = 0;           // index of the oldest buffered event
+  std::size_t size_ = 0;           // buffered events
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::shared_ptr<TraceSink> sink_;
+};
+
+}  // namespace epto::obs
+
+// The core's trace entry point. Arguments are designated initializers of
+// obs::TraceEvent; with tracing compiled out they are never evaluated.
+#if defined(EPTO_TRACE_ENABLED)
+#define EPTO_TRACE_EVENT(...)                                             \
+  do {                                                                    \
+    auto& epto_tracer_ = ::epto::obs::Tracer::global();                   \
+    if (epto_tracer_.enabled()) {                                         \
+      epto_tracer_.record(::epto::obs::TraceEvent{__VA_ARGS__});          \
+    }                                                                     \
+  } while (0)
+#else
+#define EPTO_TRACE_EVENT(...) ((void)0)
+#endif

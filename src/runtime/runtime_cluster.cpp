@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/exporters.h"
 #include "util/ensure.h"
 
 namespace epto::runtime {
@@ -77,6 +78,23 @@ RuntimeCluster::RuntimeCluster(RuntimeOptions options)
         [this]() { return ticksNow(); });
     nodes_.push_back(std::move(node));
   }
+
+  // Register every node's instruments (at their zero values) before any
+  // thread runs, so a scrape or Prometheus exposition taken at any point
+  // of the run already covers the full metric surface.
+  for (const auto& node : nodes_) node->process->metricsSnapshot().recordTo(registry_);
+  syncTransportMetrics();
+
+  auto scrapeInterval = options_.scrapeInterval;
+  if (scrapeInterval.count() == 0 && !options_.metricsOutPath.empty()) {
+    scrapeInterval = std::chrono::milliseconds(100);
+  }
+  if (scrapeInterval.count() > 0) {
+    scrape_ = std::make_unique<obs::ScrapeLoop>(
+        registry_,
+        obs::ScrapeLoop::Options{scrapeInterval, options_.metricsOutPath},
+        [this] { return ticksNow(); }, [this] { syncTransportMetrics(); });
+  }
 }
 
 RuntimeCluster::~RuntimeCluster() { stop(); }
@@ -92,6 +110,7 @@ void RuntimeCluster::start() {
   for (auto& node : nodes_) {
     node->thread = std::thread([this, raw = node.get()] { nodeLoop(*raw); });
   }
+  if (scrape_ != nullptr) scrape_->start();
 }
 
 void RuntimeCluster::broadcast(std::size_t index, PayloadPtr payload) {
@@ -145,6 +164,10 @@ void RuntimeCluster::nodeLoop(NodeState& node) {
         transport_.send(node.id, target, out.ball);
       }
     }
+    // Publish this node's stats into the shared registry: a handful of
+    // relaxed atomic stores, so the scrape thread never touches the
+    // Process and the node thread never blocks on the scrape.
+    node.process->metricsSnapshot().recordTo(registry_);
     nextRound += jitteredPeriod();
   }
 }
@@ -170,6 +193,20 @@ void RuntimeCluster::stop() {
   for (auto& node : nodes_) {
     if (node->thread.joinable()) node->thread.join();
   }
+  if (scrape_ != nullptr) scrape_->stop();  // final post-run sample
+}
+
+void RuntimeCluster::syncTransportMetrics() {
+  const InMemoryTransport::Stats stats = transport_.stats();
+  registry_.counter("epto_transport_sent_total").set(stats.sent);
+  registry_.counter("epto_transport_dropped_total").set(stats.dropped);
+  registry_.counter("epto_transport_bytes_sent_total").set(stats.bytesSent);
+  registry_.counter("epto_transport_frames_rejected_total").set(stats.framesRejected);
+}
+
+std::string RuntimeCluster::prometheusSnapshot() {
+  syncTransportMetrics();
+  return obs::prometheusText(registry_.snapshot());
 }
 
 metrics::TrackerReport RuntimeCluster::report() const {

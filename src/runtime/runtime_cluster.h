@@ -24,8 +24,12 @@
 #include <thread>
 #include <vector>
 
+#include <string>
+
 #include "core/process.h"
 #include "metrics/delivery_tracker.h"
+#include "obs/registry.h"
+#include "obs/scrape.h"
 #include "runtime/transport.h"
 #include "util/rng.h"
 
@@ -51,6 +55,13 @@ struct RuntimeOptions {
   /// flight; corrupted frames must be detected and dropped by CRC.
   double corruptionRate = 0.0;
   std::uint64_t seed = 42;
+  /// Background metrics scrape. 0 disables the thread unless
+  /// metricsOutPath is set (then a 100ms default applies). Every node
+  /// publishes its MetricsSnapshot into the cluster registry after each
+  /// round; the scrape thread snapshots the registry run-wide.
+  std::chrono::milliseconds scrapeInterval{0};
+  /// JSONL time-series destination; empty = no file output.
+  std::string metricsOutPath;
 };
 
 class RuntimeCluster {
@@ -85,6 +96,17 @@ class RuntimeCluster {
   }
   [[nodiscard]] std::uint64_t broadcastCount() const;
 
+  /// The run-wide metrics registry (per-node epto_* instruments plus the
+  /// transport counters). Safe to snapshot from any thread at any time.
+  [[nodiscard]] obs::Registry& metricsRegistry() noexcept { return registry_; }
+  /// Prometheus text exposition of the registry, covering every
+  /// OrderingStats/DisseminationStats counter of every node.
+  [[nodiscard]] std::string prometheusSnapshot();
+  /// Scrapes performed by the background loop (0 when disabled).
+  [[nodiscard]] std::uint64_t scrapeCount() const noexcept {
+    return scrape_ != nullptr ? scrape_->scrapeCount() : 0;
+  }
+
  private:
   struct NodeState {
     ProcessId id = 0;
@@ -95,6 +117,7 @@ class RuntimeCluster {
   };
 
   void nodeLoop(NodeState& node);
+  void syncTransportMetrics();
   [[nodiscard]] Timestamp ticksNow() const;
 
   RuntimeOptions options_;
@@ -105,6 +128,9 @@ class RuntimeCluster {
   util::Rng masterRng_;
   InMemoryTransport transport_;
   std::vector<std::unique_ptr<NodeState>> nodes_;
+
+  obs::Registry registry_;
+  std::unique_ptr<obs::ScrapeLoop> scrape_;
 
   mutable std::mutex trackerMutex_;
   metrics::DeliveryTracker tracker_;

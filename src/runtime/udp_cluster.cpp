@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "codec/ball_codec.h"
+#include "obs/exporters.h"
 #include "util/ensure.h"
 
 namespace epto::runtime {
@@ -68,6 +69,25 @@ UdpCluster::UdpCluster(UdpClusterOptions options)
         [this]() { return ticksNow(); });
     nodes_.push_back(std::move(node));
   }
+
+  // Pre-register every node's instruments so any scrape covers the full
+  // metric surface from the first sample.
+  for (const auto& node : nodes_) node->process->metricsSnapshot().recordTo(registry_);
+
+  auto scrapeInterval = options_.scrapeInterval;
+  if (scrapeInterval.count() == 0 && !options_.metricsOutPath.empty()) {
+    scrapeInterval = std::chrono::milliseconds(100);
+  }
+  if (scrapeInterval.count() > 0) {
+    scrape_ = std::make_unique<obs::ScrapeLoop>(
+        registry_,
+        obs::ScrapeLoop::Options{scrapeInterval, options_.metricsOutPath},
+        [this] { return ticksNow(); },
+        [this] {
+          registry_.counter("epto_udp_frames_rejected_total")
+              .set(framesRejected_.load(std::memory_order_relaxed));
+        });
+  }
 }
 
 UdpCluster::~UdpCluster() { stop(); }
@@ -84,6 +104,7 @@ void UdpCluster::start() {
   for (auto& node : nodes_) {
     node->thread = std::thread([this, raw = node.get()] { nodeLoop(*raw); });
   }
+  if (scrape_ != nullptr) scrape_->start();
 }
 
 void UdpCluster::broadcast(std::size_t index, PayloadPtr payload) {
@@ -140,6 +161,7 @@ void UdpCluster::nodeLoop(NodeState& node) {
         (void)node.socket.sendTo(ports_[target], frame);  // drop = loss
       }
     }
+    node.process->metricsSnapshot().recordTo(registry_);
     nextRound += jitteredPeriod();
   }
 }
@@ -164,6 +186,13 @@ void UdpCluster::stop() {
   for (auto& node : nodes_) {
     if (node->thread.joinable()) node->thread.join();
   }
+  if (scrape_ != nullptr) scrape_->stop();
+}
+
+std::string UdpCluster::prometheusSnapshot() {
+  registry_.counter("epto_udp_frames_rejected_total")
+      .set(framesRejected_.load(std::memory_order_relaxed));
+  return obs::prometheusText(registry_.snapshot());
 }
 
 metrics::TrackerReport UdpCluster::report() const {

@@ -21,8 +21,12 @@
 #include <thread>
 #include <vector>
 
+#include <string>
+
 #include "core/process.h"
 #include "metrics/delivery_tracker.h"
+#include "obs/registry.h"
+#include "obs/scrape.h"
 #include "runtime/udp_transport.h"
 #include "util/rng.h"
 
@@ -37,6 +41,9 @@ struct UdpClusterOptions {
   std::optional<std::size_t> fanoutOverride;
   std::optional<std::uint32_t> ttlOverride;
   std::uint64_t seed = 42;
+  /// Background metrics scrape; same semantics as RuntimeOptions.
+  std::chrono::milliseconds scrapeInterval{0};
+  std::string metricsOutPath;
 };
 
 class UdpCluster {
@@ -66,6 +73,10 @@ class UdpCluster {
     return framesRejected_.load();
   }
 
+  [[nodiscard]] obs::Registry& metricsRegistry() noexcept { return registry_; }
+  /// Prometheus text exposition of every node's protocol counters.
+  [[nodiscard]] std::string prometheusSnapshot();
+
  private:
   struct NodeState {
     ProcessId id = 0;
@@ -87,6 +98,9 @@ class UdpCluster {
   util::Rng masterRng_;
   std::vector<std::unique_ptr<NodeState>> nodes_;
   std::vector<std::uint16_t> ports_;  // ProcessId -> UDP port
+
+  obs::Registry registry_;
+  std::unique_ptr<obs::ScrapeLoop> scrape_;
 
   mutable std::mutex trackerMutex_;
   metrics::DeliveryTracker tracker_;

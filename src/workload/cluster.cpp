@@ -54,6 +54,12 @@ SimCluster::SimCluster(const ExperimentConfig& config)
     onMessage(from, to, message);
   });
 
+  // Resolve the per-round instruments once; Registry entries are pointer
+  // stable, so runRound never pays the name lookup.
+  ballSizeHist_ = &registry_.histogram("epto_sim_ball_size");
+  fanoutHist_ = &registry_.histogram("epto_sim_fanout_targets");
+  bufferHist_ = &registry_.histogram("epto_sim_buffer_occupancy");
+
   // Phase schedule.
   const std::uint64_t warmupRounds = config_.warmupRounds.value_or(
       config_.pss == PssKind::UniformOracle ? 0 : 30);  // let real PSSes mix
@@ -294,6 +300,7 @@ void SimCluster::runRound(Node& node) {
     if (out.ball != nullptr) {
       for (const ProcessId target : out.targets) network_.send(node.id, target, out.ball);
     }
+    sampleRound(node, out);
   } else if (node.ballsBins != nullptr) {
     const auto out = node.ballsBins->onRound();
     if (out.ball != nullptr) {
@@ -306,6 +313,32 @@ void SimCluster::runRound(Node& node) {
     }
   }
   // FixedSequencer is purely message-driven; rounds only pace broadcasts.
+}
+
+void SimCluster::sampleRound(const Node& node, const Process::RoundOutput& out) {
+  // Always-on aggregate histograms: a few atomic adds per round, the
+  // §6-style distributions (ball size, fanout, buffer occupancy) that
+  // figure-level CDFs cannot recover after the fact. The instrument refs
+  // are resolved once in the constructor; this path never takes a lock.
+  const MetricsSnapshot snap = node.epto->metricsSnapshot();
+  const std::size_t ballSize = out.ball != nullptr ? out.ball->size() : 0;
+  ballSizeHist_->observe(static_cast<double>(ballSize));
+  fanoutHist_->observe(static_cast<double>(out.targets.size()));
+  bufferHist_->observe(static_cast<double>(snap.receivedSetSize));
+
+  if (config_.metricsSampleEvery == 0 ||
+      roundsExecuted_ % config_.metricsSampleEvery != 0) {
+    return;
+  }
+  RoundSample sample;
+  sample.round = roundsExecuted_;
+  sample.simTime = simulator_.now();
+  sample.node = node.id;
+  sample.ballSize = ballSize;
+  sample.fanout = out.targets.size();
+  sample.bufferOccupancy = snap.receivedSetSize;
+  sample.pendingRelay = snap.pendingRelayCount;
+  roundSamples_.push_back(sample);
 }
 
 void SimCluster::sendSequencerOutgoing(
@@ -356,7 +389,47 @@ void SimCluster::onMessage(ProcessId from, ProcessId to, const NetMessage& messa
   }
 }
 
-void SimCluster::run() { simulator_.runUntil(runEnd_); }
+void SimCluster::run() {
+  simulator_.runUntil(runEnd_);
+
+  // Fold the surviving nodes' protocol counters into the registry so the
+  // final snapshot carries run-wide aggregates next to the histograms.
+  OrderingStats ordering;
+  DisseminationStats dissemination;
+  std::size_t receivedTotal = 0;
+  for (const auto& [id, node] : nodes_) {
+    if (node.epto == nullptr) continue;
+    const auto snap = node.epto->metricsSnapshot();
+    ordering.rounds += snap.ordering.rounds;
+    ordering.deliveredOrdered += snap.ordering.deliveredOrdered;
+    ordering.deliveredOutOfOrder += snap.ordering.deliveredOutOfOrder;
+    ordering.droppedOutOfOrder += snap.ordering.droppedOutOfOrder;
+    ordering.droppedDuplicates += snap.ordering.droppedDuplicates;
+    ordering.ttlMerges += snap.ordering.ttlMerges;
+    dissemination.broadcasts += snap.dissemination.broadcasts;
+    dissemination.ballsReceived += snap.dissemination.ballsReceived;
+    dissemination.ballsSent += snap.dissemination.ballsSent;
+    dissemination.eventsRelayed += snap.dissemination.eventsRelayed;
+    dissemination.eventsExpired += snap.dissemination.eventsExpired;
+    dissemination.maxBallSize = std::max(dissemination.maxBallSize, snap.dissemination.maxBallSize);
+    receivedTotal += snap.receivedSetSize;
+  }
+  registry_.counter("epto_sim_rounds_total").set(ordering.rounds);
+  registry_.counter("epto_sim_delivered_ordered_total").set(ordering.deliveredOrdered);
+  registry_.counter("epto_sim_delivered_out_of_order_total").set(ordering.deliveredOutOfOrder);
+  registry_.counter("epto_sim_dropped_out_of_order_total").set(ordering.droppedOutOfOrder);
+  registry_.counter("epto_sim_dropped_duplicates_total").set(ordering.droppedDuplicates);
+  registry_.counter("epto_sim_ttl_merges_total").set(ordering.ttlMerges);
+  registry_.counter("epto_sim_broadcasts_total").set(dissemination.broadcasts);
+  registry_.counter("epto_sim_balls_received_total").set(dissemination.ballsReceived);
+  registry_.counter("epto_sim_balls_sent_total").set(dissemination.ballsSent);
+  registry_.counter("epto_sim_events_relayed_total").set(dissemination.eventsRelayed);
+  registry_.counter("epto_sim_events_expired_total").set(dissemination.eventsExpired);
+  registry_.gauge("epto_sim_max_ball_size")
+      .set(static_cast<std::int64_t>(dissemination.maxBallSize));
+  registry_.gauge("epto_sim_received_set_size_total")
+      .set(static_cast<std::int64_t>(receivedTotal));
+}
 
 std::vector<Event> SimCluster::pendingEventsOf(ProcessId id) const {
   const auto it = nodes_.find(id);
@@ -374,6 +447,8 @@ ExperimentResult SimCluster::result() const {
   result.roundsExecuted = roundsExecuted_;
   result.simulatedTicks = simulator_.now();
   result.finalSystemSize = membership_.size();
+  result.roundSamples = roundSamples_;
+  result.metrics = registry_.snapshot();
   for (const auto& [id, node] : nodes_) {
     if (node.epto != nullptr) {
       result.eventsRelayed += node.epto->disseminationStats().eventsRelayed;

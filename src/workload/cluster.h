@@ -18,6 +18,7 @@
 #include "baselines/sequencer.h"
 #include "core/process.h"
 #include "metrics/delivery_tracker.h"
+#include "obs/registry.h"
 #include "pss/cyclon.h"
 #include "sim/churn.h"
 #include "sim/membership.h"
@@ -61,6 +62,10 @@ class SimCluster {
     return membership_;
   }
   [[nodiscard]] const metrics::DeliveryTracker& tracker() const noexcept { return tracker_; }
+  [[nodiscard]] const std::vector<RoundSample>& roundSamples() const noexcept {
+    return roundSamples_;
+  }
+  [[nodiscard]] const obs::Registry& metricsRegistry() const noexcept { return registry_; }
   [[nodiscard]] std::size_t liveNodeCount() const noexcept { return nodes_.size(); }
   [[nodiscard]] Timestamp broadcastWindowEnd() const noexcept { return broadcastEnd_; }
   /// Per-node pending (received-but-undelivered) events — §8.4 surface.
@@ -84,6 +89,7 @@ class SimCluster {
   void killNode(ProcessId id);
   void scheduleRound(ProcessId id);
   void runRound(Node& node);
+  void sampleRound(const Node& node, const Process::RoundOutput& out);
   void maybeBroadcast(Node& node);
   void doBroadcast(Node& node);
   void onMessage(ProcessId from, ProcessId to, const NetMessage& message);
@@ -104,6 +110,14 @@ class SimCluster {
   sim::SimNetwork<NetMessage> network_;
   metrics::DeliveryTracker tracker_;
   std::unique_ptr<sim::ChurnDriver> churn_;
+
+  /// Run-wide observability: per-round histograms always, RoundSamples
+  /// when config.metricsSampleEvery > 0 (see experiment.h).
+  obs::Registry registry_;
+  obs::Histogram* ballSizeHist_ = nullptr;    // owned by registry_
+  obs::Histogram* fanoutHist_ = nullptr;
+  obs::Histogram* bufferHist_ = nullptr;
+  std::vector<RoundSample> roundSamples_;
 
   std::unordered_map<ProcessId, Node> nodes_;
   std::unordered_map<ProcessId, metrics::ProcessLifetime> lifetimes_;

@@ -13,9 +13,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "core/config.h"
 #include "metrics/delivery_tracker.h"
+#include "obs/registry.h"
 #include "pss/cyclon.h"
 #include "pss/generic_pss.h"
 #include "sim/network.h"
@@ -100,7 +102,26 @@ struct ExperimentConfig {
   /// 0 = automatic from TTL, delta and the latency tail.
   Timestamp drainTicks = 0;
 
+  /// Per-round observability sampling: every Nth executed round (across
+  /// all nodes) captures a RoundSample of that node's ball size, fanout
+  /// and buffer occupancy. 0 disables sampling. Aggregate histograms in
+  /// ExperimentResult::metrics are populated for every round regardless.
+  std::uint64_t metricsSampleEvery = 0;
+
   std::uint64_t seed = 42;
+};
+
+/// One sampled protocol round: what BASALT-style per-round introspection
+/// needs — ball size, effective fanout and buffer occupancy, attributable
+/// to a concrete node at a concrete simulated time.
+struct RoundSample {
+  std::uint64_t round = 0;         ///< global executed-round counter.
+  Timestamp simTime = 0;           ///< simulator clock at the sample.
+  ProcessId node = 0;
+  std::size_t ballSize = 0;        ///< events in the emitted ball (0 = idle round).
+  std::size_t fanout = 0;          ///< gossip targets actually drawn.
+  std::size_t bufferOccupancy = 0; ///< ordering `received` set size after the round.
+  std::size_t pendingRelay = 0;    ///< dissemination `nextBall` backlog after the round.
 };
 
 struct ExperimentResult {
@@ -113,6 +134,11 @@ struct ExperimentResult {
   std::size_t maxBallSize = 0;       ///< largest ball observed (EpTO only).
   Timestamp simulatedTicks = 0;
   std::size_t finalSystemSize = 0;
+  /// Sampled rounds (empty unless config.metricsSampleEvery > 0).
+  std::vector<RoundSample> roundSamples;
+  /// Final registry snapshot: run-wide ball-size/fanout/buffer histograms
+  /// plus aggregate protocol counters (EpTO runs only).
+  obs::Snapshot metrics;
 };
 
 /// Run one experiment to completion. Deterministic in config.seed.

@@ -1,0 +1,128 @@
+// Process::MetricsSnapshot — the per-node unified observability surface:
+// values mirror the component stats, and recordTo() publishes every
+// counter/gauge into a Registry under the node label.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/process.h"
+#include "obs/registry.h"
+
+namespace epto {
+namespace {
+
+class RoundRobinSampler final : public PeerSampler {
+ public:
+  explicit RoundRobinSampler(std::vector<ProcessId> peers) : peers_(std::move(peers)) {}
+  std::vector<ProcessId> samplePeers(std::size_t k) override {
+    std::vector<ProcessId> out;
+    for (std::size_t i = 0; i < k && i < peers_.size(); ++i) {
+      out.push_back(peers_[(next_ + i) % peers_.size()]);
+    }
+    next_ = (next_ + 1) % std::max<std::size_t>(1, peers_.size());
+    return out;
+  }
+
+ private:
+  std::vector<ProcessId> peers_;
+  std::size_t next_ = 0;
+};
+
+Config tinyConfig() {
+  Config config;
+  config.fanout = 1;
+  config.ttl = 3;
+  config.clockMode = ClockMode::Logical;
+  return config;
+}
+
+TEST(ProcessMetrics, SnapshotMirrorsComponentStats) {
+  auto sampler = std::make_shared<RoundRobinSampler>(std::vector<ProcessId>{1});
+  std::size_t delivered = 0;
+  Process p(7, tinyConfig(), sampler,
+            [&](const Event&, DeliveryTag) { ++delivered; });
+
+  p.broadcast();
+  auto snap = p.metricsSnapshot();
+  EXPECT_EQ(snap.node, 7u);
+  EXPECT_EQ(snap.dissemination.broadcasts, 1u);
+  EXPECT_EQ(snap.receivedSetSize, 0u);    // ordering sees it on the next round
+  EXPECT_EQ(snap.pendingRelayCount, 1u);  // queued for the next ball
+
+  for (int i = 0; i < 6; ++i) p.onRound();
+  snap = p.metricsSnapshot();
+  ASSERT_EQ(delivered, 1u);
+  EXPECT_EQ(snap.ordering.deliveredOrdered, 1u);
+  EXPECT_EQ(snap.receivedSetSize, 0u);
+  EXPECT_EQ(snap.pendingRelayCount, 0u);
+  EXPECT_GE(snap.ordering.rounds, 6u);
+  EXPECT_EQ(snap.lastDeliveredTs, snap.clock - snap.lastDeliveredLag);
+  EXPECT_GE(snap.clock, snap.lastDeliveredTs);
+}
+
+TEST(ProcessMetrics, SnapshotDoesNotAdvanceTheLogicalClock) {
+  auto sampler = std::make_shared<RoundRobinSampler>(std::vector<ProcessId>{1});
+  Process p(0, tinyConfig(), sampler, [](const Event&, DeliveryTag) {});
+  const auto before = p.metricsSnapshot().clock;
+  for (int i = 0; i < 10; ++i) (void)p.metricsSnapshot();
+  EXPECT_EQ(p.metricsSnapshot().clock, before);
+}
+
+TEST(ProcessMetrics, RecordToPublishesEveryStatUnderNodeLabel) {
+  auto sampler = std::make_shared<RoundRobinSampler>(std::vector<ProcessId>{1});
+  Process p(3, tinyConfig(), sampler, [](const Event&, DeliveryTag) {});
+  p.broadcast();
+  for (int i = 0; i < 6; ++i) p.onRound();
+
+  obs::Registry registry;
+  p.metricsSnapshot().recordTo(registry);
+
+  const auto snapshot = registry.snapshot();
+  const auto has = [&](const std::string& name) {
+    return std::any_of(snapshot.begin(), snapshot.end(), [&](const obs::Sample& s) {
+      return s.name == name && s.labels == obs::Labels{{"node", "3"}};
+    });
+  };
+  // Every OrderingStats counter...
+  EXPECT_TRUE(has("epto_ordering_rounds_total"));
+  EXPECT_TRUE(has("epto_ordering_delivered_ordered_total"));
+  EXPECT_TRUE(has("epto_ordering_delivered_out_of_order_total"));
+  EXPECT_TRUE(has("epto_ordering_dropped_out_of_order_total"));
+  EXPECT_TRUE(has("epto_ordering_dropped_duplicates_total"));
+  EXPECT_TRUE(has("epto_ordering_ttl_merges_total"));
+  EXPECT_TRUE(has("epto_ordering_received_high_water"));
+  // ...every DisseminationStats counter...
+  EXPECT_TRUE(has("epto_dissemination_broadcasts_total"));
+  EXPECT_TRUE(has("epto_dissemination_balls_received_total"));
+  EXPECT_TRUE(has("epto_dissemination_balls_sent_total"));
+  EXPECT_TRUE(has("epto_dissemination_events_relayed_total"));
+  EXPECT_TRUE(has("epto_dissemination_events_expired_total"));
+  EXPECT_TRUE(has("epto_dissemination_rounds_total"));
+  EXPECT_TRUE(has("epto_dissemination_max_ball_size"));
+  // ...and the live gauges.
+  EXPECT_TRUE(has("epto_received_set_size"));
+  EXPECT_TRUE(has("epto_pending_relay_count"));
+  EXPECT_TRUE(has("epto_last_delivered_ts"));
+  EXPECT_TRUE(has("epto_last_delivered_lag"));
+
+  // Values flow through: one broadcast delivered.
+  for (const auto& sample : snapshot) {
+    if (sample.name == "epto_ordering_delivered_ordered_total") {
+      EXPECT_EQ(sample.counter, 1u);
+    }
+    if (sample.name == "epto_dissemination_broadcasts_total") {
+      EXPECT_EQ(sample.counter, 1u);
+    }
+  }
+
+  // Repeated recordTo reuses the same instruments (mirror pattern).
+  const auto instruments = registry.instrumentCount();
+  p.metricsSnapshot().recordTo(registry);
+  EXPECT_EQ(registry.instrumentCount(), instruments);
+}
+
+}  // namespace
+}  // namespace epto

@@ -1,0 +1,126 @@
+// Tracer semantics: ring wraparound, sinks, runtime enable gate, and the
+// EPTO_TRACE_EVENT macro integration (compile-time gated).
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace epto::obs {
+namespace {
+
+TraceEvent eventWithSeq(std::uint32_t seq) {
+  TraceEvent event;
+  event.type = TraceType::Deliver;
+  event.event = EventId{.source = 1, .sequence = seq};
+  return event;
+}
+
+TEST(TracerTest, RecordAndDrainOldestFirst) {
+  Tracer tracer(Tracer::Options{.capacity = 8});
+  for (std::uint32_t i = 0; i < 3; ++i) tracer.record(eventWithSeq(i));
+  EXPECT_EQ(tracer.buffered(), 3u);
+  EXPECT_EQ(tracer.recorded(), 3u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  const auto events = tracer.drain();
+  ASSERT_EQ(events.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) EXPECT_EQ(events[i].event.sequence, i);
+  EXPECT_EQ(tracer.buffered(), 0u);
+}
+
+TEST(TracerTest, RingWrapsOverwritingOldest) {
+  Tracer tracer(Tracer::Options{.capacity = 4});
+  for (std::uint32_t i = 0; i < 10; ++i) tracer.record(eventWithSeq(i));
+  EXPECT_EQ(tracer.buffered(), 4u);
+  EXPECT_EQ(tracer.recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);  // the six oldest were overwritten
+  const auto events = tracer.drain();
+  ASSERT_EQ(events.size(), 4u);
+  // Survivors are the newest four, still oldest-first.
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(events[i].event.sequence, 6 + i);
+}
+
+TEST(TracerTest, FlushPushesToSinkAndClears) {
+  Tracer tracer(Tracer::Options{.capacity = 8});
+  auto sink = std::make_shared<InMemorySink>();
+  tracer.setSink(sink);
+  tracer.record(eventWithSeq(0));
+  tracer.record(eventWithSeq(1));
+  EXPECT_EQ(tracer.flush(), 2u);
+  EXPECT_EQ(tracer.buffered(), 0u);
+  const auto events = sink->events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].event.sequence, 0u);
+  EXPECT_EQ(events[1].event.sequence, 1u);
+  EXPECT_EQ(tracer.flush(), 0u);  // nothing left
+}
+
+TEST(TracerTest, ConfigureResetsRingAndCounts) {
+  Tracer tracer(Tracer::Options{.capacity = 2});
+  tracer.record(eventWithSeq(0));
+  tracer.record(eventWithSeq(1));
+  tracer.record(eventWithSeq(2));
+  EXPECT_GT(tracer.dropped(), 0u);
+  tracer.configure(Tracer::Options{.capacity = 16});
+  EXPECT_EQ(tracer.buffered(), 0u);
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TracerTest, EnabledFlagDefaultsOff) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  tracer.setEnabled(true);
+  EXPECT_TRUE(tracer.enabled());
+  tracer.setEnabled(false);
+  EXPECT_FALSE(tracer.enabled());
+}
+
+TEST(TraceEventTest, NamesAndJson) {
+  EXPECT_STREQ(traceTypeName(TraceType::Broadcast), "broadcast");
+  EXPECT_STREQ(traceTypeName(TraceType::StabilityDecision), "stability_decision");
+  EXPECT_STREQ(dropReasonName(DropReason::Expired), "expired");
+
+  TraceEvent event;
+  event.type = TraceType::Deliver;
+  event.node = 3;
+  event.round = 7;
+  event.event = EventId{.source = 2, .sequence = 9};
+  event.ts = 1000;
+  event.ttl = 5;
+  event.size = 1;
+  const std::string json = traceEventJson(event);
+  EXPECT_NE(json.find("\"type\":\"deliver\""), std::string::npos);
+  EXPECT_NE(json.find("\"node\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"source\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"seq\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1000"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // single line
+}
+
+#if defined(EPTO_TRACE_ENABLED)
+// With tracing compiled in, the macro records into the global tracer only
+// while it is enabled. (With EPTO_TRACE=OFF this whole test compiles away,
+// mirroring the zero-overhead guarantee.)
+TEST(TraceMacroTest, RecordsOnlyWhileEnabled) {
+  auto& tracer = Tracer::global();
+  tracer.configure(Tracer::Options{.capacity = 64});
+  tracer.setEnabled(false);
+
+  EPTO_TRACE_EVENT(.type = TraceType::Broadcast, .node = 1);
+  EXPECT_EQ(tracer.buffered(), 0u);
+
+  tracer.setEnabled(true);
+  EPTO_TRACE_EVENT(.type = TraceType::Broadcast, .node = 1, .size = 2);
+  tracer.setEnabled(false);
+
+  const auto events = tracer.drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, TraceType::Broadcast);
+  EXPECT_EQ(events[0].node, 1u);
+  EXPECT_EQ(events[0].size, 2u);
+}
+#endif
+
+}  // namespace
+}  // namespace epto::obs

@@ -4,6 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "runtime/runtime_cluster.h"
 
@@ -143,6 +147,71 @@ TEST(RuntimeCluster, DerivedParametersExposed) {
   EXPECT_GE(cluster.fanoutUsed(), 1u);
   EXPECT_LE(cluster.fanoutUsed(), 7u);
   EXPECT_GE(cluster.ttlUsed(), 1u);
+}
+
+TEST(RuntimeCluster, PrometheusSnapshotCoversEveryProtocolCounter) {
+  RuntimeCluster cluster(fastOptions(4));
+  cluster.start();
+  for (std::size_t i = 0; i < 4; ++i) cluster.broadcast(i);
+  ASSERT_TRUE(cluster.awaitQuiescence(15s));
+  cluster.stop();
+
+  const std::string text = cluster.prometheusSnapshot();
+  // Every OrderingStats / DisseminationStats counter plus the transport
+  // totals must appear as a Prometheus family (the acceptance bar).
+  for (const char* family :
+       {"epto_ordering_rounds_total", "epto_ordering_delivered_ordered_total",
+        "epto_ordering_delivered_out_of_order_total",
+        "epto_ordering_dropped_out_of_order_total",
+        "epto_ordering_dropped_duplicates_total", "epto_ordering_ttl_merges_total",
+        "epto_ordering_received_high_water", "epto_dissemination_broadcasts_total",
+        "epto_dissemination_balls_received_total", "epto_dissemination_balls_sent_total",
+        "epto_dissemination_events_relayed_total",
+        "epto_dissemination_events_expired_total", "epto_dissemination_rounds_total",
+        "epto_dissemination_max_ball_size", "epto_received_set_size",
+        "epto_pending_relay_count", "epto_last_delivered_ts", "epto_last_delivered_lag",
+        "epto_transport_sent_total", "epto_transport_bytes_sent_total"}) {
+    EXPECT_NE(text.find(std::string("# TYPE ") + family + " "), std::string::npos)
+        << "missing family: " << family;
+  }
+  // Per-node labeling: each of the four nodes reports its delivery count.
+  for (int node = 0; node < 4; ++node) {
+    const std::string line = "epto_ordering_delivered_ordered_total{node=\"" +
+                             std::to_string(node) + "\"} 4";
+    EXPECT_NE(text.find(line), std::string::npos) << "missing: " << line;
+  }
+}
+
+TEST(RuntimeCluster, BackgroundScrapeWritesJsonlSeries) {
+  const std::string path = ::testing::TempDir() + "epto_runtime_scrape_test.jsonl";
+  std::remove(path.c_str());
+  {
+    auto options = fastOptions(4);
+    options.scrapeInterval = 5ms;
+    options.metricsOutPath = path;
+    RuntimeCluster cluster(options);
+    cluster.start();
+    for (std::size_t i = 0; i < 4; ++i) cluster.broadcast(i);
+    ASSERT_TRUE(cluster.awaitQuiescence(15s));
+    cluster.stop();
+    EXPECT_GE(cluster.scrapeCount(), 1u);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_FALSE(lines.empty());
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"ts\":"), std::string::npos);
+    EXPECT_NE(line.find("\"samples\":["), std::string::npos);
+  }
+  // The final scrape (written by stop()) carries the finished run: every
+  // node delivered all four broadcasts.
+  EXPECT_NE(lines.back().find("epto_ordering_delivered_ordered_total"),
+            std::string::npos);
+  std::remove(path.c_str());
 }
 
 TEST(RuntimeCluster, RejectsBadOptions) {

@@ -119,5 +119,49 @@ TEST(ExperimentIntegration, DeterministicInSeed) {
   }
 }
 
+TEST(ExperimentIntegration, MetricsSnapshotAndRoundSamples) {
+  auto config = smallConfig();
+  config.metricsSampleEvery = 10;
+  const auto result = runExperiment(config);
+  expectTable1(result);
+
+  // Per-round samples were captured every 10th executed round, each
+  // attributable to a node at a simulated time inside the run.
+  ASSERT_FALSE(result.roundSamples.empty());
+  EXPECT_GE(result.roundSamples.size(), result.roundsExecuted / 10 - 1);
+  for (const auto& sample : result.roundSamples) {
+    EXPECT_EQ(sample.round % 10, 0u);
+    EXPECT_LE(sample.simTime, result.simulatedTicks);
+  }
+
+  // The final registry snapshot carries the always-on distribution
+  // histograms plus the aggregate protocol counters.
+  const auto find = [&](const std::string& name) -> const obs::Sample* {
+    for (const auto& sample : result.metrics) {
+      if (sample.name == name) return &sample;
+    }
+    return nullptr;
+  };
+  const obs::Sample* ballSize = find("epto_sim_ball_size");
+  ASSERT_NE(ballSize, nullptr);
+  EXPECT_EQ(ballSize->kind, obs::Kind::Histogram);
+  EXPECT_EQ(ballSize->count, result.roundsExecuted);  // one observation per round
+  ASSERT_NE(find("epto_sim_fanout_targets"), nullptr);
+  ASSERT_NE(find("epto_sim_buffer_occupancy"), nullptr);
+
+  const obs::Sample* delivered = find("epto_sim_delivered_ordered_total");
+  ASSERT_NE(delivered, nullptr);
+  EXPECT_GT(delivered->counter, 0u);
+  const obs::Sample* relayed = find("epto_sim_events_relayed_total");
+  ASSERT_NE(relayed, nullptr);
+  EXPECT_GT(relayed->counter, 0u);
+}
+
+TEST(ExperimentIntegration, RoundSamplingDisabledByDefault) {
+  const auto result = runExperiment(smallConfig());
+  EXPECT_TRUE(result.roundSamples.empty());
+  EXPECT_FALSE(result.metrics.empty());  // histograms are always-on
+}
+
 }  // namespace
 }  // namespace epto::workload
