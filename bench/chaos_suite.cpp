@@ -1,0 +1,146 @@
+// Chaos suite — the fault-injection scenario matrix (DESIGN.md §"Fault
+// injection", EXPERIMENTS.md "Chaos suite").
+//
+// Each scenario runs the simulated deployment under one fault schedule
+// (fault/fault_plan.h) and re-checks the Table 1 verdicts over the
+// correct processes: crash with restart, a clean partition with a
+// scheduled heal, GC-pause stalls, burst loss, delay spikes, and a
+// combined "bad day" mix — plus a fault-free control. One JSON line per
+// scenario reports delivery rate, order/integrity/validity violations,
+// agreement holes, convergence time (max delivery delay) and what the
+// fault controller actually injected.
+//
+// The suite's pass criterion mirrors the paper's: zero total-order
+// violations among correct processes in every scenario; agreement and
+// validity judged over processes that survived to the end of the run.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "fault/fault_plan.h"
+
+namespace {
+
+using namespace epto;
+using namespace epto::bench;
+
+struct Scenario {
+  std::string name;
+  fault::FaultPlan plan;
+};
+
+/// The scenario matrix, in simulator ticks (round interval 125, so the
+/// broadcast window [0, rounds*125) — faults land mid-window and every
+/// window heals well before the drain so the system can re-converge.
+std::vector<Scenario> buildScenarios(std::size_t n) {
+  const ProcessId half = static_cast<ProcessId>(n / 2);
+  std::vector<Scenario> scenarios;
+
+  scenarios.push_back({"control", fault::FaultPlan{}});
+
+  {
+    fault::FaultPlan plan;
+    plan.crash(1000, 3, /*restartAt=*/2200);  // down ~10 rounds, rejoins
+    plan.crash(1500, 7);                      // down forever
+    scenarios.push_back({"crash_restart", std::move(plan)});
+  }
+  {
+    std::vector<ProcessId> island;
+    for (ProcessId id = 0; id < half / 2; ++id) island.push_back(id);
+    fault::FaultPlan plan;
+    plan.partition(1200, 1700, std::move(island));  // 4 rounds, then heal
+    scenarios.push_back({"partition_heal", std::move(plan)});
+  }
+  {
+    fault::FaultPlan plan;
+    plan.stall(1000, 2500, 2);  // 12-round GC pause
+    plan.stall(1200, 2400, 5);
+    scenarios.push_back({"stall", std::move(plan)});
+  }
+  {
+    fault::FaultPlan plan;
+    plan.burstLoss(1000, 2200, 0.4);  // 40% extra loss, all links
+    scenarios.push_back({"burst_loss", std::move(plan)});
+  }
+  {
+    fault::FaultPlan plan;
+    plan.delaySpike(1000, 2400, /*extraDelay=*/300);  // +2.4 rounds one-way
+    scenarios.push_back({"delay_spike", std::move(plan)});
+  }
+  {
+    fault::FaultPlan plan;
+    plan.crash(900, 4, /*restartAt=*/2000);
+    plan.stall(1100, 2000, 1);
+    plan.burstLoss(1300, 1900, 0.3, {0, 2, 6});
+    plan.delaySpike(1500, 2300, 200);
+    scenarios.push_back({"combined", std::move(plan)});
+  }
+  return scenarios;
+}
+
+void printJson(const std::string& scenario, const workload::ExperimentResult& result) {
+  const auto& report = result.report;
+  const double expected =
+      static_cast<double>(report.eventsMeasured) *
+      static_cast<double>(result.finalSystemSize);
+  const double rate =
+      expected > 0.0 ? static_cast<double>(report.deliveries) / expected : 0.0;
+  const Timestamp convergence =
+      report.delays.empty() ? 0 : report.delays.percentile(1.0);
+  std::printf(
+      "{\"scenario\":\"%s\",\"delivery_rate\":%.4f,"
+      "\"order_violations\":%llu,\"integrity_violations\":%llu,"
+      "\"validity_violations\":%llu,\"holes\":%llu,"
+      "\"convergence_ticks\":%llu,\"events_measured\":%llu,"
+      "\"deliveries\":%llu,\"final_system_size\":%zu,"
+      "\"crashes\":%llu,\"restarts\":%llu,\"stalls\":%llu,"
+      "\"crash_drops\":%llu,\"partition_drops\":%llu,\"burst_drops\":%llu,"
+      "\"delayed_messages\":%llu}\n",
+      scenario.c_str(), rate > 1.0 ? 1.0 : rate,
+      static_cast<unsigned long long>(report.orderViolations),
+      static_cast<unsigned long long>(report.integrityViolations),
+      static_cast<unsigned long long>(report.validityViolations),
+      static_cast<unsigned long long>(report.holes),
+      static_cast<unsigned long long>(convergence),
+      static_cast<unsigned long long>(report.eventsMeasured),
+      static_cast<unsigned long long>(report.deliveries), result.finalSystemSize,
+      static_cast<unsigned long long>(result.faultStats.crashes),
+      static_cast<unsigned long long>(result.faultStats.restarts),
+      static_cast<unsigned long long>(result.faultStats.stalls),
+      static_cast<unsigned long long>(result.faultStats.crashDrops),
+      static_cast<unsigned long long>(result.faultStats.partitionDrops),
+      static_cast<unsigned long long>(result.faultStats.burstDrops),
+      static_cast<unsigned long long>(result.faultStats.delayedMessages));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = parseArgs(argc, argv);
+  const std::size_t n = args.paperScale ? 200 : 60;
+  printHeader("chaos suite", "Table 1 verdicts under injected faults", args);
+
+  auto scenarios = buildScenarios(n);
+  bool allHold = true;
+  for (auto& scenario : scenarios) {
+    workload::ExperimentConfig config;
+    config.systemSize = n;
+    config.broadcastProbability = 0.02;
+    config.broadcastRounds = 25;
+    config.seed = args.seed;
+    if (!scenario.plan.empty()) config.faultPlan = &scenario.plan;
+
+    const auto result = runSeries(scenario.name, config, args);
+    printJson(scenario.name, result);
+    // Total order must hold unconditionally; dissemination guarantees
+    // (agreement/validity) are judged over surviving processes and must
+    // hold in this envelope too.
+    if (!result.report.allPropertiesHold()) allHold = false;
+  }
+
+  std::printf("chaos_suite %s: %zu scenarios\n", allHold ? "PASS" : "FAIL",
+              scenarios.size());
+  return allHold ? 0 : 1;
+}

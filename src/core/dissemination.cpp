@@ -16,6 +16,13 @@ DisseminationComponent::DisseminationComponent(ProcessId self, Options options,
   EPTO_ENSURE_MSG(options_.ttl >= 1, "TTL must be at least 1");
 }
 
+void DisseminationComponent::startSequenceAt(std::uint32_t first) {
+  EPTO_ENSURE_MSG(stats_.broadcasts == 0,
+                  "sequence fast-forward only valid before the first broadcast");
+  EPTO_ENSURE_MSG(first >= nextSequence_, "sequence counter cannot move backwards");
+  nextSequence_ = first;
+}
+
 Event DisseminationComponent::broadcast(PayloadPtr payload) {
   // Alg. 1 lines 6-10.
   Event event;

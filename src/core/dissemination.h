@@ -60,6 +60,12 @@ class DisseminationComponent {
   /// Network receive callback for one incoming ball.
   void onBall(const Ball& ball);
 
+  /// Fast-forward the broadcast sequence counter. A restarted process
+  /// reusing its ProcessId must never reissue an EventId its previous
+  /// incarnation used; the driver moves the fresh instance into a
+  /// disjoint sequence range. Only valid before the first broadcast.
+  void startSequenceAt(std::uint32_t first);
+
   /// The periodic relay task; call every delta time units.
   RoundOutput onRound();
 

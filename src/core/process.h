@@ -69,6 +69,10 @@ class Process {
   /// Returns the created event (id, timestamp, order key).
   Event broadcast(PayloadPtr payload = {});
 
+  /// See DisseminationComponent::startSequenceAt — used when a restarted
+  /// incarnation reuses this ProcessId and must not reuse EventIds.
+  void startSequenceAt(std::uint32_t first) { dissemination_.startSequenceAt(first); }
+
   /// Network receive callback.
   void onBall(const Ball& ball) { dissemination_.onBall(ball); }
 

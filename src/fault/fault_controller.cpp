@@ -1,0 +1,126 @@
+#include "fault/fault_controller.h"
+
+#include "obs/trace.h"
+
+namespace epto::fault {
+
+bool FaultController::isCrashed(ProcessId node, Timestamp now) const noexcept {
+  for (const FaultSpec& spec : plan_.specs()) {
+    if (spec.kind == FaultKind::Crash && spec.activeAt(now) && spec.involves(node)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultController::isStalled(ProcessId node, Timestamp now) const noexcept {
+  for (const FaultSpec& spec : plan_.specs()) {
+    if (spec.kind == FaultKind::Stall && spec.activeAt(now) && spec.involves(node)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultController::LinkFate FaultController::linkFate(ProcessId from, ProcessId to,
+                                                    Timestamp now) const noexcept {
+  LinkFate fate;
+  if (isCrashed(from, now) || isCrashed(to, now)) {
+    fate.cut = true;
+    fate.cutBy = FaultKind::Crash;
+    return fate;
+  }
+  double passRate = 1.0;
+  for (const FaultSpec& spec : plan_.specs()) {
+    if (!spec.activeAt(now) || !spec.matchesLink(from, to)) continue;
+    switch (spec.kind) {
+      case FaultKind::Partition:
+        fate.cut = true;
+        fate.cutBy = FaultKind::Partition;
+        return fate;
+      case FaultKind::BurstLoss:
+        passRate *= 1.0 - spec.lossRate;
+        break;
+      case FaultKind::DelaySpike:
+        fate.extraDelay += spec.extraDelay;
+        break;
+      case FaultKind::Crash:
+      case FaultKind::Stall:
+        break;
+    }
+  }
+  fate.extraLossRate = 1.0 - passRate;
+  return fate;
+}
+
+namespace {
+
+void traceFault(FaultKind kind, ProcessId node, std::uint64_t aux, Timestamp now) {
+  EPTO_TRACE_EVENT(.type = obs::TraceType::Fault, .node = node, .ts = now,
+                   .aux = aux, .detail = static_cast<std::uint8_t>(kind));
+  (void)kind; (void)node; (void)aux; (void)now;  // EPTO_TRACE=OFF builds
+}
+
+}  // namespace
+
+void FaultController::noteCrash(ProcessId node, Timestamp now) noexcept {
+  crashes_.fetch_add(1, std::memory_order_relaxed);
+  traceFault(FaultKind::Crash, node, /*aux=*/0, now);
+}
+
+void FaultController::noteRestart(ProcessId node, Timestamp now) noexcept {
+  restarts_.fetch_add(1, std::memory_order_relaxed);
+  traceFault(FaultKind::Crash, node, /*aux=*/1, now);
+}
+
+void FaultController::noteStall(ProcessId node, Timestamp now) noexcept {
+  stalls_.fetch_add(1, std::memory_order_relaxed);
+  traceFault(FaultKind::Stall, node, /*aux=*/0, now);
+}
+
+void FaultController::noteLinkDrop(ProcessId from, ProcessId to, Timestamp now,
+                                   FaultKind cause) noexcept {
+  switch (cause) {
+    case FaultKind::Crash: crashDrops_.fetch_add(1, std::memory_order_relaxed); break;
+    case FaultKind::Partition:
+      partitionDrops_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FaultKind::BurstLoss:
+      burstDrops_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case FaultKind::Stall:
+    case FaultKind::DelaySpike:
+      break;  // not drop causes
+  }
+  traceFault(cause, from, to, now);
+}
+
+void FaultController::noteDelayed(ProcessId from, ProcessId to, Timestamp now) noexcept {
+  delayedMessages_.fetch_add(1, std::memory_order_relaxed);
+  traceFault(FaultKind::DelaySpike, from, to, now);
+}
+
+FaultStats FaultController::stats() const noexcept {
+  FaultStats stats;
+  stats.crashes = crashes_.load(std::memory_order_relaxed);
+  stats.restarts = restarts_.load(std::memory_order_relaxed);
+  stats.stalls = stalls_.load(std::memory_order_relaxed);
+  stats.crashDrops = crashDrops_.load(std::memory_order_relaxed);
+  stats.partitionDrops = partitionDrops_.load(std::memory_order_relaxed);
+  stats.burstDrops = burstDrops_.load(std::memory_order_relaxed);
+  stats.delayedMessages = delayedMessages_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void FaultController::recordTo(obs::Registry& registry) const {
+  const FaultStats s = stats();
+  registry.counter("epto_fault_crashes_total").set(s.crashes);
+  registry.counter("epto_fault_restarts_total").set(s.restarts);
+  registry.counter("epto_fault_stalls_total").set(s.stalls);
+  registry.counter("epto_fault_crash_drops_total").set(s.crashDrops);
+  registry.counter("epto_fault_partition_drops_total").set(s.partitionDrops);
+  registry.counter("epto_fault_burst_drops_total").set(s.burstDrops);
+  registry.counter("epto_fault_delayed_messages_total").set(s.delayedMessages);
+}
+
+}  // namespace epto::fault

@@ -1,0 +1,197 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+
+#include "util/ensure.h"
+
+namespace epto::fault {
+
+const char* faultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::Crash: return "crash";
+    case FaultKind::Stall: return "stall";
+    case FaultKind::Partition: return "partition";
+    case FaultKind::BurstLoss: return "burst_loss";
+    case FaultKind::DelaySpike: return "delay_spike";
+  }
+  return "unknown";
+}
+
+bool FaultSpec::involves(ProcessId node) const noexcept {
+  return std::find(nodes.begin(), nodes.end(), node) != nodes.end();
+}
+
+bool FaultSpec::matchesLink(ProcessId from, ProcessId to) const noexcept {
+  switch (kind) {
+    case FaultKind::Partition:
+      // Cut iff the endpoints sit on different sides of the split.
+      return involves(from) != involves(to);
+    case FaultKind::BurstLoss:
+    case FaultKind::DelaySpike:
+      return nodes.empty() || involves(from) || involves(to);
+    case FaultKind::Crash:
+    case FaultKind::Stall:
+      return false;  // node faults, not link faults
+  }
+  return false;
+}
+
+void FaultPlan::push(FaultSpec spec) {
+  EPTO_ENSURE_MSG(spec.until == kNever || spec.until > spec.at,
+                  "fault window must end after it starts");
+  EPTO_ENSURE_MSG(spec.until != kNever || spec.kind == FaultKind::Crash,
+                  "only crashes may last forever");
+  specs_.push_back(std::move(spec));
+}
+
+FaultPlan& FaultPlan::crash(Timestamp at, ProcessId node, Timestamp restartAt) {
+  FaultSpec spec;
+  spec.kind = FaultKind::Crash;
+  spec.at = at;
+  spec.until = restartAt;
+  spec.nodes = {node};
+  push(std::move(spec));
+  return *this;
+}
+
+FaultPlan& FaultPlan::stall(Timestamp at, Timestamp until, ProcessId node) {
+  FaultSpec spec;
+  spec.kind = FaultKind::Stall;
+  spec.at = at;
+  spec.until = until;
+  spec.nodes = {node};
+  push(std::move(spec));
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(Timestamp at, Timestamp until,
+                                std::vector<ProcessId> island) {
+  EPTO_ENSURE_MSG(!island.empty(), "a partition needs a non-empty island");
+  FaultSpec spec;
+  spec.kind = FaultKind::Partition;
+  spec.at = at;
+  spec.until = until;
+  spec.nodes = std::move(island);
+  push(std::move(spec));
+  return *this;
+}
+
+FaultPlan& FaultPlan::burstLoss(Timestamp at, Timestamp until, double lossRate,
+                                std::vector<ProcessId> nodes) {
+  EPTO_ENSURE_MSG(lossRate >= 0.0 && lossRate < 1.0,
+                  "burst loss rate must be in [0, 1)");
+  FaultSpec spec;
+  spec.kind = FaultKind::BurstLoss;
+  spec.at = at;
+  spec.until = until;
+  spec.nodes = std::move(nodes);
+  spec.lossRate = lossRate;
+  push(std::move(spec));
+  return *this;
+}
+
+FaultPlan& FaultPlan::delaySpike(Timestamp at, Timestamp until, Timestamp extraDelay,
+                                 std::vector<ProcessId> nodes) {
+  EPTO_ENSURE_MSG(extraDelay > 0, "a delay spike needs a positive extra delay");
+  FaultSpec spec;
+  spec.kind = FaultKind::DelaySpike;
+  spec.at = at;
+  spec.until = until;
+  spec.nodes = std::move(nodes);
+  spec.extraDelay = extraDelay;
+  push(std::move(spec));
+  return *this;
+}
+
+Timestamp FaultPlan::horizon() const noexcept {
+  Timestamp horizon = 0;
+  for (const FaultSpec& spec : specs_) {
+    horizon = std::max(horizon, std::max(spec.at, spec.until));
+  }
+  return horizon;
+}
+
+ProcessId FaultPlan::maxNode() const noexcept {
+  ProcessId max = 0;
+  for (const FaultSpec& spec : specs_) {
+    for (const ProcessId node : spec.nodes) max = std::max(max, node);
+  }
+  return max;
+}
+
+std::string FaultPlan::signature() const {
+  std::string out;
+  for (const FaultSpec& spec : specs_) {
+    out += faultKindName(spec.kind);
+    out += " at=" + std::to_string(spec.at);
+    out += " until=" + std::to_string(spec.until);
+    out += " nodes=[";
+    for (std::size_t i = 0; i < spec.nodes.size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(spec.nodes[i]);
+    }
+    out += ']';
+    if (spec.kind == FaultKind::BurstLoss) {
+      out += " loss=" + std::to_string(spec.lossRate);
+    }
+    if (spec.kind == FaultKind::DelaySpike) {
+      out += " delay=" + std::to_string(spec.extraDelay);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+FaultPlan FaultPlan::randomMix(std::uint64_t seed, const RandomMixOptions& options) {
+  EPTO_ENSURE_MSG(options.nodeCount >= 2, "randomMix needs at least two nodes");
+  EPTO_ENSURE_MSG(options.horizon > options.start, "horizon must exceed start");
+  EPTO_ENSURE_MSG(options.minDuration >= 1 && options.maxDuration >= options.minDuration,
+                  "duration bounds must satisfy 1 <= min <= max");
+
+  util::Rng rng(seed);
+  FaultPlan plan;
+  const auto onset = [&]() {
+    return options.start + rng.below(options.horizon - options.start);
+  };
+  const auto duration = [&]() {
+    return options.minDuration +
+           rng.below(options.maxDuration - options.minDuration + 1);
+  };
+  const auto victim = [&]() {
+    return static_cast<ProcessId>(rng.below(options.nodeCount));
+  };
+
+  for (std::size_t i = 0; i < options.crashes; ++i) {
+    const Timestamp at = onset();
+    plan.crash(at, victim(), at + duration());
+  }
+  for (std::size_t i = 0; i < options.stalls; ++i) {
+    const Timestamp at = onset();
+    plan.stall(at, at + duration(), victim());
+  }
+  for (std::size_t i = 0; i < options.partitions; ++i) {
+    const Timestamp at = onset();
+    // Island of 1..nodeCount-1 distinct nodes, drawn without replacement.
+    std::vector<ProcessId> all(options.nodeCount);
+    for (std::size_t n = 0; n < options.nodeCount; ++n) {
+      all[n] = static_cast<ProcessId>(n);
+    }
+    const std::size_t islandSize = 1 + rng.below(options.nodeCount - 1);
+    for (std::size_t n = 0; n < islandSize; ++n) {
+      std::swap(all[n], all[n + rng.below(all.size() - n)]);
+    }
+    all.resize(islandSize);
+    plan.partition(at, at + duration(), std::move(all));
+  }
+  for (std::size_t i = 0; i < options.bursts; ++i) {
+    const Timestamp at = onset();
+    plan.burstLoss(at, at + duration(), options.burstLossRate);
+  }
+  for (std::size_t i = 0; i < options.delaySpikes; ++i) {
+    const Timestamp at = onset();
+    plan.delaySpike(at, at + duration(), options.spikeDelay);
+  }
+  return plan;
+}
+
+}  // namespace epto::fault

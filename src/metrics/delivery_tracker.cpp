@@ -27,6 +27,7 @@ void DeliveryTracker::onDeliver(ProcessId process, const EventId& id, Timestamp 
   }
   EventRecord& record = eventIt->second;
 
+  const std::uint32_t incarnation = incarnationOf(process);
   if (tag == DeliveryTag::Ordered) {
     if (checkTotalOrder_) {
       const auto [frontierIt, first] = frontier_.try_emplace(process, record.key);
@@ -37,26 +38,48 @@ void DeliveryTracker::onDeliver(ProcessId process, const EventId& id, Timestamp 
         frontierIt->second = record.key;
       }
     }
-    record.orderedBy.push_back(process);
+    record.orderedBy.emplace_back(process, incarnation);
     const Timestamp delta = when >= record.broadcastAt ? when - record.broadcastAt : 0;
     record.orderedDelay.push_back(static_cast<std::uint32_t>(delta));
     ++deliveries_;
   } else {
-    record.taggedBy.push_back(process);
+    record.taggedBy.emplace_back(process, incarnation);
     ++taggedDeliveries_;
   }
 }
 
+void DeliveryTracker::onProcessCrash(ProcessId process, Timestamp /*when*/) {
+  frontier_.erase(process);
+}
+
+void DeliveryTracker::onProcessRestart(ProcessId process, Timestamp /*when*/) {
+  ++incarnations_[process];
+  frontier_.erase(process);
+  ++restarts_;
+}
+
 namespace {
 
-/// Count duplicate entries in-place (sorts the vector).
-std::uint64_t countDuplicates(std::vector<ProcessId>& ids) {
+/// Count duplicate entries in-place (sorts the vector). Entries are
+/// (process, incarnation) pairs, so a post-restart re-delivery at the
+/// same process is not a duplicate.
+std::uint64_t countDuplicates(std::vector<std::pair<ProcessId, std::uint32_t>>& ids) {
   std::sort(ids.begin(), ids.end());
   std::uint64_t dupes = 0;
   for (std::size_t i = 1; i < ids.size(); ++i) {
     if (ids[i] == ids[i - 1]) ++dupes;
   }
   return dupes;
+}
+
+/// Project sorted (process, incarnation) pairs onto sorted unique pids.
+std::vector<ProcessId> projectPids(
+    const std::vector<std::pair<ProcessId, std::uint32_t>>& sorted) {
+  std::vector<ProcessId> pids;
+  pids.reserve(sorted.size());
+  for (const auto& [pid, inc] : sorted) pids.push_back(pid);
+  pids.erase(std::unique(pids.begin(), pids.end()), pids.end());
+  return pids;
 }
 
 }  // namespace
@@ -71,6 +94,7 @@ TrackerReport DeliveryTracker::finalize(
   report.broadcasts = broadcasts_;
   report.deliveries = deliveries_;
   report.taggedDeliveries = taggedDeliveries_;
+  report.restarts = restarts_;
 
   // Processes judged for agreement: present for the whole measured window.
   std::vector<std::pair<ProcessId, Timestamp>> correct;  // (id, joinedAt)
@@ -86,30 +110,39 @@ TrackerReport DeliveryTracker::finalize(
       report.delays.add(delay);
     }
 
-    // Duplicate detection across both delivery kinds. A process that
-    // received the event both ordered and tagged also counts as a dupe.
-    std::vector<ProcessId> ordered = record.orderedBy;
-    const std::uint64_t dupOrdered = countDuplicates(ordered);  // sorts
-    std::vector<ProcessId> tagged = record.taggedBy;
-    const std::uint64_t dupTagged = countDuplicates(tagged);  // sorts
-    ordered.erase(std::unique(ordered.begin(), ordered.end()), ordered.end());
-    tagged.erase(std::unique(tagged.begin(), tagged.end()), tagged.end());
-    std::vector<ProcessId> both;
-    std::set_intersection(ordered.begin(), ordered.end(), tagged.begin(), tagged.end(),
-                          std::back_inserter(both));
+    // Duplicate detection across both delivery kinds, per incarnation.
+    // A process incarnation that received the event both ordered and
+    // tagged also counts as a dupe.
+    std::vector<Deliverer> orderedInc = record.orderedBy;
+    const std::uint64_t dupOrdered = countDuplicates(orderedInc);  // sorts
+    std::vector<Deliverer> taggedInc = record.taggedBy;
+    const std::uint64_t dupTagged = countDuplicates(taggedInc);  // sorts
+    orderedInc.erase(std::unique(orderedInc.begin(), orderedInc.end()), orderedInc.end());
+    taggedInc.erase(std::unique(taggedInc.begin(), taggedInc.end()), taggedInc.end());
+    std::vector<Deliverer> both;
+    std::set_intersection(orderedInc.begin(), orderedInc.end(), taggedInc.begin(),
+                          taggedInc.end(), std::back_inserter(both));
     report.duplicateOrdered += dupOrdered;
     report.duplicateTagged += dupTagged;
     report.orderedAndTagged += both.size();
     report.integrityViolations += dupOrdered + dupTagged + both.size();
+
+    // Agreement/validity are judged per process id (any incarnation
+    // counts as "has the event").
+    const std::vector<ProcessId> ordered = projectPids(orderedInc);
+    const std::vector<ProcessId> tagged = projectPids(taggedInc);
     std::vector<ProcessId> got;  // union of receivers, sorted unique
     std::set_union(ordered.begin(), ordered.end(), tagged.begin(), tagged.end(),
                    std::back_inserter(got));
 
     // Validity: a correct broadcaster must have (ordered-)delivered its
-    // own event.
+    // own event. A broadcaster whose final incarnation joined after the
+    // broadcast lost the event with its old state — exempt, like a
+    // late joiner under agreement.
     const auto sourceLife = lifetimes.find(record.source);
     const bool sourceCorrect =
-        sourceLife != lifetimes.end() && !sourceLife->second.leftAt.has_value();
+        sourceLife != lifetimes.end() && !sourceLife->second.leftAt.has_value() &&
+        sourceLife->second.joinedAt <= record.broadcastAt;
     if (sourceCorrect &&
         !std::binary_search(ordered.begin(), ordered.end(), record.source)) {
       ++report.validityViolations;

@@ -19,6 +19,16 @@
 //                   stabilized).
 // It also accumulates the delivery-delay distribution the figures plot.
 //
+// Crash/restart awareness (Properties 2/4 are defined over *correct*
+// processes): a process that crashes and rejoins with fresh state is a
+// new incarnation. onProcessRestart() resets its total-order frontier
+// (a fresh process legitimately restarts its delivery sequence) and
+// bumps its incarnation, so a re-delivery of an event the previous
+// incarnation already had is not an integrity violation. finalize()'s
+// lifetimes describe the *final* incarnation: joinedAt = last restart
+// time, which exempts the process from agreement and validity judgments
+// on events broadcast before it rejoined.
+//
 // Memory: per event one vector of deliverer ids; delays live in an exact
 // integer histogram. A 3,200-process run with ~6k events fits in tens of
 // megabytes, which is what lets the benches reproduce Fig. 7b's sweep.
@@ -27,6 +37,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/types.h"
@@ -56,6 +67,7 @@ struct TrackerReport {
   std::uint64_t broadcasts = 0;
   std::uint64_t deliveries = 0;        ///< ordered deliveries.
   std::uint64_t taggedDeliveries = 0;  ///< §8.2 out-of-order deliveries.
+  std::uint64_t restarts = 0;          ///< crash/restart incarnation bumps.
   std::uint64_t eventsMeasured = 0;    ///< events old enough to judge.
   /// Delay (delivery time - broadcast time) over ordered deliveries of
   /// measured events, in ticks.
@@ -93,6 +105,17 @@ class DeliveryTracker {
   void onDeliver(ProcessId process, const EventId& id, Timestamp when,
                  DeliveryTag tag = DeliveryTag::Ordered);
 
+  /// The process stopped (fault-injected crash). Its total-order frontier
+  /// is dropped; deliveries already recorded stand.
+  void onProcessCrash(ProcessId process, Timestamp when);
+
+  /// The process rejoined with fresh state. Subsequent deliveries belong
+  /// to a new incarnation: the frontier restarts and a re-delivery of an
+  /// event the previous incarnation had is not a duplicate.
+  void onProcessRestart(ProcessId process, Timestamp when);
+
+  [[nodiscard]] std::uint64_t restartCount() const noexcept { return restarts_; }
+
   /// Judge the run. `lifetimes` describes every process that ever
   /// existed; `measurementCutoff` excludes events broadcast after it —
   /// they were too young to stabilize before the run ended, so they are
@@ -105,23 +128,34 @@ class DeliveryTracker {
   [[nodiscard]] std::uint64_t deliveryCount() const noexcept { return deliveries_; }
 
  private:
+  /// (process, incarnation) — duplicate detection is per incarnation.
+  using Deliverer = std::pair<ProcessId, std::uint32_t>;
+
   struct EventRecord {
     ProcessId source = 0;
     OrderKey key;
     Timestamp broadcastAt = 0;
     /// Ordered deliverers, with per-delivery delay stored alongside.
-    std::vector<ProcessId> orderedBy;
+    std::vector<Deliverer> orderedBy;
     std::vector<std::uint32_t> orderedDelay;  // parallel to orderedBy
-    std::vector<ProcessId> taggedBy;
+    std::vector<Deliverer> taggedBy;
   };
+
+  [[nodiscard]] std::uint32_t incarnationOf(ProcessId process) const {
+    const auto it = incarnations_.find(process);
+    return it == incarnations_.end() ? 0 : it->second;
+  }
 
   bool checkTotalOrder_ = true;
   std::unordered_map<EventId, EventRecord, EventIdHash> events_;
   /// Delivery frontier per process, for the online monotonicity check.
   std::unordered_map<ProcessId, OrderKey> frontier_;
+  /// Restart count per process; absent = incarnation 0.
+  std::unordered_map<ProcessId, std::uint32_t> incarnations_;
   std::uint64_t broadcasts_ = 0;
   std::uint64_t deliveries_ = 0;
   std::uint64_t taggedDeliveries_ = 0;
+  std::uint64_t restarts_ = 0;
   std::uint64_t integrityViolations_ = 0;
   std::uint64_t unknownDeliveries_ = 0;
   std::uint64_t orderViolations_ = 0;

@@ -1,0 +1,58 @@
+#include "metrics/quiescence.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace epto::metrics {
+
+void QuiescenceLedger::onBroadcast(const EventId& id,
+                                   const std::vector<ProcessId>& expected) {
+  if (expected.empty()) return;
+  auto& owed = pending_[id];
+  owed.insert(expected.begin(), expected.end());
+}
+
+void QuiescenceLedger::onDeliver(ProcessId process, const EventId& id) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  it->second.erase(process);
+  if (it->second.empty()) pending_.erase(it);
+}
+
+void QuiescenceLedger::onCrash(ProcessId process) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    it->second.erase(process);
+    if (it->second.empty()) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::string QuiescenceLedger::missingReport(std::size_t maxEvents) const {
+  std::ostringstream out;
+  out << pending_.size() << " event(s) not yet delivered everywhere";
+  std::size_t shown = 0;
+  for (const auto& [id, owed] : pending_) {
+    if (shown++ == maxEvents) {
+      out << "; ...";
+      break;
+    }
+    std::vector<ProcessId> who(owed.begin(), owed.end());
+    std::sort(who.begin(), who.end());
+    out << "; event " << id.source << ":" << id.sequence << " missing at {";
+    for (std::size_t i = 0; i < who.size(); ++i) {
+      if (i > 0) out << ",";
+      if (i == 8) {
+        out << "... " << who.size() - i << " more";
+        break;
+      }
+      out << who[i];
+    }
+    out << "}";
+  }
+  return out.str();
+}
+
+}  // namespace epto::metrics

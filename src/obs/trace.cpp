@@ -13,6 +13,7 @@ const char* traceTypeName(TraceType type) {
     case TraceType::StabilityDecision: return "stability_decision";
     case TraceType::Deliver: return "deliver";
     case TraceType::Drop: return "drop";
+    case TraceType::Fault: return "fault";
   }
   return "unknown";
 }

@@ -39,6 +39,7 @@ enum class TraceType : std::uint8_t {
   StabilityDecision,  ///< oracle round verdict; size = deliverable, aux = held back.
   Deliver,            ///< EpTO-deliver; detail = DeliveryTag.
   Drop,               ///< event discarded; detail = DropReason.
+  Fault,              ///< injected fault enforced; detail = fault::FaultKind.
 };
 
 enum class DropReason : std::uint8_t {

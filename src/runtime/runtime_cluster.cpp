@@ -43,12 +43,20 @@ RuntimeCluster::RuntimeCluster(RuntimeOptions options)
     : options_(options),
       epoch_(Clock::now()),
       masterRng_(options.seed),
+      faults_(options.faultPlan != nullptr
+                  ? std::make_unique<fault::FaultController>(*options.faultPlan)
+                  : nullptr),
       transport_(InMemoryTransport::Options{options.lossRate, options.minDelay,
                                             options.maxDelay, options.serializeFrames,
                                             options.corruptionRate},
                  masterRng_.split()) {
   EPTO_ENSURE_MSG(options_.nodeCount >= 2, "need at least two nodes");
   EPTO_ENSURE_MSG(options_.roundPeriod.count() > 0, "round period must be positive");
+  if (faults_ != nullptr) {
+    EPTO_ENSURE_MSG(faults_->plan().maxNode() < options_.nodeCount,
+                    "fault plan targets a node beyond the cluster size");
+    transport_.attachFaults(faults_.get(), [this] { return ticksNow(); });
+  }
 
   const Config derived = Config::forSystemSize(options_.nodeCount, options_.clockMode,
                                                Robustness{.c = options_.c});
@@ -62,21 +70,9 @@ RuntimeCluster::RuntimeCluster(RuntimeOptions options)
 
     auto node = std::make_unique<NodeState>();
     node->id = id;
-
-    Config cfg;
-    cfg.fanout = fanout_;
-    cfg.ttl = ttl_;
-    cfg.clockMode = options_.clockMode;
-    auto sampler = std::make_shared<StaticUniformSampler>(id, options_.nodeCount,
-                                                          masterRng_.split());
-    node->process = std::make_unique<Process>(
-        id, cfg, std::move(sampler),
-        [this, id](const Event& event, DeliveryTag tag) {
-          const std::scoped_lock lock(trackerMutex_);
-          tracker_.onDeliver(id, event.id, ticksNow(), tag);
-        },
-        [this]() { return ticksNow(); });
+    node->process = makeProcess(id, /*incarnation=*/0);
     nodes_.push_back(std::move(node));
+    lifetimes_[id] = metrics::ProcessLifetime{0, std::nullopt};
   }
 
   // Register every node's instruments (at their zero values) before any
@@ -99,6 +95,33 @@ RuntimeCluster::RuntimeCluster(RuntimeOptions options)
 
 RuntimeCluster::~RuntimeCluster() { stop(); }
 
+std::unique_ptr<Process> RuntimeCluster::makeProcess(ProcessId id,
+                                                     std::uint32_t incarnation) {
+  Config cfg;
+  cfg.fanout = fanout_;
+  cfg.ttl = ttl_;
+  cfg.clockMode = options_.clockMode;
+  // Deterministic per-(node, incarnation) sampler stream, so a restart
+  // does not depend on masterRng_ (only touched on the ctor thread).
+  util::Rng samplerRng(
+      util::mix64(options_.seed + 0x9E3779B97F4A7C15ULL * (incarnation + 1)) ^ id);
+  auto sampler =
+      std::make_shared<StaticUniformSampler>(id, options_.nodeCount, samplerRng);
+  auto process = std::make_unique<Process>(
+      id, cfg, std::move(sampler),
+      [this, id](const Event& event, DeliveryTag tag) {
+        const std::scoped_lock lock(trackerMutex_);
+        tracker_.onDeliver(id, event.id, ticksNow(), tag);
+        ledger_.onDeliver(id, event.id);
+      },
+      [this]() { return ticksNow(); });
+  if (incarnation > 0) {
+    // Disjoint EventId range per incarnation (~1M broadcasts each).
+    process->startSequenceAt(incarnation << 20U);
+  }
+  return process;
+}
+
 Timestamp RuntimeCluster::ticksNow() const {
   return static_cast<Timestamp>(
       std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - epoch_).count());
@@ -107,6 +130,8 @@ Timestamp RuntimeCluster::ticksNow() const {
 void RuntimeCluster::start() {
   EPTO_ENSURE_MSG(!running_.exchange(true), "cluster already started");
   stopRequested_ = false;
+  // Fault-plan timestamps are relative to start(), not construction.
+  epoch_ = Clock::now();
   for (auto& node : nodes_) {
     node->thread = std::thread([this, raw = node.get()] { nodeLoop(*raw); });
   }
@@ -116,11 +141,67 @@ void RuntimeCluster::start() {
 void RuntimeCluster::broadcast(std::size_t index, PayloadPtr payload) {
   EPTO_ENSURE_MSG(index < nodes_.size(), "node index out of range");
   NodeState& node = *nodes_[index];
+  if (!node.up.load(std::memory_order_acquire)) {
+    // Crashed application node: the broadcast never happens. (A request
+    // racing with the crash is discarded by the node loop instead.)
+    discardedBroadcasts_.fetch_add(1, std::memory_order_relaxed);
+    requestedBroadcasts_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   {
     const std::scoped_lock lock(node.broadcastMutex);
     node.pendingBroadcasts.push_back(std::move(payload));
   }
   requestedBroadcasts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool RuntimeCluster::nodeDown(std::size_t index) const {
+  EPTO_ENSURE_MSG(index < nodes_.size(), "node index out of range");
+  return !nodes_[index]->up.load(std::memory_order_acquire);
+}
+
+std::vector<ProcessId> RuntimeCluster::upNodes() const {
+  std::vector<ProcessId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    if (node->up.load(std::memory_order_acquire)) ids.push_back(node->id);
+  }
+  return ids;
+}
+
+void RuntimeCluster::enterCrash(NodeState& node) {
+  const Timestamp now = ticksNow();
+  faults_->noteCrash(node.id, now);
+  node.process.reset();  // fresh state on rejoin — the crash loses everything
+  node.up.store(false, std::memory_order_release);
+  // Broadcast requests parked at this node die with it.
+  std::vector<PayloadPtr> discarded;
+  {
+    const std::scoped_lock lock(node.broadcastMutex);
+    discarded.swap(node.pendingBroadcasts);
+  }
+  discardedBroadcasts_.fetch_add(discarded.size(), std::memory_order_relaxed);
+  {
+    const std::scoped_lock lock(trackerMutex_);
+    tracker_.onProcessCrash(node.id, now);
+    ledger_.onCrash(node.id);
+    lifetimes_[node.id].leftAt = now;
+  }
+}
+
+void RuntimeCluster::leaveCrash(NodeState& node) {
+  const Timestamp now = ticksNow();
+  // Whatever landed in the mailbox while we were dead is lost.
+  (void)transport_.mailboxOf(node.id).drainReady(Clock::time_point::max());
+  ++node.incarnation;
+  node.process = makeProcess(node.id, node.incarnation);
+  {
+    const std::scoped_lock lock(trackerMutex_);
+    tracker_.onProcessRestart(node.id, now);
+    lifetimes_[node.id] = metrics::ProcessLifetime{now, std::nullopt};
+  }
+  faults_->noteRestart(node.id, now);
+  node.up.store(true, std::memory_order_release);
 }
 
 void RuntimeCluster::nodeLoop(NodeState& node) {
@@ -133,8 +214,34 @@ void RuntimeCluster::nodeLoop(NodeState& node) {
 
   Mailbox& mailbox = transport_.mailboxOf(node.id);
   auto nextRound = Clock::now() + jitteredPeriod();
+  bool stallNoted = false;
 
   while (!stopRequested_.load(std::memory_order_relaxed)) {
+    if (faults_ != nullptr) {
+      const Timestamp now = ticksNow();
+      if (faults_->isCrashed(node.id, now)) {
+        if (node.up.load(std::memory_order_relaxed)) enterCrash(node);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      if (!node.up.load(std::memory_order_relaxed)) {
+        leaveCrash(node);
+        nextRound = Clock::now() + jitteredPeriod();
+      }
+      if (faults_->isStalled(node.id, now)) {
+        // GC-pause model: no rounds, no mailbox drain — incoming traffic
+        // piles up and the node must catch up when it resumes.
+        if (!stallNoted) {
+          stallNoted = true;
+          faults_->noteStall(node.id, now);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        nextRound = Clock::now() + jitteredPeriod();
+        continue;
+      }
+      stallNoted = false;
+    }
+
     mailbox.waitReadyOrDeadline(nextRound);
 
     for (Envelope& envelope : mailbox.drainReady(Clock::now())) {
@@ -153,9 +260,10 @@ void RuntimeCluster::nodeLoop(NodeState& node) {
     }
     for (PayloadPtr& payload : pending) {
       const Event event = node.process->broadcast(std::move(payload));
+      const std::vector<ProcessId> expected = upNodes();
       const std::scoped_lock lock(trackerMutex_);
       tracker_.onBroadcast(node.id, event.id, event.orderKey(), ticksNow());
-      expectedDeliveries_ += nodes_.size();
+      ledger_.onBroadcast(event.id, expected);
     }
 
     const auto out = node.process->onRound();
@@ -178,12 +286,27 @@ bool RuntimeCluster::awaitQuiescence(std::chrono::milliseconds timeout) {
     {
       const std::scoped_lock lock(trackerMutex_);
       const bool allInjected =
-          tracker_.broadcastCount() >= requestedBroadcasts_.load(std::memory_order_relaxed);
-      if (allInjected && tracker_.deliveryCount() >= expectedDeliveries_) return true;
+          tracker_.broadcastCount() + discardedBroadcasts_.load(std::memory_order_relaxed) >=
+          requestedBroadcasts_.load(std::memory_order_relaxed);
+      if (allInjected && ledger_.quiescent()) {
+        quiescenceReport_.clear();
+        return true;
+      }
+      if (Clock::now() >= deadline) {
+        quiescenceReport_ = allInjected
+                                ? ledger_.missingReport()
+                                : "broadcast requests still queued at node threads; " +
+                                      ledger_.missingReport();
+        return false;
+      }
     }
-    if (Clock::now() >= deadline) return false;
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
+}
+
+std::string RuntimeCluster::lastQuiescenceReport() const {
+  const std::scoped_lock lock(trackerMutex_);
+  return quiescenceReport_;
 }
 
 void RuntimeCluster::stop() {
@@ -200,8 +323,10 @@ void RuntimeCluster::syncTransportMetrics() {
   const InMemoryTransport::Stats stats = transport_.stats();
   registry_.counter("epto_transport_sent_total").set(stats.sent);
   registry_.counter("epto_transport_dropped_total").set(stats.dropped);
+  registry_.counter("epto_transport_fault_drops_total").set(stats.faultDrops);
   registry_.counter("epto_transport_bytes_sent_total").set(stats.bytesSent);
   registry_.counter("epto_transport_frames_rejected_total").set(stats.framesRejected);
+  if (faults_ != nullptr) faults_->recordTo(registry_);
 }
 
 std::string RuntimeCluster::prometheusSnapshot() {
@@ -210,12 +335,8 @@ std::string RuntimeCluster::prometheusSnapshot() {
 }
 
 metrics::TrackerReport RuntimeCluster::report() const {
-  std::unordered_map<ProcessId, metrics::ProcessLifetime> lifetimes;
-  for (const auto& node : nodes_) {
-    lifetimes[node->id] = metrics::ProcessLifetime{0, std::nullopt};
-  }
   const std::scoped_lock lock(trackerMutex_);
-  return tracker_.finalize(lifetimes, ticksNow());
+  return tracker_.finalize(lifetimes_, ticksNow());
 }
 
 std::uint64_t RuntimeCluster::broadcastCount() const {

@@ -26,8 +26,13 @@
 
 #include <string>
 
+#include <unordered_map>
+
 #include "core/process.h"
+#include "fault/fault_controller.h"
+#include "fault/fault_plan.h"
 #include "metrics/delivery_tracker.h"
+#include "metrics/quiescence.h"
 #include "obs/registry.h"
 #include "obs/scrape.h"
 #include "runtime/transport.h"
@@ -54,6 +59,12 @@ struct RuntimeOptions {
   /// With serializeFrames: per-frame probability of a flipped bit in
   /// flight; corrupted frames must be detected and dropped by CRC.
   double corruptionRate = 0.0;
+  /// Scheduled fault injection (fault/fault_plan.h). Timestamps are in
+  /// microseconds since the cluster epoch (start()). Null = fault-free.
+  /// Must outlive the cluster. A crashed node's loop tears its Process
+  /// down and idles; at the restart time it rejoins with fresh state (a
+  /// new incarnation of the same ProcessId) and must re-converge.
+  const fault::FaultPlan* faultPlan = nullptr;
   std::uint64_t seed = 42;
   /// Background metrics scrape. 0 disables the thread unless
   /// metricsOutPath is set (then a 100ms default applies). Every node
@@ -82,9 +93,16 @@ class RuntimeCluster {
   /// Signal and join all node threads. Idempotent.
   void stop();
 
-  /// Block until every broadcast so far has been delivered everywhere or
-  /// `timeout` elapsed. Returns true when fully drained.
+  /// Block until every broadcast so far has been delivered by every node
+  /// that still owes it — crashed nodes owe nothing, restarted nodes only
+  /// owe events broadcast after they rejoined — or `timeout` elapsed.
+  /// Returns true when fully drained; on timeout, lastQuiescenceReport()
+  /// names the outstanding (event, nodes) pairs.
   bool awaitQuiescence(std::chrono::milliseconds timeout);
+
+  /// Diagnosis of the most recent awaitQuiescence() timeout ("" after a
+  /// successful wait).
+  [[nodiscard]] std::string lastQuiescenceReport() const;
 
   /// Judge the run so far (normally called after stop()).
   [[nodiscard]] metrics::TrackerReport report() const;
@@ -95,6 +113,12 @@ class RuntimeCluster {
     return transport_.stats();
   }
   [[nodiscard]] std::uint64_t broadcastCount() const;
+  /// Null when the cluster has no fault plan.
+  [[nodiscard]] const fault::FaultController* faultController() const noexcept {
+    return faults_.get();
+  }
+  /// True while node `index` is inside a fault-injected crash window.
+  [[nodiscard]] bool nodeDown(std::size_t index) const;
 
   /// The run-wide metrics registry (per-node epto_* instruments plus the
   /// transport counters). Safe to snapshot from any thread at any time.
@@ -114,9 +138,20 @@ class RuntimeCluster {
     std::thread thread;
     std::mutex broadcastMutex;
     std::vector<PayloadPtr> pendingBroadcasts;
+    /// False while inside a crash window. Written by the node thread,
+    /// read by broadcast() and the quiescence bookkeeping.
+    std::atomic<bool> up{true};
+    std::uint32_t incarnation = 0;  ///< node-thread only.
   };
 
   void nodeLoop(NodeState& node);
+  [[nodiscard]] std::unique_ptr<Process> makeProcess(ProcessId id,
+                                                     std::uint32_t incarnation);
+  /// Enter/leave a crash window (node thread). Handles tracker, ledger,
+  /// lifetime and controller bookkeeping.
+  void enterCrash(NodeState& node);
+  void leaveCrash(NodeState& node);
+  [[nodiscard]] std::vector<ProcessId> upNodes() const;
   void syncTransportMetrics();
   [[nodiscard]] Timestamp ticksNow() const;
 
@@ -126,6 +161,8 @@ class RuntimeCluster {
   Clock::time_point epoch_;
 
   util::Rng masterRng_;
+  /// Constructed before transport_ (which stores a pointer to it).
+  std::unique_ptr<fault::FaultController> faults_;
   InMemoryTransport transport_;
   std::vector<std::unique_ptr<NodeState>> nodes_;
 
@@ -134,10 +171,17 @@ class RuntimeCluster {
 
   mutable std::mutex trackerMutex_;
   metrics::DeliveryTracker tracker_;
-  std::uint64_t expectedDeliveries_ = 0;  // broadcasts * nodeCount, under trackerMutex_
+  /// Who still owes which event (fault-aware quiescence), under
+  /// trackerMutex_ like the tracker itself.
+  metrics::QuiescenceLedger ledger_;
+  /// Final-incarnation lifetimes for report(), under trackerMutex_.
+  std::unordered_map<ProcessId, metrics::ProcessLifetime> lifetimes_;
+  std::string quiescenceReport_;  // under trackerMutex_
   /// broadcast() requests not yet injected by node threads; quiescence
-  /// requires the queue drained AND every event delivered everywhere.
+  /// requires the queue drained AND every owed delivery performed.
   std::atomic<std::uint64_t> requestedBroadcasts_{0};
+  /// Requests discarded because the target node was crashed.
+  std::atomic<std::uint64_t> discardedBroadcasts_{0};
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopRequested_{false};

@@ -49,8 +49,19 @@ InMemoryTransport::InMemoryTransport(Options options, util::Rng rng)
     : options_(options), rng_(rng) {
   EPTO_ENSURE_MSG(options_.lossRate >= 0.0 && options_.lossRate < 1.0,
                   "loss rate must be in [0, 1)");
+  EPTO_ENSURE_MSG(options_.corruptionRate >= 0.0 && options_.corruptionRate < 1.0,
+                  "corruption rate must be in [0, 1)");
+  EPTO_ENSURE_MSG(options_.minDelay.count() >= 0, "minDelay must not be negative");
   EPTO_ENSURE_MSG(options_.minDelay <= options_.maxDelay,
                   "minDelay must not exceed maxDelay");
+}
+
+void InMemoryTransport::attachFaults(fault::FaultController* faults,
+                                     std::function<Timestamp()> now) {
+  EPTO_ENSURE_MSG(faults == nullptr || now != nullptr,
+                  "fault controller needs a clock");
+  faults_ = faults;
+  faultNow_ = std::move(now);
 }
 
 void InMemoryTransport::registerEndpoint(ProcessId id) {
@@ -66,12 +77,37 @@ Mailbox& InMemoryTransport::mailboxOf(ProcessId id) {
 
 void InMemoryTransport::send(ProcessId from, ProcessId to, BallPtr ball) {
   bool dropped = false;
+  bool faultDropped = false;
   bool corrupt = false;
   std::size_t corruptOffsetSeed = 0;
   std::chrono::microseconds delay{0};
+  std::chrono::microseconds faultDelay{0};
+
+  if (faults_ != nullptr) {
+    const Timestamp now = faultNow_();
+    const fault::FaultController::LinkFate fate = faults_->linkFate(from, to, now);
+    if (fate.cut) {
+      faults_->noteLinkDrop(from, to, now, fate.cutBy);
+      dropped = faultDropped = true;
+    } else {
+      if (fate.extraLossRate > 0.0) {
+        const std::scoped_lock lock(rngMutex_);
+        if (rng_.chance(fate.extraLossRate)) {
+          dropped = faultDropped = true;
+        }
+      }
+      if (faultDropped) {
+        faults_->noteLinkDrop(from, to, now, fault::FaultKind::BurstLoss);
+      } else if (fate.extraDelay > 0) {
+        faultDelay = std::chrono::microseconds(static_cast<std::int64_t>(fate.extraDelay));
+        faults_->noteDelayed(from, to, now);
+      }
+    }
+  }
+
   {
     const std::scoped_lock lock(rngMutex_);
-    dropped = rng_.chance(options_.lossRate);
+    if (!dropped) dropped = rng_.chance(options_.lossRate);
     if (!dropped && options_.maxDelay > options_.minDelay) {
       const auto span =
           static_cast<std::uint64_t>((options_.maxDelay - options_.minDelay).count());
@@ -87,7 +123,7 @@ void InMemoryTransport::send(ProcessId from, ProcessId to, BallPtr ball) {
 
   Envelope envelope;
   envelope.from = from;
-  envelope.deliverAt = Clock::now() + delay;
+  envelope.deliverAt = Clock::now() + delay + faultDelay;
   std::size_t bytes = 0;
   if (!dropped) {
     if (options_.serializeFrames) {
@@ -109,6 +145,7 @@ void InMemoryTransport::send(ProcessId from, ProcessId to, BallPtr ball) {
     ++stats_.sent;
     stats_.bytesSent += bytes;
     if (dropped) ++stats_.dropped;
+    if (faultDropped) ++stats_.faultDrops;
   }
   if (dropped) return;
   mailboxOf(to).push(std::move(envelope));

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "core/types.h"
+#include "fault/fault_controller.h"
 #include "util/rng.h"
 
 namespace epto::runtime {
@@ -79,6 +81,13 @@ class InMemoryTransport {
 
   InMemoryTransport(Options options, util::Rng rng);
 
+  /// Route every subsequent send() through the fault controller's link
+  /// fate (partition cuts, burst loss, delay spikes, crashed endpoints).
+  /// `now` maps wall time onto the controller's Timestamp domain
+  /// (microseconds since the cluster epoch). Call before any sender runs;
+  /// the controller must outlive the transport.
+  void attachFaults(fault::FaultController* faults, std::function<Timestamp()> now);
+
   /// Create the mailbox for `id`. Must happen before anyone sends to it.
   void registerEndpoint(ProcessId id);
 
@@ -90,6 +99,7 @@ class InMemoryTransport {
   struct Stats {
     std::uint64_t sent = 0;
     std::uint64_t dropped = 0;
+    std::uint64_t faultDrops = 0;       ///< of dropped: cut/burst-lost by faults.
     std::uint64_t bytesSent = 0;        ///< serialized mode only.
     std::uint64_t framesRejected = 0;   ///< corrupted frames caught by decode.
   };
@@ -103,6 +113,9 @@ class InMemoryTransport {
 
  private:
   Options options_;
+  /// Set once by attachFaults() before threads start; read-only afterwards.
+  fault::FaultController* faults_ = nullptr;
+  std::function<Timestamp()> faultNow_;
   mutable std::mutex rngMutex_;
   util::Rng rng_;
   std::unordered_map<ProcessId, std::unique_ptr<Mailbox>> mailboxes_;

@@ -39,9 +39,16 @@ class StaticSampler final : public PeerSampler {
 UdpCluster::UdpCluster(UdpClusterOptions options)
     : options_(options),
       epoch_(std::chrono::steady_clock::now()),
-      masterRng_(options.seed) {
+      masterRng_(options.seed),
+      faults_(options.faultPlan != nullptr
+                  ? std::make_unique<fault::FaultController>(*options.faultPlan)
+                  : nullptr) {
   EPTO_ENSURE_MSG(options_.nodeCount >= 2, "need at least two nodes");
   EPTO_ENSURE_MSG(options_.roundPeriod.count() > 0, "round period must be positive");
+  if (faults_ != nullptr) {
+    EPTO_ENSURE_MSG(faults_->plan().maxNode() < options_.nodeCount,
+                    "fault plan targets a node beyond the cluster size");
+  }
 
   const Config derived = Config::forSystemSize(options_.nodeCount, options_.clockMode,
                                                Robustness{.c = options_.c});
@@ -55,19 +62,9 @@ UdpCluster::UdpCluster(UdpClusterOptions options)
     auto node = std::make_unique<NodeState>();  // socket binds here
     node->id = id;
     ports_.push_back(node->socket.port());
-
-    Config cfg;
-    cfg.fanout = fanout_;
-    cfg.ttl = ttl_;
-    cfg.clockMode = options_.clockMode;
-    node->process = std::make_unique<Process>(
-        id, cfg, std::make_shared<StaticSampler>(id, options_.nodeCount, masterRng_.split()),
-        [this, id](const Event& event, DeliveryTag tag) {
-          const std::scoped_lock lock(trackerMutex_);
-          tracker_.onDeliver(id, event.id, ticksNow(), tag);
-        },
-        [this]() { return ticksNow(); });
+    node->process = makeProcess(id, /*incarnation=*/0);
     nodes_.push_back(std::move(node));
+    lifetimes_[id] = metrics::ProcessLifetime{0, std::nullopt};
   }
 
   // Pre-register every node's instruments so any scrape covers the full
@@ -86,11 +83,35 @@ UdpCluster::UdpCluster(UdpClusterOptions options)
         [this] {
           registry_.counter("epto_udp_frames_rejected_total")
               .set(framesRejected_.load(std::memory_order_relaxed));
+          registry_.counter("epto_udp_send_failures_total")
+              .set(sendFailures_.load(std::memory_order_relaxed));
         });
   }
 }
 
 UdpCluster::~UdpCluster() { stop(); }
+
+std::unique_ptr<Process> UdpCluster::makeProcess(ProcessId id, std::uint32_t incarnation) {
+  Config cfg;
+  cfg.fanout = fanout_;
+  cfg.ttl = ttl_;
+  cfg.clockMode = options_.clockMode;
+  util::Rng samplerRng(
+      util::mix64(options_.seed + 0xC2B2AE3D27D4EB4FULL * (incarnation + 1)) ^ id);
+  auto process = std::make_unique<Process>(
+      id, cfg, std::make_shared<StaticSampler>(id, options_.nodeCount, samplerRng),
+      [this, id](const Event& event, DeliveryTag tag) {
+        const std::scoped_lock lock(trackerMutex_);
+        tracker_.onDeliver(id, event.id, ticksNow(), tag);
+        ledger_.onDeliver(id, event.id);
+      },
+      [this]() { return ticksNow(); });
+  if (incarnation > 0) {
+    // Disjoint EventId range per incarnation (~1M broadcasts each).
+    process->startSequenceAt(incarnation << 20U);
+  }
+  return process;
+}
 
 Timestamp UdpCluster::ticksNow() const {
   return static_cast<Timestamp>(std::chrono::duration_cast<std::chrono::microseconds>(
@@ -101,6 +122,8 @@ Timestamp UdpCluster::ticksNow() const {
 void UdpCluster::start() {
   EPTO_ENSURE_MSG(!running_.exchange(true), "cluster already started");
   stopRequested_ = false;
+  // Fault-plan timestamps are relative to start(), not construction.
+  epoch_ = std::chrono::steady_clock::now();
   for (auto& node : nodes_) {
     node->thread = std::thread([this, raw = node.get()] { nodeLoop(*raw); });
   }
@@ -109,11 +132,87 @@ void UdpCluster::start() {
 
 void UdpCluster::broadcast(std::size_t index, PayloadPtr payload) {
   EPTO_ENSURE_MSG(index < nodes_.size(), "node index out of range");
+  NodeState& node = *nodes_[index];
+  if (!node.up.load(std::memory_order_acquire)) {
+    discardedBroadcasts_.fetch_add(1, std::memory_order_relaxed);
+    requestedBroadcasts_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   {
-    const std::scoped_lock lock(nodes_[index]->broadcastMutex);
-    nodes_[index]->pendingBroadcasts.push_back(std::move(payload));
+    const std::scoped_lock lock(node.broadcastMutex);
+    node.pendingBroadcasts.push_back(std::move(payload));
   }
   requestedBroadcasts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool UdpCluster::nodeDown(std::size_t index) const {
+  EPTO_ENSURE_MSG(index < nodes_.size(), "node index out of range");
+  return !nodes_[index]->up.load(std::memory_order_acquire);
+}
+
+std::vector<ProcessId> UdpCluster::upNodes() const {
+  std::vector<ProcessId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    if (node->up.load(std::memory_order_acquire)) ids.push_back(node->id);
+  }
+  return ids;
+}
+
+void UdpCluster::enterCrash(NodeState& node) {
+  const Timestamp now = ticksNow();
+  faults_->noteCrash(node.id, now);
+  node.process.reset();
+  node.heldBack.clear();  // delayed datagrams die with the sender
+  node.up.store(false, std::memory_order_release);
+  std::vector<PayloadPtr> discarded;
+  {
+    const std::scoped_lock lock(node.broadcastMutex);
+    discarded.swap(node.pendingBroadcasts);
+  }
+  discardedBroadcasts_.fetch_add(discarded.size(), std::memory_order_relaxed);
+  {
+    const std::scoped_lock lock(trackerMutex_);
+    tracker_.onProcessCrash(node.id, now);
+    ledger_.onCrash(node.id);
+    lifetimes_[node.id].leftAt = now;
+  }
+}
+
+void UdpCluster::leaveCrash(NodeState& node) {
+  const Timestamp now = ticksNow();
+  // Datagrams buffered by the OS while we were dead are lost state.
+  while (node.socket.receive(0).has_value()) {
+  }
+  ++node.incarnation;
+  node.process = makeProcess(node.id, node.incarnation);
+  {
+    const std::scoped_lock lock(trackerMutex_);
+    tracker_.onProcessRestart(node.id, now);
+    lifetimes_[node.id] = metrics::ProcessLifetime{now, std::nullopt};
+  }
+  faults_->noteRestart(node.id, now);
+  node.up.store(true, std::memory_order_release);
+}
+
+void UdpCluster::sendFrame(NodeState& node, ProcessId target,
+                           const std::vector<std::byte>& frame) {
+  if (!node.socket.sendTo(ports_[target], frame)) {
+    sendFailures_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void UdpCluster::flushHeldBack(NodeState& node) {
+  if (node.heldBack.empty()) return;
+  const auto now = std::chrono::steady_clock::now();
+  auto due = std::partition(node.heldBack.begin(), node.heldBack.end(),
+                            [now](const HeldDatagram& d) { return d.due > now; });
+  for (auto it = due; it != node.heldBack.end(); ++it) {
+    if (!node.socket.sendTo(it->port, it->frame)) {
+      sendFailures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  node.heldBack.erase(due, node.heldBack.end());
 }
 
 void UdpCluster::nodeLoop(NodeState& node) {
@@ -126,7 +225,34 @@ void UdpCluster::nodeLoop(NodeState& node) {
   };
 
   auto nextRound = Clock::now() + jitteredPeriod();
+  bool stallNoted = false;
   while (!stopRequested_.load(std::memory_order_relaxed)) {
+    if (faults_ != nullptr) {
+      const Timestamp tnow = ticksNow();
+      if (faults_->isCrashed(node.id, tnow)) {
+        if (node.up.load(std::memory_order_relaxed)) enterCrash(node);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      if (!node.up.load(std::memory_order_relaxed)) {
+        leaveCrash(node);
+        nextRound = Clock::now() + jitteredPeriod();
+      }
+      if (faults_->isStalled(node.id, tnow)) {
+        // GC-pause model: no receives, no rounds; the OS buffers traffic
+        // and the node catches up afterwards.
+        if (!stallNoted) {
+          stallNoted = true;
+          faults_->noteStall(node.id, tnow);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        nextRound = Clock::now() + jitteredPeriod();
+        continue;
+      }
+      stallNoted = false;
+      flushHeldBack(node);
+    }
+
     // Receive until the round boundary; poll() granularity is 1ms, so
     // short remainders degrade to a non-blocking check.
     const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -149,16 +275,38 @@ void UdpCluster::nodeLoop(NodeState& node) {
     }
     for (PayloadPtr& payload : pending) {
       const Event event = node.process->broadcast(std::move(payload));
+      const std::vector<ProcessId> expected = upNodes();
       const std::scoped_lock lock(trackerMutex_);
       tracker_.onBroadcast(node.id, event.id, event.orderKey(), ticksNow());
-      expectedDeliveries_ += nodes_.size();
+      ledger_.onBroadcast(event.id, expected);
     }
 
     const auto out = node.process->onRound();
     if (out.ball != nullptr) {
       const auto frame = codec::encodeBall(*out.ball);
+      const Timestamp tnow = ticksNow();
       for (const ProcessId target : out.targets) {
-        (void)node.socket.sendTo(ports_[target], frame);  // drop = loss
+        if (faults_ != nullptr) {
+          const fault::FaultController::LinkFate fate =
+              faults_->linkFate(node.id, target, tnow);
+          if (fate.cut) {
+            faults_->noteLinkDrop(node.id, target, tnow, fate.cutBy);
+            continue;
+          }
+          if (fate.extraLossRate > 0.0 && rng.chance(fate.extraLossRate)) {
+            faults_->noteLinkDrop(node.id, target, tnow, fault::FaultKind::BurstLoss);
+            continue;
+          }
+          if (fate.extraDelay > 0) {
+            faults_->noteDelayed(node.id, target, tnow);
+            node.heldBack.push_back(HeldDatagram{
+                Clock::now() + std::chrono::microseconds(
+                                   static_cast<std::int64_t>(fate.extraDelay)),
+                ports_[target], frame});
+            continue;
+          }
+        }
+        sendFrame(node, target, frame);
       }
     }
     node.process->metricsSnapshot().recordTo(registry_);
@@ -172,12 +320,27 @@ bool UdpCluster::awaitQuiescence(std::chrono::milliseconds timeout) {
     {
       const std::scoped_lock lock(trackerMutex_);
       const bool allInjected =
-          tracker_.broadcastCount() >= requestedBroadcasts_.load(std::memory_order_relaxed);
-      if (allInjected && tracker_.deliveryCount() >= expectedDeliveries_) return true;
+          tracker_.broadcastCount() + discardedBroadcasts_.load(std::memory_order_relaxed) >=
+          requestedBroadcasts_.load(std::memory_order_relaxed);
+      if (allInjected && ledger_.quiescent()) {
+        quiescenceReport_.clear();
+        return true;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        quiescenceReport_ = allInjected
+                                ? ledger_.missingReport()
+                                : "broadcast requests still queued at node threads; " +
+                                      ledger_.missingReport();
+        return false;
+      }
     }
-    if (std::chrono::steady_clock::now() >= deadline) return false;
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
+}
+
+std::string UdpCluster::lastQuiescenceReport() const {
+  const std::scoped_lock lock(trackerMutex_);
+  return quiescenceReport_;
 }
 
 void UdpCluster::stop() {
@@ -192,16 +355,15 @@ void UdpCluster::stop() {
 std::string UdpCluster::prometheusSnapshot() {
   registry_.counter("epto_udp_frames_rejected_total")
       .set(framesRejected_.load(std::memory_order_relaxed));
+  registry_.counter("epto_udp_send_failures_total")
+      .set(sendFailures_.load(std::memory_order_relaxed));
+  if (faults_ != nullptr) faults_->recordTo(registry_);
   return obs::prometheusText(registry_.snapshot());
 }
 
 metrics::TrackerReport UdpCluster::report() const {
-  std::unordered_map<ProcessId, metrics::ProcessLifetime> lifetimes;
-  for (const auto& node : nodes_) {
-    lifetimes[node->id] = metrics::ProcessLifetime{0, std::nullopt};
-  }
   const std::scoped_lock lock(trackerMutex_);
-  return tracker_.finalize(lifetimes, ticksNow());
+  return tracker_.finalize(lifetimes_, ticksNow());
 }
 
 }  // namespace epto::runtime

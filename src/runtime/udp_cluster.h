@@ -23,8 +23,13 @@
 
 #include <string>
 
+#include <unordered_map>
+
 #include "core/process.h"
+#include "fault/fault_controller.h"
+#include "fault/fault_plan.h"
 #include "metrics/delivery_tracker.h"
+#include "metrics/quiescence.h"
 #include "obs/registry.h"
 #include "obs/scrape.h"
 #include "runtime/udp_transport.h"
@@ -40,6 +45,13 @@ struct UdpClusterOptions {
   double c = 2.0;
   std::optional<std::size_t> fanoutOverride;
   std::optional<std::uint32_t> ttlOverride;
+  /// Scheduled fault injection; same schedule format and semantics as
+  /// RuntimeOptions::faultPlan (timestamps in microseconds since
+  /// start()). Crashed nodes stop receiving and sending; their socket
+  /// stays bound, and the backlog is discarded when they rejoin with
+  /// fresh state. Delay spikes are enforced by holding outgoing
+  /// datagrams back at the sender. Must outlive the cluster.
+  const fault::FaultPlan* faultPlan = nullptr;
   std::uint64_t seed = 42;
   /// Background metrics scrape; same semantics as RuntimeOptions.
   std::chrono::milliseconds scrapeInterval{0};
@@ -59,8 +71,14 @@ class UdpCluster {
   /// Ask node `index` to broadcast before its next round (thread-safe).
   void broadcast(std::size_t index, PayloadPtr payload = {});
 
-  /// Block until all requested broadcasts delivered everywhere, or timeout.
+  /// Block until every broadcast has been delivered by every node that
+  /// still owes it (crashed nodes owe nothing; restarted nodes only owe
+  /// events broadcast after they rejoined), or timeout.
   bool awaitQuiescence(std::chrono::milliseconds timeout);
+
+  /// Diagnosis of the most recent awaitQuiescence() timeout ("" after a
+  /// successful wait).
+  [[nodiscard]] std::string lastQuiescenceReport() const;
 
   /// Signal and join all node threads. Idempotent.
   void stop();
@@ -72,12 +90,30 @@ class UdpCluster {
   [[nodiscard]] std::uint64_t framesRejected() const noexcept {
     return framesRejected_.load();
   }
+  /// sendTo() calls the OS refused (e.g. full socket buffer). Previously
+  /// swallowed; a real deployment alarms on this.
+  [[nodiscard]] std::uint64_t sendFailures() const noexcept {
+    return sendFailures_.load();
+  }
+  /// Null when the cluster has no fault plan.
+  [[nodiscard]] const fault::FaultController* faultController() const noexcept {
+    return faults_.get();
+  }
+  /// True while node `index` is inside a fault-injected crash window.
+  [[nodiscard]] bool nodeDown(std::size_t index) const;
 
   [[nodiscard]] obs::Registry& metricsRegistry() noexcept { return registry_; }
   /// Prometheus text exposition of every node's protocol counters.
   [[nodiscard]] std::string prometheusSnapshot();
 
  private:
+  /// A datagram held back by a delay-spike window, due at `due`.
+  struct HeldDatagram {
+    std::chrono::steady_clock::time_point due;
+    std::uint16_t port = 0;
+    std::vector<std::byte> frame;
+  };
+
   struct NodeState {
     ProcessId id = 0;
     UdpSocket socket;
@@ -85,9 +121,20 @@ class UdpCluster {
     std::thread thread;
     std::mutex broadcastMutex;
     std::vector<PayloadPtr> pendingBroadcasts;
+    /// False while inside a crash window (node thread writes, others read).
+    std::atomic<bool> up{true};
+    std::uint32_t incarnation = 0;        // node-thread only
+    std::vector<HeldDatagram> heldBack;   // node-thread only
   };
 
   void nodeLoop(NodeState& node);
+  [[nodiscard]] std::unique_ptr<Process> makeProcess(ProcessId id,
+                                                     std::uint32_t incarnation);
+  void enterCrash(NodeState& node);
+  void leaveCrash(NodeState& node);
+  void sendFrame(NodeState& node, ProcessId target, const std::vector<std::byte>& frame);
+  void flushHeldBack(NodeState& node);
+  [[nodiscard]] std::vector<ProcessId> upNodes() const;
   [[nodiscard]] Timestamp ticksNow() const;
 
   UdpClusterOptions options_;
@@ -96,6 +143,7 @@ class UdpCluster {
   std::chrono::steady_clock::time_point epoch_;
 
   util::Rng masterRng_;
+  std::unique_ptr<fault::FaultController> faults_;
   std::vector<std::unique_ptr<NodeState>> nodes_;
   std::vector<std::uint16_t> ports_;  // ProcessId -> UDP port
 
@@ -104,9 +152,13 @@ class UdpCluster {
 
   mutable std::mutex trackerMutex_;
   metrics::DeliveryTracker tracker_;
-  std::uint64_t expectedDeliveries_ = 0;
+  metrics::QuiescenceLedger ledger_;  // under trackerMutex_
+  std::unordered_map<ProcessId, metrics::ProcessLifetime> lifetimes_;  // under trackerMutex_
+  std::string quiescenceReport_;      // under trackerMutex_
   std::atomic<std::uint64_t> requestedBroadcasts_{0};
+  std::atomic<std::uint64_t> discardedBroadcasts_{0};
   std::atomic<std::uint64_t> framesRejected_{0};
+  std::atomic<std::uint64_t> sendFailures_{0};
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopRequested_{false};

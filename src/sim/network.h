@@ -3,9 +3,12 @@
 // Transmissions are point-to-point, independently delayed by a sampled
 // latency ("balls sent are delivered at processes at time
 // now() + networkLatency", paper §6) and independently dropped with a
-// configurable loss rate (§5.4 / Fig. 10). The message type is a template
-// parameter so the same network carries EpTO balls, Cyclon shuffles, or a
-// variant of both.
+// configurable loss rate (§5.4 / Fig. 10). On top of that uniform model,
+// an optional fault::FaultController injects link-level adversity — cut
+// links during partitions or crash windows, burst loss, delay spikes —
+// so one schedule format drives the sim and the real runtimes alike. The
+// message type is a template parameter so the same network carries EpTO
+// balls, Cyclon shuffles, or a variant of both.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +16,7 @@
 #include <utility>
 
 #include "core/types.h"
+#include "fault/fault_controller.h"
 #include "sim/simulator.h"
 #include "util/empirical_distribution.h"
 #include "util/rng.h"
@@ -20,9 +24,10 @@
 namespace epto::sim {
 
 struct NetworkStats {
-  std::uint64_t sent = 0;       ///< send() calls.
-  std::uint64_t dropped = 0;    ///< lost to the loss model.
-  std::uint64_t delivered = 0;  ///< receiver invocations.
+  std::uint64_t sent = 0;        ///< send() calls.
+  std::uint64_t dropped = 0;     ///< lost to loss model or injected faults.
+  std::uint64_t delivered = 0;   ///< receiver invocations.
+  std::uint64_t faultDrops = 0;  ///< of `dropped`: cut links / burst loss.
 };
 
 template <typename Message>
@@ -37,6 +42,10 @@ class SimNetwork {
     const util::EmpiricalDistribution* latency = nullptr;
     /// Probability each individual transmission is lost.
     double lossRate = 0.0;
+    /// Link-level fault injection (partitions, burst loss, delay spikes,
+    /// crashed endpoints); null = the uniform model above only. Must
+    /// outlive the network.
+    fault::FaultController* faults = nullptr;
   };
 
   SimNetwork(Simulator& simulator, Options options, util::Rng rng)
@@ -57,7 +66,28 @@ class SimNetwork {
       ++stats_.dropped;
       return;
     }
-    const Timestamp delay = options_.latency->sampleTicks(rng_);
+    Timestamp faultDelay = 0;
+    if (options_.faults != nullptr) {
+      const auto fate = options_.faults->linkFate(from, to, simulator_.now());
+      if (fate.cut) {
+        ++stats_.dropped;
+        ++stats_.faultDrops;
+        options_.faults->noteLinkDrop(from, to, simulator_.now(), fate.cutBy);
+        return;
+      }
+      if (fate.extraLossRate > 0.0 && rng_.chance(fate.extraLossRate)) {
+        ++stats_.dropped;
+        ++stats_.faultDrops;
+        options_.faults->noteLinkDrop(from, to, simulator_.now(),
+                                      fault::FaultKind::BurstLoss);
+        return;
+      }
+      if (fate.extraDelay > 0) {
+        faultDelay = fate.extraDelay;
+        options_.faults->noteDelayed(from, to, simulator_.now());
+      }
+    }
+    const Timestamp delay = options_.latency->sampleTicks(rng_) + faultDelay;
     simulator_.schedule(delay, [this, from, to, message = std::move(message)]() {
       ++stats_.delivered;
       receiver_(from, to, message);

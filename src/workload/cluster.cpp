@@ -20,9 +20,13 @@ const util::EmpiricalDistribution& latencyOf(const ExperimentConfig& config) {
 SimCluster::SimCluster(const ExperimentConfig& config)
     : config_(config),
       masterRng_(config.seed),
+      faults_(config.faultPlan != nullptr
+                  ? std::make_unique<fault::FaultController>(*config.faultPlan)
+                  : nullptr),
       network_(simulator_,
                sim::SimNetwork<NetMessage>::Options{&latencyOf(config),
-                                                    config.messageLossRate},
+                                                    config.messageLossRate,
+                                                    faults_.get()},
                masterRng_.split()),
       // The monotonic-key order check applies where the broadcast-time
       // key IS the delivery order (EpTO, Pbcast). The balls-and-bins
@@ -98,6 +102,36 @@ SimCluster::SimCluster(const ExperimentConfig& config)
     // resuming; stretch the run so their catch-up is observable.
     runEnd_ = std::max(runEnd_, pauseEnd_ + (static_cast<Timestamp>(ttl_) + 6) *
                                                 config_.roundInterval +
+                                    5 * maxLatency);
+  }
+
+  if (faults_ != nullptr && !faults_->plan().empty()) {
+    EPTO_ENSURE_MSG(faults_->plan().maxNode() <
+                        static_cast<ProcessId>(config_.systemSize),
+                    "fault plan names a node outside the initial membership");
+    for (const fault::FaultSpec& spec : faults_->plan().specs()) {
+      if (spec.kind != fault::FaultKind::Crash) continue;
+      for (const ProcessId victim : spec.nodes) {
+        simulator_.scheduleAt(spec.at, [this, victim] {
+          if (nodes_.find(victim) == nodes_.end()) return;  // already gone
+          faults_->noteCrash(victim, simulator_.now());
+          killNode(victim);
+        });
+        if (spec.until != fault::kNever) {
+          // The rejoining process is brand new: fresh id, fresh state, and
+          // it must re-converge like any late joiner.
+          simulator_.scheduleAt(spec.until, [this] {
+            faults_->noteRestart(nextId_, simulator_.now());
+            spawnNode();
+          });
+        }
+      }
+    }
+    // Whatever the plan perturbs needs its stability horizon again after
+    // the last fault clears; stretch the run so re-convergence is judged.
+    runEnd_ = std::max(runEnd_, faults_->plan().horizon() +
+                                    (static_cast<Timestamp>(ttl_) + 6) *
+                                        config_.roundInterval +
                                     5 * maxLatency);
   }
 
@@ -279,6 +313,16 @@ void SimCluster::runRound(Node& node) {
     const Timestamp now = simulator_.now();
     if (now >= pauseStart_ && now < pauseEnd_) return;
   }
+  // Fault-plan stalls behave identically: the scheduler fires, nothing
+  // runs, the backlog is consumed on resume.
+  if (faults_ != nullptr && faults_->isStalled(node.id, simulator_.now())) {
+    if (!node.stallNoted) {
+      node.stallNoted = true;
+      faults_->noteStall(node.id, simulator_.now());
+    }
+    return;
+  }
+  node.stallNoted = false;
   ++roundsExecuted_;
   maybeBroadcast(node);
 
@@ -429,6 +473,7 @@ void SimCluster::run() {
       .set(static_cast<std::int64_t>(dissemination.maxBallSize));
   registry_.gauge("epto_sim_received_set_size_total")
       .set(static_cast<std::int64_t>(receivedTotal));
+  if (faults_ != nullptr) faults_->recordTo(registry_);
 }
 
 std::vector<Event> SimCluster::pendingEventsOf(ProcessId id) const {
@@ -449,6 +494,7 @@ ExperimentResult SimCluster::result() const {
   result.finalSystemSize = membership_.size();
   result.roundSamples = roundSamples_;
   result.metrics = registry_.snapshot();
+  if (faults_ != nullptr) result.faultStats = faults_->stats();
   for (const auto& [id, node] : nodes_) {
     if (node.epto != nullptr) {
       result.eventsRelayed += node.epto->disseminationStats().eventsRelayed;

@@ -66,6 +66,10 @@ class SimCluster {
     return roundSamples_;
   }
   [[nodiscard]] const obs::Registry& metricsRegistry() const noexcept { return registry_; }
+  /// Null when the experiment has no fault plan.
+  [[nodiscard]] const fault::FaultController* faultController() const noexcept {
+    return faults_.get();
+  }
   [[nodiscard]] std::size_t liveNodeCount() const noexcept { return nodes_.size(); }
   [[nodiscard]] Timestamp broadcastWindowEnd() const noexcept { return broadcastEnd_; }
   /// Per-node pending (received-but-undelivered) events — §8.4 surface.
@@ -75,6 +79,7 @@ class SimCluster {
   struct Node {
     ProcessId id = 0;
     double speedFactor = 1.0;
+    bool stallNoted = false;  ///< current fault-plan stall window entered.
     util::Rng rng;
     std::shared_ptr<PeerSampler> sampler;
     std::shared_ptr<pss::Cyclon> cyclon;      // aliases sampler for PssKind::Cyclon
@@ -107,6 +112,8 @@ class SimCluster {
   util::Rng masterRng_;
   sim::Simulator simulator_;
   sim::MembershipDirectory membership_;
+  /// Constructed before network_ (which captures a pointer to it).
+  std::unique_ptr<fault::FaultController> faults_;
   sim::SimNetwork<NetMessage> network_;
   metrics::DeliveryTracker tracker_;
   std::unique_ptr<sim::ChurnDriver> churn_;

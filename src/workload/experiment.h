@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "core/config.h"
+#include "fault/fault_controller.h"
+#include "fault/fault_plan.h"
 #include "metrics/delivery_tracker.h"
 #include "obs/registry.h"
 #include "pss/cyclon.h"
@@ -85,6 +87,14 @@ struct ExperimentConfig {
   };
   PausePlan pause;
 
+  /// Scheduled fault injection (fault/fault_plan.h): node crash/restart,
+  /// stalls, partitions with heal, burst loss, delay spikes. Times are in
+  /// simulator ticks. Null = fault-free. Must outlive the experiment.
+  /// Crash victims are killed like churned processes; a scheduled restart
+  /// spawns a fresh replacement process (new id, fresh state) that must
+  /// re-converge — the sim's model of a rejoining node.
+  const fault::FaultPlan* faultPlan = nullptr;
+
   PssKind pss = PssKind::UniformOracle;
   pss::Cyclon::Options cyclonOptions{.viewSize = 20, .shuffleLength = 8};
   pss::GenericPss::Options genericPssOptions{};
@@ -139,6 +149,8 @@ struct ExperimentResult {
   /// Final registry snapshot: run-wide ball-size/fanout/buffer histograms
   /// plus aggregate protocol counters (EpTO runs only).
   obs::Snapshot metrics;
+  /// What the injected faultscape actually did (zeroes when no plan).
+  fault::FaultStats faultStats;
 };
 
 /// Run one experiment to completion. Deterministic in config.seed.

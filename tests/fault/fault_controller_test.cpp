@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "fault/fault_controller.h"
+#include "fault/fault_plan.h"
+#include "obs/registry.h"
+
+namespace epto::fault {
+namespace {
+
+TEST(FaultControllerTest, CrashAndStallWindows) {
+  FaultPlan plan;
+  plan.crash(100, 3, /*restartAt=*/200).stall(150, 250, 5);
+  FaultController controller{std::move(plan)};
+
+  EXPECT_FALSE(controller.isCrashed(3, 99));
+  EXPECT_TRUE(controller.isCrashed(3, 100));
+  EXPECT_TRUE(controller.isCrashed(3, 199));
+  EXPECT_FALSE(controller.isCrashed(3, 200));  // restart boundary exclusive
+  EXPECT_FALSE(controller.isCrashed(5, 150));  // stalls are not crashes
+
+  EXPECT_FALSE(controller.isStalled(5, 149));
+  EXPECT_TRUE(controller.isStalled(5, 150));
+  EXPECT_FALSE(controller.isStalled(5, 250));
+  EXPECT_FALSE(controller.isStalled(3, 150));  // crashed node, not stalled
+}
+
+TEST(FaultControllerTest, CrashedEndpointCutsEveryLink) {
+  FaultPlan plan;
+  plan.crash(100, 2, 300);
+  FaultController controller{std::move(plan)};
+
+  const auto out = controller.linkFate(2, 7, 150);
+  EXPECT_TRUE(out.cut);
+  EXPECT_EQ(out.cutBy, FaultKind::Crash);
+  const auto in = controller.linkFate(7, 2, 150);
+  EXPECT_TRUE(in.cut);
+  EXPECT_EQ(in.cutBy, FaultKind::Crash);
+
+  EXPECT_FALSE(controller.linkFate(2, 7, 99).cut);   // before the crash
+  EXPECT_FALSE(controller.linkFate(2, 7, 300).cut);  // after the restart
+  EXPECT_FALSE(controller.linkFate(5, 7, 150).cut);  // unrelated link
+}
+
+TEST(FaultControllerTest, PartitionCutsCrossIslandLinksOnly) {
+  FaultPlan plan;
+  plan.partition(100, 200, {0, 1});
+  FaultController controller{std::move(plan)};
+
+  const auto cross = controller.linkFate(0, 5, 150);
+  EXPECT_TRUE(cross.cut);
+  EXPECT_EQ(cross.cutBy, FaultKind::Partition);
+  EXPECT_FALSE(controller.linkFate(0, 1, 150).cut);  // inside the island
+  EXPECT_FALSE(controller.linkFate(4, 5, 150).cut);  // inside the rest
+  EXPECT_FALSE(controller.linkFate(0, 5, 200).cut);  // healed
+}
+
+TEST(FaultControllerTest, OverlappingBurstsCompoundAndSpikesAdd) {
+  FaultPlan plan;
+  plan.burstLoss(100, 200, 0.5)
+      .burstLoss(100, 200, 0.5, {3})
+      .delaySpike(100, 200, 40)
+      .delaySpike(100, 200, 60, {3});
+  FaultController controller{std::move(plan)};
+
+  // Link 3->9 is inside both bursts and both spikes.
+  const auto both = controller.linkFate(3, 9, 150);
+  EXPECT_FALSE(both.cut);
+  EXPECT_DOUBLE_EQ(both.extraLossRate, 0.75);  // 1 - 0.5 * 0.5
+  EXPECT_EQ(both.extraDelay, 100u);
+
+  // Link 8->9 only sees the all-links specs.
+  const auto one = controller.linkFate(8, 9, 150);
+  EXPECT_DOUBLE_EQ(one.extraLossRate, 0.5);
+  EXPECT_EQ(one.extraDelay, 40u);
+
+  // Outside the window there is no effect at all.
+  const auto idle = controller.linkFate(3, 9, 250);
+  EXPECT_DOUBLE_EQ(idle.extraLossRate, 0.0);
+  EXPECT_EQ(idle.extraDelay, 0u);
+}
+
+TEST(FaultControllerTest, NoteHooksFeedStats) {
+  FaultController controller{FaultPlan{}};
+  controller.noteCrash(1, 10);
+  controller.noteRestart(1, 20);
+  controller.noteStall(2, 30);
+  controller.noteStall(3, 30);
+  controller.noteLinkDrop(1, 2, 40, FaultKind::Crash);
+  controller.noteLinkDrop(1, 2, 41, FaultKind::Partition);
+  controller.noteLinkDrop(1, 2, 42, FaultKind::Partition);
+  controller.noteLinkDrop(1, 2, 43, FaultKind::BurstLoss);
+  controller.noteDelayed(1, 2, 44);
+
+  const FaultStats stats = controller.stats();
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_EQ(stats.restarts, 1u);
+  EXPECT_EQ(stats.stalls, 2u);
+  EXPECT_EQ(stats.crashDrops, 1u);
+  EXPECT_EQ(stats.partitionDrops, 2u);
+  EXPECT_EQ(stats.burstDrops, 1u);
+  EXPECT_EQ(stats.delayedMessages, 1u);
+}
+
+TEST(FaultControllerTest, RecordToPublishesCounters) {
+  FaultController controller{FaultPlan{}};
+  controller.noteCrash(1, 10);
+  controller.noteRestart(1, 20);
+  controller.noteLinkDrop(0, 1, 30, FaultKind::BurstLoss);
+  controller.noteDelayed(0, 1, 40);
+
+  obs::Registry registry;
+  controller.recordTo(registry);
+  EXPECT_EQ(registry.counter("epto_fault_crashes_total").value(), 1u);
+  EXPECT_EQ(registry.counter("epto_fault_restarts_total").value(), 1u);
+  EXPECT_EQ(registry.counter("epto_fault_stalls_total").value(), 0u);
+  EXPECT_EQ(registry.counter("epto_fault_crash_drops_total").value(), 0u);
+  EXPECT_EQ(registry.counter("epto_fault_partition_drops_total").value(), 0u);
+  EXPECT_EQ(registry.counter("epto_fault_burst_drops_total").value(), 1u);
+  EXPECT_EQ(registry.counter("epto_fault_delayed_messages_total").value(), 1u);
+}
+
+TEST(FaultControllerTest, EmptyPlanIsInert) {
+  FaultController controller{FaultPlan{}};
+  EXPECT_FALSE(controller.isCrashed(0, 0));
+  EXPECT_FALSE(controller.isStalled(0, 1'000'000));
+  const auto fate = controller.linkFate(0, 1, 500);
+  EXPECT_FALSE(fate.cut);
+  EXPECT_DOUBLE_EQ(fate.extraLossRate, 0.0);
+  EXPECT_EQ(fate.extraDelay, 0u);
+}
+
+}  // namespace
+}  // namespace epto::fault

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.h"
+#include "util/ensure.h"
+
+namespace epto::fault {
+namespace {
+
+TEST(FaultPlanTest, BuilderRecordsSpecsInOrder) {
+  FaultPlan plan;
+  plan.crash(100, 3, /*restartAt=*/400)
+      .stall(200, 300, 5)
+      .partition(250, 350, {0, 1})
+      .burstLoss(300, 500, 0.25, {2})
+      .delaySpike(300, 500, 40);
+  ASSERT_EQ(plan.specs().size(), 5u);
+  EXPECT_EQ(plan.specs()[0].kind, FaultKind::Crash);
+  EXPECT_EQ(plan.specs()[1].kind, FaultKind::Stall);
+  EXPECT_EQ(plan.specs()[2].kind, FaultKind::Partition);
+  EXPECT_EQ(plan.specs()[3].kind, FaultKind::BurstLoss);
+  EXPECT_EQ(plan.specs()[4].kind, FaultKind::DelaySpike);
+  EXPECT_EQ(plan.horizon(), 500u);
+  EXPECT_EQ(plan.maxNode(), 5u);
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlanTest, ActiveWindowIsHalfOpen) {
+  FaultPlan plan;
+  plan.stall(100, 200, 1);
+  const FaultSpec& spec = plan.specs()[0];
+  EXPECT_FALSE(spec.activeAt(99));
+  EXPECT_TRUE(spec.activeAt(100));   // inclusive start
+  EXPECT_TRUE(spec.activeAt(199));
+  EXPECT_FALSE(spec.activeAt(200));  // exclusive end
+}
+
+TEST(FaultPlanTest, CrashWithoutRestartIsForever) {
+  FaultPlan plan;
+  plan.crash(50, 0);
+  const FaultSpec& spec = plan.specs()[0];
+  EXPECT_EQ(spec.until, kNever);
+  EXPECT_FALSE(spec.activeAt(49));
+  EXPECT_TRUE(spec.activeAt(50));
+  EXPECT_TRUE(spec.activeAt(1'000'000));
+}
+
+TEST(FaultPlanTest, PartitionCutsOnlyCrossIslandLinks) {
+  FaultPlan plan;
+  plan.partition(0, 100, {0, 1, 2});
+  const FaultSpec& spec = plan.specs()[0];
+  EXPECT_TRUE(spec.matchesLink(0, 5));   // island -> rest
+  EXPECT_TRUE(spec.matchesLink(5, 2));   // rest -> island
+  EXPECT_FALSE(spec.matchesLink(0, 1));  // within the island
+  EXPECT_FALSE(spec.matchesLink(5, 6));  // within the rest
+}
+
+TEST(FaultPlanTest, LinkFaultsMatchTouchingLinksOrEverything) {
+  FaultPlan plan;
+  plan.burstLoss(0, 100, 0.5, {3}).delaySpike(0, 100, 10);
+  const FaultSpec& burst = plan.specs()[0];
+  EXPECT_TRUE(burst.matchesLink(3, 7));
+  EXPECT_TRUE(burst.matchesLink(7, 3));
+  EXPECT_FALSE(burst.matchesLink(6, 7));
+  const FaultSpec& spike = plan.specs()[1];  // empty nodes = all links
+  EXPECT_TRUE(spike.matchesLink(0, 1));
+  EXPECT_TRUE(spike.matchesLink(8, 9));
+}
+
+TEST(FaultPlanTest, NodeFaultsNeverMatchLinks) {
+  FaultPlan plan;
+  plan.crash(0, 1, 10).stall(0, 10, 2);
+  EXPECT_FALSE(plan.specs()[0].matchesLink(1, 2));
+  EXPECT_FALSE(plan.specs()[1].matchesLink(2, 1));
+}
+
+TEST(FaultPlanTest, RejectsInvalidWindowsAndRates) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.stall(200, 100, 0), util::ContractViolation);   // ends before start
+  EXPECT_THROW(plan.stall(100, 100, 0), util::ContractViolation);   // empty window
+  EXPECT_THROW(plan.crash(100, 0, 50), util::ContractViolation);    // restart before crash
+  EXPECT_THROW(plan.partition(0, 100, {}), util::ContractViolation);
+  EXPECT_THROW(plan.burstLoss(0, 100, 1.0), util::ContractViolation);
+  EXPECT_THROW(plan.burstLoss(0, 100, -0.1), util::ContractViolation);
+  EXPECT_THROW(plan.delaySpike(0, 100, 0), util::ContractViolation);
+  EXPECT_TRUE(plan.empty());  // nothing slipped through
+}
+
+TEST(FaultPlanTest, SignatureIsCanonicalAndSeedDeterministic) {
+  FaultPlan::RandomMixOptions options;
+  options.nodeCount = 16;
+  options.start = 100;
+  options.horizon = 5000;
+  options.minDuration = 50;
+  options.maxDuration = 400;
+  options.crashes = 2;
+  options.stalls = 2;
+  options.partitions = 1;
+  options.bursts = 1;
+  options.delaySpikes = 1;
+
+  const FaultPlan a = FaultPlan::randomMix(7, options);
+  const FaultPlan b = FaultPlan::randomMix(7, options);
+  const FaultPlan c = FaultPlan::randomMix(8, options);
+  EXPECT_FALSE(a.signature().empty());
+  EXPECT_EQ(a.signature(), b.signature());   // same seed -> identical schedule
+  EXPECT_NE(a.signature(), c.signature());   // different seed -> different
+  EXPECT_EQ(a.specs().size(), 7u);
+  for (const FaultSpec& spec : a.specs()) {
+    EXPECT_GE(spec.at, options.start);
+    EXPECT_LE(spec.until, options.horizon + options.maxDuration);
+  }
+  EXPECT_LT(a.maxNode(), 16u);
+}
+
+TEST(FaultPlanTest, RandomMixValidatesEnvelope) {
+  FaultPlan::RandomMixOptions options;
+  options.nodeCount = 1;
+  EXPECT_THROW(FaultPlan::randomMix(1, options), util::ContractViolation);
+  options.nodeCount = 4;
+  options.horizon = 0;
+  EXPECT_THROW(FaultPlan::randomMix(1, options), util::ContractViolation);
+  options.horizon = 100;
+  options.minDuration = 10;
+  options.maxDuration = 5;
+  EXPECT_THROW(FaultPlan::randomMix(1, options), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace epto::fault

@@ -202,5 +202,71 @@ TEST(DeliveryTracker, DelayClampsToZeroForClockSkew) {
   EXPECT_EQ(report.delays.percentile(1.0), 0u);
 }
 
+TEST(DeliveryTracker, RedeliveryAfterRestartIsNotADuplicate) {
+  // A node that crashes and rejoins with fresh state legitimately
+  // re-delivers events it already saw in its previous life. Integrity
+  // (Property 1) is per incarnation, not per process id.
+  DeliveryTracker tracker;
+  tracker.onBroadcast(1, kE1, keyOf(kE1, 10), 0);
+  tracker.onDeliver(2, kE1, 100);
+  tracker.onProcessCrash(2, 150);
+  tracker.onProcessRestart(2, 300);
+  tracker.onDeliver(2, kE1, 400);  // same event, new incarnation
+  const auto report = tracker.finalize(allAlive({2}), 1000);
+  EXPECT_EQ(report.integrityViolations, 0u);
+  EXPECT_EQ(report.restarts, 1u);
+  EXPECT_TRUE(report.allPropertiesHold());
+}
+
+TEST(DeliveryTracker, SameIncarnationDuplicateStillTrips) {
+  DeliveryTracker tracker(/*checkTotalOrder=*/false);
+  tracker.onBroadcast(1, kE1, keyOf(kE1, 10), 0);
+  tracker.onProcessCrash(2, 10);
+  tracker.onProcessRestart(2, 20);
+  tracker.onDeliver(2, kE1, 100);
+  tracker.onDeliver(2, kE1, 150);  // twice within the *same* incarnation
+  const auto report = tracker.finalize(allAlive({2}), 1000);
+  EXPECT_EQ(report.integrityViolations, 1u);
+}
+
+TEST(DeliveryTracker, RestartResetsTheOrderFrontier) {
+  // The reborn node starts its delivery sequence from scratch, so
+  // re-delivering an earlier-keyed event is not an order violation.
+  DeliveryTracker tracker;
+  tracker.onBroadcast(1, kE1, keyOf(kE1, 10), 0);
+  tracker.onBroadcast(2, kE2, keyOf(kE2, 20), 0);
+  tracker.onDeliver(3, kE1, 100);
+  tracker.onDeliver(3, kE2, 120);
+  tracker.onProcessCrash(3, 150);
+  tracker.onProcessRestart(3, 300);
+  tracker.onDeliver(3, kE1, 400);  // before kE2's key again — fresh frontier
+  tracker.onDeliver(3, kE2, 420);
+  const auto report = tracker.finalize(allAlive({3}), 1000);
+  EXPECT_EQ(report.orderViolations, 0u);
+}
+
+TEST(DeliveryTracker, CrashAloneDoesNotBumpRestartCount) {
+  DeliveryTracker tracker;
+  tracker.onProcessCrash(3, 100);
+  const auto report = tracker.finalize(allAlive({1, 2}), 1000);
+  EXPECT_EQ(report.restarts, 0u);
+}
+
+TEST(DeliveryTracker, RestartedBroadcasterIsExemptFromValidity) {
+  // The broadcaster crashed after sending and rejoined with empty state:
+  // its final lifetime starts after the broadcast, so — like a departed
+  // source — it is not required to deliver its own pre-crash event.
+  DeliveryTracker tracker;
+  tracker.onBroadcast(1, kE1, keyOf(kE1, 10), 0);
+  tracker.onProcessCrash(1, 50);
+  tracker.onProcessRestart(1, 500);
+  tracker.onDeliver(2, kE1, 100);
+  auto lifetimes = allAlive({2});
+  lifetimes[1] = ProcessLifetime{500, std::nullopt};  // current incarnation only
+  const auto report = tracker.finalize(lifetimes, 1000);
+  EXPECT_EQ(report.validityViolations, 0u);
+  EXPECT_EQ(report.holes, 0u);  // late-joiner exemption covers it too
+}
+
 }  // namespace
 }  // namespace epto::metrics

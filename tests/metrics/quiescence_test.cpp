@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "metrics/quiescence.h"
+
+namespace epto::metrics {
+namespace {
+
+TEST(QuiescenceLedgerTest, StartsQuiescentAndDrainsPerDelivery) {
+  QuiescenceLedger ledger;
+  EXPECT_TRUE(ledger.quiescent());
+  EXPECT_EQ(ledger.pendingEvents(), 0u);
+
+  const EventId id{/*source=*/1, /*sequence=*/7};
+  ledger.onBroadcast(id, {0, 1, 2});
+  EXPECT_FALSE(ledger.quiescent());
+  EXPECT_EQ(ledger.pendingEvents(), 1u);
+
+  ledger.onDeliver(0, id);
+  ledger.onDeliver(2, id);
+  EXPECT_FALSE(ledger.quiescent());
+  ledger.onDeliver(1, id);
+  EXPECT_TRUE(ledger.quiescent());
+}
+
+TEST(QuiescenceLedgerTest, IgnoresUnknownDeliveriesAndEmptyExpectations) {
+  QuiescenceLedger ledger;
+  ledger.onDeliver(0, EventId{9, 9});  // never broadcast — no-op
+  EXPECT_TRUE(ledger.quiescent());
+  ledger.onBroadcast(EventId{1, 1}, {});  // nobody owed — no debt
+  EXPECT_TRUE(ledger.quiescent());
+}
+
+TEST(QuiescenceLedgerTest, CrashErasesDebtsEverywhere) {
+  QuiescenceLedger ledger;
+  ledger.onBroadcast(EventId{1, 1}, {0, 3});
+  ledger.onBroadcast(EventId{2, 1}, {3});
+  EXPECT_EQ(ledger.pendingEvents(), 2u);
+
+  ledger.onCrash(3);
+  // Event 2:1 was only owed to the crashed node — fully discharged;
+  // event 1:1 still waits on node 0.
+  EXPECT_EQ(ledger.pendingEvents(), 1u);
+  ledger.onDeliver(0, EventId{1, 1});
+  EXPECT_TRUE(ledger.quiescent());
+}
+
+TEST(QuiescenceLedgerTest, RestartDoesNotReinstateOldDebts) {
+  QuiescenceLedger ledger;
+  ledger.onBroadcast(EventId{1, 1}, {0, 3});
+  ledger.onCrash(3);
+  // A rejoined node 3 only appears in expectation sets of *later*
+  // broadcasts; the old debt stays discharged.
+  ledger.onBroadcast(EventId{1, 2}, {0, 3});
+  ledger.onDeliver(0, EventId{1, 1});
+  ledger.onDeliver(0, EventId{1, 2});
+  EXPECT_FALSE(ledger.quiescent());
+  ledger.onDeliver(3, EventId{1, 2});
+  EXPECT_TRUE(ledger.quiescent());
+}
+
+TEST(QuiescenceLedgerTest, MissingReportNamesEventAndHoldouts) {
+  QuiescenceLedger ledger;
+  ledger.onBroadcast(EventId{4, 11}, {2, 5});
+  ledger.onDeliver(2, EventId{4, 11});
+
+  const std::string report = ledger.missingReport();
+  EXPECT_NE(report.find("1 event(s) not yet delivered everywhere"), std::string::npos);
+  EXPECT_NE(report.find("event 4:11 missing at {5}"), std::string::npos);
+}
+
+TEST(QuiescenceLedgerTest, MissingReportCapsListedEvents) {
+  QuiescenceLedger ledger;
+  for (std::uint32_t seq = 0; seq < 5; ++seq) {
+    ledger.onBroadcast(EventId{1, seq}, {0});
+  }
+  const std::string report = ledger.missingReport(/*maxEvents=*/2);
+  EXPECT_NE(report.find("5 event(s)"), std::string::npos);
+  EXPECT_NE(report.find("; ..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace epto::metrics

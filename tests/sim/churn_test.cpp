@@ -61,6 +61,25 @@ TEST_F(ChurnTest, StopAfterEndsTheChurn) {
   EXPECT_EQ(driver_->stats().pulses, 3u);  // pulses at 100, 200, 300
 }
 
+TEST_F(ChurnTest, StopAfterExactlyOnAPulseBoundarySuppressesThatPulse) {
+  // The cutoff check is `now >= stopAfter`, so a pulse scheduled exactly
+  // at the boundary is the first one *not* to fire.
+  build(0.1, 100, /*stopAfter=*/300);
+  driver_->start();
+  sim_.runUntil(2000);
+  EXPECT_EQ(driver_->stats().pulses, 2u);  // pulses at 100 and 200 only
+  EXPECT_EQ(driver_->stats().removed, 20u);
+}
+
+TEST_F(ChurnTest, StopAfterEqualToPeriodMeansNoPulsesAtAll) {
+  build(0.1, 100, /*stopAfter=*/100);
+  driver_->start();
+  sim_.runUntil(2000);
+  EXPECT_EQ(driver_->stats().pulses, 0u);
+  EXPECT_TRUE(killed_.empty());
+  EXPECT_EQ(membership_.size(), 100u);
+}
+
 TEST_F(ChurnTest, ZeroRateNeverPulses) {
   build(0.0, 100);
   driver_->start();
