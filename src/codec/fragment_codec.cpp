@@ -1,0 +1,130 @@
+#include "codec/fragment_codec.h"
+
+#include <limits>
+
+#include "codec/checksum.h"
+#include "codec/varint.h"
+#include "util/ensure.h"
+
+namespace epto::codec {
+
+bool isFragmentFrame(std::span<const std::byte> frame) noexcept {
+  if (frame.size() < 2) return false;
+  const auto magic = static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(frame[1]) << 8 | static_cast<std::uint16_t>(frame[0]));
+  return magic == kFragmentMagic;
+}
+
+namespace {
+
+FragmentDecodeResult fail(DecodeError error) {
+  FragmentDecodeResult result;
+  result.error = error;
+  return result;
+}
+
+void appendCrc(std::vector<std::byte>& out) {
+  const std::uint32_t crc = crc32c(out);
+  out.push_back(static_cast<std::byte>(crc & 0xFF));
+  out.push_back(static_cast<std::byte>((crc >> 8) & 0xFF));
+  out.push_back(static_cast<std::byte>((crc >> 16) & 0xFF));
+  out.push_back(static_cast<std::byte>((crc >> 24) & 0xFF));
+}
+
+}  // namespace
+
+FragmentDecodeResult decodeFragment(std::span<const std::byte> frame) {
+  if (frame.size() < 4) return fail(DecodeError::Truncated);
+  const std::span<const std::byte> body = frame.first(frame.size() - 4);
+  const std::span<const std::byte> trailer = frame.last(4);
+  std::uint32_t storedCrc = 0;
+  for (int i = 3; i >= 0; --i) {
+    storedCrc =
+        (storedCrc << 8) | static_cast<std::uint32_t>(trailer[static_cast<std::size_t>(i)]);
+  }
+  if (crc32c(body) != storedCrc) return fail(DecodeError::ChecksumMismatch);
+
+  ByteReader reader(body);
+  const auto magicLo = reader.readByte();
+  const auto magicHi = reader.readByte();
+  if (!magicLo.has_value() || !magicHi.has_value()) return fail(DecodeError::Truncated);
+  if ((static_cast<std::uint16_t>(*magicHi) << 8 | *magicLo) != kFragmentMagic) {
+    return fail(DecodeError::BadMagic);
+  }
+  const auto version = reader.readByte();
+  if (!version.has_value()) return fail(DecodeError::Truncated);
+  if (*version != kFragmentVersion) return fail(DecodeError::BadVersion);
+
+  const auto ballId = reader.readVarint();
+  const auto index = reader.readVarint();
+  const auto count = reader.readVarint();
+  const auto totalLength = reader.readVarint();
+  const auto offset = reader.readVarint();
+  const auto chunkLength = reader.readVarint();
+  if (!ballId.has_value() || !index.has_value() || !count.has_value() ||
+      !totalLength.has_value() || !offset.has_value() || !chunkLength.has_value()) {
+    return fail(DecodeError::BadVarint);
+  }
+  // Header consistency: the fragment must describe a chunk that actually
+  // fits inside the frame it claims to be part of.
+  if (*count == 0 || *count > std::numeric_limits<std::uint32_t>::max() ||
+      *index >= *count) {
+    return fail(DecodeError::LengthOverflow);
+  }
+  if (*totalLength == 0 || *offset > *totalLength ||
+      *chunkLength > *totalLength - *offset) {
+    return fail(DecodeError::LengthOverflow);
+  }
+  if (*chunkLength != reader.remaining()) return fail(DecodeError::LengthOverflow);
+
+  FragmentDecodeResult result;
+  result.fragment.ballId = *ballId;
+  result.fragment.index = static_cast<std::uint32_t>(*index);
+  result.fragment.count = static_cast<std::uint32_t>(*count);
+  result.fragment.totalLength = *totalLength;
+  result.fragment.offset = *offset;
+  const auto payload = reader.readBytes(static_cast<std::size_t>(*chunkLength));
+  if (!payload.has_value()) return fail(DecodeError::Truncated);
+  result.fragment.payload = *payload;
+  if (!reader.exhausted()) return fail(DecodeError::TrailingGarbage);
+  return result;
+}
+
+std::vector<std::vector<std::byte>> fragmentFrame(std::span<const std::byte> frame,
+                                                  std::size_t mtu,
+                                                  std::uint64_t ballId) {
+  EPTO_ENSURE_MSG(mtu >= kMinFragmentMtu, "mtu below kMinFragmentMtu");
+  EPTO_ENSURE_MSG(!frame.empty(), "cannot fragment an empty frame");
+
+  std::vector<std::vector<std::byte>> out;
+  if (frame.size() <= mtu) {
+    out.emplace_back(frame.begin(), frame.end());
+    return out;
+  }
+
+  const std::size_t chunk = mtu - kFragmentOverhead;
+  const std::size_t count = (frame.size() + chunk - 1) / chunk;
+  out.reserve(count);
+  for (std::size_t index = 0; index < count; ++index) {
+    const std::size_t offset = index * chunk;
+    const std::size_t length = std::min(chunk, frame.size() - offset);
+    std::vector<std::byte> datagram;
+    datagram.reserve(length + kFragmentOverhead);
+    datagram.push_back(static_cast<std::byte>(kFragmentMagic & 0xFF));
+    datagram.push_back(static_cast<std::byte>(kFragmentMagic >> 8));
+    datagram.push_back(static_cast<std::byte>(kFragmentVersion));
+    putVarint(datagram, ballId);
+    putVarint(datagram, index);
+    putVarint(datagram, count);
+    putVarint(datagram, frame.size());
+    putVarint(datagram, offset);
+    putVarint(datagram, length);
+    datagram.insert(datagram.end(), frame.begin() + static_cast<std::ptrdiff_t>(offset),
+                    frame.begin() + static_cast<std::ptrdiff_t>(offset + length));
+    appendCrc(datagram);
+    out.push_back(std::move(datagram));
+  }
+  return out;
+}
+
+}  // namespace epto::codec

@@ -1,0 +1,89 @@
+// Fragmentation layer of the EpTO wire format.
+//
+// UDP bounds a datagram at 64 KiB, and practical MTUs are far smaller;
+// EpTO balls grow with the event rate, so a transport that maps one ball
+// to one datagram stops delivering exactly when traffic grows. This
+// codec splits one encoded ball frame (codec/ball_codec.h) into
+// self-contained fragment datagrams that a receiver reassembles
+// (runtime/reassembly.h) before handing the original frame to the ball
+// decoder.
+//
+// Fragment frame layout (multi-byte integers are varints unless noted):
+//
+//   magic      u16-LE     0xE971 (ball frames start 0xE970 — the first
+//                         two bytes route a datagram to the right decoder)
+//   version    u8         1
+//   ballId     varint     sender-unique id of the fragmented frame;
+//                         reassembly groups fragments by it
+//   index      varint     fragment position, in [0, count)
+//   count      varint     total fragments of this frame (>= 1)
+//   totalLen   varint     byte length of the reassembled frame
+//   offset     varint     byte offset of this chunk within the frame
+//   chunkLen   varint     payload bytes carried by this fragment
+//   payload    chunkLen raw bytes
+//   crc32c     u32-LE     over everything above
+//
+// Fragments are validated as defensively as ball frames: every length
+// and offset is checked against the frame before any allocation, and the
+// CRC trailer rejects in-flight corruption per fragment, so a mangled
+// fragment behaves exactly like a lost one. The reassembled frame still
+// carries the ball codec's own CRC — corruption that somehow survives
+// fragment validation is caught again at ball decode.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "codec/ball_codec.h"
+
+namespace epto::codec {
+
+inline constexpr std::uint16_t kFragmentMagic = 0xE971;
+inline constexpr std::uint8_t kFragmentVersion = 1;
+
+/// Worst-case header + trailer bytes of one fragment frame (magic 2 +
+/// version 1 + five 10-byte varints + one 5-byte varint + crc 4, rounded
+/// up). fragmentFrame() sizes chunks so header + chunk <= mtu.
+inline constexpr std::size_t kFragmentOverhead = 64;
+
+/// Smallest MTU fragmentFrame() accepts: enough for the worst-case
+/// header plus a useful chunk.
+inline constexpr std::size_t kMinFragmentMtu = 128;
+
+/// True when `frame` starts with the fragment magic — the cheap routing
+/// check a receiver applies before choosing a decoder.
+[[nodiscard]] bool isFragmentFrame(std::span<const std::byte> frame) noexcept;
+
+/// One decoded fragment. `payload` points into the input frame — copy it
+/// before the datagram buffer is reused.
+struct FragmentFrame {
+  std::uint64_t ballId = 0;
+  std::uint32_t index = 0;
+  std::uint32_t count = 1;
+  std::uint64_t totalLength = 0;
+  std::uint64_t offset = 0;
+  std::span<const std::byte> payload;
+};
+
+struct FragmentDecodeResult {
+  FragmentFrame fragment;
+  DecodeError error = DecodeError::None;
+
+  [[nodiscard]] bool ok() const noexcept { return error == DecodeError::None; }
+};
+
+/// Parse one fragment datagram. Rejects malformed headers, inconsistent
+/// index/count/offset/length combinations and checksum mismatches.
+[[nodiscard]] FragmentDecodeResult decodeFragment(std::span<const std::byte> frame);
+
+/// Split an encoded ball frame into datagrams no larger than `mtu`.
+/// Frames that already fit in `mtu` are returned unchanged as a single
+/// datagram (no fragment header — receivers route on the magic), so the
+/// common small-ball case costs nothing. `mtu` must be at least
+/// kMinFragmentMtu; `ballId` must be unique per sender per frame.
+[[nodiscard]] std::vector<std::vector<std::byte>> fragmentFrame(
+    std::span<const std::byte> frame, std::size_t mtu, std::uint64_t ballId);
+
+}  // namespace epto::codec

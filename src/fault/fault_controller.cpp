@@ -95,6 +95,12 @@ void FaultController::noteLinkDrop(ProcessId from, ProcessId to, Timestamp now,
   traceFault(cause, from, to, now);
 }
 
+void FaultController::noteFragmentDrop(ProcessId from, ProcessId to,
+                                       Timestamp now) noexcept {
+  fragmentDrops_.fetch_add(1, std::memory_order_relaxed);
+  traceFault(FaultKind::BurstLoss, from, to, now);
+}
+
 void FaultController::noteDelayed(ProcessId from, ProcessId to, Timestamp now) noexcept {
   delayedMessages_.fetch_add(1, std::memory_order_relaxed);
   traceFault(FaultKind::DelaySpike, from, to, now);
@@ -108,6 +114,7 @@ FaultStats FaultController::stats() const noexcept {
   stats.crashDrops = crashDrops_.load(std::memory_order_relaxed);
   stats.partitionDrops = partitionDrops_.load(std::memory_order_relaxed);
   stats.burstDrops = burstDrops_.load(std::memory_order_relaxed);
+  stats.fragmentDrops = fragmentDrops_.load(std::memory_order_relaxed);
   stats.delayedMessages = delayedMessages_.load(std::memory_order_relaxed);
   return stats;
 }
@@ -120,6 +127,7 @@ void FaultController::recordTo(obs::Registry& registry) const {
   registry.counter("epto_fault_crash_drops_total").set(s.crashDrops);
   registry.counter("epto_fault_partition_drops_total").set(s.partitionDrops);
   registry.counter("epto_fault_burst_drops_total").set(s.burstDrops);
+  registry.counter("epto_fault_fragment_drops_total").set(s.fragmentDrops);
   registry.counter("epto_fault_delayed_messages_total").set(s.delayedMessages);
 }
 

@@ -31,6 +31,7 @@ struct FaultStats {
   std::uint64_t crashDrops = 0;      ///< messages dropped: endpoint was down.
   std::uint64_t partitionDrops = 0;  ///< messages dropped: link cut by a split.
   std::uint64_t burstDrops = 0;      ///< messages dropped: burst-loss trial.
+  std::uint64_t fragmentDrops = 0;   ///< fragments dropped: per-fragment burst trial.
   std::uint64_t delayedMessages = 0; ///< messages stretched by a delay spike.
 };
 
@@ -67,6 +68,11 @@ class FaultController {
   void noteStall(ProcessId node, Timestamp now) noexcept;
   void noteLinkDrop(ProcessId from, ProcessId to, Timestamp now,
                     FaultKind cause) noexcept;
+  /// A burst-loss trial applied at *fragment* granularity (datagram
+  /// transports fragment large balls; each fragment rolls the link's
+  /// loss rate independently, so one lost fragment kills one ball copy
+  /// without touching its siblings).
+  void noteFragmentDrop(ProcessId from, ProcessId to, Timestamp now) noexcept;
   void noteDelayed(ProcessId from, ProcessId to, Timestamp now) noexcept;
 
   [[nodiscard]] FaultStats stats() const noexcept;
@@ -82,6 +88,7 @@ class FaultController {
   std::atomic<std::uint64_t> crashDrops_{0};
   std::atomic<std::uint64_t> partitionDrops_{0};
   std::atomic<std::uint64_t> burstDrops_{0};
+  std::atomic<std::uint64_t> fragmentDrops_{0};
   std::atomic<std::uint64_t> delayedMessages_{0};
 };
 

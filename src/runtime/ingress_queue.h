@@ -1,0 +1,78 @@
+// Bounded ingress queue — explicit backpressure for the UDP node loop.
+//
+// Datagrams can arrive much faster than the protocol can process them
+// (a reassembly storm, a flood of relays, a wedged receiver catching
+// up). An unbounded buffer turns that into unbounded memory and
+// unbounded latency; the kernel socket buffer alone sheds silently and
+// invisibly. IngressQueue is the explicit middle: a FIFO of decoded
+// balls with a hard capacity that sheds the *oldest* entry when full —
+// old balls carry the stalest events, the ones most likely already
+// delivered or re-relayed by other peers — and counts every shed so
+// overload is observable instead of silent.
+//
+// Single-threaded by design: owned and driven by the node's own loop,
+// like the Reassembler. Thread-safety lives one level up (the socket).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "core/types.h"
+#include "util/ensure.h"
+
+namespace epto::runtime {
+
+class IngressQueue {
+ public:
+  explicit IngressQueue(std::size_t capacity) : capacity_(capacity) {
+    EPTO_ENSURE_MSG(capacity_ > 0, "ingress capacity must be positive");
+  }
+
+  /// Enqueue one ball; when full, the oldest queued ball is shed to make
+  /// room (the new ball is always admitted). Returns the number of balls
+  /// shed (0 or 1).
+  std::size_t push(Ball ball) {
+    std::size_t shed = 0;
+    if (queue_.size() >= capacity_) {
+      queue_.pop_front();
+      ++shedTotal_;
+      shed = 1;
+    }
+    queue_.push_back(std::move(ball));
+    highWater_ = std::max(highWater_, queue_.size());
+    return shed;
+  }
+
+  /// Oldest queued ball, or nullopt when empty.
+  std::optional<Ball> pop() {
+    if (queue_.empty()) return std::nullopt;
+    Ball ball = std::move(queue_.front());
+    queue_.pop_front();
+    return ball;
+  }
+
+  /// Drop everything queued; returns how many balls were discarded.
+  std::size_t clear() {
+    const std::size_t n = queue_.size();
+    queue_.clear();
+    return n;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Deepest the queue has ever been — never exceeds capacity().
+  [[nodiscard]] std::size_t highWater() const noexcept { return highWater_; }
+  /// Balls shed by push() since construction.
+  [[nodiscard]] std::uint64_t shedTotal() const noexcept { return shedTotal_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Ball> queue_;
+  std::size_t highWater_ = 0;
+  std::uint64_t shedTotal_ = 0;
+};
+
+}  // namespace epto::runtime

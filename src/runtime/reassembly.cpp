@@ -1,0 +1,104 @@
+#include "runtime/reassembly.h"
+
+#include <algorithm>
+
+#include "util/ensure.h"
+
+namespace epto::runtime {
+
+Reassembler::Reassembler(ReassemblyOptions options) : options_(options) {
+  EPTO_ENSURE_MSG(options_.maxPartialFrames > 0, "maxPartialFrames must be positive");
+  EPTO_ENSURE_MSG(options_.ttlRounds > 0, "ttlRounds must be positive");
+  EPTO_ENSURE_MSG(options_.maxFrameBytes > 0, "maxFrameBytes must be positive");
+}
+
+void Reassembler::erase(std::uint64_t ballId) {
+  const auto it = partials_.find(ballId);
+  if (it == partials_.end()) return;
+  bufferedBytes_ -= it->second.bytes.size();
+  partials_.erase(it);
+}
+
+void Reassembler::shedStalest() {
+  auto stalest = partials_.begin();
+  for (auto it = partials_.begin(); it != partials_.end(); ++it) {
+    if (it->second.lastTouchRound < stalest->second.lastTouchRound) stalest = it;
+  }
+  bufferedBytes_ -= stalest->second.bytes.size();
+  partials_.erase(stalest);
+  ++stats_.partialsShed;
+}
+
+std::optional<std::vector<std::byte>> Reassembler::accept(
+    const codec::FragmentFrame& fragment, std::uint64_t round) {
+  if (fragment.totalLength > options_.maxFrameBytes) {
+    ++stats_.oversizedRejected;
+    return std::nullopt;
+  }
+
+  auto it = partials_.find(fragment.ballId);
+  if (it == partials_.end()) {
+    if (partials_.size() >= options_.maxPartialFrames) shedStalest();
+    Partial partial;
+    partial.count = fragment.count;
+    partial.totalLength = fragment.totalLength;
+    partial.seen.assign(fragment.count, false);
+    partial.bytes.resize(static_cast<std::size_t>(fragment.totalLength));
+    bufferedBytes_ += partial.bytes.size();
+    it = partials_.emplace(fragment.ballId, std::move(partial)).first;
+  }
+
+  Partial& partial = it->second;
+  // A fragment disagreeing with the first-seen geometry of its ballId is
+  // either corruption that slipped the CRC or a forged header — drop the
+  // fragment, keep the partial.
+  if (fragment.count != partial.count || fragment.totalLength != partial.totalLength) {
+    ++stats_.mismatchedFragments;
+    return std::nullopt;
+  }
+  partial.lastTouchRound = round;
+  if (partial.seen[fragment.index]) {
+    ++stats_.duplicateFragments;
+    return std::nullopt;
+  }
+  // Chunk bounds were validated at decode (offset + len <= totalLength).
+  std::copy(fragment.payload.begin(), fragment.payload.end(),
+            partial.bytes.begin() + static_cast<std::ptrdiff_t>(fragment.offset));
+  partial.seen[fragment.index] = true;
+  ++partial.receivedCount;
+  partial.receivedBytes += fragment.payload.size();
+  ++stats_.fragmentsAccepted;
+
+  // Complete only when every index arrived AND the chunks tile the whole
+  // frame — a forged index set with holes cannot pass both.
+  if (partial.receivedCount == partial.count &&
+      partial.receivedBytes == partial.totalLength) {
+    std::vector<std::byte> frame = std::move(partial.bytes);
+    bufferedBytes_ -= frame.size();
+    partials_.erase(it);
+    ++stats_.framesCompleted;
+    return frame;
+  }
+  return std::nullopt;
+}
+
+void Reassembler::evictExpired(std::uint64_t round) {
+  if (round < options_.ttlRounds) return;
+  const std::uint64_t cutoff = round - options_.ttlRounds;
+  for (auto it = partials_.begin(); it != partials_.end();) {
+    if (it->second.lastTouchRound <= cutoff) {
+      bufferedBytes_ -= it->second.bytes.size();
+      it = partials_.erase(it);
+      ++stats_.partialsExpired;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Reassembler::clear() {
+  partials_.clear();
+  bufferedBytes_ = 0;
+}
+
+}  // namespace epto::runtime

@@ -1,0 +1,98 @@
+// Reassembly buffer for fragmented ball frames (codec/fragment_codec.h).
+//
+// One Reassembler lives per node, owned and driven by the node's own
+// thread (single-threaded, like the sans-io core). Fragments accumulate
+// per ballId until the frame completes; partial frames from lossy or
+// malicious peers are evicted on two independent bounds so the buffer
+// can never leak memory:
+//
+//   * a TTL in rounds — a partial untouched for `ttlRounds` protocol
+//     rounds is discarded (its remaining fragments were lost; EpTO's
+//     dissemination redundancy re-delivers the events through other
+//     balls);
+//   * a capacity in partial frames — admitting a new ballId beyond
+//     `maxPartialFrames` evicts the stalest partial first, so a peer
+//     spraying fragments of never-completed frames displaces only
+//     itself.
+//
+// Per-fragment validation (CRC, header consistency) already happened at
+// decode; the reassembler additionally rejects fragments that contradict
+// the first-seen geometry of their ballId (count/totalLength mismatch)
+// and frames whose declared size exceeds `maxFrameBytes`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "codec/fragment_codec.h"
+
+namespace epto::runtime {
+
+struct ReassemblyOptions {
+  /// Partial frames held concurrently; admitting one more evicts the
+  /// stalest. Must be positive.
+  std::size_t maxPartialFrames = 64;
+  /// Rounds a partial may sit untouched before evictExpired() drops it.
+  /// Must be positive.
+  std::uint32_t ttlRounds = 8;
+  /// Largest reassembled frame accepted; fragments declaring more are
+  /// rejected before any allocation. Must be positive.
+  std::size_t maxFrameBytes = std::size_t{8} << 20;
+};
+
+struct ReassemblyStats {
+  std::uint64_t fragmentsAccepted = 0;   ///< fragments merged into a partial.
+  std::uint64_t duplicateFragments = 0;  ///< same (ballId, index) seen again.
+  std::uint64_t mismatchedFragments = 0; ///< geometry contradicts first sight.
+  std::uint64_t oversizedRejected = 0;   ///< declared frame > maxFrameBytes.
+  std::uint64_t framesCompleted = 0;     ///< fully reassembled frames returned.
+  std::uint64_t partialsExpired = 0;     ///< TTL evictions.
+  std::uint64_t partialsShed = 0;        ///< capacity evictions.
+};
+
+class Reassembler {
+ public:
+  explicit Reassembler(ReassemblyOptions options);
+
+  /// Merge one decoded fragment observed during protocol round `round`.
+  /// Returns the reassembled ball frame when this fragment completes it
+  /// (the entry is then released); nullopt otherwise.
+  std::optional<std::vector<std::byte>> accept(const codec::FragmentFrame& fragment,
+                                               std::uint64_t round);
+
+  /// Drop partials untouched since before `round - ttlRounds`. Call once
+  /// per protocol round.
+  void evictExpired(std::uint64_t round);
+
+  /// Drop every partial (watchdog recovery / node restart).
+  void clear();
+
+  [[nodiscard]] std::size_t partialCount() const noexcept { return partials_.size(); }
+  /// Total bytes currently reserved by partial frames — the quantity the
+  /// eviction bounds keep finite.
+  [[nodiscard]] std::size_t bufferedBytes() const noexcept { return bufferedBytes_; }
+  [[nodiscard]] const ReassemblyStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Partial {
+    std::uint32_t count = 0;
+    std::uint64_t totalLength = 0;
+    std::uint32_t receivedCount = 0;
+    std::uint64_t receivedBytes = 0;
+    std::uint64_t lastTouchRound = 0;
+    std::vector<bool> seen;        // per fragment index
+    std::vector<std::byte> bytes;  // sized totalLength up front
+  };
+
+  void erase(std::uint64_t ballId);
+  void shedStalest();
+
+  ReassemblyOptions options_;
+  std::unordered_map<std::uint64_t, Partial> partials_;
+  std::size_t bufferedBytes_ = 0;
+  ReassemblyStats stats_;
+};
+
+}  // namespace epto::runtime

@@ -1,0 +1,62 @@
+// Stall watchdog — detects a node loop that keeps missing its round
+// deadline and triggers a forced recovery.
+//
+// A healthy node finishes each round within its period; a node wedged
+// behind a reassembly storm, an ingress backlog, or a slow receiver
+// drifts ever further past its schedule, and EpTO's timing assumptions
+// (paper §5.3) degrade silently. The watchdog is pure bookkeeping: the
+// node loop reports how late each round fired, and after
+// `missedRoundThreshold` *consecutive* rounds that were late by more
+// than a full period, it signals recovery — the host then force-drains
+// its backlog, resets its round schedule to now, and counts the event
+// in the metrics registry so operators see the stall instead of
+// debugging a mystery latency cliff.
+//
+// Pure and single-threaded (node-loop owned), so it is unit-testable
+// without sockets or clocks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace epto::runtime {
+
+class StallWatchdog {
+ public:
+  /// `missedRoundThreshold` consecutive late rounds trigger recovery;
+  /// 0 disables the watchdog entirely.
+  explicit StallWatchdog(std::uint32_t missedRoundThreshold)
+      : threshold_(missedRoundThreshold) {}
+
+  /// Report one round boundary: `lateness` is how far past the scheduled
+  /// deadline the round actually fired, `period` the nominal round
+  /// period. A round more than one full period late is a miss; an
+  /// on-time round resets the streak. Returns true when the miss streak
+  /// reaches the threshold — the caller must then recover (the streak
+  /// resets so recovery is edge-triggered, not level-triggered).
+  bool onRoundBoundary(std::chrono::steady_clock::duration lateness,
+                       std::chrono::steady_clock::duration period) {
+    if (threshold_ == 0) return false;
+    if (lateness <= period) {
+      consecutiveMisses_ = 0;
+      return false;
+    }
+    ++consecutiveMisses_;
+    if (consecutiveMisses_ < threshold_) return false;
+    consecutiveMisses_ = 0;
+    ++recoveries_;
+    return true;
+  }
+
+  [[nodiscard]] std::uint32_t consecutiveMisses() const noexcept {
+    return consecutiveMisses_;
+  }
+  [[nodiscard]] std::uint64_t recoveries() const noexcept { return recoveries_; }
+
+ private:
+  std::uint32_t threshold_;
+  std::uint32_t consecutiveMisses_ = 0;
+  std::uint64_t recoveries_ = 0;
+};
+
+}  // namespace epto::runtime

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "codec/ball_codec.h"
+#include "codec/fragment_codec.h"
 #include "obs/exporters.h"
 #include "util/ensure.h"
 
@@ -34,6 +35,14 @@ class StaticSampler final : public PeerSampler {
   std::vector<ProcessId> others_;
 };
 
+/// Relaxed atomic max (for the ingress high-water gauge).
+void storeMax(std::atomic<std::uint64_t>& cell, std::uint64_t value) {
+  std::uint64_t seen = cell.load(std::memory_order_relaxed);
+  while (seen < value &&
+         !cell.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
 UdpCluster::UdpCluster(UdpClusterOptions options)
@@ -45,6 +54,22 @@ UdpCluster::UdpCluster(UdpClusterOptions options)
                   : nullptr) {
   EPTO_ENSURE_MSG(options_.nodeCount >= 2, "need at least two nodes");
   EPTO_ENSURE_MSG(options_.roundPeriod.count() > 0, "round period must be positive");
+  EPTO_ENSURE_MSG(options_.mtuBytes >= codec::kMinFragmentMtu &&
+                      options_.mtuBytes <= kMaxUdpDatagramBytes,
+                  "mtuBytes outside [kMinFragmentMtu, kMaxUdpDatagramBytes]");
+  EPTO_ENSURE_MSG(options_.ingressCapacity > 0, "ingressCapacity must be positive");
+  EPTO_ENSURE_MSG(options_.ingressDrainBudget > 0, "ingressDrainBudget must be positive");
+  EPTO_ENSURE_MSG(options_.maxDatagramsPerPoll > 0,
+                  "maxDatagramsPerPoll must be positive");
+  EPTO_ENSURE_MSG(options_.reassemblyCapacity > 0, "reassemblyCapacity must be positive");
+  EPTO_ENSURE_MSG(options_.reassemblyTtlRounds > 0,
+                  "reassemblyTtlRounds must be positive");
+  EPTO_ENSURE_MSG(options_.sendBackoff.maxAttempts >= 1,
+                  "sendBackoff needs at least one attempt");
+  EPTO_ENSURE_MSG(options_.sendBackoff.initialDelay.count() >= 0,
+                  "sendBackoff initialDelay must not be negative");
+  EPTO_ENSURE_MSG(options_.sendBackoff.multiplier >= 1.0,
+                  "sendBackoff multiplier must be at least 1");
   if (faults_ != nullptr) {
     EPTO_ENSURE_MSG(faults_->plan().maxNode() < options_.nodeCount,
                     "fault plan targets a node beyond the cluster size");
@@ -55,11 +80,18 @@ UdpCluster::UdpCluster(UdpClusterOptions options)
   fanout_ = options_.fanoutOverride.value_or(derived.fanout);
   ttl_ = options_.ttlOverride.value_or(derived.ttl);
 
+  const ReassemblyOptions reassembly{options_.reassemblyCapacity,
+                                     options_.reassemblyTtlRounds,
+                                     /*maxFrameBytes=*/std::size_t{8} << 20};
   nodes_.reserve(options_.nodeCount);
   ports_.reserve(options_.nodeCount);
   for (std::size_t i = 0; i < options_.nodeCount; ++i) {
     const auto id = static_cast<ProcessId>(i);
-    auto node = std::make_unique<NodeState>();  // socket binds here
+    // Receive buffer == MTU: every conforming datagram fits, and an
+    // over-MTU datagram is counted as truncated instead of mis-parsed.
+    auto node = std::make_unique<NodeState>(options_.mtuBytes, reassembly,
+                                            options_.ingressCapacity,
+                                            options_.watchdogMissedRounds);
     node->id = id;
     ports_.push_back(node->socket.port());
     node->process = makeProcess(id, /*incarnation=*/0);
@@ -79,13 +111,7 @@ UdpCluster::UdpCluster(UdpClusterOptions options)
     scrape_ = std::make_unique<obs::ScrapeLoop>(
         registry_,
         obs::ScrapeLoop::Options{scrapeInterval, options_.metricsOutPath},
-        [this] { return ticksNow(); },
-        [this] {
-          registry_.counter("epto_udp_frames_rejected_total")
-              .set(framesRejected_.load(std::memory_order_relaxed));
-          registry_.counter("epto_udp_send_failures_total")
-              .set(sendFailures_.load(std::memory_order_relaxed));
-        });
+        [this] { return ticksNow(); }, [this] { publishTransportMetrics(); });
   }
 }
 
@@ -164,6 +190,8 @@ void UdpCluster::enterCrash(NodeState& node) {
   faults_->noteCrash(node.id, now);
   node.process.reset();
   node.heldBack.clear();  // delayed datagrams die with the sender
+  node.reassembler.clear();
+  node.ingress.clear();
   node.up.store(false, std::memory_order_release);
   std::vector<PayloadPtr> discarded;
   {
@@ -184,6 +212,8 @@ void UdpCluster::leaveCrash(NodeState& node) {
   // Datagrams buffered by the OS while we were dead are lost state.
   while (node.socket.receive(0).has_value()) {
   }
+  node.reassembler.clear();
+  node.ingress.clear();
   ++node.incarnation;
   node.process = makeProcess(node.id, node.incarnation);
   {
@@ -195,24 +225,128 @@ void UdpCluster::leaveCrash(NodeState& node) {
   node.up.store(true, std::memory_order_release);
 }
 
-void UdpCluster::sendFrame(NodeState& node, ProcessId target,
-                           const std::vector<std::byte>& frame) {
-  if (!node.socket.sendTo(ports_[target], frame)) {
-    sendFailures_.fetch_add(1, std::memory_order_relaxed);
+void UdpCluster::sendDatagram(NodeState& node, std::uint16_t port, bool isFragment,
+                              const std::vector<std::byte>& frame, util::Rng& rng) {
+  const SendOutcome outcome =
+      sendWithBackoff(node.socket, port, frame, options_.sendBackoff, rng);
+  if (outcome.retries > 0) {
+    sendRetries_.fetch_add(static_cast<std::uint64_t>(outcome.retries),
+                           std::memory_order_relaxed);
+  }
+  switch (outcome.status) {
+    case SendStatus::Sent:
+      if (isFragment) fragmentsSent_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case SendStatus::Transient:
+      sendFailuresTransient_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case SendStatus::Hard:
+      sendFailuresHard_.fetch_add(1, std::memory_order_relaxed);
+      break;
   }
 }
 
-void UdpCluster::flushHeldBack(NodeState& node) {
+void UdpCluster::flushHeldBack(NodeState& node, util::Rng& rng) {
   if (node.heldBack.empty()) return;
   const auto now = std::chrono::steady_clock::now();
   auto due = std::partition(node.heldBack.begin(), node.heldBack.end(),
                             [now](const HeldDatagram& d) { return d.due > now; });
   for (auto it = due; it != node.heldBack.end(); ++it) {
-    if (!node.socket.sendTo(it->port, it->frame)) {
-      sendFailures_.fetch_add(1, std::memory_order_relaxed);
-    }
+    sendDatagram(node, it->port, it->isFragment, it->frame, rng);
   }
   node.heldBack.erase(due, node.heldBack.end());
+}
+
+void UdpCluster::enqueueBallFrame(NodeState& node, std::span<const std::byte> frame) {
+  auto decoded = codec::decodeBall(frame);
+  if (!decoded.ok()) {
+    framesRejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  node.ingress.push(std::move(decoded.ball));
+}
+
+void UdpCluster::ingestDatagram(NodeState& node, const UdpSocket::Datagram& datagram) {
+  if (datagram.truncated) {
+    // The kernel cut the payload: the datagram exceeded the receive
+    // buffer (i.e. the configured MTU). Counted here, not discovered as
+    // a checksum failure downstream.
+    truncatedDatagrams_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (codec::isFragmentFrame(datagram.bytes)) {
+    fragmentsReceived_.fetch_add(1, std::memory_order_relaxed);
+    const auto decoded = codec::decodeFragment(datagram.bytes);
+    if (!decoded.ok()) {
+      framesRejected_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    auto frame = node.reassembler.accept(decoded.fragment, node.roundCounter);
+    if (!frame.has_value()) return;
+    ballsReassembled_.fetch_add(1, std::memory_order_relaxed);
+    enqueueBallFrame(node, *frame);
+    return;
+  }
+  enqueueBallFrame(node, datagram.bytes);
+}
+
+void UdpCluster::publishNodeCounters(NodeState& node) {
+  const ReassemblyStats& stats = node.reassembler.stats();
+  if (stats.partialsExpired > node.publishedReassembly.partialsExpired) {
+    reassemblyExpired_.fetch_add(
+        stats.partialsExpired - node.publishedReassembly.partialsExpired,
+        std::memory_order_relaxed);
+  }
+  if (stats.partialsShed > node.publishedReassembly.partialsShed) {
+    reassemblyShed_.fetch_add(stats.partialsShed - node.publishedReassembly.partialsShed,
+                              std::memory_order_relaxed);
+  }
+  node.publishedReassembly = stats;
+
+  const std::uint64_t shed = node.ingress.shedTotal();
+  if (shed > node.publishedIngressShed) {
+    ingressShed_.fetch_add(shed - node.publishedIngressShed, std::memory_order_relaxed);
+    node.publishedIngressShed = shed;
+  }
+  storeMax(ingressHighWater_, node.ingress.highWater());
+
+  const std::uint64_t recoveries = node.watchdog.recoveries();
+  if (recoveries > node.publishedWatchdogRecoveries) {
+    watchdogRecoveries_.fetch_add(recoveries - node.publishedWatchdogRecoveries,
+                                  std::memory_order_relaxed);
+    node.publishedWatchdogRecoveries = recoveries;
+  }
+}
+
+void UdpCluster::publishTransportMetrics() {
+  registry_.counter("epto_udp_frames_rejected_total")
+      .set(framesRejected_.load(std::memory_order_relaxed));
+  registry_.counter("epto_udp_truncated_total")
+      .set(truncatedDatagrams_.load(std::memory_order_relaxed));
+  registry_.counter("epto_udp_send_failures_total", {{"cause", "transient"}})
+      .set(sendFailuresTransient_.load(std::memory_order_relaxed));
+  registry_.counter("epto_udp_send_failures_total", {{"cause", "hard"}})
+      .set(sendFailuresHard_.load(std::memory_order_relaxed));
+  registry_.counter("epto_udp_send_retries_total")
+      .set(sendRetries_.load(std::memory_order_relaxed));
+  registry_.counter("epto_udp_balls_fragmented_total")
+      .set(ballsFragmented_.load(std::memory_order_relaxed));
+  registry_.counter("epto_udp_fragments_sent_total")
+      .set(fragmentsSent_.load(std::memory_order_relaxed));
+  registry_.counter("epto_udp_fragments_received_total")
+      .set(fragmentsReceived_.load(std::memory_order_relaxed));
+  registry_.counter("epto_udp_balls_reassembled_total")
+      .set(ballsReassembled_.load(std::memory_order_relaxed));
+  registry_.counter("epto_udp_reassembly_expired_total")
+      .set(reassemblyExpired_.load(std::memory_order_relaxed));
+  registry_.counter("epto_udp_reassembly_shed_total")
+      .set(reassemblyShed_.load(std::memory_order_relaxed));
+  registry_.counter("epto_udp_ingress_shed_total")
+      .set(ingressShed_.load(std::memory_order_relaxed));
+  registry_.gauge("epto_udp_ingress_high_water")
+      .set(static_cast<std::int64_t>(ingressHighWater_.load(std::memory_order_relaxed)));
+  registry_.counter("epto_udp_watchdog_recoveries_total")
+      .set(watchdogRecoveries_.load(std::memory_order_relaxed));
 }
 
 void UdpCluster::nodeLoop(NodeState& node) {
@@ -250,23 +384,37 @@ void UdpCluster::nodeLoop(NodeState& node) {
         continue;
       }
       stallNoted = false;
-      flushHeldBack(node);
+      flushHeldBack(node, rng);
     }
 
     // Receive until the round boundary; poll() granularity is 1ms, so
-    // short remainders degrade to a non-blocking check.
+    // short remainders degrade to a non-blocking check. After the first
+    // (possibly blocking) datagram, drain whatever else the kernel has
+    // queued — bounded so a flood cannot hold the loop past its round.
     const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
         nextRound - Clock::now());
     const int timeout = static_cast<int>(std::clamp<long>(remaining.count(), 0, 50));
-    if (auto datagram = node.socket.receive(timeout); datagram.has_value()) {
-      auto decoded = codec::decodeBall(*datagram);
-      if (decoded.ok()) {
-        node.process->onBall(decoded.ball);
-      } else {
-        framesRejected_.fetch_add(1, std::memory_order_relaxed);
-      }
+    std::size_t polled = 0;
+    for (auto datagram = node.socket.receive(timeout); datagram.has_value();
+         datagram = node.socket.receive(0)) {
+      ingestDatagram(node, *datagram);
+      if (++polled >= options_.maxDatagramsPerPoll) break;
     }
-    if (Clock::now() < nextRound) continue;
+
+    // Hand a bounded batch to the protocol; the rest stays queued (and
+    // is shed oldest-first by the ingress bound if the backlog wins).
+    for (std::size_t budget = options_.ingressDrainBudget; budget > 0; --budget) {
+      auto ball = node.ingress.pop();
+      if (!ball.has_value()) break;
+      node.process->onBall(*ball);
+    }
+
+    const auto boundaryNow = Clock::now();
+    if (boundaryNow < nextRound) continue;
+    const auto lateness = boundaryNow - nextRound;
+
+    ++node.roundCounter;
+    node.reassembler.evictExpired(node.roundCounter);
 
     std::vector<PayloadPtr> pending;
     {
@@ -284,34 +432,82 @@ void UdpCluster::nodeLoop(NodeState& node) {
     const auto out = node.process->onRound();
     if (out.ball != nullptr) {
       const auto frame = codec::encodeBall(*out.ball);
+      const std::uint64_t ballId =
+          (static_cast<std::uint64_t>(node.id) << 32) | ++node.fragmentSeq;
+      const auto datagrams = codec::fragmentFrame(frame, options_.mtuBytes, ballId);
+      const bool fragmented = datagrams.size() > 1;
+      if (fragmented) ballsFragmented_.fetch_add(1, std::memory_order_relaxed);
       const Timestamp tnow = ticksNow();
+      // A fragmented fanout is a long send burst (hundreds of syscalls);
+      // a loop that ignores its socket that whole time lets concurrent
+      // bursts from peers overflow the kernel receive buffer and lose
+      // fragments every round. Interleave bounded drains so sending
+      // never starves receiving.
+      std::size_t sentSinceDrain = 0;
+      const auto drainBetweenSends = [&] {
+        if (++sentSinceDrain < 32) return;
+        sentSinceDrain = 0;
+        for (std::size_t budget = 64; budget > 0; --budget) {
+          auto datagram = node.socket.receive(0);
+          if (!datagram.has_value()) break;
+          ingestDatagram(node, *datagram);
+        }
+      };
       for (const ProcessId target : out.targets) {
+        fault::FaultController::LinkFate fate;
         if (faults_ != nullptr) {
-          const fault::FaultController::LinkFate fate =
-              faults_->linkFate(node.id, target, tnow);
+          fate = faults_->linkFate(node.id, target, tnow);
           if (fate.cut) {
             faults_->noteLinkDrop(node.id, target, tnow, fate.cutBy);
             continue;
           }
+          if (fate.extraDelay > 0) faults_->noteDelayed(node.id, target, tnow);
+        }
+        for (const auto& datagram : datagrams) {
+          // Burst loss rolls per datagram — fragment granularity: one
+          // lost fragment costs one ball copy, not the whole fanout.
           if (fate.extraLossRate > 0.0 && rng.chance(fate.extraLossRate)) {
-            faults_->noteLinkDrop(node.id, target, tnow, fault::FaultKind::BurstLoss);
+            if (fragmented) {
+              faults_->noteFragmentDrop(node.id, target, tnow);
+            } else {
+              faults_->noteLinkDrop(node.id, target, tnow, fault::FaultKind::BurstLoss);
+            }
             continue;
           }
           if (fate.extraDelay > 0) {
-            faults_->noteDelayed(node.id, target, tnow);
             node.heldBack.push_back(HeldDatagram{
                 Clock::now() + std::chrono::microseconds(
                                    static_cast<std::int64_t>(fate.extraDelay)),
-                ports_[target], frame});
+                ports_[target], fragmented, datagram});
             continue;
           }
+          sendDatagram(node, ports_[target], fragmented, datagram, rng);
+          drainBetweenSends();
         }
-        sendFrame(node, target, frame);
       }
     }
     node.process->metricsSnapshot().recordTo(registry_);
-    nextRound += jitteredPeriod();
+    publishNodeCounters(node);
+
+    // Watchdog: a round more than a full period late, `watchdogMissedRounds`
+    // times in a row, means the loop is wedged behind its backlog. Recover
+    // by force-draining the ingress queue through the protocol (ignoring
+    // the per-loop budget) and snapping the schedule to now —
+    // metric-visible via watchdogRecoveries(). Reassembly partials are
+    // deliberately left alone: they are already bounded by their own
+    // TTL/capacity, and purging them here would reset in-progress jumbo
+    // balls every recovery, turning an overload into event loss.
+    if (node.watchdog.onRoundBoundary(lateness, options_.roundPeriod)) {
+      while (auto ball = node.ingress.pop()) node.process->onBall(*ball);
+      publishNodeCounters(node);
+      nextRound = Clock::now() + jitteredPeriod();
+    } else {
+      nextRound += jitteredPeriod();
+    }
   }
+  // Sheds/evictions from the final partial round still reach the
+  // cluster counters.
+  publishNodeCounters(node);
 }
 
 bool UdpCluster::awaitQuiescence(std::chrono::milliseconds timeout) {
@@ -353,10 +549,7 @@ void UdpCluster::stop() {
 }
 
 std::string UdpCluster::prometheusSnapshot() {
-  registry_.counter("epto_udp_frames_rejected_total")
-      .set(framesRejected_.load(std::memory_order_relaxed));
-  registry_.counter("epto_udp_send_failures_total")
-      .set(sendFailures_.load(std::memory_order_relaxed));
+  publishTransportMetrics();
   if (faults_ != nullptr) faults_->recordTo(registry_);
   return obs::prometheusText(registry_.snapshot());
 }

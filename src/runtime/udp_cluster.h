@@ -7,6 +7,16 @@
 // with a deadline, then run the round), so the sans-io core again needs
 // no locks.
 //
+// Overload hardening (DESIGN.md §10): balls larger than the MTU are
+// fragmented (codec/fragment_codec.h) and reassembled per node with
+// TTL/capacity-bounded partial state (runtime/reassembly.h); decoded
+// balls pass through a bounded ingress queue that sheds oldest-first
+// under flood (runtime/ingress_queue.h); transient send refusals are
+// retried with jittered backoff (runtime/udp_transport.h); and a stall
+// watchdog (runtime/stall_watchdog.h) force-drains a node that keeps
+// missing its round deadline. Every shed, retry, truncation and
+// recovery is counted and exported through epto_obs.
+//
 // Membership is a static port table exchanged at startup — a real
 // deployment would gossip addresses through the PSS; the protocol logic
 // is identical.
@@ -18,6 +28,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -32,6 +43,9 @@
 #include "metrics/quiescence.h"
 #include "obs/registry.h"
 #include "obs/scrape.h"
+#include "runtime/ingress_queue.h"
+#include "runtime/reassembly.h"
+#include "runtime/stall_watchdog.h"
 #include "runtime/udp_transport.h"
 #include "util/rng.h"
 
@@ -50,12 +64,37 @@ struct UdpClusterOptions {
   /// start()). Crashed nodes stop receiving and sending; their socket
   /// stays bound, and the backlog is discarded when they rejoin with
   /// fresh state. Delay spikes are enforced by holding outgoing
-  /// datagrams back at the sender. Must outlive the cluster.
+  /// datagrams back at the sender. Burst-loss trials roll per datagram,
+  /// i.e. at fragment granularity for fragmented balls. Must outlive
+  /// the cluster.
   const fault::FaultPlan* faultPlan = nullptr;
   std::uint64_t seed = 42;
   /// Background metrics scrape; same semantics as RuntimeOptions.
   std::chrono::milliseconds scrapeInterval{0};
   std::string metricsOutPath;
+
+  // --- transport hardening (all validated at construction) -------------
+  /// Largest datagram the cluster emits; ball frames beyond it are
+  /// fragmented. Also sizes the receive buffer, so an over-MTU datagram
+  /// from a misconfigured peer is counted as truncated, not silently
+  /// mis-parsed. In [codec::kMinFragmentMtu, kMaxUdpDatagramBytes].
+  std::size_t mtuBytes = 1400;
+  /// Decoded balls buffered per node before oldest-first shedding.
+  std::size_t ingressCapacity = 1024;
+  /// Balls handed to the protocol per loop iteration — bounds the time
+  /// the node spends processing before it re-checks its round deadline.
+  std::size_t ingressDrainBudget = 256;
+  /// Datagrams pulled off the socket per loop iteration.
+  std::size_t maxDatagramsPerPoll = 512;
+  /// Partial (fragmented, incomplete) frames held per node.
+  std::size_t reassemblyCapacity = 64;
+  /// Rounds a partial frame may sit idle before eviction.
+  std::uint32_t reassemblyTtlRounds = 8;
+  /// Consecutive rounds late by more than a full period before the
+  /// watchdog forces recovery (drain backlog, reset schedule). 0 = off.
+  std::uint32_t watchdogMissedRounds = 3;
+  /// Retry schedule for transient send refusals (EAGAIN/ENOBUFS).
+  SendBackoffPolicy sendBackoff{};
 };
 
 class UdpCluster {
@@ -90,10 +129,56 @@ class UdpCluster {
   [[nodiscard]] std::uint64_t framesRejected() const noexcept {
     return framesRejected_.load();
   }
-  /// sendTo() calls the OS refused (e.g. full socket buffer). Previously
-  /// swallowed; a real deployment alarms on this.
+  /// Datagrams the kernel truncated to the receive buffer (MSG_TRUNC).
+  [[nodiscard]] std::uint64_t truncatedDatagrams() const noexcept {
+    return truncatedDatagrams_.load();
+  }
+  /// Datagrams lost to the OS refusing the send: transient refusals that
+  /// survived the whole backoff schedule, and hard refusals.
   [[nodiscard]] std::uint64_t sendFailures() const noexcept {
-    return sendFailures_.load();
+    return sendFailuresTransient_.load() + sendFailuresHard_.load();
+  }
+  [[nodiscard]] std::uint64_t sendFailuresTransient() const noexcept {
+    return sendFailuresTransient_.load();
+  }
+  [[nodiscard]] std::uint64_t sendFailuresHard() const noexcept {
+    return sendFailuresHard_.load();
+  }
+  /// Backoff sleeps taken for transient refusals (whether or not the
+  /// retry eventually succeeded).
+  [[nodiscard]] std::uint64_t sendRetries() const noexcept { return sendRetries_.load(); }
+  /// Balls whose frame exceeded the MTU and was split into fragments.
+  [[nodiscard]] std::uint64_t ballsFragmented() const noexcept {
+    return ballsFragmented_.load();
+  }
+  [[nodiscard]] std::uint64_t fragmentsSent() const noexcept {
+    return fragmentsSent_.load();
+  }
+  [[nodiscard]] std::uint64_t fragmentsReceived() const noexcept {
+    return fragmentsReceived_.load();
+  }
+  /// Frames fully reassembled from fragments.
+  [[nodiscard]] std::uint64_t ballsReassembled() const noexcept {
+    return ballsReassembled_.load();
+  }
+  /// Partial frames evicted after sitting idle for the reassembly TTL.
+  [[nodiscard]] std::uint64_t reassemblyExpired() const noexcept {
+    return reassemblyExpired_.load();
+  }
+  /// Partial frames displaced by the reassembly capacity bound.
+  [[nodiscard]] std::uint64_t reassemblyShed() const noexcept {
+    return reassemblyShed_.load();
+  }
+  /// Balls shed oldest-first by a full ingress queue.
+  [[nodiscard]] std::uint64_t ingressShed() const noexcept { return ingressShed_.load(); }
+  /// Deepest any node's ingress queue has been — never exceeds
+  /// UdpClusterOptions::ingressCapacity.
+  [[nodiscard]] std::uint64_t ingressHighWater() const noexcept {
+    return ingressHighWater_.load();
+  }
+  /// Forced recoveries by the stall watchdog.
+  [[nodiscard]] std::uint64_t watchdogRecoveries() const noexcept {
+    return watchdogRecoveries_.load();
   }
   /// Null when the cluster has no fault plan.
   [[nodiscard]] const fault::FaultController* faultController() const noexcept {
@@ -111,10 +196,18 @@ class UdpCluster {
   struct HeldDatagram {
     std::chrono::steady_clock::time_point due;
     std::uint16_t port = 0;
+    bool isFragment = false;
     std::vector<std::byte> frame;
   };
 
   struct NodeState {
+    NodeState(std::size_t receiveBufferBytes, const ReassemblyOptions& reassembly,
+              std::size_t ingressCapacity, std::uint32_t watchdogMissedRounds)
+        : socket(receiveBufferBytes),
+          reassembler(reassembly),
+          ingress(ingressCapacity),
+          watchdog(watchdogMissedRounds) {}
+
     ProcessId id = 0;
     UdpSocket socket;
     std::unique_ptr<Process> process;
@@ -125,6 +218,16 @@ class UdpCluster {
     std::atomic<bool> up{true};
     std::uint32_t incarnation = 0;        // node-thread only
     std::vector<HeldDatagram> heldBack;   // node-thread only
+    Reassembler reassembler;              // node-thread only
+    IngressQueue ingress;                 // node-thread only
+    StallWatchdog watchdog;               // node-thread only
+    std::uint64_t roundCounter = 0;       // node-thread only
+    std::uint32_t fragmentSeq = 0;        // node-thread only; ballId low bits
+    /// Last reassembly/ingress/watchdog figures mirrored into the
+    /// cluster atomics (node-thread only; published once per round).
+    ReassemblyStats publishedReassembly;
+    std::uint64_t publishedIngressShed = 0;
+    std::uint64_t publishedWatchdogRecoveries = 0;
   };
 
   void nodeLoop(NodeState& node);
@@ -132,8 +235,17 @@ class UdpCluster {
                                                      std::uint32_t incarnation);
   void enterCrash(NodeState& node);
   void leaveCrash(NodeState& node);
-  void sendFrame(NodeState& node, ProcessId target, const std::vector<std::byte>& frame);
-  void flushHeldBack(NodeState& node);
+  void sendDatagram(NodeState& node, std::uint16_t port, bool isFragment,
+                    const std::vector<std::byte>& frame, util::Rng& rng);
+  void flushHeldBack(NodeState& node, util::Rng& rng);
+  /// Route one received datagram: truncation check, fragment reassembly
+  /// or direct decode, then ingress admission.
+  void ingestDatagram(NodeState& node, const UdpSocket::Datagram& datagram);
+  void enqueueBallFrame(NodeState& node, std::span<const std::byte> frame);
+  /// Mirror the node's local overload counters into the cluster atomics.
+  void publishNodeCounters(NodeState& node);
+  /// Copy the cluster-wide transport atomics into the registry.
+  void publishTransportMetrics();
   [[nodiscard]] std::vector<ProcessId> upNodes() const;
   [[nodiscard]] Timestamp ticksNow() const;
 
@@ -158,7 +270,19 @@ class UdpCluster {
   std::atomic<std::uint64_t> requestedBroadcasts_{0};
   std::atomic<std::uint64_t> discardedBroadcasts_{0};
   std::atomic<std::uint64_t> framesRejected_{0};
-  std::atomic<std::uint64_t> sendFailures_{0};
+  std::atomic<std::uint64_t> truncatedDatagrams_{0};
+  std::atomic<std::uint64_t> sendFailuresTransient_{0};
+  std::atomic<std::uint64_t> sendFailuresHard_{0};
+  std::atomic<std::uint64_t> sendRetries_{0};
+  std::atomic<std::uint64_t> ballsFragmented_{0};
+  std::atomic<std::uint64_t> fragmentsSent_{0};
+  std::atomic<std::uint64_t> fragmentsReceived_{0};
+  std::atomic<std::uint64_t> ballsReassembled_{0};
+  std::atomic<std::uint64_t> reassemblyExpired_{0};
+  std::atomic<std::uint64_t> reassemblyShed_{0};
+  std::atomic<std::uint64_t> ingressShed_{0};
+  std::atomic<std::uint64_t> ingressHighWater_{0};
+  std::atomic<std::uint64_t> watchdogRecoveries_{0};
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopRequested_{false};

@@ -6,18 +6,27 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <array>
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
 #include "codec/ball_codec.h"
 #include "util/ensure.h"
 
 namespace epto::runtime {
 
-UdpSocket::UdpSocket() {
+UdpSocket::UdpSocket(std::size_t receiveBufferBytes)
+    : receiveBufferBytes_(receiveBufferBytes) {
+  EPTO_ENSURE_MSG(receiveBufferBytes_ > 0, "receive buffer must be positive");
   fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   EPTO_ENSURE_MSG(fd_ >= 0, "socket() failed");
+
+  // Best-effort: the kernel clamps to rmem_max/wmem_max silently, and a
+  // smaller buffer only degrades to more loss, which EpTO absorbs.
+  const int bufferBytes = kSocketBufferBytes;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &bufferBytes, sizeof bufferBytes);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &bufferBytes, sizeof bufferBytes);
 
   sockaddr_in address{};
   address.sin_family = AF_INET;
@@ -43,12 +52,13 @@ UdpSocket::~UdpSocket() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-UdpSocket::UdpSocket(UdpSocket&& other) noexcept : fd_(other.fd_), port_(other.port_) {
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept
+    : fd_(other.fd_), port_(other.port_), receiveBufferBytes_(other.receiveBufferBytes_) {
   other.fd_ = -1;
   other.port_ = 0;
 }
 
-bool UdpSocket::sendTo(std::uint16_t port, const std::vector<std::byte>& frame) {
+SendStatus UdpSocket::trySendTo(std::uint16_t port, const std::vector<std::byte>& frame) {
   sockaddr_in address{};
   address.sin_family = AF_INET;
   address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -56,20 +66,66 @@ bool UdpSocket::sendTo(std::uint16_t port, const std::vector<std::byte>& frame) 
   const auto sent =
       ::sendto(fd_, frame.data(), frame.size(), 0,
                reinterpret_cast<const sockaddr*>(&address), sizeof address);
-  return sent == static_cast<ssize_t>(frame.size());
+  if (sent == static_cast<ssize_t>(frame.size())) return SendStatus::Sent;
+  switch (errno) {
+    // Momentary resource exhaustion: the socket buffer (or kernel memory)
+    // is full right now but will drain. Worth a short backoff.
+    case EAGAIN:
+#if EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case ENOBUFS:
+    case ENOMEM:
+    case EINTR:
+      return SendStatus::Transient;
+    default:
+      // EMSGSIZE, EACCES, network down, ... — retrying cannot help.
+      return SendStatus::Hard;
+  }
 }
 
-std::optional<std::vector<std::byte>> UdpSocket::receive(int timeoutMillis) {
+std::optional<UdpSocket::Datagram> UdpSocket::receive(int timeoutMillis) {
   pollfd pfd{};
   pfd.fd = fd_;
   pfd.events = POLLIN;
   const int ready = ::poll(&pfd, 1, timeoutMillis);
   if (ready <= 0 || (pfd.revents & POLLIN) == 0) return std::nullopt;
 
-  std::array<std::byte, 65536> buffer;
-  const auto received = ::recvfrom(fd_, buffer.data(), buffer.size(), 0, nullptr, nullptr);
+  Datagram datagram;
+  datagram.bytes.resize(receiveBufferBytes_);
+  // MSG_TRUNC makes recvfrom return the datagram's real length even when
+  // it exceeds the buffer, so truncation is detected here instead of as
+  // a downstream frame-validation failure.
+  const auto received = ::recvfrom(fd_, datagram.bytes.data(), datagram.bytes.size(),
+                                   MSG_TRUNC, nullptr, nullptr);
   if (received < 0) return std::nullopt;
-  return std::vector<std::byte>(buffer.begin(), buffer.begin() + received);
+  const auto receivedBytes = static_cast<std::size_t>(received);
+  datagram.truncated = receivedBytes > datagram.bytes.size();
+  datagram.bytes.resize(std::min(receivedBytes, datagram.bytes.size()));
+  return datagram;
+}
+
+SendOutcome sendWithBackoff(UdpSocket& socket, std::uint16_t port,
+                            const std::vector<std::byte>& frame,
+                            const SendBackoffPolicy& policy, util::Rng& rng) {
+  EPTO_ENSURE_MSG(policy.maxAttempts >= 1, "backoff needs at least one attempt");
+  SendOutcome outcome;
+  auto delay = policy.initialDelay;
+  for (int attempt = 1;; ++attempt) {
+    outcome.status = socket.trySendTo(port, frame);
+    if (outcome.status != SendStatus::Transient || attempt >= policy.maxAttempts) {
+      return outcome;
+    }
+    // ±50% jitter de-synchronizes nodes that hit a shared buffer limit
+    // together — retrying in lockstep would refill it in lockstep.
+    const double jitter = 0.5 + rng.uniform01();
+    const auto sleep = std::chrono::microseconds(static_cast<std::int64_t>(
+        std::max(1.0, static_cast<double>(delay.count()) * jitter)));
+    std::this_thread::sleep_for(sleep);
+    delay = std::chrono::microseconds(static_cast<std::int64_t>(
+        std::max(1.0, static_cast<double>(delay.count()) * policy.multiplier)));
+    ++outcome.retries;
+  }
 }
 
 bool sendBall(UdpSocket& socket, std::uint16_t port, const Ball& ball) {

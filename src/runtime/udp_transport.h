@@ -1,30 +1,66 @@
 // UDP datagram transport — EpTO over real sockets (paper §8.5).
 //
 // Each node owns one UDP socket bound to 127.0.0.1; balls travel as
-// wire-codec frames (codec/ball_codec.h), one frame per datagram. UDP's
+// wire-codec frames (codec/ball_codec.h), fragmented at a configurable
+// MTU (codec/fragment_codec.h) when they outgrow a datagram. UDP's
 // semantics are exactly EpTO's assumptions: unordered, unreliable,
 // unacknowledged — the protocol needs nothing more. Frames that fail
 // validation (truncated datagrams, corruption) are counted and dropped,
 // indistinguishable from loss, which the dissemination redundancy
 // absorbs.
 //
+// Send-side hardening: the OS refusing a send is not one condition.
+// EAGAIN/ENOBUFS mean "socket buffer momentarily full" — a few hundred
+// microseconds of jittered backoff usually clears it — while EMSGSIZE
+// or a dead interface will never succeed on retry. trySendTo()
+// classifies the two; sendWithBackoff() retries only the transient
+// class before declaring the datagram lost.
+//
+// Receive-side hardening: receive() passes MSG_TRUNC so kernel
+// truncation (a datagram larger than the receive buffer) is detected
+// explicitly and reported on the returned Datagram, instead of
+// surfacing later as a mysterious frame-validation failure.
+//
 // UdpSocket is a small RAII wrapper; UdpCluster (udp_cluster.h) builds a
 // full multi-process-style deployment on top of it.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "core/types.h"
+#include "util/rng.h"
 
 namespace epto::runtime {
+
+/// Largest payload a UDP/IPv4 datagram can carry; the default receive
+/// buffer size.
+inline constexpr std::size_t kMaxUdpDatagramBytes = 65536;
+
+/// SO_RCVBUF/SO_SNDBUF requested at socket construction. A fragmented
+/// jumbo ball is a burst of hundreds of datagrams; the kernel default
+/// (net.core.rmem_default, typically ~208 KiB) cannot even hold one
+/// such burst, so fragments of concurrent senders are silently dropped
+/// whenever the receiver is momentarily busy. The kernel clamps the
+/// request to rmem_max/wmem_max — best-effort by design.
+inline constexpr int kSocketBufferBytes = 4 << 20;
+
+/// Outcome of one datagram transmission attempt.
+enum class SendStatus : std::uint8_t {
+  Sent,       ///< handed to the OS in full.
+  Transient,  ///< momentary refusal (EAGAIN/ENOBUFS/...); retry may succeed.
+  Hard,       ///< permanent refusal (EMSGSIZE/...); retrying is pointless.
+};
 
 /// RAII UDP/IPv4 socket bound to 127.0.0.1 on an OS-assigned port.
 class UdpSocket {
  public:
   /// Binds immediately; throws util::ContractViolation on OS failure.
-  UdpSocket();
+  /// `receiveBufferBytes` caps the datagram size receive() can return in
+  /// full — anything larger is truncated by the kernel and flagged.
+  explicit UdpSocket(std::size_t receiveBufferBytes = kMaxUdpDatagramBytes);
   ~UdpSocket();
 
   UdpSocket(const UdpSocket&) = delete;
@@ -35,21 +71,59 @@ class UdpSocket {
   /// The locally bound port (the node's address).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
-  /// Fire-and-forget datagram to 127.0.0.1:`port`. Returns false when
-  /// the OS refused the send (treated as loss by callers).
-  bool sendTo(std::uint16_t port, const std::vector<std::byte>& frame);
+  /// One transmission attempt to 127.0.0.1:`port`, classified.
+  SendStatus trySendTo(std::uint16_t port, const std::vector<std::byte>& frame);
 
-  /// Blocking receive with a timeout. Returns the datagram payload, or
-  /// nullopt on timeout. Datagrams larger than 64 KiB are truncated by
-  /// UDP itself and will fail frame validation downstream.
-  [[nodiscard]] std::optional<std::vector<std::byte>> receive(int timeoutMillis);
+  /// Fire-and-forget single attempt. Returns false when the OS refused
+  /// the send for any reason (treated as loss by callers).
+  bool sendTo(std::uint16_t port, const std::vector<std::byte>& frame) {
+    return trySendTo(port, frame) == SendStatus::Sent;
+  }
+
+  /// One received datagram. `truncated` means the kernel cut the payload
+  /// to the receive buffer size — `bytes` is the surviving prefix, which
+  /// can never validate as a frame.
+  struct Datagram {
+    std::vector<std::byte> bytes;
+    bool truncated = false;
+  };
+
+  /// Blocking receive with a timeout. Returns the datagram, or nullopt
+  /// on timeout.
+  [[nodiscard]] std::optional<Datagram> receive(int timeoutMillis);
 
  private:
   int fd_ = -1;
   std::uint16_t port_ = 0;
+  std::size_t receiveBufferBytes_ = kMaxUdpDatagramBytes;
 };
 
-/// Encode and transmit one ball as a single datagram.
+/// Retry schedule for transient send refusals: `maxAttempts` total
+/// attempts, sleeping `initialDelay * multiplier^k` with ±50% jitter
+/// between them.
+struct SendBackoffPolicy {
+  int maxAttempts = 4;
+  std::chrono::microseconds initialDelay{200};
+  double multiplier = 2.0;
+};
+
+/// Cumulative outcome of sendWithBackoff().
+struct SendOutcome {
+  SendStatus status = SendStatus::Sent;  ///< final classification.
+  int retries = 0;                       ///< sleeps taken before the outcome.
+};
+
+/// Transmit `frame`, retrying transient refusals per `policy` with
+/// jitter drawn from `rng`. Hard refusals return immediately; a
+/// transient refusal surviving every attempt is returned as Transient
+/// (the datagram is lost — EpTO treats it like any other loss).
+SendOutcome sendWithBackoff(UdpSocket& socket, std::uint16_t port,
+                            const std::vector<std::byte>& frame,
+                            const SendBackoffPolicy& policy, util::Rng& rng);
+
+/// Encode and transmit one ball as a single datagram (single attempt;
+/// balls beyond the datagram limit need the fragmentation path in
+/// UdpCluster).
 bool sendBall(UdpSocket& socket, std::uint16_t port, const Ball& ball);
 
 }  // namespace epto::runtime

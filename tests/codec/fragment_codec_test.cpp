@@ -1,0 +1,167 @@
+// Tests of the fragmentation layer of the wire format (DESIGN.md §10).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "codec/checksum.h"
+#include "codec/fragment_codec.h"
+#include "codec/varint.h"
+#include "util/ensure.h"
+#include "util/rng.h"
+
+namespace epto::codec {
+namespace {
+
+std::vector<std::byte> randomFrame(std::size_t size, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::byte> frame(size);
+  for (auto& b : frame) b = static_cast<std::byte>(rng.below(256));
+  return frame;
+}
+
+/// Hand-build a fragment datagram with arbitrary header values and a
+/// valid CRC, so header-consistency checks can be probed past the
+/// checksum (tampering with an encoder-produced fragment only ever
+/// yields ChecksumMismatch).
+std::vector<std::byte> craftFragment(std::uint64_t ballId, std::uint64_t index,
+                                     std::uint64_t count, std::uint64_t totalLength,
+                                     std::uint64_t offset, std::uint64_t chunkLength,
+                                     std::size_t payloadBytes) {
+  std::vector<std::byte> datagram;
+  datagram.push_back(static_cast<std::byte>(kFragmentMagic & 0xFF));
+  datagram.push_back(static_cast<std::byte>(kFragmentMagic >> 8));
+  datagram.push_back(static_cast<std::byte>(kFragmentVersion));
+  putVarint(datagram, ballId);
+  putVarint(datagram, index);
+  putVarint(datagram, count);
+  putVarint(datagram, totalLength);
+  putVarint(datagram, offset);
+  putVarint(datagram, chunkLength);
+  datagram.insert(datagram.end(), payloadBytes, std::byte{0xAB});
+  const std::uint32_t crc = crc32c(datagram);
+  for (int shift = 0; shift < 32; shift += 8) {
+    datagram.push_back(static_cast<std::byte>((crc >> shift) & 0xFF));
+  }
+  return datagram;
+}
+
+TEST(FragmentCodec, SmallFramePassesThroughUnfragmented) {
+  const auto frame = randomFrame(600, 1);
+  const auto datagrams = fragmentFrame(frame, /*mtu=*/1400, /*ballId=*/9);
+  ASSERT_EQ(datagrams.size(), 1u);
+  EXPECT_EQ(datagrams[0], frame);
+  EXPECT_FALSE(isFragmentFrame(datagrams[0]));
+}
+
+TEST(FragmentCodec, LargeFrameRoundTripsThroughFragments) {
+  const auto frame = randomFrame(10'000, 2);
+  const std::size_t mtu = 512;
+  const auto datagrams = fragmentFrame(frame, mtu, /*ballId=*/77);
+  ASSERT_GT(datagrams.size(), 1u);
+
+  std::vector<std::byte> rebuilt(frame.size());
+  std::uint64_t seenBytes = 0;
+  for (std::size_t i = 0; i < datagrams.size(); ++i) {
+    EXPECT_LE(datagrams[i].size(), mtu);
+    ASSERT_TRUE(isFragmentFrame(datagrams[i]));
+    const auto decoded = decodeFragment(datagrams[i]);
+    ASSERT_TRUE(decoded.ok()) << toString(decoded.error);
+    EXPECT_EQ(decoded.fragment.ballId, 77u);
+    EXPECT_EQ(decoded.fragment.index, i);
+    EXPECT_EQ(decoded.fragment.count, datagrams.size());
+    EXPECT_EQ(decoded.fragment.totalLength, frame.size());
+    std::copy(decoded.fragment.payload.begin(), decoded.fragment.payload.end(),
+              rebuilt.begin() + static_cast<std::ptrdiff_t>(decoded.fragment.offset));
+    seenBytes += decoded.fragment.payload.size();
+  }
+  EXPECT_EQ(seenBytes, frame.size());
+  EXPECT_EQ(rebuilt, frame);
+}
+
+TEST(FragmentCodec, FragmentsOfJumboFrameAllFitTheMtu) {
+  const auto frame = randomFrame(100'000, 3);
+  const auto datagrams = fragmentFrame(frame, 1400, 1);
+  ASSERT_GT(datagrams.size(), 70u);  // 100000 / 1400 at the very least
+  for (const auto& d : datagrams) EXPECT_LE(d.size(), 1400u);
+}
+
+TEST(FragmentCodec, BallFrameIsNotAFragmentFrame) {
+  Ball ball;
+  Event e;
+  e.id = EventId{3, 4};
+  e.ts = 12;
+  ball.push_back(e);
+  const auto frame = encodeBall(ball);
+  EXPECT_FALSE(isFragmentFrame(frame));
+  // Ball frames share the CRC trailer convention, so the checksum holds
+  // and the decoder rejects on the magic.
+  EXPECT_EQ(decodeFragment(frame).error, DecodeError::BadMagic);
+}
+
+TEST(FragmentCodec, CorruptedFragmentFailsChecksum) {
+  const auto frame = randomFrame(4'000, 4);
+  auto datagrams = fragmentFrame(frame, 512, 5);
+  ASSERT_GT(datagrams.size(), 1u);
+  datagrams[0][10] ^= std::byte{0x01};
+  EXPECT_EQ(decodeFragment(datagrams[0]).error, DecodeError::ChecksumMismatch);
+}
+
+TEST(FragmentCodec, TruncatedFragmentRejected) {
+  const auto frame = randomFrame(4'000, 5);
+  auto datagrams = fragmentFrame(frame, 512, 6);
+  ASSERT_FALSE(datagrams.empty());
+  auto& d = datagrams[0];
+  d.resize(d.size() / 2);
+  EXPECT_FALSE(decodeFragment(d).ok());
+  d.resize(2);
+  EXPECT_EQ(decodeFragment(d).error, DecodeError::Truncated);
+}
+
+TEST(FragmentCodec, IndexBeyondCountRejected) {
+  const auto d = craftFragment(/*ballId=*/1, /*index=*/3, /*count=*/3,
+                               /*totalLength=*/100, /*offset=*/0,
+                               /*chunkLength=*/10, /*payloadBytes=*/10);
+  EXPECT_EQ(decodeFragment(d).error, DecodeError::LengthOverflow);
+}
+
+TEST(FragmentCodec, ZeroCountRejected) {
+  const auto d = craftFragment(1, 0, /*count=*/0, 100, 0, 10, 10);
+  EXPECT_EQ(decodeFragment(d).error, DecodeError::LengthOverflow);
+}
+
+TEST(FragmentCodec, ChunkBeyondDeclaredTotalRejected) {
+  // offset + chunkLength would overrun the declared frame.
+  const auto d = craftFragment(1, 0, 2, /*totalLength=*/100, /*offset=*/95,
+                               /*chunkLength=*/10, /*payloadBytes=*/10);
+  EXPECT_EQ(decodeFragment(d).error, DecodeError::LengthOverflow);
+}
+
+TEST(FragmentCodec, ChunkLengthMustMatchCarriedPayload) {
+  // Header claims 10 payload bytes; frame carries 12.
+  const auto d = craftFragment(1, 0, 2, 100, 0, /*chunkLength=*/10,
+                               /*payloadBytes=*/12);
+  EXPECT_EQ(decodeFragment(d).error, DecodeError::LengthOverflow);
+}
+
+TEST(FragmentCodec, WrongVersionRejected) {
+  std::vector<std::byte> d;
+  d.push_back(static_cast<std::byte>(kFragmentMagic & 0xFF));
+  d.push_back(static_cast<std::byte>(kFragmentMagic >> 8));
+  d.push_back(std::byte{99});  // unsupported version
+  const std::uint32_t crc = crc32c(d);
+  for (int shift = 0; shift < 32; shift += 8) {
+    d.push_back(static_cast<std::byte>((crc >> shift) & 0xFF));
+  }
+  EXPECT_EQ(decodeFragment(d).error, DecodeError::BadVersion);
+}
+
+TEST(FragmentCodec, RejectsDegenerateMtu) {
+  const auto frame = randomFrame(1'000, 6);
+  EXPECT_THROW(fragmentFrame(frame, kMinFragmentMtu - 1, 1), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace epto::codec

@@ -1,0 +1,112 @@
+// Tests of the overload primitives of the UDP node loop: the bounded
+// ingress queue and the stall watchdog (DESIGN.md §10).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+
+#include "runtime/ingress_queue.h"
+#include "runtime/stall_watchdog.h"
+#include "util/ensure.h"
+
+namespace epto::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+Ball makeBall(std::uint32_t seq) {
+  Ball ball;
+  Event e;
+  e.id = EventId{1, seq};
+  e.ts = seq;
+  ball.push_back(e);
+  return ball;
+}
+
+TEST(IngressQueue, FifoWithinCapacity) {
+  IngressQueue queue(4);
+  for (std::uint32_t i = 0; i < 3; ++i) EXPECT_EQ(queue.push(makeBall(i)), 0u);
+  EXPECT_EQ(queue.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    const auto ball = queue.pop();
+    ASSERT_TRUE(ball.has_value());
+    EXPECT_EQ((*ball)[0].id.sequence, i);
+  }
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+// The flood test of the overload contract: the queue never exceeds its
+// bound, sheds oldest-first, and what survives is the newest suffix of
+// the flood, still in FIFO order.
+TEST(IngressQueue, FloodShedsOldestAndNeverExceedsBound) {
+  constexpr std::size_t kCapacity = 8;
+  constexpr std::uint32_t kFlood = 100;
+  IngressQueue queue(kCapacity);
+  std::size_t shed = 0;
+  for (std::uint32_t i = 0; i < kFlood; ++i) {
+    shed += queue.push(makeBall(i));
+    EXPECT_LE(queue.size(), kCapacity);
+  }
+  EXPECT_EQ(shed, kFlood - kCapacity);
+  EXPECT_EQ(queue.shedTotal(), kFlood - kCapacity);
+  EXPECT_EQ(queue.highWater(), kCapacity);
+
+  // Oldest-first shedding leaves exactly the newest kCapacity balls.
+  for (std::uint32_t i = kFlood - kCapacity; i < kFlood; ++i) {
+    const auto ball = queue.pop();
+    ASSERT_TRUE(ball.has_value());
+    EXPECT_EQ((*ball)[0].id.sequence, i);
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(IngressQueue, ClearReportsDiscardedCount) {
+  IngressQueue queue(4);
+  for (std::uint32_t i = 0; i < 3; ++i) queue.push(makeBall(i));
+  EXPECT_EQ(queue.clear(), 3u);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.shedTotal(), 0u);  // clear() is not shedding
+}
+
+TEST(IngressQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(IngressQueue{0}, util::ContractViolation);
+}
+
+TEST(StallWatchdog, TriggersAfterConsecutiveMisses) {
+  StallWatchdog watchdog(3);
+  const auto period = 4ms;
+  EXPECT_FALSE(watchdog.onRoundBoundary(10ms, period));
+  EXPECT_FALSE(watchdog.onRoundBoundary(10ms, period));
+  EXPECT_TRUE(watchdog.onRoundBoundary(10ms, period));
+  EXPECT_EQ(watchdog.recoveries(), 1u);
+  // Edge-triggered: the streak restarts after a recovery.
+  EXPECT_FALSE(watchdog.onRoundBoundary(10ms, period));
+  EXPECT_EQ(watchdog.consecutiveMisses(), 1u);
+}
+
+TEST(StallWatchdog, OnTimeRoundResetsTheStreak) {
+  StallWatchdog watchdog(2);
+  const auto period = 4ms;
+  EXPECT_FALSE(watchdog.onRoundBoundary(10ms, period));
+  EXPECT_FALSE(watchdog.onRoundBoundary(1ms, period));  // on time: reset
+  EXPECT_FALSE(watchdog.onRoundBoundary(10ms, period));
+  EXPECT_TRUE(watchdog.onRoundBoundary(10ms, period));
+  EXPECT_EQ(watchdog.recoveries(), 1u);
+}
+
+TEST(StallWatchdog, LatenessWithinOnePeriodIsNotAMiss) {
+  StallWatchdog watchdog(1);
+  EXPECT_FALSE(watchdog.onRoundBoundary(4ms, 4ms));  // exactly one period: ok
+  EXPECT_TRUE(watchdog.onRoundBoundary(4ms + 1us, 4ms));
+}
+
+TEST(StallWatchdog, ZeroThresholdDisables) {
+  StallWatchdog watchdog(0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(watchdog.onRoundBoundary(1s, 1ms));
+  }
+  EXPECT_EQ(watchdog.recoveries(), 0u);
+}
+
+}  // namespace
+}  // namespace epto::runtime

@@ -1,0 +1,220 @@
+// Tests of the TTL/capacity-bounded reassembly buffer (DESIGN.md §10).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "codec/fragment_codec.h"
+#include "runtime/reassembly.h"
+#include "util/ensure.h"
+#include "util/rng.h"
+
+namespace epto::runtime {
+namespace {
+
+std::vector<std::byte> randomFrame(std::size_t size, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::byte> frame(size);
+  for (auto& b : frame) b = static_cast<std::byte>(rng.below(256));
+  return frame;
+}
+
+codec::FragmentFrame decodeOrDie(const std::vector<std::byte>& datagram) {
+  const auto decoded = codec::decodeFragment(datagram);
+  EPTO_ENSURE_MSG(decoded.ok(), "test datagram must decode");
+  return decoded.fragment;
+}
+
+TEST(Reassembler, InOrderFragmentsCompleteTheFrame) {
+  const auto frame = randomFrame(5'000, 1);
+  const auto datagrams = codec::fragmentFrame(frame, 512, /*ballId=*/1);
+  ASSERT_GT(datagrams.size(), 1u);
+
+  Reassembler reassembler(ReassemblyOptions{});
+  for (std::size_t i = 0; i + 1 < datagrams.size(); ++i) {
+    EXPECT_FALSE(reassembler.accept(decodeOrDie(datagrams[i]), /*round=*/1).has_value());
+  }
+  const auto completed = reassembler.accept(decodeOrDie(datagrams.back()), 1);
+  ASSERT_TRUE(completed.has_value());
+  EXPECT_EQ(*completed, frame);
+  EXPECT_EQ(reassembler.partialCount(), 0u);
+  EXPECT_EQ(reassembler.bufferedBytes(), 0u);
+  EXPECT_EQ(reassembler.stats().framesCompleted, 1u);
+}
+
+// Property-style: any arrival order, with duplicated fragments mixed in,
+// reassembles the original frame exactly once.
+TEST(Reassembler, RandomizedArrivalOrdersAndDuplicatesRoundTrip) {
+  for (std::uint64_t trial = 0; trial < 25; ++trial) {
+    util::Rng rng(1000 + trial);
+    const std::size_t size = 1'000 + rng.below(20'000);
+    const auto frame = randomFrame(size, 2000 + trial);
+    const auto datagrams = codec::fragmentFrame(frame, 512, trial);
+    if (datagrams.size() < 2) continue;
+
+    // Shuffle the arrival order and sprinkle in duplicates.
+    std::vector<std::size_t> arrivals(datagrams.size());
+    std::iota(arrivals.begin(), arrivals.end(), std::size_t{0});
+    for (std::size_t i = arrivals.size(); i > 1; --i) {
+      std::swap(arrivals[i - 1], arrivals[rng.below(i)]);
+    }
+    const std::size_t duplicates = rng.below(datagrams.size());
+    for (std::size_t i = 0; i < duplicates; ++i) {
+      arrivals.insert(arrivals.begin() + static_cast<std::ptrdiff_t>(
+                          rng.below(arrivals.size())),
+                      rng.below(datagrams.size()));
+    }
+
+    Reassembler reassembler(ReassemblyOptions{});
+    std::size_t completions = 0;
+    std::vector<std::byte> rebuilt;
+    for (const std::size_t index : arrivals) {
+      auto completed = reassembler.accept(decodeOrDie(datagrams[index]), 1);
+      if (completed.has_value()) {
+        ++completions;
+        rebuilt = std::move(*completed);
+      }
+    }
+    // Duplicates can never cause a second completion (completing again
+    // would need all `count` distinct indices after the release), and
+    // at most one re-opened partial can linger from post-completion
+    // duplicates.
+    EXPECT_EQ(completions, 1u) << "trial " << trial;
+    EXPECT_EQ(rebuilt, frame) << "trial " << trial;
+    EXPECT_LE(reassembler.partialCount(), 1u) << "trial " << trial;
+    const auto& stats = reassembler.stats();
+    EXPECT_EQ(stats.fragmentsAccepted + stats.duplicateFragments, arrivals.size())
+        << "trial " << trial;
+  }
+}
+
+TEST(Reassembler, GeometryMismatchRejectedPartialSurvives) {
+  const auto frame = randomFrame(5'000, 3);
+  const auto datagrams = codec::fragmentFrame(frame, 512, 1);
+  ASSERT_GT(datagrams.size(), 2u);
+
+  Reassembler reassembler(ReassemblyOptions{});
+  ASSERT_FALSE(reassembler.accept(decodeOrDie(datagrams[0]), 1).has_value());
+
+  // A forged sibling under the same ballId with a different geometry.
+  auto forged = decodeOrDie(datagrams[1]);
+  forged.totalLength += 1;
+  EXPECT_FALSE(reassembler.accept(forged, 1).has_value());
+  EXPECT_EQ(reassembler.stats().mismatchedFragments, 1u);
+
+  // The genuine fragments still complete the frame.
+  std::optional<std::vector<std::byte>> completed;
+  for (std::size_t i = 1; i < datagrams.size(); ++i) {
+    completed = reassembler.accept(decodeOrDie(datagrams[i]), 1);
+  }
+  ASSERT_TRUE(completed.has_value());
+  EXPECT_EQ(*completed, frame);
+}
+
+TEST(Reassembler, OversizedDeclaredFrameRejectedBeforeAllocation) {
+  ReassemblyOptions options;
+  options.maxFrameBytes = 1024;
+  Reassembler reassembler(options);
+
+  const auto frame = randomFrame(5'000, 4);
+  const auto datagrams = codec::fragmentFrame(frame, 512, 1);
+  EXPECT_FALSE(reassembler.accept(decodeOrDie(datagrams[0]), 1).has_value());
+  EXPECT_EQ(reassembler.stats().oversizedRejected, 1u);
+  EXPECT_EQ(reassembler.partialCount(), 0u);
+  EXPECT_EQ(reassembler.bufferedBytes(), 0u);
+}
+
+// Adversarial leak test: a peer spraying partial frames that never
+// complete must not grow memory without bound — TTL eviction and the
+// capacity bound together keep bufferedBytes finite and return it to
+// zero once the spray stops.
+TEST(Reassembler, PartialFrameSprayCannotLeakMemory) {
+  ReassemblyOptions options;
+  options.maxPartialFrames = 8;
+  options.ttlRounds = 4;
+  Reassembler reassembler(options);
+
+  const auto frame = randomFrame(4'000, 5);
+  std::size_t maxBuffered = 0;
+  for (std::uint64_t round = 1; round <= 200; ++round) {
+    // Two fresh never-completed partials per round (first fragment only).
+    for (std::uint64_t i = 0; i < 2; ++i) {
+      const auto datagrams = codec::fragmentFrame(frame, 512, round * 100 + i);
+      EXPECT_FALSE(reassembler.accept(decodeOrDie(datagrams[0]), round).has_value());
+    }
+    reassembler.evictExpired(round);
+    EXPECT_LE(reassembler.partialCount(), options.maxPartialFrames);
+    maxBuffered = std::max(maxBuffered, reassembler.bufferedBytes());
+  }
+  EXPECT_LE(maxBuffered, options.maxPartialFrames * frame.size());
+  EXPECT_GT(reassembler.stats().partialsShed, 0u);
+
+  // Spray over: after a TTL's worth of quiet rounds, everything drains.
+  reassembler.evictExpired(200 + options.ttlRounds + 1);
+  EXPECT_EQ(reassembler.partialCount(), 0u);
+  EXPECT_EQ(reassembler.bufferedBytes(), 0u);
+}
+
+TEST(Reassembler, TtlEvictsIdlePartials) {
+  ReassemblyOptions options;
+  options.ttlRounds = 3;
+  Reassembler reassembler(options);
+
+  const auto frame = randomFrame(4'000, 6);
+  const auto datagrams = codec::fragmentFrame(frame, 512, 1);
+  ASSERT_FALSE(reassembler.accept(decodeOrDie(datagrams[0]), /*round=*/10).has_value());
+  reassembler.evictExpired(12);
+  EXPECT_EQ(reassembler.partialCount(), 1u);  // touched at 10, not yet expired
+  reassembler.evictExpired(13);
+  EXPECT_EQ(reassembler.partialCount(), 0u);
+  EXPECT_EQ(reassembler.stats().partialsExpired, 1u);
+}
+
+TEST(Reassembler, CapacityShedsStalestPartialFirst) {
+  ReassemblyOptions options;
+  options.maxPartialFrames = 2;
+  Reassembler reassembler(options);
+
+  const auto frame = randomFrame(4'000, 7);
+  // Partials 1, 2, 3 started at rounds 1, 2, 3; admitting 3 sheds 1.
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    const auto datagrams = codec::fragmentFrame(frame, 512, id);
+    ASSERT_FALSE(reassembler.accept(decodeOrDie(datagrams[0]), /*round=*/id).has_value());
+  }
+  EXPECT_EQ(reassembler.partialCount(), 2u);
+  EXPECT_EQ(reassembler.stats().partialsShed, 1u);
+
+  // Ball 2 survived: completing it still works.
+  const auto datagrams = codec::fragmentFrame(frame, 512, 2);
+  std::optional<std::vector<std::byte>> completed;
+  for (std::size_t i = 1; i < datagrams.size(); ++i) {
+    completed = reassembler.accept(decodeOrDie(datagrams[i]), 4);
+  }
+  ASSERT_TRUE(completed.has_value());
+  EXPECT_EQ(*completed, frame);
+}
+
+TEST(Reassembler, ClearDropsEverything) {
+  Reassembler reassembler(ReassemblyOptions{});
+  const auto frame = randomFrame(4'000, 8);
+  const auto datagrams = codec::fragmentFrame(frame, 512, 1);
+  ASSERT_FALSE(reassembler.accept(decodeOrDie(datagrams[0]), 1).has_value());
+  EXPECT_GT(reassembler.bufferedBytes(), 0u);
+  reassembler.clear();
+  EXPECT_EQ(reassembler.partialCount(), 0u);
+  EXPECT_EQ(reassembler.bufferedBytes(), 0u);
+}
+
+TEST(Reassembler, RejectsDegenerateOptions) {
+  ReassemblyOptions zeroCapacity;
+  zeroCapacity.maxPartialFrames = 0;
+  EXPECT_THROW(Reassembler{zeroCapacity}, util::ContractViolation);
+  ReassemblyOptions zeroTtl;
+  zeroTtl.ttlRounds = 0;
+  EXPECT_THROW(Reassembler{zeroTtl}, util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace epto::runtime

@@ -1,11 +1,21 @@
-// Tests of EpTO over real UDP sockets on loopback (§8.5).
+// Tests of EpTO over real UDP sockets on loopback (§8.5), including the
+// overload-hardening layer: fragmentation, truncation detection, send
+// classification/backoff, bounded ingress, and the stall watchdog
+// (DESIGN.md §10).
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "codec/ball_codec.h"
+#include "codec/fragment_codec.h"
 #include "runtime/udp_cluster.h"
 #include "runtime/udp_transport.h"
+#include "util/ensure.h"
+#include "util/rng.h"
 
 namespace epto::runtime {
 namespace {
@@ -22,6 +32,13 @@ Ball makeBall(std::uint32_t seq) {
   return ball;
 }
 
+PayloadPtr makePayload(std::size_t size, std::uint64_t seed) {
+  util::Rng rng(seed);
+  PayloadBytes bytes(size);
+  for (auto& b : bytes) b = static_cast<std::byte>(rng.below(256));
+  return std::make_shared<const PayloadBytes>(std::move(bytes));
+}
+
 TEST(UdpSocket, BindsToDistinctLoopbackPorts) {
   UdpSocket a;
   UdpSocket b;
@@ -36,7 +53,8 @@ TEST(UdpSocket, DatagramRoundTrip) {
   ASSERT_TRUE(sendBall(sender, receiver.port(), makeBall(7)));
   const auto datagram = receiver.receive(2000);
   ASSERT_TRUE(datagram.has_value());
-  const auto decoded = codec::decodeBall(*datagram);
+  EXPECT_FALSE(datagram->truncated);
+  const auto decoded = codec::decodeBall(datagram->bytes);
   ASSERT_TRUE(decoded.ok());
   ASSERT_EQ(decoded.ball.size(), 1u);
   EXPECT_EQ(decoded.ball[0].id.sequence, 7u);
@@ -69,7 +87,51 @@ TEST(UdpSocket, GarbageDatagramFailsValidationNotCrash) {
                             {std::byte{0xDE}, std::byte{0xAD}, std::byte{0xBE}}));
   const auto datagram = receiver.receive(2000);
   ASSERT_TRUE(datagram.has_value());
-  EXPECT_FALSE(codec::decodeBall(*datagram).ok());
+  EXPECT_FALSE(codec::decodeBall(datagram->bytes).ok());
+}
+
+TEST(UdpSocket, OversizedDatagramIsFlaggedTruncated) {
+  UdpSocket sender;
+  UdpSocket receiver(/*receiveBufferBytes=*/128);
+  ASSERT_TRUE(sender.sendTo(receiver.port(), std::vector<std::byte>(512)));
+  const auto datagram = receiver.receive(2000);
+  ASSERT_TRUE(datagram.has_value());
+  EXPECT_TRUE(datagram->truncated);
+  EXPECT_EQ(datagram->bytes.size(), 128u);  // MSG_TRUNC keeps the prefix
+}
+
+TEST(UdpSocket, SendBeyondUdpLimitIsAHardFailure) {
+  UdpSocket sender;
+  UdpSocket receiver;
+  // 70000 bytes exceed what a UDP datagram can carry: EMSGSIZE, which
+  // no amount of retrying fixes.
+  const std::vector<std::byte> frame(70'000);
+  EXPECT_EQ(sender.trySendTo(receiver.port(), frame), SendStatus::Hard);
+  EXPECT_FALSE(sender.sendTo(receiver.port(), frame));
+}
+
+TEST(UdpSocket, BackoffDoesNotRetryHardFailures) {
+  UdpSocket sender;
+  UdpSocket receiver;
+  util::Rng rng(1);
+  SendBackoffPolicy policy;
+  policy.maxAttempts = 5;
+  const auto outcome =
+      sendWithBackoff(sender, receiver.port(), std::vector<std::byte>(70'000),
+                      policy, rng);
+  EXPECT_EQ(outcome.status, SendStatus::Hard);
+  EXPECT_EQ(outcome.retries, 0);
+}
+
+TEST(UdpSocket, BackoffDeliversOrdinaryDatagrams) {
+  UdpSocket sender;
+  UdpSocket receiver;
+  util::Rng rng(2);
+  const auto outcome = sendWithBackoff(sender, receiver.port(),
+                                       codec::encodeBall(makeBall(3)),
+                                       SendBackoffPolicy{}, rng);
+  EXPECT_EQ(outcome.status, SendStatus::Sent);
+  EXPECT_TRUE(receiver.receive(2000).has_value());
 }
 
 TEST(UdpCluster, TotalOrderOverRealSockets) {
@@ -107,6 +169,94 @@ TEST(UdpCluster, GlobalClockModeOverSockets) {
   EXPECT_TRUE(report.allPropertiesHold());
 }
 
+// The tentpole end-to-end: balls far beyond the 64 KiB datagram limit
+// must be fragmented, survive the wire, reassemble and deliver with
+// every Table 1 verdict green.
+TEST(UdpCluster, JumboBallsDeliverThroughFragmentation) {
+  UdpClusterOptions options;
+  options.nodeCount = 4;
+  options.roundPeriod = 8ms;
+  options.seed = 17;
+  UdpCluster cluster(options);
+  cluster.start();
+  cluster.broadcast(0, makePayload(100'000, 170));
+  cluster.broadcast(1, makePayload(100'000, 171));
+  ASSERT_TRUE(cluster.awaitQuiescence(60s)) << cluster.lastQuiescenceReport();
+  cluster.stop();
+  const auto report = cluster.report();
+  EXPECT_EQ(report.deliveries, 8u);
+  EXPECT_TRUE(report.allPropertiesHold());
+  EXPECT_GT(cluster.ballsFragmented(), 0u);
+  EXPECT_GT(cluster.fragmentsSent(), 0u);
+  EXPECT_GT(cluster.ballsReassembled(), 0u);
+  EXPECT_EQ(cluster.framesRejected(), 0u);
+  EXPECT_EQ(cluster.truncatedDatagrams(), 0u);
+}
+
+// Overload flood: a tight ingress bound with a tiny drain budget under
+// all-to-all gossip. The queue must respect its bound and the protocol
+// must still converge to green verdicts — shedding costs redundancy,
+// not correctness.
+TEST(UdpCluster, IngressBoundHoldsUnderFloodAndVerdictsStayGreen) {
+  UdpClusterOptions options;
+  options.nodeCount = 8;
+  options.roundPeriod = 4ms;
+  options.fanoutOverride = 7;
+  options.ingressCapacity = 4;
+  options.ingressDrainBudget = 1;
+  options.seed = 19;
+  UdpCluster cluster(options);
+  cluster.start();
+  for (std::size_t i = 0; i < 8; ++i) cluster.broadcast(i);
+  ASSERT_TRUE(cluster.awaitQuiescence(60s)) << cluster.lastQuiescenceReport();
+  cluster.stop();
+  const auto report = cluster.report();
+  EXPECT_EQ(report.deliveries, 64u);
+  EXPECT_TRUE(report.allPropertiesHold());
+  EXPECT_LE(cluster.ingressHighWater(), 4u);
+}
+
+// A round period far below what one loop iteration costs makes every
+// round a miss; the watchdog must fire, force-drain, and the cluster
+// must still deliver everything (recovery processes the backlog, it
+// never discards it).
+TEST(UdpCluster, WatchdogRecoversAnOverdrivenSchedule) {
+  UdpClusterOptions options;
+  options.nodeCount = 3;
+  options.roundPeriod = std::chrono::microseconds{20};
+  options.watchdogMissedRounds = 2;
+  options.seed = 23;
+  UdpCluster cluster(options);
+  cluster.start();
+  for (std::size_t i = 0; i < 3; ++i) cluster.broadcast(i);
+  ASSERT_TRUE(cluster.awaitQuiescence(30s)) << cluster.lastQuiescenceReport();
+  cluster.stop();
+  const auto report = cluster.report();
+  EXPECT_EQ(report.deliveries, 9u);
+  EXPECT_TRUE(report.allPropertiesHold());
+  EXPECT_GT(cluster.watchdogRecoveries(), 0u);
+}
+
+TEST(UdpCluster, ExportsLabeledTransportCounters) {
+  UdpClusterOptions options;
+  options.nodeCount = 3;
+  options.roundPeriod = 4ms;
+  options.seed = 29;
+  UdpCluster cluster(options);
+  cluster.start();
+  cluster.broadcast(0);
+  ASSERT_TRUE(cluster.awaitQuiescence(30s));
+  cluster.stop();
+  const std::string snapshot = cluster.prometheusSnapshot();
+  EXPECT_NE(snapshot.find("epto_udp_send_failures_total{cause=\"transient\"}"),
+            std::string::npos);
+  EXPECT_NE(snapshot.find("epto_udp_send_failures_total{cause=\"hard\"}"),
+            std::string::npos);
+  EXPECT_NE(snapshot.find("epto_udp_truncated_total"), std::string::npos);
+  EXPECT_NE(snapshot.find("epto_udp_ingress_shed_total"), std::string::npos);
+  EXPECT_NE(snapshot.find("epto_udp_watchdog_recoveries_total"), std::string::npos);
+}
+
 TEST(UdpCluster, StopIsIdempotent) {
   UdpClusterOptions options;
   options.nodeCount = 3;
@@ -118,9 +268,46 @@ TEST(UdpCluster, StopIsIdempotent) {
 }
 
 TEST(UdpCluster, RejectsDegenerateOptions) {
-  UdpClusterOptions options;
-  options.nodeCount = 1;
-  EXPECT_THROW(UdpCluster{options}, util::ContractViolation);
+  {
+    UdpClusterOptions options;
+    options.nodeCount = 1;
+    EXPECT_THROW(UdpCluster{options}, util::ContractViolation);
+  }
+  {
+    UdpClusterOptions options;
+    options.mtuBytes = codec::kMinFragmentMtu - 1;
+    EXPECT_THROW(UdpCluster{options}, util::ContractViolation);
+  }
+  {
+    UdpClusterOptions options;
+    options.mtuBytes = kMaxUdpDatagramBytes + 1;
+    EXPECT_THROW(UdpCluster{options}, util::ContractViolation);
+  }
+  {
+    UdpClusterOptions options;
+    options.ingressCapacity = 0;
+    EXPECT_THROW(UdpCluster{options}, util::ContractViolation);
+  }
+  {
+    UdpClusterOptions options;
+    options.ingressDrainBudget = 0;
+    EXPECT_THROW(UdpCluster{options}, util::ContractViolation);
+  }
+  {
+    UdpClusterOptions options;
+    options.reassemblyTtlRounds = 0;
+    EXPECT_THROW(UdpCluster{options}, util::ContractViolation);
+  }
+  {
+    UdpClusterOptions options;
+    options.sendBackoff.maxAttempts = 0;
+    EXPECT_THROW(UdpCluster{options}, util::ContractViolation);
+  }
+  {
+    UdpClusterOptions options;
+    options.sendBackoff.multiplier = 0.5;
+    EXPECT_THROW(UdpCluster{options}, util::ContractViolation);
+  }
 }
 
 }  // namespace
