@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
                      "n=200",
                      args);
 
+  std::vector<bench::SweepItem> items;
   for (const double jitter : {0.0, 0.01, 0.10, 0.25}) {
     workload::ExperimentConfig config;
     config.systemSize = 200;
@@ -25,7 +26,7 @@ int main(int argc, char** argv) {
     config.seed = args.seed;
     char label[48];
     std::snprintf(label, sizeof label, "jitter_%.2f", jitter);
-    bench::runSeries(label, config, args);
+    items.push_back({label, config});
   }
 
   for (const double spread : {0.10, 0.25}) {
@@ -42,7 +43,8 @@ int main(int argc, char** argv) {
     char label[64];
     std::snprintf(label, sizeof label, "speed_spread_%.2f_lemma5_ttl%u", spread,
                   *config.ttlOverride);
-    bench::runSeries(label, config, args);
+    items.push_back({label, config});
   }
+  bench::runSweep(std::move(items), args);
   return 0;
 }

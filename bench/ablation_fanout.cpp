@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   bench::printHeader("Ablation fanout",
                      "delay and holes vs fanout K, n=100 (theory: K=17)", args);
 
+  std::vector<bench::SweepItem> items;
   for (const std::size_t fanout : {1u, 2u, 3u, 5u, 9u, 17u}) {
     workload::ExperimentConfig config;
     config.systemSize = 100;
@@ -19,7 +20,7 @@ int main(int argc, char** argv) {
     config.seed = args.seed;
     char label[48];
     std::snprintf(label, sizeof label, "fanout%zu", fanout);
-    bench::runSeries(label, config, args);
+    items.push_back({label, config});
   }
 
   // Lemma 7 in action: 20% loss with the base fanout vs the compensated
@@ -32,8 +33,9 @@ int main(int argc, char** argv) {
     config.messageLossRate = 0.20;
     config.compensateFanout = compensate;
     config.seed = args.seed;
-    bench::runSeries(compensate ? "loss20_lemma7_compensated" : "loss20_base_fanout",
-                     config, args);
+    items.push_back(
+        {compensate ? "loss20_lemma7_compensated" : "loss20_base_fanout", config});
   }
+  bench::runSweep(std::move(items), args);
   return 0;
 }

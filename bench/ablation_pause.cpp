@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   bench::printHeader("Ablation pause",
                      "stalled processes resume without holes, n=300, 5% bcast", args);
 
+  std::vector<bench::SweepItem> items;
   // Clean catch-up: the stall covers the start of the broadcast window,
   // so stalled processes never broadcast right before freezing. They
   // resume, replay their backlog and deliver everything — zero holes;
@@ -33,7 +34,7 @@ int main(int argc, char** argv) {
     config.seed = args.seed;
     char label[48];
     std::snprintf(label, sizeof label, "paused_%.0fpct", fraction * 100.0);
-    bench::runSeries(label, config, args);
+    items.push_back({label, config});
   }
 
   // The §5.3 degenerate case: stalling mid-window strands the stalled
@@ -49,7 +50,8 @@ int main(int argc, char** argv) {
     config.pause.startRound = 4;
     config.pause.durationRounds = 25;
     config.seed = args.seed;
-    bench::runSeries("paused_10pct_midwindow_sec53", config, args);
+    items.push_back({"paused_10pct_midwindow_sec53", config});
   }
+  bench::runSweep(std::move(items), args);
   return 0;
 }

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   // nominal round at speed spread s; Pbcast fails once the divergence
   // crosses its stability window (TTL + 2 rounds) during the broadcast
   // phase, which the 0.40 setting reaches within this run length.
+  std::vector<bench::SweepItem> items;
   for (const double spread : {0.0, 0.15, 0.40}) {
     for (const bool useEpto : {false, true}) {
       workload::ExperimentConfig config;
@@ -35,8 +36,9 @@ int main(int argc, char** argv) {
       char label[64];
       std::snprintf(label, sizeof label, "%s_spread_%.2f",
                     useEpto ? "epto" : "pbcast", spread);
-      bench::runSeries(label, config, args);
+      items.push_back({label, config});
     }
   }
+  bench::runSweep(std::move(items), args);
   return 0;
 }

@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
   bench::printHeader("Ablation PSS",
                      "EpTO under churn across peer-sampling designs, n=300", args);
 
-  const auto run = [&](const char* label, workload::PssKind kind,
+  std::vector<bench::SweepItem> items;
+  const auto add = [&](const char* label, workload::PssKind kind,
                        pss::ViewSelection viewSelection) {
     workload::ExperimentConfig config;
     config.systemSize = 300;
@@ -31,12 +32,13 @@ int main(int argc, char** argv) {
       config.genericPssOptions.swap = 0;
     }
     config.seed = args.seed;
-    bench::runSeries(label, config, args);
+    items.push_back({label, config});
   };
 
-  run("oracle", workload::PssKind::UniformOracle, pss::ViewSelection::Healer);
-  run("cyclon", workload::PssKind::Cyclon, pss::ViewSelection::Healer);
-  run("generic_healer", workload::PssKind::Generic, pss::ViewSelection::Healer);
-  run("generic_blind", workload::PssKind::Generic, pss::ViewSelection::Blind);
+  add("oracle", workload::PssKind::UniformOracle, pss::ViewSelection::Healer);
+  add("cyclon", workload::PssKind::Cyclon, pss::ViewSelection::Healer);
+  add("generic_healer", workload::PssKind::Generic, pss::ViewSelection::Healer);
+  add("generic_blind", workload::PssKind::Generic, pss::ViewSelection::Blind);
+  bench::runSweep(std::move(items), args);
   return 0;
 }

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   bench::printHeader("Ablation sequencer",
                      "EpTO vs fixed-sequencer total order, n=200, 5% bcast", args);
 
+  std::vector<bench::SweepItem> items;
   for (const double loss : {0.0, 0.02}) {
     for (const bool useEpto : {false, true}) {
       workload::ExperimentConfig config;
@@ -27,14 +28,19 @@ int main(int argc, char** argv) {
       char label[64];
       std::snprintf(label, sizeof label, "%s_loss_%.2f",
                     useEpto ? "epto" : "sequencer", loss);
-      const auto result = bench::runSeries(label, config, args);
-      std::printf("%s network_messages=%llu per_event=%.1f\n", label,
-                  static_cast<unsigned long long>(result.network.sent),
-                  result.report.eventsMeasured == 0
-                      ? 0.0
-                      : static_cast<double>(result.network.sent) /
-                            static_cast<double>(result.report.eventsMeasured));
+      items.push_back({label, config});
     }
   }
+  bench::runSweep(std::move(items), args,
+                  [](const bench::SweepItem& item,
+                     const workload::ExperimentResult& result) {
+                    std::printf("%s network_messages=%llu per_event=%.1f\n",
+                                item.label.c_str(),
+                                static_cast<unsigned long long>(result.network.sent),
+                                result.report.eventsMeasured == 0
+                                    ? 0.0
+                                    : static_cast<double>(result.network.sent) /
+                                          static_cast<double>(result.report.eventsMeasured));
+                  });
   return 0;
 }

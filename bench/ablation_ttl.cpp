@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
                      "30 logical)",
                      args);
 
+  std::vector<bench::SweepItem> items;
   for (const ClockMode mode : {ClockMode::Global, ClockMode::Logical}) {
     const char* clockName = mode == ClockMode::Global ? "global" : "logical";
     for (const std::uint32_t ttl : {2u, 3u, 5u, 8u, 15u, 30u}) {
@@ -26,8 +27,9 @@ int main(int argc, char** argv) {
       config.seed = args.seed;
       char label[48];
       std::snprintf(label, sizeof label, "ttl%u_%s", ttl, clockName);
-      bench::runSeries(label, config, args);
+      items.push_back({label, config});
     }
   }
+  bench::runSweep(std::move(items), args);
   return 0;
 }

@@ -20,15 +20,19 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "obs/exporters.h"
 #include "workload/experiment.h"
+#include "workload/sweep.h"
 
 namespace epto::bench {
 
@@ -36,7 +40,10 @@ struct BenchArgs {
   bool paperScale = false;
   std::uint64_t seed = 42;
   std::size_t cdfSteps = 20;
+  std::size_t jobs = 1;    ///< worker threads for independent conditions.
   std::string metricsOut;  ///< empty = no JSONL metrics output.
+  std::string benchJson;   ///< empty = no perf-trajectory JSONL output.
+  std::string binaryName;  ///< basename(argv[0]), labels the perf record.
   /// Open lazily on first runSeries() so binaries that only parse args
   /// (e.g. --help handling in tests) never create the file.
   std::shared_ptr<obs::JsonlWriter> metricsWriter;
@@ -50,8 +57,13 @@ struct BenchArgs {
                "                       scaled-down defaults\n"
                "  --seed=<n>           master RNG seed (default 42)\n"
                "  --cdf-steps=<n>      rows per printed CDF series (default 20)\n"
+               "  --jobs=<n>           run independent conditions on up to n worker\n"
+               "                       threads (default 1; output is identical for\n"
+               "                       every n — see EXPERIMENTS.md)\n"
                "  --metrics-out=<path> append per-round samples and the final metric\n"
                "                       snapshot as JSONL to <path>\n"
+               "  --bench-json=<path>  append one epto.bench.figs/1 JSONL record\n"
+               "                       (wall clock, jobs, per-condition counters)\n"
                "  --help               print this message and exit\n",
                argv0);
   std::exit(code);
@@ -59,6 +71,10 @@ struct BenchArgs {
 
 inline BenchArgs parseArgs(int argc, char** argv) {
   BenchArgs args;
+  if (argc > 0) {
+    const char* slash = std::strrchr(argv[0], '/');
+    args.binaryName = slash != nullptr ? slash + 1 : argv[0];
+  }
   const auto numeric = [&](const char* flag, const char* value) {
     char* end = nullptr;
     const std::uint64_t parsed = std::strtoull(value, &end, 10);
@@ -75,10 +91,22 @@ inline BenchArgs parseArgs(int argc, char** argv) {
       args.seed = numeric("--seed", argv[i] + 7);
     } else if (std::strncmp(argv[i], "--cdf-steps=", 12) == 0) {
       args.cdfSteps = numeric("--cdf-steps", argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      args.jobs = numeric("--jobs", argv[i] + 7);
+      if (args.jobs == 0) {
+        std::fprintf(stderr, "%s: --jobs must be at least 1\n", argv[0]);
+        printUsageAndExit(argv[0], 2);
+      }
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       args.metricsOut = argv[i] + 14;
       if (args.metricsOut.empty()) {
         std::fprintf(stderr, "%s: --metrics-out requires a path\n", argv[0]);
+        printUsageAndExit(argv[0], 2);
+      }
+    } else if (std::strncmp(argv[i], "--bench-json=", 13) == 0) {
+      args.benchJson = argv[i] + 13;
+      if (args.benchJson.empty()) {
+        std::fprintf(stderr, "%s: --bench-json requires a path\n", argv[0]);
         printUsageAndExit(argv[0], 2);
       }
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
@@ -140,18 +168,20 @@ inline void writeMetricsJsonl(BenchArgs& args, const std::string& label,
   writer.flush();
 }
 
-/// Run one condition and print its CDF series plus verdict/summary lines.
-/// Returns the result for cross-condition comparisons.
-inline workload::ExperimentResult runSeries(const std::string& label,
-                                            const workload::ExperimentConfig& configIn,
-                                            BenchArgs& args) {
-  workload::ExperimentConfig config = configIn;
+/// Default the observability sampling stride when metrics are requested.
+inline void applySamplingDefault(workload::ExperimentConfig& config, const BenchArgs& args) {
   if (!args.metricsOut.empty() && config.metricsSampleEvery == 0) {
     // Roughly one RoundSample per system round: the global executed-round
     // counter advances systemSize times per round period.
     config.metricsSampleEvery = std::max<std::uint64_t>(1, config.systemSize / 8);
   }
-  const auto result = workload::runExperiment(config);
+}
+
+/// Print one condition's CDF series plus verdict/summary lines — the
+/// per-condition stdout contract described in the header comment.
+inline void printConditionResult(const std::string& label,
+                                 const workload::ExperimentResult& result,
+                                 const BenchArgs& args) {
   const auto& delays = result.report.delays;
   if (!delays.empty()) {
     std::fputs(delays.formatRows(label, args.cdfSteps).c_str(), stdout);
@@ -177,6 +207,91 @@ inline workload::ExperimentResult runSeries(const std::string& label,
       static_cast<unsigned long long>(result.report.deliveries), result.fanoutUsed,
       result.ttlUsed);
   std::fflush(stdout);
+}
+
+/// One experimental condition of a figure sweep.
+struct SweepItem {
+  std::string label;
+  workload::ExperimentConfig config;
+};
+
+/// Append one epto.bench.figs/1 record to --bench-json: the sweep's wall
+/// clock plus per-condition counters. Schema documented in EXPERIMENTS.md
+/// ("Performance methodology").
+inline void writeBenchJson(const BenchArgs& args, const std::vector<SweepItem>& items,
+                           const std::vector<workload::ExperimentResult>& results,
+                           double wallSeconds) {
+  if (args.benchJson.empty()) return;
+  std::FILE* out = std::fopen(args.benchJson.c_str(), "a");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open bench json output: %s\n", args.benchJson.c_str());
+    std::exit(2);
+  }
+  std::string line = "{\"schema\":\"epto.bench.figs/1\",\"binary\":\"";
+  line += obs::escape(args.binaryName);
+  line += "\",\"jobs\":" + std::to_string(args.jobs);
+  char wall[64];
+  std::snprintf(wall, sizeof wall, "%.3f", wallSeconds);
+  line += ",\"wall_clock_s\":";
+  line += wall;
+  line += ",\"conditions\":[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) line += ',';
+    line += "{\"label\":\"" + obs::escape(items[i].label) + "\"";
+    line += ",\"events\":" + std::to_string(results[i].report.eventsMeasured);
+    line += ",\"deliveries\":" + std::to_string(results[i].report.deliveries);
+    line += ",\"sim_ticks\":" + std::to_string(results[i].simulatedTicks);
+    line += ",\"rounds\":" + std::to_string(results[i].roundsExecuted);
+    line += "}";
+  }
+  line += "]}\n";
+  std::fputs(line.c_str(), out);
+  std::fclose(out);
+}
+
+/// Run a whole sweep — every condition of the figure — on up to
+/// args.jobs worker threads, then print each condition's series in
+/// submission order. Each run is deterministic in its own seed and owns
+/// all mutable state, so stdout (and the per-condition results) are
+/// byte-identical for every --jobs value; only wall-clock time changes.
+/// `perCondition`, when given, runs right after a condition's series is
+/// printed (binaries append bespoke per-condition lines with it).
+inline std::vector<workload::ExperimentResult> runSweep(
+    std::vector<SweepItem> items, BenchArgs& args,
+    const std::function<void(const SweepItem&, const workload::ExperimentResult&)>&
+        perCondition = {}) {
+  std::vector<workload::ExperimentConfig> configs;
+  configs.reserve(items.size());
+  for (auto& item : items) {
+    applySamplingDefault(item.config, args);
+    configs.push_back(item.config);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  auto results = workload::runExperiments(configs, args.jobs);
+  const double wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    printConditionResult(items[i].label, results[i], args);
+    if (perCondition) {
+      perCondition(items[i], results[i]);
+      std::fflush(stdout);
+    }
+    writeMetricsJsonl(args, items[i].label, results[i]);
+  }
+  writeBenchJson(args, items, results, wallSeconds);
+  return results;
+}
+
+/// Run one condition and print its CDF series plus verdict/summary lines.
+/// Returns the result for cross-condition comparisons. (Single-condition
+/// convenience over runSweep; sequential by construction.)
+inline workload::ExperimentResult runSeries(const std::string& label,
+                                            const workload::ExperimentConfig& configIn,
+                                            BenchArgs& args) {
+  workload::ExperimentConfig config = configIn;
+  applySamplingDefault(config, args);
+  const auto result = workload::runExperiment(config);
+  printConditionResult(label, result, args);
   writeMetricsJsonl(args, label, result);
   return result;
 }

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
                      "delivery delay CDF under message loss, n=500, global clock",
                      args);
 
+  std::vector<bench::SweepItem> items;
   for (const double loss : {0.0, 0.01, 0.05, 0.10}) {
     workload::ExperimentConfig config;
     config.systemSize = 500;
@@ -22,7 +23,8 @@ int main(int argc, char** argv) {
     config.seed = args.seed;
     char label[48];
     std::snprintf(label, sizeof label, "loss_%.2f", loss);
-    bench::runSeries(label, config, args);
+    items.push_back({label, config});
   }
+  bench::runSweep(std::move(items), args);
   return 0;
 }

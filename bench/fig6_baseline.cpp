@@ -23,26 +23,28 @@ int main(int argc, char** argv) {
   base.broadcastRounds = args.paperScale ? 40 : 20;
   base.seed = args.seed;
 
+  std::vector<bench::SweepItem> items;
   {
     auto config = base;
     config.protocol = workload::Protocol::BallsBinsBaseline;
-    bench::runSeries("baseline_no_order", config, args);
+    items.push_back({"baseline_no_order", config});
   }
   {
     auto config = base;  // c = 1.25 derives the paper's theoretical TTL=15
     config.clockMode = ClockMode::Global;
-    bench::runSeries("epto_global_ttl15", config, args);
+    items.push_back({"epto_global_ttl15", config});
   }
   {
     auto config = base;
     config.clockMode = ClockMode::Global;
     config.ttlOverride = 5;
-    bench::runSeries("epto_global_ttl5", config, args);
+    items.push_back({"epto_global_ttl5", config});
   }
   {
     auto config = base;
     config.clockMode = ClockMode::Logical;
-    bench::runSeries("epto_logical_ttl30", config, args);
+    items.push_back({"epto_logical_ttl30", config});
   }
+  bench::runSweep(std::move(items), args);
   return 0;
 }

@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   bench::printHeader("Figure 7a",
                      "delivery delay CDF vs broadcast rate, n=500", args);
 
+  std::vector<bench::SweepItem> items;
   for (const ClockMode mode : {ClockMode::Global, ClockMode::Logical}) {
     const char* clockName = mode == ClockMode::Global ? "global" : "logical";
     for (const double rate : {0.01, 0.05, 0.10}) {
@@ -22,8 +23,9 @@ int main(int argc, char** argv) {
       char label[64];
       std::snprintf(label, sizeof label, "%dpct_bcast_%s",
                     static_cast<int>(rate * 100.0), clockName);
-      bench::runSeries(label, config, args);
+      items.push_back({label, config});
     }
   }
+  bench::runSweep(std::move(items), args);
   return 0;
 }

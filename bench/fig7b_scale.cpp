@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
       args.paperScale ? std::vector<std::size_t>{100, 500, 1000, 5000, 10000}
                       : std::vector<std::size_t>{100, 250, 500, 1000};
 
+  std::vector<bench::SweepItem> items;
   for (const ClockMode mode : {ClockMode::Global, ClockMode::Logical}) {
     const char* clockName = mode == ClockMode::Global ? "global" : "logical";
     for (const std::size_t n : sizes) {
@@ -28,8 +29,9 @@ int main(int argc, char** argv) {
       config.broadcastProbability = 0.05;
       config.broadcastRounds = args.paperScale ? 20 : 10;
       config.seed = args.seed;
-      bench::runSeries(std::to_string(n) + "proc_" + clockName, config, args);
+      items.push_back({std::to_string(n) + "proc_" + clockName, config});
     }
   }
+  bench::runSweep(std::move(items), args);
   return 0;
 }

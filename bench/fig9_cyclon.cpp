@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   bench::printHeader("Figure 9",
                      "delivery delay CDF under churn with Cyclon PSS, n=500", args);
 
+  std::vector<bench::SweepItem> items;
   for (const double churn : {0.0, 0.01, 0.05, 0.10}) {
     workload::ExperimentConfig config;
     config.systemSize = 500;
@@ -22,7 +23,8 @@ int main(int argc, char** argv) {
     config.seed = args.seed;
     char label[48];
     std::snprintf(label, sizeof label, "cyclon_churn_%.2f", churn);
-    bench::runSeries(label, config, args);
+    items.push_back({label, config});
   }
+  bench::runSweep(std::move(items), args);
   return 0;
 }

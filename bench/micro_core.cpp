@@ -1,55 +1,87 @@
 // Microbenchmarks (google-benchmark) for the protocol hot paths: the
 // per-round cost of the ordering component, ball absorption in the
-// dissemination component, Cyclon shuffles and membership sampling.
-// These are the costs a deployment pays per process per round.
+// dissemination component, simulator scheduling, Cyclon shuffles and
+// membership sampling. These are the costs a deployment pays per process
+// per round.
+//
+// Beyond the standard google-benchmark flags, --bench-json=<path>
+// appends one epto.bench.core/1 JSONL record (name, ns/op, items/s per
+// benchmark) — the perf-trajectory format the CI perf-smoke job compares
+// against bench/perf/BENCH_core.json (see EXPERIMENTS.md, "Performance
+// methodology").
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/dissemination.h"
 #include "core/ordering.h"
 #include "core/stability_oracle.h"
 #include "pss/cyclon.h"
 #include "sim/membership.h"
+#include "sim/simulator.h"
 #include "util/rng.h"
 
 namespace {
 
 using namespace epto;
 
-Ball makeBall(std::size_t events, std::uint32_t ttl, Timestamp tsBase) {
+/// A ball of `events` fresh events. Ids are derived from `seqBase` so
+/// distinct calls can produce globally distinct ids — an id's content
+/// (its timestamp) is immutable under the paper's fault model, and the
+/// ordering component's duplicate index relies on that.
+Ball makeBall(std::size_t events, std::uint32_t ttl, std::uint64_t seqBase) {
   Ball ball;
   ball.reserve(events);
   for (std::size_t i = 0; i < events; ++i) {
+    const std::uint64_t seq = seqBase + i;
     Event e;
-    e.id = EventId{static_cast<ProcessId>(i % 64), static_cast<std::uint32_t>(i)};
-    e.ts = tsBase + i;
+    e.id = EventId{static_cast<ProcessId>(seq % 64),
+                   static_cast<std::uint32_t>(seq / 64)};
+    e.ts = static_cast<Timestamp>(seq + 1);
     e.ttl = ttl;
     ball.push_back(e);
   }
   return ball;
 }
 
-/// Ordering component: one orderEvents() round over a ball of B events,
-/// with a received-set in steady state.
+/// Ordering component: one orderEvents() round over a 64-event ball with
+/// the received-set held in steady state at range(0) events. Events are
+/// absorbed at age 1 and stay until their derived ttl crosses the oracle
+/// horizon K, so the steady buffer is 64*K events — K is chosen from the
+/// target size, and the warmup fills the pipeline before timing starts.
 void BM_OrderingRound(benchmark::State& state) {
-  const auto ballSize = static_cast<std::size_t>(state.range(0));
-  LogicalClockOracle oracle(/*ttl=*/15);
+  constexpr std::size_t kBallSize = 64;
+  const auto targetReceived = static_cast<std::size_t>(state.range(0));
+  const auto horizon = static_cast<std::uint32_t>(targetReceived / kBallSize);
+  LogicalClockOracle oracle(horizon);
   std::uint64_t delivered = 0;
-  OrderingComponent ordering({.ttl = 15}, oracle,
+  OrderingComponent ordering({.ttl = horizon}, oracle,
                              [&](const Event&, DeliveryTag) { ++delivered; });
-  Timestamp ts = 1;
-  for (auto _ : state) {
-    ordering.orderEvents(makeBall(ballSize, 3, ts));
-    ts += ballSize;
+  std::uint64_t seq = 0;
+  for (std::uint32_t round = 0; round < horizon + 2; ++round) {
+    ordering.orderEvents(makeBall(kBallSize, 1, seq));
+    seq += kBallSize;
   }
+  for (auto _ : state) {
+    ordering.orderEvents(makeBall(kBallSize, 1, seq));
+    seq += kBallSize;
+  }
+  state.counters["received_size"] =
+      benchmark::Counter(static_cast<double>(ordering.receivedSize()));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(ballSize));
+                          static_cast<std::int64_t>(kBallSize));
   benchmark::DoNotOptimize(delivered);
 }
-BENCHMARK(BM_OrderingRound)->Arg(16)->Arg(128)->Arg(1024);
+BENCHMARK(BM_OrderingRound)->Arg(256)->Arg(1024)->Arg(4096);
 
-/// Dissemination: absorbing an incoming ball into nextBall.
+/// Dissemination: absorbing an incoming ball into nextBall. The same
+/// ball repeats, so after the first iteration this measures the
+/// duplicate-heavy absorb that dominates real rounds (every event
+/// arrives ~K times).
 void BM_DisseminationOnBall(benchmark::State& state) {
   const auto ballSize = static_cast<std::size_t>(state.range(0));
   LogicalClockOracle oracle(/*ttl=*/15);
@@ -62,7 +94,7 @@ void BM_DisseminationOnBall(benchmark::State& state) {
 
   DisseminationComponent dissemination(0, {.fanout = 3, .ttl = 15}, oracle, sampler,
                                        ordering);
-  const Ball ball = makeBall(ballSize, 3, 1);
+  const Ball ball = makeBall(ballSize, 3, 0);
   for (auto _ : state) {
     dissemination.onBall(ball);
     benchmark::DoNotOptimize(dissemination.pendingRelayCount());
@@ -72,7 +104,8 @@ void BM_DisseminationOnBall(benchmark::State& state) {
 }
 BENCHMARK(BM_DisseminationOnBall)->Arg(16)->Arg(128)->Arg(1024);
 
-/// One full EpTO round (aging + ball build + ordering) at steady state.
+/// One full EpTO round (ball absorption + relay + ordering) at steady
+/// state, with fresh events arriving every round.
 void BM_FullRound(benchmark::State& state) {
   const auto ballSize = static_cast<std::size_t>(state.range(0));
   LogicalClockOracle oracle(/*ttl=*/15);
@@ -83,10 +116,10 @@ void BM_FullRound(benchmark::State& state) {
   } sampler;
   DisseminationComponent dissemination(0, {.fanout = 3, .ttl = 15}, oracle, sampler,
                                        ordering);
-  Timestamp ts = 1;
+  std::uint64_t seq = 0;
   for (auto _ : state) {
-    dissemination.onBall(makeBall(ballSize, 3, ts));
-    ts += ballSize;
+    dissemination.onBall(makeBall(ballSize, 3, seq));
+    seq += ballSize;
     const auto out = dissemination.onRound();
     benchmark::DoNotOptimize(out.targets.size());
   }
@@ -94,6 +127,32 @@ void BM_FullRound(benchmark::State& state) {
                           static_cast<std::int64_t>(ballSize));
 }
 BENCHMARK(BM_FullRound)->Arg(16)->Arg(128)->Arg(1024);
+
+/// Simulator engine: schedule-and-execute throughput with range(0)
+/// actions pending — the per-transmission cost every simulated message
+/// pays. The closure carries enough state to defeat the empty-callable
+/// path but still fits InplaceFn's inline buffer (no allocation).
+void BM_SimulatorSchedule(benchmark::State& state) {
+  const auto pending = static_cast<std::size_t>(state.range(0));
+  sim::Simulator simulator;
+  simulator.reserve(pending + 1);
+  std::uint64_t fired = 0;
+  struct Payload {
+    std::uint64_t* counter;
+    std::uint64_t a, b, c;
+  };
+  const auto arm = [&](Timestamp delay) {
+    simulator.schedule(delay, [p = Payload{&fired, 1, 2, 3}] { *p.counter += p.a; });
+  };
+  for (std::size_t i = 0; i < pending; ++i) arm(static_cast<Timestamp>(i % 64 + 1));
+  for (auto _ : state) {
+    arm(32);
+    simulator.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_SimulatorSchedule)->Arg(64)->Arg(4096);
 
 /// Cyclon: one shuffle exchange between two nodes.
 void BM_CyclonShuffle(benchmark::State& state) {
@@ -128,6 +187,77 @@ void BM_MembershipSample(benchmark::State& state) {
 }
 BENCHMARK(BM_MembershipSample)->Arg(100)->Arg(10000);
 
+/// Console reporter that additionally captures per-benchmark numbers for
+/// the epto.bench.core/1 record.
+class CaptureReporter final : public benchmark::ConsoleReporter {
+ public:
+  struct Record {
+    std::string name;
+    double nsPerOp = 0.0;
+    double itemsPerSecond = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Record record;
+      record.name = run.benchmark_name();
+      record.nsPerOp = run.GetAdjustedRealTime();
+      if (const auto it = run.counters.find("items_per_second");
+          it != run.counters.end()) {
+        record.itemsPerSecond = static_cast<double>(it->second);
+      }
+      records_.push_back(std::move(record));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<Record>& records() const noexcept { return records_; }
+
+ private:
+  std::vector<Record> records_;
+};
+
+void writeCoreJson(const std::string& path,
+                   const std::vector<CaptureReporter::Record>& records) {
+  std::FILE* out = std::fopen(path.c_str(), "a");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open bench json output: %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::string line = "{\"schema\":\"epto.bench.core/1\",\"binary\":\"micro_core\"";
+  line += ",\"benchmarks\":[";
+  char buf[128];
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (i != 0) line += ',';
+    line += "{\"name\":\"" + records[i].name + "\"";
+    std::snprintf(buf, sizeof buf, ",\"ns_per_op\":%.1f,\"items_per_s\":%.0f}",
+                  records[i].nsPerOp, records[i].itemsPerSecond);
+    line += buf;
+  }
+  line += "]}\n";
+  std::fputs(line.c_str(), out);
+  std::fclose(out);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --bench-json is ours; everything else goes to google-benchmark.
+  std::string benchJson;
+  std::vector<char*> rest;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--bench-json=", 13) == 0) {
+      benchJson = argv[i] + 13;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  int restc = static_cast<int>(rest.size());
+  benchmark::Initialize(&restc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(restc, rest.data())) return 1;
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!benchJson.empty()) writeCoreJson(benchJson, reporter.records());
+  return 0;
+}

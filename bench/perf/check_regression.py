@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Compare a fresh epto.bench.core/1 record against the checked-in baseline.
+
+Usage: check_regression.py <current.json> [baseline.json] [--threshold=0.25]
+
+Both files are JSONL; the LAST record in each file wins (runs append).
+Fails (exit 1) when any BM_OrderingRound variant's ns_per_op regressed by
+more than the threshold relative to the baseline. Other benchmarks are
+reported but do not gate: they are either too fast (noise dominates on
+shared CI runners) or covered indirectly by the fig-sweep wall clock.
+
+The baseline lives in bench/perf/BENCH_core.json. Refresh it (rerun
+micro_core --bench-json on a quiet machine, commit the result) whenever
+an intentional change moves the numbers; see EXPERIMENTS.md,
+"Performance methodology".
+"""
+import json
+import sys
+from pathlib import Path
+
+GATED_PREFIX = "BM_OrderingRound"
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_core.json"
+
+
+def last_record(path):
+    record = None
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            parsed = json.loads(line)
+            if parsed.get("schema") == "epto.bench.core/1":
+                record = parsed
+    if record is None:
+        raise SystemExit(f"{path}: no epto.bench.core/1 record found")
+    return {b["name"]: b for b in record["benchmarks"]}
+
+
+def main(argv):
+    threshold = 0.25
+    positional = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            positional.append(arg)
+    if not positional:
+        raise SystemExit(__doc__)
+    current = last_record(positional[0])
+    baseline = last_record(positional[1] if len(positional) > 1 else DEFAULT_BASELINE)
+
+    failed = False
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            print(f"MISSING  {name}: in baseline but not in current run")
+            failed = failed or name.startswith(GATED_PREFIX)
+            continue
+        base_ns, cur_ns = base["ns_per_op"], cur["ns_per_op"]
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        gated = name.startswith(GATED_PREFIX)
+        verdict = "ok"
+        if gated and ratio > 1.0 + threshold:
+            verdict = "REGRESSION"
+            failed = True
+        print(f"{verdict:10s} {name}: {base_ns:.1f} -> {cur_ns:.1f} ns/op "
+              f"({(ratio - 1.0) * 100.0:+.1f}%{', gated' if gated else ''})")
+    if failed:
+        print(f"\nFAIL: gated benchmark regressed more than {threshold:.0%} "
+              f"vs the checked-in baseline")
+        return 1
+    print("\nPASS: no gated regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

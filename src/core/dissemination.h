@@ -10,10 +10,24 @@
 //                  gossip targets drawn from the peer-sampling service.
 // The three entry points must be called from one logical thread of
 // control, matching the paper's "procedures executed atomically".
+//
+// Hot-path engineering (DESIGN.md §11): `nextBall` is a vector kept
+// sorted by EventId at all times — incoming balls are themselves sorted
+// (every sender emits sorted balls), so onBall() is one linear merge and
+// onRound() emits the ball without the former per-event hash insert and
+// per-round sort. Balls received later in a round mostly repeat what
+// earlier balls carried, so the merge runs an in-place phase first
+// (duplicate ttl-maxing writes nothing unless the ttl actually grows)
+// and only rewrites the suffix — backward, one write per element — after
+// the first genuine insertion. The
+// round then moves the events (and their payload refcounts) straight
+// into a pooled Ball buffer, so a steady-state round performs no
+// allocation and no payload shared_ptr churn beyond the copies
+// receivers genuinely keep.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "core/ordering.h"
@@ -75,14 +89,26 @@ class DisseminationComponent {
   [[nodiscard]] std::size_t pendingRelayCount() const noexcept { return nextBall_.size(); }
 
  private:
+  /// Merge one id-sorted run of events into nextBall_ (duplicates keep
+  /// the existing copy with the max ttl of both; expired run entries are
+  /// skipped).
+  void mergeSortedRun(const Event* run, std::size_t count);
+  /// A cleared Ball buffer, reusing a pooled one when every previous
+  /// consumer has released it.
+  [[nodiscard]] std::shared_ptr<Ball> acquireBall();
+
   ProcessId self_;
   Options options_;
   StabilityOracle& oracle_;
   PeerSampler& sampler_;
   OrderingComponent& ordering_;
 
-  /// Alg. 1 `nextBall`: events to relay in the next round, by id.
-  std::unordered_map<EventId, Event, EventIdHash> nextBall_;
+  /// Alg. 1 `nextBall`: events to relay in the next round, sorted by id.
+  std::vector<Event> nextBall_;
+  /// Copy of an incoming ball used only when it arrives unsorted.
+  std::vector<Event> sortScratch_;
+  /// Recycled Ball buffers (see acquireBall).
+  std::vector<std::shared_ptr<Ball>> ballPool_;
   std::uint32_t nextSequence_ = 0;
 
   DisseminationStats stats_;

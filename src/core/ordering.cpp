@@ -14,12 +14,10 @@ OrderingComponent::OrderingComponent(Options options, const StabilityOracle& ora
 }
 
 void OrderingComponent::orderEvents(const Ball& ball) {
+  // Alg. 2 lines 6-7: a new round started, every known event is one round
+  // older. Epoch-based aging makes this free: advancing the round counter
+  // advances every derived ttl at once (DESIGN.md §11).
   ++stats_.rounds;
-
-  // Alg. 2 lines 6-7: a new round started, age every known event.
-  for (auto& [id, event] : received_) {
-    ++event.ttl;
-  }
 
   // Alg. 2 lines 8-14: absorb the ball into `received`.
   for (const Event& event : ball) {
@@ -35,7 +33,34 @@ void OrderingComponent::orderEvents(const Ball& ball) {
   }
 }
 
+Event OrderingComponent::materialize(const OrderKey& key, const Pending& pending) const {
+  Event event;
+  event.id = EventId{key.source, key.sequence};
+  event.ts = key.ts;
+  event.ttl = derivedTtl(pending.birthRound);
+  event.payload = pending.payload;
+  return event;
+}
+
 void OrderingComponent::absorb(const Event& event) {
+  // Duplicate fast path: a queued repeat is by invariant past the
+  // delivery frontier, so only the birth-round merge (Alg. 2 lines 10-14)
+  // can apply — resolved through the hash index without touching the tree.
+  const auto birth = static_cast<std::int64_t>(stats_.rounds) -
+                     static_cast<std::int64_t>(event.ttl);
+  if (const auto hit = receivedIndex_.find(event.id.packed());
+      hit != receivedIndex_.end()) {
+    Pending& pending = *hit->second;
+    if (birth < pending.birthRound) {
+      EPTO_TRACE_EVENT(.type = obs::TraceType::TtlMerge, .node = options_.self,
+                       .round = stats_.rounds, .event = event.id, .ts = event.ts,
+                       .ttl = event.ttl, .aux = derivedTtl(pending.birthRound));
+      pending.birthRound = birth;
+      ++stats_.ttlMerges;
+    }
+    return;
+  }
+
   const OrderKey key = event.orderKey();
 
   // Alg. 2 line 9 (strengthened to full keys): an event sorting at or
@@ -70,53 +95,59 @@ void OrderingComponent::absorb(const Event& event) {
     return;
   }
 
-  // Alg. 2 lines 10-14: insert, or keep the larger ttl of both copies.
-  auto [it, inserted] = received_.try_emplace(event.id, event);
-  if (!inserted) {
-    if (it->second.ttl < event.ttl) {
-      EPTO_TRACE_EVENT(.type = obs::TraceType::TtlMerge, .node = options_.self,
-                       .round = stats_.rounds, .event = event.id, .ts = event.ts,
-                       .ttl = event.ttl, .aux = it->second.ttl);
-      it->second.ttl = event.ttl;
-      ++stats_.ttlMerges;
-    }
-  }
+  // Alg. 2 lines 10-14, first copy: the index miss above proved the id is
+  // not queued, so this insert cannot collide.
+  const auto [it, inserted] = received_.try_emplace(key, Pending{birth, event.payload});
+  EPTO_ENSURE_MSG(inserted, "received index out of sync with the ordered map");
+  receivedIndex_.emplace(event.id.packed(), &it->second);
 }
 
 void OrderingComponent::deliverBatch() {
-  // Alg. 2 lines 15-21: split `received` into deliverable events and the
-  // minimum key among events that must still age.
-  std::optional<OrderKey> minQueued;
-  std::vector<Event> deliverable;
-  for (const auto& [id, event] : received_) {
-    if (oracle_.isDeliverable(event)) {
-      deliverable.push_back(event);
-    } else {
-      const OrderKey key = event.orderKey();
-      if (!minQueued.has_value() || key < *minQueued) minQueued = key;
+#if defined(EPTO_TRACE_ENABLED)
+  // The optimized delivery below never learns how many deliverable events
+  // are blocked behind an unstable smaller key, but the stability trace
+  // reports exactly that. Reconstruct it with a full scan only when a
+  // trace consumer is attached; the hot path stays sublinear.
+  if (obs::Tracer::global().enabled()) {
+    std::size_t stableCount = 0;
+    std::size_t unblocked = 0;
+    std::optional<OrderKey> minQueued;
+    for (const auto& [key, pending] : received_) {
+      if (oracle_.isDeliverable(materialize(key, pending))) {
+        ++stableCount;
+        if (!minQueued.has_value()) ++unblocked;
+      } else if (!minQueued.has_value()) {
+        minQueued = key;
+      }
+    }
+    if (stableCount != 0) {
+      EPTO_TRACE_EVENT(.type = obs::TraceType::StabilityDecision, .node = options_.self,
+                       .round = stats_.rounds,
+                       .ts = minQueued.has_value() ? minQueued->ts : 0,
+                       .size = unblocked, .aux = stableCount - unblocked);
     }
   }
+#endif
 
-  // Alg. 2 lines 22-26: a deliverable event sorting after a queued event
-  // cannot be delivered yet without risking an order violation.
-  const std::size_t stableCount = deliverable.size();
-  if (minQueued.has_value()) {
-    std::erase_if(deliverable,
-                  [&](const Event& e) { return e.orderKey() > *minQueued; });
-  }
-  if (stableCount != 0) {
-    EPTO_TRACE_EVENT(.type = obs::TraceType::StabilityDecision, .node = options_.self,
-                     .round = stats_.rounds,
-                     .ts = minQueued.has_value() ? minQueued->ts : 0,
-                     .size = deliverable.size(), .aux = stableCount - deliverable.size());
-  }
-  if (deliverable.empty()) return;
+  // Alg. 2 lines 15-30, collapsed into one ordered walk: the index sorts
+  // `received` by OrderKey, so the deliverable events that no queued
+  // event can precede are exactly the deliverable prefix — the first
+  // non-deliverable entry is the minQueued bound of lines 22-26, and
+  // everything before it is delivered in total order as it is popped.
+  while (!received_.empty()) {
+    const auto it = received_.begin();
+    // Deliverability is a function of the event's age and timestamp, not
+    // its payload (StabilityOracle contract), so the payload pointer is
+    // only moved out once the event is actually delivered.
+    Event event;
+    event.id = EventId{it->first.source, it->first.sequence};
+    event.ts = it->first.ts;
+    event.ttl = derivedTtl(it->second.birthRound);
+    if (!oracle_.isDeliverable(event)) break;
 
-  // Alg. 2 lines 27-30: deliver in total order.
-  std::sort(deliverable.begin(), deliverable.end(),
-            [](const Event& a, const Event& b) { return a.orderKey() < b.orderKey(); });
-  for (const Event& event : deliverable) {
-    received_.erase(event.id);
+    event.payload = std::move(it->second.payload);
+    receivedIndex_.erase(event.id.packed());
+    received_.erase(it);
     lastDelivered_ = event.orderKey();
     if (options_.tagOutOfOrder) rememberDelivered(event.id);
     ++stats_.deliveredOrdered;
@@ -148,17 +179,15 @@ void OrderingComponent::pruneDeliveredMemory() {
 std::vector<Event> OrderingComponent::pendingEvents() const {
   std::vector<Event> pending;
   pending.reserve(received_.size());
-  for (const auto& [id, event] : received_) pending.push_back(event);
-  std::sort(pending.begin(), pending.end(),
-            [](const Event& a, const Event& b) { return a.orderKey() < b.orderKey(); });
+  // The index iterates in OrderKey order, so the snapshot needs no sort.
+  for (const auto& [key, entry] : received_) pending.push_back(materialize(key, entry));
   return pending;
 }
 
 bool OrderingComponent::checkInvariants() const {
-  if (!lastDelivered_.has_value()) return true;
-  return std::all_of(received_.begin(), received_.end(), [&](const auto& entry) {
-    return entry.second.orderKey() > *lastDelivered_;
-  });
+  if (receivedIndex_.size() != received_.size()) return false;
+  if (!lastDelivered_.has_value() || received_.empty()) return true;
+  return received_.begin()->first > *lastDelivered_;
 }
 
 }  // namespace epto

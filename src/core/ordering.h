@@ -19,9 +19,32 @@
 //     enabled, and is pruned after a configurable retention window. For
 //     plain EpTO the `key <= lastDelivered` filter already rejects every
 //     duplicate, so the set the paper carries is redundant.
+//
+// Hot-path engineering (DESIGN.md §11): the pseudocode's per-round work
+// is O(|received|) three times over — age every event, scan every event
+// for deliverability, sort the deliverable set. This implementation is
+// sublinear in the steady-state buffer:
+//   * epoch-based aging — each event stores the round it was (virtually)
+//     born in (birthRound = currentRound - ttl at absorption) and its
+//     current ttl is derived as currentRound - birthRound, so a new round
+//     ages every event at once for free;
+//   * order-statistics index — `received` is a std::map keyed by
+//     OrderKey. Walking from begin() visits events in delivery order, and
+//     the first non-deliverable event IS Alg. 2's minQueued bound, so
+//     deliverBatch pops exactly the deliverable prefix in
+//     O((delivered + 1) · log n) with no scan and no sort. The OrderKey
+//     embeds the EventId, and an event's key never changes between copies
+//     (§2 non-Byzantine fault model: content is a function of the id), so
+//     the same index also answers duplicate lookups;
+//   * duplicate fast path — a hash index keyed by the packed 64-bit
+//     EventId shadows the ordered map. Most absorbed events are repeats
+//     (each event arrives ~K times per relay round); a repeat resolves to
+//     its Pending entry in O(1) and, being still queued, is by invariant
+//     past the delivery frontier — no OrderKey comparison, no tree walk.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -85,12 +108,25 @@ class OrderingComponent {
   }
 
   /// Internal-invariant check used by tests: every queued event must sort
-  /// after the last delivered event. Returns false on violation.
+  /// after the last delivered event. Returns false on violation. O(1):
+  /// the index is ordered, so only the smallest key needs checking.
   [[nodiscard]] bool checkInvariants() const;
 
  private:
+  /// One known-but-undelivered event. The id/ts live in the map key; the
+  /// ttl is derived from birthRound, so only the payload is carried.
+  struct Pending {
+    std::int64_t birthRound = 0;  ///< currentRound - ttl at absorption.
+    PayloadPtr payload;
+  };
+
   void absorb(const Event& event);
   void deliverBatch();
+  /// Reconstruct the wire Event for a map entry at the current round.
+  [[nodiscard]] Event materialize(const OrderKey& key, const Pending& pending) const;
+  [[nodiscard]] std::uint32_t derivedTtl(std::int64_t birthRound) const noexcept {
+    return static_cast<std::uint32_t>(static_cast<std::int64_t>(stats_.rounds) - birthRound);
+  }
   void rememberDelivered(const EventId& id);
   [[nodiscard]] bool alreadyDelivered(const EventId& id) const;
   void pruneDeliveredMemory();
@@ -99,8 +135,13 @@ class OrderingComponent {
   const StabilityOracle& oracle_;
   DeliverFn deliver_;
 
-  /// Alg. 2 `received`: known but not yet delivered events, by id.
-  std::unordered_map<EventId, Event, EventIdHash> received_;
+  /// Alg. 2 `received`: known but not yet delivered events, indexed by
+  /// their total-order key (see header comment).
+  std::map<OrderKey, Pending> received_;
+  /// Duplicate fast path: packed EventId -> the entry in received_.
+  /// std::map nodes are stable, so the pointer survives other mutations;
+  /// absorb() and deliverBatch() keep the two containers in lock step.
+  std::unordered_map<std::uint64_t, Pending*> receivedIndex_;
   /// Alg. 2 `lastDeliveredTs`, strengthened to the full order key.
   std::optional<OrderKey> lastDelivered_;
   /// Delivered-id memory (only populated when tagging): id -> round

@@ -29,6 +29,10 @@ class StabilityOracle {
 
   /// True when the event has aged past the stability horizon (ttl > TTL)
   /// and can be considered known system-wide w.h.p. (Lemmas 3-7).
+  /// Contract: the answer is a function of the event's age (ttl) and
+  /// timestamp only — never its payload. The ordering component relies
+  /// on this to test deliverability without materializing the payload
+  /// (DESIGN.md §11).
   [[nodiscard]] virtual bool isDeliverable(const Event& event) const = 0;
 
   /// Timestamp for a fresh broadcast (Alg. 3/4 `getClock`). May advance
@@ -36,6 +40,10 @@ class StabilityOracle {
   [[nodiscard]] virtual Timestamp getClock() = 0;
 
   /// Observe the timestamp of a received event (Alg. 3/4 `updateClock`).
+  /// Contract: observing every timestamp of a batch one by one and
+  /// observing only the batch maximum must be equivalent (the update is
+  /// a max-fold). The dissemination component folds each incoming ball
+  /// into a single call (DESIGN.md §11).
   virtual void updateClock(Timestamp ts) = 0;
 
   /// Current clock value without advancing it — observability reads

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace epto::sim {
@@ -7,16 +8,15 @@ namespace epto::sim {
 void Simulator::scheduleAt(Timestamp when, Action action) {
   EPTO_ENSURE_MSG(action != nullptr, "cannot schedule a null action");
   EPTO_ENSURE_MSG(when >= now_, "cannot schedule into the past");
-  queue_.push(Entry{when, nextSequence_++, std::move(action)});
+  heap_.push_back(Entry{when, nextSequence_++, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; the action must be moved out, so pop
-  // via a const_cast-free copy of the small fields and a move of the
-  // closure through a temporary.
-  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-  queue_.pop();
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
   now_ = entry.when;
   ++executed_;
   entry.action();
@@ -25,7 +25,7 @@ bool Simulator::step() {
 
 void Simulator::runUntil(Timestamp end) {
   EPTO_ENSURE_MSG(end >= now_, "cannot run backwards");
-  while (!queue_.empty() && queue_.top().when <= end) {
+  while (!heap_.empty() && heap_.front().when <= end) {
     step();
   }
   now_ = end;

@@ -9,21 +9,33 @@
 //
 // Determinism: entries firing at the same tick run in scheduling order
 // (FIFO via a sequence number), so a run is a pure function of its seed.
+//
+// Hot-path engineering (DESIGN.md §11): the queue is an explicit binary
+// heap over a contiguous vector (reservable, movable pops without the
+// const_cast that std::priority_queue forces), and the stored callable is
+// a small-buffer InplaceFn so scheduling an action performs no heap
+// allocation for any closure the simulation itself creates — including
+// the network's in-flight message closures, which overflow
+// std::function's inline buffer and previously cost one malloc/free per
+// transmission.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "core/types.h"
 #include "util/ensure.h"
+#include "util/inplace_fn.h"
 
 namespace epto::sim {
 
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  /// 104 bytes of inline closure storage: sized for the largest closure
+  /// the simulation schedules (SimNetwork's in-flight delivery, which
+  /// carries a NetMessage variant) with room to spare; anything larger
+  /// still works via InplaceFn's heap fallback.
+  using Action = util::InplaceFn<104>;
 
   /// Current tick. Advances only while actions execute.
   [[nodiscard]] Timestamp now() const noexcept { return now_; }
@@ -33,6 +45,10 @@ class Simulator {
 
   /// Run `action` at the absolute tick `when` (must not be in the past).
   void scheduleAt(Timestamp when, Action action);
+
+  /// Pre-size the queue for an expected number of concurrently pending
+  /// actions, so steady-state scheduling never reallocates.
+  void reserve(std::size_t pending) { heap_.reserve(pending); }
 
   /// Execute the next pending action. Returns false when none is left.
   bool step();
@@ -44,7 +60,7 @@ class Simulator {
   /// Convenience: runUntil(now() + duration).
   void runFor(Timestamp duration) { runUntil(now_ + duration); }
 
-  [[nodiscard]] std::size_t pendingActions() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t pendingActions() const noexcept { return heap_.size(); }
   [[nodiscard]] std::uint64_t executedActions() const noexcept { return executed_; }
 
  private:
@@ -60,7 +76,9 @@ class Simulator {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  /// Binary min-heap on (when, sequence) via std::push_heap/pop_heap
+  /// with the inverted comparator; heap_[0] is the earliest entry.
+  std::vector<Entry> heap_;
   Timestamp now_ = 0;
   std::uint64_t nextSequence_ = 0;
   std::uint64_t executed_ = 0;

@@ -1,0 +1,53 @@
+#include "workload/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace epto::workload {
+
+std::vector<ExperimentResult> runExperiments(std::span<const ExperimentConfig> configs,
+                                             std::size_t jobs) {
+  std::vector<ExperimentResult> results(configs.size());
+  if (configs.empty()) return results;
+
+  const std::size_t workers = std::min(std::max<std::size_t>(jobs, 1), configs.size());
+  if (workers == 1) {
+    for (std::size_t i = 0; i < configs.size(); ++i) results[i] = runExperiment(configs[i]);
+    return results;
+  }
+
+  // Work-stealing by atomic counter: slot i is written only by the worker
+  // that claimed index i, so results needs no lock. The first failure is
+  // remembered and rethrown once every worker has drained (a failed run
+  // must not tear down threads mid-experiment).
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= configs.size() || failed.load(std::memory_order_relaxed)) return;
+      try {
+        results[i] = runExperiment(configs[i]);
+      } catch (...) {
+        const std::lock_guard lock(errorMutex);
+        if (firstError == nullptr) firstError = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+  if (firstError != nullptr) std::rethrow_exception(firstError);
+  return results;
+}
+
+}  // namespace epto::workload

@@ -1,0 +1,27 @@
+// Parallel experiment sweeps.
+//
+// A figure harness is a list of independent ExperimentConfigs (one per
+// plotted condition); each run is deterministic in its own seed and owns
+// every piece of mutable state (SimCluster builds its rng, registry,
+// network and tracker per run). runExperiments() exploits that isolation:
+// it executes the list on up to `jobs` worker threads and returns results
+// in submission order, so a sweep's output is byte-identical regardless
+// of the job count — parallelism changes wall-clock time only.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "workload/experiment.h"
+
+namespace epto::workload {
+
+/// Run every config, using up to `jobs` concurrent worker threads
+/// (jobs <= 1 runs inline on the calling thread). results[i] always
+/// corresponds to configs[i]. The first exception thrown by any run is
+/// rethrown on the calling thread after all workers finish.
+[[nodiscard]] std::vector<ExperimentResult> runExperiments(
+    std::span<const ExperimentConfig> configs, std::size_t jobs);
+
+}  // namespace epto::workload

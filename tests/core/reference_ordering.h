@@ -1,0 +1,116 @@
+// Straight transliteration of paper Algorithm 2 — the O(n)-per-round
+// formulation with explicit aging loops, a full deliverability scan and
+// a sort of the deliverable set. It exists only as a differential-test
+// oracle for the optimized OrderingComponent (epoch-based aging +
+// order-statistics index + duplicate hash index): both must produce the
+// same delivery sequence and the same counters on any input stream.
+//
+// Kept deliberately naive — clarity over speed; do not optimize.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ordering.h"
+#include "core/stability_oracle.h"
+#include "core/types.h"
+
+namespace epto::testing {
+
+class ReferenceOrdering {
+ public:
+  ReferenceOrdering(OrderingComponent::Options options, const StabilityOracle& oracle,
+                    DeliverFn deliver)
+      : options_(options), oracle_(oracle), deliver_(std::move(deliver)) {}
+
+  void orderEvents(const Ball& ball) {
+    // Alg. 2 lines 6-7: age every received event by one round.
+    ++stats_.rounds;
+    for (auto& [id, event] : received_) ++event.ttl;
+
+    // Alg. 2 lines 8-14: absorb the ball.
+    for (const Event& incoming : ball) {
+      const OrderKey key = incoming.orderKey();
+      if (lastDelivered_.has_value() && key <= *lastDelivered_) {
+        if (options_.tagOutOfOrder && deliveredMemory_.contains(incoming.id)) {
+          ++stats_.droppedDuplicates;
+        } else if (options_.tagOutOfOrder) {
+          deliveredMemory_.emplace(incoming.id, stats_.rounds);
+          ++stats_.deliveredOutOfOrder;
+          deliver_(incoming, DeliveryTag::OutOfOrder);
+        } else {
+          ++stats_.droppedOutOfOrder;
+        }
+        continue;
+      }
+      if (const auto it = received_.find(incoming.id); it != received_.end()) {
+        if (incoming.ttl > it->second.ttl) {
+          it->second.ttl = incoming.ttl;
+          ++stats_.ttlMerges;
+        }
+      } else {
+        received_.emplace(incoming.id, incoming);
+      }
+    }
+    stats_.maxReceivedSize = std::max(stats_.maxReceivedSize, received_.size());
+
+    // Alg. 2 lines 15-21: the deliverable set and the minQueued bound
+    // (strengthened from bare timestamps to full order keys, matching
+    // the production component).
+    std::vector<Event> deliverable;
+    std::optional<OrderKey> minQueued;
+    for (const auto& [id, event] : received_) {
+      if (oracle_.isDeliverable(event)) {
+        deliverable.push_back(event);
+      } else if (!minQueued.has_value() || event.orderKey() < *minQueued) {
+        minQueued = event.orderKey();
+      }
+    }
+
+    // Alg. 2 lines 22-26: discard deliverable events an unstable event
+    // could still precede.
+    std::erase_if(deliverable, [&](const Event& event) {
+      return minQueued.has_value() && minQueued.value() < event.orderKey();
+    });
+
+    // Alg. 2 lines 27-30: deliver in total order.
+    std::sort(deliverable.begin(), deliverable.end(),
+              [](const Event& a, const Event& b) { return a.orderKey() < b.orderKey(); });
+    for (const Event& event : deliverable) {
+      received_.erase(event.id);
+      lastDelivered_ = event.orderKey();
+      if (options_.tagOutOfOrder) deliveredMemory_.emplace(event.id, stats_.rounds);
+      ++stats_.deliveredOrdered;
+      deliver_(event, DeliveryTag::Ordered);
+    }
+
+    if (options_.tagOutOfOrder && options_.deliveredRetentionRounds != 0 &&
+        stats_.rounds >= options_.deliveredRetentionRounds) {
+      const std::uint64_t horizon = stats_.rounds - options_.deliveredRetentionRounds;
+      std::erase_if(deliveredMemory_,
+                    [&](const auto& entry) { return entry.second < horizon; });
+    }
+  }
+
+  [[nodiscard]] const OrderingStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t receivedSize() const noexcept { return received_.size(); }
+  [[nodiscard]] std::optional<OrderKey> lastDelivered() const noexcept {
+    return lastDelivered_;
+  }
+
+ private:
+  OrderingComponent::Options options_;
+  const StabilityOracle& oracle_;
+  DeliverFn deliver_;
+
+  std::unordered_map<EventId, Event, EventIdHash> received_;
+  std::optional<OrderKey> lastDelivered_;
+  std::unordered_map<EventId, std::uint64_t, EventIdHash> deliveredMemory_;
+
+  OrderingStats stats_;
+};
+
+}  // namespace epto::testing

@@ -1,0 +1,96 @@
+// InplaceFn — the simulator's small-buffer scheduling callable. The
+// properties the simulator depends on: inline storage for closures that
+// fit (no allocation on the scheduling hot path), transparent heap
+// fallback for those that don't, move-only ownership with exactly one
+// destruction, and callability through moves.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "util/inplace_fn.h"
+
+namespace epto::util {
+namespace {
+
+using Fn = InplaceFn<64>;
+
+TEST(InplaceFnTest, SmallCallableIsStoredInlineAndInvokes) {
+  int hits = 0;
+  Fn fn([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_TRUE(fn.isInline());
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceFnTest, OversizedCallableFallsBackToHeapAndStillWorks) {
+  std::array<std::uint64_t, 16> big{};  // 128 bytes > 64-byte capacity
+  big[0] = 41;
+  std::uint64_t out = 0;
+  Fn fn([big, &out] { out = big[0] + 1; });
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_FALSE(fn.isInline());
+  fn();
+  EXPECT_EQ(out, 42u);
+}
+
+TEST(InplaceFnTest, DefaultAndNullptrConstructedAreEmpty) {
+  Fn empty;
+  Fn null = nullptr;
+  EXPECT_FALSE(static_cast<bool>(empty));
+  EXPECT_TRUE(empty == nullptr);
+  EXPECT_TRUE(null == nullptr);
+  Fn set([] {});
+  EXPECT_TRUE(set != nullptr);
+}
+
+TEST(InplaceFnTest, MoveTransfersOwnershipAndEmptiesSource) {
+  int hits = 0;
+  Fn a([&hits] { ++hits; });
+  Fn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  Fn c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceFnTest, WrappedStateIsDestroyedExactlyOnce) {
+  // The shared_ptr's use count observes construction/destruction of the
+  // closure through moves and reassignment.
+  auto tracker = std::make_shared<int>(0);
+  {
+    Fn a([tracker] { (void)tracker; });
+    EXPECT_EQ(tracker.use_count(), 2);
+    Fn b(std::move(a));
+    EXPECT_EQ(tracker.use_count(), 2);  // moved, not copied
+    b = Fn([] {});                      // reassignment destroys the closure
+    EXPECT_EQ(tracker.use_count(), 1);
+  }
+  EXPECT_EQ(tracker.use_count(), 1);
+}
+
+TEST(InplaceFnTest, HeapFallbackDestroysExactlyOnce) {
+  auto tracker = std::make_shared<int>(0);
+  std::array<std::uint64_t, 16> padding{};
+  {
+    Fn a([tracker, padding] { (void)padding; });
+    EXPECT_FALSE(a.isInline());
+    EXPECT_EQ(tracker.use_count(), 2);
+    Fn b(std::move(a));
+    EXPECT_EQ(tracker.use_count(), 2);
+  }
+  EXPECT_EQ(tracker.use_count(), 1);
+}
+
+}  // namespace
+}  // namespace epto::util
