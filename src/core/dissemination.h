@@ -89,6 +89,13 @@ class DisseminationComponent {
   [[nodiscard]] std::size_t pendingRelayCount() const noexcept { return nextBall_.size(); }
 
  private:
+  // Concurrency contract (DESIGN.md §12): capability-free by design. The
+  // sans-io core is confined to one logical thread of control (the
+  // paper's "procedures executed atomically"); drivers serialize
+  // broadcast()/onBall()/onRound() per process, so a lock here would
+  // only hide a driver bug. Cross-thread ingress belongs in the driver
+  // (Mailbox/IngressQueue), never in this class.
+
   /// Merge one id-sorted run of events into nextBall_ (duplicates keep
   /// the existing copy with the max ttl of both; expired run entries are
   /// skipped).

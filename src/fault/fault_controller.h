@@ -81,6 +81,11 @@ class FaultController {
   void recordTo(obs::Registry& registry) const;
 
  private:
+  // Concurrency contract (DESIGN.md §12): deliberately capability-free.
+  // plan_ is immutable after construction (every query is const over
+  // const data) and the statistics are relaxed atomics, so queries and
+  // note*() hooks are safe from any thread without a lock — which is the
+  // point: fault checks sit on round/send hot paths of every substrate.
   FaultPlan plan_;
   std::atomic<std::uint64_t> crashes_{0};
   std::atomic<std::uint64_t> restarts_{0};

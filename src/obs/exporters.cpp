@@ -137,7 +137,13 @@ std::string sampleJson(const Sample& sample) {
     for (const auto& [k, v] : sample.labels) {
       if (!first) out.push_back(',');
       first = false;
-      out += "\"" + escape(k) + "\":\"" + escape(v) + "\"";
+      // Appends, not operator+ chains: GCC 12's -Wrestrict misfires on
+      // `const char* + std::string&&` (PR 105651) under -Werror.
+      out.push_back('"');
+      out += escape(k);
+      out += "\":\"";
+      out += escape(v);
+      out.push_back('"');
     }
     out.push_back('}');
   }

@@ -63,7 +63,7 @@ std::string Registry::keyOf(const std::string& name, const Labels& labels) {
 Registry::Entry& Registry::findOrCreate(const std::string& name, const Labels& labels,
                                         Kind kind, std::vector<double> upperBounds) {
   const std::string key = keyOf(name, labels);
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (const auto it = index_.find(key); it != index_.end()) {
     EPTO_ENSURE_MSG(it->second->kind == kind,
                     "instrument re-registered with a different kind");
@@ -105,7 +105,7 @@ Histogram& Registry::histogram(const std::string& name, const Labels& labels,
 }
 
 Snapshot Registry::snapshot() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   Snapshot snap;
   snap.reserve(entries_.size());
   for (const auto& entry : entries_) {
@@ -133,7 +133,7 @@ Snapshot Registry::snapshot() const {
 }
 
 std::size_t Registry::instrumentCount() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return entries_.size();
 }
 

@@ -18,11 +18,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace epto::obs {
 
@@ -115,15 +117,16 @@ class Registry {
   /// Find-or-create. Re-requesting an existing (name, labels) identity
   /// returns the same instrument; requesting it with a different kind
   /// is a contract violation.
-  Counter& counter(const std::string& name, const Labels& labels = {});
-  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Counter& counter(const std::string& name, const Labels& labels = {})
+      EPTO_EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name, const Labels& labels = {}) EPTO_EXCLUDES(mutex_);
   /// `upperBounds` is only consulted on first registration; empty uses
   /// defaultBounds().
   Histogram& histogram(const std::string& name, const Labels& labels = {},
-                       std::vector<double> upperBounds = {});
+                       std::vector<double> upperBounds = {}) EPTO_EXCLUDES(mutex_);
 
-  [[nodiscard]] Snapshot snapshot() const;
-  [[nodiscard]] std::size_t instrumentCount() const;
+  [[nodiscard]] Snapshot snapshot() const EPTO_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t instrumentCount() const EPTO_EXCLUDES(mutex_);
 
   /// {start, start*factor, ...} — `count` exponentially spaced bounds.
   [[nodiscard]] static std::vector<double> exponentialBounds(double start, double factor,
@@ -142,12 +145,15 @@ class Registry {
   };
 
   Entry& findOrCreate(const std::string& name, const Labels& labels, Kind kind,
-                      std::vector<double> upperBounds);
+                      std::vector<double> upperBounds) EPTO_EXCLUDES(mutex_);
   [[nodiscard]] static std::string keyOf(const std::string& name, const Labels& labels);
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Entry>> entries_;        // registration order
-  std::unordered_map<std::string, Entry*> index_;      // keyOf -> entry
+  mutable util::Mutex mutex_;
+  /// Registration order. Entries are created under mutex_ and never
+  /// destroyed before the registry, so the Counter/Gauge/Histogram
+  /// references handed out stay valid and lock-free for writers.
+  std::vector<std::unique_ptr<Entry>> entries_ EPTO_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, Entry*> index_ EPTO_GUARDED_BY(mutex_);  // keyOf -> entry
 };
 
 }  // namespace epto::obs

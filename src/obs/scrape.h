@@ -50,6 +50,13 @@ class ScrapeLoop {
  private:
   void scrapeOnce();
 
+  // Concurrency contract (DESIGN.md §12): no capability of its own. The
+  // non-atomic members (writer_, thread_, options_) are touched only by
+  // the owning thread — start()/stop() callers on one side, the scrape
+  // thread on the other, ordered by thread creation and join — and the
+  // cross-thread signals (scrapes_, running_, stopRequested_) are
+  // atomics. The registry reference is safe to share because Registry
+  // carries its own capability.
   Registry& registry_;
   Options options_;
   std::function<std::uint64_t()> timeSource_;

@@ -40,17 +40,17 @@ std::string traceEventJson(const TraceEvent& event) {
 }
 
 void InMemorySink::consume(const TraceEvent& event) {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   events_.push_back(event);
 }
 
 std::vector<TraceEvent> InMemorySink::events() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return events_;
 }
 
 void InMemorySink::clear() {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   events_.clear();
 }
 
@@ -74,7 +74,7 @@ Tracer& Tracer::global() {
 }
 
 void Tracer::configure(Options options) {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   options_ = options;
   ring_.clear();
   ring_.shrink_to_fit();
@@ -85,12 +85,12 @@ void Tracer::configure(Options options) {
 }
 
 void Tracer::setSink(std::shared_ptr<TraceSink> sink) {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   sink_ = std::move(sink);
 }
 
 void Tracer::record(const TraceEvent& event) {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (ring_.size() != options_.capacity) ring_.resize(options_.capacity);
   if (options_.capacity == 0) {
     ++dropped_;
@@ -124,7 +124,7 @@ std::size_t Tracer::flush() {
   std::vector<TraceEvent> events;
   std::shared_ptr<TraceSink> sink;
   {
-    const std::scoped_lock lock(mutex_);
+    const util::MutexLock lock(mutex_);
     events = takeBufferedLocked();
     sink = sink_;
   }
@@ -135,22 +135,22 @@ std::size_t Tracer::flush() {
 }
 
 std::vector<TraceEvent> Tracer::drain() {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return takeBufferedLocked();
 }
 
 std::size_t Tracer::buffered() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return size_;
 }
 
 std::uint64_t Tracer::recorded() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return recorded_;
 }
 
 std::uint64_t Tracer::dropped() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return dropped_;
 }
 

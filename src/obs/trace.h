@@ -23,11 +23,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/types.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace epto::obs {
 
@@ -75,13 +76,13 @@ class TraceSink {
 /// Accumulates events in memory; the test sink.
 class InMemorySink final : public TraceSink {
  public:
-  void consume(const TraceEvent& event) override;
-  [[nodiscard]] std::vector<TraceEvent> events() const;
-  void clear();
+  void consume(const TraceEvent& event) override EPTO_EXCLUDES(mutex_);
+  [[nodiscard]] std::vector<TraceEvent> events() const EPTO_EXCLUDES(mutex_);
+  void clear() EPTO_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  mutable util::Mutex mutex_;
+  std::vector<TraceEvent> events_ EPTO_GUARDED_BY(mutex_);
 };
 
 /// Streams each event as one JSON line; the run sink.
@@ -110,9 +111,9 @@ class Tracer {
 
   /// Reset the ring (and drop counters) with new options. Not for use
   /// while other threads are recording.
-  void configure(Options options);
+  void configure(Options options) EPTO_EXCLUDES(mutex_);
 
-  void setSink(std::shared_ptr<TraceSink> sink);
+  void setSink(std::shared_ptr<TraceSink> sink) EPTO_EXCLUDES(mutex_);
   void setEnabled(bool enabled) noexcept {
     enabled_.store(enabled, std::memory_order_relaxed);
   }
@@ -122,32 +123,35 @@ class Tracer {
 
   /// Append to the ring; on a full ring the oldest event is overwritten
   /// and `dropped()` advances. Thread-safe.
-  void record(const TraceEvent& event);
+  void record(const TraceEvent& event) EPTO_EXCLUDES(mutex_);
 
   /// Push every buffered event, oldest first, to the sink (if any) and
-  /// clear the ring. Returns the number of events flushed.
-  std::size_t flush();
+  /// clear the ring. Returns the number of events flushed. The sink is
+  /// invoked with mutex_ released, so a sink may call back into the
+  /// tracer without deadlocking (and recording threads are never blocked
+  /// behind sink I/O).
+  std::size_t flush() EPTO_EXCLUDES(mutex_);
 
   /// Remove and return buffered events, oldest first (test convenience;
   /// does not touch the sink).
-  [[nodiscard]] std::vector<TraceEvent> drain();
+  [[nodiscard]] std::vector<TraceEvent> drain() EPTO_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t buffered() const;
-  [[nodiscard]] std::uint64_t recorded() const;
-  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::size_t buffered() const EPTO_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t recorded() const EPTO_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t dropped() const EPTO_EXCLUDES(mutex_);
 
  private:
-  std::vector<TraceEvent> takeBufferedLocked();
+  std::vector<TraceEvent> takeBufferedLocked() EPTO_REQUIRES(mutex_);
 
-  Options options_{};
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> ring_;   // lazily sized to options_.capacity
-  std::size_t head_ = 0;           // index of the oldest buffered event
-  std::size_t size_ = 0;           // buffered events
-  std::uint64_t recorded_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::shared_ptr<TraceSink> sink_;
+  mutable util::Mutex mutex_;
+  Options options_ EPTO_GUARDED_BY(mutex_){};
+  std::vector<TraceEvent> ring_ EPTO_GUARDED_BY(mutex_);  // sized to options_.capacity
+  std::size_t head_ EPTO_GUARDED_BY(mutex_) = 0;  // index of the oldest buffered event
+  std::size_t size_ EPTO_GUARDED_BY(mutex_) = 0;  // buffered events
+  std::uint64_t recorded_ EPTO_GUARDED_BY(mutex_) = 0;
+  std::uint64_t dropped_ EPTO_GUARDED_BY(mutex_) = 0;
+  std::shared_ptr<TraceSink> sink_ EPTO_GUARDED_BY(mutex_);
 };
 
 }  // namespace epto::obs

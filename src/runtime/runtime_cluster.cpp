@@ -110,7 +110,7 @@ std::unique_ptr<Process> RuntimeCluster::makeProcess(ProcessId id,
   auto process = std::make_unique<Process>(
       id, cfg, std::move(sampler),
       [this, id](const Event& event, DeliveryTag tag) {
-        const std::scoped_lock lock(trackerMutex_);
+        const util::MutexLock lock(trackerMutex_);
         tracker_.onDeliver(id, event.id, ticksNow(), tag);
         ledger_.onDeliver(id, event.id);
       },
@@ -149,7 +149,7 @@ void RuntimeCluster::broadcast(std::size_t index, PayloadPtr payload) {
     return;
   }
   {
-    const std::scoped_lock lock(node.broadcastMutex);
+    const util::MutexLock lock(node.broadcastMutex);
     node.pendingBroadcasts.push_back(std::move(payload));
   }
   requestedBroadcasts_.fetch_add(1, std::memory_order_relaxed);
@@ -177,12 +177,12 @@ void RuntimeCluster::enterCrash(NodeState& node) {
   // Broadcast requests parked at this node die with it.
   std::vector<PayloadPtr> discarded;
   {
-    const std::scoped_lock lock(node.broadcastMutex);
+    const util::MutexLock lock(node.broadcastMutex);
     discarded.swap(node.pendingBroadcasts);
   }
   discardedBroadcasts_.fetch_add(discarded.size(), std::memory_order_relaxed);
   {
-    const std::scoped_lock lock(trackerMutex_);
+    const util::MutexLock lock(trackerMutex_);
     tracker_.onProcessCrash(node.id, now);
     ledger_.onCrash(node.id);
     lifetimes_[node.id].leftAt = now;
@@ -196,7 +196,7 @@ void RuntimeCluster::leaveCrash(NodeState& node) {
   ++node.incarnation;
   node.process = makeProcess(node.id, node.incarnation);
   {
-    const std::scoped_lock lock(trackerMutex_);
+    const util::MutexLock lock(trackerMutex_);
     tracker_.onProcessRestart(node.id, now);
     lifetimes_[node.id] = metrics::ProcessLifetime{now, std::nullopt};
   }
@@ -255,13 +255,13 @@ void RuntimeCluster::nodeLoop(NodeState& node) {
     // Inject application broadcasts at the round boundary.
     std::vector<PayloadPtr> pending;
     {
-      const std::scoped_lock lock(node.broadcastMutex);
+      const util::MutexLock lock(node.broadcastMutex);
       pending.swap(node.pendingBroadcasts);
     }
     for (PayloadPtr& payload : pending) {
       const Event event = node.process->broadcast(std::move(payload));
       const std::vector<ProcessId> expected = upNodes();
-      const std::scoped_lock lock(trackerMutex_);
+      const util::MutexLock lock(trackerMutex_);
       tracker_.onBroadcast(node.id, event.id, event.orderKey(), ticksNow());
       ledger_.onBroadcast(event.id, expected);
     }
@@ -284,7 +284,7 @@ bool RuntimeCluster::awaitQuiescence(std::chrono::milliseconds timeout) {
   const auto deadline = Clock::now() + timeout;
   for (;;) {
     {
-      const std::scoped_lock lock(trackerMutex_);
+      const util::MutexLock lock(trackerMutex_);
       const bool allInjected =
           tracker_.broadcastCount() + discardedBroadcasts_.load(std::memory_order_relaxed) >=
           requestedBroadcasts_.load(std::memory_order_relaxed);
@@ -305,7 +305,7 @@ bool RuntimeCluster::awaitQuiescence(std::chrono::milliseconds timeout) {
 }
 
 std::string RuntimeCluster::lastQuiescenceReport() const {
-  const std::scoped_lock lock(trackerMutex_);
+  const util::MutexLock lock(trackerMutex_);
   return quiescenceReport_;
 }
 
@@ -335,12 +335,12 @@ std::string RuntimeCluster::prometheusSnapshot() {
 }
 
 metrics::TrackerReport RuntimeCluster::report() const {
-  const std::scoped_lock lock(trackerMutex_);
+  const util::MutexLock lock(trackerMutex_);
   return tracker_.finalize(lifetimes_, ticksNow());
 }
 
 std::uint64_t RuntimeCluster::broadcastCount() const {
-  const std::scoped_lock lock(trackerMutex_);
+  const util::MutexLock lock(trackerMutex_);
   return tracker_.broadcastCount();
 }
 

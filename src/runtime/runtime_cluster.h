@@ -19,7 +19,6 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -36,7 +35,9 @@
 #include "obs/registry.h"
 #include "obs/scrape.h"
 #include "runtime/transport.h"
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace epto::runtime {
 
@@ -98,14 +99,14 @@ class RuntimeCluster {
   /// owe events broadcast after they rejoined — or `timeout` elapsed.
   /// Returns true when fully drained; on timeout, lastQuiescenceReport()
   /// names the outstanding (event, nodes) pairs.
-  bool awaitQuiescence(std::chrono::milliseconds timeout);
+  bool awaitQuiescence(std::chrono::milliseconds timeout) EPTO_EXCLUDES(trackerMutex_);
 
   /// Diagnosis of the most recent awaitQuiescence() timeout ("" after a
   /// successful wait).
-  [[nodiscard]] std::string lastQuiescenceReport() const;
+  [[nodiscard]] std::string lastQuiescenceReport() const EPTO_EXCLUDES(trackerMutex_);
 
   /// Judge the run so far (normally called after stop()).
-  [[nodiscard]] metrics::TrackerReport report() const;
+  [[nodiscard]] metrics::TrackerReport report() const EPTO_EXCLUDES(trackerMutex_);
 
   [[nodiscard]] std::size_t fanoutUsed() const noexcept { return fanout_; }
   [[nodiscard]] std::uint32_t ttlUsed() const noexcept { return ttl_; }
@@ -134,10 +135,11 @@ class RuntimeCluster {
  private:
   struct NodeState {
     ProcessId id = 0;
-    std::unique_ptr<Process> process;
+    std::unique_ptr<Process> process;  ///< node-thread only.
     std::thread thread;
-    std::mutex broadcastMutex;
-    std::vector<PayloadPtr> pendingBroadcasts;
+    /// Leaf lock: never held together with trackerMutex_ (DESIGN.md §12).
+    util::Mutex broadcastMutex;
+    std::vector<PayloadPtr> pendingBroadcasts EPTO_GUARDED_BY(broadcastMutex);
     /// False while inside a crash window. Written by the node thread,
     /// read by broadcast() and the quiescence bookkeeping.
     std::atomic<bool> up{true};
@@ -149,8 +151,8 @@ class RuntimeCluster {
                                                      std::uint32_t incarnation);
   /// Enter/leave a crash window (node thread). Handles tracker, ledger,
   /// lifetime and controller bookkeeping.
-  void enterCrash(NodeState& node);
-  void leaveCrash(NodeState& node);
+  void enterCrash(NodeState& node) EPTO_EXCLUDES(trackerMutex_);
+  void leaveCrash(NodeState& node) EPTO_EXCLUDES(trackerMutex_);
   [[nodiscard]] std::vector<ProcessId> upNodes() const;
   void syncTransportMetrics();
   [[nodiscard]] Timestamp ticksNow() const;
@@ -169,14 +171,17 @@ class RuntimeCluster {
   obs::Registry registry_;
   std::unique_ptr<obs::ScrapeLoop> scrape_;
 
-  mutable std::mutex trackerMutex_;
-  metrics::DeliveryTracker tracker_;
-  /// Who still owes which event (fault-aware quiescence), under
-  /// trackerMutex_ like the tracker itself.
-  metrics::QuiescenceLedger ledger_;
-  /// Final-incarnation lifetimes for report(), under trackerMutex_.
-  std::unordered_map<ProcessId, metrics::ProcessLifetime> lifetimes_;
-  std::string quiescenceReport_;  // under trackerMutex_
+  /// Correctness-accounting capability: tracker, ledger, lifetimes and
+  /// the quiescence diagnosis move together. Leaf lock — nothing else is
+  /// ever acquired while it is held.
+  mutable util::Mutex trackerMutex_;
+  metrics::DeliveryTracker tracker_ EPTO_GUARDED_BY(trackerMutex_);
+  /// Who still owes which event (fault-aware quiescence).
+  metrics::QuiescenceLedger ledger_ EPTO_GUARDED_BY(trackerMutex_);
+  /// Final-incarnation lifetimes for report().
+  std::unordered_map<ProcessId, metrics::ProcessLifetime> lifetimes_
+      EPTO_GUARDED_BY(trackerMutex_);
+  std::string quiescenceReport_ EPTO_GUARDED_BY(trackerMutex_);
   /// broadcast() requests not yet injected by node threads; quiescence
   /// requires the queue drained AND every owed delivery performed.
   std::atomic<std::uint64_t> requestedBroadcasts_{0};

@@ -7,7 +7,7 @@ namespace epto::runtime {
 
 void Mailbox::push(Envelope envelope) {
   {
-    const std::scoped_lock lock(mutex_);
+    const util::MutexLock lock(mutex_);
     queue_.push(std::move(envelope));
   }
   cv_.notify_one();
@@ -15,7 +15,7 @@ void Mailbox::push(Envelope envelope) {
 
 std::vector<Envelope> Mailbox::drainReady(Clock::time_point now) {
   std::vector<Envelope> ready;
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   while (!queue_.empty() && queue_.top().deliverAt <= now) {
     ready.push_back(queue_.top());
     queue_.pop();
@@ -24,7 +24,7 @@ std::vector<Envelope> Mailbox::drainReady(Clock::time_point now) {
 }
 
 void Mailbox::waitReadyOrDeadline(Clock::time_point deadline) {
-  std::unique_lock lock(mutex_);
+  util::CondVarLock lock(mutex_);
   for (;;) {
     const auto now = Clock::now();
     if (now >= deadline) return;
@@ -33,9 +33,9 @@ void Mailbox::waitReadyOrDeadline(Clock::time_point deadline) {
       // Sleep until the earliest in-flight message lands (or the round
       // boundary, whichever is first).
       const auto wake = std::min(deadline, queue_.top().deliverAt);
-      cv_.wait_until(lock, wake);
+      lock.waitUntil(cv_, wake);
     } else {
-      cv_.wait_until(lock, deadline);
+      lock.waitUntil(cv_, deadline);
     }
     // Spurious wakeups and interrupt() both land here; the loop
     // re-evaluates the condition and the deadline.
@@ -91,7 +91,7 @@ void InMemoryTransport::send(ProcessId from, ProcessId to, BallPtr ball) {
       dropped = faultDropped = true;
     } else {
       if (fate.extraLossRate > 0.0) {
-        const std::scoped_lock lock(rngMutex_);
+        const util::MutexLock lock(rngMutex_);
         if (rng_.chance(fate.extraLossRate)) {
           dropped = faultDropped = true;
         }
@@ -106,7 +106,7 @@ void InMemoryTransport::send(ProcessId from, ProcessId to, BallPtr ball) {
   }
 
   {
-    const std::scoped_lock lock(rngMutex_);
+    const util::MutexLock lock(rngMutex_);
     if (!dropped) dropped = rng_.chance(options_.lossRate);
     if (!dropped && options_.maxDelay > options_.minDelay) {
       const auto span =
@@ -141,7 +141,7 @@ void InMemoryTransport::send(ProcessId from, ProcessId to, BallPtr ball) {
   }
 
   {
-    const std::scoped_lock lock(statsMutex_);
+    const util::MutexLock lock(statsMutex_);
     ++stats_.sent;
     stats_.bytesSent += bytes;
     if (dropped) ++stats_.dropped;
@@ -156,7 +156,7 @@ BallPtr InMemoryTransport::openEnvelope(const Envelope& envelope) {
   EPTO_ENSURE_MSG(envelope.frame != nullptr, "envelope carries neither ball nor frame");
   auto decoded = codec::decodeBall(*envelope.frame);
   if (!decoded.ok()) {
-    const std::scoped_lock lock(statsMutex_);
+    const util::MutexLock lock(statsMutex_);
     ++stats_.framesRejected;
     return nullptr;
   }
@@ -164,7 +164,7 @@ BallPtr InMemoryTransport::openEnvelope(const Envelope& envelope) {
 }
 
 InMemoryTransport::Stats InMemoryTransport::stats() const {
-  const std::scoped_lock lock(statsMutex_);
+  const util::MutexLock lock(statsMutex_);
   return stats_;
 }
 

@@ -14,14 +14,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <unordered_map>
 #include <vector>
 
 #include "core/types.h"
 #include "fault/fault_controller.h"
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace epto::runtime {
 
@@ -40,13 +41,14 @@ struct Envelope {
 /// and many producers.
 class Mailbox {
  public:
-  void push(Envelope envelope);
+  void push(Envelope envelope) EPTO_EXCLUDES(mutex_);
 
   /// All envelopes whose delivery time has passed, in delivery order.
-  [[nodiscard]] std::vector<Envelope> drainReady(Clock::time_point now);
+  [[nodiscard]] std::vector<Envelope> drainReady(Clock::time_point now)
+      EPTO_EXCLUDES(mutex_);
 
   /// Block until an envelope is (or becomes) ready, or until `deadline`.
-  void waitReadyOrDeadline(Clock::time_point deadline);
+  void waitReadyOrDeadline(Clock::time_point deadline) EPTO_EXCLUDES(mutex_);
 
   /// Wake a blocked consumer (used on shutdown).
   void interrupt();
@@ -58,9 +60,9 @@ class Mailbox {
     }
   };
 
-  std::mutex mutex_;
+  util::Mutex mutex_;
   std::condition_variable cv_;
-  std::priority_queue<Envelope, std::vector<Envelope>, Later> queue_;
+  std::priority_queue<Envelope, std::vector<Envelope>, Later> queue_ EPTO_GUARDED_BY(mutex_);
 };
 
 /// Shared loss/delay-injecting fabric connecting the mailboxes.
@@ -92,7 +94,8 @@ class InMemoryTransport {
   void registerEndpoint(ProcessId id);
 
   /// Fire-and-forget transmission; callable from any thread.
-  void send(ProcessId from, ProcessId to, BallPtr ball);
+  void send(ProcessId from, ProcessId to, BallPtr ball)
+      EPTO_EXCLUDES(rngMutex_, statsMutex_);
 
   [[nodiscard]] Mailbox& mailboxOf(ProcessId id);
 
@@ -103,24 +106,30 @@ class InMemoryTransport {
     std::uint64_t bytesSent = 0;        ///< serialized mode only.
     std::uint64_t framesRejected = 0;   ///< corrupted frames caught by decode.
   };
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const EPTO_EXCLUDES(statsMutex_);
 
   /// Extract the ball from an envelope: returns the shared ball directly
   /// in in-memory mode, or decodes the frame in serialized mode. Returns
   /// nullptr (and counts a rejection) when the frame fails validation —
   /// a corrupted datagram behaves exactly like a lost one.
-  [[nodiscard]] BallPtr openEnvelope(const Envelope& envelope);
+  [[nodiscard]] BallPtr openEnvelope(const Envelope& envelope) EPTO_EXCLUDES(statsMutex_);
 
  private:
   Options options_;
-  /// Set once by attachFaults() before threads start; read-only afterwards.
+  /// Set once by attachFaults() before threads start; read-only afterwards
+  /// (no capability — const-after-init, like mailboxes_ below).
   fault::FaultController* faults_ = nullptr;
   std::function<Timestamp()> faultNow_;
-  mutable std::mutex rngMutex_;
-  util::Rng rng_;
+  /// rngMutex_ and statsMutex_ are independent leaf locks; send() takes
+  /// each in turn and never holds both (see DESIGN.md §12 hierarchy).
+  mutable util::Mutex rngMutex_;
+  util::Rng rng_ EPTO_GUARDED_BY(rngMutex_);
+  /// Populated by registerEndpoint() before any sender thread exists;
+  /// structurally immutable afterwards (mailboxes are themselves
+  /// thread-safe), so lookups are deliberately lock-free.
   std::unordered_map<ProcessId, std::unique_ptr<Mailbox>> mailboxes_;
-  mutable std::mutex statsMutex_;
-  Stats stats_;
+  mutable util::Mutex statsMutex_;
+  Stats stats_ EPTO_GUARDED_BY(statsMutex_);
 };
 
 }  // namespace epto::runtime

@@ -127,7 +127,7 @@ std::unique_ptr<Process> UdpCluster::makeProcess(ProcessId id, std::uint32_t inc
   auto process = std::make_unique<Process>(
       id, cfg, std::make_shared<StaticSampler>(id, options_.nodeCount, samplerRng),
       [this, id](const Event& event, DeliveryTag tag) {
-        const std::scoped_lock lock(trackerMutex_);
+        const util::MutexLock lock(trackerMutex_);
         tracker_.onDeliver(id, event.id, ticksNow(), tag);
         ledger_.onDeliver(id, event.id);
       },
@@ -165,7 +165,7 @@ void UdpCluster::broadcast(std::size_t index, PayloadPtr payload) {
     return;
   }
   {
-    const std::scoped_lock lock(node.broadcastMutex);
+    const util::MutexLock lock(node.broadcastMutex);
     node.pendingBroadcasts.push_back(std::move(payload));
   }
   requestedBroadcasts_.fetch_add(1, std::memory_order_relaxed);
@@ -195,12 +195,12 @@ void UdpCluster::enterCrash(NodeState& node) {
   node.up.store(false, std::memory_order_release);
   std::vector<PayloadPtr> discarded;
   {
-    const std::scoped_lock lock(node.broadcastMutex);
+    const util::MutexLock lock(node.broadcastMutex);
     discarded.swap(node.pendingBroadcasts);
   }
   discardedBroadcasts_.fetch_add(discarded.size(), std::memory_order_relaxed);
   {
-    const std::scoped_lock lock(trackerMutex_);
+    const util::MutexLock lock(trackerMutex_);
     tracker_.onProcessCrash(node.id, now);
     ledger_.onCrash(node.id);
     lifetimes_[node.id].leftAt = now;
@@ -217,7 +217,7 @@ void UdpCluster::leaveCrash(NodeState& node) {
   ++node.incarnation;
   node.process = makeProcess(node.id, node.incarnation);
   {
-    const std::scoped_lock lock(trackerMutex_);
+    const util::MutexLock lock(trackerMutex_);
     tracker_.onProcessRestart(node.id, now);
     lifetimes_[node.id] = metrics::ProcessLifetime{now, std::nullopt};
   }
@@ -418,13 +418,13 @@ void UdpCluster::nodeLoop(NodeState& node) {
 
     std::vector<PayloadPtr> pending;
     {
-      const std::scoped_lock lock(node.broadcastMutex);
+      const util::MutexLock lock(node.broadcastMutex);
       pending.swap(node.pendingBroadcasts);
     }
     for (PayloadPtr& payload : pending) {
       const Event event = node.process->broadcast(std::move(payload));
       const std::vector<ProcessId> expected = upNodes();
-      const std::scoped_lock lock(trackerMutex_);
+      const util::MutexLock lock(trackerMutex_);
       tracker_.onBroadcast(node.id, event.id, event.orderKey(), ticksNow());
       ledger_.onBroadcast(event.id, expected);
     }
@@ -514,7 +514,7 @@ bool UdpCluster::awaitQuiescence(std::chrono::milliseconds timeout) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   for (;;) {
     {
-      const std::scoped_lock lock(trackerMutex_);
+      const util::MutexLock lock(trackerMutex_);
       const bool allInjected =
           tracker_.broadcastCount() + discardedBroadcasts_.load(std::memory_order_relaxed) >=
           requestedBroadcasts_.load(std::memory_order_relaxed);
@@ -535,7 +535,7 @@ bool UdpCluster::awaitQuiescence(std::chrono::milliseconds timeout) {
 }
 
 std::string UdpCluster::lastQuiescenceReport() const {
-  const std::scoped_lock lock(trackerMutex_);
+  const util::MutexLock lock(trackerMutex_);
   return quiescenceReport_;
 }
 
@@ -555,7 +555,7 @@ std::string UdpCluster::prometheusSnapshot() {
 }
 
 metrics::TrackerReport UdpCluster::report() const {
-  const std::scoped_lock lock(trackerMutex_);
+  const util::MutexLock lock(trackerMutex_);
   return tracker_.finalize(lifetimes_, ticksNow());
 }
 

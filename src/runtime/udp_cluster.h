@@ -26,7 +26,6 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
@@ -47,7 +46,9 @@
 #include "runtime/reassembly.h"
 #include "runtime/stall_watchdog.h"
 #include "runtime/udp_transport.h"
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace epto::runtime {
 
@@ -113,16 +114,16 @@ class UdpCluster {
   /// Block until every broadcast has been delivered by every node that
   /// still owes it (crashed nodes owe nothing; restarted nodes only owe
   /// events broadcast after they rejoined), or timeout.
-  bool awaitQuiescence(std::chrono::milliseconds timeout);
+  bool awaitQuiescence(std::chrono::milliseconds timeout) EPTO_EXCLUDES(trackerMutex_);
 
   /// Diagnosis of the most recent awaitQuiescence() timeout ("" after a
   /// successful wait).
-  [[nodiscard]] std::string lastQuiescenceReport() const;
+  [[nodiscard]] std::string lastQuiescenceReport() const EPTO_EXCLUDES(trackerMutex_);
 
   /// Signal and join all node threads. Idempotent.
   void stop();
 
-  [[nodiscard]] metrics::TrackerReport report() const;
+  [[nodiscard]] metrics::TrackerReport report() const EPTO_EXCLUDES(trackerMutex_);
   [[nodiscard]] std::size_t fanoutUsed() const noexcept { return fanout_; }
   [[nodiscard]] std::uint32_t ttlUsed() const noexcept { return ttl_; }
   /// Datagrams that arrived but failed frame validation.
@@ -210,10 +211,11 @@ class UdpCluster {
 
     ProcessId id = 0;
     UdpSocket socket;
-    std::unique_ptr<Process> process;
+    std::unique_ptr<Process> process;  ///< node-thread only.
     std::thread thread;
-    std::mutex broadcastMutex;
-    std::vector<PayloadPtr> pendingBroadcasts;
+    /// Leaf lock: never held together with trackerMutex_ (DESIGN.md §12).
+    util::Mutex broadcastMutex;
+    std::vector<PayloadPtr> pendingBroadcasts EPTO_GUARDED_BY(broadcastMutex);
     /// False while inside a crash window (node thread writes, others read).
     std::atomic<bool> up{true};
     std::uint32_t incarnation = 0;        // node-thread only
@@ -233,8 +235,8 @@ class UdpCluster {
   void nodeLoop(NodeState& node);
   [[nodiscard]] std::unique_ptr<Process> makeProcess(ProcessId id,
                                                      std::uint32_t incarnation);
-  void enterCrash(NodeState& node);
-  void leaveCrash(NodeState& node);
+  void enterCrash(NodeState& node) EPTO_EXCLUDES(trackerMutex_);
+  void leaveCrash(NodeState& node) EPTO_EXCLUDES(trackerMutex_);
   void sendDatagram(NodeState& node, std::uint16_t port, bool isFragment,
                     const std::vector<std::byte>& frame, util::Rng& rng);
   void flushHeldBack(NodeState& node, util::Rng& rng);
@@ -262,11 +264,15 @@ class UdpCluster {
   obs::Registry registry_;
   std::unique_ptr<obs::ScrapeLoop> scrape_;
 
-  mutable std::mutex trackerMutex_;
-  metrics::DeliveryTracker tracker_;
-  metrics::QuiescenceLedger ledger_;  // under trackerMutex_
-  std::unordered_map<ProcessId, metrics::ProcessLifetime> lifetimes_;  // under trackerMutex_
-  std::string quiescenceReport_;      // under trackerMutex_
+  /// Correctness-accounting capability (tracker + ledger + lifetimes +
+  /// quiescence diagnosis). Leaf lock — nothing else is ever acquired
+  /// while it is held.
+  mutable util::Mutex trackerMutex_;
+  metrics::DeliveryTracker tracker_ EPTO_GUARDED_BY(trackerMutex_);
+  metrics::QuiescenceLedger ledger_ EPTO_GUARDED_BY(trackerMutex_);
+  std::unordered_map<ProcessId, metrics::ProcessLifetime> lifetimes_
+      EPTO_GUARDED_BY(trackerMutex_);
+  std::string quiescenceReport_ EPTO_GUARDED_BY(trackerMutex_);
   std::atomic<std::uint64_t> requestedBroadcasts_{0};
   std::atomic<std::uint64_t> discardedBroadcasts_{0};
   std::atomic<std::uint64_t> framesRejected_{0};

@@ -1,0 +1,77 @@
+// Annotated lock primitives — the capability layer the thread-safety
+// analysis hangs off.
+//
+// libstdc++'s std::mutex / std::scoped_lock carry no Clang capability
+// attributes, so EPTO_GUARDED_BY(member) against a raw std::mutex makes
+// the whole analysis vacuous (and trips -Wthread-safety-attributes).
+// util::Mutex wraps std::mutex with the capability attribute and
+// util::MutexLock / util::CondVarLock are the scoped acquisitions the
+// analysis understands. Every lock in the concurrent surface (obs,
+// fault, runtime, workload) is one of these; std::mutex must not appear
+// outside this file (enforced by tools/epto_lint.py).
+//
+// The wrappers are zero-cost: each compiles to exactly the std::mutex /
+// std::unique_lock code it replaces.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace epto::util {
+
+/// An annotated std::mutex. Prefer MutexLock/CondVarLock over calling
+/// lock()/unlock() directly (RAII-only locking is an epto_lint rule).
+class EPTO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() EPTO_ACQUIRE() { m_.lock(); }
+  void unlock() EPTO_RELEASE() { m_.unlock(); }
+
+ private:
+  friend class CondVarLock;
+  std::mutex m_;
+};
+
+/// RAII exclusive hold of a Mutex — the std::scoped_lock of this layer.
+class EPTO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) EPTO_ACQUIRE(mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~MutexLock() EPTO_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// RAII hold that can block on a std::condition_variable. Backed by a
+/// std::unique_lock so cv waits release/reacquire the underlying mutex;
+/// the analysis sees the capability held for the whole scope, which is
+/// the invariant that matters — the guarded state is only inspected
+/// while the lock is genuinely held (waits hand it back before
+/// blocking and retake it before returning).
+class EPTO_SCOPED_CAPABILITY CondVarLock {
+ public:
+  explicit CondVarLock(Mutex& mutex) EPTO_ACQUIRE(mutex) : lock_(mutex.m_) {}
+  ~CondVarLock() EPTO_RELEASE() {}
+
+  CondVarLock(const CondVarLock&) = delete;
+  CondVarLock& operator=(const CondVarLock&) = delete;
+
+  template <typename Clock, typename Duration>
+  std::cv_status waitUntil(std::condition_variable& cv,
+                           const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv.wait_until(lock_, deadline);
+  }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace epto::util

@@ -1,0 +1,85 @@
+// Clang thread-safety annotations (no-op on every other compiler).
+//
+// EpTO's correctness argument assumes a race-free substrate; the dynamic
+// layer (TSan CI) only validates the schedules a run happens to explore.
+// These macros make the locking discipline machine-checked on every Clang
+// compile instead: members carry EPTO_GUARDED_BY(lock), lock-assuming
+// helpers carry EPTO_REQUIRES(lock), and the static-analysis CI job builds
+// the tree with `-Wthread-safety -Werror=thread-safety`, so a new access
+// path that forgets the lock is a compile error, independent of luck.
+//
+// Conventions (DESIGN.md §12):
+//   * every lock member that guards anything is a util::Mutex (the
+//     annotated std::mutex wrapper in util/mutex.h — libstdc++'s
+//     std::mutex carries no capability attribute, so annotating against
+//     it directly would make the whole analysis vacuous); the members it
+//     protects carry EPTO_GUARDED_BY(thatMutex_);
+//   * private helpers called with the lock already held are annotated
+//     EPTO_REQUIRES(thatMutex_) instead of re-locking;
+//   * relaxed-atomic members are intentionally *not* guarded — atomics
+//     are their own capability; mixing them into a mutex annotation
+//     would claim an exclusion that the hot paths deliberately avoid;
+//   * lock ordering is documented with EPTO_ACQUIRED_BEFORE/AFTER where
+//     two capabilities can nest (checked under -Wthread-safety-beta).
+//
+// The macro set mirrors the canonical mutex.h example from the Clang
+// documentation, under an EPTO_ prefix so non-Clang builds (GCC in this
+// container) see clean no-ops and no foreign macro names.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define EPTO_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define EPTO_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+/// Marks a type as a capability (lockable); util::Mutex is the
+/// repository's annotated lockable (libstdc++'s std::mutex is not one).
+#define EPTO_CAPABILITY(x) EPTO_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases
+/// a capability (util::MutexLock, util::CondVarLock).
+#define EPTO_SCOPED_CAPABILITY EPTO_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Member is protected by the given capability: every read requires at
+/// least a shared hold, every write an exclusive hold.
+#define EPTO_GUARDED_BY(x) EPTO_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the capability.
+#define EPTO_PT_GUARDED_BY(x) EPTO_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function requires the capability to be held on entry (and does not
+/// release it).
+#define EPTO_REQUIRES(...) \
+  EPTO_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define EPTO_ACQUIRE(...) \
+  EPTO_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define EPTO_RELEASE(...) \
+  EPTO_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard
+/// for functions that acquire it themselves).
+#define EPTO_EXCLUDES(...) EPTO_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering documentation: this capability is always acquired
+/// before/after the named one. Violations surface under
+/// -Wthread-safety-beta (advisory in the static-analysis CI job).
+#define EPTO_ACQUIRED_BEFORE(...) \
+  EPTO_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define EPTO_ACQUIRED_AFTER(...) \
+  EPTO_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: the function touches guarded state but is exempt from
+/// analysis. Reserve for cases the analysis cannot model (documented at
+/// the call site); prefer EPTO_REQUIRES wherever the lock relationship
+/// is real.
+#define EPTO_NO_THREAD_SAFETY_ANALYSIS \
+  EPTO_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+/// Function returns a reference to a capability-guarded object without
+/// holding the capability (accessors used before threads start).
+#define EPTO_RETURN_CAPABILITY(x) EPTO_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))

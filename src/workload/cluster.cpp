@@ -418,8 +418,8 @@ void SimCluster::onMessage(ProcessId from, ProcessId to, const NetMessage& messa
     if (node.cyclon != nullptr) node.cyclon->onShuffleReply(reply->entries);
   } else if (const auto* push = std::get_if<GossipPushMsg>(&message)) {
     if (node.generic != nullptr) {
-      if (auto reply = node.generic->onGossip(from, push->buffer); reply.has_value()) {
-        network_.send(to, from, GossipReplyMsg{std::move(*reply)});
+      if (auto pushReply = node.generic->onGossip(from, push->buffer); pushReply.has_value()) {
+        network_.send(to, from, GossipReplyMsg{std::move(*pushReply)});
       }
     }
   } else if (const auto* gossipReply = std::get_if<GossipReplyMsg>(&message)) {

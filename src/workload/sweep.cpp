@@ -3,10 +3,36 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 namespace epto::workload {
+
+namespace {
+
+/// First-failure memory shared by the sweep workers. The annotated
+/// capability makes the "remember exactly one exception" discipline
+/// compiler-checked (DESIGN.md §12).
+class FirstError {
+ public:
+  void note(std::exception_ptr error) EPTO_EXCLUDES(mutex_) {
+    const util::MutexLock lock(mutex_);
+    if (first_ == nullptr) first_ = std::move(error);
+  }
+
+  [[nodiscard]] std::exception_ptr take() EPTO_EXCLUDES(mutex_) {
+    const util::MutexLock lock(mutex_);
+    return first_;
+  }
+
+ private:
+  util::Mutex mutex_;
+  std::exception_ptr first_ EPTO_GUARDED_BY(mutex_);
+};
+
+}  // namespace
 
 std::vector<ExperimentResult> runExperiments(std::span<const ExperimentConfig> configs,
                                              std::size_t jobs) {
@@ -25,8 +51,7 @@ std::vector<ExperimentResult> runExperiments(std::span<const ExperimentConfig> c
   // must not tear down threads mid-experiment).
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
-  std::exception_ptr firstError;
-  std::mutex errorMutex;
+  FirstError firstError;
   auto worker = [&] {
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -34,8 +59,7 @@ std::vector<ExperimentResult> runExperiments(std::span<const ExperimentConfig> c
       try {
         results[i] = runExperiment(configs[i]);
       } catch (...) {
-        const std::lock_guard lock(errorMutex);
-        if (firstError == nullptr) firstError = std::current_exception();
+        firstError.note(std::current_exception());
         failed.store(true, std::memory_order_relaxed);
         return;
       }
@@ -46,7 +70,9 @@ std::vector<ExperimentResult> runExperiments(std::span<const ExperimentConfig> c
   pool.reserve(workers);
   for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
   for (auto& thread : pool) thread.join();
-  if (firstError != nullptr) std::rethrow_exception(firstError);
+  if (const std::exception_ptr error = firstError.take(); error != nullptr) {
+    std::rethrow_exception(error);
+  }
   return results;
 }
 

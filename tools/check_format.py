@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Format gate: the diff against the merge base must be clang-format
+clean.
+
+Wraps `git clang-format --diff` so the gate only judges lines this
+branch touched — the tree predates .clang-format, and a whole-tree
+reformat would bury real changes in noise. Falls back to plain
+`clang-format --dry-run` over explicitly named files when given any.
+
+Exit status: 0 clean (or tool missing with --allow-missing), 1 formatting
+needed, 2 setup error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+FORMAT_CANDIDATES = ("clang-format",) + tuple(f"clang-format-{v}" for v in range(21, 13, -1))
+
+
+def find_tool(explicit: str | None) -> str | None:
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in FORMAT_CANDIDATES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--base", default="HEAD~1",
+                        help="git ref to diff against (CI passes the PR merge base)")
+    parser.add_argument("--clang-format", default=None,
+                        help="clang-format executable (default: first found on PATH)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="exit 0 with a notice when clang-format is not installed")
+    parser.add_argument("files", nargs="*",
+                        help="check these whole files instead of the git diff")
+    args = parser.parse_args(argv)
+
+    tool = find_tool(args.clang_format)
+    if tool is None:
+        message = "check_format: clang-format not found on PATH"
+        if args.allow_missing:
+            print(f"{message} — skipped (CI runs it)", file=sys.stderr)
+            return 0
+        print(message, file=sys.stderr)
+        return 2
+
+    if args.files:
+        proc = subprocess.run(
+            [tool, "--dry-run", "--Werror", *args.files], cwd=repo_root)
+        return 0 if proc.returncode == 0 else 1
+
+    proc = subprocess.run(
+        ["git", "clang-format", "--binary", shutil.which(tool), "--diff",
+         "--quiet", args.base],
+        cwd=repo_root, capture_output=True, text=True)
+    # git clang-format exits 1 when a rewrite is needed and prints the diff.
+    output = (proc.stdout + proc.stderr).strip()
+    if proc.returncode == 0 or "no modified files" in output or "did not modify" in output:
+        print("check_format: OK")
+        return 0
+    print(output)
+    print("check_format: run `git clang-format " + args.base + "` to fix", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""epto_lint — the EpTO repository invariant linter.
+
+Textual rules that encode repository-wide invariants the compiler cannot
+see (DESIGN.md §12). Scans C++ sources under src/ after scrubbing
+comments and string/char literals (so prose never trips a rule), and
+reports one finding per offending line. Exit status: 0 clean, 1 findings,
+2 usage error.
+
+Rules
+-----
+nondeterminism   No wall-clock or ambient randomness in library code:
+                 std::random_device, rand()/srand(), time(),
+                 std::chrono::system_clock/high_resolution_clock. Every
+                 run must be a pure function of its seed; randomness
+                 comes from util::Rng, time from the driver.
+stdout           No std::cout / printf-family writes in library targets.
+                 Libraries report through the obs registry/exporters or
+                 return values; stdout belongs to the binaries.
+raw-mutex        std::mutex (and scoped_lock/lock_guard/unique_lock/
+                 recursive/shared/timed variants) must not appear outside
+                 src/util/mutex.h. Raw std::mutex carries no Clang
+                 capability attribute, so any lock not wrapped in
+                 util::Mutex is invisible to -Wthread-safety.
+naked-lock       No manual .lock()/.unlock() calls — RAII only
+                 (util::MutexLock / util::CondVarLock), so no early
+                 return can leak a held lock.
+iostream-header  No #include <iostream> in headers: it injects the
+                 static ios_base::Init initializer into every TU.
+eventid-order    No relational comparison of EventId / .id members.
+                 EventId's operator< is identity order (source, sequence)
+                 for dedup and sorted merges; DELIVERY order is
+                 OrderKey (timestamp, then id) — comparing ids where an
+                 order key is meant silently breaks total order.
+                 Sanctioned id-sorted merge/dedup sites are allowlisted.
+
+Allowlist
+---------
+tools/epto_lint_allowlist.txt: `<rule-id> <repo-relative-path>` per line,
+`#` comments. An entry suppresses that rule for that whole file; keep
+entries justified with a trailing comment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, NamedTuple
+
+
+class Rule(NamedTuple):
+    rule_id: str
+    pattern: re.Pattern[str]
+    message: str
+    headers_only: bool = False
+
+
+RULES: tuple[Rule, ...] = (
+    Rule(
+        "nondeterminism",
+        re.compile(
+            r"std::random_device"
+            r"|\b[sg]?rand\s*\("
+            r"|\btime\s*\("
+            r"|std::chrono::(?:system_clock|high_resolution_clock)"
+        ),
+        "ambient randomness / wall clock — use util::Rng and driver-supplied time",
+    ),
+    Rule(
+        "stdout",
+        re.compile(r"\bstd::cout\b|\b(?:printf|puts|putchar)\s*\("),
+        "stdout write in library code — report via obs or return values",
+    ),
+    Rule(
+        "raw-mutex",
+        re.compile(
+            r"std::(?:mutex|recursive_mutex|timed_mutex|recursive_timed_mutex"
+            r"|shared_mutex|shared_timed_mutex|scoped_lock|lock_guard|unique_lock)\b"
+        ),
+        "raw std:: locking primitive — use util::Mutex / util::MutexLock",
+    ),
+    Rule(
+        "naked-lock",
+        re.compile(r"\.\s*(?:un)?lock\s*\(\s*\)"),
+        "manual lock()/unlock() call — hold locks via RAII (util::MutexLock)",
+    ),
+    Rule(
+        "iostream-header",
+        re.compile(r'#\s*include\s*[<"]iostream[>"]'),
+        "<iostream> included from a header — include it in the .cpp that prints",
+        headers_only=True,
+    ),
+    Rule(
+        "eventid-order",
+        re.compile(r"\.\s*id\s*(?:<=|>=|<(?![<=])|>(?![>=]))|\bEventId\b[^;{)\n]*[<>]=?\s*\w+\.id\b"),
+        "relational comparison of EventId — delivery order is OrderKey, not id order",
+    ),
+)
+
+HEADER_SUFFIXES = {".h", ".hpp"}
+SOURCE_SUFFIXES = {".h", ".hpp", ".cpp", ".cc"}
+
+
+class Finding(NamedTuple):
+    path: str
+    line: int
+    rule_id: str
+    message: str
+    text: str
+
+
+def scrub(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line layout.
+
+    Every stripped character becomes a space (newlines survive), so the
+    rule regexes keep real line numbers and never match prose.
+    """
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif c == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                out.append(text[i] if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif c == "R" and nxt == '"':
+            end = text.find("(", i + 2)
+            if end == -1:
+                out.append(c)
+                i += 1
+                continue
+            delim = ")" + text[i + 2 : end] + '"'
+            close = text.find(delim, end + 1)
+            close = n if close == -1 else close + len(delim)
+            out.extend(ch if ch == "\n" else " " for ch in text[i:close])
+            i = close
+        elif c in ('"', "'"):
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                step = 2 if text[i] == "\\" and i + 1 < n else 1
+                out.extend(" " * step)
+                i += step
+            if i < n:
+                out.append(" ")
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def parse_allowlist(path: Path) -> set[tuple[str, str]]:
+    """Return {(rule_id, repo-relative-path)} pairs from the allowlist file."""
+    entries: set[tuple[str, str]] = set()
+    if not path.exists():
+        return entries
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(f"{path}:{lineno}: expected '<rule-id> <path>', got {raw!r}")
+        rule_id, rel = parts
+        if rule_id not in {r.rule_id for r in RULES}:
+            raise ValueError(f"{path}:{lineno}: unknown rule id {rule_id!r}")
+        entries.add((rule_id, rel))
+    return entries
+
+
+def lint_text(rel_path: str, text: str,
+              allowlist: set[tuple[str, str]] = frozenset()) -> list[Finding]:
+    """Lint one file's contents; `rel_path` is the repo-relative path."""
+    is_header = Path(rel_path).suffix in HEADER_SUFFIXES
+    scrubbed = scrub(text)
+    findings: list[Finding] = []
+    for rule in RULES:
+        if rule.headers_only and not is_header:
+            continue
+        if (rule.rule_id, rel_path) in allowlist:
+            continue
+        for lineno, line in enumerate(scrubbed.splitlines(), start=1):
+            if rule.pattern.search(line):
+                original = text.splitlines()[lineno - 1].strip()
+                findings.append(Finding(rel_path, lineno, rule.rule_id, rule.message, original))
+    return findings
+
+
+def iter_sources(root: Path, subdirs: Iterable[str]) -> Iterable[Path]:
+    for sub in subdirs:
+        base = root / sub
+        if not base.exists():
+            continue
+        yield from sorted(p for p in base.rglob("*") if p.suffix in SOURCE_SUFFIXES)
+
+
+def main(argv: list[str] | None = None) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(description="EpTO repository invariant linter")
+    parser.add_argument("--root", type=Path, default=repo_root,
+                        help="repository root (default: the checkout containing this script)")
+    parser.add_argument("--allowlist", type=Path, default=None,
+                        help="allowlist file (default: tools/epto_lint_allowlist.txt under --root)")
+    parser.add_argument("--subdir", action="append", default=None,
+                        help="directory under root to scan (repeatable; default: src)")
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="explicit files to lint instead of scanning --subdir")
+    args = parser.parse_args(argv)
+
+    root = args.root.resolve()
+    allowlist_path = args.allowlist or root / "tools" / "epto_lint_allowlist.txt"
+    try:
+        allowlist = parse_allowlist(allowlist_path)
+    except ValueError as error:
+        print(f"epto_lint: {error}", file=sys.stderr)
+        return 2
+
+    if args.files:
+        paths = [p.resolve() for p in args.files]
+    else:
+        paths = list(iter_sources(root, args.subdir or ["src"]))
+
+    findings: list[Finding] = []
+    for path in paths:
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        findings.extend(lint_text(rel, path.read_text(), allowlist))
+
+    for f in findings:
+        print(f"{f.path}:{f.line}: [{f.rule_id}] {f.message}\n    {f.text}")
+    if findings:
+        print(f"epto_lint: {len(findings)} finding(s) in {len(paths)} file(s)", file=sys.stderr)
+        return 1
+    print(f"epto_lint: OK ({len(paths)} files, {len(RULES)} rules)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the EpTO src/ tree using compile_commands.json.
+
+Thin, dependency-free driver (the LLVM-shipped run-clang-tidy is not
+guaranteed to be installed): picks the src/ translation units out of the
+compilation database, fans clang-tidy out across cores, and fails on any
+diagnostic — the checked-in .clang-tidy sets WarningsAsErrors '*', so a
+zero-warning baseline is the contract.
+
+Exit status: 0 clean (or tool missing with --allow-missing), 1 findings,
+2 setup error (no database, no clang-tidy without --allow-missing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+#: Newest first; plain `clang-tidy` wins when present.
+TIDY_CANDIDATES = ("clang-tidy",) + tuple(f"clang-tidy-{v}" for v in range(21, 13, -1))
+
+
+def find_clang_tidy(explicit: str | None) -> str | None:
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in TIDY_CANDIDATES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def source_files(build_dir: Path, repo_root: Path) -> list[str]:
+    database = build_dir / "compile_commands.json"
+    if not database.exists():
+        raise FileNotFoundError(
+            f"{database} not found — configure with CMake first "
+            "(CMAKE_EXPORT_COMPILE_COMMANDS is on by default)")
+    src_prefix = (repo_root / "src").resolve().as_posix() + "/"
+    files = sorted({
+        Path(entry["file"]).resolve().as_posix()
+        for entry in json.loads(database.read_text())
+        if Path(entry["file"]).resolve().as_posix().startswith(src_prefix)
+    })
+    return files
+
+
+def main(argv: list[str] | None = None) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-p", "--build-dir", type=Path, default=repo_root / "build",
+                        help="build directory containing compile_commands.json")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy executable (default: first of "
+                             f"{', '.join(TIDY_CANDIDATES[:2])}, … on PATH)")
+    parser.add_argument("-j", "--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="exit 0 with a notice when clang-tidy is not installed "
+                             "(local convenience; CI does not pass this)")
+    args = parser.parse_args(argv)
+
+    tidy = find_clang_tidy(args.clang_tidy)
+    if tidy is None:
+        message = "run_clang_tidy: clang-tidy not found on PATH"
+        if args.allow_missing:
+            print(f"{message} — skipped (CI runs it)", file=sys.stderr)
+            return 0
+        print(message, file=sys.stderr)
+        return 2
+
+    try:
+        files = source_files(args.build_dir, repo_root)
+    except FileNotFoundError as error:
+        print(f"run_clang_tidy: {error}", file=sys.stderr)
+        return 2
+    if not files:
+        print("run_clang_tidy: no src/ entries in the compilation database", file=sys.stderr)
+        return 2
+
+    print(f"run_clang_tidy: {tidy}, {len(files)} TUs, -j{args.jobs}")
+    failures = 0
+
+    def run_one(path: str) -> tuple[str, int, str]:
+        proc = subprocess.run(
+            [tidy, "-p", str(args.build_dir), "--quiet", path],
+            capture_output=True, text=True)
+        return path, proc.returncode, proc.stdout + proc.stderr
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for path, code, output in pool.map(run_one, files):
+            rel = os.path.relpath(path, repo_root)
+            if code != 0:
+                failures += 1
+                print(f"--- {rel}")
+                print(output.rstrip())
+            else:
+                print(f"ok  {rel}")
+
+    if failures:
+        print(f"run_clang_tidy: findings in {failures}/{len(files)} TUs", file=sys.stderr)
+        return 1
+    print(f"run_clang_tidy: OK ({len(files)} TUs clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
