@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "obs/exporters.h"
+#include "obs/trace.h"
 #include "workload/experiment.h"
 #include "workload/sweep.h"
 
@@ -43,10 +44,12 @@ struct BenchArgs {
   std::size_t jobs = 1;    ///< worker threads for independent conditions.
   std::string metricsOut;  ///< empty = no JSONL metrics output.
   std::string benchJson;   ///< empty = no perf-trajectory JSONL output.
+  std::string traceOut;    ///< empty = no protocol-trace JSONL output.
   std::string binaryName;  ///< basename(argv[0]), labels the perf record.
   /// Open lazily on first runSeries() so binaries that only parse args
   /// (e.g. --help handling in tests) never create the file.
   std::shared_ptr<obs::JsonlWriter> metricsWriter;
+  std::shared_ptr<obs::JsonlTraceSink> traceSink;
 };
 
 [[noreturn]] inline void printUsageAndExit(const char* argv0, int code) {
@@ -64,6 +67,10 @@ struct BenchArgs {
                "                       snapshot as JSONL to <path>\n"
                "  --bench-json=<path>  append one epto.bench.figs/1 JSONL record\n"
                "                       (wall clock, jobs, per-condition counters)\n"
+               "  --trace-out=<path>   stream protocol trace events as JSONL to <path>,\n"
+               "                       segmented per condition by label lines (forces\n"
+               "                       --jobs=1; needs an EPTO_TRACE=ON build — see\n"
+               "                       tools/epto_trace.py for the analyzer)\n"
                "  --help               print this message and exit\n",
                argv0);
   std::exit(code);
@@ -107,6 +114,12 @@ inline BenchArgs parseArgs(int argc, char** argv) {
       args.benchJson = argv[i] + 13;
       if (args.benchJson.empty()) {
         std::fprintf(stderr, "%s: --bench-json requires a path\n", argv[0]);
+        printUsageAndExit(argv[0], 2);
+      }
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      args.traceOut = argv[i] + 12;
+      if (args.traceOut.empty()) {
+        std::fprintf(stderr, "%s: --trace-out requires a path\n", argv[0]);
         printUsageAndExit(argv[0], 2);
       }
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
@@ -166,6 +179,41 @@ inline void writeMetricsJsonl(BenchArgs& args, const std::string& label,
   line += "]}";
   writer.writeRaw(line);
   writer.flush();
+}
+
+/// Open the --trace-out sink (lazily, like the metrics writer), point the
+/// global tracer at it in collection mode, and write the label line that
+/// starts this condition's segment. tools/epto_trace.py splits the file
+/// on those label lines, so one trace file carries a whole sweep.
+inline void beginTraceSection(BenchArgs& args, const std::string& label) {
+  if (args.traceOut.empty()) return;
+  if (args.traceSink == nullptr) {
+    args.traceSink = std::make_shared<obs::JsonlTraceSink>(args.traceOut);
+    if (!args.traceSink->ok()) {
+      std::fprintf(stderr, "cannot open trace output: %s\n", args.traceOut.c_str());
+      std::exit(2);
+    }
+#if !defined(EPTO_TRACE_ENABLED)
+    std::fprintf(stderr,
+                 "%s: warning: --trace-out given but this binary was built with "
+                 "EPTO_TRACE=OFF; only label lines will be written\n",
+                 args.binaryName.c_str());
+#endif
+    auto& tracer = obs::Tracer::global();
+    // Collection mode: a modest ring spilled to the sink on overflow, so
+    // the file is complete rather than truncated to the newest window.
+    tracer.configure(obs::Tracer::Options{.capacity = 1U << 16U, .flushOnFull = true});
+    tracer.setSink(args.traceSink);
+    tracer.setEnabled(true);
+  }
+  args.traceSink->writeLine(std::string("{\"type\":\"label\",\"label\":\"") +
+                            obs::escape(label) + "\"}");
+}
+
+/// Flush the condition's tail out of the tracer ring into the file.
+inline void endTraceSection(BenchArgs& args) {
+  if (args.traceSink == nullptr) return;
+  (void)obs::Tracer::global().flush();
 }
 
 /// Default the observability sampling stride when metrics are requested.
@@ -267,7 +315,20 @@ inline std::vector<workload::ExperimentResult> runSweep(
     configs.push_back(item.config);
   }
   const auto start = std::chrono::steady_clock::now();
-  auto results = workload::runExperiments(configs, args.jobs);
+  std::vector<workload::ExperimentResult> results;
+  if (!args.traceOut.empty()) {
+    // Tracing forces sequential conditions: there is one process-global
+    // tracer, and the file is segmented by label lines — interleaved
+    // conditions would corrupt each other's segments.
+    results.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      beginTraceSection(args, items[i].label);
+      results.push_back(workload::runExperiment(configs[i]));
+      endTraceSection(args);
+    }
+  } else {
+    results = workload::runExperiments(configs, args.jobs);
+  }
   const double wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   for (std::size_t i = 0; i < items.size(); ++i) {
@@ -290,7 +351,9 @@ inline workload::ExperimentResult runSeries(const std::string& label,
                                             BenchArgs& args) {
   workload::ExperimentConfig config = configIn;
   applySamplingDefault(config, args);
+  beginTraceSection(args, label);
   const auto result = workload::runExperiment(config);
+  endTraceSection(args);
   printConditionResult(label, result, args);
   writeMetricsJsonl(args, label, result);
   return result;

@@ -30,6 +30,7 @@
 
 #include "bench_common.h"
 #include "fault/fault_plan.h"
+#include "obs/flight_recorder.h"
 #include "runtime/udp_cluster.h"
 #include "util/rng.h"
 
@@ -159,9 +160,21 @@ PayloadPtr makePayload(std::size_t size, util::Rng& rng) {
 
 /// Run one UDP scenario to quiescence and print its JSON line with the
 /// Table 1 verdicts plus the transport-hardening counters.
-UdpScenarioResult runUdpScenario(UdpScenario& scenario, std::uint64_t seed) {
+UdpScenarioResult runUdpScenario(UdpScenario& scenario, std::uint64_t seed,
+                                 BenchArgs& args) {
   scenario.options.seed = seed;
   if (!scenario.plan.empty()) scenario.options.faultPlan = &scenario.plan;
+  // Post-mortem surface: crash and stall-watchdog dumps land in a
+  // per-scenario file next to the suite (CI uploads them on failure).
+  // Drop records are off the default flight mask (one fires per
+  // duplicate copy — too hot for production rings) but are exactly what
+  // a chaos post-mortem wants, and these clusters are small.
+  obs::FlightRecorder::global().setTypeMask(
+      obs::FlightRecorder::kDefaultMask |
+      obs::FlightRecorder::bitOf(obs::TraceType::Drop));
+  scenario.options.flightDumpPath = "epto_flight_" + scenario.name + ".jsonl";
+  std::remove(scenario.options.flightDumpPath.c_str());  // dumps append
+  beginTraceSection(args, scenario.name);
   runtime::UdpCluster cluster(scenario.options);
   util::Rng payloadRng(seed ^ 0x5CE9A810u);
   cluster.start();
@@ -171,6 +184,7 @@ UdpScenarioResult runUdpScenario(UdpScenario& scenario, std::uint64_t seed) {
   UdpScenarioResult result;
   result.quiescent = cluster.awaitQuiescence(std::chrono::seconds(60));
   cluster.stop();
+  endTraceSection(args);
   result.report = cluster.report();
 
   const auto& report = result.report;
@@ -251,6 +265,19 @@ std::vector<UdpScenario> buildUdpScenarios() {
     scenarios.push_back(std::move(s));
   }
   {
+    // Crash with restart over real sockets: the node thread tears its
+    // process down mid-run and rejoins with a fresh incarnation. This is
+    // the scenario that exercises the flight recorder's crash dump
+    // (epto_flight_udp_crash_restart.jsonl).
+    UdpScenario s;
+    s.name = "udp_crash_restart";
+    s.options.nodeCount = 6;
+    s.options.roundPeriod = 4ms;
+    s.plan.crash(/*at=*/20'000, /*node=*/3, /*restartAt=*/48'000);
+    for (std::size_t i = 0; i < 6; ++i) s.broadcasts.push_back({i, 128});
+    scenarios.push_back(std::move(s));
+  }
+  {
     // Ingress overload: all-to-all gossip against a tiny queue bound and
     // drain budget — backpressure must shed without breaking Table 1.
     UdpScenario s;
@@ -322,7 +349,7 @@ int main(int argc, char** argv) {
   auto udpScenarios = buildUdpScenarios();
   double udpControlRate = 0.0;
   for (auto& scenario : udpScenarios) {
-    const auto result = runUdpScenario(scenario, args.seed);
+    const auto result = runUdpScenario(scenario, args.seed, args);
     if (!result.holds()) allHold = false;
     if (scenario.name == "udp_control") udpControlRate = result.deliveryRate;
   }

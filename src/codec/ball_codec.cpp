@@ -29,24 +29,32 @@ std::string_view toString(DecodeError error) noexcept {
   return "unknown";
 }
 
-std::vector<std::byte> encodeBall(const Ball& ball) {
+std::vector<std::byte> encodeBall(const Ball& ball) { return encodeBall(ball, {}); }
+
+std::vector<std::byte> encodeBall(const Ball& ball, EncodeOptions options) {
   std::vector<std::byte> out;
-  // Rough reservation: header + ~12 bytes per event + payloads.
+  // Rough reservation: header + ~12 bytes per event (+ lineage) + payloads.
   std::size_t payloadTotal = 0;
   for (const Event& event : ball) {
     if (event.payload != nullptr) payloadTotal += event.payload->size();
   }
-  out.reserve(8 + ball.size() * 12 + payloadTotal);
+  out.reserve(9 + ball.size() * (options.lineage ? 18 : 12) + payloadTotal);
 
   out.push_back(static_cast<std::byte>(kMagic & 0xFF));
   out.push_back(static_cast<std::byte>(kMagic >> 8));
-  out.push_back(static_cast<std::byte>(kVersion));
+  out.push_back(static_cast<std::byte>(options.lineage ? kVersionLineage : kVersion));
+  if (options.lineage) out.push_back(static_cast<std::byte>(kFlagLineage));
   putVarint(out, ball.size());
   for (const Event& event : ball) {
     putVarint(out, event.id.source);
     putVarint(out, event.id.sequence);
     putVarint(out, event.ts);
     putVarint(out, event.ttl);
+    if (options.lineage) {
+      putVarint(out, event.hop);
+      putVarint(out, event.originRound);
+      putVarint(out, event.incarnation);
+    }
     if (event.payload != nullptr) {
       putVarint(out, event.payload->size());
       out.insert(out.end(), event.payload->begin(), event.payload->end());
@@ -92,7 +100,20 @@ DecodeResult decodeBall(std::span<const std::byte> frame) {
   }
   const auto version = reader.readByte();
   if (!version.has_value()) return fail(DecodeError::Truncated);
-  if (*version != kVersion) return fail(DecodeError::BadVersion);
+  if (*version != kVersion && *version != kVersionLineage) {
+    return fail(DecodeError::BadVersion);
+  }
+  bool lineage = false;
+  if (*version == kVersionLineage) {
+    const auto flags = reader.readByte();
+    if (!flags.has_value()) return fail(DecodeError::Truncated);
+    // Unknown flag bits change the per-event layout, so they cannot be
+    // skipped over — reject rather than misparse.
+    if ((static_cast<std::uint8_t>(*flags) & ~kFlagLineage) != 0) {
+      return fail(DecodeError::BadVersion);
+    }
+    lineage = (static_cast<std::uint8_t>(*flags) & kFlagLineage) != 0;
+  }
 
   const auto count = reader.readVarint();
   if (!count.has_value()) return fail(DecodeError::BadVarint);
@@ -108,9 +129,8 @@ DecodeResult decodeBall(std::span<const std::byte> frame) {
     const auto sequence = reader.readVarint();
     const auto ts = reader.readVarint();
     const auto ttl = reader.readVarint();
-    const auto payloadLen = reader.readVarint();
     if (!source.has_value() || !sequence.has_value() || !ts.has_value() ||
-        !ttl.has_value() || !payloadLen.has_value()) {
+        !ttl.has_value()) {
       return fail(DecodeError::BadVarint);
     }
     if (*source > std::numeric_limits<ProcessId>::max() ||
@@ -122,6 +142,24 @@ DecodeResult decodeBall(std::span<const std::byte> frame) {
                        static_cast<std::uint32_t>(*sequence)};
     event.ts = *ts;
     event.ttl = static_cast<std::uint32_t>(*ttl);
+    if (lineage) {
+      const auto hop = reader.readVarint();
+      const auto originRound = reader.readVarint();
+      const auto incarnation = reader.readVarint();
+      if (!hop.has_value() || !originRound.has_value() || !incarnation.has_value()) {
+        return fail(DecodeError::BadVarint);
+      }
+      if (*hop > std::numeric_limits<std::uint16_t>::max() ||
+          *originRound > std::numeric_limits<std::uint32_t>::max() ||
+          *incarnation > std::numeric_limits<std::uint16_t>::max()) {
+        return fail(DecodeError::LengthOverflow);
+      }
+      event.hop = static_cast<std::uint16_t>(*hop);
+      event.originRound = static_cast<std::uint32_t>(*originRound);
+      event.incarnation = static_cast<std::uint16_t>(*incarnation);
+    }
+    const auto payloadLen = reader.readVarint();
+    if (!payloadLen.has_value()) return fail(DecodeError::BadVarint);
     if (*payloadLen > 0) {
       const auto payload = reader.readBytes(static_cast<std::size_t>(*payloadLen));
       if (!payload.has_value()) return fail(DecodeError::LengthOverflow);

@@ -3,17 +3,31 @@
 // Frame layout (all multi-byte integers are varints unless noted):
 //
 //   magic      u16-LE     0xE970 ("EpTO")
-//   version    u8         1
+//   version    u8         1 or 2
+//   flags      u8         version 2 only; bit 0 = per-event lineage
 //   count      varint     number of events
 //   events     count x {
-//     source     varint
-//     sequence   varint
-//     ts         varint
-//     ttl        varint
-//     payloadLen varint
-//     payload    payloadLen raw bytes
+//     source      varint
+//     sequence    varint
+//     ts          varint
+//     ttl         varint
+//     hop         varint   only with the lineage flag
+//     originRound varint   only with the lineage flag
+//     incarnation varint   only with the lineage flag
+//     payloadLen  varint
+//     payload     payloadLen raw bytes
 //   }
 //   crc32c     u32-LE     over everything above
+//
+// Versioning: version 1 is the original frame and is still emitted by
+// encodeBall(ball) byte-for-byte, so a fleet mixing old and new nodes
+// interoperates — a new decoder accepts both versions (v1 events carry
+// zeroed lineage), an old decoder rejects v2 frames as BadVersion and
+// the sender falls back by disabling wireLineage. The flags byte keeps
+// future extensions orthogonal; unknown flag bits are rejected because
+// they change the per-event layout. The lineage flag is independent of
+// EPTO_TRACE: wire lineage is protocol data, not trace plumbing, so an
+// EPTO_TRACE=OFF build still relays it intact.
 //
 // Decoding is fully defensive: truncated frames, bad magic, unsupported
 // versions, overflowing varints, lying length fields and checksum
@@ -33,6 +47,10 @@ namespace epto::codec {
 
 inline constexpr std::uint16_t kMagic = 0xE970;
 inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::uint8_t kVersionLineage = 2;
+/// Version-2 flags byte, bit 0: events carry {hop, originRound,
+/// incarnation} varints between ttl and payloadLen.
+inline constexpr std::uint8_t kFlagLineage = 0x01;
 
 enum class DecodeError : std::uint8_t {
   None,
@@ -47,8 +65,16 @@ enum class DecodeError : std::uint8_t {
 
 [[nodiscard]] std::string_view toString(DecodeError error) noexcept;
 
-/// Serialize a ball into a self-contained frame.
+struct EncodeOptions {
+  /// Emit a version-2 frame carrying per-event lineage. Off emits the
+  /// version-1 frame older decoders understand.
+  bool lineage = false;
+};
+
+/// Serialize a ball into a self-contained frame. The single-argument
+/// overload emits version 1, byte-identical to what it always produced.
 [[nodiscard]] std::vector<std::byte> encodeBall(const Ball& ball);
+[[nodiscard]] std::vector<std::byte> encodeBall(const Ball& ball, EncodeOptions options);
 
 struct DecodeResult {
   Ball ball;

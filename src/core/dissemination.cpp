@@ -34,12 +34,21 @@ void DisseminationComponent::startSequenceAt(std::uint32_t first) {
   nextSequence_ = first;
 }
 
+void DisseminationComponent::setIncarnation(std::uint16_t incarnation) {
+  EPTO_ENSURE_MSG(stats_.broadcasts == 0,
+                  "incarnation only settable before the first broadcast");
+  incarnation_ = incarnation;
+}
+
 Event DisseminationComponent::broadcast(PayloadPtr payload) {
   // Alg. 1 lines 6-10.
   Event event;
   event.ts = oracle_.getClock();
   event.ttl = 0;
   event.id = EventId{self_, nextSequence_++};
+  event.originRound = static_cast<std::uint32_t>(stats_.rounds);
+  event.hop = 0;
+  event.incarnation = incarnation_;
   event.payload = std::move(payload);
   // Own sequence numbers ascend, so the insertion point is almost always
   // the tail; the id-equal branch mirrors the former insert_or_assign
@@ -53,33 +62,35 @@ Event DisseminationComponent::broadcast(PayloadPtr payload) {
     nextBall_.insert(pos, event);
   }
   ++stats_.broadcasts;
-  EPTO_TRACE_EVENT(.type = obs::TraceType::Broadcast, .node = self_,
-                   .round = stats_.rounds, .event = event.id, .ts = event.ts);
+  EPTO_TRACE_EVENT(Broadcast, .node = self_, .round = stats_.rounds,
+                   .event = event.id, .ts = event.ts);
   return event;
 }
 
 void DisseminationComponent::onBall(const Ball& ball) {
   // Alg. 1 lines 11-19.
   ++stats_.ballsReceived;
-  EPTO_TRACE_EVENT(.type = obs::TraceType::BallReceived, .node = self_,
-                   .round = stats_.rounds, .size = ball.size());
+  ++ballsThisRound_;
   bool sorted = true;
   Timestamp maxTs = 0;
+  std::uint16_t maxHop = 0;
   for (std::size_t i = 0; i < ball.size(); ++i) {
     const Event& event = ball[i];
     if (i != 0 && event.id < ball[i - 1].id) sorted = false;
     if (event.ts > maxTs) maxTs = event.ts;
+    if (event.hop > maxHop) maxHop = event.hop;
     if (event.ttl >= options_.ttl) {
       // A copy at the end of its relay life; it is neither relayed nor
       // ordered (see DESIGN.md: faithful to the pseudocode, and exactly
       // the loss the Theorem 2 ball-count analysis already absorbs).
       ++stats_.eventsExpired;
-      EPTO_TRACE_EVENT(.type = obs::TraceType::Drop, .node = self_,
-                       .round = stats_.rounds, .event = event.id, .ts = event.ts,
-                       .ttl = event.ttl,
+      EPTO_TRACE_EVENT(Drop, .node = self_, .round = stats_.rounds,
+                       .event = event.id, .ts = event.ts, .ttl = event.ttl,
                        .detail = static_cast<std::uint8_t>(obs::DropReason::Expired));
     }
   }
+  EPTO_TRACE_EVENT(BallReceived, .node = self_, .round = stats_.rounds,
+                   .ttl = maxHop, .size = ball.size(), .aux = ballsThisRound_);
   // The clock update is a max-fold (StabilityOracle contract), so one
   // virtual call per ball replaces one per event.
   if (!ball.empty()) oracle_.updateClock(maxTs);
@@ -137,6 +148,9 @@ void DisseminationComponent::mergeSortedRun(const Event* run, std::size_t count)
         if (run[j].ttl > nextBall_.back().ttl) nextBall_.back().ttl = run[j].ttl;
       } else {
         nextBall_.push_back(run[j]);
+        EPTO_TRACE_EVENT(FirstSeen, .node = self_, .round = stats_.rounds,
+                         .event = run[j].id, .ts = run[j].ts, .ttl = run[j].ttl,
+                         .size = oracle_.peekClock(), .aux = run[j].hop);
       }
     }
     return;
@@ -196,6 +210,9 @@ void DisseminationComponent::mergeSortedRun(const Event* run, std::size_t count)
     } else {
       Event fresh = run[firstCopy];
       fresh.ttl = groupTtl;
+      EPTO_TRACE_EVENT(FirstSeen, .node = self_, .round = stats_.rounds,
+                       .event = fresh.id, .ts = fresh.ts, .ttl = fresh.ttl,
+                       .size = oracle_.peekClock(), .aux = fresh.hop);
       nextBall_[--w] = std::move(fresh);
     }
   }
@@ -224,6 +241,7 @@ std::shared_ptr<Ball> DisseminationComponent::acquireBall() {
 DisseminationComponent::RoundOutput DisseminationComponent::onRound() {
   // Alg. 1 lines 20-28.
   ++stats_.rounds;
+  ballsThisRound_ = 0;
   RoundOutput out;
 
   if (!nextBall_.empty()) {
@@ -234,6 +252,9 @@ DisseminationComponent::RoundOutput DisseminationComponent::onRound() {
     // refcount straight to the ball instead of copy+destroy churn.
     for (Event& event : nextBall_) {
       ++event.ttl;
+      // hop counts relay emissions the same way ttl counts rounds, but
+      // is never max-merged across copies, so hop <= ttl always holds.
+      ++event.hop;
       ball->push_back(std::move(event));
     }
     nextBall_.clear();
@@ -243,9 +264,8 @@ DisseminationComponent::RoundOutput DisseminationComponent::onRound() {
     stats_.ballsSent += out.targets.size();
     stats_.eventsRelayed += ball->size() * out.targets.size();
     stats_.maxBallSize = std::max(stats_.maxBallSize, ball->size());
-    EPTO_TRACE_EVENT(.type = obs::TraceType::BallSent, .node = self_,
-                     .round = stats_.rounds, .size = ball->size(),
-                     .aux = out.targets.size());
+    EPTO_TRACE_EVENT(BallSent, .node = self_, .round = stats_.rounds,
+                     .size = ball->size(), .aux = out.targets.size());
 
     // Alg. 1 line 27: hand the round's ball to the ordering component.
     ordering_.orderEvents(*ball);

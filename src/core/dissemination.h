@@ -80,6 +80,13 @@ class DisseminationComponent {
   /// disjoint sequence range. Only valid before the first broadcast.
   void startSequenceAt(std::uint32_t first);
 
+  /// Incarnation stamped into every event this process broadcasts
+  /// (lineage only — the protocol never reads it; codec v2 carries it on
+  /// the wire so trace analysis can tell a restarted process's events
+  /// from its predecessor's). Like startSequenceAt, only valid before
+  /// the first broadcast. Simulation drivers leave it 0.
+  void setIncarnation(std::uint16_t incarnation);
+
   /// The periodic relay task; call every delta time units.
   RoundOutput onRound();
 
@@ -117,6 +124,11 @@ class DisseminationComponent {
   /// Recycled Ball buffers (see acquireBall).
   std::vector<std::shared_ptr<Ball>> ballPool_;
   std::uint32_t nextSequence_ = 0;
+  /// See setIncarnation.
+  std::uint16_t incarnation_ = 0;
+  /// Balls absorbed since the last onRound — the fan-in figure carried
+  /// by BallReceived trace events. Reset each round.
+  std::uint64_t ballsThisRound_ = 0;
 
   DisseminationStats stats_;
 };

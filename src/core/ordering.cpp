@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/latency.h"
 #include "obs/trace.h"
 #include "util/ensure.h"
 
@@ -18,6 +19,13 @@ void OrderingComponent::orderEvents(const Ball& ball) {
   // older. Epoch-based aging makes this free: advancing the round counter
   // advances every derived ttl at once (DESIGN.md §11).
   ++stats_.rounds;
+
+  // Latency decomposition bookkeeping (DESIGN.md §13): one clock read
+  // per round, remembered for the last kRoundClockWindow rounds so a
+  // delivery can recover the clock at the round any recent event crossed
+  // the stability horizon.
+  currentRoundClock_ = oracle_.peekClock();
+  roundClocks_[stats_.rounds % kRoundClockWindow] = currentRoundClock_;
 
   // Alg. 2 lines 8-14: absorb the ball into `received`.
   for (const Event& event : ball) {
@@ -52,9 +60,9 @@ void OrderingComponent::absorb(const Event& event) {
       hit != receivedIndex_.end()) {
     Pending& pending = *hit->second;
     if (birth < pending.birthRound) {
-      EPTO_TRACE_EVENT(.type = obs::TraceType::TtlMerge, .node = options_.self,
-                       .round = stats_.rounds, .event = event.id, .ts = event.ts,
-                       .ttl = event.ttl, .aux = derivedTtl(pending.birthRound));
+      EPTO_TRACE_EVENT(TtlMerge, .node = options_.self, .round = stats_.rounds,
+                       .event = event.id, .ts = event.ts, .ttl = event.ttl,
+                       .aux = derivedTtl(pending.birthRound));
       pending.birthRound = birth;
       ++stats_.ttlMerges;
     }
@@ -68,9 +76,8 @@ void OrderingComponent::absorb(const Event& event) {
   if (lastDelivered_.has_value() && key <= *lastDelivered_) {
     if (alreadyDelivered(event.id)) {
       ++stats_.droppedDuplicates;
-      EPTO_TRACE_EVENT(.type = obs::TraceType::Drop, .node = options_.self,
-                       .round = stats_.rounds, .event = event.id, .ts = event.ts,
-                       .ttl = event.ttl,
+      EPTO_TRACE_EVENT(Drop, .node = options_.self, .round = stats_.rounds,
+                       .event = event.id, .ts = event.ts, .ttl = event.ttl,
                        .detail = static_cast<std::uint8_t>(obs::DropReason::Duplicate));
       return;
     }
@@ -80,16 +87,15 @@ void OrderingComponent::absorb(const Event& event) {
       // further copies that are still circulating.
       rememberDelivered(event.id);
       ++stats_.deliveredOutOfOrder;
-      EPTO_TRACE_EVENT(.type = obs::TraceType::Deliver, .node = options_.self,
-                       .round = stats_.rounds, .event = event.id, .ts = event.ts,
-                       .ttl = event.ttl,
+      EPTO_TRACE_EVENT(Deliver, .node = options_.self, .round = stats_.rounds,
+                       .event = event.id, .ts = event.ts, .ttl = event.ttl,
+                       .size = currentRoundClock_,
                        .detail = static_cast<std::uint8_t>(DeliveryTag::OutOfOrder));
       deliver_(event, DeliveryTag::OutOfOrder);
     } else {
       ++stats_.droppedOutOfOrder;
-      EPTO_TRACE_EVENT(.type = obs::TraceType::Drop, .node = options_.self,
-                       .round = stats_.rounds, .event = event.id, .ts = event.ts,
-                       .ttl = event.ttl,
+      EPTO_TRACE_EVENT(Drop, .node = options_.self, .round = stats_.rounds,
+                       .event = event.id, .ts = event.ts, .ttl = event.ttl,
                        .detail = static_cast<std::uint8_t>(obs::DropReason::OutOfOrder));
     }
     return;
@@ -97,7 +103,8 @@ void OrderingComponent::absorb(const Event& event) {
 
   // Alg. 2 lines 10-14, first copy: the index miss above proved the id is
   // not queued, so this insert cannot collide.
-  const auto [it, inserted] = received_.try_emplace(key, Pending{birth, event.payload});
+  const auto [it, inserted] =
+      received_.try_emplace(key, Pending{birth, currentRoundClock_, event.payload});
   EPTO_ENSURE_MSG(inserted, "received index out of sync with the ordered map");
   receivedIndex_.emplace(event.id.packed(), &it->second);
 }
@@ -108,7 +115,7 @@ void OrderingComponent::deliverBatch() {
   // are blocked behind an unstable smaller key, but the stability trace
   // reports exactly that. Reconstruct it with a full scan only when a
   // trace consumer is attached; the hot path stays sublinear.
-  if (obs::Tracer::global().enabled()) {
+  if (obs::detail::tracerOn()) {
     std::size_t stableCount = 0;
     std::size_t unblocked = 0;
     std::optional<OrderKey> minQueued;
@@ -121,8 +128,7 @@ void OrderingComponent::deliverBatch() {
       }
     }
     if (stableCount != 0) {
-      EPTO_TRACE_EVENT(.type = obs::TraceType::StabilityDecision, .node = options_.self,
-                       .round = stats_.rounds,
+      EPTO_TRACE_EVENT(StabilityDecision, .node = options_.self, .round = stats_.rounds,
                        .ts = minQueued.has_value() ? minQueued->ts : 0,
                        .size = unblocked, .aux = stableCount - unblocked);
     }
@@ -134,6 +140,10 @@ void OrderingComponent::deliverBatch() {
   // event can precede are exactly the deliverable prefix — the first
   // non-deliverable entry is the minQueued bound of lines 22-26, and
   // everything before it is delivered in total order as it is popped.
+  // Hoisted trace gate: the loop fires two trace points per delivered
+  // event; skip both with one check when nobody is listening.
+  const bool traceDelivery =
+      EPTO_TRACE_WANTS(BecameDeliverable) || EPTO_TRACE_WANTS(Deliver);
   while (!received_.empty()) {
     const auto it = received_.begin();
     // Deliverability is a function of the event's age and timestamp, not
@@ -146,17 +156,60 @@ void OrderingComponent::deliverBatch() {
     if (!oracle_.isDeliverable(event)) break;
 
     event.payload = std::move(it->second.payload);
+    const Timestamp firstSeen = it->second.firstSeenClock;
+    const std::int64_t birth = it->second.birthRound;
     receivedIndex_.erase(event.id.packed());
     received_.erase(it);
     lastDelivered_ = event.orderKey();
     if (options_.tagOutOfOrder) rememberDelivered(event.id);
     ++stats_.deliveredOrdered;
-    EPTO_TRACE_EVENT(.type = obs::TraceType::Deliver, .node = options_.self,
-                     .round = stats_.rounds, .event = event.id, .ts = event.ts,
-                     .ttl = event.ttl,
-                     .detail = static_cast<std::uint8_t>(DeliveryTag::Ordered));
+    if (traceDelivery) {
+      EPTO_TRACE_EVENT(BecameDeliverable, .node = options_.self,
+                       .round = stats_.rounds, .event = event.id,
+                       .ts = stableClockAt(birth, firstSeen), .ttl = event.ttl,
+                       .size = firstSeen,
+                       .aux = static_cast<std::uint64_t>(
+                           birth + oracle_.stabilityHorizon() + 1));
+      EPTO_TRACE_EVENT(Deliver, .node = options_.self, .round = stats_.rounds,
+                       .event = event.id, .ts = event.ts, .ttl = event.ttl,
+                       .size = currentRoundClock_,
+                       .detail = static_cast<std::uint8_t>(DeliveryTag::Ordered));
+    }
+    if (options_.latency != nullptr) {
+      // Phase construction (DESIGN.md §13): clamp each boundary into
+      // [broadcast, now] so the three phases always sum exactly to the
+      // end-to-end latency, even when a clock fell out of the window.
+      const Timestamp now = currentRoundClock_;
+      const Timestamp born = event.ts;
+      const std::uint64_t endToEnd = now > born ? now - born : 0;
+      std::uint64_t dissemination = firstSeen > born ? firstSeen - born : 0;
+      if (dissemination > endToEnd) dissemination = endToEnd;
+      const Timestamp stableClock = stableClockAt(birth, firstSeen);
+      std::uint64_t stableOffset = stableClock > born ? stableClock - born : 0;
+      stableOffset = std::clamp(stableOffset, dissemination, endToEnd);
+      obs::LatencySample sample;
+      sample.endToEnd = endToEnd;
+      sample.dissemination = dissemination;
+      sample.stabilityWait = stableOffset - dissemination;
+      sample.orderingWait = endToEnd - stableOffset;
+      options_.latency->observe(options_.self, event.id, sample);
+    }
     deliver_(event, DeliveryTag::Ordered);
   }
+}
+
+Timestamp OrderingComponent::stableClockAt(std::int64_t birthRound,
+                                           Timestamp fallback) const noexcept {
+  // The event crossed the stability horizon at the first round r with
+  // r - birthRound > horizon, i.e. r = birthRound + horizon + 1.
+  const std::int64_t stableRound =
+      birthRound + static_cast<std::int64_t>(oracle_.stabilityHorizon()) + 1;
+  const auto now = static_cast<std::int64_t>(stats_.rounds);
+  if (stableRound < 0 || stableRound > now ||
+      stableRound <= now - static_cast<std::int64_t>(kRoundClockWindow)) {
+    return fallback;
+  }
+  return roundClocks_[static_cast<std::uint64_t>(stableRound) % kRoundClockWindow];
 }
 
 void OrderingComponent::rememberDelivered(const EventId& id) {

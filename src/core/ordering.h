@@ -43,6 +43,7 @@
 //     past the delivery frontier — no OrderKey comparison, no tree walk.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -51,6 +52,10 @@
 
 #include "core/stability_oracle.h"
 #include "core/types.h"
+
+namespace epto::obs {
+class LatencyRecorder;
+}  // namespace epto::obs
 
 namespace epto {
 
@@ -83,6 +88,10 @@ class OrderingComponent {
     std::uint32_t deliveredRetentionRounds = 0;
     /// Owning process id, used only to label trace events.
     ProcessId self = 0;
+    /// Optional latency-decomposition sink: every ordered delivery
+    /// reports its dissemination/stability-wait/ordering-wait split
+    /// (obs/latency.h). Null costs one predictable branch per delivery.
+    obs::LatencyRecorder* latency = nullptr;
   };
 
   /// The oracle must outlive the component. Deliveries are synchronous,
@@ -117,11 +126,25 @@ class OrderingComponent {
   /// ttl is derived from birthRound, so only the payload is carried.
   struct Pending {
     std::int64_t birthRound = 0;  ///< currentRound - ttl at absorption.
+    /// Oracle clock at the round this node first absorbed the event —
+    /// the boundary between dissemination time and stability wait.
+    Timestamp firstSeenClock = 0;
     PayloadPtr payload;
   };
 
+  /// Round-start oracle clocks for the last kRoundClockWindow rounds
+  /// (indexed round % window). Lets the latency decomposition look up
+  /// the clock at the round an event crossed the stability horizon
+  /// without any per-round bookkeeping beyond one store.
+  static constexpr std::size_t kRoundClockWindow = 512;
+
   void absorb(const Event& event);
   void deliverBatch();
+  /// Clock at the round `birthRound + horizon + 1` (when the event
+  /// became deliverable); falls back to `fallback` when that round has
+  /// already left the clock window.
+  [[nodiscard]] Timestamp stableClockAt(std::int64_t birthRound,
+                                        Timestamp fallback) const noexcept;
   /// Reconstruct the wire Event for a map entry at the current round.
   [[nodiscard]] Event materialize(const OrderKey& key, const Pending& pending) const;
   [[nodiscard]] std::uint32_t derivedTtl(std::int64_t birthRound) const noexcept {
@@ -147,6 +170,14 @@ class OrderingComponent {
   /// Delivered-id memory (only populated when tagging): id -> round
   /// at which it was delivered, for retention-window pruning.
   std::unordered_map<EventId, std::uint64_t, EventIdHash> deliveredMemory_;
+
+  /// See kRoundClockWindow. Entry r % window is valid iff round r is
+  /// within the last window rounds; orderEvents refreshes the current
+  /// round's slot unconditionally (one peekClock + one store per round).
+  std::array<Timestamp, kRoundClockWindow> roundClocks_{};
+  /// roundClocks_ entry for the round in progress (the absorb loop reads
+  /// it once per fresh event instead of re-asking the oracle).
+  Timestamp currentRoundClock_ = 0;
 
   OrderingStats stats_;
 };

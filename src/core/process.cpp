@@ -55,7 +55,8 @@ std::unique_ptr<StabilityOracle> Process::makeOracle(const Config& config,
 }
 
 Process::Process(ProcessId id, const Config& config, std::shared_ptr<PeerSampler> sampler,
-                 DeliverFn deliver, GlobalClockOracle::TimeSource globalTime)
+                 DeliverFn deliver, GlobalClockOracle::TimeSource globalTime,
+                 obs::LatencyRecorder* latency)
     : id_(id),
       config_(config),
       sampler_(requireSampler(std::move(sampler))),
@@ -66,6 +67,7 @@ Process::Process(ProcessId id, const Config& config, std::shared_ptr<PeerSampler
               .tagOutOfOrder = config_.tagOutOfOrder,
               .deliveredRetentionRounds = config_.deliveredRetentionRounds,
               .self = id_,
+              .latency = latency,
           },
           *oracle_, std::move(deliver)),
       dissemination_(id_,

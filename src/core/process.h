@@ -58,9 +58,13 @@ class Process {
 
   /// `sampler` is shared with the driver (e.g. a Cyclon instance that the
   /// driver also pumps); `globalTime` is required for ClockMode::Global
-  /// and ignored for ClockMode::Logical.
+  /// and ignored for ClockMode::Logical. `latency`, when non-null, must
+  /// outlive the process and receives the per-delivery latency
+  /// decomposition (obs/latency.h); drivers typically share one recorder
+  /// across a cluster.
   Process(ProcessId id, const Config& config, std::shared_ptr<PeerSampler> sampler,
-          DeliverFn deliver, GlobalClockOracle::TimeSource globalTime = {});
+          DeliverFn deliver, GlobalClockOracle::TimeSource globalTime = {},
+          obs::LatencyRecorder* latency = nullptr);
 
   Process(const Process&) = delete;
   Process& operator=(const Process&) = delete;
@@ -72,6 +76,12 @@ class Process {
   /// See DisseminationComponent::startSequenceAt — used when a restarted
   /// incarnation reuses this ProcessId and must not reuse EventIds.
   void startSequenceAt(std::uint32_t first) { dissemination_.startSequenceAt(first); }
+
+  /// See DisseminationComponent::setIncarnation — lineage stamp carried
+  /// by every event this process broadcasts.
+  void setIncarnation(std::uint16_t incarnation) {
+    dissemination_.setIncarnation(incarnation);
+  }
 
   /// Network receive callback.
   void onBall(const Ball& ball) { dissemination_.onBall(ball); }

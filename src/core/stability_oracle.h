@@ -50,6 +50,13 @@ class StabilityOracle {
   /// (e.g. the last-delivered-lag gauge) must not disturb the logical
   /// clock the way getClock() does.
   [[nodiscard]] virtual Timestamp peekClock() const = 0;
+
+  /// The age (in rounds) past which isDeliverable says yes: an event
+  /// absorbed with birth round b becomes deliverable exactly when the
+  /// ordering round counter passes b + stabilityHorizon(). Observability
+  /// only — the latency decomposition reconstructs *when* an event
+  /// crossed the horizon without re-asking isDeliverable per round.
+  [[nodiscard]] virtual std::uint32_t stabilityHorizon() const = 0;
 };
 
 /// Algorithm 3: global (a.k.a. physical/synchronized) clock oracle.
@@ -76,6 +83,8 @@ class GlobalClockOracle final : public StabilityOracle {
 
   [[nodiscard]] Timestamp peekClock() const override { return timeSource_(); }
 
+  [[nodiscard]] std::uint32_t stabilityHorizon() const override { return ttl_; }
+
  private:
   std::uint32_t ttl_;
   TimeSource timeSource_;
@@ -96,6 +105,8 @@ class LogicalClockOracle final : public StabilityOracle {
   void updateClock(Timestamp ts) override { clock_ = std::max(clock_, ts); }
 
   [[nodiscard]] Timestamp peekClock() const override { return clock_; }
+
+  [[nodiscard]] std::uint32_t stabilityHorizon() const override { return ttl_; }
 
   /// Current clock value, for inspection and tests.
   [[nodiscard]] Timestamp current() const noexcept { return clock_; }

@@ -65,11 +65,24 @@ struct OrderKey {
 
 /// An EpTO event as it travels inside balls. `ttl` counts how many rounds
 /// the event has been relayed (Alg. 1) and, at the ordering component, how
-/// many rounds it has aged (Alg. 2); all other fields are immutable.
+/// many rounds it has aged (Alg. 2); `hop` counts relay emissions along
+/// this copy's own path. The protocol never reads the lineage fields —
+/// they exist so traces can reconstruct per-event journeys across nodes
+/// (DESIGN.md §13); codec v2 carries them on the wire. All other fields
+/// are immutable after broadcast.
 struct Event {
   EventId id;
   Timestamp ts = 0;
   std::uint32_t ttl = 0;
+  /// Lineage: the broadcaster's round counter at EpTO-broadcast.
+  std::uint32_t originRound = 0;
+  /// Lineage: network hops this copy has taken (0 at the origin). Unlike
+  /// ttl it is never max-merged, so it measures the first-arrived copy's
+  /// true relay-chain length; hop <= ttl always holds.
+  std::uint16_t hop = 0;
+  /// Lineage: the broadcaster's incarnation (restart count); 0 for a
+  /// process that never restarted and everywhere in the simulator.
+  std::uint16_t incarnation = 0;
   PayloadPtr payload;
 
   [[nodiscard]] OrderKey orderKey() const noexcept { return {ts, id.source, id.sequence}; }

@@ -56,8 +56,8 @@ FaultController::LinkFate FaultController::linkFate(ProcessId from, ProcessId to
 namespace {
 
 void traceFault(FaultKind kind, ProcessId node, std::uint64_t aux, Timestamp now) {
-  EPTO_TRACE_EVENT(.type = obs::TraceType::Fault, .node = node, .ts = now,
-                   .aux = aux, .detail = static_cast<std::uint8_t>(kind));
+  EPTO_TRACE_EVENT(Fault, .node = node, .ts = now, .aux = aux,
+                   .detail = static_cast<std::uint8_t>(kind));
   (void)kind; (void)node; (void)aux; (void)now;  // EPTO_TRACE=OFF builds
 }
 

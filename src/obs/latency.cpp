@@ -1,0 +1,35 @@
+#include "obs/latency.h"
+
+namespace epto::obs {
+
+namespace {
+
+/// 1..2^21 ticks: covers sim rounds (~125 ticks) through UDP runs whose
+/// oracle clock is microseconds (a multi-second chaos run tops out well
+/// inside two million).
+std::vector<double> latencyBounds() {
+  return Registry::exponentialBounds(1.0, 2.0, 22);
+}
+
+}  // namespace
+
+LatencyRecorder::LatencyRecorder(Registry& registry)
+    : endToEnd_(&registry.histogram("epto_latency_end_to_end", {}, latencyBounds())),
+      dissemination_(
+          &registry.histogram("epto_latency_dissemination", {}, latencyBounds())),
+      stabilityWait_(
+          &registry.histogram("epto_latency_stability_wait", {}, latencyBounds())),
+      orderingWait_(
+          &registry.histogram("epto_latency_ordering_wait", {}, latencyBounds())) {}
+
+void LatencyRecorder::observe(ProcessId node, const EventId& id,
+                              const LatencySample& sample) {
+  endToEnd_->observe(static_cast<double>(sample.endToEnd));
+  dissemination_->observe(static_cast<double>(sample.dissemination));
+  stabilityWait_->observe(static_cast<double>(sample.stabilityWait));
+  orderingWait_->observe(static_cast<double>(sample.orderingWait));
+  observed_.fetch_add(1, std::memory_order_relaxed);
+  if (hook_) hook_(node, id, sample);
+}
+
+}  // namespace epto::obs

@@ -1,6 +1,9 @@
 #include "obs/trace.h"
 
 #include <cinttypes>
+#include <utility>
+
+#include "obs/exporters.h"
 
 namespace epto::obs {
 
@@ -14,6 +17,8 @@ const char* traceTypeName(TraceType type) {
     case TraceType::Deliver: return "deliver";
     case TraceType::Drop: return "drop";
     case TraceType::Fault: return "fault";
+    case TraceType::FirstSeen: return "first_seen";
+    case TraceType::BecameDeliverable: return "became_deliverable";
   }
   return "unknown";
 }
@@ -32,11 +37,20 @@ std::string traceEventJson(const TraceEvent& event) {
   std::snprintf(buf, sizeof buf,
                 "{\"type\":\"%s\",\"node\":%u,\"round\":%" PRIu64
                 ",\"source\":%u,\"seq\":%u,\"ts\":%" PRIu64 ",\"ttl\":%u,\"size\":%" PRIu64
-                ",\"aux\":%" PRIu64 ",\"detail\":%u}",
+                ",\"aux\":%" PRIu64 ",\"detail\":%u",
                 traceTypeName(event.type), event.node, event.round, event.event.source,
                 event.event.sequence, event.ts, event.ttl, event.size, event.aux,
                 event.detail);
-  return buf;
+  std::string json(buf);
+  if (!event.note.empty()) {
+    // The note is free-form (scenario names, fault descriptions): escape
+    // it or a single quote/backslash/control char corrupts the JSONL.
+    json += ",\"note\":\"";
+    json += escape(event.note);
+    json += '"';
+  }
+  json += '}';
+  return json;
 }
 
 void InMemorySink::consume(const TraceEvent& event) {
@@ -55,21 +69,45 @@ void InMemorySink::clear() {
 }
 
 JsonlTraceSink::JsonlTraceSink(const std::string& path)
-    : file_(std::fopen(path.c_str(), "w")) {}
+    : file_(std::fopen(path.c_str(), "w")) {
+  // Line-buffered: every completed line reaches the kernel, so a crashed
+  // node loses at most one partial record instead of a buffer of tail
+  // events (the chaos scenarios dump cores mid-round by design).
+  if (file_ != nullptr) std::setvbuf(file_, nullptr, _IOLBF, 1U << 16U);
+}
 
 JsonlTraceSink::~JsonlTraceSink() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
 void JsonlTraceSink::consume(const TraceEvent& event) {
-  if (file_ == nullptr) return;
-  const std::string line = traceEventJson(event);
-  std::fwrite(line.data(), 1, line.size(), file_);
-  std::fputc('\n', file_);
+  writeLine(traceEventJson(event));
 }
+
+void JsonlTraceSink::writeLine(std::string_view line) {
+  if (file_ == nullptr) return;
+  std::string out(line);
+  out += '\n';
+  // One fwrite per line: stdio locks the FILE per call, so lines from
+  // concurrent flushes interleave whole, never torn.
+  std::fwrite(out.data(), 1, out.size(), file_);
+}
+
+namespace detail {
+// Constant-initialized so trace points that fire before the global
+// tracer is first touched read a valid (false) gate.
+std::atomic<bool> tracerActiveFlag{false};
+}  // namespace detail
 
 Tracer& Tracer::global() {
   static Tracer tracer;
+  // Wired once, under its own thread-safe static guard, before any
+  // caller can reach setEnabled() on the instance.
+  static const bool wired = [] {
+    tracer.externalGate_ = &detail::tracerActiveFlag;
+    return true;
+  }();
+  (void)wired;
   return tracer;
 }
 
@@ -90,23 +128,36 @@ void Tracer::setSink(std::shared_ptr<TraceSink> sink) {
 }
 
 void Tracer::record(const TraceEvent& event) {
-  const util::MutexLock lock(mutex_);
-  if (ring_.size() != options_.capacity) ring_.resize(options_.capacity);
-  if (options_.capacity == 0) {
-    ++dropped_;
-    return;
+  std::vector<TraceEvent> spill;
+  std::shared_ptr<TraceSink> sink;
+  {
+    const util::MutexLock lock(mutex_);
+    if (ring_.size() != options_.capacity) ring_.resize(options_.capacity);
+    if (options_.capacity == 0) {
+      ++dropped_;
+      return;
+    }
+    if (size_ == options_.capacity && options_.flushOnFull && sink_ != nullptr) {
+      // Collection mode: spill the full ring to the sink so the file
+      // stays complete. The I/O happens below, after the lock drops.
+      spill = takeBufferedLocked();
+      sink = sink_;
+    }
+    if (size_ == options_.capacity) {
+      // Full: overwrite the oldest slot — the tail of a long run matters
+      // more than its beginning, and dropped_ makes the loss visible.
+      ring_[head_] = event;
+      head_ = (head_ + 1) % options_.capacity;
+      ++dropped_;
+    } else {
+      ring_[(head_ + size_) % options_.capacity] = event;
+      ++size_;
+    }
+    ++recorded_;
   }
-  if (size_ == options_.capacity) {
-    // Full: overwrite the oldest slot — the tail of a long run matters
-    // more than its beginning, and dropped_ makes the loss visible.
-    ring_[head_] = event;
-    head_ = (head_ + 1) % options_.capacity;
-    ++dropped_;
-  } else {
-    ring_[(head_ + size_) % options_.capacity] = event;
-    ++size_;
+  if (sink != nullptr) {
+    for (const TraceEvent& spilled : spill) sink->consume(spilled);
   }
-  ++recorded_;
 }
 
 std::vector<TraceEvent> Tracer::takeBufferedLocked() {

@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "obs/exporters.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "util/ensure.h"
 
 namespace epto::runtime {
@@ -48,7 +50,7 @@ RuntimeCluster::RuntimeCluster(RuntimeOptions options)
                   : nullptr),
       transport_(InMemoryTransport::Options{options.lossRate, options.minDelay,
                                             options.maxDelay, options.serializeFrames,
-                                            options.corruptionRate},
+                                            options.corruptionRate, options.wireLineage},
                  masterRng_.split()) {
   EPTO_ENSURE_MSG(options_.nodeCount >= 2, "need at least two nodes");
   EPTO_ENSURE_MSG(options_.roundPeriod.count() > 0, "round period must be positive");
@@ -114,7 +116,8 @@ std::unique_ptr<Process> RuntimeCluster::makeProcess(ProcessId id,
         tracker_.onDeliver(id, event.id, ticksNow(), tag);
         ledger_.onDeliver(id, event.id);
       },
-      [this]() { return ticksNow(); });
+      [this]() { return ticksNow(); }, &latencyRecorder_);
+  process->setIncarnation(static_cast<std::uint16_t>(incarnation));
   if (incarnation > 0) {
     // Disjoint EventId range per incarnation (~1M broadcasts each).
     process->startSequenceAt(incarnation << 20U);
@@ -172,6 +175,10 @@ std::vector<ProcessId> RuntimeCluster::upNodes() const {
 void RuntimeCluster::enterCrash(NodeState& node) {
   const Timestamp now = ticksNow();
   faults_->noteCrash(node.id, now);
+  if (!options_.flightDumpPath.empty()) {
+    (void)obs::FlightRecorder::global().dumpTo(
+        options_.flightDumpPath, "crash node=" + std::to_string(node.id));
+  }
   node.process.reset();  // fresh state on rejoin — the crash loses everything
   node.up.store(false, std::memory_order_release);
   // Broadcast requests parked at this node die with it.
@@ -326,7 +333,15 @@ void RuntimeCluster::syncTransportMetrics() {
   registry_.counter("epto_transport_fault_drops_total").set(stats.faultDrops);
   registry_.counter("epto_transport_bytes_sent_total").set(stats.bytesSent);
   registry_.counter("epto_transport_frames_rejected_total").set(stats.framesRejected);
+  registry_.counter("epto_trace_dropped_total").set(obs::Tracer::global().dropped());
+  registry_.counter("epto_flight_dropped_total")
+      .set(obs::FlightRecorder::global().dropped());
   if (faults_ != nullptr) faults_->recordTo(registry_);
+}
+
+std::size_t RuntimeCluster::dumpFlightRecorder(const std::string& path,
+                                               const std::string& reason) {
+  return obs::FlightRecorder::global().dumpTo(path, reason);
 }
 
 std::string RuntimeCluster::prometheusSnapshot() {

@@ -32,6 +32,7 @@
 #include "fault/fault_plan.h"
 #include "metrics/delivery_tracker.h"
 #include "metrics/quiescence.h"
+#include "obs/latency.h"
 #include "obs/registry.h"
 #include "obs/scrape.h"
 #include "runtime/transport.h"
@@ -60,6 +61,14 @@ struct RuntimeOptions {
   /// With serializeFrames: per-frame probability of a flipped bit in
   /// flight; corrupted frames must be detected and dropped by CRC.
   double corruptionRate = 0.0;
+  /// With serializeFrames: ship version-2 frames carrying per-event
+  /// lineage (hop, origin round, incarnation). Default on — the runtime
+  /// is homogeneous; turn off to emulate a mixed fleet with v1 decoders.
+  bool wireLineage = true;
+  /// When non-empty, the flight recorder (obs/flight_recorder.h) is
+  /// dumped to this JSONL file whenever a fault-plan crash takes a node
+  /// down (and on demand via dumpFlightRecorder()).
+  std::string flightDumpPath;
   /// Scheduled fault injection (fault/fault_plan.h). Timestamps are in
   /// microseconds since the cluster epoch (start()). Null = fault-free.
   /// Must outlive the cluster. A crashed node's loop tears its Process
@@ -131,6 +140,16 @@ class RuntimeCluster {
   [[nodiscard]] std::uint64_t scrapeCount() const noexcept {
     return scrape_ != nullptr ? scrape_->scrapeCount() : 0;
   }
+  /// The cluster-wide latency decomposition sink (obs/latency.h); install
+  /// hooks before start().
+  [[nodiscard]] obs::LatencyRecorder& latencyRecorder() noexcept {
+    return latencyRecorder_;
+  }
+  /// Dump the process-global flight recorder to `path` (JSONL, append),
+  /// tagged with `reason`. Returns records written. Callable any time —
+  /// the operator's "what just happened" lever.
+  std::size_t dumpFlightRecorder(const std::string& path,
+                                 const std::string& reason = "manual");
 
  private:
   struct NodeState {
@@ -169,6 +188,8 @@ class RuntimeCluster {
   std::vector<std::unique_ptr<NodeState>> nodes_;
 
   obs::Registry registry_;
+  /// Constructed after registry_ (it registers its histograms there).
+  obs::LatencyRecorder latencyRecorder_{registry_};
   std::unique_ptr<obs::ScrapeLoop> scrape_;
 
   /// Correctness-accounting capability: tracker, ledger, lifetimes and

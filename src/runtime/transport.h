@@ -79,6 +79,10 @@ class InMemoryTransport {
     /// With serializeFrames: probability that one random byte of a frame
     /// is flipped in flight. Receivers must detect and drop (CRC32C).
     double corruptionRate = 0.0;
+    /// With serializeFrames: emit version-2 frames carrying per-event
+    /// lineage (codec/ball_codec.h). Off keeps the version-1 frames an
+    /// older decoder understands — the mixed-fleet fallback.
+    bool wireLineage = false;
   };
 
   InMemoryTransport(Options options, util::Rng rng);

@@ -5,6 +5,8 @@
 #include "codec/ball_codec.h"
 #include "codec/fragment_codec.h"
 #include "obs/exporters.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "util/ensure.h"
 
 namespace epto::runtime {
@@ -131,7 +133,8 @@ std::unique_ptr<Process> UdpCluster::makeProcess(ProcessId id, std::uint32_t inc
         tracker_.onDeliver(id, event.id, ticksNow(), tag);
         ledger_.onDeliver(id, event.id);
       },
-      [this]() { return ticksNow(); });
+      [this]() { return ticksNow(); }, &latencyRecorder_);
+  process->setIncarnation(static_cast<std::uint16_t>(incarnation));
   if (incarnation > 0) {
     // Disjoint EventId range per incarnation (~1M broadcasts each).
     process->startSequenceAt(incarnation << 20U);
@@ -188,6 +191,10 @@ std::vector<ProcessId> UdpCluster::upNodes() const {
 void UdpCluster::enterCrash(NodeState& node) {
   const Timestamp now = ticksNow();
   faults_->noteCrash(node.id, now);
+  if (!options_.flightDumpPath.empty()) {
+    (void)obs::FlightRecorder::global().dumpTo(
+        options_.flightDumpPath, "crash node=" + std::to_string(node.id));
+  }
   node.process.reset();
   node.heldBack.clear();  // delayed datagrams die with the sender
   node.reassembler.clear();
@@ -347,6 +354,14 @@ void UdpCluster::publishTransportMetrics() {
       .set(static_cast<std::int64_t>(ingressHighWater_.load(std::memory_order_relaxed)));
   registry_.counter("epto_udp_watchdog_recoveries_total")
       .set(watchdogRecoveries_.load(std::memory_order_relaxed));
+  registry_.counter("epto_trace_dropped_total").set(obs::Tracer::global().dropped());
+  registry_.counter("epto_flight_dropped_total")
+      .set(obs::FlightRecorder::global().dropped());
+}
+
+std::size_t UdpCluster::dumpFlightRecorder(const std::string& path,
+                                           const std::string& reason) {
+  return obs::FlightRecorder::global().dumpTo(path, reason);
 }
 
 void UdpCluster::nodeLoop(NodeState& node) {
@@ -431,7 +446,8 @@ void UdpCluster::nodeLoop(NodeState& node) {
 
     const auto out = node.process->onRound();
     if (out.ball != nullptr) {
-      const auto frame = codec::encodeBall(*out.ball);
+      const auto frame = codec::encodeBall(
+          *out.ball, codec::EncodeOptions{.lineage = options_.wireLineage});
       const std::uint64_t ballId =
           (static_cast<std::uint64_t>(node.id) << 32) | ++node.fragmentSeq;
       const auto datagrams = codec::fragmentFrame(frame, options_.mtuBytes, ballId);
@@ -498,6 +514,14 @@ void UdpCluster::nodeLoop(NodeState& node) {
     // TTL/capacity, and purging them here would reset in-progress jumbo
     // balls every recovery, turning an overload into event loss.
     if (node.watchdog.onRoundBoundary(lateness, options_.roundPeriod)) {
+      // The flight recorder exists for this moment: capture the protocol
+      // decisions leading into the stall before the recovery mutates
+      // anything further.
+      if (!options_.flightDumpPath.empty()) {
+        (void)obs::FlightRecorder::global().dumpTo(
+            options_.flightDumpPath,
+            "stall_watchdog node=" + std::to_string(node.id));
+      }
       while (auto ball = node.ingress.pop()) node.process->onBall(*ball);
       publishNodeCounters(node);
       nextRound = Clock::now() + jitteredPeriod();

@@ -40,6 +40,7 @@
 #include "fault/fault_plan.h"
 #include "metrics/delivery_tracker.h"
 #include "metrics/quiescence.h"
+#include "obs/latency.h"
 #include "obs/registry.h"
 #include "obs/scrape.h"
 #include "runtime/ingress_queue.h"
@@ -96,6 +97,15 @@ struct UdpClusterOptions {
   std::uint32_t watchdogMissedRounds = 3;
   /// Retry schedule for transient send refusals (EAGAIN/ENOBUFS).
   SendBackoffPolicy sendBackoff{};
+  /// Emit version-2 wire frames carrying per-event lineage (hop, origin
+  /// round, incarnation — codec/ball_codec.h). Default on; turn off to
+  /// emulate a mixed fleet where some decoders only speak version 1.
+  bool wireLineage = true;
+  /// When non-empty, the flight recorder (obs/flight_recorder.h) is
+  /// dumped to this JSONL file whenever the stall watchdog forces a
+  /// recovery or a fault-plan crash takes a node down (and on demand via
+  /// dumpFlightRecorder()).
+  std::string flightDumpPath;
 };
 
 class UdpCluster {
@@ -191,6 +201,15 @@ class UdpCluster {
   [[nodiscard]] obs::Registry& metricsRegistry() noexcept { return registry_; }
   /// Prometheus text exposition of every node's protocol counters.
   [[nodiscard]] std::string prometheusSnapshot();
+  /// The cluster-wide latency decomposition sink (obs/latency.h); install
+  /// hooks before start().
+  [[nodiscard]] obs::LatencyRecorder& latencyRecorder() noexcept {
+    return latencyRecorder_;
+  }
+  /// Dump the process-global flight recorder to `path` (JSONL, append),
+  /// tagged with `reason`. Returns records written. Callable any time.
+  std::size_t dumpFlightRecorder(const std::string& path,
+                                 const std::string& reason = "manual");
 
  private:
   /// A datagram held back by a delay-spike window, due at `due`.
@@ -262,6 +281,8 @@ class UdpCluster {
   std::vector<std::uint16_t> ports_;  // ProcessId -> UDP port
 
   obs::Registry registry_;
+  /// Constructed after registry_ (it registers its histograms there).
+  obs::LatencyRecorder latencyRecorder_{registry_};
   std::unique_ptr<obs::ScrapeLoop> scrape_;
 
   /// Correctness-accounting capability (tracker + ledger + lifetimes +

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "pss/uniform_sampler.h"
 #include "util/ensure.h"
 
@@ -207,7 +209,7 @@ void SimCluster::spawnNode() {
       }
       node.epto = std::make_unique<Process>(
           id, cfg, sampler, makeDeliverFn(id),
-          [this]() { return simulator_.now(); });
+          [this]() { return simulator_.now(); }, &latencyRecorder_);
       break;
     }
     case Protocol::BallsBinsBaseline:
@@ -473,6 +475,12 @@ void SimCluster::run() {
       .set(static_cast<std::int64_t>(dissemination.maxBallSize));
   registry_.gauge("epto_sim_received_set_size_total")
       .set(static_cast<std::int64_t>(receivedTotal));
+  // Trace-loss accounting (ISSUE satellite): a run that overflowed the
+  // tracer ring or the flight recorder says so in its own metrics, so an
+  // incomplete trace file is distinguishable from a quiet run.
+  registry_.counter("epto_trace_dropped_total").set(obs::Tracer::global().dropped());
+  registry_.counter("epto_flight_dropped_total")
+      .set(obs::FlightRecorder::global().dropped());
   if (faults_ != nullptr) faults_->recordTo(registry_);
 }
 

@@ -18,6 +18,7 @@
 #include "baselines/sequencer.h"
 #include "core/process.h"
 #include "metrics/delivery_tracker.h"
+#include "obs/latency.h"
 #include "obs/registry.h"
 #include "pss/cyclon.h"
 #include "sim/churn.h"
@@ -66,6 +67,11 @@ class SimCluster {
     return roundSamples_;
   }
   [[nodiscard]] const obs::Registry& metricsRegistry() const noexcept { return registry_; }
+  /// The cluster-wide latency decomposition sink every EpTO node reports
+  /// into (obs/latency.h). Tests install a hook before run().
+  [[nodiscard]] obs::LatencyRecorder& latencyRecorder() noexcept {
+    return latencyRecorder_;
+  }
   /// Null when the experiment has no fault plan.
   [[nodiscard]] const fault::FaultController* faultController() const noexcept {
     return faults_.get();
@@ -121,6 +127,8 @@ class SimCluster {
   /// Run-wide observability: per-round histograms always, RoundSamples
   /// when config.metricsSampleEvery > 0 (see experiment.h).
   obs::Registry registry_;
+  /// Constructed after registry_ (it registers its histograms there).
+  obs::LatencyRecorder latencyRecorder_{registry_};
   obs::Histogram* ballSizeHist_ = nullptr;    // owned by registry_
   obs::Histogram* fanoutHist_ = nullptr;
   obs::Histogram* bufferHist_ = nullptr;

@@ -32,6 +32,9 @@ void expectSameBall(const Ball& a, const Ball& b) {
     EXPECT_EQ(a[i].id, b[i].id);
     EXPECT_EQ(a[i].ts, b[i].ts);
     EXPECT_EQ(a[i].ttl, b[i].ttl);
+    EXPECT_EQ(a[i].hop, b[i].hop);
+    EXPECT_EQ(a[i].originRound, b[i].originRound);
+    EXPECT_EQ(a[i].incarnation, b[i].incarnation);
     const bool aHas = a[i].payload != nullptr && !a[i].payload->empty();
     const bool bHas = b[i].payload != nullptr && !b[i].payload->empty();
     ASSERT_EQ(aHas, bHas);
@@ -206,6 +209,120 @@ TEST(BallCodec, WireSizeIsCompact) {
   for (std::uint32_t i = 0; i < 100; ++i) ball.push_back(makeEvent(i, i, 1000 + i, 5));
   const auto frame = encodeBall(ball);
   EXPECT_LT(frame.size(), 100 * 10 + 16);
+}
+
+// ---- version 2: per-event lineage ----------------------------------------
+
+Event makeLineageEvent(ProcessId source, std::uint32_t seq, std::uint16_t hop,
+                       std::uint32_t originRound, std::uint16_t incarnation) {
+  Event e = makeEvent(source, seq, 100 + seq, 3, seq % 7);
+  e.hop = hop;
+  e.originRound = originRound;
+  e.incarnation = incarnation;
+  return e;
+}
+
+void restampCrc(std::vector<std::byte>& frame) {
+  const std::uint32_t crc = crc32c(std::span(frame.data(), frame.size()));
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<std::byte>((crc >> (8 * i)) & 0xFF));
+  }
+}
+
+TEST(BallCodecV2, LineageRoundTrips) {
+  Ball ball{makeLineageEvent(1, 0, 0, 0, 0), makeLineageEvent(2, 7, 3, 41, 2),
+            makeLineageEvent(9, 5, 0xFFFF, 0xFFFFFFFF, 0xFFFF)};
+  const auto frame = encodeBall(ball, EncodeOptions{.lineage = true});
+  EXPECT_EQ(frame[2], std::byte{kVersionLineage});
+  EXPECT_EQ(frame[3], std::byte{kFlagLineage});
+  const auto decoded = decodeBall(frame);
+  ASSERT_TRUE(decoded.ok()) << toString(decoded.error);
+  expectSameBall(ball, decoded.ball);
+}
+
+TEST(BallCodecV2, RandomLineageBallsRoundTrip) {
+  util::Rng rng(424242);
+  for (int trial = 0; trial < 200; ++trial) {
+    Ball ball;
+    const std::size_t count = rng.below(20);
+    for (std::size_t i = 0; i < count; ++i) {
+      ball.push_back(makeLineageEvent(
+          static_cast<ProcessId>(rng()), static_cast<std::uint32_t>(rng()),
+          static_cast<std::uint16_t>(rng()), static_cast<std::uint32_t>(rng()),
+          static_cast<std::uint16_t>(rng())));
+    }
+    const auto decoded = decodeBall(encodeBall(ball, EncodeOptions{.lineage = true}));
+    ASSERT_TRUE(decoded.ok()) << toString(decoded.error);
+    expectSameBall(ball, decoded.ball);
+  }
+}
+
+TEST(BallCodecV2, LegacyEncoderStaysByteIdentical) {
+  // A node that never opts into lineage must keep emitting the exact v1
+  // frame — the mixed-fleet interop guarantee.
+  Ball ball{makeLineageEvent(3, 1, 5, 99, 1)};
+  EXPECT_EQ(encodeBall(ball), encodeBall(ball, EncodeOptions{.lineage = false}));
+  EXPECT_EQ(encodeBall(ball)[2], std::byte{kVersion});
+}
+
+TEST(BallCodecV2, V1FrameDecodesWithZeroedLineage) {
+  // Old sender -> new decoder: lineage silently defaults to zero.
+  Ball ball{makeLineageEvent(4, 2, 7, 123, 3)};
+  const auto decoded = decodeBall(encodeBall(ball));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.ball[0].hop, 0u);
+  EXPECT_EQ(decoded.ball[0].originRound, 0u);
+  EXPECT_EQ(decoded.ball[0].incarnation, 0u);
+  EXPECT_EQ(decoded.ball[0].id, ball[0].id);
+}
+
+TEST(BallCodecV2, UnknownFlagBitsRejected) {
+  // Unknown flags change the per-event layout, so they must not be
+  // silently ignored.
+  std::vector<std::byte> frame;
+  frame.push_back(std::byte{0x70});
+  frame.push_back(std::byte{0xE9});
+  frame.push_back(std::byte{kVersionLineage});
+  frame.push_back(std::byte{0x02});  // not kFlagLineage
+  putVarint(frame, 0);
+  restampCrc(frame);
+  EXPECT_EQ(decodeBall(frame).error, DecodeError::BadVersion);
+}
+
+TEST(BallCodecV2, OversizedLineageFieldsRejected) {
+  const auto craft = [](std::uint64_t hop, std::uint64_t origin,
+                        std::uint64_t incarnation) {
+    std::vector<std::byte> frame;
+    frame.push_back(std::byte{0x70});
+    frame.push_back(std::byte{0xE9});
+    frame.push_back(std::byte{kVersionLineage});
+    frame.push_back(std::byte{kFlagLineage});
+    putVarint(frame, 1);   // one event
+    putVarint(frame, 1);   // source
+    putVarint(frame, 0);   // sequence
+    putVarint(frame, 10);  // ts
+    putVarint(frame, 2);   // ttl
+    putVarint(frame, hop);
+    putVarint(frame, origin);
+    putVarint(frame, incarnation);
+    putVarint(frame, 0);  // payload length
+    restampCrc(frame);
+    return frame;
+  };
+  EXPECT_TRUE(decodeBall(craft(1, 2, 3)).ok());
+  EXPECT_EQ(decodeBall(craft(1ULL << 20, 2, 3)).error, DecodeError::LengthOverflow);
+  EXPECT_EQ(decodeBall(craft(1, 1ULL << 40, 3)).error, DecodeError::LengthOverflow);
+  EXPECT_EQ(decodeBall(craft(1, 2, 1ULL << 20)).error, DecodeError::LengthOverflow);
+}
+
+TEST(BallCodecV2, EveryTruncationRejected) {
+  const auto frame =
+      encodeBall({makeLineageEvent(1, 2, 3, 400, 5), makeLineageEvent(6, 7, 8, 900, 1)},
+                 EncodeOptions{.lineage = true});
+  for (std::size_t keep = 0; keep < frame.size(); ++keep) {
+    EXPECT_FALSE(decodeBall(std::span(frame.data(), keep)).ok())
+        << "kept " << keep << " bytes";
+  }
 }
 
 TEST(BallCodec, ErrorStringsAreHuman) {

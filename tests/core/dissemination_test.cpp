@@ -187,6 +187,62 @@ TEST_F(DisseminationTest, StatsCountRelayedCopies) {
   EXPECT_EQ(dissemination_->stats().rounds, 1u);
 }
 
+TEST_F(DisseminationTest, BroadcastStampsLineage) {
+  build(3, 5);
+  dissemination_->setIncarnation(4);
+  dissemination_->onRound();  // advance to round 1 before broadcasting
+  const Event event = dissemination_->broadcast(nullptr);
+  EXPECT_EQ(event.originRound, 1u);
+  EXPECT_EQ(event.hop, 0u);
+  EXPECT_EQ(event.incarnation, 4u);
+}
+
+TEST_F(DisseminationTest, IncarnationOnlySettableBeforeFirstBroadcast) {
+  build(3, 5);
+  dissemination_->broadcast(nullptr);
+  EXPECT_THROW(dissemination_->setIncarnation(1), util::ContractViolation);
+}
+
+TEST_F(DisseminationTest, HopCountsRelayEmissions) {
+  build(2, 9);
+  Event remote = remoteEvent(1, 0, 5, 2);
+  remote.hop = 3;
+  dissemination_->onBall({remote});
+  const auto out = dissemination_->onRound();
+  ASSERT_NE(out.ball, nullptr);
+  EXPECT_EQ((*out.ball)[0].hop, 4u);  // incremented beside ttl
+  EXPECT_EQ((*out.ball)[0].ttl, 3u);
+}
+
+TEST_F(DisseminationTest, HopIsNeverMaxMergedAcrossCopies) {
+  // ttl max-merges (oldest copy wins) but hop keeps the first-arrival
+  // path length — merging hops would inflate it past the true relay
+  // distance and break the hop <= ttl invariant the analyzer checks.
+  build(2, 9);
+  Event first = remoteEvent(1, 0, 5, 2);
+  first.hop = 1;
+  Event later = remoteEvent(1, 0, 5, 7);
+  later.hop = 7;
+  dissemination_->onBall({first});
+  dissemination_->onBall({later});
+  const auto out = dissemination_->onRound();
+  ASSERT_NE(out.ball, nullptr);
+  EXPECT_EQ((*out.ball)[0].ttl, 8u);  // max(2,7) + 1
+  EXPECT_EQ((*out.ball)[0].hop, 2u);  // first arrival's hop + 1
+}
+
+TEST_F(DisseminationTest, LineageSurvivesRelayUnchangedOtherwise) {
+  build(2, 9);
+  Event remote = remoteEvent(1, 0, 5, 2);
+  remote.originRound = 17;
+  remote.incarnation = 3;
+  dissemination_->onBall({remote});
+  const auto out = dissemination_->onRound();
+  ASSERT_NE(out.ball, nullptr);
+  EXPECT_EQ((*out.ball)[0].originRound, 17u);
+  EXPECT_EQ((*out.ball)[0].incarnation, 3u);
+}
+
 TEST_F(DisseminationTest, RejectsDegenerateOptions) {
   LogicalClockOracle oracle(5);
   OrderingComponent ordering({.ttl = 5}, oracle, [](const Event&, DeliveryTag) {});

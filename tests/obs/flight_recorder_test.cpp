@@ -1,0 +1,170 @@
+// FlightRecorder semantics: lock-free record/snapshot, ring lapping,
+// subscription masks, the macro gate mirror, and JSONL dumps.
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace epto::obs {
+namespace {
+
+TraceEvent eventWithSeq(std::uint32_t seq, TraceType type = TraceType::Broadcast) {
+  TraceEvent event;
+  event.type = type;
+  event.node = 3;
+  event.round = 40 + seq;
+  event.event = EventId{.source = 2, .sequence = seq};
+  event.ts = 1000 + seq;
+  event.ttl = 5;
+  event.size = seq;
+  event.aux = 77;
+  event.detail = 1;
+  return event;
+}
+
+TEST(FlightRecorderTest, RecordsAndSnapshotsOldestFirst) {
+  FlightRecorder recorder(8);
+  for (std::uint32_t i = 0; i < 3; ++i) recorder.record(eventWithSeq(i));
+  EXPECT_EQ(recorder.recorded(), 3u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  const auto records = recorder.snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(records[i].claim, i);
+    EXPECT_EQ(records[i].event.event.sequence, i);
+    EXPECT_EQ(records[i].event.type, TraceType::Broadcast);
+    EXPECT_EQ(records[i].event.node, 3u);
+    EXPECT_EQ(records[i].event.round, 40 + i);
+    EXPECT_EQ(records[i].event.ts, 1000 + i);
+    EXPECT_EQ(records[i].event.ttl, 5u);
+    EXPECT_EQ(records[i].event.aux, 77u);
+    EXPECT_EQ(records[i].event.detail, 1u);
+  }
+}
+
+TEST(FlightRecorderTest, RingLapsKeepingNewest) {
+  FlightRecorder recorder(4);
+  for (std::uint32_t i = 0; i < 11; ++i) recorder.record(eventWithSeq(i));
+  EXPECT_EQ(recorder.recorded(), 11u);
+  EXPECT_EQ(recorder.dropped(), 7u);
+  const auto records = recorder.snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(records[i].event.event.sequence, 7 + i);
+  }
+}
+
+TEST(FlightRecorderTest, CapacityRoundsUpToPowerOfTwo) {
+  FlightRecorder recorder(5);  // rounds to 8
+  for (std::uint32_t i = 0; i < 8; ++i) recorder.record(eventWithSeq(i));
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_EQ(recorder.snapshot().size(), 8u);
+}
+
+TEST(FlightRecorderTest, MaskAndEnableGateWants) {
+  FlightRecorder recorder(8);
+  EXPECT_TRUE(recorder.enabled());
+  EXPECT_EQ(recorder.typeMask(), FlightRecorder::kDefaultMask);
+  EXPECT_TRUE(recorder.wants(TraceType::Broadcast));
+  EXPECT_FALSE(recorder.wants(TraceType::FirstSeen));  // per-event, off by default
+
+  recorder.setTypeMask(FlightRecorder::bitOf(TraceType::FirstSeen));
+  EXPECT_TRUE(recorder.wants(TraceType::FirstSeen));
+  EXPECT_FALSE(recorder.wants(TraceType::Broadcast));
+
+  recorder.setEnabled(false);
+  EXPECT_FALSE(recorder.wants(TraceType::FirstSeen));
+  recorder.setEnabled(true);
+  EXPECT_TRUE(recorder.wants(TraceType::FirstSeen));
+}
+
+TEST(FlightRecorderTest, GlobalGateMirrorsIntoMacroWord) {
+  auto& recorder = FlightRecorder::global();
+  const auto savedMask = recorder.typeMask();
+  const bool savedEnabled = recorder.enabled();
+
+  recorder.setEnabled(true);
+  recorder.setTypeMask(FlightRecorder::bitOf(TraceType::Fault));
+  EXPECT_TRUE(detail::flightWants(TraceType::Fault));
+  EXPECT_FALSE(detail::flightWants(TraceType::Broadcast));
+  recorder.setEnabled(false);
+  EXPECT_FALSE(detail::flightWants(TraceType::Fault));
+
+  recorder.setTypeMask(savedMask);
+  recorder.setEnabled(savedEnabled);
+}
+
+TEST(FlightRecorderTest, ResetClearsRingAndCounters) {
+  FlightRecorder recorder(8);
+  for (std::uint32_t i = 0; i < 20; ++i) recorder.record(eventWithSeq(i));
+  recorder.reset();
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_TRUE(recorder.snapshot().empty());
+}
+
+TEST(FlightRecorderTest, DumpToWritesHeaderAndRecords) {
+  const std::string path = ::testing::TempDir() + "flight_dump_test.jsonl";
+  std::remove(path.c_str());
+  FlightRecorder recorder(8);
+  recorder.record(eventWithSeq(0, TraceType::Fault));
+  recorder.record(eventWithSeq(1, TraceType::Drop));
+  EXPECT_EQ(recorder.dumpTo(path, "unit test"), 2u);
+  // Append mode: a second dump extends the same file.
+  EXPECT_EQ(recorder.dumpTo(path, "again"), 2u);
+
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_NE(lines[0].find("\"type\":\"flight_dump\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"reason\":\"unit test\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"records\":2"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"type\":\"fault\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"type\":\"drop\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"reason\":\"again\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, DumpToUnwritablePathReturnsZero) {
+  FlightRecorder recorder(8);
+  recorder.record(eventWithSeq(0));
+  EXPECT_EQ(recorder.dumpTo("/nonexistent-dir/flight.jsonl", "x"), 0u);
+}
+
+TEST(FlightRecorderTest, ConcurrentWritersNeverTearRecords) {
+  // 4 writers lapping a small ring while a reader snapshots: every
+  // consistent record must be bit-exact (ts == 1000 + seq, aux == 77).
+  FlightRecorder recorder(16);
+  constexpr int kWriters = 4;
+  constexpr std::uint32_t kPerWriter = 5000;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&recorder] {
+      for (std::uint32_t i = 0; i < kPerWriter; ++i) recorder.record(eventWithSeq(i));
+    });
+  }
+  for (int pass = 0; pass < 50; ++pass) {
+    for (const auto& record : recorder.snapshot()) {
+      ASSERT_EQ(record.event.ts, 1000 + record.event.event.sequence);
+      ASSERT_EQ(record.event.aux, 77u);
+    }
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(recorder.recorded(), kWriters * kPerWriter);
+  const auto records = recorder.snapshot();
+  ASSERT_EQ(records.size(), 16u);
+  // Claims of the final snapshot are contiguous and strictly increasing.
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].claim, records[i - 1].claim + 1);
+  }
+}
+
+}  // namespace
+}  // namespace epto::obs

@@ -1,0 +1,73 @@
+// LatencyRecorder: histogram registration, observe plumbing, test hook.
+#include "obs/latency.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace epto::obs {
+namespace {
+
+TEST(LatencyRecorderTest, RegistersFourHistograms) {
+  Registry registry;
+  LatencyRecorder recorder(registry);
+  const auto snapshot = registry.snapshot();
+  std::vector<std::string> names;
+  names.reserve(snapshot.size());
+  for (const auto& sample : snapshot) names.push_back(sample.name);
+  const std::vector<std::string> expected{
+      "epto_latency_end_to_end", "epto_latency_dissemination",
+      "epto_latency_stability_wait", "epto_latency_ordering_wait"};
+  EXPECT_EQ(names, expected);
+  for (const auto& sample : snapshot) EXPECT_EQ(sample.kind, Kind::Histogram);
+}
+
+TEST(LatencyRecorderTest, ObserveFeedsEveryPhaseHistogram) {
+  Registry registry;
+  LatencyRecorder recorder(registry);
+  LatencySample sample;
+  sample.dissemination = 3;
+  sample.stabilityWait = 10;
+  sample.orderingWait = 2;
+  sample.endToEnd = 15;
+  recorder.observe(1, EventId{.source = 1, .sequence = 0}, sample);
+  recorder.observe(2, EventId{.source = 1, .sequence = 1}, sample);
+  EXPECT_EQ(recorder.observed(), 2u);
+  for (const auto& histogram : registry.snapshot()) {
+    EXPECT_EQ(histogram.count, 2u) << histogram.name;
+  }
+  // Sums identify which histogram got which phase.
+  const auto snapshot = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snapshot[0].sum, 30.0);  // end to end
+  EXPECT_DOUBLE_EQ(snapshot[1].sum, 6.0);   // dissemination
+  EXPECT_DOUBLE_EQ(snapshot[2].sum, 20.0);  // stability wait
+  EXPECT_DOUBLE_EQ(snapshot[3].sum, 4.0);   // ordering wait
+}
+
+TEST(LatencyRecorderTest, HookSeesNodeIdAndSample) {
+  Registry registry;
+  LatencyRecorder recorder(registry);
+  ProcessId seenNode = 0;
+  EventId seenId{};
+  LatencySample seenSample;
+  recorder.setHook([&](ProcessId node, const EventId& id, const LatencySample& s) {
+    seenNode = node;
+    seenId = id;
+    seenSample = s;
+  });
+  LatencySample sample;
+  sample.dissemination = 1;
+  sample.stabilityWait = 2;
+  sample.orderingWait = 3;
+  sample.endToEnd = 6;
+  recorder.observe(7, EventId{.source = 4, .sequence = 9}, sample);
+  EXPECT_EQ(seenNode, 7u);
+  EXPECT_EQ(seenId, (EventId{.source = 4, .sequence = 9}));
+  EXPECT_EQ(seenSample.endToEnd, 6u);
+  EXPECT_EQ(seenSample.dissemination + seenSample.stabilityWait + seenSample.orderingWait,
+            seenSample.endToEnd);
+}
+
+}  // namespace
+}  // namespace epto::obs

@@ -4,7 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
+#include <string>
+
+#include "obs/flight_recorder.h"
 
 namespace epto::obs {
 namespace {
@@ -98,6 +104,87 @@ TEST(TraceEventTest, NamesAndJson) {
   EXPECT_EQ(json.find('\n'), std::string::npos);  // single line
 }
 
+TEST(TraceEventTest, NoteIsEscapedAndRoundTrips) {
+  TraceEvent event;
+  event.type = TraceType::Fault;
+  event.note = "quote:\" backslash:\\ newline:\n tab:\t ctrl:\x01 end";
+  const std::string json = traceEventJson(event);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // still a single line
+  EXPECT_NE(json.find("\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\"), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  // Round trip through a minimal JSON string unescape: the encoded note
+  // must decode back to exactly the original bytes.
+  const auto key = json.find("\"note\":\"");
+  ASSERT_NE(key, std::string::npos);
+  std::string decoded;
+  for (std::size_t i = key + 8; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"') break;
+    if (c != '\\') {
+      decoded.push_back(c);
+      continue;
+    }
+    ASSERT_LT(i + 1, json.size());
+    const char esc = json[++i];
+    switch (esc) {
+      case 'n': decoded.push_back('\n'); break;
+      case 't': decoded.push_back('\t'); break;
+      case 'r': decoded.push_back('\r'); break;
+      case '"': decoded.push_back('"'); break;
+      case '\\': decoded.push_back('\\'); break;
+      case 'u': {
+        ASSERT_LE(i + 4, json.size() - 1);
+        decoded.push_back(static_cast<char>(
+            std::stoi(json.substr(i + 1, 4), nullptr, 16)));
+        i += 4;
+        break;
+      }
+      default: FAIL() << "unexpected escape " << esc;
+    }
+  }
+  EXPECT_EQ(decoded, event.note);
+}
+
+TEST(TraceEventTest, EmptyNoteOmitted) {
+  TraceEvent event;
+  event.type = TraceType::Broadcast;
+  EXPECT_EQ(traceEventJson(event).find("\"note\""), std::string::npos);
+}
+
+TEST(JsonlTraceSinkTest, WritesWholeLinesImmediately) {
+  const std::string path = ::testing::TempDir() + "trace_sink_test.jsonl";
+  std::remove(path.c_str());
+  JsonlTraceSink sink(path);
+  ASSERT_TRUE(sink.ok());
+  sink.consume(eventWithSeq(7));
+  sink.writeLine(R"({"type":"label","label":"section"})");
+  // Line-buffered: both lines are on disk before the sink is destroyed
+  // (a crashed run loses at most the line being written).
+  std::ifstream in(path);
+  std::string line1;
+  std::string line2;
+  ASSERT_TRUE(std::getline(in, line1));
+  ASSERT_TRUE(std::getline(in, line2));
+  EXPECT_NE(line1.find("\"seq\":7"), std::string::npos);
+  EXPECT_NE(line2.find("\"label\":\"section\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TracerTest, FlushOnFullSpillsToSinkInsteadOfDropping) {
+  Tracer tracer(Tracer::Options{.capacity = 4, .flushOnFull = true});
+  auto sink = std::make_shared<InMemorySink>();
+  tracer.setSink(sink);
+  for (std::uint32_t i = 0; i < 10; ++i) tracer.record(eventWithSeq(i));
+  EXPECT_EQ(tracer.dropped(), 0u);
+  (void)tracer.flush();
+  const auto events = sink->events();
+  ASSERT_EQ(events.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(events[i].event.sequence, i);
+}
+
 #if defined(EPTO_TRACE_ENABLED)
 // With tracing compiled in, the macro records into the global tracer only
 // while it is enabled. (With EPTO_TRACE=OFF this whole test compiles away,
@@ -107,11 +194,11 @@ TEST(TraceMacroTest, RecordsOnlyWhileEnabled) {
   tracer.configure(Tracer::Options{.capacity = 64});
   tracer.setEnabled(false);
 
-  EPTO_TRACE_EVENT(.type = TraceType::Broadcast, .node = 1);
+  EPTO_TRACE_EVENT(Broadcast, .node = 1);
   EXPECT_EQ(tracer.buffered(), 0u);
 
   tracer.setEnabled(true);
-  EPTO_TRACE_EVENT(.type = TraceType::Broadcast, .node = 1, .size = 2);
+  EPTO_TRACE_EVENT(Broadcast, .node = 1, .size = 2);
   tracer.setEnabled(false);
 
   const auto events = tracer.drain();
@@ -119,6 +206,36 @@ TEST(TraceMacroTest, RecordsOnlyWhileEnabled) {
   EXPECT_EQ(events[0].type, TraceType::Broadcast);
   EXPECT_EQ(events[0].node, 1u);
   EXPECT_EQ(events[0].size, 2u);
+}
+
+// The macro's second consumer: the flight recorder receives subscribed
+// types even while the tracer is disabled, and unsubscribed types cost
+// nothing (the initializer expressions are not evaluated).
+TEST(TraceMacroTest, FeedsFlightRecorderBySubscription) {
+  auto& flight = FlightRecorder::global();
+  auto& tracer = Tracer::global();
+  tracer.setEnabled(false);
+  flight.reset();
+  flight.setTypeMask(traceTypeBit(TraceType::Fault));
+  flight.setEnabled(true);
+
+  int evaluations = 0;
+  const auto touch = [&evaluations]() -> std::uint64_t {
+    ++evaluations;
+    return 9;
+  };
+  EPTO_TRACE_EVENT(Fault, .node = 4, .aux = touch());
+  EPTO_TRACE_EVENT(Deliver, .node = 5, .aux = touch());  // unsubscribed
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(flight.recorded(), 1u);
+  const auto records = flight.snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].event.type, TraceType::Fault);
+  EXPECT_EQ(records[0].event.node, 4u);
+  EXPECT_EQ(records[0].event.aux, 9u);
+
+  flight.reset();
+  flight.setTypeMask(FlightRecorder::kDefaultMask);  // restore for other tests
 }
 #endif
 

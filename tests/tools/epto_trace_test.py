@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Tests for tools/epto_trace.py: the golden multi-node fixture plus
+invariant detection, flight-dump handling and CLI behaviour."""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+TOOL = os.path.join(REPO, "tools", "epto_trace.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+
+def run_tool(*argv):
+    return subprocess.run(
+        [sys.executable, TOOL] + list(argv), capture_output=True, text=True
+    )
+
+
+def run_summary(*argv):
+    result = run_tool(*argv)
+    if result.stdout == "":
+        raise AssertionError("no stdout; stderr: %s" % result.stderr)
+    return result, json.loads(result.stdout)
+
+
+def write_trace(lines):
+    handle = tempfile.NamedTemporaryFile(
+        "w", suffix=".jsonl", delete=False, encoding="utf-8"
+    )
+    with handle:
+        for line in lines:
+            handle.write(json.dumps(line) + "\n")
+    return handle.name
+
+
+BROADCAST = {
+    "type": "broadcast", "node": 0, "round": 1, "source": 0, "seq": 0, "ts": 10,
+}
+FIRST_SEEN = {
+    "type": "first_seen", "node": 1, "round": 2, "source": 0, "seq": 0, "ts": 10,
+    "ttl": 1, "size": 14, "aux": 1,
+}
+DELIVERABLE = {
+    "type": "became_deliverable", "node": 1, "round": 6, "source": 0, "seq": 0,
+    "ts": 30, "ttl": 4, "size": 14, "aux": 6,
+}
+DELIVER = {
+    "type": "deliver", "node": 1, "round": 7, "source": 0, "seq": 0, "ts": 10,
+    "ttl": 4, "size": 38, "aux": 0, "detail": 0,
+}
+
+
+class GoldenTrace(unittest.TestCase):
+    def test_multi_node_fixture_matches_expected_summary(self):
+        result, summary = run_summary(
+            os.path.join(FIXTURES, "trace_node0.jsonl"),
+            os.path.join(FIXTURES, "trace_node1_node2.jsonl"),
+        )
+        self.assertEqual(result.returncode, 0, result.stderr)
+        with open(os.path.join(FIXTURES, "expected_summary.json")) as handle:
+            expected = json.load(handle)
+        del summary["files"]  # the only environment-dependent field
+        self.assertEqual(summary, expected)
+
+    def test_golden_fixture_passes_invariants(self):
+        result = run_tool(
+            "--check-invariants",
+            os.path.join(FIXTURES, "trace_node0.jsonl"),
+            os.path.join(FIXTURES, "trace_node1_node2.jsonl"),
+        )
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_phases_sum_to_end_to_end(self):
+        _, summary = run_summary(
+            os.path.join(FIXTURES, "trace_node0.jsonl"),
+            os.path.join(FIXTURES, "trace_node1_node2.jsonl"),
+        )
+        phases = summary["segments"]["golden"]["phases"]
+        self.assertEqual(
+            phases["dissemination"]["mean"]
+            + phases["stability_wait"]["mean"]
+            + phases["ordering_wait"]["mean"],
+            phases["end_to_end"]["mean"],
+        )
+
+
+class Invariants(unittest.TestCase):
+    def test_delivery_without_broadcast_detected(self):
+        path = write_trace([FIRST_SEEN, DELIVERABLE, DELIVER])
+        try:
+            result, summary = run_summary("--check-invariants", path)
+            self.assertEqual(result.returncode, 1)
+            violations = summary["segments"]["(unlabeled)"]["invariant_violations"]
+            self.assertEqual(violations.get("delivered_without_broadcast"), 1)
+        finally:
+            os.unlink(path)
+
+    def test_hop_exceeding_ttl_detected(self):
+        bad = dict(FIRST_SEEN, aux=9)  # hop 9 on a ttl-1 event
+        path = write_trace([BROADCAST, bad])
+        try:
+            result, summary = run_summary("--check-invariants", path)
+            self.assertEqual(result.returncode, 1)
+            violations = summary["segments"]["(unlabeled)"]["invariant_violations"]
+            self.assertEqual(violations.get("hop_exceeds_ttl"), 1)
+        finally:
+            os.unlink(path)
+
+    def test_zero_hop_away_from_origin_detected(self):
+        bad = dict(FIRST_SEEN, aux=0)
+        path = write_trace([BROADCAST, bad])
+        try:
+            result, _ = run_summary("--check-invariants", path)
+            self.assertEqual(result.returncode, 1)
+        finally:
+            os.unlink(path)
+
+    def test_delivery_before_deliverable_detected(self):
+        early = dict(DELIVERABLE, round=9)  # became deliverable after delivery
+        path = write_trace([BROADCAST, FIRST_SEEN, early, DELIVER])
+        try:
+            result, summary = run_summary("--check-invariants", path)
+            self.assertEqual(result.returncode, 1)
+            violations = summary["segments"]["(unlabeled)"]["invariant_violations"]
+            self.assertEqual(violations.get("deliver_before_deliverable"), 1)
+        finally:
+            os.unlink(path)
+
+    def test_clean_trace_passes(self):
+        path = write_trace([BROADCAST, FIRST_SEEN, DELIVERABLE, DELIVER])
+        try:
+            result, summary = run_summary("--check-invariants", path)
+            self.assertEqual(result.returncode, 0, result.stderr)
+            self.assertTrue(summary["invariants_ok"])
+        finally:
+            os.unlink(path)
+
+
+class FlightDumps(unittest.TestCase):
+    def test_flight_records_do_not_trip_completeness_invariants(self):
+        # A flight ring holds only the newest window: a deliver without its
+        # broadcast is expected there, not a violation.
+        path = write_trace(
+            [
+                {"type": "flight_dump", "reason": "crash node=1", "records": 2,
+                 "recorded": 10, "dropped": 8},
+                FIRST_SEEN,
+                DELIVER,
+            ]
+        )
+        try:
+            result, summary = run_summary("--check-invariants", path)
+            self.assertEqual(result.returncode, 0, result.stderr)
+            self.assertEqual(len(summary["flight_dumps"]), 1)
+            self.assertEqual(summary["flight_dumps"][0]["reason"], "crash node=1")
+            segment = summary["segments"]["(unlabeled)"]
+            self.assertEqual(segment["flight_records"], 2)
+        finally:
+            os.unlink(path)
+
+
+class Cli(unittest.TestCase):
+    def test_malformed_lines_counted_not_fatal(self):
+        handle = tempfile.NamedTemporaryFile("w", suffix=".jsonl", delete=False)
+        with handle:
+            handle.write("not json\n")
+            handle.write(json.dumps(BROADCAST) + "\n")
+        try:
+            result, summary = run_summary(handle.name)
+            self.assertEqual(result.returncode, 0)
+            self.assertEqual(summary["malformed_lines"], 1)
+            self.assertEqual(summary["total_records"], 1)
+        finally:
+            os.unlink(handle.name)
+
+    def test_segment_filter(self):
+        path = write_trace(
+            [
+                {"type": "label", "label": "a"},
+                BROADCAST,
+                {"type": "label", "label": "b"},
+                dict(BROADCAST, seq=1),
+            ]
+        )
+        try:
+            _, summary = run_summary("--segment=b", path)
+            self.assertEqual(list(summary["segments"]), ["b"])
+            result = run_tool("--segment=missing", path)
+            self.assertEqual(result.returncode, 2)
+        finally:
+            os.unlink(path)
+
+    def test_summary_out_writes_file(self):
+        path = write_trace([BROADCAST])
+        out = tempfile.NamedTemporaryFile(suffix=".json", delete=False)
+        out.close()
+        try:
+            result = run_tool("--summary-out=" + out.name, path)
+            self.assertEqual(result.returncode, 0)
+            with open(out.name) as handle:
+                summary = json.load(handle)
+            self.assertEqual(summary["total_records"], 1)
+        finally:
+            os.unlink(path)
+            os.unlink(out.name)
+
+    def test_usage_errors(self):
+        self.assertEqual(run_tool().returncode, 2)
+        self.assertEqual(run_tool("--bogus").returncode, 2)
+        self.assertEqual(run_tool("/nonexistent/trace.jsonl").returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

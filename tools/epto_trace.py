@@ -1,0 +1,460 @@
+#!/usr/bin/env python3
+"""Trace analysis for EpTO protocol traces (stdlib only).
+
+Joins one or more JSONL trace files — the output of a bench binary's
+--trace-out flag, the UDP runtime's flight-recorder dumps, or both — and
+reconstructs, per payload event, the journey the epidemic gave it:
+
+  * who broadcast it, when, and in which round;
+  * which nodes saw a copy, at what hop distance (the wire-propagated
+    lineage of ball codec v2), and how many redundant copies arrived
+    (first sightings + ttl merges + duplicate drops = relay-once's
+    actual traffic amplification);
+  * the three latency phases per delivering node — dissemination
+    (broadcast -> first sighting), stability wait (first sighting ->
+    crossed the stability horizon) and ordering-queue wait (stable ->
+    delivered) — matching the epto_latency_* histograms the runtimes
+    export.
+
+It also verifies protocol invariants over the joined trace:
+
+  * delivered_without_broadcast — every delivery has a broadcast
+    ancestor in its segment;
+  * hop_exceeds_ttl — hop counts relay emissions exactly as ttl counts
+    rounds but is never max-merged, so hop <= ttl always;
+  * zero_hop_at_non_origin — a first sighting away from the source
+    needed at least one relay emission;
+  * first_seen_ts_mismatch — the event timestamp is immutable in
+    flight;
+  * deliver_before_deliverable — no ordered delivery precedes the
+    event's became_deliverable at that node;
+  * duplicate_ordered_delivery — ordered delivery is exactly-once per
+    (node, event).
+
+Files are segmented by {"type":"label"} lines (one segment per bench
+condition); {"type":"flight_dump"} headers switch the reader into
+flight-dump mode, where records are summarized but the completeness
+invariants are not enforced (a flight ring holds only the newest window
+by design).
+
+Usage:
+  epto_trace.py [options] TRACE.jsonl [MORE.jsonl ...]
+    --check-invariants   exit 1 when any invariant is violated
+    --summary-out=PATH   write the summary JSON to PATH (default stdout)
+    --segment=LABEL      restrict the analysis to one segment
+    --max-journeys=N     journeys detailed per segment (default 20)
+"""
+
+import json
+import sys
+
+TRACE_TYPES = (
+    "broadcast",
+    "ball_sent",
+    "ball_received",
+    "ttl_merge",
+    "stability_decision",
+    "deliver",
+    "drop",
+    "fault",
+    "first_seen",
+    "became_deliverable",
+)
+
+DELIVERY_ORDERED = 0
+DROP_DUPLICATE = 2
+
+
+def stats(values):
+    """Deterministic summary of a list of numbers."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    n = len(ordered)
+
+    def pct(p):
+        return ordered[min(n - 1, int(p * n))]
+
+    return {
+        "count": n,
+        "max": ordered[-1],
+        "mean": round(sum(ordered) / n, 3),
+        "min": ordered[0],
+        "p50": pct(0.50),
+        "p99": pct(0.99),
+    }
+
+
+class Journey:
+    """Everything the trace says about one payload event in one segment."""
+
+    def __init__(self, key):
+        self.key = key  # (source, sequence)
+        self.broadcasts = []  # {node, round, ts}
+        self.first_seen = {}  # node -> {clock, hop, round, ts}
+        self.deliverable = {}  # node -> {round, stable_clock, stable_round}
+        self.ordered = {}  # node -> {round, clock}
+        self.tagged = {}  # node -> {round, clock}
+        self.ttl_merges = 0
+        self.duplicate_drops = 0
+        self.other_drops = 0
+        self.duplicate_ordered = 0
+
+    def add(self, record):
+        kind = record["type"]
+        node = record.get("node", 0)
+        if kind == "broadcast":
+            self.broadcasts.append(
+                {"node": node, "round": record.get("round", 0), "ts": record.get("ts", 0)}
+            )
+        elif kind == "first_seen":
+            if node not in self.first_seen:  # earliest sighting wins
+                self.first_seen[node] = {
+                    "clock": record.get("size", 0),
+                    "hop": record.get("aux", 0),
+                    "round": record.get("round", 0),
+                    "ts": record.get("ts", 0),
+                    "ttl": record.get("ttl", 0),
+                }
+        elif kind == "became_deliverable":
+            self.deliverable.setdefault(
+                node,
+                {
+                    "round": record.get("round", 0),
+                    "stable_clock": record.get("ts", 0),
+                    "stable_round": record.get("aux", 0),
+                },
+            )
+        elif kind == "deliver":
+            entry = {"clock": record.get("size", 0), "round": record.get("round", 0)}
+            if record.get("detail", 0) == DELIVERY_ORDERED:
+                if node in self.ordered:
+                    self.duplicate_ordered += 1
+                else:
+                    self.ordered[node] = entry
+            else:
+                self.tagged[node] = entry
+        elif kind == "ttl_merge":
+            self.ttl_merges += 1
+        elif kind == "drop":
+            if record.get("detail", 0) == DROP_DUPLICATE:
+                self.duplicate_drops += 1
+            else:
+                self.other_drops += 1
+
+    @property
+    def copies(self):
+        """Distinct event copies that reached an ordering component."""
+        return (
+            len(self.first_seen) + self.ttl_merges + self.duplicate_drops + self.other_drops
+        )
+
+    def broadcast_ts(self):
+        return self.broadcasts[0]["ts"] if self.broadcasts else None
+
+    def phases(self):
+        """Per delivering node: the three phases plus end-to-end, clamped
+        the same way OrderingComponent constructs them (no negative
+        residue, phases sum to end_to_end)."""
+        born = self.broadcast_ts()
+        out = {}
+        for node, deliver in self.ordered.items():
+            seen = self.first_seen.get(node)
+            stable = self.deliverable.get(node)
+            if born is None or seen is None or stable is None:
+                continue
+            end_to_end = max(0, deliver["clock"] - born)
+            dissemination = min(end_to_end, max(0, seen["clock"] - born))
+            stable_offset = max(0, stable["stable_clock"] - born)
+            stable_offset = min(max(stable_offset, dissemination), end_to_end)
+            out[node] = {
+                "dissemination": dissemination,
+                "end_to_end": end_to_end,
+                "ordering_wait": end_to_end - stable_offset,
+                "stability_wait": stable_offset - dissemination,
+            }
+        return out
+
+    def check_invariants(self, complete, violations):
+        """Append (name, description) tuples; `complete` is False for
+        flight-dump records, whose window is truncated by design."""
+        label = "event %d:%d" % self.key
+        if complete and (self.ordered or self.tagged) and not self.broadcasts:
+            violations.append(
+                ("delivered_without_broadcast", "%s delivered but never broadcast" % label)
+            )
+        born = self.broadcast_ts()
+        for node, seen in sorted(self.first_seen.items()):
+            if seen["hop"] > record_ttl_bound(seen):
+                violations.append(
+                    (
+                        "hop_exceeds_ttl",
+                        "%s at node %d: hop %d > ttl %d"
+                        % (label, node, seen["hop"], record_ttl_bound(seen)),
+                    )
+                )
+            if node != self.key[0] and seen["hop"] == 0:
+                violations.append(
+                    (
+                        "zero_hop_at_non_origin",
+                        "%s first seen at node %d with hop 0" % (label, node),
+                    )
+                )
+            if born is not None and seen["ts"] != born:
+                violations.append(
+                    (
+                        "first_seen_ts_mismatch",
+                        "%s at node %d: ts %d != broadcast ts %d"
+                        % (label, node, seen["ts"], born),
+                    )
+                )
+        if complete:
+            for node, deliver in sorted(self.ordered.items()):
+                stable = self.deliverable.get(node)
+                if stable is None:
+                    violations.append(
+                        (
+                            "deliver_before_deliverable",
+                            "%s ordered at node %d without became_deliverable"
+                            % (label, node),
+                        )
+                    )
+                elif stable["round"] > deliver["round"]:
+                    violations.append(
+                        (
+                            "deliver_before_deliverable",
+                            "%s at node %d: deliverable round %d > deliver round %d"
+                            % (label, node, stable["round"], deliver["round"]),
+                        )
+                    )
+        if self.duplicate_ordered:
+            violations.append(
+                (
+                    "duplicate_ordered_delivery",
+                    "%s ordered more than once at a node (%d extras)"
+                    % (label, self.duplicate_ordered),
+                )
+            )
+
+
+def record_ttl_bound(seen):
+    return seen.get("ttl", seen["hop"])
+
+
+class Segment:
+    def __init__(self, label):
+        self.label = label
+        self.records = 0
+        self.counts = {}
+        self.journeys = {}
+        self.flight_records = 0  # records read inside flight dumps
+
+    def journey(self, key):
+        if key not in self.journeys:
+            self.journeys[key] = Journey(key)
+        return self.journeys[key]
+
+    def add(self, record, in_flight_dump):
+        kind = record["type"]
+        self.records += 1
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if in_flight_dump:
+            self.flight_records += 1
+        if kind in ("ball_sent", "ball_received", "stability_decision", "fault"):
+            return
+        source = record.get("source", 0)
+        seq = record.get("seq", 0)
+        if kind == "drop" and source == 0 and seq == 0:
+            return  # drop with no event identity
+        journey = self.journey((source, seq))
+        journey.add(record)
+        if in_flight_dump:
+            journey.incomplete = True
+
+    def summarize(self, max_journeys):
+        violations = []
+        phase_values = {
+            "dissemination": [],
+            "end_to_end": [],
+            "ordering_wait": [],
+            "stability_wait": [],
+        }
+        hop_histogram = {}
+        hops = []
+        redundancy = []
+        delivered = 0
+        detailed = []
+        for key in sorted(self.journeys):
+            journey = self.journeys[key]
+            complete = not getattr(journey, "incomplete", False)
+            journey.check_invariants(complete, violations)
+            phases = journey.phases()
+            for per_node in phases.values():
+                for name, value in per_node.items():
+                    phase_values[name].append(value)
+            for seen in journey.first_seen.values():
+                hops.append(seen["hop"])
+                hop_histogram[seen["hop"]] = hop_histogram.get(seen["hop"], 0) + 1
+            if journey.first_seen:
+                redundancy.append(journey.copies / len(journey.first_seen))
+            if journey.ordered or journey.tagged:
+                delivered += 1
+            if len(detailed) < max_journeys:
+                detailed.append(
+                    {
+                        "broadcast_node": journey.broadcasts[0]["node"]
+                        if journey.broadcasts
+                        else None,
+                        "broadcast_ts": journey.broadcast_ts(),
+                        "copies": journey.copies,
+                        "event": "%d:%d" % key,
+                        "hops": stats(
+                            [seen["hop"] for seen in journey.first_seen.values()]
+                        ),
+                        "nodes_seen": len(journey.first_seen),
+                        "ordered_deliveries": len(journey.ordered),
+                        "phases": stats(
+                            [p["end_to_end"] for p in journey.phases().values()]
+                        ),
+                        "tagged_deliveries": len(journey.tagged),
+                        "ttl_merges": journey.ttl_merges,
+                    }
+                )
+        violation_counts = {}
+        for name, _ in violations:
+            violation_counts[name] = violation_counts.get(name, 0) + 1
+        return {
+            "delivered_events": delivered,
+            "events": len(self.journeys),
+            "flight_records": self.flight_records,
+            "hop_histogram": {str(k): v for k, v in sorted(hop_histogram.items())},
+            "hops": stats(hops),
+            "invariant_violations": violation_counts,
+            "journeys": detailed,
+            "mean_redundancy": round(sum(redundancy) / len(redundancy), 3)
+            if redundancy
+            else None,
+            "phases": {name: stats(values) for name, values in phase_values.items()},
+            "record_counts": dict(sorted(self.counts.items())),
+            "records": self.records,
+            "violation_examples": [text for _, text in violations[:10]],
+        }
+
+
+def parse_file(path, segments, flight_dumps, errors):
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        sys.stderr.write("epto_trace.py: cannot open %s: %s\n" % (path, exc))
+        raise SystemExit(2)
+    current = ""
+    in_flight_dump = False
+    with handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                errors.append("%s:%d: malformed JSON" % (path, line_number))
+                continue
+            kind = record.get("type")
+            if kind == "label":
+                current = str(record.get("label", ""))
+                in_flight_dump = False
+                segments.setdefault(current, Segment(current))
+                continue
+            if kind == "flight_dump":
+                in_flight_dump = True
+                flight_dumps.append(
+                    {
+                        "dropped": record.get("dropped", 0),
+                        "reason": record.get("reason", ""),
+                        "records": record.get("records", 0),
+                    }
+                )
+                continue
+            if kind not in TRACE_TYPES:
+                errors.append("%s:%d: unknown record type %r" % (path, line_number, kind))
+                continue
+            segments.setdefault(current, Segment(current))
+            segments[current].add(record, in_flight_dump)
+
+
+def main(argv):
+    check_invariants = False
+    summary_out = None
+    only_segment = None
+    max_journeys = 20
+    paths = []
+    for arg in argv[1:]:
+        if arg == "--check-invariants":
+            check_invariants = True
+        elif arg.startswith("--summary-out="):
+            summary_out = arg.split("=", 1)[1]
+        elif arg.startswith("--segment="):
+            only_segment = arg.split("=", 1)[1]
+        elif arg.startswith("--max-journeys="):
+            max_journeys = int(arg.split("=", 1)[1])
+        elif arg in ("--help", "-h"):
+            print(__doc__)
+            return 0
+        elif arg.startswith("-"):
+            sys.stderr.write("epto_trace.py: unknown flag %s\n" % arg)
+            return 2
+        else:
+            paths.append(arg)
+    if not paths:
+        sys.stderr.write("epto_trace.py: no trace files given (try --help)\n")
+        return 2
+
+    segments = {}
+    flight_dumps = []
+    errors = []
+    for path in paths:
+        parse_file(path, segments, flight_dumps, errors)
+
+    if only_segment is not None:
+        if only_segment not in segments:
+            sys.stderr.write(
+                "epto_trace.py: no segment %r (have: %s)\n"
+                % (only_segment, ", ".join(sorted(segments)) or "none")
+            )
+            return 2
+        segments = {only_segment: segments[only_segment]}
+
+    summary = {
+        "files": paths,
+        "flight_dumps": flight_dumps,
+        "malformed_lines": len(errors),
+        "segments": {},
+        "total_records": 0,
+    }
+    total_violations = 0
+    for label in sorted(segments):
+        segment_summary = segments[label].summarize(max_journeys)
+        summary["segments"][label or "(unlabeled)"] = segment_summary
+        summary["total_records"] += segment_summary["records"]
+        total_violations += sum(segment_summary["invariant_violations"].values())
+    summary["invariants_ok"] = total_violations == 0
+
+    text = json.dumps(summary, indent=2, sort_keys=True)
+    if summary_out:
+        with open(summary_out, "w", encoding="utf-8") as out:
+            out.write(text + "\n")
+    else:
+        print(text)
+    for error in errors[:10]:
+        sys.stderr.write(error + "\n")
+
+    if check_invariants and total_violations > 0:
+        sys.stderr.write(
+            "epto_trace.py: %d invariant violation(s) found\n" % total_violations
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
