@@ -14,7 +14,14 @@
 // violations among correct processes in every scenario; agreement and
 // validity judged over processes that survived to the end of the run.
 //
-// A second block of scenarios exercises the overload-hardened UDP
+// A second block runs Byzantine scenarios (fault/adversary.h, DESIGN.md
+// §14): the full attack repertoire against a BASALT-sampled deployment,
+// a concentrated junk flood against a tight per-sender rate cap, and
+// pure lineage forgery — each must keep every Table 1 verdict green over
+// the honest processes while the ingress-guard counters prove the
+// attack actually ran.
+//
+// A third block of scenarios exercises the overload-hardened UDP
 // runtime over real loopback sockets (DESIGN.md §10): jumbo balls far
 // beyond the 64 KiB datagram limit (fragmentation/reassembly), an
 // ingress flood against a tight queue bound, fragment-level burst loss,
@@ -29,6 +36,8 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/ingress_guard.h"
+#include "fault/adversary.h"
 #include "fault/fault_plan.h"
 #include "obs/flight_recorder.h"
 #include "runtime/udp_cluster.h"
@@ -127,6 +136,118 @@ void printJson(const std::string& scenario, const workload::ExperimentResult& re
       static_cast<unsigned long long>(result.faultStats.burstDrops),
       static_cast<unsigned long long>(result.faultStats.delayedMessages));
   std::fflush(stdout);
+}
+
+/// One Byzantine scenario: an adversary plan plus the sampler expected
+/// to withstand it. All run hardened (ingress guard on at every honest
+/// node) with the derived K/TTL — unlike the ablation_byzantine knee,
+/// the chaos suite asks whether the verdicts survive at full margin.
+struct ByzScenario {
+  std::string name;
+  fault::AdversaryPlan plan;
+  workload::PssKind pss = workload::PssKind::Basalt;
+  std::uint32_t rateCap = 64;
+  /// Guard counter that must be non-zero for the attack to count as
+  /// exercised (the scenario is vacuous otherwise).
+  std::uint64_t core::IngressStats::* mustTrip = nullptr;
+};
+
+std::vector<ByzScenario> buildByzScenarios() {
+  std::vector<ByzScenario> scenarios;
+  {
+    // Everything at once: poisoned shuffles, equivocation, forged
+    // lineage, replay and flooding from a 10% minority, BASALT sampling
+    // plus the full ingress guard on the honest side.
+    ByzScenario s;
+    s.name = "byz_full_attack";
+    s.plan.fraction(0.10).seed(99);
+    s.mustTrip = &core::IngressStats::ballsRejectedLineage;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // Concentrated flood: two attackers at forty junk balls per round
+    // against an 8-ball per-sender budget — the rate cap must shed the
+    // excess without touching honest traffic.
+    ByzScenario s;
+    s.name = "byz_flood_ratecap";
+    fault::AdversaryBehaviors behaviors;
+    behaviors.poisonPss = false;
+    behaviors.equivocate = false;
+    behaviors.forgeLineage = false;
+    behaviors.replayStale = false;
+    s.plan.members({0, 1}).behaviors(behaviors).floodBallsPerRound(40);
+    s.pss = workload::PssKind::UniformOracle;
+    s.rateCap = 8;
+    s.mustTrip = &core::IngressStats::ballsRejectedRate;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // Pure lineage forgery: hop > ttl and absurd ttl/originRound fields
+    // must die whole at ingress, counted per cause.
+    ByzScenario s;
+    s.name = "byz_lineage_forgery";
+    fault::AdversaryBehaviors behaviors;
+    behaviors.poisonPss = false;
+    behaviors.equivocate = false;
+    behaviors.replayStale = false;
+    behaviors.flood = false;
+    s.plan.fraction(0.05).seed(99).behaviors(behaviors);
+    s.pss = workload::PssKind::UniformOracle;
+    s.mustTrip = &core::IngressStats::ballsRejectedLineage;
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+/// Run one Byzantine scenario and print its JSON line: Table 1 verdicts
+/// over the honest processes plus what the attackers did and what the
+/// guard caught. Returns false when a verdict broke or the attack never
+/// tripped its guard counter.
+bool runByzScenario(const ByzScenario& scenario, std::size_t n, BenchArgs& args) {
+  workload::ExperimentConfig config;
+  config.systemSize = n;
+  config.broadcastProbability = 0.02;
+  config.broadcastRounds = 25;
+  config.seed = args.seed;
+  config.pss = scenario.pss;
+  config.adversaryPlan = &scenario.plan;
+  config.hardenIngress = true;
+  config.ingressRateCap = scenario.rateCap;
+
+  const auto result = runSeries(scenario.name, config, args);
+  const auto& report = result.report;
+  const double expected =
+      static_cast<double>(report.eventsMeasured) *
+      static_cast<double>(result.finalSystemSize);
+  const double rate =
+      expected > 0.0 ? static_cast<double>(report.deliveries) / expected : 0.0;
+  const bool tripped =
+      scenario.mustTrip == nullptr || result.ingressStats.*scenario.mustTrip > 0;
+  std::printf(
+      "{\"scenario\":\"%s\",\"adversary\":true,\"delivery_rate\":%.4f,"
+      "\"order_violations\":%llu,\"integrity_violations\":%llu,"
+      "\"validity_violations\":%llu,\"holes\":%llu,"
+      "\"byzantine\":%zu,\"view_poison\":%.4f,"
+      "\"balls_rejected_lineage\":%llu,\"balls_rejected_rate\":%llu,"
+      "\"events_filtered_equivocation\":%llu,\"junk_deliveries_filtered\":%llu,"
+      "\"flood_balls\":%llu,\"equivocations\":%llu,\"honest_balls_sunk\":%llu,"
+      "\"guard_tripped\":%s}\n",
+      scenario.name.c_str(), rate > 1.0 ? 1.0 : rate,
+      static_cast<unsigned long long>(report.orderViolations),
+      static_cast<unsigned long long>(report.integrityViolations),
+      static_cast<unsigned long long>(report.validityViolations),
+      static_cast<unsigned long long>(report.holes), result.byzantineCount,
+      result.viewPoisonFraction,
+      static_cast<unsigned long long>(result.ingressStats.ballsRejectedLineage),
+      static_cast<unsigned long long>(result.ingressStats.ballsRejectedRate),
+      static_cast<unsigned long long>(result.ingressStats.eventsFilteredEquivocation),
+      static_cast<unsigned long long>(result.adversaryDeliveriesFiltered),
+      static_cast<unsigned long long>(result.adversaryStats.floodBallsSent),
+      static_cast<unsigned long long>(result.adversaryStats.equivocations),
+      static_cast<unsigned long long>(result.adversaryStats.honestBallsSunk),
+      tripped ? "true" : "false");
+  std::fflush(stdout);
+  return report.allPropertiesHold() && tripped;
 }
 
 /// One broadcast request against the UDP cluster: node index + payload
@@ -344,6 +465,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The same verdicts under malice: DESIGN.md §14's adversary against
+  // the hardened ingress path and the BASALT sampler. Skipped under
+  // --trace-out: the flood/equivocation scenarios emit millions of
+  // attack events and the lineage trace grows to tens of GB — the
+  // adversarial verdicts are gated by the untraced pass (CI runs both).
+  const auto byzScenarios = buildByzScenarios();
+  if (args.traceOut.empty()) {
+    for (const auto& scenario : byzScenarios) {
+      if (!runByzScenario(scenario, n, args)) allHold = false;
+    }
+  } else {
+    std::fprintf(stderr,
+                 "chaos_suite: skipping %zu Byzantine scenarios under "
+                 "--trace-out (attack traffic makes traces unbounded)\n",
+                 byzScenarios.size());
+  }
+
   // The same verdicts over real sockets: the overload-hardened UDP
   // runtime under datagram-scale stress.
   auto udpScenarios = buildUdpScenarios();
@@ -364,7 +502,8 @@ int main(int argc, char** argv) {
       simControlRate, udpControlRate, converged ? "true" : "false");
   if (!converged) allHold = false;
 
+  const std::size_t byzRan = args.traceOut.empty() ? byzScenarios.size() : 0;
   std::printf("chaos_suite %s: %zu scenarios\n", allHold ? "PASS" : "FAIL",
-              scenarios.size() + udpScenarios.size() + 1);
+              scenarios.size() + byzRan + udpScenarios.size() + 1);
   return allHold ? 0 : 1;
 }

@@ -1,0 +1,178 @@
+#include "fault/adversary.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "util/ensure.h"
+#include "util/rng.h"
+
+namespace epto::fault {
+
+AdversaryPlan& AdversaryPlan::fraction(double f) {
+  EPTO_ENSURE_MSG(f >= 0.0 && f < 0.5,
+                  "Byzantine fraction must be in [0, 0.5) — a Byzantine "
+                  "majority defeats any sampler");
+  fraction_ = f;
+  return *this;
+}
+
+AdversaryPlan& AdversaryPlan::members(std::vector<ProcessId> ids) {
+  members_ = std::move(ids);
+  return *this;
+}
+
+AdversaryPlan& AdversaryPlan::behaviors(AdversaryBehaviors b) {
+  behaviors_ = b;
+  return *this;
+}
+
+AdversaryPlan& AdversaryPlan::seed(std::uint64_t s) {
+  seed_ = s;
+  return *this;
+}
+
+AdversaryPlan& AdversaryPlan::floodBallsPerRound(std::size_t n) {
+  floodBallsPerRound_ = n;
+  return *this;
+}
+
+AdversaryPlan& AdversaryPlan::floodEventsPerBall(std::size_t n) {
+  EPTO_ENSURE_MSG(n >= 1, "a flood ball carries at least one event");
+  floodEventsPerBall_ = n;
+  return *this;
+}
+
+AdversaryPlan& AdversaryPlan::pssPushesPerRound(std::size_t n) {
+  pssPushesPerRound_ = n;
+  return *this;
+}
+
+AdversaryPlan& AdversaryPlan::equivocationFanout(std::size_t n) {
+  EPTO_ENSURE_MSG(n >= 2, "equivocation needs at least two recipients");
+  equivocationFanout_ = n;
+  return *this;
+}
+
+AdversaryPlan& AdversaryPlan::replayAfterRounds(std::uint64_t n) {
+  replayAfterRounds_ = n;
+  return *this;
+}
+
+std::vector<ProcessId> AdversaryPlan::resolveMembers(std::size_t systemSize) const {
+  EPTO_ENSURE_MSG(systemSize >= 2, "need at least two processes");
+  const auto drawn =
+      static_cast<std::size_t>(fraction_ * static_cast<double>(systemSize));
+  std::vector<ProcessId> pool(systemSize);
+  std::iota(pool.begin(), pool.end(), ProcessId{0});
+  util::Rng rng(seed_);
+  // Partial Fisher-Yates: the first `drawn` slots are the members.
+  for (std::size_t i = 0; i < drawn; ++i) {
+    const std::size_t j = i + rng.below(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  std::vector<ProcessId> out(pool.begin(),
+                             pool.begin() + static_cast<std::ptrdiff_t>(drawn));
+  for (const ProcessId id : members_) {
+    EPTO_ENSURE_MSG(static_cast<std::size_t>(id) < systemSize,
+                    "explicit Byzantine member outside the initial membership");
+    out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  EPTO_ENSURE_MSG(out.size() + 2 <= systemSize,
+                  "adversary plan leaves fewer than two honest processes");
+  return out;
+}
+
+std::string AdversaryPlan::signature() const {
+  std::string sig = "adversary f=";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", fraction_);
+  sig += buf;
+  sig += " seed=" + std::to_string(seed_);
+  sig += " behaviors=";
+  sig += behaviors_.poisonPss ? 'P' : '-';
+  sig += behaviors_.equivocate ? 'E' : '-';
+  sig += behaviors_.forgeLineage ? 'L' : '-';
+  sig += behaviors_.replayStale ? 'R' : '-';
+  sig += behaviors_.flood ? 'F' : '-';
+  sig += " flood=" + std::to_string(floodBallsPerRound_) + "x" +
+         std::to_string(floodEventsPerBall_);
+  sig += " pssPushes=" + std::to_string(pssPushesPerRound_);
+  sig += " equivFanout=" + std::to_string(equivocationFanout_);
+  sig += " replayAfter=" + std::to_string(replayAfterRounds_);
+  sig += " members=[";
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (i != 0) sig += ',';
+    sig += std::to_string(members_[i]);
+  }
+  sig += ']';
+  return sig;
+}
+
+AdversaryController::AdversaryController(AdversaryPlan plan, std::size_t systemSize)
+    : plan_(std::move(plan)), members_(plan_.resolveMembers(systemSize)) {
+  isByzantine_.assign(systemSize, 0);
+  for (const ProcessId id : members_) isByzantine_[id] = 1;
+}
+
+void AdversaryController::noteFloodBall(std::size_t junkEvents) noexcept {
+  floodBallsSent_.fetch_add(1, std::memory_order_relaxed);
+  junkEventsSent_.fetch_add(junkEvents, std::memory_order_relaxed);
+}
+
+void AdversaryController::noteEquivocation() noexcept {
+  equivocations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AdversaryController::noteLineageForgery() noexcept {
+  lineageForgeries_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AdversaryController::noteReplay() noexcept {
+  ballsReplayed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AdversaryController::notePssPoison(bool reply) noexcept {
+  if (reply) {
+    pssPoisonReplies_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    pssPoisonSent_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void AdversaryController::noteHonestBallSunk() noexcept {
+  honestBallsSunk_.fetch_add(1, std::memory_order_relaxed);
+}
+
+AdversaryStats AdversaryController::stats() const noexcept {
+  AdversaryStats out;
+  out.floodBallsSent = floodBallsSent_.load(std::memory_order_relaxed);
+  out.junkEventsSent = junkEventsSent_.load(std::memory_order_relaxed);
+  out.equivocations = equivocations_.load(std::memory_order_relaxed);
+  out.lineageForgeries = lineageForgeries_.load(std::memory_order_relaxed);
+  out.ballsReplayed = ballsReplayed_.load(std::memory_order_relaxed);
+  out.pssPoisonSent = pssPoisonSent_.load(std::memory_order_relaxed);
+  out.pssPoisonReplies = pssPoisonReplies_.load(std::memory_order_relaxed);
+  out.honestBallsSunk = honestBallsSunk_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void AdversaryController::recordTo(obs::Registry& registry) const {
+  const AdversaryStats s = stats();
+  registry.counter("epto_adversary_flood_balls_total").set(s.floodBallsSent);
+  registry.counter("epto_adversary_junk_events_total").set(s.junkEventsSent);
+  registry.counter("epto_adversary_equivocations_total").set(s.equivocations);
+  registry.counter("epto_adversary_lineage_forgeries_total").set(s.lineageForgeries);
+  registry.counter("epto_adversary_balls_replayed_total").set(s.ballsReplayed);
+  registry.counter("epto_adversary_pss_poison_total", {{"kind", "push"}})
+      .set(s.pssPoisonSent);
+  registry.counter("epto_adversary_pss_poison_total", {{"kind", "reply"}})
+      .set(s.pssPoisonReplies);
+  registry.counter("epto_adversary_honest_balls_sunk_total").set(s.honestBallsSunk);
+  registry.gauge("epto_adversary_members")
+      .set(static_cast<std::int64_t>(members_.size()));
+}
+
+}  // namespace epto::fault

@@ -1,0 +1,188 @@
+// Byzantine adversary model — the arbitrary-fault extension of the
+// fault layer (fault_plan.h covers crash/omission; this file covers
+// malice).
+//
+// The paper assumes a benign crash/omission model backed by a uniform
+// PSS (§2/§3); EpTO's probabilistic agreement rests on the sampler's
+// resistance to view poisoning. An AdversaryPlan declares which members
+// of the initial membership are Byzantine and which attack behaviours
+// they run; the AdversaryController resolves the member set
+// deterministically and keeps relaxed-atomic statistics of what the
+// attackers actually did. Enforcement follows the FaultController
+// division of labour: the host (SimCluster, or a hostile-frame injector
+// against the UDP runtime) performs the attacks and reports them through
+// the note*() hooks.
+//
+// Attack surface (per BASALT, Auvolat et al., and Malkhi/Mansour/Reiter
+// "On Diffusing Updates in a Byzantine Environment"):
+//   * PSS view poisoning — flooding shuffle exchanges with Byzantine
+//     ids at forged age 0, both actively (unsolicited requests) and
+//     passively (poisoned replies);
+//   * equivocation — the same EventId shipped with divergent
+//     timestamps/payloads to different recipients;
+//   * lineage forgery — hop/ttl/originRound fields inflated beyond any
+//     honest emission;
+//   * stale-ball replay — verbatim re-injection of recorded old balls;
+//   * flooding — junk events at a rate no honest broadcaster reaches;
+//   * omission — Byzantine members never relay honest events (pure sink).
+//
+// Out of scope (DESIGN.md §14): source spoofing (we assume authenticated
+// point-to-point channels, so a Byzantine member can only equivocate
+// events carrying its *own* id) and logical-clock poisoning (the
+// adversary experiments run under the global clock mode).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "obs/registry.h"
+
+namespace epto::fault {
+
+/// Which attack behaviours the Byzantine members run. All on by default;
+/// ablations toggle individual vectors off.
+struct AdversaryBehaviors {
+  bool poisonPss = true;     ///< flood shuffles/exchanges with Byzantine ids.
+  bool equivocate = true;    ///< divergent ts/payload per recipient, same id.
+  bool forgeLineage = true;  ///< hop > ttl, absurd ttl / originRound.
+  bool replayStale = true;   ///< re-inject recorded old balls verbatim.
+  bool flood = true;         ///< junk-event balls at attacker rate.
+};
+
+/// Declarative description of the Byzantine membership and its attack
+/// intensity. A plan is a value: resolving the same plan against the
+/// same system size always yields the identical member set
+/// (checkable via signature()), so adversary runs stay deterministic.
+class AdversaryPlan {
+ public:
+  /// Fraction f of the initial membership that is Byzantine (members
+  /// drawn deterministically from the plan seed). In [0, 0.5).
+  AdversaryPlan& fraction(double f);
+  /// Explicit Byzantine members, unioned with the drawn fraction.
+  AdversaryPlan& members(std::vector<ProcessId> ids);
+  AdversaryPlan& behaviors(AdversaryBehaviors b);
+  /// Seed for the deterministic member draw (independent of the
+  /// experiment seed so the same attack hits different workloads).
+  AdversaryPlan& seed(std::uint64_t s);
+
+  // --- attack intensity knobs (per Byzantine member, per round) --------
+  AdversaryPlan& floodBallsPerRound(std::size_t n);
+  AdversaryPlan& floodEventsPerBall(std::size_t n);
+  AdversaryPlan& pssPushesPerRound(std::size_t n);
+  AdversaryPlan& equivocationFanout(std::size_t n);
+  AdversaryPlan& replayAfterRounds(std::uint64_t n);
+
+  [[nodiscard]] double fraction() const noexcept { return fraction_; }
+  [[nodiscard]] const std::vector<ProcessId>& explicitMembers() const noexcept {
+    return members_;
+  }
+  [[nodiscard]] const AdversaryBehaviors& behaviors() const noexcept {
+    return behaviors_;
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] std::size_t floodBallsPerRound() const noexcept {
+    return floodBallsPerRound_;
+  }
+  [[nodiscard]] std::size_t floodEventsPerBall() const noexcept {
+    return floodEventsPerBall_;
+  }
+  [[nodiscard]] std::size_t pssPushesPerRound() const noexcept {
+    return pssPushesPerRound_;
+  }
+  [[nodiscard]] std::size_t equivocationFanout() const noexcept {
+    return equivocationFanout_;
+  }
+  [[nodiscard]] std::uint64_t replayAfterRounds() const noexcept {
+    return replayAfterRounds_;
+  }
+
+  /// True when the plan describes no Byzantine member at all.
+  [[nodiscard]] bool empty() const noexcept {
+    return fraction_ <= 0.0 && members_.empty();
+  }
+
+  /// The Byzantine member set for a system of `systemSize` initial
+  /// processes: floor(fraction * systemSize) ids drawn without
+  /// replacement from [0, systemSize) via the plan seed, unioned with
+  /// the explicit members. Sorted, deduplicated, deterministic.
+  [[nodiscard]] std::vector<ProcessId> resolveMembers(std::size_t systemSize) const;
+
+  /// Canonical textual form (behaviours, knobs, seed, fraction, explicit
+  /// members). Equal signatures mean identical attacks — the determinism
+  /// acceptance check, mirroring FaultPlan::signature().
+  [[nodiscard]] std::string signature() const;
+
+ private:
+  double fraction_ = 0.0;
+  std::vector<ProcessId> members_;
+  AdversaryBehaviors behaviors_{};
+  std::uint64_t seed_ = 7;
+  std::size_t floodBallsPerRound_ = 4;
+  std::size_t floodEventsPerBall_ = 8;
+  std::size_t pssPushesPerRound_ = 2;
+  std::size_t equivocationFanout_ = 6;
+  std::uint64_t replayAfterRounds_ = 12;
+};
+
+/// What the attackers actually did, cumulatively.
+struct AdversaryStats {
+  std::uint64_t floodBallsSent = 0;     ///< junk balls emitted.
+  std::uint64_t junkEventsSent = 0;     ///< junk events inside them.
+  std::uint64_t equivocations = 0;      ///< equivocating id pairs emitted.
+  std::uint64_t lineageForgeries = 0;   ///< balls with forged lineage sent.
+  std::uint64_t ballsReplayed = 0;      ///< stale balls re-injected.
+  std::uint64_t pssPoisonSent = 0;      ///< unsolicited poisoned exchanges.
+  std::uint64_t pssPoisonReplies = 0;   ///< poisoned replies to honest shuffles.
+  std::uint64_t honestBallsSunk = 0;    ///< honest balls received and never relayed.
+};
+
+/// Shared interpreter of an AdversaryPlan: answers "is this process
+/// Byzantine?" in O(1) and aggregates attack statistics. Immutable after
+/// construction apart from relaxed atomics, like FaultController.
+class AdversaryController {
+ public:
+  AdversaryController(AdversaryPlan plan, std::size_t systemSize);
+
+  AdversaryController(const AdversaryController&) = delete;
+  AdversaryController& operator=(const AdversaryController&) = delete;
+
+  [[nodiscard]] const AdversaryPlan& plan() const noexcept { return plan_; }
+  /// The resolved Byzantine member set, sorted ascending.
+  [[nodiscard]] const std::vector<ProcessId>& members() const noexcept {
+    return members_;
+  }
+  [[nodiscard]] bool isByzantine(ProcessId id) const noexcept {
+    return id < isByzantine_.size() && isByzantine_[id] != 0;
+  }
+
+  // --- enforcement hooks (thread-safe) ---------------------------------
+  void noteFloodBall(std::size_t junkEvents) noexcept;
+  void noteEquivocation() noexcept;
+  void noteLineageForgery() noexcept;
+  void noteReplay() noexcept;
+  void notePssPoison(bool reply) noexcept;
+  void noteHonestBallSunk() noexcept;
+
+  [[nodiscard]] AdversaryStats stats() const noexcept;
+
+  /// Publish the counters as epto_adversary_* instruments.
+  void recordTo(obs::Registry& registry) const;
+
+ private:
+  AdversaryPlan plan_;
+  std::vector<ProcessId> members_;
+  std::vector<std::uint8_t> isByzantine_;  ///< indexed by ProcessId.
+  std::atomic<std::uint64_t> floodBallsSent_{0};
+  std::atomic<std::uint64_t> junkEventsSent_{0};
+  std::atomic<std::uint64_t> equivocations_{0};
+  std::atomic<std::uint64_t> lineageForgeries_{0};
+  std::atomic<std::uint64_t> ballsReplayed_{0};
+  std::atomic<std::uint64_t> pssPoisonSent_{0};
+  std::atomic<std::uint64_t> pssPoisonReplies_{0};
+  std::atomic<std::uint64_t> honestBallsSunk_{0};
+};
+
+}  // namespace epto::fault

@@ -1,0 +1,151 @@
+#include "pss/basalt.h"
+
+#include <algorithm>
+
+#include "util/ensure.h"
+
+namespace epto::pss {
+
+Basalt::Basalt(ProcessId self, Options options, util::Rng rng)
+    : self_(self), options_(options), rng_(rng) {
+  EPTO_ENSURE_MSG(options_.viewSize >= 1, "Basalt view must hold at least one slot");
+  EPTO_ENSURE_MSG(options_.exchangeLength >= 1,
+                  "Basalt exchanges must carry at least one candidate");
+  EPTO_ENSURE_MSG(options_.exchangeLength <= options_.viewSize,
+                  "Basalt exchangeLength must not exceed viewSize");
+  EPTO_ENSURE_MSG(options_.rotationInterval >= 1,
+                  "Basalt rotationInterval must be at least one exchange");
+  EPTO_ENSURE_MSG(options_.hitThreshold >= 1,
+                  "Basalt hitThreshold must be at least one re-proposal");
+  slots_.resize(options_.viewSize);
+  for (auto& slot : slots_) slot.seed = rng_();
+}
+
+std::uint64_t Basalt::rankOf(std::uint64_t seed, ProcessId id) const noexcept {
+  // H(seed, id): mix the id first so consecutive ids don't get
+  // correlated ranks under the same seed.
+  return util::mix64(seed ^ util::mix64(static_cast<std::uint64_t>(id)));
+}
+
+void Basalt::updateSample(ProcessId id) {
+  if (id == self_) return;
+  for (auto& slot : slots_) {
+    if (slot.filled && slot.peer == id) {
+      // Re-proposal of the current occupant: someone is pushing this id.
+      // Past the threshold, re-roll the slot's lottery so the pusher has
+      // to win it again under a seed it never saw.
+      if (++slot.hits >= options_.hitThreshold) {
+        renewSlot(slot);
+        stats_.forcedRenewals++;
+        // The incumbent still competes under the fresh seed — but so does
+        // every future candidate, on equal footing.
+        const std::uint64_t rank = rankOf(slot.seed, id);
+        if (!slot.filled || rank < slot.rank) {
+          slot.peer = id;
+          slot.rank = rank;
+          slot.filled = true;
+        }
+      }
+      continue;
+    }
+    const std::uint64_t rank = rankOf(slot.seed, id);
+    if (!slot.filled || rank < slot.rank) {
+      slot.peer = id;
+      slot.rank = rank;
+      slot.hits = 0;
+      slot.filled = true;
+      stats_.candidatesAccepted++;
+    }
+  }
+}
+
+void Basalt::renewSlot(Slot& slot) {
+  slot.seed = rng_();
+  slot.hits = 0;
+  slot.filled = false;
+  slot.rank = 0;
+}
+
+void Basalt::bootstrap(std::span<const ProcessId> seeds) {
+  for (const ProcessId id : seeds) updateSample(id);
+}
+
+std::vector<ProcessId> Basalt::distinctPeers() const {
+  std::vector<ProcessId> out;
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    if (slot.filled) out.push_back(slot.peer);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<ProcessId> Basalt::buildCandidates() {
+  // Up to exchangeLength distinct view occupants plus self (the exchange
+  // is also how this node advertises itself, like Cyclon's self@age-0).
+  std::vector<ProcessId> candidates = distinctPeers();
+  for (std::size_t i = 0; i + 1 < candidates.size(); ++i) {
+    const std::size_t j = i + rng_.below(candidates.size() - i);
+    std::swap(candidates[i], candidates[j]);
+  }
+  if (candidates.size() > options_.exchangeLength) {
+    candidates.resize(options_.exchangeLength);
+  }
+  candidates.push_back(self_);
+  return candidates;
+}
+
+std::optional<Basalt::ExchangeRequest> Basalt::onExchangeTimer() {
+  exchanges_++;
+  if (exchanges_ % options_.rotationInterval == 0) {
+    // Round-robin freshness: retire one slot's lottery per due interval.
+    renewSlot(slots_[rotationCursor_]);
+    rotationCursor_ = (rotationCursor_ + 1) % slots_.size();
+    stats_.seedRotations++;
+    // Refill the renewed slot from the peers we already know so the view
+    // never shrinks just because time passed.
+    for (const ProcessId id : distinctPeers()) updateSample(id);
+  }
+  const std::vector<ProcessId> peers = distinctPeers();
+  if (peers.empty()) return std::nullopt;
+  stats_.exchangesStarted++;
+  ExchangeRequest request;
+  request.target = peers[rng_.below(peers.size())];
+  request.candidates = buildCandidates();
+  return request;
+}
+
+std::vector<ProcessId> Basalt::onExchangeRequest(
+    ProcessId from, const std::vector<ProcessId>& candidates) {
+  stats_.exchangesAnswered++;
+  std::vector<ProcessId> reply = buildCandidates();
+  // Rank the sender and at most exchangeLength+1 offered candidates; a
+  // flooder gains nothing from oversized lists.
+  updateSample(from);
+  const std::size_t limit =
+      std::min(candidates.size(), options_.exchangeLength + 1);
+  for (std::size_t i = 0; i < limit; ++i) updateSample(candidates[i]);
+  return reply;
+}
+
+void Basalt::onExchangeReply(const std::vector<ProcessId>& candidates) {
+  stats_.repliesIntegrated++;
+  const std::size_t limit =
+      std::min(candidates.size(), options_.exchangeLength + 1);
+  for (std::size_t i = 0; i < limit; ++i) updateSample(candidates[i]);
+}
+
+std::vector<ProcessId> Basalt::samplePeers(std::size_t k) {
+  std::vector<ProcessId> pool = distinctPeers();
+  for (std::size_t i = 0; i + 1 < pool.size(); ++i) {
+    const std::size_t j = i + rng_.below(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  if (pool.size() > k) pool.resize(k);
+  return pool;
+}
+
+std::vector<ProcessId> Basalt::view() const { return distinctPeers(); }
+
+}  // namespace epto::pss

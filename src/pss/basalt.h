@@ -1,0 +1,122 @@
+// BASALT — Byzantine-resilient peer sampling (Auvolat, Frey, Raynal,
+// Taïani: "BASALT: A Rock-Solid Foundation for Epidemic Consensus
+// Algorithms in Very Large, Very Open Networks"; PAPERS.md).
+//
+// Classic shuffling PSSes (Cyclon, the Jelasity framework) accept
+// whatever a shuffle partner offers, so a Byzantine minority that floods
+// exchanges with its own ids at forged age 0 progressively eclipses
+// honest views. BASALT removes the attacker's lever by making each view slot
+// the *minimizer of a random hash function the attacker cannot predict*:
+//
+//   * each of the v view slots carries a private random seed; a candidate
+//     peer p is ranked by H(seed_i, p), and the slot keeps whichever peer
+//     it has ever been offered with the lowest rank ("stubborn
+//     chaotic search"). Proposing an id more often does not improve its
+//     rank, so flooding buys the adversary nothing beyond its fair
+//     representation in the id space (≈ f of the slots);
+//   * a per-slot hit counter tracks how often the current occupant is
+//     re-proposed; an occupant re-proposed past the hit threshold is
+//     being pushed by someone — the slot's seed is re-rolled, forcing the
+//     occupant to re-win a fresh lottery (flooding becomes actively
+//     counter-productive);
+//   * slot seeds are additionally rotated round-robin every
+//     rotationInterval exchanges so the view keeps refreshing and no
+//     occupant is permanent (the paper's freshness mechanism).
+//
+// Sans-io like Cyclon/GenericPss: the driver owns timers and the network
+// and moves candidate-id lists around; implements epto::PeerSampler so
+// an EpTO process can draw its gossip targets straight from the
+// hardened view.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace epto::pss {
+
+struct BasaltStats {
+  std::uint64_t exchangesStarted = 0;
+  std::uint64_t exchangesAnswered = 0;
+  std::uint64_t repliesIntegrated = 0;
+  std::uint64_t candidatesAccepted = 0;  ///< slot occupant replaced by a lower rank.
+  std::uint64_t forcedRenewals = 0;      ///< hit-threshold seed re-rolls.
+  std::uint64_t seedRotations = 0;       ///< scheduled round-robin re-rolls.
+};
+
+class Basalt final : public PeerSampler {
+ public:
+  struct Options {
+    std::size_t viewSize = 20;        ///< view slots v.
+    std::size_t exchangeLength = 8;   ///< candidate ids per exchange, <= v.
+    /// Exchanges between round-robin seed rotations (one slot per due
+    /// rotation). Smaller = fresher view, more churn in the sample.
+    std::uint32_t rotationInterval = 10;
+    /// Re-proposals of a slot's current occupant before its seed is
+    /// force-renewed (the anti-flooding counter).
+    std::uint32_t hitThreshold = 16;
+  };
+
+  Basalt(ProcessId self, Options options, util::Rng rng);
+
+  /// Seed the slots from bootstrap candidates (the ids a joining node
+  /// learned from its introducer). Ranked like any other candidate.
+  void bootstrap(std::span<const ProcessId> seeds);
+
+  struct ExchangeRequest {
+    ProcessId target = 0;
+    std::vector<ProcessId> candidates;
+  };
+
+  /// Periodic exchange initiation: advance the rotation schedule, pick a
+  /// uniformly random view peer and assemble the outgoing candidate list
+  /// (current view slots + self). Returns nothing while the view is empty.
+  [[nodiscard]] std::optional<ExchangeRequest> onExchangeTimer();
+
+  /// Passive side: rank the incoming candidates (plus the sender), reply
+  /// with this node's own candidate list.
+  [[nodiscard]] std::vector<ProcessId> onExchangeRequest(
+      ProcessId from, const std::vector<ProcessId>& candidates);
+
+  /// Active side: rank the reply's candidates.
+  void onExchangeReply(const std::vector<ProcessId>& candidates);
+
+  // PeerSampler: k distinct uniformly random occupants of the view slots.
+  [[nodiscard]] std::vector<ProcessId> samplePeers(std::size_t k) override;
+
+  /// Current slot occupants (distinct ids, unspecified order); the
+  /// poisoning-measurement surface.
+  [[nodiscard]] std::vector<ProcessId> view() const;
+  [[nodiscard]] const BasaltStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] ProcessId self() const noexcept { return self_; }
+
+ private:
+  struct Slot {
+    std::uint64_t seed = 0;
+    std::uint64_t rank = 0;       ///< rank of the occupant under `seed`.
+    ProcessId peer = 0;
+    std::uint32_t hits = 0;
+    bool filled = false;
+  };
+
+  [[nodiscard]] std::uint64_t rankOf(std::uint64_t seed, ProcessId id) const noexcept;
+  void updateSample(ProcessId id);
+  void renewSlot(Slot& slot);
+  [[nodiscard]] std::vector<ProcessId> buildCandidates();
+  /// Distinct filled occupants, in slot order.
+  [[nodiscard]] std::vector<ProcessId> distinctPeers() const;
+
+  ProcessId self_;
+  Options options_;
+  util::Rng rng_;
+  std::vector<Slot> slots_;
+  std::uint64_t exchanges_ = 0;     ///< onExchangeTimer() calls, drives rotation.
+  std::size_t rotationCursor_ = 0;  ///< next slot to rotate.
+  BasaltStats stats_;
+};
+
+}  // namespace epto::pss

@@ -77,7 +77,7 @@ CyclonView Cyclon::onShuffleRequest(ProcessId from, const CyclonView& received) 
 
   // The requester identified itself in the received view with age 0; the
   // entries we shipped in `reply` are the replacement candidates.
-  merge(received, reply);
+  merge(sanitize(received, std::nullopt), reply);
   (void)from;
   return reply;
 }
@@ -86,13 +86,29 @@ void Cyclon::onShuffleReply(const CyclonView& received) {
   if (!pending_.has_value()) {
     // Late reply to an abandoned shuffle: integrate entries into free
     // slots only (sent-set is unknown by now).
-    merge(received, CyclonView{});
+    merge(sanitize(received, std::nullopt), CyclonView{});
     return;
   }
   ++stats_.repliesIntegrated;
+  const ProcessId partner = pending_->target;
   const CyclonView sent = std::move(pending_->entries);
   pending_.reset();
-  merge(received, sent);
+  merge(sanitize(received, partner), sent);
+}
+
+CyclonView Cyclon::sanitize(const CyclonView& received,
+                            std::optional<ProcessId> evicted) {
+  CyclonView out;
+  out.reserve(std::min(received.size(), options_.shuffleLength));
+  for (const CyclonEntry& entry : received) {
+    if (out.size() >= options_.shuffleLength ||
+        (evicted.has_value() && entry.id == *evicted)) {
+      ++stats_.hostileEntriesDropped;
+      continue;
+    }
+    out.push_back(entry);
+  }
+  return out;
 }
 
 void Cyclon::merge(const CyclonView& received, const CyclonView& sent) {

@@ -36,6 +36,10 @@ struct CyclonStats {
   std::uint64_t shufflesAnswered = 0;
   std::uint64_t repliesIntegrated = 0;
   std::uint64_t entriesLearned = 0;
+  /// Entries dropped by ingress sanitation: oversize shuffle payloads
+  /// (more than shuffleLength entries — no honest peer sends that) and
+  /// reply entries resurrecting the just-evicted shuffle partner.
+  std::uint64_t hostileEntriesDropped = 0;
 };
 
 class Cyclon final : public PeerSampler {
@@ -82,6 +86,12 @@ class Cyclon final : public PeerSampler {
   /// Integrate `received` into the cache: skip self and duplicates, fill
   /// free slots, then overwrite the slots whose entries were in `sent`.
   void merge(const CyclonView& received, const CyclonView& sent);
+  /// Defensive copy of an incoming view: truncated to shuffleLength and,
+  /// when `evicted` is set, with entries for that id removed (an honest
+  /// reply never contains its own sender, so a reply echoing the partner
+  /// we just evicted is forged and must not undo aging-based eviction).
+  [[nodiscard]] CyclonView sanitize(const CyclonView& received,
+                                    std::optional<ProcessId> evicted);
   [[nodiscard]] bool contains(ProcessId id) const;
   void removeEntry(ProcessId id);
 

@@ -103,7 +103,15 @@ void GenericPss::select(const DescriptorView& received, const DescriptorView& se
   //   remove min(H, size - c) oldest;
   //   remove min(S, size - c) of the entries just sent;
   //   remove random entries until |view| == c.
+  // An honest buffer holds at most gossipLength entries; the surplus of
+  // an oversized (hostile) buffer is dropped unread.
+  std::size_t budget = options_.gossipLength;
   for (const Descriptor& incoming : received) {
+    if (budget == 0) {
+      ++stats_.hostileEntriesDropped;
+      continue;
+    }
+    --budget;
     if (incoming.id == self_) continue;
     const auto it = std::find_if(view_.begin(), view_.end(), [&](const Descriptor& d) {
       return d.id == incoming.id;

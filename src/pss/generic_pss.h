@@ -52,6 +52,9 @@ struct GenericPssStats {
   std::uint64_t cyclesStarted = 0;
   std::uint64_t gossipsAnswered = 0;
   std::uint64_t repliesIntegrated = 0;
+  /// Entries beyond gossipLength in an incoming buffer; no honest peer
+  /// ships an oversized buffer, so the surplus is dropped unread.
+  std::uint64_t hostileEntriesDropped = 0;
 };
 
 class GenericPss final : public PeerSampler {

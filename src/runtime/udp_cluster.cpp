@@ -95,6 +95,15 @@ UdpCluster::UdpCluster(UdpClusterOptions options)
                                             options_.ingressCapacity,
                                             options_.watchdogMissedRounds);
     node->id = id;
+    if (options_.hardenIngress) {
+      core::IngressGuardOptions guardOptions;
+      guardOptions.maxTtl = ttl_;
+      guardOptions.maxBallsPerSenderPerRound = options_.ingressRateCap;
+      // Membership is a static port table here, so a source id outside
+      // [0, nodeCount) can only be forged.
+      guardOptions.knownSources = options_.nodeCount;
+      node->guard = std::make_unique<core::IngressGuard>(guardOptions);
+    }
     ports_.push_back(node->socket.port());
     node->process = makeProcess(id, /*incarnation=*/0);
     nodes_.push_back(std::move(node));
@@ -264,11 +273,22 @@ void UdpCluster::flushHeldBack(NodeState& node, util::Rng& rng) {
   node.heldBack.erase(due, node.heldBack.end());
 }
 
-void UdpCluster::enqueueBallFrame(NodeState& node, std::span<const std::byte> frame) {
+void UdpCluster::enqueueBallFrame(NodeState& node, std::span<const std::byte> frame,
+                                  std::uint16_t fromPort) {
   auto decoded = codec::decodeBall(frame);
   if (!decoded.ok()) {
     framesRejected_.fetch_add(1, std::memory_order_relaxed);
     return;
+  }
+  // A frame that parsed is still attacker-controlled input; only the
+  // guard's verdict makes its fields safe for the protocol to trust.
+  if (node.guard != nullptr) {
+    auto verdict = node.guard->inspect(fromPort, decoded.ball);
+    if (!verdict.admitted) return;
+    if (verdict.kept.has_value()) {
+      node.ingress.push(std::move(*verdict.kept));
+      return;
+    }
   }
   node.ingress.push(std::move(decoded.ball));
 }
@@ -291,10 +311,10 @@ void UdpCluster::ingestDatagram(NodeState& node, const UdpSocket::Datagram& data
     auto frame = node.reassembler.accept(decoded.fragment, node.roundCounter);
     if (!frame.has_value()) return;
     ballsReassembled_.fetch_add(1, std::memory_order_relaxed);
-    enqueueBallFrame(node, *frame);
+    enqueueBallFrame(node, *frame, datagram.fromPort);
     return;
   }
-  enqueueBallFrame(node, datagram.bytes);
+  enqueueBallFrame(node, datagram.bytes, datagram.fromPort);
 }
 
 void UdpCluster::publishNodeCounters(NodeState& node) {
@@ -323,6 +343,55 @@ void UdpCluster::publishNodeCounters(NodeState& node) {
                                   std::memory_order_relaxed);
     node.publishedWatchdogRecoveries = recoveries;
   }
+
+  if (node.guard != nullptr) {
+    const core::IngressStats& guard = node.guard->stats();
+    const auto mirror = [](std::atomic<std::uint64_t>& cell, std::uint64_t now,
+                           std::uint64_t& published) {
+      if (now > published) {
+        cell.fetch_add(now - published, std::memory_order_relaxed);
+        published = now;
+      }
+    };
+    core::IngressStats& seen = node.publishedGuard;
+    mirror(guardInspected_, guard.ballsInspected, seen.ballsInspected);
+    mirror(guardRejectedLineage_, guard.ballsRejectedLineage,
+           seen.ballsRejectedLineage);
+    mirror(guardRejectedOriginRound_, guard.ballsRejectedOriginRound,
+           seen.ballsRejectedOriginRound);
+    mirror(guardRejectedRate_, guard.ballsRejectedRate, seen.ballsRejectedRate);
+    mirror(guardRejectedUnknownSource_, guard.ballsRejectedUnknownSource,
+           seen.ballsRejectedUnknownSource);
+    mirror(guardFilteredEquivocation_, guard.eventsFilteredEquivocation,
+           seen.eventsFilteredEquivocation);
+    mirror(guardFilteredIncarnation_, guard.eventsFilteredIncarnation,
+           seen.eventsFilteredIncarnation);
+    mirror(guardFingerprintRotations_, guard.fingerprintRotations,
+           seen.fingerprintRotations);
+  }
+}
+
+core::IngressStats UdpCluster::ingressGuardStats() const noexcept {
+  core::IngressStats stats;
+  stats.ballsInspected = guardInspected_.load(std::memory_order_relaxed);
+  stats.ballsRejectedLineage = guardRejectedLineage_.load(std::memory_order_relaxed);
+  stats.ballsRejectedOriginRound =
+      guardRejectedOriginRound_.load(std::memory_order_relaxed);
+  stats.ballsRejectedRate = guardRejectedRate_.load(std::memory_order_relaxed);
+  stats.ballsRejectedUnknownSource =
+      guardRejectedUnknownSource_.load(std::memory_order_relaxed);
+  stats.eventsFilteredEquivocation =
+      guardFilteredEquivocation_.load(std::memory_order_relaxed);
+  stats.eventsFilteredIncarnation =
+      guardFilteredIncarnation_.load(std::memory_order_relaxed);
+  stats.fingerprintRotations =
+      guardFingerprintRotations_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::uint16_t UdpCluster::nodePort(std::size_t index) const {
+  EPTO_ENSURE_MSG(index < ports_.size(), "node index out of range");
+  return ports_[index];
 }
 
 void UdpCluster::publishTransportMetrics() {
@@ -354,6 +423,9 @@ void UdpCluster::publishTransportMetrics() {
       .set(static_cast<std::int64_t>(ingressHighWater_.load(std::memory_order_relaxed)));
   registry_.counter("epto_udp_watchdog_recoveries_total")
       .set(watchdogRecoveries_.load(std::memory_order_relaxed));
+  if (options_.hardenIngress) {
+    core::recordIngressStats(ingressGuardStats(), registry_);
+  }
   registry_.counter("epto_trace_dropped_total").set(obs::Tracer::global().dropped());
   registry_.counter("epto_flight_dropped_total")
       .set(obs::FlightRecorder::global().dropped());
@@ -430,6 +502,7 @@ void UdpCluster::nodeLoop(NodeState& node) {
 
     ++node.roundCounter;
     node.reassembler.evictExpired(node.roundCounter);
+    if (node.guard != nullptr) node.guard->onRound();
 
     std::vector<PayloadPtr> pending;
     {

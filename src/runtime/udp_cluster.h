@@ -35,6 +35,7 @@
 
 #include <unordered_map>
 
+#include "core/ingress_guard.h"
 #include "core/process.h"
 #include "fault/fault_controller.h"
 #include "fault/fault_plan.h"
@@ -101,6 +102,19 @@ struct UdpClusterOptions {
   /// round, incarnation — codec/ball_codec.h). Default on; turn off to
   /// emulate a mixed fleet where some decoders only speak version 1.
   bool wireLineage = true;
+  /// Route every decoded ball through an IngressGuard before it reaches
+  /// the ingress queue (core/ingress_guard.h): lineage sanity (hop <=
+  /// ttl, ttl within the protocol TTL), plausible originRound, sources
+  /// within the static membership, equivocation/incarnation filtering.
+  /// A datagram that merely parsed is still attacker-controlled input;
+  /// the guard is what makes its fields trustworthy.
+  bool hardenIngress = true;
+  /// Per-sender (UDP source port) balls admitted between round
+  /// boundaries; 0 disables the rate cap. Off by default: a node
+  /// catching up after a stall legitimately processes many rounds worth
+  /// of backlog from each peer in one window, and the ingress queue
+  /// already bounds total buffering.
+  std::uint32_t ingressRateCap = 0;
   /// When non-empty, the flight recorder (obs/flight_recorder.h) is
   /// dumped to this JSONL file whenever the stall watchdog forces a
   /// recovery or a fault-plan crash takes a node down (and on demand via
@@ -182,6 +196,18 @@ class UdpCluster {
   }
   /// Balls shed oldest-first by a full ingress queue.
   [[nodiscard]] std::uint64_t ingressShed() const noexcept { return ingressShed_.load(); }
+  /// Aggregate ingress-guard verdicts across all nodes (zeroes when
+  /// hardenIngress is off). Published as
+  /// `epto_ingress_rejected_total{cause=...}`.
+  [[nodiscard]] core::IngressStats ingressGuardStats() const noexcept;
+  /// Balls dropped whole by the ingress guard (lineage/origin_round/
+  /// rate/unknown_source).
+  [[nodiscard]] std::uint64_t ingressRejected() const noexcept {
+    return ingressGuardStats().ballsRejected();
+  }
+  /// The loopback UDP port node `index` is bound to — where peers (and
+  /// chaos tests injecting hostile frames) address it.
+  [[nodiscard]] std::uint16_t nodePort(std::size_t index) const;
   /// Deepest any node's ingress queue has been — never exceeds
   /// UdpClusterOptions::ingressCapacity.
   [[nodiscard]] std::uint64_t ingressHighWater() const noexcept {
@@ -241,6 +267,8 @@ class UdpCluster {
     std::vector<HeldDatagram> heldBack;   // node-thread only
     Reassembler reassembler;              // node-thread only
     IngressQueue ingress;                 // node-thread only
+    /// Null unless UdpClusterOptions::hardenIngress.
+    std::unique_ptr<core::IngressGuard> guard;  // node-thread only
     StallWatchdog watchdog;               // node-thread only
     std::uint64_t roundCounter = 0;       // node-thread only
     std::uint32_t fragmentSeq = 0;        // node-thread only; ballId low bits
@@ -249,6 +277,7 @@ class UdpCluster {
     ReassemblyStats publishedReassembly;
     std::uint64_t publishedIngressShed = 0;
     std::uint64_t publishedWatchdogRecoveries = 0;
+    core::IngressStats publishedGuard;
   };
 
   void nodeLoop(NodeState& node);
@@ -262,7 +291,8 @@ class UdpCluster {
   /// Route one received datagram: truncation check, fragment reassembly
   /// or direct decode, then ingress admission.
   void ingestDatagram(NodeState& node, const UdpSocket::Datagram& datagram);
-  void enqueueBallFrame(NodeState& node, std::span<const std::byte> frame);
+  void enqueueBallFrame(NodeState& node, std::span<const std::byte> frame,
+                        std::uint16_t fromPort);
   /// Mirror the node's local overload counters into the cluster atomics.
   void publishNodeCounters(NodeState& node);
   /// Copy the cluster-wide transport atomics into the registry.
@@ -310,6 +340,14 @@ class UdpCluster {
   std::atomic<std::uint64_t> ingressShed_{0};
   std::atomic<std::uint64_t> ingressHighWater_{0};
   std::atomic<std::uint64_t> watchdogRecoveries_{0};
+  std::atomic<std::uint64_t> guardInspected_{0};
+  std::atomic<std::uint64_t> guardRejectedLineage_{0};
+  std::atomic<std::uint64_t> guardRejectedOriginRound_{0};
+  std::atomic<std::uint64_t> guardRejectedRate_{0};
+  std::atomic<std::uint64_t> guardRejectedUnknownSource_{0};
+  std::atomic<std::uint64_t> guardFilteredEquivocation_{0};
+  std::atomic<std::uint64_t> guardFilteredIncarnation_{0};
+  std::atomic<std::uint64_t> guardFingerprintRotations_{0};
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopRequested_{false};

@@ -96,9 +96,13 @@ std::optional<UdpSocket::Datagram> UdpSocket::receive(int timeoutMillis) {
   // MSG_TRUNC makes recvfrom return the datagram's real length even when
   // it exceeds the buffer, so truncation is detected here instead of as
   // a downstream frame-validation failure.
+  sockaddr_in from{};
+  socklen_t fromLength = sizeof from;
   const auto received = ::recvfrom(fd_, datagram.bytes.data(), datagram.bytes.size(),
-                                   MSG_TRUNC, nullptr, nullptr);
+                                   MSG_TRUNC, reinterpret_cast<sockaddr*>(&from),
+                                   &fromLength);
   if (received < 0) return std::nullopt;
+  if (from.sin_family == AF_INET) datagram.fromPort = ntohs(from.sin_port);
   const auto receivedBytes = static_cast<std::size_t>(received);
   datagram.truncated = receivedBytes > datagram.bytes.size();
   datagram.bytes.resize(std::min(receivedBytes, datagram.bytes.size()));

@@ -82,9 +82,12 @@ class UdpSocket {
 
   /// One received datagram. `truncated` means the kernel cut the payload
   /// to the receive buffer size — `bytes` is the surviving prefix, which
-  /// can never validate as a frame.
+  /// can never validate as a frame. `fromPort` is the sender's bound
+  /// loopback port — the per-channel identity ingress hardening keys its
+  /// rate accounting on (spoofable on a real network, exact on loopback).
   struct Datagram {
     std::vector<std::byte> bytes;
+    std::uint16_t fromPort = 0;
     bool truncated = false;
   };
 

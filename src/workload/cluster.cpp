@@ -25,6 +25,10 @@ SimCluster::SimCluster(const ExperimentConfig& config)
       faults_(config.faultPlan != nullptr
                   ? std::make_unique<fault::FaultController>(*config.faultPlan)
                   : nullptr),
+      adversary_(config.adversaryPlan != nullptr && !config.adversaryPlan->empty()
+                     ? std::make_unique<fault::AdversaryController>(
+                           *config.adversaryPlan, config.systemSize)
+                     : nullptr),
       network_(simulator_,
                sim::SimNetwork<NetMessage>::Options{&latencyOf(config),
                                                     config.messageLossRate,
@@ -42,6 +46,17 @@ SimCluster::SimCluster(const ExperimentConfig& config)
                   "broadcast probability must be in [0,1]");
   EPTO_ENSURE_MSG(!(config_.protocol == Protocol::FixedSequencer && config_.churnRate > 0.0),
                   "the fixed-sequencer baseline has static membership");
+  if (adversary_ != nullptr) {
+    EPTO_ENSURE_MSG(config_.protocol == Protocol::Epto,
+                    "the adversary model targets EpTO runs");
+    EPTO_ENSURE_MSG(config_.clockMode == ClockMode::Global,
+                    "Byzantine runs require the global clock: a logical clock "
+                    "max-folds attacker timestamps into every honest clock "
+                    "(documented as not defended, DESIGN.md §14)");
+    EPTO_ENSURE_MSG(config_.churnRate == 0.0 && config_.faultPlan == nullptr,
+                    "Byzantine membership must be static: churned or crashed "
+                    "attackers break delivery-debt attribution");
+  }
 
   // Derive K and TTL (Lemmas 3-7), honouring manual overrides.
   Robustness robustness;
@@ -153,6 +168,14 @@ SimCluster::SimCluster(const ExperimentConfig& config)
 
 DeliverFn SimCluster::makeDeliverFn(ProcessId id) {
   return [this, id](const Event& event, DeliveryTag tag) {
+    // Byzantine-authored events are never registered as broadcasts, so a
+    // delivery of one would read as an integrity violation (a delivery of
+    // something never broadcast). It is not: it is junk reaching the app,
+    // measured separately.
+    if (adversary_ != nullptr && adversary_->isByzantine(event.id.source)) {
+      ++adversaryDeliveriesFiltered_;
+      return;
+    }
     tracker_.onDeliver(id, event.id, simulator_.now(), tag);
   };
 }
@@ -166,6 +189,19 @@ void SimCluster::spawnNode() {
       config_.processSpeedSpread <= 0.0
           ? 1.0
           : 1.0 + config_.processSpeedSpread * (2.0 * node.rng.uniform01() - 1.0);
+
+  if (adversary_ != nullptr && adversary_->isByzantine(id)) {
+    // A Byzantine node is pure attacker: no protocol instance, no PSS,
+    // and no delivery obligations — it stays out of lifetimes_ so the
+    // tracker never expects it to deliver anything. It does live in the
+    // membership directory: honest PSS views and the uniform oracle can
+    // (and should) be polluted by it.
+    node.byzantine = true;
+    membership_.add(id);
+    nodes_.emplace(id, std::move(node));
+    scheduleRound(id);
+    return;
+  }
 
   // The PSS. New nodes bootstrap their Cyclon cache from the live
   // directory — the "introducer" a joining node contacts in a real
@@ -184,6 +220,13 @@ void SimCluster::spawnNode() {
         id, config_.genericPssOptions.viewSize, node.rng);
     node.generic->bootstrap(seeds);
     sampler = node.generic;
+  } else if (config_.pss == PssKind::Basalt) {
+    node.basalt = std::make_shared<pss::Basalt>(id, config_.basaltOptions,
+                                                node.rng.split());
+    const auto seeds = membership_.sampleOthers(
+        id, config_.basaltOptions.viewSize, node.rng);
+    node.basalt->bootstrap(seeds);
+    sampler = node.basalt;
   } else {
     sampler = std::make_shared<pss::UniformSampler>(id, membership_, node.rng.split());
   }
@@ -232,6 +275,20 @@ void SimCluster::spawnNode() {
           },
           *sampler, makeDeliverFn(id));
       break;
+  }
+
+  // Ingress hardening: always on under an adversary, opt-in otherwise.
+  if (config_.protocol == Protocol::Epto &&
+      (adversary_ != nullptr || config_.hardenIngress)) {
+    core::IngressGuardOptions guardOptions;
+    guardOptions.maxTtl = ttl_;
+    guardOptions.maxBallsPerSenderPerRound = config_.ingressRateCap;
+    // Source ids are enumerable only while membership is static; churn
+    // and fault-plan restarts mint ids beyond the initial range.
+    if (config_.churnRate == 0.0 && config_.faultPlan == nullptr) {
+      guardOptions.knownSources = config_.systemSize;
+    }
+    node.guard = std::make_unique<core::IngressGuard>(guardOptions);
   }
 
   membership_.add(id);
@@ -308,6 +365,11 @@ void SimCluster::doBroadcast(Node& node) {
 }
 
 void SimCluster::runRound(Node& node) {
+  // Byzantine members do not run the protocol; their round is an attack.
+  if (node.byzantine) {
+    runAdversaryRound(node);
+    return;
+  }
   // A perturbed process is stalled: its scheduler fires but nothing runs.
   // Incoming balls keep landing in its nextBall (the transport buffers);
   // on resume the backlog is relayed, aged and delivered as usual.
@@ -326,6 +388,7 @@ void SimCluster::runRound(Node& node) {
   }
   node.stallNoted = false;
   ++roundsExecuted_;
+  if (node.guard != nullptr) node.guard->onRound();
   maybeBroadcast(node);
 
   // PSS gossip piggybacks on the round cadence (one exchange per round,
@@ -338,6 +401,12 @@ void SimCluster::runRound(Node& node) {
   if (node.generic != nullptr) {
     if (auto push = node.generic->onGossipTimer(); push.has_value()) {
       network_.send(node.id, push->target, GossipPushMsg{std::move(push->buffer)});
+    }
+  }
+  if (node.basalt != nullptr) {
+    if (auto request = node.basalt->onExchangeTimer(); request.has_value()) {
+      network_.send(node.id, request->target,
+                    BasaltRequestMsg{std::move(request->candidates)});
     }
   }
 
@@ -359,6 +428,164 @@ void SimCluster::runRound(Node& node) {
     }
   }
   // FixedSequencer is purely message-driven; rounds only pace broadcasts.
+}
+
+std::vector<ProcessId> SimCluster::sampleHonestVictims(Node& node,
+                                                       std::size_t count) {
+  // Oversample: the directory contains the other Byzantine members too.
+  const std::size_t accomplices = adversary_->members().size();
+  const auto candidates =
+      membership_.sampleOthers(node.id, count + accomplices, node.rng);
+  std::vector<ProcessId> out;
+  out.reserve(count);
+  for (const ProcessId id : candidates) {
+    if (out.size() >= count) break;
+    if (adversary_->isByzantine(id)) continue;
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<ProcessId> SimCluster::poisonIds(const Node& node,
+                                             std::size_t limit) const {
+  std::vector<ProcessId> out;
+  out.reserve(std::min(limit, adversary_->members().size()));
+  if (limit > 0) out.push_back(node.id);
+  for (const ProcessId member : adversary_->members()) {
+    if (out.size() >= limit) break;
+    if (member != node.id) out.push_back(member);
+  }
+  return out;
+}
+
+Event SimCluster::makeJunkEvent(Node& node, bool forgeLineage) {
+  Event event;
+  event.id = EventId{node.id, node.nextJunkSeq++};
+  event.ts = simulator_.now();
+  if (forgeLineage) {
+    // hop > ttl cannot arise from any honest emission (hop counts this
+    // copy's relay chain, ttl max-merges upward); absurd ttl/originRound
+    // are the other two forgeable lineage fields.
+    event.ttl = ttl_ * 4 + 1;
+    event.hop = static_cast<std::uint16_t>(event.ttl + 7);
+    event.originRound = 1u << 24;
+  } else {
+    // Plausible lineage: junk indistinguishable from a first-hop relay.
+    event.ttl = 1;
+    event.hop = 1;
+    event.originRound = static_cast<std::uint32_t>(
+        simulator_.now() / config_.roundInterval);
+  }
+  return event;
+}
+
+void SimCluster::runAdversaryRound(Node& node) {
+  const fault::AdversaryPlan& plan = adversary_->plan();
+  const fault::AdversaryBehaviors& behaviors = plan.behaviors();
+  const Timestamp now = simulator_.now();
+
+  // View poisoning: unsolicited PSS exchanges offering only Byzantine ids
+  // at forged age 0 — the eclipse attack BASALT is built to resist. The
+  // uniform oracle has no exchange surface to poison.
+  if (behaviors.poisonPss && config_.pss != PssKind::UniformOracle) {
+    for (const ProcessId victim :
+         sampleHonestVictims(node, plan.pssPushesPerRound())) {
+      switch (config_.pss) {
+        case PssKind::Cyclon: {
+          pss::CyclonView entries;
+          for (const ProcessId id :
+               poisonIds(node, config_.cyclonOptions.shuffleLength)) {
+            entries.push_back(pss::CyclonEntry{id, 0});
+          }
+          adversary_->notePssPoison(/*reply=*/false);
+          network_.send(node.id, victim, ShuffleRequestMsg{std::move(entries)});
+          break;
+        }
+        case PssKind::Generic: {
+          pss::DescriptorView buffer;
+          for (const ProcessId id :
+               poisonIds(node, config_.genericPssOptions.gossipLength)) {
+            buffer.push_back(pss::Descriptor{id, 0});
+          }
+          adversary_->notePssPoison(/*reply=*/false);
+          network_.send(node.id, victim, GossipPushMsg{std::move(buffer)});
+          break;
+        }
+        case PssKind::Basalt: {
+          adversary_->notePssPoison(/*reply=*/false);
+          network_.send(
+              node.id, victim,
+              BasaltRequestMsg{poisonIds(node, config_.basaltOptions.exchangeLength)});
+          break;
+        }
+        case PssKind::UniformOracle:
+          break;
+      }
+    }
+  }
+
+  // Flooding: junk balls at a rate no honest broadcaster reaches, sprayed
+  // at gossip fanout like real traffic.
+  if (behaviors.flood) {
+    for (std::size_t b = 0; b < plan.floodBallsPerRound(); ++b) {
+      auto junk = std::make_shared<Ball>();
+      junk->reserve(plan.floodEventsPerBall());
+      for (std::size_t e = 0; e < plan.floodEventsPerBall(); ++e) {
+        junk->push_back(makeJunkEvent(node, /*forgeLineage=*/false));
+      }
+      adversary_->noteFloodBall(junk->size());
+      const BallPtr frozen = std::move(junk);
+      for (const ProcessId victim : sampleHonestVictims(node, fanout_)) {
+        network_.send(node.id, victim, frozen);
+      }
+    }
+  }
+
+  // Equivocation: one event id per round, shipped with divergent
+  // timestamps to different recipients. Undetected, honest nodes disagree
+  // on the event's position in the total order.
+  if (behaviors.equivocate) {
+    const auto victims = sampleHonestVictims(node, plan.equivocationFanout());
+    if (victims.size() >= 2) {
+      const EventId id{node.id, node.nextJunkSeq++};
+      adversary_->noteEquivocation();
+      for (std::size_t i = 0; i < victims.size(); ++i) {
+        Event event;
+        event.id = id;
+        event.ts = now + (i % 2 == 0 ? 0 : 97);
+        event.ttl = 1;
+        event.hop = 1;
+        event.originRound =
+            static_cast<std::uint32_t>(now / config_.roundInterval);
+        network_.send(node.id, victims[i],
+                      std::make_shared<const Ball>(Ball{event}));
+      }
+    }
+  }
+
+  // Lineage forgery: a ball whose fields no honest process could emit.
+  if (behaviors.forgeLineage) {
+    auto forged = std::make_shared<Ball>();
+    forged->push_back(makeJunkEvent(node, /*forgeLineage=*/true));
+    adversary_->noteLineageForgery();
+    const BallPtr frozen = std::move(forged);
+    for (const ProcessId victim : sampleHonestVictims(node, 2)) {
+      network_.send(node.id, victim, frozen);
+    }
+  }
+
+  // Stale replay: verbatim re-injection of a recorded honest ball once it
+  // is old enough that its events should long be stable.
+  if (behaviors.replayStale && !node.replayBuffer.empty()) {
+    const auto& [recorded, capturedAt] = node.replayBuffer.front();
+    if (now >= capturedAt + plan.replayAfterRounds() * config_.roundInterval) {
+      adversary_->noteReplay();
+      for (const ProcessId victim : sampleHonestVictims(node, 2)) {
+        network_.send(node.id, victim, recorded);
+      }
+      node.replayBuffer.erase(node.replayBuffer.begin());
+    }
+  }
 }
 
 void SimCluster::sampleRound(const Node& node, const Process::RoundOutput& out) {
@@ -403,8 +630,57 @@ void SimCluster::onMessage(ProcessId from, ProcessId to, const NetMessage& messa
   if (it == nodes_.end()) return;  // target crashed while the message flew
   Node& node = it->second;
 
+  if (node.byzantine) {
+    const fault::AdversaryBehaviors& behaviors = adversary_->plan().behaviors();
+    if (const auto* ball = std::get_if<BallPtr>(&message)) {
+      // Omission: honest traffic routed through an attacker dies here,
+      // optionally recorded for later stale replay.
+      adversary_->noteHonestBallSunk();
+      if (behaviors.replayStale && node.replayBuffer.size() < 16) {
+        node.replayBuffer.emplace_back(*ball, simulator_.now());
+      }
+    } else if (behaviors.poisonPss &&
+               std::get_if<ShuffleRequestMsg>(&message) != nullptr) {
+      // An honest shuffle reaching an attacker gets a poisoned reply.
+      pss::CyclonView entries;
+      for (const ProcessId id :
+           poisonIds(node, config_.cyclonOptions.shuffleLength)) {
+        entries.push_back(pss::CyclonEntry{id, 0});
+      }
+      adversary_->notePssPoison(/*reply=*/true);
+      network_.send(to, from, ShuffleReplyMsg{std::move(entries)});
+    } else if (behaviors.poisonPss &&
+               std::get_if<GossipPushMsg>(&message) != nullptr) {
+      if (config_.genericPssOptions.pull) {
+        pss::DescriptorView buffer;
+        for (const ProcessId id :
+             poisonIds(node, config_.genericPssOptions.gossipLength)) {
+          buffer.push_back(pss::Descriptor{id, 0});
+        }
+        adversary_->notePssPoison(/*reply=*/true);
+        network_.send(to, from, GossipReplyMsg{std::move(buffer)});
+      }
+    } else if (behaviors.poisonPss &&
+               std::get_if<BasaltRequestMsg>(&message) != nullptr) {
+      adversary_->notePssPoison(/*reply=*/true);
+      network_.send(to, from,
+                    BasaltReplyMsg{poisonIds(node, config_.basaltOptions.exchangeLength)});
+    }
+    // Everything else (replies to exchanges the attacker never started,
+    // sequencer traffic) is silently dropped.
+    return;
+  }
+
   if (const auto* ball = std::get_if<BallPtr>(&message)) {
     if (node.epto != nullptr) {
+      if (node.guard != nullptr) {
+        const auto verdict = node.guard->inspect(from, **ball);
+        if (!verdict.admitted) return;
+        if (verdict.kept.has_value()) {
+          node.epto->onBall(*verdict.kept);
+          return;
+        }
+      }
       node.epto->onBall(**ball);
     } else if (node.ballsBins != nullptr) {
       node.ballsBins->onBall(**ball);
@@ -426,6 +702,13 @@ void SimCluster::onMessage(ProcessId from, ProcessId to, const NetMessage& messa
     }
   } else if (const auto* gossipReply = std::get_if<GossipReplyMsg>(&message)) {
     if (node.generic != nullptr) node.generic->onGossipReply(gossipReply->buffer);
+  } else if (const auto* exchange = std::get_if<BasaltRequestMsg>(&message)) {
+    if (node.basalt != nullptr) {
+      auto basaltReply = node.basalt->onExchangeRequest(from, exchange->candidates);
+      network_.send(to, from, BasaltReplyMsg{std::move(basaltReply)});
+    }
+  } else if (const auto* exchangeReply = std::get_if<BasaltReplyMsg>(&message)) {
+    if (node.basalt != nullptr) node.basalt->onExchangeReply(exchangeReply->candidates);
   } else if (const auto* submit = std::get_if<baselines::SubmitMessage>(&message)) {
     if (node.sequencer != nullptr && node.sequencer->isSequencer()) {
       sendSequencerOutgoing(to, node.sequencer->onSubmit(*submit));
@@ -482,6 +765,70 @@ void SimCluster::run() {
   registry_.counter("epto_flight_dropped_total")
       .set(obs::FlightRecorder::global().dropped());
   if (faults_ != nullptr) faults_->recordTo(registry_);
+  if (adversary_ != nullptr) adversary_->recordTo(registry_);
+  if (adversary_ != nullptr || config_.hardenIngress) {
+    core::recordIngressStats(aggregateIngressStats(), registry_);
+  }
+}
+
+core::IngressStats SimCluster::aggregateIngressStats() const {
+  core::IngressStats total;
+  for (const auto& [id, node] : nodes_) {
+    if (node.guard == nullptr) continue;
+    const core::IngressStats& s = node.guard->stats();
+    total.ballsInspected += s.ballsInspected;
+    total.ballsRejectedLineage += s.ballsRejectedLineage;
+    total.ballsRejectedOriginRound += s.ballsRejectedOriginRound;
+    total.ballsRejectedRate += s.ballsRejectedRate;
+    total.ballsRejectedUnknownSource += s.ballsRejectedUnknownSource;
+    total.eventsFilteredEquivocation += s.eventsFilteredEquivocation;
+    total.eventsFilteredIncarnation += s.eventsFilteredIncarnation;
+    total.fingerprintRotations += s.fingerprintRotations;
+  }
+  return total;
+}
+
+double SimCluster::viewPoisonFraction() const {
+  if (adversary_ == nullptr) return 0.0;
+  // Iterate in id order so the floating-point fold is reproducible.
+  std::vector<ProcessId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (const ProcessId id : ids) {
+    const Node& node = nodes_.at(id);
+    if (node.byzantine) continue;
+    std::size_t viewSize = 0;
+    std::size_t poisoned = 0;
+    if (node.cyclon != nullptr) {
+      for (const pss::CyclonEntry& entry : node.cyclon->view()) {
+        ++viewSize;
+        if (adversary_->isByzantine(entry.id)) ++poisoned;
+      }
+    } else if (node.generic != nullptr) {
+      for (const pss::Descriptor& descriptor : node.generic->view()) {
+        ++viewSize;
+        if (adversary_->isByzantine(descriptor.id)) ++poisoned;
+      }
+    } else if (node.basalt != nullptr) {
+      for (const ProcessId peer : node.basalt->view()) {
+        ++viewSize;
+        if (adversary_->isByzantine(peer)) ++poisoned;
+      }
+    } else {
+      // The uniform oracle's "view" is the whole directory minus self:
+      // its poisoning is exactly the Byzantine share of the membership.
+      viewSize = membership_.size() - 1;
+      poisoned = adversary_->members().size();
+    }
+    if (viewSize == 0) continue;
+    sum += static_cast<double>(poisoned) / static_cast<double>(viewSize);
+    ++counted;
+  }
+  return counted > 0 ? sum / static_cast<double>(counted) : 0.0;
 }
 
 std::vector<Event> SimCluster::pendingEventsOf(ProcessId id) const {
@@ -503,6 +850,13 @@ ExperimentResult SimCluster::result() const {
   result.roundSamples = roundSamples_;
   result.metrics = registry_.snapshot();
   if (faults_ != nullptr) result.faultStats = faults_->stats();
+  if (adversary_ != nullptr) {
+    result.adversaryStats = adversary_->stats();
+    result.byzantineCount = adversary_->members().size();
+  }
+  result.ingressStats = aggregateIngressStats();
+  result.viewPoisonFraction = viewPoisonFraction();
+  result.adversaryDeliveriesFiltered = adversaryDeliveriesFiltered_;
   for (const auto& [id, node] : nodes_) {
     if (node.epto != nullptr) {
       result.eventsRelayed += node.epto->disseminationStats().eventsRelayed;

@@ -16,10 +16,13 @@
 #include "baselines/balls_bins_broadcast.h"
 #include "baselines/pbcast.h"
 #include "baselines/sequencer.h"
+#include "core/ingress_guard.h"
 #include "core/process.h"
+#include "fault/adversary.h"
 #include "metrics/delivery_tracker.h"
 #include "obs/latency.h"
 #include "obs/registry.h"
+#include "pss/basalt.h"
 #include "pss/cyclon.h"
 #include "sim/churn.h"
 #include "sim/membership.h"
@@ -42,10 +45,17 @@ struct GossipPushMsg {
 struct GossipReplyMsg {
   pss::DescriptorView buffer;
 };
+struct BasaltRequestMsg {
+  std::vector<ProcessId> candidates;
+};
+struct BasaltReplyMsg {
+  std::vector<ProcessId> candidates;
+};
 
 using NetMessage =
     std::variant<BallPtr, ShuffleRequestMsg, ShuffleReplyMsg, GossipPushMsg,
-                 GossipReplyMsg, baselines::SubmitMessage, baselines::StampedMessage>;
+                 GossipReplyMsg, BasaltRequestMsg, BasaltReplyMsg,
+                 baselines::SubmitMessage, baselines::StampedMessage>;
 
 class SimCluster {
  public:
@@ -76,6 +86,13 @@ class SimCluster {
   [[nodiscard]] const fault::FaultController* faultController() const noexcept {
     return faults_.get();
   }
+  /// Null when the experiment has no adversary plan.
+  [[nodiscard]] const fault::AdversaryController* adversaryController() const noexcept {
+    return adversary_.get();
+  }
+  /// Mean fraction of Byzantine ids across honest PSS views right now
+  /// (0 with no adversary). See ExperimentResult::viewPoisonFraction.
+  [[nodiscard]] double viewPoisonFraction() const;
   [[nodiscard]] std::size_t liveNodeCount() const noexcept { return nodes_.size(); }
   [[nodiscard]] Timestamp broadcastWindowEnd() const noexcept { return broadcastEnd_; }
   /// Per-node pending (received-but-undelivered) events — §8.4 surface.
@@ -90,16 +107,36 @@ class SimCluster {
     std::shared_ptr<PeerSampler> sampler;
     std::shared_ptr<pss::Cyclon> cyclon;      // aliases sampler for PssKind::Cyclon
     std::shared_ptr<pss::GenericPss> generic; // aliases sampler for PssKind::Generic
+    std::shared_ptr<pss::Basalt> basalt;      // aliases sampler for PssKind::Basalt
     std::unique_ptr<Process> epto;
     std::unique_ptr<baselines::BallsBinsBroadcast> ballsBins;
     std::unique_ptr<baselines::SequencerProcess> sequencer;
     std::unique_ptr<baselines::PbcastProcess> pbcast;
+    /// Adversary state (fault/adversary.h). A Byzantine node runs no
+    /// protocol instance and no PSS — it is pure attacker.
+    bool byzantine = false;
+    std::uint32_t nextJunkSeq = 0;
+    /// Captured honest balls awaiting stale replay: (ball, captured at).
+    std::vector<std::pair<BallPtr, Timestamp>> replayBuffer;
+    /// Honest-node ingress hardening (null when the guard is off).
+    std::unique_ptr<core::IngressGuard> guard;
   };
 
   void spawnNode();
   void killNode(ProcessId id);
   void scheduleRound(ProcessId id);
   void runRound(Node& node);
+  void runAdversaryRound(Node& node);
+  /// Up to `count` honest victims (never the attacker, never Byzantine).
+  [[nodiscard]] std::vector<ProcessId> sampleHonestVictims(Node& node,
+                                                           std::size_t count);
+  /// The attacker's id followed by its accomplices, capped at `limit` —
+  /// the payload of every poisoned PSS exchange.
+  [[nodiscard]] std::vector<ProcessId> poisonIds(const Node& node,
+                                                 std::size_t limit) const;
+  [[nodiscard]] Event makeJunkEvent(Node& node, bool forgeLineage);
+  /// Sum of all honest guards' verdict counters.
+  [[nodiscard]] core::IngressStats aggregateIngressStats() const;
   void sampleRound(const Node& node, const Process::RoundOutput& out);
   void maybeBroadcast(Node& node);
   void doBroadcast(Node& node);
@@ -120,6 +157,8 @@ class SimCluster {
   sim::MembershipDirectory membership_;
   /// Constructed before network_ (which captures a pointer to it).
   std::unique_ptr<fault::FaultController> faults_;
+  /// Constructed before the spawn loop (spawnNode consults it).
+  std::unique_ptr<fault::AdversaryController> adversary_;
   sim::SimNetwork<NetMessage> network_;
   metrics::DeliveryTracker tracker_;
   std::unique_ptr<sim::ChurnDriver> churn_;
@@ -144,6 +183,10 @@ class SimCluster {
   ProcessId nextId_ = 0;
 
   std::uint64_t roundsExecuted_ = 0;
+  /// Deliveries of Byzantine-authored events at honest nodes, excluded
+  /// from the tracker (junk reaching the app is measured, not a
+  /// protocol-property violation).
+  std::uint64_t adversaryDeliveriesFiltered_ = 0;
 };
 
 }  // namespace epto::workload

@@ -16,10 +16,13 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/ingress_guard.h"
+#include "fault/adversary.h"
 #include "fault/fault_controller.h"
 #include "fault/fault_plan.h"
 #include "metrics/delivery_tracker.h"
 #include "obs/registry.h"
+#include "pss/basalt.h"
 #include "pss/cyclon.h"
 #include "pss/generic_pss.h"
 #include "sim/network.h"
@@ -38,6 +41,7 @@ enum class PssKind : std::uint8_t {
   UniformOracle,  ///< perfectly fresh uniform view (paper §2 assumption).
   Cyclon,         ///< real shuffle-based PSS (Fig. 9).
   Generic,        ///< Jelasity et al. [17] framework (freshness ablation).
+  Basalt,         ///< Byzantine-resilient hash-ranked PSS (Auvolat et al.).
 };
 
 struct ExperimentConfig {
@@ -98,6 +102,24 @@ struct ExperimentConfig {
   PssKind pss = PssKind::UniformOracle;
   pss::Cyclon::Options cyclonOptions{.viewSize = 20, .shuffleLength = 8};
   pss::GenericPss::Options genericPssOptions{};
+  pss::Basalt::Options basaltOptions{};
+
+  /// Byzantine adversary (fault/adversary.h): which members are malicious
+  /// and which attacks they run. Null = all-honest. Must outlive the
+  /// experiment. Requires Protocol::Epto, ClockMode::Global (a Byzantine
+  /// member could otherwise poison every honest logical clock through the
+  /// max-fold — documented as not defended, DESIGN.md §14) and zero
+  /// churn (the tracker cannot attribute holes when byzantine membership
+  /// and churned membership overlap).
+  const fault::AdversaryPlan* adversaryPlan = nullptr;
+  /// Route every honest node's incoming balls through an IngressGuard
+  /// (core/ingress_guard.h) even without an adversary plan; with a plan
+  /// the guard is always on.
+  bool hardenIngress = false;
+  /// Per-sender per-round ball budget enforced by the guard (0 disables
+  /// the rate cap). The guard's other bounds (maxTtl, known sources) are
+  /// derived from the run configuration.
+  std::uint32_t ingressRateCap = 64;
 
   /// One-way latency distribution; null = the PlanetLab-like default
   /// (Fig. 5).
@@ -151,6 +173,21 @@ struct ExperimentResult {
   obs::Snapshot metrics;
   /// What the injected faultscape actually did (zeroes when no plan).
   fault::FaultStats faultStats;
+  /// What the Byzantine members actually did (zeroes when no plan).
+  fault::AdversaryStats adversaryStats;
+  /// Aggregate ingress-guard verdicts across all honest nodes (zeroes
+  /// unless the guard was active).
+  core::IngressStats ingressStats;
+  /// Byzantine members in the run (0 = all honest).
+  std::size_t byzantineCount = 0;
+  /// Mean fraction of Byzantine ids in honest PSS views at the end of the
+  /// run — the view-poisoning metric of the ablation (0 when no
+  /// adversary, or for the oracle PSS which cannot be poisoned).
+  double viewPoisonFraction = 0.0;
+  /// Deliveries of Byzantine-authored events observed at honest nodes
+  /// (excluded from the tracker's validity/integrity accounting — junk
+  /// reaching the app is measured, not a protocol violation).
+  std::uint64_t adversaryDeliveriesFiltered = 0;
 };
 
 /// Run one experiment to completion. Deterministic in config.seed.

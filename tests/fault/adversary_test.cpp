@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "fault/adversary.h"
+#include "obs/registry.h"
+#include "util/ensure.h"
+
+namespace epto::fault {
+namespace {
+
+TEST(AdversaryPlan, EmptyByDefault) {
+  AdversaryPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_TRUE(plan.resolveMembers(100).empty());
+}
+
+TEST(AdversaryPlan, RejectsInvalidKnobs) {
+  EXPECT_THROW(AdversaryPlan{}.fraction(-0.1), util::ContractViolation);
+  EXPECT_THROW(AdversaryPlan{}.fraction(0.5), util::ContractViolation);
+  EXPECT_THROW(AdversaryPlan{}.fraction(1.0), util::ContractViolation);
+  EXPECT_THROW(AdversaryPlan{}.floodEventsPerBall(0), util::ContractViolation);
+  EXPECT_THROW(AdversaryPlan{}.equivocationFanout(1), util::ContractViolation);
+}
+
+TEST(AdversaryPlan, ResolvesFloorOfFractionDeterministically) {
+  AdversaryPlan plan;
+  plan.fraction(0.1).seed(99);
+  const auto first = plan.resolveMembers(100);
+  const auto second = plan.resolveMembers(100);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(first.begin(), first.end()));
+  const std::set<ProcessId> unique(first.begin(), first.end());
+  EXPECT_EQ(unique.size(), first.size());
+  for (const ProcessId id : first) EXPECT_LT(id, 100u);
+}
+
+TEST(AdversaryPlan, DifferentSeedsDrawDifferentMembers) {
+  AdversaryPlan a;
+  a.fraction(0.2).seed(1);
+  AdversaryPlan b;
+  b.fraction(0.2).seed(2);
+  EXPECT_NE(a.resolveMembers(200), b.resolveMembers(200));
+}
+
+TEST(AdversaryPlan, ExplicitMembersUnionWithDrawnFraction) {
+  AdversaryPlan plan;
+  plan.fraction(0.05).seed(3).members({42, 17});
+  const auto resolved = plan.resolveMembers(100);
+  EXPECT_TRUE(std::binary_search(resolved.begin(), resolved.end(), 42u));
+  EXPECT_TRUE(std::binary_search(resolved.begin(), resolved.end(), 17u));
+  EXPECT_GE(resolved.size(), 5u);
+}
+
+TEST(AdversaryPlan, RejectsMembersOutsideTheMembership) {
+  AdversaryPlan plan;
+  plan.members({100});
+  EXPECT_THROW(plan.resolveMembers(100), util::ContractViolation);
+}
+
+TEST(AdversaryPlan, RejectsPlansLeavingFewerThanTwoHonest) {
+  AdversaryPlan plan;
+  plan.members({0, 1, 2});
+  EXPECT_THROW(plan.resolveMembers(4), util::ContractViolation);
+  EXPECT_NO_THROW(plan.resolveMembers(5));
+}
+
+TEST(AdversaryPlan, SignatureCapturesEveryKnob) {
+  AdversaryPlan plan;
+  plan.fraction(0.1).seed(7).members({3}).floodBallsPerRound(9);
+  const std::string sig = plan.signature();
+  EXPECT_NE(sig.find("f=0.100000"), std::string::npos);
+  EXPECT_NE(sig.find("seed=7"), std::string::npos);
+  EXPECT_NE(sig.find("flood=9x"), std::string::npos);
+  EXPECT_NE(sig.find("members=[3]"), std::string::npos);
+
+  AdversaryPlan muted = plan;
+  muted.behaviors(AdversaryBehaviors{.poisonPss = false});
+  EXPECT_NE(plan.signature(), muted.signature());
+}
+
+TEST(AdversaryController, AnswersIsByzantineInConstantTimeTable) {
+  AdversaryPlan plan;
+  plan.members({2, 5});
+  const AdversaryController controller(plan, 8);
+  EXPECT_TRUE(controller.isByzantine(2));
+  EXPECT_TRUE(controller.isByzantine(5));
+  EXPECT_FALSE(controller.isByzantine(0));
+  EXPECT_FALSE(controller.isByzantine(7));
+  EXPECT_FALSE(controller.isByzantine(10'000));  // out of range, not UB
+  EXPECT_EQ(controller.members(), (std::vector<ProcessId>{2, 5}));
+}
+
+TEST(AdversaryController, AccumulatesStatsAndPublishesThem) {
+  AdversaryPlan plan;
+  plan.members({1});
+  AdversaryController controller(plan, 4);
+  controller.noteFloodBall(8);
+  controller.noteFloodBall(8);
+  controller.noteEquivocation();
+  controller.noteLineageForgery();
+  controller.noteReplay();
+  controller.notePssPoison(/*reply=*/false);
+  controller.notePssPoison(/*reply=*/true);
+  controller.noteHonestBallSunk();
+
+  const AdversaryStats stats = controller.stats();
+  EXPECT_EQ(stats.floodBallsSent, 2u);
+  EXPECT_EQ(stats.junkEventsSent, 16u);
+  EXPECT_EQ(stats.equivocations, 1u);
+  EXPECT_EQ(stats.lineageForgeries, 1u);
+  EXPECT_EQ(stats.ballsReplayed, 1u);
+  EXPECT_EQ(stats.pssPoisonSent, 1u);
+  EXPECT_EQ(stats.pssPoisonReplies, 1u);
+  EXPECT_EQ(stats.honestBallsSunk, 1u);
+
+  obs::Registry registry;
+  controller.recordTo(registry);
+  const obs::Snapshot snapshot = registry.snapshot();
+  bool sawFlood = false;
+  for (const obs::Sample& sample : snapshot) {
+    if (sample.name == "epto_adversary_flood_balls_total") {
+      sawFlood = true;
+      EXPECT_EQ(sample.counter, 2u);
+    }
+  }
+  EXPECT_TRUE(sawFlood);
+}
+
+}  // namespace
+}  // namespace epto::fault

@@ -1,0 +1,172 @@
+// Hostile-view property tests (ISSUE 7 satellite): whatever a poisoned
+// shuffle/gossip/exchange payload contains, a PSS view must never
+//   * grow past its configured capacity,
+//   * contain the node's own id,
+//   * resurrect the just-evicted shuffle partner at age 0 (Cyclon's
+//     aging-based eviction must not be undone by a forged reply).
+// Exercised across Cyclon, GenericPss and Basalt with adversarial
+// payloads far outside anything an honest peer would send.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "pss/basalt.h"
+#include "pss/cyclon.h"
+#include "pss/generic_pss.h"
+#include "util/rng.h"
+
+namespace epto::pss {
+namespace {
+
+std::vector<ProcessId> seedRange(ProcessId first, ProcessId last) {
+  std::vector<ProcessId> seeds;
+  for (ProcessId id = first; id <= last; ++id) seeds.push_back(id);
+  return seeds;
+}
+
+/// A worst-case Cyclon payload: the victim's own id, the attacker id
+/// repeated, and a long tail of fresh age-0 ids far beyond shuffleLength.
+CyclonView poisonedCyclonView(ProcessId victim, ProcessId attacker,
+                              std::size_t tail) {
+  CyclonView view;
+  view.push_back(CyclonEntry{victim, 0});
+  for (std::size_t i = 0; i < 8; ++i) view.push_back(CyclonEntry{attacker, 0});
+  for (std::size_t i = 0; i < tail; ++i) {
+    view.push_back(CyclonEntry{static_cast<ProcessId>(1000 + i), 0});
+  }
+  return view;
+}
+
+TEST(HostileViews, CyclonPoisonedRequestNeverGrowsViewPastCapacityOrInsertsSelf) {
+  util::Rng rng(3);
+  Cyclon node(7, {.viewSize = 6, .shuffleLength = 3}, rng.split());
+  node.bootstrap(seedRange(10, 15));
+  for (int wave = 0; wave < 50; ++wave) {
+    (void)node.onShuffleRequest(999, poisonedCyclonView(7, 999, 64));
+    EXPECT_LE(node.view().size(), 6u);
+    for (const CyclonEntry& entry : node.view()) EXPECT_NE(entry.id, 7u);
+  }
+  EXPECT_GT(node.stats().hostileEntriesDropped, 0u);
+}
+
+TEST(HostileViews, CyclonPoisonedReplyNeverGrowsViewPastCapacityOrInsertsSelf) {
+  util::Rng rng(5);
+  Cyclon node(7, {.viewSize = 6, .shuffleLength = 3}, rng.split());
+  node.bootstrap(seedRange(10, 15));
+  for (int wave = 0; wave < 50; ++wave) {
+    (void)node.onShuffleTimer();
+    node.onShuffleReply(poisonedCyclonView(7, 999, 64));
+    EXPECT_LE(node.view().size(), 6u);
+    for (const CyclonEntry& entry : node.view()) EXPECT_NE(entry.id, 7u);
+  }
+}
+
+TEST(HostileViews, CyclonReplyCannotResurrectTheEvictedPartnerAtAgeZero) {
+  util::Rng rng(7);
+  Cyclon node(7, {.viewSize = 6, .shuffleLength = 3}, rng.split());
+  node.bootstrap(seedRange(10, 15));
+  const auto request = node.onShuffleTimer();
+  ASSERT_TRUE(request.has_value());
+  const ProcessId partner = request->target;
+  ASSERT_FALSE(std::any_of(
+      node.view().begin(), node.view().end(),
+      [&](const CyclonEntry& e) { return e.id == partner; }));
+  // A forged reply offering the partner back at age 0 (an honest reply
+  // never contains its own sender).
+  node.onShuffleReply({CyclonEntry{partner, 0}, CyclonEntry{50, 0}});
+  EXPECT_FALSE(std::any_of(
+      node.view().begin(), node.view().end(),
+      [&](const CyclonEntry& e) { return e.id == partner; }));
+  EXPECT_GT(node.stats().hostileEntriesDropped, 0u);
+}
+
+TEST(HostileViews, GenericPssPoisonedBufferNeverGrowsViewPastCapacityOrInsertsSelf) {
+  util::Rng rng(9);
+  GenericPss node(7, {.viewSize = 6, .gossipLength = 3}, rng.split());
+  node.bootstrap(seedRange(10, 15));
+  DescriptorView poison;
+  poison.push_back(Descriptor{7, 0});
+  for (std::size_t i = 0; i < 64; ++i) {
+    poison.push_back(Descriptor{static_cast<ProcessId>(1000 + i), 0});
+  }
+  for (int wave = 0; wave < 50; ++wave) {
+    (void)node.onGossip(999, poison);
+    node.onGossipReply(poison);
+    EXPECT_LE(node.view().size(), 6u);
+    for (const Descriptor& descriptor : node.view()) {
+      EXPECT_NE(descriptor.id, 7u);
+    }
+  }
+  EXPECT_GT(node.stats().hostileEntriesDropped, 0u);
+}
+
+TEST(HostileViews, BasaltPoisonedCandidatesNeverGrowViewPastCapacityOrInsertSelf) {
+  util::Rng rng(11);
+  Basalt node(7, {.viewSize = 6, .exchangeLength = 3}, rng.split());
+  node.bootstrap(seedRange(10, 15));
+  std::vector<ProcessId> poison{7, 7, 7};
+  for (std::size_t i = 0; i < 64; ++i) {
+    poison.push_back(static_cast<ProcessId>(1000 + i));
+  }
+  for (int wave = 0; wave < 50; ++wave) {
+    (void)node.onExchangeRequest(999, poison);
+    node.onExchangeReply(poison);
+    const auto view = node.view();
+    EXPECT_LE(view.size(), 6u);
+    EXPECT_EQ(std::count(view.begin(), view.end(), 7u), 0);
+  }
+}
+
+/// The contrast behind the ablation: under an identical flooding attack,
+/// Cyclon's accept-what-you-are-sent merge gets eclipsed while Basalt's
+/// hash-ranked slots hold the attacker near its fair share.
+TEST(HostileViews, FloodingEclipsesCyclonButNotBasalt) {
+  constexpr ProcessId kAttacker = 900;  // ids 900..907 are attackers
+  constexpr std::size_t kAttackers = 8;
+  util::Rng rng(13);
+
+  Cyclon cyclon(7, {.viewSize = 8, .shuffleLength = 4}, rng.split());
+  cyclon.bootstrap(seedRange(10, 17));
+  Basalt basalt(7, {.viewSize = 8, .exchangeLength = 4}, rng.split());
+  basalt.bootstrap(seedRange(10, 17));
+
+  std::vector<ProcessId> attackerIds;
+  for (std::size_t i = 0; i < kAttackers; ++i) {
+    attackerIds.push_back(static_cast<ProcessId>(kAttacker + i));
+  }
+  for (int wave = 0; wave < 200; ++wave) {
+    CyclonView cyclonPoison;
+    std::size_t which = static_cast<std::size_t>(wave) % kAttackers;
+    for (std::size_t i = 0; i < 4; ++i) {
+      cyclonPoison.push_back(
+          CyclonEntry{attackerIds[(which + i) % kAttackers], 0});
+    }
+    (void)cyclon.onShuffleRequest(attackerIds[which], cyclonPoison);
+    (void)basalt.onExchangeRequest(attackerIds[which], attackerIds);
+  }
+
+  const auto poisonShare = [&](const std::vector<ProcessId>& view) {
+    std::size_t poisoned = 0;
+    for (const ProcessId id : view) {
+      if (id >= kAttacker) ++poisoned;
+    }
+    return view.empty() ? 0.0
+                        : static_cast<double>(poisoned) /
+                              static_cast<double>(view.size());
+  };
+  std::vector<ProcessId> cyclonIds;
+  for (const CyclonEntry& entry : cyclon.view()) cyclonIds.push_back(entry.id);
+
+  const double cyclonShare = poisonShare(cyclonIds);
+  const double basaltShare = poisonShare(basalt.view());
+  // Cyclon's free slots and sent-entry overwrites soak up attacker ids;
+  // Basalt keeps most slots with honest minimizers.
+  EXPECT_GT(cyclonShare, 0.4) << "cyclon " << cyclonShare;
+  EXPECT_LT(basaltShare, cyclonShare) << "basalt " << basaltShare;
+  EXPECT_LT(basaltShare, 0.75);
+}
+
+}  // namespace
+}  // namespace epto::pss

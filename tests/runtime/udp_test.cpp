@@ -8,9 +8,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "codec/ball_codec.h"
+#include "core/ingress_guard.h"
 #include "codec/fragment_codec.h"
 #include "runtime/udp_cluster.h"
 #include "runtime/udp_transport.h"
@@ -54,6 +56,7 @@ TEST(UdpSocket, DatagramRoundTrip) {
   const auto datagram = receiver.receive(2000);
   ASSERT_TRUE(datagram.has_value());
   EXPECT_FALSE(datagram->truncated);
+  EXPECT_EQ(datagram->fromPort, sender.port());
   const auto decoded = codec::decodeBall(datagram->bytes);
   ASSERT_TRUE(decoded.ok());
   ASSERT_EQ(decoded.ball.size(), 1u);
@@ -255,6 +258,163 @@ TEST(UdpCluster, ExportsLabeledTransportCounters) {
   EXPECT_NE(snapshot.find("epto_udp_truncated_total"), std::string::npos);
   EXPECT_NE(snapshot.find("epto_udp_ingress_shed_total"), std::string::npos);
   EXPECT_NE(snapshot.find("epto_udp_watchdog_recoveries_total"), std::string::npos);
+  EXPECT_NE(snapshot.find("epto_ingress_rejected_total{cause=\"lineage\"}"),
+            std::string::npos);
+  EXPECT_NE(snapshot.find("epto_ingress_rejected_total{cause=\"equivocation\"}"),
+            std::string::npos);
+}
+
+// --- hostile-frame injection (ISSUE 7: the runtime half of the ---------
+// --- adversary model: a guard between decode and the protocol) ---------
+
+/// Craft a v2 wire frame around `ball` and fire it at `port` from an
+/// attacker-owned socket (a well-formed frame the codec will happily
+/// decode — only the ingress guard stands between it and the protocol).
+void injectFrame(UdpSocket& attacker, std::uint16_t port, const Ball& ball) {
+  ASSERT_TRUE(attacker.sendTo(
+      port, codec::encodeBall(ball, codec::EncodeOptions{.lineage = true})));
+}
+
+/// Poll the cluster's aggregated guard stats until `done` or deadline.
+template <typename Predicate>
+bool awaitGuardStats(const UdpCluster& cluster, Predicate done,
+                     std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done(cluster.ingressGuardStats())) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return done(cluster.ingressGuardStats());
+}
+
+TEST(UdpClusterByzantine, ForgedLineageAndUnknownSourcesAreRejectedWhole) {
+  UdpClusterOptions options;
+  options.nodeCount = 4;
+  options.roundPeriod = 4ms;
+  options.ttlOverride = 6;
+  options.seed = 31;
+  UdpCluster cluster(options);
+  cluster.start();
+
+  UdpSocket attacker;
+  const std::uint16_t victim = cluster.nodePort(0);
+  // hop > ttl: impossible for any honest relay chain.
+  {
+    Ball ball = makeBall(100);
+    ball[0].ttl = 3;
+    ball[0].hop = 9;
+    injectFrame(attacker, victim, ball);
+  }
+  // ttl beyond the protocol TTL: forged aging.
+  {
+    Ball ball = makeBall(101);
+    ball[0].ttl = 40;
+    injectFrame(attacker, victim, ball);
+  }
+  // A source id outside the static membership.
+  {
+    Ball ball = makeBall(102);
+    ball[0].id.source = 99;
+    injectFrame(attacker, victim, ball);
+  }
+  EXPECT_TRUE(awaitGuardStats(
+      cluster,
+      [](const core::IngressStats& stats) {
+        return stats.ballsRejectedLineage >= 2 &&
+               stats.ballsRejectedUnknownSource >= 1;
+      },
+      5s))
+      << "rejections never surfaced";
+
+  // Honest traffic is untouched by the hostile noise.
+  for (std::size_t i = 0; i < 4; ++i) cluster.broadcast(i);
+  ASSERT_TRUE(cluster.awaitQuiescence(30s)) << cluster.lastQuiescenceReport();
+  cluster.stop();
+  const auto report = cluster.report();
+  EXPECT_EQ(report.deliveries, 16u);
+  EXPECT_TRUE(report.allPropertiesHold());
+  // The frames parsed fine — they fell to the guard, not the codec.
+  EXPECT_EQ(cluster.framesRejected(), 0u);
+  EXPECT_GE(cluster.ingressRejected(), 3u);
+}
+
+TEST(UdpClusterByzantine, EquivocatingVariantsAreFilteredAtIngress) {
+  UdpClusterOptions options;
+  options.nodeCount = 3;
+  options.roundPeriod = 4ms;
+  options.ttlOverride = 6;
+  options.seed = 37;
+  UdpCluster cluster(options);
+  cluster.start();
+
+  UdpSocket attacker;
+  const std::uint16_t victim = cluster.nodePort(0);
+  // Two divergent payloads under one EventId and incarnation: the first
+  // variant wins, every later divergent copy is filtered event-by-event.
+  Ball variantA = makeBall(500);
+  variantA.back().payload = makePayload(16, 1);
+  Ball variantB = makeBall(500);
+  variantB.back().payload = makePayload(16, 2);
+  injectFrame(attacker, victim, variantA);
+  for (int i = 0; i < 5; ++i) injectFrame(attacker, victim, variantB);
+
+  EXPECT_TRUE(awaitGuardStats(
+      cluster,
+      [](const core::IngressStats& stats) {
+        return stats.eventsFilteredEquivocation >= 1;
+      },
+      5s))
+      << "equivocation filter never fired";
+  cluster.stop();
+}
+
+TEST(UdpClusterByzantine, RateCapShedsAConcentratedFlood) {
+  UdpClusterOptions options;
+  options.nodeCount = 3;
+  options.roundPeriod = 4ms;
+  options.ttlOverride = 6;
+  options.ingressRateCap = 4;
+  options.seed = 41;
+  UdpCluster cluster(options);
+  cluster.start();
+
+  UdpSocket attacker;
+  const std::uint16_t victim = cluster.nodePort(0);
+  // Every flood ball is also lineage-forged, so the ones under the cap
+  // are rejected too — no junk is ever admitted to the protocol.
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    Ball ball = makeBall(1000 + i);
+    ball[0].ttl = 2;
+    ball[0].hop = 7;
+    injectFrame(attacker, victim, ball);
+  }
+  EXPECT_TRUE(awaitGuardStats(
+      cluster,
+      [](const core::IngressStats& stats) {
+        return stats.ballsRejectedRate >= 1;
+      },
+      5s))
+      << "rate cap never tripped";
+
+  for (std::size_t i = 0; i < 3; ++i) cluster.broadcast(i);
+  ASSERT_TRUE(cluster.awaitQuiescence(30s)) << cluster.lastQuiescenceReport();
+  cluster.stop();
+  EXPECT_TRUE(cluster.report().allPropertiesHold());
+}
+
+TEST(UdpClusterByzantine, GuardCanBeDisabledForMixedFleets) {
+  UdpClusterOptions options;
+  options.nodeCount = 3;
+  options.roundPeriod = 4ms;
+  options.hardenIngress = false;
+  options.seed = 43;
+  UdpCluster cluster(options);
+  cluster.start();
+  for (std::size_t i = 0; i < 3; ++i) cluster.broadcast(i);
+  ASSERT_TRUE(cluster.awaitQuiescence(30s));
+  cluster.stop();
+  EXPECT_TRUE(cluster.report().allPropertiesHold());
+  EXPECT_EQ(cluster.ingressGuardStats().ballsInspected, 0u);
 }
 
 TEST(UdpCluster, StopIsIdempotent) {

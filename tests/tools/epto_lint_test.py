@@ -85,6 +85,23 @@ class RuleFixtureTest(unittest.TestCase):
         findings = epto_lint.lint_text("src/x.cpp", code)
         self.assertNotIn("eventid-order", rule_ids(findings))
 
+    def test_decoded_ball_trust(self):
+        self.assert_fires("decoded-ball-trust", "src/x.cpp",
+                          "auto decoded = codec::decodeBall(frame);\n")
+        self.assert_fires("decoded-ball-trust", "src/x.cpp",
+                          "if (decodeBall(datagram.bytes).ok) relay();\n")
+
+    def test_decoded_ball_trust_sanctioned_ingress_suppressed(self):
+        code = "auto decoded = codec::decodeBall(frame);\n"
+        allow = {("decoded-ball-trust", "src/runtime/udp_cluster.cpp")}
+        self.assertEqual([], epto_lint.lint_text(
+            "src/runtime/udp_cluster.cpp", code, allow))
+
+    def test_decoded_ball_trust_other_words_allowed(self):
+        code = "auto frame = codec::encodeBall(ball); decodeBallast();\n"
+        findings = epto_lint.lint_text("src/x.cpp", code)
+        self.assertNotIn("decoded-ball-trust", rule_ids(findings))
+
 
 class ScrubberTest(unittest.TestCase):
     """Comments and literals must never produce findings."""
@@ -137,6 +154,7 @@ class AllowlistTest(unittest.TestCase):
             REPO_ROOT / "tools" / "epto_lint_allowlist.txt")
         self.assertIn(("raw-mutex", "src/util/mutex.h"), entries)
         self.assertIn(("eventid-order", "src/core/dissemination.cpp"), entries)
+        self.assertIn(("decoded-ball-trust", "src/runtime/udp_cluster.cpp"), entries)
 
     def test_every_checked_in_entry_is_load_bearing(self):
         """Dropping any allowlist entry must surface at least one finding —

@@ -1,0 +1,161 @@
+// Byzantine runs of the simulated deployment: honest processes must keep
+// every Table 1 property while f Byzantine members flood junk, equivocate
+// timestamps, forge lineage, replay stale balls and poison PSS exchanges
+// (ISSUE 7 tentpole). Also pins the contract checks around the adversary
+// configuration and determinism of an attacked run.
+#include <gtest/gtest.h>
+
+#include "fault/adversary.h"
+#include "util/ensure.h"
+#include "workload/experiment.h"
+
+namespace epto::workload {
+namespace {
+
+ExperimentConfig attackedConfig(const fault::AdversaryPlan& plan) {
+  ExperimentConfig config;
+  config.systemSize = 50;
+  config.broadcastProbability = 0.05;
+  config.broadcastRounds = 15;
+  config.adversaryPlan = &plan;
+  config.seed = 11;
+  return config;
+}
+
+TEST(ByzantineSim, HonestNodesKeepAllPropertiesUnderFullAttackWithBasalt) {
+  fault::AdversaryPlan plan;
+  plan.fraction(0.10).seed(3);
+
+  ExperimentConfig config = attackedConfig(plan);
+  config.pss = PssKind::Basalt;
+  const ExperimentResult result = runExperiment(config);
+
+  EXPECT_EQ(result.byzantineCount, 5u);
+  // Every attack behaviour actually ran.
+  EXPECT_GT(result.adversaryStats.floodBallsSent, 0u);
+  EXPECT_GT(result.adversaryStats.junkEventsSent, 0u);
+  EXPECT_GT(result.adversaryStats.equivocations, 0u);
+  EXPECT_GT(result.adversaryStats.lineageForgeries, 0u);
+  EXPECT_GT(result.adversaryStats.pssPoisonSent, 0u);
+  // The guard caught provable forgeries at honest ingress.
+  EXPECT_GT(result.ingressStats.ballsRejectedLineage, 0u);
+  EXPECT_GT(result.ingressStats.eventsFilteredEquivocation, 0u);
+  // Junk authored by attackers never reaches the tracker's books but is
+  // measured as filtered deliveries.
+  EXPECT_GT(result.adversaryDeliveriesFiltered, 0u);
+  // The honest majority still agrees on one total order with no holes.
+  EXPECT_TRUE(result.report.allPropertiesHold())
+      << "order=" << result.report.orderViolations
+      << " integrity=" << result.report.integrityViolations
+      << " validity=" << result.report.validityViolations
+      << " holes=" << result.report.holes;
+}
+
+TEST(ByzantineSim, BasaltResistsViewPoisoningBetterThanCyclon) {
+  fault::AdversaryPlan plan;
+  plan.fraction(0.10).seed(5);
+
+  ExperimentConfig cyclonConfig = attackedConfig(plan);
+  cyclonConfig.pss = PssKind::Cyclon;
+  const ExperimentResult cyclon = runExperiment(cyclonConfig);
+
+  ExperimentConfig basaltConfig = attackedConfig(plan);
+  basaltConfig.pss = PssKind::Basalt;
+  const ExperimentResult basalt = runExperiment(basaltConfig);
+
+  EXPECT_GT(cyclon.viewPoisonFraction, 0.0);
+  EXPECT_LT(basalt.viewPoisonFraction, cyclon.viewPoisonFraction)
+      << "cyclon=" << cyclon.viewPoisonFraction
+      << " basalt=" << basalt.viewPoisonFraction;
+}
+
+TEST(ByzantineSim, OracleViewPoisoningReflectsMembershipShare) {
+  // The oracle PSS samples the raw membership, so its poison fraction is
+  // exactly the Byzantine share of the other processes.
+  fault::AdversaryPlan plan;
+  plan.members({1, 2, 3, 4, 5});
+
+  ExperimentConfig config = attackedConfig(plan);
+  config.pss = PssKind::UniformOracle;
+  const ExperimentResult result = runExperiment(config);
+  EXPECT_NEAR(result.viewPoisonFraction, 5.0 / 49.0, 1e-9);
+}
+
+TEST(ByzantineSim, ConcentratedFloodIsShedByTheRateCap) {
+  fault::AdversaryPlan plan;
+  plan.members({0, 1})
+      .behaviors(fault::AdversaryBehaviors{.poisonPss = false,
+                                           .equivocate = false,
+                                           .forgeLineage = false,
+                                           .replayStale = false,
+                                           .flood = true})
+      .floodBallsPerRound(40)
+      .floodEventsPerBall(4);
+
+  ExperimentConfig config = attackedConfig(plan);
+  config.ingressRateCap = 8;
+  const ExperimentResult result = runExperiment(config);
+
+  EXPECT_GT(result.ingressStats.ballsRejectedRate, 0u);
+  EXPECT_TRUE(result.report.allPropertiesHold());
+}
+
+TEST(ByzantineSim, HardenedIngressIsInertOnAnHonestRun) {
+  ExperimentConfig config;
+  config.systemSize = 30;
+  config.broadcastProbability = 0.05;
+  config.broadcastRounds = 10;
+  config.hardenIngress = true;
+  config.seed = 13;
+  const ExperimentResult result = runExperiment(config);
+
+  // Honest traffic passes untouched: everything inspected, nothing cut.
+  EXPECT_GT(result.ingressStats.ballsInspected, 0u);
+  EXPECT_EQ(result.ingressStats.ballsRejected(), 0u);
+  EXPECT_EQ(result.ingressStats.eventsFiltered(), 0u);
+  EXPECT_TRUE(result.report.allPropertiesHold());
+}
+
+TEST(ByzantineSim, AdversaryRequiresCompatibleConfiguration) {
+  fault::AdversaryPlan plan;
+  plan.fraction(0.1);
+
+  ExperimentConfig baseline = attackedConfig(plan);
+  baseline.protocol = Protocol::BallsBinsBaseline;
+  EXPECT_THROW((void)runExperiment(baseline), util::ContractViolation);
+
+  ExperimentConfig logical = attackedConfig(plan);
+  logical.clockMode = ClockMode::Logical;
+  EXPECT_THROW((void)runExperiment(logical), util::ContractViolation);
+
+  ExperimentConfig churned = attackedConfig(plan);
+  churned.churnRate = 0.02;
+  EXPECT_THROW((void)runExperiment(churned), util::ContractViolation);
+}
+
+TEST(ByzantineSim, AttackedRunIsDeterministicInTheSeed) {
+  fault::AdversaryPlan plan;
+  plan.fraction(0.10).seed(7);
+
+  ExperimentConfig config = attackedConfig(plan);
+  config.pss = PssKind::Basalt;
+  const ExperimentResult a = runExperiment(config);
+  const ExperimentResult b = runExperiment(config);
+
+  EXPECT_EQ(a.report.broadcasts, b.report.broadcasts);
+  EXPECT_EQ(a.report.deliveries, b.report.deliveries);
+  EXPECT_EQ(a.report.delays.total(), b.report.delays.total());
+  EXPECT_EQ(a.roundsExecuted, b.roundsExecuted);
+  EXPECT_EQ(a.adversaryStats.floodBallsSent, b.adversaryStats.floodBallsSent);
+  EXPECT_EQ(a.adversaryStats.equivocations, b.adversaryStats.equivocations);
+  EXPECT_EQ(a.adversaryStats.ballsReplayed, b.adversaryStats.ballsReplayed);
+  EXPECT_EQ(a.ingressStats.ballsRejectedLineage,
+            b.ingressStats.ballsRejectedLineage);
+  EXPECT_EQ(a.ingressStats.eventsFilteredEquivocation,
+            b.ingressStats.eventsFilteredEquivocation);
+  EXPECT_EQ(a.viewPoisonFraction, b.viewPoisonFraction);
+  EXPECT_EQ(a.adversaryDeliveriesFiltered, b.adversaryDeliveriesFiltered);
+}
+
+}  // namespace
+}  // namespace epto::workload

@@ -33,6 +33,14 @@ eventid-order    No relational comparison of EventId / .id members.
                  OrderKey (timestamp, then id) — comparing ids where an
                  order key is meant silently breaks total order.
                  Sanctioned id-sorted merge/dedup sites are allowlisted.
+decoded-ball-trust
+                 No codec::decodeBall() calls outside the codec itself
+                 and the sanctioned ingress entry points (allowlisted).
+                 A decoded ball's fields (ttl, hop, originRound,
+                 incarnation, timestamps) are attacker-controlled bytes
+                 until core::IngressGuard has screened them (DESIGN.md
+                 §14); a new decode site is a new unguarded trust
+                 boundary.
 
 Allowlist
 ---------
@@ -96,6 +104,12 @@ RULES: tuple[Rule, ...] = (
         "eventid-order",
         re.compile(r"\.\s*id\s*(?:<=|>=|<(?![<=])|>(?![>=]))|\bEventId\b[^;{)\n]*[<>]=?\s*\w+\.id\b"),
         "relational comparison of EventId — delivery order is OrderKey, not id order",
+    ),
+    Rule(
+        "decoded-ball-trust",
+        re.compile(r"\bdecodeBall\s*\("),
+        "decodeBall outside the codec / sanctioned ingress — decoded fields are "
+        "untrusted until core::IngressGuard screens them",
     ),
 )
 
