@@ -255,6 +255,7 @@ bool runByzScenario(const ByzScenario& scenario, std::size_t n, BenchArgs& args)
 struct UdpBroadcast {
   std::size_t node = 0;
   std::size_t payloadBytes = 0;
+  QosClass qos = QosClass::Safe;
 };
 
 struct UdpScenario {
@@ -300,7 +301,7 @@ UdpScenarioResult runUdpScenario(UdpScenario& scenario, std::uint64_t seed,
   util::Rng payloadRng(seed ^ 0x5CE9A810u);
   cluster.start();
   for (const UdpBroadcast& b : scenario.broadcasts) {
-    cluster.broadcast(b.node, makePayload(b.payloadBytes, payloadRng));
+    cluster.broadcast(b.node, makePayload(b.payloadBytes, payloadRng), b.qos);
   }
   UdpScenarioResult result;
   result.quiescent = cluster.awaitQuiescence(std::chrono::seconds(60));
@@ -428,6 +429,28 @@ std::vector<UdpScenario> buildUdpScenarios() {
     s.options.reassemblyTtlRounds = 4;
     s.plan.burstLoss(/*start=*/0, /*end=*/60'000, 0.05);  // first 60 ms
     for (std::size_t i = 0; i < 5; ++i) s.broadcasts.push_back({i, 600});
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // Mid-run loss spike with the adaptive stack on: each node thread
+    // runs a FeedbackController (src/adapt) off its real ball-arrival
+    // shortfall and retunes TTL/K while the spike is live, and every
+    // broadcast is Fast-class with speculation enabled — the QoS byte
+    // travels in real datagrams (codec kFlagQos) and speculative
+    // emission races actual socket timing. Committed verdicts must stay
+    // green throughout; the controller and the preview channel are
+    // additive, never load-bearing.
+    UdpScenario s;
+    s.name = "udp_loss_spike_adaptive";
+    s.options.nodeCount = 6;
+    s.options.roundPeriod = 4ms;
+    s.options.adaptive = true;
+    s.options.adaptiveWorstCaseLoss = 0.15;
+    s.options.speculation = true;
+    s.plan.burstLoss(/*start=*/16'000, /*end=*/80'000, 0.10);  // spike mid-run
+    for (std::size_t i = 0; i < 6; ++i) {
+      s.broadcasts.push_back({i, 128, QosClass::Fast});
+    }
     scenarios.push_back(std::move(s));
   }
   return scenarios;

@@ -1,17 +1,32 @@
 #!/usr/bin/env python3
-"""Compare a fresh epto.bench.core/1 record against the checked-in baseline.
+"""Compare a fresh bench record against its checked-in baseline.
 
-Usage: check_regression.py <current.json> [baseline.json] [--threshold=0.25]
+Usage: check_regression.py <current.json> [baseline.json] [--threshold=R]
 
-Both files are JSONL; the LAST record in each file wins (runs append).
-Fails (exit 1) when any BM_OrderingRound variant's ns_per_op regressed by
-more than the threshold relative to the baseline. Other benchmarks are
-reported but do not gate: they are either too fast (noise dominates on
-shared CI runners) or covered indirectly by the fig-sweep wall clock.
+Both files are JSONL; the LAST record of a known schema wins (runs
+append). The schema of the current file picks the comparison mode, and
+the baseline must carry the same schema:
 
-The baseline lives in bench/perf/BENCH_core.json. Refresh it (rerun
-micro_core --bench-json on a quiet machine, commit the result) whenever
-an intentional change moves the numbers; see EXPERIMENTS.md,
+epto.bench.core/1 (micro_core)
+    Fails (exit 1) when any BM_OrderingRound variant's ns_per_op
+    regressed by more than the threshold (default 0.25) relative to the
+    baseline. Other benchmarks are reported but do not gate: they are
+    either too fast (noise dominates on shared CI runners) or covered
+    indirectly by the fig-sweep wall clock. Default baseline:
+    bench/perf/BENCH_core.json.
+
+epto.bench.figs/1 (figure / ablation harnesses)
+    Compares per-condition `deliveries` and `events` against the
+    baseline with the threshold as relative tolerance (default 0.10,
+    both directions — the sims are seeded, so a silent jump is as
+    suspicious as a drop). A condition present in the baseline but
+    missing from the current run fails; sim_ticks/rounds/wall clock are
+    reported upstream but not gated here. No default baseline — pass
+    the matching bench/perf/BENCH_<name>.json explicitly.
+
+Baselines live in bench/perf/. Refresh one (rerun the binary with
+--bench-json on a quiet machine, commit the result) whenever an
+intentional change moves the numbers; see EXPERIMENTS.md,
 "Performance methodology".
 """
 import json
@@ -19,10 +34,11 @@ import sys
 from pathlib import Path
 
 GATED_PREFIX = "BM_OrderingRound"
-DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_core.json"
+SCHEMAS = ("epto.bench.core/1", "epto.bench.figs/1")
+DEFAULT_CORE_BASELINE = Path(__file__).resolve().parent / "BENCH_core.json"
 
 
-def last_record(path):
+def last_record(path, schemas=SCHEMAS):
     record = None
     with open(path, encoding="utf-8") as fh:
         for line in fh:
@@ -30,26 +46,16 @@ def last_record(path):
             if not line:
                 continue
             parsed = json.loads(line)
-            if parsed.get("schema") == "epto.bench.core/1":
+            if parsed.get("schema") in schemas:
                 record = parsed
     if record is None:
-        raise SystemExit(f"{path}: no epto.bench.core/1 record found")
-    return {b["name"]: b for b in record["benchmarks"]}
+        raise SystemExit(f"{path}: no record with schema in {schemas} found")
+    return record
 
 
-def main(argv):
-    threshold = 0.25
-    positional = []
-    for arg in argv[1:]:
-        if arg.startswith("--threshold="):
-            threshold = float(arg.split("=", 1)[1])
-        else:
-            positional.append(arg)
-    if not positional:
-        raise SystemExit(__doc__)
-    current = last_record(positional[0])
-    baseline = last_record(positional[1] if len(positional) > 1 else DEFAULT_BASELINE)
-
+def check_core(current, baseline, threshold):
+    current = {b["name"]: b for b in current["benchmarks"]}
+    baseline = {b["name"]: b for b in baseline["benchmarks"]}
     failed = False
     for name, base in sorted(baseline.items()):
         cur = current.get(name)
@@ -72,6 +78,60 @@ def main(argv):
         return 1
     print("\nPASS: no gated regression")
     return 0
+
+
+def check_figs(current, baseline, threshold):
+    current_conditions = {c["label"]: c for c in current["conditions"]}
+    failed = False
+    for base in baseline["conditions"]:
+        label = base["label"]
+        cur = current_conditions.get(label)
+        if cur is None:
+            print(f"MISSING    {label}: in baseline but not in current run")
+            failed = True
+            continue
+        for field in ("events", "deliveries"):
+            base_v, cur_v = base.get(field, 0), cur.get(field, 0)
+            if base_v == 0:
+                drifted = cur_v != 0
+            else:
+                drifted = abs(cur_v - base_v) > threshold * base_v
+            verdict = "DRIFT" if drifted else "ok"
+            failed = failed or drifted
+            print(f"{verdict:10s} {label}.{field}: {base_v} -> {cur_v}")
+    if failed:
+        print(f"\nFAIL: condition counts drifted more than {threshold:.0%} "
+              f"from the checked-in baseline (seeded runs should be stable)")
+        return 1
+    print("\nPASS: all conditions within tolerance")
+    return 0
+
+
+def main(argv):
+    threshold = None
+    positional = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            positional.append(arg)
+    if not positional:
+        raise SystemExit(__doc__)
+    current = last_record(positional[0])
+    schema = current["schema"]
+    if len(positional) > 1:
+        baseline_path = positional[1]
+    elif schema == "epto.bench.core/1":
+        baseline_path = DEFAULT_CORE_BASELINE
+    else:
+        raise SystemExit(
+            f"{positional[0]}: schema {schema} has no default baseline — "
+            "pass the matching bench/perf/BENCH_<name>.json")
+    baseline = last_record(baseline_path, schemas=(schema,))
+
+    if schema == "epto.bench.core/1":
+        return check_core(current, baseline, 0.25 if threshold is None else threshold)
+    return check_figs(current, baseline, 0.10 if threshold is None else threshold)
 
 
 if __name__ == "__main__":

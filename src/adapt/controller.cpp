@@ -1,0 +1,139 @@
+#include "adapt/controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/trace.h"
+#include "util/ensure.h"
+
+namespace epto::adapt {
+
+namespace {
+
+/// Pack a [lower, upper] pair into one trace word (lower in the low 32
+/// bits, upper in the high 32). tools/epto_trace.py unpacks these to
+/// check every retune against the Lemma-safe envelope. maybe_unused:
+/// with EPTO_TRACE=OFF the only call site compiles away.
+[[maybe_unused]] std::uint64_t packBounds(std::uint64_t lower, std::uint64_t upper) {
+  return (upper << 32) | (lower & 0xffffffffULL);
+}
+
+/// The worst environment the controller plans for: the provisioned
+/// inputs with the loss rate folded into drift (Lemma 5 equivalence —
+/// relay rounds that fail with probability eps stretch effective round
+/// duration by 1/(1-eps), which is exactly what driftRatio models).
+analysis::ParameterInputs effectiveWorstCase(const analysis::ParameterInputs& worstCase) {
+  analysis::ParameterInputs effective = worstCase;
+  effective.driftRatio = worstCase.driftRatio / (1.0 - worstCase.messageLossRate);
+  return effective;
+}
+
+}  // namespace
+
+FeedbackController::FeedbackController(const ControllerConfig& config)
+    : config_(config), bounds_(analysis::lemmaSafeBounds(effectiveWorstCase(config.worstCase))) {
+  EPTO_ENSURE_MSG(config_.hysteresisRounds >= 1, "hysteresis must cover at least 1 round");
+  EPTO_ENSURE_MSG(config_.smoothing > 0.0 && config_.smoothing <= 1.0,
+                  "EWMA smoothing factor must be in (0, 1]");
+  EPTO_ENSURE_MSG(config_.initialLossRate >= 0.0 &&
+                      config_.initialLossRate <= config_.worstCase.messageLossRate,
+                  "initial loss assumption must sit inside the provisioned envelope");
+  ewmaLoss_ = config_.initialLossRate;
+  const analysis::Parameters start = targetFor(ewmaLoss_);
+  ttl_ = config_.initialTtl != 0
+             ? std::clamp(config_.initialTtl, bounds_.lower.ttl, bounds_.upper.ttl)
+             : start.ttl;
+  fanout_ = config_.initialFanout != 0
+                ? std::clamp(config_.initialFanout, bounds_.lower.fanout, bounds_.upper.fanout)
+                : start.fanout;
+}
+
+analysis::Parameters FeedbackController::targetFor(double lossRate) const {
+  const double loss = std::clamp(lossRate, 0.0, config_.worstCase.messageLossRate);
+  analysis::ParameterInputs inputs = config_.worstCase;
+  inputs.messageLossRate = loss;
+  inputs.driftRatio = config_.worstCase.driftRatio / (1.0 - loss);
+  analysis::Parameters target = analysis::computeParameters(inputs);
+  target.ttl = std::clamp(target.ttl, bounds_.lower.ttl, bounds_.upper.ttl);
+  target.fanout = std::clamp(target.fanout, bounds_.lower.fanout, bounds_.upper.fanout);
+  return target;
+}
+
+Decision FeedbackController::onRound(const RoundSignals& signals) {
+  ++rounds_;
+
+  // 1. Sense: fold this round's loss sample into the EWMA. Idle rounds
+  //    (no balls, no hint) leave the estimate untouched.
+  bool haveSample = false;
+  double sample = 0.0;
+  if (signals.lossHint >= 0.0) {
+    sample = std::clamp(signals.lossHint, 0.0, 0.95);
+    haveSample = true;
+  } else if (signals.ballsReceived > 0.0 && fanout_ >= 1) {
+    // Deliberately NOT floored at zero: ball arrivals are noisy
+    // (~Poisson around K(1-eps)), so surplus rounds must be allowed to
+    // pull the EWMA down by as much as shortfall rounds pull it up —
+    // flooring the sample would bias the estimate above the true loss
+    // and wind the knobs to the ceiling. targetFor() clamps the
+    // *estimate* into [0, worstCase] where it matters.
+    const double shortfall =
+        std::max(-1.0, 1.0 - signals.ballsReceived / static_cast<double>(fanout_));
+    // A shortfall far beyond the provisioned envelope cannot be link
+    // loss (the controller never compensates past worstCase anyway); it
+    // is traffic starvation — a drain tail, a quiescent workload — and
+    // folding it in would wind the estimate to the ceiling and keep it
+    // there. Reject the sample instead.
+    if (shortfall <= std::min(0.95, 3.0 * config_.worstCase.messageLossRate)) {
+      sample = shortfall;
+      haveSample = true;
+    }
+  }
+  if (haveSample) {
+    ewmaLoss_ = (1.0 - config_.smoothing) * ewmaLoss_ + config_.smoothing * sample;
+  }
+
+  // 2. Decide: where the analysis says we should be at the current
+  //    estimate, clamped into the Lemma-safe envelope.
+  const analysis::Parameters target = targetFor(ewmaLoss_);
+
+  // 3. Actuate: one +-1 step per knob per round, and only after the
+  //    target has pulled the same way for hysteresisRounds in a row.
+  const auto step = [&](auto& value, const auto target_value, std::uint32_t& up,
+                        std::uint32_t& down) -> bool {
+    if (target_value > value) {
+      down = 0;
+      if (++up >= config_.hysteresisRounds) {
+        up = 0;
+        ++value;
+        return true;
+      }
+    } else if (target_value + 1 < value) {
+      // Shrink reluctantly: growing is a safety move, shrinking only
+      // saves bandwidth, so a knob sits one notch above a noisy target
+      // rather than oscillating across its boundary.
+      up = 0;
+      if (++down >= config_.hysteresisRounds) {
+        down = 0;
+        --value;
+        return true;
+      }
+    } else {
+      up = 0;
+      down = 0;
+    }
+    return false;
+  };
+
+  bool changed = step(ttl_, target.ttl, ttlUp_, ttlDown_);
+  changed = step(fanout_, target.fanout, fanoutUp_, fanoutDown_) || changed;
+  if (changed) {
+    ++retunes_;
+    EPTO_TRACE_EVENT(Retune, .node = config_.self, .round = rounds_, .ttl = ttl_,
+                     .size = packBounds(bounds_.lower.ttl, bounds_.upper.ttl),
+                     .aux = packBounds(bounds_.lower.fanout, bounds_.upper.fanout),
+                     .detail = static_cast<std::uint8_t>(std::min<std::size_t>(fanout_, 0xff)));
+  }
+  return Decision{ttl_, fanout_, changed};
+}
+
+}  // namespace epto::adapt

@@ -1,0 +1,122 @@
+// Online TTL/K feedback control — ROADMAP item 3, DESIGN.md §15.
+//
+// The paper derives K and TTL once, at provisioning time, from an assumed
+// environment (Lemmas 3-7). A deployment tuned for 1% loss silently
+// sheds its probabilistic guarantee when loss spikes to 10% — and
+// overpays fanout bandwidth whenever the network is healthier than
+// assumed. The FeedbackController closes that loop per process, each
+// round, with no coordination:
+//
+//   signal    balls received per round. Every correct process relays one
+//             ball to K peers per active round, so a node expects K
+//             arrivals; the shortfall is an unbiased per-round estimate
+//             of the effective loss rate (smoothed by an EWMA, idle
+//             rounds skipped). A substrate that measures loss directly
+//             may pass it as lossHint instead.
+//   target    analysis::computeParameters at the observed loss. Loss is
+//             fed in twice: as the Lemma 7 epsilon for K, and as a
+//             Lemma 5 drift equivalence for TTL — a process whose relay
+//             transmissions fail with probability eps makes epidemic
+//             progress as if its round duration were delta/(1-eps), so
+//             the TTL budget stretches by the same 1/(1-eps) factor.
+//   actuate   one +-1 step per knob at most, only after the target has
+//             pointed the same way for `hysteresisRounds` consecutive
+//             rounds, and always clamped inside analysis::lemmaSafeBounds
+//             of the provisioned worst case. The controller is therefore
+//             deterministic (same signal sequence -> same decisions),
+//             oscillation-damped, and can never leave the Lemma-safe
+//             envelope no matter how wild the signals get.
+//
+// The current values are exported as `epto_adapt_ttl` / `epto_adapt_k`
+// gauges via MetricsSnapshot, and every actuation emits a Retune trace
+// record carrying the new values and the packed bounds, which
+// tools/epto_trace.py checks retunes against.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/parameters.h"
+#include "core/types.h"
+
+namespace epto::adapt {
+
+struct ControllerConfig {
+  /// Worst-case environment the deployment is provisioned for; defines
+  /// the Lemma-safe envelope the controller may move within. Its
+  /// messageLossRate is the worst loss adaptation will compensate.
+  analysis::ParameterInputs worstCase;
+  /// Loss rate assumed at startup (the static tuning point the
+  /// controller starts from), in [0, worstCase.messageLossRate].
+  double initialLossRate = 0.0;
+  /// Explicit starting values (0 = derive both from initialLossRate).
+  /// Clamped into the Lemma-safe bounds, so a manual override outside
+  /// the envelope starts at the nearest safe point.
+  std::uint32_t initialTtl = 0;
+  std::size_t initialFanout = 0;
+  /// Consecutive rounds the target must disagree with the current value,
+  /// in the same direction, before a +-1 step is taken.
+  std::uint32_t hysteresisRounds = 3;
+  /// EWMA factor applied to each round's loss sample, in (0, 1].
+  double smoothing = 0.2;
+  /// Owning process id, used only to label Retune trace events.
+  ProcessId self = 0;
+};
+
+/// One round of observed signals. Defaults mean "nothing observed".
+struct RoundSignals {
+  /// Balls received this round (the redundancy signal). Rounds with zero
+  /// arrivals are treated as idle and do not update the loss estimate —
+  /// a quiescent system is indistinguishable from total loss by this
+  /// signal alone, and raising K on quiescence would be wrong.
+  double ballsReceived = 0.0;
+  /// Direct loss estimate in [0, 1) when the substrate has one
+  /// (e.g. counted send failures); negative = unknown, derive the
+  /// estimate from ballsReceived.
+  double lossHint = -1.0;
+};
+
+struct Decision {
+  std::uint32_t ttl = 0;
+  std::size_t fanout = 0;
+  bool changed = false;  ///< true when this round stepped either knob.
+};
+
+class FeedbackController {
+ public:
+  explicit FeedbackController(const ControllerConfig& config);
+
+  /// Ingest one round of signals; returns the parameters to run with
+  /// from the next round on. Call Process::retune when `changed`.
+  Decision onRound(const RoundSignals& signals);
+
+  [[nodiscard]] const analysis::ParameterBounds& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Smoothed loss estimate. May dip below zero (surplus rounds are
+  /// folded in unfloored to keep the EWMA unbiased); targetFor() clamps.
+  [[nodiscard]] double lossEstimate() const noexcept { return ewmaLoss_; }
+  [[nodiscard]] std::uint32_t ttl() const noexcept { return ttl_; }
+  [[nodiscard]] std::size_t fanout() const noexcept { return fanout_; }
+  [[nodiscard]] std::uint64_t retunes() const noexcept { return retunes_; }
+
+  /// The per-round target for a given loss estimate, already clamped
+  /// into the Lemma-safe bounds. Exposed for tests (round-trip agreement
+  /// between controller steps and the analysis envelope).
+  [[nodiscard]] analysis::Parameters targetFor(double lossRate) const;
+
+ private:
+  ControllerConfig config_;
+  analysis::ParameterBounds bounds_;
+  double ewmaLoss_ = 0.0;
+  std::uint64_t rounds_ = 0;
+  std::uint32_t ttl_ = 0;
+  std::size_t fanout_ = 0;
+  /// Consecutive rounds the target has pointed up/down per knob.
+  std::uint32_t ttlUp_ = 0;
+  std::uint32_t ttlDown_ = 0;
+  std::uint32_t fanoutUp_ = 0;
+  std::uint32_t fanoutDown_ = 0;
+  std::uint64_t retunes_ = 0;
+};
+
+}  // namespace epto::adapt

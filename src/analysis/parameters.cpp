@@ -64,4 +64,40 @@ Parameters computeParameters(const ParameterInputs& in) {
   return Parameters{k, static_cast<std::uint32_t>(ttl)};
 }
 
+double stabilityEstimate(const StabilityInputs& in) {
+  EPTO_ENSURE_MSG(in.systemSize >= 2, "stability estimate needs at least two processes");
+  EPTO_ENSURE_MSG(in.fanout >= 1, "stability estimate needs fanout >= 1");
+  EPTO_ENSURE_MSG(in.messageLossRate >= 0.0 && in.messageLossRate < 1.0,
+                  "message loss rate must be in [0, 1)");
+
+  const double n = static_cast<double>(in.systemSize);
+  // Effective per-round relay rate: each infected process pushes K
+  // copies, each surviving the network with probability 1 - eps.
+  const double rate =
+      static_cast<double>(in.fanout) * (1.0 - in.messageLossRate);
+
+  // Observed redundancy seeds the infected mass: the origin plus one
+  // distinct relayer per duplicate copy absorbed.
+  double f = std::min(1.0, static_cast<double>(std::max<std::uint64_t>(1, in.copiesSeen)) / n);
+  for (std::uint32_t round = 0; round < in.age; ++round) {
+    if (f >= 1.0) break;
+    f += (1.0 - f) * (1.0 - std::exp(-rate * f));
+  }
+  return std::clamp(f, 0.0, 1.0);
+}
+
+ParameterBounds lemmaSafeBounds(const ParameterInputs& worstCase) {
+  ParameterInputs healthy = worstCase;
+  healthy.messageLossRate = 0.0;
+  healthy.churnPerRound = 0.0;
+  healthy.driftRatio = 1.0;
+  ParameterBounds bounds{computeParameters(healthy), computeParameters(worstCase)};
+  // Composition can only widen the parameters (every Lemma 4-7 factor is
+  // >= 1), so the envelope is well-formed by construction.
+  EPTO_ENSURE_MSG(bounds.lower.fanout <= bounds.upper.fanout &&
+                      bounds.lower.ttl <= bounds.upper.ttl,
+                  "Lemma-safe bounds must nest");
+  return bounds;
+}
+
 }  // namespace epto::analysis

@@ -58,4 +58,50 @@ struct Parameters {
 /// degenerate inputs (n < 2, c <= 1, loss rate >= 1, churn >= n).
 [[nodiscard]] Parameters computeParameters(const ParameterInputs& inputs);
 
+/// Inputs to the §8.4 per-event stability estimate.
+struct StabilityInputs {
+  std::size_t systemSize = 0;    ///< n (or the n_max bound).
+  std::size_t fanout = 0;        ///< K actually in use.
+  double messageLossRate = 0.0;  ///< epsilon actually assumed.
+  std::uint32_t age = 0;         ///< rounds since the event's (virtual) birth.
+  std::uint64_t copiesSeen = 1;  ///< relay copies this process has absorbed.
+};
+
+/// Estimated probability, in [0, 1], that an event of the given age is
+/// already stable — i.e. that its dissemination has effectively
+/// saturated the system, so no copy with a smaller order key is still
+/// in flight behind it.
+///
+/// The estimate runs the push-epidemic round recursion underlying
+/// Theorem 2: with infected fraction f, a susceptible process misses
+/// all ~n*f*K*(1-eps) relays of a round with probability
+/// e^{-K(1-eps)f}, so
+///     f' = f + (1 - f) * (1 - e^{-K(1-eps)f})
+/// iterated `age` times from f0 = max(1, copiesSeen)/n. Observed
+/// redundancy raises the starting mass: each duplicate copy absorbed is
+/// direct evidence of another infected relayer. The result is monotone
+/// non-decreasing in age, copiesSeen and fanout, non-increasing in
+/// messageLossRate, and reaches ~1 well before the Lemma 3 TTL — which
+/// is exactly the whp statement the TTL is derived from.
+[[nodiscard]] double stabilityEstimate(const StabilityInputs& inputs);
+
+/// Envelope within which an online controller may retune K/TTL without
+/// leaving the Lemma 3-7 safe region.
+struct ParameterBounds {
+  /// Parameters for a healthy network: the given inputs with loss,
+  /// churn zeroed and drift at 1.0. Floor of the adaptation range —
+  /// tuning below this violates Lemma 3 even on a perfect network.
+  Parameters lower;
+  /// Parameters at the configured worst case (the inputs as given).
+  /// Ceiling of the adaptation range — nothing past this is ever
+  /// needed for the guarantee the deployment asked for.
+  Parameters upper;
+};
+
+/// Lemma-safe adaptation bounds for the given worst-case environment.
+/// Structural inputs (systemSize, c, logicalTime, latencyBelowRound)
+/// apply to both ends; only the transient network terms (loss, churn,
+/// drift) are relaxed for the lower bound.
+[[nodiscard]] ParameterBounds lemmaSafeBounds(const ParameterInputs& worstCase);
+
 }  // namespace epto::analysis

@@ -35,15 +35,26 @@ std::vector<std::byte> encodeBall(const Ball& ball, EncodeOptions options) {
   std::vector<std::byte> out;
   // Rough reservation: header + ~12 bytes per event (+ lineage) + payloads.
   std::size_t payloadTotal = 0;
+  bool anyFast = false;
   for (const Event& event : ball) {
     if (event.payload != nullptr) payloadTotal += event.payload->size();
+    if (event.qos == QosClass::Fast) anyFast = true;
   }
-  out.reserve(9 + ball.size() * (options.lineage ? 18 : 12) + payloadTotal);
+  // The qos flag bit is demand-driven: a Safe-only ball encodes exactly
+  // as it would with qos disabled (see kFlagQos).
+  const bool carryQos = options.qos && anyFast;
+  const bool v2 = options.lineage || carryQos;
+  out.reserve(9 + ball.size() * (options.lineage ? 19 : 13) + payloadTotal);
 
   out.push_back(static_cast<std::byte>(kMagic & 0xFF));
   out.push_back(static_cast<std::byte>(kMagic >> 8));
-  out.push_back(static_cast<std::byte>(options.lineage ? kVersionLineage : kVersion));
-  if (options.lineage) out.push_back(static_cast<std::byte>(kFlagLineage));
+  out.push_back(static_cast<std::byte>(v2 ? kVersionLineage : kVersion));
+  if (v2) {
+    std::uint8_t flags = 0;
+    if (options.lineage) flags |= kFlagLineage;
+    if (carryQos) flags |= kFlagQos;
+    out.push_back(static_cast<std::byte>(flags));
+  }
   putVarint(out, ball.size());
   for (const Event& event : ball) {
     putVarint(out, event.id.source);
@@ -54,6 +65,9 @@ std::vector<std::byte> encodeBall(const Ball& ball, EncodeOptions options) {
       putVarint(out, event.hop);
       putVarint(out, event.originRound);
       putVarint(out, event.incarnation);
+    }
+    if (carryQos) {
+      out.push_back(static_cast<std::byte>(static_cast<std::uint8_t>(event.qos)));
     }
     if (event.payload != nullptr) {
       putVarint(out, event.payload->size());
@@ -104,15 +118,17 @@ DecodeResult decodeBall(std::span<const std::byte> frame) {
     return fail(DecodeError::BadVersion);
   }
   bool lineage = false;
+  bool qos = false;
   if (*version == kVersionLineage) {
     const auto flags = reader.readByte();
     if (!flags.has_value()) return fail(DecodeError::Truncated);
     // Unknown flag bits change the per-event layout, so they cannot be
     // skipped over — reject rather than misparse.
-    if ((static_cast<std::uint8_t>(*flags) & ~kFlagLineage) != 0) {
+    if ((static_cast<std::uint8_t>(*flags) & ~(kFlagLineage | kFlagQos)) != 0) {
       return fail(DecodeError::BadVersion);
     }
     lineage = (static_cast<std::uint8_t>(*flags) & kFlagLineage) != 0;
+    qos = (static_cast<std::uint8_t>(*flags) & kFlagQos) != 0;
   }
 
   const auto count = reader.readVarint();
@@ -157,6 +173,16 @@ DecodeResult decodeBall(std::span<const std::byte> frame) {
       event.hop = static_cast<std::uint16_t>(*hop);
       event.originRound = static_cast<std::uint32_t>(*originRound);
       event.incarnation = static_cast<std::uint16_t>(*incarnation);
+    }
+    if (qos) {
+      const auto qosByte = reader.readByte();
+      if (!qosByte.has_value()) return fail(DecodeError::Truncated);
+      // Only the two defined classes are valid; anything else is a
+      // layout we do not understand, not data to be clamped.
+      if (static_cast<std::uint8_t>(*qosByte) > static_cast<std::uint8_t>(QosClass::Fast)) {
+        return fail(DecodeError::BadVersion);
+      }
+      event.qos = static_cast<QosClass>(*qosByte);
     }
     const auto payloadLen = reader.readVarint();
     if (!payloadLen.has_value()) return fail(DecodeError::BadVarint);

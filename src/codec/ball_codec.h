@@ -4,7 +4,8 @@
 //
 //   magic      u16-LE     0xE970 ("EpTO")
 //   version    u8         1 or 2
-//   flags      u8         version 2 only; bit 0 = per-event lineage
+//   flags      u8         version 2 only; bit 0 = per-event lineage,
+//                         bit 1 = per-event QoS class
 //   count      varint     number of events
 //   events     count x {
 //     source      varint
@@ -14,6 +15,7 @@
 //     hop         varint   only with the lineage flag
 //     originRound varint   only with the lineage flag
 //     incarnation varint   only with the lineage flag
+//     qos         u8       only with the qos flag; 0 = Safe, 1 = Fast
 //     payloadLen  varint
 //     payload     payloadLen raw bytes
 //   }
@@ -51,6 +53,11 @@ inline constexpr std::uint8_t kVersionLineage = 2;
 /// Version-2 flags byte, bit 0: events carry {hop, originRound,
 /// incarnation} varints between ttl and payloadLen.
 inline constexpr std::uint8_t kFlagLineage = 0x01;
+/// Version-2 flags byte, bit 1: events carry a QoS class byte just
+/// before payloadLen. The encoder sets this bit only when the ball
+/// actually contains a Fast-class event, so all-Safe traffic stays
+/// byte-identical whether or not the sender has QoS enabled.
+inline constexpr std::uint8_t kFlagQos = 0x02;
 
 enum class DecodeError : std::uint8_t {
   None,
@@ -69,6 +76,12 @@ struct EncodeOptions {
   /// Emit a version-2 frame carrying per-event lineage. Off emits the
   /// version-1 frame older decoders understand.
   bool lineage = false;
+  /// Allow the frame to carry per-event QoS classes. Even when on, the
+  /// qos flag bit (and the per-event byte) appears only in frames that
+  /// contain at least one Fast event — a ball of Safe events encodes
+  /// byte-identically with qos on or off, so enabling speculation on a
+  /// sender does not perturb the wire traffic of Safe-only workloads.
+  bool qos = false;
 };
 
 /// Serialize a ball into a self-contained frame. The single-argument

@@ -20,12 +20,22 @@ Config Config::forSystemSize(std::size_t systemSize, ClockMode mode,
   config.fanout = params.fanout;
   config.ttl = params.ttl;
   config.clockMode = mode;
+  config.stabilityModel.systemSize = systemSize;
+  config.stabilityModel.fanout = params.fanout;
+  config.stabilityModel.messageLossRate = robustness.messageLossRate;
   return config;
 }
 
 void Config::validate() const {
   EPTO_ENSURE_MSG(fanout >= 1, "Config.fanout must be at least 1");
   EPTO_ENSURE_MSG(ttl >= 1, "Config.ttl must be at least 1");
+  if (speculation.enabled) {
+    EPTO_ENSURE_MSG(speculation.confidenceThreshold > 0.0 &&
+                        speculation.confidenceThreshold <= 1.0,
+                    "Config.speculation.confidenceThreshold must be in (0, 1]");
+    EPTO_ENSURE_MSG(speculation.maxWindow >= 1,
+                    "Config.speculation.maxWindow must be at least 1");
+  }
 }
 
 }  // namespace epto

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "analysis/parameters.h"
+#include "core/types.h"
 
 namespace epto {
 
@@ -30,6 +31,18 @@ struct Robustness {
   bool latencyBelowRound = false;  ///< Lemma 6 extra round.
 };
 
+/// §8.4 speculative delivery (core/speculation.h, DESIGN.md §15).
+struct Speculation {
+  /// Off by default: with speculation disabled the Process contains no
+  /// speculative state and its committed output is byte-identical to a
+  /// pre-speculation build.
+  bool enabled = false;
+  /// Minimum stability confidence to emit a Fast-class event early.
+  double confidenceThreshold = 0.9;
+  /// Speculated-but-unresolved events held at once.
+  std::size_t maxWindow = 64;
+};
+
 struct Config {
   std::size_t fanout = 0;   ///< K — gossip targets per round.
   std::uint32_t ttl = 0;    ///< TTL — relay rounds / stability age.
@@ -42,6 +55,15 @@ struct Config {
   /// duplicate suppression; 0 = remember forever. Ignored unless
   /// tagOutOfOrder is set.
   std::uint32_t deliveredRetentionRounds = 0;
+
+  /// §8.4 speculative-delivery channel.
+  Speculation speculation;
+
+  /// Environment model behind StabilityOracle::stabilityEstimate.
+  /// forSystemSize fills systemSize/fanout/messageLossRate; drivers add
+  /// ticksPerRound for global-clock deployments. An unset model (all
+  /// zeros) keeps the estimate on its age/horizon fallback.
+  StabilityModel stabilityModel;
 
   /// Derive K and TTL for a system of (up to) `systemSize` processes.
   [[nodiscard]] static Config forSystemSize(std::size_t systemSize, ClockMode mode,

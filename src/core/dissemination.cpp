@@ -34,13 +34,20 @@ void DisseminationComponent::startSequenceAt(std::uint32_t first) {
   nextSequence_ = first;
 }
 
+void DisseminationComponent::retune(std::size_t fanout, std::uint32_t ttl) {
+  EPTO_ENSURE_MSG(fanout >= 1, "fanout K must be at least 1");
+  EPTO_ENSURE_MSG(ttl >= 1, "TTL must be at least 1");
+  options_.fanout = fanout;
+  options_.ttl = ttl;
+}
+
 void DisseminationComponent::setIncarnation(std::uint16_t incarnation) {
   EPTO_ENSURE_MSG(stats_.broadcasts == 0,
                   "incarnation only settable before the first broadcast");
   incarnation_ = incarnation;
 }
 
-Event DisseminationComponent::broadcast(PayloadPtr payload) {
+Event DisseminationComponent::broadcast(PayloadPtr payload, QosClass qos) {
   // Alg. 1 lines 6-10.
   Event event;
   event.ts = oracle_.getClock();
@@ -49,6 +56,7 @@ Event DisseminationComponent::broadcast(PayloadPtr payload) {
   event.originRound = static_cast<std::uint32_t>(stats_.rounds);
   event.hop = 0;
   event.incarnation = incarnation_;
+  event.qos = qos;
   event.payload = std::move(payload);
   // Own sequence numbers ascend, so the insertion point is almost always
   // the tail; the id-equal branch mirrors the former insert_or_assign

@@ -68,8 +68,15 @@ class DisseminationComponent {
 
   /// EpTO-broadcast: timestamp the payload with the oracle clock and
   /// queue it for relaying. Returns the newly created event (ttl = 0) so
-  /// the caller knows its id, timestamp and order key.
-  Event broadcast(PayloadPtr payload);
+  /// the caller knows its id, timestamp and order key. The QoS class
+  /// rides along unexamined — dissemination treats Fast and Safe events
+  /// identically.
+  Event broadcast(PayloadPtr payload, QosClass qos = QosClass::Safe);
+
+  /// Move fanout and TTL online (Process::retune). Takes effect from the
+  /// next round; events already queued keep their accumulated ttl, so a
+  /// TTL reduction simply expires them sooner at the receivers.
+  void retune(std::size_t fanout, std::uint32_t ttl);
 
   /// Network receive callback for one incoming ball.
   void onBall(const Ball& ball);

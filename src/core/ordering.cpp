@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/speculation.h"
 #include "obs/latency.h"
 #include "obs/trace.h"
 #include "util/ensure.h"
@@ -36,6 +37,11 @@ void OrderingComponent::orderEvents(const Ball& ball) {
   // Alg. 2 lines 15-30: deliver what is stable and unobstructed.
   deliverBatch();
 
+  // §8.4: after the committed frontier settled for the round, emit what
+  // the epidemic model already trusts. Strictly additive — nothing the
+  // speculative scan does feeds back into the structures above.
+  if (options_.speculation != nullptr) speculateAhead();
+
   if (options_.tagOutOfOrder && options_.deliveredRetentionRounds != 0) {
     pruneDeliveredMemory();
   }
@@ -46,6 +52,7 @@ Event OrderingComponent::materialize(const OrderKey& key, const Pending& pending
   event.id = EventId{key.source, key.sequence};
   event.ts = key.ts;
   event.ttl = derivedTtl(pending.birthRound);
+  event.qos = pending.qos;
   event.payload = pending.payload;
   return event;
 }
@@ -59,6 +66,7 @@ void OrderingComponent::absorb(const Event& event) {
   if (const auto hit = receivedIndex_.find(event.id.packed());
       hit != receivedIndex_.end()) {
     Pending& pending = *hit->second;
+    ++pending.copies;
     if (birth < pending.birthRound) {
       EPTO_TRACE_EVENT(TtlMerge, .node = options_.self, .round = stats_.rounds,
                        .event = event.id, .ts = event.ts, .ttl = event.ttl,
@@ -104,9 +112,17 @@ void OrderingComponent::absorb(const Event& event) {
   // Alg. 2 lines 10-14, first copy: the index miss above proved the id is
   // not queued, so this insert cannot collide.
   const auto [it, inserted] =
-      received_.try_emplace(key, Pending{birth, currentRoundClock_, event.payload});
+      received_.try_emplace(key, Pending{birth, currentRoundClock_, 0, event.qos,
+                                         event.payload});
   EPTO_ENSURE_MSG(inserted, "received index out of sync with the ordered map");
   receivedIndex_.emplace(event.id.packed(), &it->second);
+
+  // §8.4: a fresh key behind the speculation frontier falsifies the
+  // projection that speculated past it — revoke the displaced suffix at
+  // the earliest knowable moment.
+  if (options_.speculation != nullptr) {
+    options_.speculation->onFreshEvent(key, stats_.rounds);
+  }
 }
 
 void OrderingComponent::deliverBatch() {
@@ -155,12 +171,16 @@ void OrderingComponent::deliverBatch() {
     event.ttl = derivedTtl(it->second.birthRound);
     if (!oracle_.isDeliverable(event)) break;
 
+    event.qos = it->second.qos;
     event.payload = std::move(it->second.payload);
     const Timestamp firstSeen = it->second.firstSeenClock;
     const std::int64_t birth = it->second.birthRound;
     receivedIndex_.erase(event.id.packed());
     received_.erase(it);
     lastDelivered_ = event.orderKey();
+    if (options_.speculation != nullptr) {
+      options_.speculation->onCommit(*lastDelivered_, stats_.rounds);
+    }
     if (options_.tagOutOfOrder) rememberDelivered(event.id);
     ++stats_.deliveredOrdered;
     if (traceDelivery) {
@@ -195,6 +215,27 @@ void OrderingComponent::deliverBatch() {
       options_.latency->observe(options_.self, event.id, sample);
     }
     deliver_(event, DeliveryTag::Ordered);
+  }
+}
+
+void OrderingComponent::speculateAhead() {
+  SpeculationChannel& spec = *options_.speculation;
+  // Resume the key-order scan beyond what is already speculated; with an
+  // empty window the scan starts right past the committed frontier.
+  auto it = received_.begin();
+  if (const auto frontier = spec.frontier(); frontier.has_value()) {
+    it = received_.upper_bound(*frontier);
+  }
+  while (it != received_.end() && spec.hasCapacity()) {
+    // Only Fast-class events may jump the committed frontier, and the
+    // speculative stream is emitted in key order, so the first event
+    // that cannot be emitted — Safe class or not yet confident enough —
+    // ends the round's scan.
+    if (it->second.qos != QosClass::Fast) break;
+    const Event event = materialize(it->first, it->second);
+    const double confidence = oracle_.stabilityEstimate(event, it->second.copies);
+    if (!spec.offer(event, confidence, it->second.copies, stats_.rounds)) break;
+    ++it;
   }
 }
 

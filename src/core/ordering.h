@@ -59,6 +59,8 @@ class LatencyRecorder;
 
 namespace epto {
 
+class SpeculationChannel;
+
 /// Counters exposed for tests, benches and operational visibility.
 struct OrderingStats {
   std::uint64_t rounds = 0;               ///< orderEvents invocations.
@@ -92,6 +94,13 @@ class OrderingComponent {
     /// reports its dissemination/stability-wait/ordering-wait split
     /// (obs/latency.h). Null costs one predictable branch per delivery.
     obs::LatencyRecorder* latency = nullptr;
+    /// §8.4 speculative-delivery channel (core/speculation.h); null =
+    /// off. When set, each round additionally offers Fast-class events
+    /// beyond the committed frontier, in key order, to the channel with
+    /// their stability confidence, and notifies it of fresh absorptions
+    /// (revocation) and committed deliveries (confirmation). The
+    /// committed total-order path is identical either way.
+    SpeculationChannel* speculation = nullptr;
   };
 
   /// The oracle must outlive the component. Deliveries are synchronous,
@@ -129,6 +138,10 @@ class OrderingComponent {
     /// Oracle clock at the round this node first absorbed the event —
     /// the boundary between dissemination time and stability wait.
     Timestamp firstSeenClock = 0;
+    /// Duplicate copies absorbed beyond the first — the relay-redundancy
+    /// evidence behind the per-event stability estimate.
+    std::uint32_t copies = 0;
+    QosClass qos = QosClass::Safe;
     PayloadPtr payload;
   };
 
@@ -140,6 +153,10 @@ class OrderingComponent {
 
   void absorb(const Event& event);
   void deliverBatch();
+  /// Offer Fast-class events beyond the speculation frontier to the
+  /// channel, in key order, until the first refusal. Only called when
+  /// Options::speculation is set.
+  void speculateAhead();
   /// Clock at the round `birthRound + horizon + 1` (when the event
   /// became deliverable); falls back to `fallback` when that round has
   /// already left the clock window.

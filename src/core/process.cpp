@@ -35,6 +35,12 @@ void MetricsSnapshot::recordTo(obs::Registry& registry) const {
   gauge("epto_pending_relay_count", static_cast<std::int64_t>(pendingRelayCount));
   gauge("epto_last_delivered_ts", static_cast<std::int64_t>(lastDeliveredTs));
   gauge("epto_last_delivered_lag", static_cast<std::int64_t>(lastDeliveredLag));
+
+  gauge("epto_adapt_ttl", static_cast<std::int64_t>(currentTtl));
+  gauge("epto_adapt_k", static_cast<std::int64_t>(currentFanout));
+  counter("epto_spec_speculated_total", speculation.speculated);
+  counter("epto_spec_confirmed_total", speculation.confirmed);
+  counter("epto_spec_revoked_total", speculation.revoked);
 }
 
 namespace {
@@ -61,6 +67,16 @@ Process::Process(ProcessId id, const Config& config, std::shared_ptr<PeerSampler
       config_(config),
       sampler_(requireSampler(std::move(sampler))),
       oracle_(makeOracle(config_, std::move(globalTime))),
+      speculation_(config_.speculation.enabled
+                       ? std::make_unique<SpeculationChannel>(
+                             SpeculationChannel::Options{
+                                 .confidenceThreshold =
+                                     config_.speculation.confidenceThreshold,
+                                 .maxWindow = config_.speculation.maxWindow,
+                                 .self = id,
+                             },
+                             SpeculationCallbacks{})
+                       : nullptr),
       ordering_(
           OrderingComponent::Options{
               .ttl = config_.ttl,
@@ -68,6 +84,7 @@ Process::Process(ProcessId id, const Config& config, std::shared_ptr<PeerSampler
               .deliveredRetentionRounds = config_.deliveredRetentionRounds,
               .self = id_,
               .latency = latency,
+              .speculation = speculation_.get(),
           },
           *oracle_, std::move(deliver)),
       dissemination_(id_,
@@ -77,10 +94,32 @@ Process::Process(ProcessId id, const Config& config, std::shared_ptr<PeerSampler
                      },
                      *oracle_, *sampler_, ordering_) {
   config_.validate();
+  // The estimate's K defaults to the configured fanout when the caller
+  // supplied a model without one (hand-built Configs).
+  StabilityModel model = config_.stabilityModel;
+  if (model.fanout == 0) model.fanout = config_.fanout;
+  oracle_->setStabilityModel(model);
 }
 
-Event Process::broadcast(PayloadPtr payload) {
-  return dissemination_.broadcast(std::move(payload));
+Event Process::broadcast(PayloadPtr payload, QosClass qos) {
+  return dissemination_.broadcast(std::move(payload), qos);
+}
+
+void Process::setSpeculationCallbacks(SpeculationCallbacks callbacks) {
+  EPTO_ENSURE_MSG(speculation_ != nullptr,
+                  "speculation callbacks need Config::speculation.enabled");
+  speculation_->setCallbacks(std::move(callbacks));
+}
+
+void Process::retune(std::uint32_t ttl, std::size_t fanout) {
+  EPTO_ENSURE_MSG(ttl >= 1 && fanout >= 1, "retune needs ttl >= 1 and fanout >= 1");
+  config_.ttl = ttl;
+  config_.fanout = fanout;
+  oracle_->setHorizon(ttl);
+  dissemination_.retune(fanout, ttl);
+  StabilityModel model = oracle_->stabilityModel();
+  model.fanout = fanout;
+  oracle_->setStabilityModel(model);
 }
 
 MetricsSnapshot Process::metricsSnapshot() const {
@@ -95,6 +134,9 @@ MetricsSnapshot Process::metricsSnapshot() const {
     snap.lastDeliveredTs = last->ts;
     snap.lastDeliveredLag = snap.clock > last->ts ? snap.clock - last->ts : 0;
   }
+  snap.currentTtl = config_.ttl;
+  snap.currentFanout = config_.fanout;
+  if (speculation_ != nullptr) snap.speculation = speculation_->stats();
   return snap;
 }
 

@@ -22,6 +22,7 @@
 #include "core/config.h"
 #include "core/dissemination.h"
 #include "core/ordering.h"
+#include "core/speculation.h"
 #include "core/stability_oracle.h"
 #include "core/types.h"
 #include "obs/registry.h"
@@ -44,6 +45,10 @@ struct MetricsSnapshot {
   /// frontier trails the process's own notion of now. A growing lag on
   /// one node is the signature of a stalled/perturbed process (§8.2).
   Timestamp lastDeliveredLag = 0;
+  std::uint32_t currentTtl = 0;     ///< TTL in force (moves under adaptation).
+  std::size_t currentFanout = 0;    ///< K in force (moves under adaptation).
+  /// §8.4 speculative-channel counters; all zero with speculation off.
+  SpeculationChannel::Stats speculation;
 
   /// Publish into a registry under `epto_*` instruments labelled
   /// node="<id>". Counters mirror via Counter::set (monotonic per node),
@@ -70,8 +75,24 @@ class Process {
   Process& operator=(const Process&) = delete;
 
   /// EpTO-broadcast. The payload may be null (pure ordering signal).
-  /// Returns the created event (id, timestamp, order key).
-  Event broadcast(PayloadPtr payload = {});
+  /// Returns the created event (id, timestamp, order key). Fast-class
+  /// events are additionally eligible for speculative delivery when
+  /// Config::speculation is enabled.
+  Event broadcast(PayloadPtr payload = {}, QosClass qos = QosClass::Safe);
+
+  /// Install the application's speculative-delivery callbacks. Requires
+  /// Config::speculation.enabled; call before the first round.
+  void setSpeculationCallbacks(SpeculationCallbacks callbacks);
+
+  /// The speculative channel, or null when speculation is off.
+  [[nodiscard]] const SpeculationChannel* speculation() const noexcept {
+    return speculation_.get();
+  }
+
+  /// Move TTL and fanout online (adapt::FeedbackController). The caller
+  /// is responsible for staying inside analysis::lemmaSafeBounds; the
+  /// new values take effect from the next round.
+  void retune(std::uint32_t ttl, std::size_t fanout);
 
   /// See DisseminationComponent::startSequenceAt — used when a restarted
   /// incarnation reuses this ProcessId and must not reuse EventIds.
@@ -115,6 +136,8 @@ class Process {
   Config config_;
   std::shared_ptr<PeerSampler> sampler_;
   std::unique_ptr<StabilityOracle> oracle_;
+  /// Constructed before ordering_, which holds a pointer to it.
+  std::unique_ptr<SpeculationChannel> speculation_;
   OrderingComponent ordering_;
   DisseminationComponent dissemination_;
 };

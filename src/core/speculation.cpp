@@ -1,0 +1,76 @@
+#include "core/speculation.h"
+
+#include <utility>
+
+#include "obs/trace.h"
+#include "util/ensure.h"
+
+namespace epto {
+
+SpeculationChannel::SpeculationChannel(Options options, SpeculationCallbacks callbacks)
+    : options_(options), callbacks_(std::move(callbacks)) {
+  EPTO_ENSURE_MSG(options_.confidenceThreshold > 0.0 && options_.confidenceThreshold <= 1.0,
+                  "speculation confidence threshold must be in (0, 1]");
+  EPTO_ENSURE_MSG(options_.maxWindow >= 1, "speculation window must hold at least 1 event");
+}
+
+void SpeculationChannel::setCallbacks(SpeculationCallbacks callbacks) {
+  EPTO_ENSURE_MSG(window_.empty() && stats_.speculated == 0,
+                  "speculation callbacks must be installed before the first round");
+  callbacks_ = std::move(callbacks);
+}
+
+std::optional<OrderKey> SpeculationChannel::frontier() const {
+  if (window_.empty()) return std::nullopt;
+  return window_.back().key;
+}
+
+bool SpeculationChannel::offer(const Event& event, double confidence,
+                               [[maybe_unused]] std::uint64_t redundantCopies,
+                               [[maybe_unused]] std::uint64_t round) {
+  if (!hasCapacity() || confidence < options_.confidenceThreshold) return false;
+  const OrderKey key = event.orderKey();
+  EPTO_ENSURE_MSG(window_.empty() || window_.back().key < key,
+                  "speculation offers must arrive in ascending key order");
+  window_.push_back(Slot{key, event.id});
+  ++stats_.speculated;
+  EPTO_TRACE_EVENT(Speculate, .node = options_.self, .round = round,
+                   .event = event.id, .ts = event.ts, .ttl = event.ttl,
+                   .size = static_cast<std::uint64_t>(confidence * 1e6),
+                   .aux = redundantCopies);
+  if (callbacks_.onSpeculate) callbacks_.onSpeculate(event, confidence);
+  return true;
+}
+
+void SpeculationChannel::onFreshEvent(const OrderKey& key,
+                                      [[maybe_unused]] std::uint64_t round) {
+  // Deepest-first so the application unwinds its optimistic state in
+  // reverse emission order.
+  while (!window_.empty() && window_.back().key > key) {
+    const Slot slot = window_.back();
+    window_.pop_back();
+    ++stats_.revoked;
+    EPTO_TRACE_EVENT(SpecRevoke, .node = options_.self, .round = round,
+                     .event = slot.id, .ts = slot.key.ts);
+    if (callbacks_.onRevoke) callbacks_.onRevoke(slot.id);
+  }
+}
+
+void SpeculationChannel::onCommit(const OrderKey& key,
+                                  [[maybe_unused]] std::uint64_t round) {
+  if (!window_.empty() && window_.front().key == key) {
+    const Slot slot = window_.front();
+    window_.pop_front();
+    ++stats_.confirmed;
+    EPTO_TRACE_EVENT(SpecConfirm, .node = options_.self, .round = round,
+                     .event = slot.id, .ts = slot.key.ts);
+    if (callbacks_.onConfirm) callbacks_.onConfirm(slot.id);
+  }
+  // Commits walk keys in ascending order and absorb-time revocation has
+  // already evicted anything the committed event displaced, so a
+  // non-matching head can only sort after the committed key.
+  EPTO_ENSURE_MSG(window_.empty() || window_.front().key > key,
+                  "speculation window fell behind the committed frontier");
+}
+
+}  // namespace epto

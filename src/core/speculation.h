@@ -1,0 +1,118 @@
+// Speculative delivery channel — paper §8.4 ("trading certainty for
+// latency"), DESIGN.md §15.
+//
+// The committed EpTO path waits a full stability horizon before
+// delivering; most of that wait is insurance against stragglers that
+// almost never materialize on a healthy network. The speculative channel
+// lets the application see Fast-class events early: the ordering
+// component offers it, in total-order key order, events beyond the
+// committed frontier together with a stability confidence (the Theorem 2
+// epidemic estimate, StabilityOracle::stabilityEstimate). Events at or
+// above the configured threshold are emitted through onSpeculate with
+// their confidence attached, and every speculation is later resolved
+// exactly once:
+//   * onConfirm — the event committed at the head of the speculation
+//     window, i.e. the speculative emission agreed with the total order;
+//   * onRevoke  — a fresh event with a smaller order key was absorbed
+//     after the speculation, so the emission jumped an event the
+//     projection did not know about. Revocation happens at absorb time
+//     (the earliest moment the mistake is knowable), and revokes the
+//     whole displaced suffix of the window, deepest key first.
+//
+// The channel only ever *observes* ordering state: it holds no reference
+// to the committed structures and cannot move the committed frontier
+// (enforced by construction here and by the `speculative-frontier-write`
+// lint rule). With no channel configured the ordering component contains
+// no speculative code on its hot path and its output is byte-identical
+// to the non-speculative build.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "core/types.h"
+
+namespace epto {
+
+/// Application-facing notifications. All three are invoked synchronously
+/// from inside OrderingComponent::orderEvents, on the protocol thread.
+struct SpeculationCallbacks {
+  /// Event emitted ahead of the committed frontier with its stability
+  /// confidence in [threshold, 1].
+  std::function<void(const Event&, double confidence)> onSpeculate;
+  /// The speculated event committed at its projected position.
+  std::function<void(const EventId&)> onConfirm;
+  /// The speculated event was displaced before committing; the
+  /// application must treat the earlier emission as a mistake.
+  std::function<void(const EventId&)> onRevoke;
+};
+
+class SpeculationChannel {
+ public:
+  struct Options {
+    /// Minimum stability confidence to emit an event speculatively.
+    double confidenceThreshold = 0.9;
+    /// Maximum speculated-but-unresolved events held; bounds both the
+    /// application's rollback exposure and the per-round scan.
+    std::size_t maxWindow = 64;
+    /// Owning process id, used only to label trace events.
+    ProcessId self = 0;
+  };
+
+  struct Stats {
+    std::uint64_t speculated = 0;
+    std::uint64_t confirmed = 0;
+    std::uint64_t revoked = 0;
+  };
+
+  SpeculationChannel(Options options, SpeculationCallbacks callbacks);
+
+  /// Replace the application callbacks; only valid while nothing is
+  /// speculated (install them before the first round).
+  void setCallbacks(SpeculationCallbacks callbacks);
+
+  /// Largest speculated key still unresolved — the speculation frontier
+  /// the ordering component resumes its key-order scan beyond.
+  [[nodiscard]] std::optional<OrderKey> frontier() const;
+
+  [[nodiscard]] bool hasCapacity() const noexcept {
+    return window_.size() < options_.maxWindow;
+  }
+
+  /// Offer the next key-order candidate beyond the frontier. Emits and
+  /// records the event when its confidence clears the threshold and the
+  /// window has room; returns false when the caller must stop scanning
+  /// (speculative emissions are in key order, so the first refusal ends
+  /// the round's scan).
+  bool offer(const Event& event, double confidence, std::uint64_t redundantCopies,
+             std::uint64_t round);
+
+  /// A fresh event was absorbed at `key`: revoke every speculated event
+  /// with a greater key (the displaced suffix), deepest first.
+  void onFreshEvent(const OrderKey& key, std::uint64_t round);
+
+  /// The committed path delivered `key`. Confirms the window head when
+  /// it matches; a non-matching head (committed event never speculated)
+  /// is left untouched.
+  void onCommit(const OrderKey& key, std::uint64_t round);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t windowSize() const noexcept { return window_.size(); }
+  [[nodiscard]] double threshold() const noexcept { return options_.confidenceThreshold; }
+
+ private:
+  struct Slot {
+    OrderKey key;
+    EventId id;
+  };
+
+  Options options_;
+  SpeculationCallbacks callbacks_;
+  /// Unresolved speculations in strictly increasing key order.
+  std::deque<Slot> window_;
+  Stats stats_;
+};
+
+}  // namespace epto

@@ -16,6 +16,7 @@
 #include <functional>
 #include <utility>
 
+#include "analysis/parameters.h"
 #include "core/types.h"
 #include "util/ensure.h"
 
@@ -57,6 +58,51 @@ class StabilityOracle {
   /// only — the latency decomposition reconstructs *when* an event
   /// crossed the horizon without re-asking isDeliverable per round.
   [[nodiscard]] virtual std::uint32_t stabilityHorizon() const = 0;
+
+  /// Move the stability horizon online (adapt::FeedbackController). The
+  /// new horizon applies from the next isDeliverable call; events
+  /// already past it deliver on the next round like any other.
+  virtual void setHorizon(std::uint32_t ttl) = 0;
+
+  /// §8.4: per-event delivery confidence in [0, 1] — the estimated
+  /// probability that the event is already stable, i.e. that committing
+  /// it now would agree with the eventual total order. 1.0 exactly when
+  /// isDeliverable would say yes. Grounded in the Theorem 2 epidemic
+  /// recursion (analysis::stabilityEstimate): confidence grows with the
+  /// event's relay age, with observed redundancy (`redundantCopies` =
+  /// duplicate copies absorbed beyond the first), and — under a global
+  /// clock with a configured ticksPerRound — with raw clock progress
+  /// since the event's timestamp. Same contract as isDeliverable: a
+  /// function of age/ts/redundancy, never the payload.
+  [[nodiscard]] double stabilityEstimate(const Event& event,
+                                         std::uint64_t redundantCopies = 0) const {
+    const std::uint32_t horizon = stabilityHorizon();
+    if (event.ttl > horizon) return 1.0;
+    std::uint32_t age = event.ttl;
+    if (model_.ticksPerRound != 0) {
+      const Timestamp now = peekClock();
+      const Timestamp clockAge =
+          now > event.ts ? (now - event.ts) / model_.ticksPerRound : 0;
+      age = std::max(age, static_cast<std::uint32_t>(
+                              std::min<Timestamp>(clockAge, horizon)));
+    }
+    if (model_.systemSize < 2 || model_.fanout < 1) {
+      return static_cast<double>(age) / static_cast<double>(horizon + 1);
+    }
+    analysis::StabilityInputs inputs;
+    inputs.systemSize = model_.systemSize;
+    inputs.fanout = model_.fanout;
+    inputs.messageLossRate = model_.messageLossRate;
+    inputs.age = age;
+    inputs.copiesSeen = 1 + redundantCopies;
+    return analysis::stabilityEstimate(inputs);
+  }
+
+  void setStabilityModel(const StabilityModel& model) { model_ = model; }
+  [[nodiscard]] const StabilityModel& stabilityModel() const noexcept { return model_; }
+
+ private:
+  StabilityModel model_;
 };
 
 /// Algorithm 3: global (a.k.a. physical/synchronized) clock oracle.
@@ -85,6 +131,11 @@ class GlobalClockOracle final : public StabilityOracle {
 
   [[nodiscard]] std::uint32_t stabilityHorizon() const override { return ttl_; }
 
+  void setHorizon(std::uint32_t ttl) override {
+    EPTO_ENSURE_MSG(ttl >= 1, "stability horizon must be at least 1");
+    ttl_ = ttl;
+  }
+
  private:
   std::uint32_t ttl_;
   TimeSource timeSource_;
@@ -107,6 +158,11 @@ class LogicalClockOracle final : public StabilityOracle {
   [[nodiscard]] Timestamp peekClock() const override { return clock_; }
 
   [[nodiscard]] std::uint32_t stabilityHorizon() const override { return ttl_; }
+
+  void setHorizon(std::uint32_t ttl) override {
+    EPTO_ENSURE_MSG(ttl >= 1, "stability horizon must be at least 1");
+    ttl_ = ttl;
+  }
 
   /// Current clock value, for inspection and tests.
   [[nodiscard]] Timestamp current() const noexcept { return clock_; }

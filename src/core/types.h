@@ -63,6 +63,32 @@ struct OrderKey {
   friend auto operator<=>(const OrderKey&, const OrderKey&) = default;
 };
 
+/// Environment description behind StabilityOracle::stabilityEstimate
+/// (DESIGN.md §15). Unset (systemSize < 2 or fanout < 1) degrades the
+/// estimate to a pure age/horizon ratio, which is still monotone and in
+/// [0, 1].
+struct StabilityModel {
+  std::size_t systemSize = 0;    ///< n (or the n_max bound).
+  std::size_t fanout = 0;        ///< K in use.
+  double messageLossRate = 0.0;  ///< epsilon assumed.
+  /// Global-clock deployments: clock ticks per protocol round, letting
+  /// clock progress stand in for rounds when an event's relay age lags
+  /// its wall age (e.g. it sat in flight). 0 = no clock/round mapping
+  /// (logical clocks), only the relay age counts.
+  Timestamp ticksPerRound = 0;
+};
+
+/// Per-event quality-of-service class (§8.4, DESIGN.md §15). Safe events
+/// only ever surface through the committed total-order channel; Fast
+/// events may additionally be delivered speculatively, ahead of the
+/// committed frontier, tagged with a confidence and subject to
+/// confirm/revoke. The class never affects dissemination or the
+/// committed order — it only widens what the application may observe.
+enum class QosClass : std::uint8_t {
+  Safe = 0,
+  Fast = 1,
+};
+
 /// An EpTO event as it travels inside balls. `ttl` counts how many rounds
 /// the event has been relayed (Alg. 1) and, at the ordering component, how
 /// many rounds it has aged (Alg. 2); `hop` counts relay emissions along
@@ -83,6 +109,10 @@ struct Event {
   /// Lineage: the broadcaster's incarnation (restart count); 0 for a
   /// process that never restarted and everywhere in the simulator.
   std::uint16_t incarnation = 0;
+  /// §8.4 QoS class; Safe by default. Carried on the wire only by codec
+  /// v2 frames that contain at least one Fast event, so all-Safe traffic
+  /// is byte-identical to pre-QoS frames.
+  QosClass qos = QosClass::Safe;
   PayloadPtr payload;
 
   [[nodiscard]] OrderKey orderKey() const noexcept { return {ts, id.source, id.sequence}; }

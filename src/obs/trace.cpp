@@ -19,6 +19,10 @@ const char* traceTypeName(TraceType type) {
     case TraceType::Fault: return "fault";
     case TraceType::FirstSeen: return "first_seen";
     case TraceType::BecameDeliverable: return "became_deliverable";
+    case TraceType::Speculate: return "speculate";
+    case TraceType::SpecConfirm: return "spec_confirm";
+    case TraceType::SpecRevoke: return "spec_revoke";
+    case TraceType::Retune: return "retune";
   }
   return "unknown";
 }

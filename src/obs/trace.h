@@ -50,10 +50,19 @@ enum class TraceType : std::uint8_t {
                       ///< time; size = oracle clock, aux = hop count.
   BecameDeliverable,  ///< event crossed the stability horizon; ts = clock at
                       ///< the stable round, aux = the stable round.
+  Speculate,          ///< §8.4 speculative delivery ahead of the committed
+                      ///< frontier; size = confidence in millionths,
+                      ///< aux = redundant copies observed.
+  SpecConfirm,        ///< a speculated event committed at the same position.
+  SpecRevoke,         ///< a speculated event was displaced by a fresh
+                      ///< smaller-keyed event before committing.
+  Retune,             ///< adaptive controller moved TTL/K; ttl = new TTL,
+                      ///< detail = new K, size = packed TTL bounds
+                      ///< (upper<<32|lower), aux = packed K bounds.
 };
 
 /// Number of TraceType enumerators — sizes the flight recorder's type mask.
-inline constexpr std::size_t kTraceTypeCount = 10;
+inline constexpr std::size_t kTraceTypeCount = 14;
 
 enum class DropReason : std::uint8_t {
   Expired,     ///< ttl >= TTL on arrival, not relayed or ordered.

@@ -50,7 +50,8 @@ RuntimeCluster::RuntimeCluster(RuntimeOptions options)
                   : nullptr),
       transport_(InMemoryTransport::Options{options.lossRate, options.minDelay,
                                             options.maxDelay, options.serializeFrames,
-                                            options.corruptionRate, options.wireLineage},
+                                            options.corruptionRate, options.wireLineage,
+                                            options.wireQos},
                  masterRng_.split()) {
   EPTO_ENSURE_MSG(options_.nodeCount >= 2, "need at least two nodes");
   EPTO_ENSURE_MSG(options_.roundPeriod.count() > 0, "round period must be positive");
@@ -73,6 +74,7 @@ RuntimeCluster::RuntimeCluster(RuntimeOptions options)
     auto node = std::make_unique<NodeState>();
     node->id = id;
     node->process = makeProcess(id, /*incarnation=*/0);
+    node->controller = makeController(id);
     nodes_.push_back(std::move(node));
     lifetimes_[id] = metrics::ProcessLifetime{0, std::nullopt};
   }
@@ -103,6 +105,17 @@ std::unique_ptr<Process> RuntimeCluster::makeProcess(ProcessId id,
   cfg.fanout = fanout_;
   cfg.ttl = ttl_;
   cfg.clockMode = options_.clockMode;
+  cfg.speculation.enabled = options_.speculation;
+  cfg.speculation.confidenceThreshold = options_.speculationThreshold;
+  cfg.speculation.maxWindow = options_.speculationWindow;
+  cfg.stabilityModel.systemSize = options_.nodeCount;
+  cfg.stabilityModel.fanout = fanout_;
+  cfg.stabilityModel.messageLossRate = options_.lossRate;
+  if (options_.clockMode == ClockMode::Global) {
+    // Global clocks here are microsecond ticks since the epoch.
+    cfg.stabilityModel.ticksPerRound =
+        static_cast<Timestamp>(options_.roundPeriod.count());
+  }
   // Deterministic per-(node, incarnation) sampler stream, so a restart
   // does not depend on masterRng_ (only touched on the ctor thread).
   util::Rng samplerRng(
@@ -125,6 +138,21 @@ std::unique_ptr<Process> RuntimeCluster::makeProcess(ProcessId id,
   return process;
 }
 
+std::unique_ptr<adapt::FeedbackController> RuntimeCluster::makeController(
+    ProcessId id) const {
+  if (!options_.adaptive) return nullptr;
+  adapt::ControllerConfig config;
+  config.worstCase.systemSize = options_.nodeCount;
+  config.worstCase.c = options_.c;
+  config.worstCase.logicalTime = options_.clockMode == ClockMode::Logical;
+  config.worstCase.messageLossRate = options_.adaptiveWorstCaseLoss;
+  config.initialLossRate = options_.adaptiveInitialLoss;
+  config.initialTtl = ttl_;
+  config.initialFanout = fanout_;
+  config.self = id;
+  return std::make_unique<adapt::FeedbackController>(config);
+}
+
 Timestamp RuntimeCluster::ticksNow() const {
   return static_cast<Timestamp>(
       std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - epoch_).count());
@@ -141,7 +169,7 @@ void RuntimeCluster::start() {
   if (scrape_ != nullptr) scrape_->start();
 }
 
-void RuntimeCluster::broadcast(std::size_t index, PayloadPtr payload) {
+void RuntimeCluster::broadcast(std::size_t index, PayloadPtr payload, QosClass qos) {
   EPTO_ENSURE_MSG(index < nodes_.size(), "node index out of range");
   NodeState& node = *nodes_[index];
   if (!node.up.load(std::memory_order_acquire)) {
@@ -153,7 +181,7 @@ void RuntimeCluster::broadcast(std::size_t index, PayloadPtr payload) {
   }
   {
     const util::MutexLock lock(node.broadcastMutex);
-    node.pendingBroadcasts.push_back(std::move(payload));
+    node.pendingBroadcasts.push_back(PendingBroadcast{std::move(payload), qos});
   }
   requestedBroadcasts_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -182,7 +210,7 @@ void RuntimeCluster::enterCrash(NodeState& node) {
   node.process.reset();  // fresh state on rejoin — the crash loses everything
   node.up.store(false, std::memory_order_release);
   // Broadcast requests parked at this node die with it.
-  std::vector<PayloadPtr> discarded;
+  std::vector<PendingBroadcast> discarded;
   {
     const util::MutexLock lock(node.broadcastMutex);
     discarded.swap(node.pendingBroadcasts);
@@ -202,6 +230,10 @@ void RuntimeCluster::leaveCrash(NodeState& node) {
   (void)transport_.mailboxOf(node.id).drainReady(Clock::time_point::max());
   ++node.incarnation;
   node.process = makeProcess(node.id, node.incarnation);
+  // The fresh incarnation starts from the static tuning again; whatever
+  // the old controller had learned died with the old process state.
+  node.controller = makeController(node.id);
+  node.lastBallsReceived = 0;
   {
     const util::MutexLock lock(trackerMutex_);
     tracker_.onProcessRestart(node.id, now);
@@ -260,13 +292,14 @@ void RuntimeCluster::nodeLoop(NodeState& node) {
     if (Clock::now() < nextRound) continue;
 
     // Inject application broadcasts at the round boundary.
-    std::vector<PayloadPtr> pending;
+    std::vector<PendingBroadcast> pending;
     {
       const util::MutexLock lock(node.broadcastMutex);
       pending.swap(node.pendingBroadcasts);
     }
-    for (PayloadPtr& payload : pending) {
-      const Event event = node.process->broadcast(std::move(payload));
+    for (PendingBroadcast& request : pending) {
+      const Event event =
+          node.process->broadcast(std::move(request.payload), request.qos);
       const std::vector<ProcessId> expected = upNodes();
       const util::MutexLock lock(trackerMutex_);
       tracker_.onBroadcast(node.id, event.id, event.orderKey(), ticksNow());
@@ -278,6 +311,17 @@ void RuntimeCluster::nodeLoop(NodeState& node) {
       for (const ProcessId target : out.targets) {
         transport_.send(node.id, target, out.ball);
       }
+    }
+    if (node.controller != nullptr) {
+      // Close the feedback loop on this node's own observations.
+      const std::uint64_t ballsReceived =
+          node.process->disseminationStats().ballsReceived;
+      adapt::RoundSignals signals;
+      signals.ballsReceived =
+          static_cast<double>(ballsReceived - node.lastBallsReceived);
+      node.lastBallsReceived = ballsReceived;
+      const adapt::Decision decision = node.controller->onRound(signals);
+      if (decision.changed) node.process->retune(decision.ttl, decision.fanout);
     }
     // Publish this node's stats into the shared registry: a handful of
     // relaxed atomic stores, so the scrape thread never touches the

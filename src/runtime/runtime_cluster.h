@@ -27,6 +27,7 @@
 
 #include <unordered_map>
 
+#include "adapt/controller.h"
 #include "core/process.h"
 #include "fault/fault_controller.h"
 #include "fault/fault_plan.h"
@@ -65,6 +66,25 @@ struct RuntimeOptions {
   /// lineage (hop, origin round, incarnation). Default on — the runtime
   /// is homogeneous; turn off to emulate a mixed fleet with v1 decoders.
   bool wireLineage = true;
+  /// With serializeFrames: let frames carry per-event QoS classes. The
+  /// codec only actually emits the flag (and the per-event byte) for
+  /// balls containing a Fast event, so this is wire-neutral for
+  /// Safe-only traffic. Off emulates a fleet whose decoders predate QoS.
+  bool wireQos = true;
+  /// Speculative delivery (core/speculation.h): Fast-class broadcasts
+  /// are surfaced ahead of the committed frontier with confirm/revoke
+  /// notifications. Committed delivery is unaffected.
+  bool speculation = false;
+  double speculationThreshold = 0.9;
+  std::size_t speculationWindow = 64;
+  /// Online TTL/K feedback control (adapt/controller.h): each node runs
+  /// a FeedbackController off its observed ball-arrival shortfall and
+  /// retunes its Process within the Lemma-safe envelope.
+  bool adaptive = false;
+  /// Ceiling of the adaptation envelope (worst loss compensated).
+  double adaptiveWorstCaseLoss = 0.15;
+  /// Loss rate the cluster starts tuned for.
+  double adaptiveInitialLoss = 0.0;
   /// When non-empty, the flight recorder (obs/flight_recorder.h) is
   /// dumped to this JSONL file whenever a fault-plan crash takes a node
   /// down (and on demand via dumpFlightRecorder()).
@@ -97,8 +117,11 @@ class RuntimeCluster {
   void start();
 
   /// Ask node `index` to broadcast; the event is created on the node's
-  /// thread before its next round. Callable from any thread.
-  void broadcast(std::size_t index, PayloadPtr payload = {});
+  /// thread before its next round. Callable from any thread. Fast-class
+  /// broadcasts are eligible for speculative delivery (no-op unless
+  /// options.speculation is on).
+  void broadcast(std::size_t index, PayloadPtr payload = {},
+                 QosClass qos = QosClass::Safe);
 
   /// Signal and join all node threads. Idempotent.
   void stop();
@@ -152,13 +175,21 @@ class RuntimeCluster {
                                  const std::string& reason = "manual");
 
  private:
+  struct PendingBroadcast {
+    PayloadPtr payload;
+    QosClass qos = QosClass::Safe;
+  };
+
   struct NodeState {
     ProcessId id = 0;
     std::unique_ptr<Process> process;  ///< node-thread only.
+    /// Feedback controller (node-thread only; null unless adaptive).
+    std::unique_ptr<adapt::FeedbackController> controller;
+    std::uint64_t lastBallsReceived = 0;  ///< node-thread only.
     std::thread thread;
     /// Leaf lock: never held together with trackerMutex_ (DESIGN.md §12).
     util::Mutex broadcastMutex;
-    std::vector<PayloadPtr> pendingBroadcasts EPTO_GUARDED_BY(broadcastMutex);
+    std::vector<PendingBroadcast> pendingBroadcasts EPTO_GUARDED_BY(broadcastMutex);
     /// False while inside a crash window. Written by the node thread,
     /// read by broadcast() and the quiescence bookkeeping.
     std::atomic<bool> up{true};
@@ -168,6 +199,10 @@ class RuntimeCluster {
   void nodeLoop(NodeState& node);
   [[nodiscard]] std::unique_ptr<Process> makeProcess(ProcessId id,
                                                      std::uint32_t incarnation);
+  /// Fresh controller starting at the cluster's static tuning (null when
+  /// adaptation is off). Re-created on restart with the Process it steers.
+  [[nodiscard]] std::unique_ptr<adapt::FeedbackController> makeController(
+      ProcessId id) const;
   /// Enter/leave a crash window (node thread). Handles tracker, ledger,
   /// lifetime and controller bookkeeping.
   void enterCrash(NodeState& node) EPTO_EXCLUDES(trackerMutex_);

@@ -127,8 +127,9 @@ void InMemoryTransport::send(ProcessId from, ProcessId to, BallPtr ball) {
   std::size_t bytes = 0;
   if (!dropped) {
     if (options_.serializeFrames) {
-      auto frame =
-          codec::encodeBall(*ball, codec::EncodeOptions{.lineage = options_.wireLineage});
+      auto frame = codec::encodeBall(
+          *ball, codec::EncodeOptions{.lineage = options_.wireLineage,
+                                      .qos = options_.wireQos});
       if (corrupt && !frame.empty()) {
         // Flip one bit of one byte — the classic in-flight mangling.
         frame[corruptOffsetSeed % frame.size()] ^= std::byte{0x10};

@@ -83,6 +83,10 @@ class InMemoryTransport {
     /// lineage (codec/ball_codec.h). Off keeps the version-1 frames an
     /// older decoder understands — the mixed-fleet fallback.
     bool wireLineage = false;
+    /// With serializeFrames: let frames carry per-event QoS classes
+    /// (only emitted for balls that contain a Fast event; Safe-only
+    /// traffic is wire-identical either way).
+    bool wireQos = false;
   };
 
   InMemoryTransport(Options options, util::Rng rng);

@@ -106,6 +106,7 @@ UdpCluster::UdpCluster(UdpClusterOptions options)
     }
     ports_.push_back(node->socket.port());
     node->process = makeProcess(id, /*incarnation=*/0);
+    node->controller = makeController(id);
     nodes_.push_back(std::move(node));
     lifetimes_[id] = metrics::ProcessLifetime{0, std::nullopt};
   }
@@ -133,6 +134,17 @@ std::unique_ptr<Process> UdpCluster::makeProcess(ProcessId id, std::uint32_t inc
   cfg.fanout = fanout_;
   cfg.ttl = ttl_;
   cfg.clockMode = options_.clockMode;
+  cfg.speculation.enabled = options_.speculation;
+  cfg.speculation.confidenceThreshold = options_.speculationThreshold;
+  cfg.speculation.maxWindow = options_.speculationWindow;
+  cfg.stabilityModel.systemSize = options_.nodeCount;
+  cfg.stabilityModel.fanout = fanout_;
+  cfg.stabilityModel.messageLossRate = 0.0;  // datagram loss is unobservable here
+  if (options_.clockMode == ClockMode::Global) {
+    // Global clocks here are microsecond ticks since the epoch.
+    cfg.stabilityModel.ticksPerRound =
+        static_cast<Timestamp>(options_.roundPeriod.count());
+  }
   util::Rng samplerRng(
       util::mix64(options_.seed + 0xC2B2AE3D27D4EB4FULL * (incarnation + 1)) ^ id);
   auto process = std::make_unique<Process>(
@@ -149,6 +161,21 @@ std::unique_ptr<Process> UdpCluster::makeProcess(ProcessId id, std::uint32_t inc
     process->startSequenceAt(incarnation << 20U);
   }
   return process;
+}
+
+std::unique_ptr<adapt::FeedbackController> UdpCluster::makeController(
+    ProcessId id) const {
+  if (!options_.adaptive) return nullptr;
+  adapt::ControllerConfig config;
+  config.worstCase.systemSize = options_.nodeCount;
+  config.worstCase.c = options_.c;
+  config.worstCase.logicalTime = options_.clockMode == ClockMode::Logical;
+  config.worstCase.messageLossRate = options_.adaptiveWorstCaseLoss;
+  config.initialLossRate = options_.adaptiveInitialLoss;
+  config.initialTtl = ttl_;
+  config.initialFanout = fanout_;
+  config.self = id;
+  return std::make_unique<adapt::FeedbackController>(config);
 }
 
 Timestamp UdpCluster::ticksNow() const {
@@ -168,7 +195,7 @@ void UdpCluster::start() {
   if (scrape_ != nullptr) scrape_->start();
 }
 
-void UdpCluster::broadcast(std::size_t index, PayloadPtr payload) {
+void UdpCluster::broadcast(std::size_t index, PayloadPtr payload, QosClass qos) {
   EPTO_ENSURE_MSG(index < nodes_.size(), "node index out of range");
   NodeState& node = *nodes_[index];
   if (!node.up.load(std::memory_order_acquire)) {
@@ -178,7 +205,7 @@ void UdpCluster::broadcast(std::size_t index, PayloadPtr payload) {
   }
   {
     const util::MutexLock lock(node.broadcastMutex);
-    node.pendingBroadcasts.push_back(std::move(payload));
+    node.pendingBroadcasts.push_back(PendingBroadcast{std::move(payload), qos});
   }
   requestedBroadcasts_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -209,7 +236,7 @@ void UdpCluster::enterCrash(NodeState& node) {
   node.reassembler.clear();
   node.ingress.clear();
   node.up.store(false, std::memory_order_release);
-  std::vector<PayloadPtr> discarded;
+  std::vector<PendingBroadcast> discarded;
   {
     const util::MutexLock lock(node.broadcastMutex);
     discarded.swap(node.pendingBroadcasts);
@@ -232,6 +259,10 @@ void UdpCluster::leaveCrash(NodeState& node) {
   node.ingress.clear();
   ++node.incarnation;
   node.process = makeProcess(node.id, node.incarnation);
+  // Fresh incarnation, fresh controller: it restarts from the static
+  // tuning and re-learns current conditions alongside the new Process.
+  node.controller = makeController(node.id);
+  node.lastBallsReceived = 0;
   {
     const util::MutexLock lock(trackerMutex_);
     tracker_.onProcessRestart(node.id, now);
@@ -504,13 +535,14 @@ void UdpCluster::nodeLoop(NodeState& node) {
     node.reassembler.evictExpired(node.roundCounter);
     if (node.guard != nullptr) node.guard->onRound();
 
-    std::vector<PayloadPtr> pending;
+    std::vector<PendingBroadcast> pending;
     {
       const util::MutexLock lock(node.broadcastMutex);
       pending.swap(node.pendingBroadcasts);
     }
-    for (PayloadPtr& payload : pending) {
-      const Event event = node.process->broadcast(std::move(payload));
+    for (PendingBroadcast& request : pending) {
+      const Event event =
+          node.process->broadcast(std::move(request.payload), request.qos);
       const std::vector<ProcessId> expected = upNodes();
       const util::MutexLock lock(trackerMutex_);
       tracker_.onBroadcast(node.id, event.id, event.orderKey(), ticksNow());
@@ -520,7 +552,8 @@ void UdpCluster::nodeLoop(NodeState& node) {
     const auto out = node.process->onRound();
     if (out.ball != nullptr) {
       const auto frame = codec::encodeBall(
-          *out.ball, codec::EncodeOptions{.lineage = options_.wireLineage});
+          *out.ball, codec::EncodeOptions{.lineage = options_.wireLineage,
+                                          .qos = options_.wireQos});
       const std::uint64_t ballId =
           (static_cast<std::uint64_t>(node.id) << 32) | ++node.fragmentSeq;
       const auto datagrams = codec::fragmentFrame(frame, options_.mtuBytes, ballId);
@@ -574,6 +607,17 @@ void UdpCluster::nodeLoop(NodeState& node) {
           drainBetweenSends();
         }
       }
+    }
+    if (node.controller != nullptr) {
+      // Close the feedback loop on this node's own observations.
+      const std::uint64_t ballsReceived =
+          node.process->disseminationStats().ballsReceived;
+      adapt::RoundSignals signals;
+      signals.ballsReceived =
+          static_cast<double>(ballsReceived - node.lastBallsReceived);
+      node.lastBallsReceived = ballsReceived;
+      const adapt::Decision decision = node.controller->onRound(signals);
+      if (decision.changed) node.process->retune(decision.ttl, decision.fanout);
     }
     node.process->metricsSnapshot().recordTo(registry_);
     publishNodeCounters(node);

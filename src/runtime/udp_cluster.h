@@ -35,6 +35,7 @@
 
 #include <unordered_map>
 
+#include "adapt/controller.h"
 #include "core/ingress_guard.h"
 #include "core/process.h"
 #include "fault/fault_controller.h"
@@ -102,6 +103,21 @@ struct UdpClusterOptions {
   /// round, incarnation — codec/ball_codec.h). Default on; turn off to
   /// emulate a mixed fleet where some decoders only speak version 1.
   bool wireLineage = true;
+  /// Let wire frames carry per-event QoS classes (codec kFlagQos). The
+  /// flag byte is only emitted for balls containing a Fast event, so
+  /// Safe-only traffic is wire-identical either way.
+  bool wireQos = true;
+  /// Speculative delivery (core/speculation.h): Fast-class broadcasts
+  /// surface ahead of the committed frontier with confirm/revoke
+  /// notifications; committed delivery is unaffected.
+  bool speculation = false;
+  double speculationThreshold = 0.9;
+  std::size_t speculationWindow = 64;
+  /// Online TTL/K feedback control (adapt/controller.h) per node, off
+  /// the observed ball-arrival shortfall, within Lemma-safe bounds.
+  bool adaptive = false;
+  double adaptiveWorstCaseLoss = 0.15;
+  double adaptiveInitialLoss = 0.0;
   /// Route every decoded ball through an IngressGuard before it reaches
   /// the ingress queue (core/ingress_guard.h): lineage sanity (hop <=
   /// ttl, ttl within the protocol TTL), plausible originRound, sources
@@ -133,7 +149,10 @@ class UdpCluster {
   void start();
 
   /// Ask node `index` to broadcast before its next round (thread-safe).
-  void broadcast(std::size_t index, PayloadPtr payload = {});
+  /// Fast-class broadcasts are eligible for speculative delivery (no-op
+  /// unless options.speculation is on).
+  void broadcast(std::size_t index, PayloadPtr payload = {},
+                 QosClass qos = QosClass::Safe);
 
   /// Block until every broadcast has been delivered by every node that
   /// still owes it (crashed nodes owe nothing; restarted nodes only owe
@@ -246,6 +265,11 @@ class UdpCluster {
     std::vector<std::byte> frame;
   };
 
+  struct PendingBroadcast {
+    PayloadPtr payload;
+    QosClass qos = QosClass::Safe;
+  };
+
   struct NodeState {
     NodeState(std::size_t receiveBufferBytes, const ReassemblyOptions& reassembly,
               std::size_t ingressCapacity, std::uint32_t watchdogMissedRounds)
@@ -257,10 +281,13 @@ class UdpCluster {
     ProcessId id = 0;
     UdpSocket socket;
     std::unique_ptr<Process> process;  ///< node-thread only.
+    /// Feedback controller (node-thread only; null unless adaptive).
+    std::unique_ptr<adapt::FeedbackController> controller;
+    std::uint64_t lastBallsReceived = 0;  ///< node-thread only.
     std::thread thread;
     /// Leaf lock: never held together with trackerMutex_ (DESIGN.md §12).
     util::Mutex broadcastMutex;
-    std::vector<PayloadPtr> pendingBroadcasts EPTO_GUARDED_BY(broadcastMutex);
+    std::vector<PendingBroadcast> pendingBroadcasts EPTO_GUARDED_BY(broadcastMutex);
     /// False while inside a crash window (node thread writes, others read).
     std::atomic<bool> up{true};
     std::uint32_t incarnation = 0;        // node-thread only
@@ -283,6 +310,9 @@ class UdpCluster {
   void nodeLoop(NodeState& node);
   [[nodiscard]] std::unique_ptr<Process> makeProcess(ProcessId id,
                                                      std::uint32_t incarnation);
+  /// Fresh controller at the static tuning (null when adaptation is off).
+  [[nodiscard]] std::unique_ptr<adapt::FeedbackController> makeController(
+      ProcessId id) const;
   void enterCrash(NodeState& node) EPTO_EXCLUDES(trackerMutex_);
   void leaveCrash(NodeState& node) EPTO_EXCLUDES(trackerMutex_);
   void sendDatagram(NodeState& node, std::uint16_t port, bool isFragment,

@@ -46,6 +46,10 @@ SimCluster::SimCluster(const ExperimentConfig& config)
                   "broadcast probability must be in [0,1]");
   EPTO_ENSURE_MSG(!(config_.protocol == Protocol::FixedSequencer && config_.churnRate > 0.0),
                   "the fixed-sequencer baseline has static membership");
+  EPTO_ENSURE_MSG(!(config_.adaptive.enabled && config_.protocol != Protocol::Epto),
+                  "adaptive control retunes EpTO parameters; other protocols have none");
+  EPTO_ENSURE_MSG(!(config_.speculation.enabled && config_.protocol != Protocol::Epto),
+                  "speculative delivery is an EpTO ordering-layer feature");
   if (adversary_ != nullptr) {
     EPTO_ENSURE_MSG(config_.protocol == Protocol::Epto,
                     "the adversary model targets EpTO runs");
@@ -250,9 +254,52 @@ void SimCluster::spawnNode() {
             1);
         cfg.deliveredRetentionRounds = (ttl_ + 2) * (maxLatencyRounds + 1) + 8;
       }
+      cfg.speculation.enabled = config_.speculation.enabled;
+      cfg.speculation.confidenceThreshold = config_.speculation.confidenceThreshold;
+      cfg.speculation.maxWindow = config_.speculation.maxWindow;
+      // Environment model for the per-event stability estimate. Global
+      // clocks carry simulator ticks, so a round is roundInterval ticks;
+      // logical clocks have no tick/round relation (leave it 0 and the
+      // estimate ages on relay rounds alone).
+      cfg.stabilityModel.systemSize = config_.systemSize;
+      cfg.stabilityModel.fanout = fanout_;
+      cfg.stabilityModel.messageLossRate = config_.messageLossRate;
+      if (config_.clockMode == ClockMode::Global) {
+        cfg.stabilityModel.ticksPerRound = config_.roundInterval;
+      }
       node.epto = std::make_unique<Process>(
           id, cfg, sampler, makeDeliverFn(id),
           [this]() { return simulator_.now(); }, &latencyRecorder_);
+      if (config_.speculation.enabled) {
+        SpeculationCallbacks callbacks;
+        callbacks.onSpeculate = [this](const Event& event, double /*confidence*/) {
+          // Junk from Byzantine authors has no broadcast record; skip it.
+          const auto bt = broadcastTimes_.find(event.id.packed());
+          if (bt == broadcastTimes_.end()) return;
+          speculativeDelays_.push_back(
+              static_cast<double>(simulator_.now() - bt->second));
+        };
+        node.epto->setSpeculationCallbacks(std::move(callbacks));
+      }
+      if (config_.adaptive.enabled) {
+        adapt::ControllerConfig controllerConfig;
+        controllerConfig.worstCase.systemSize = config_.systemSize;
+        controllerConfig.worstCase.c = config_.c;
+        controllerConfig.worstCase.logicalTime = config_.clockMode == ClockMode::Logical;
+        controllerConfig.worstCase.messageLossRate = config_.adaptive.worstCaseLossRate;
+        controllerConfig.initialLossRate = config_.adaptive.initialLossRate;
+        controllerConfig.initialTtl = ttl_;
+        controllerConfig.initialFanout = fanout_;
+        controllerConfig.hysteresisRounds = config_.adaptive.hysteresisRounds;
+        controllerConfig.smoothing = config_.adaptive.smoothing;
+        controllerConfig.self = id;
+        node.controller = std::make_unique<adapt::FeedbackController>(controllerConfig);
+        // A manual override outside the Lemma-safe envelope was clamped;
+        // keep process and controller agreeing from round one.
+        if (node.controller->ttl() != ttl_ || node.controller->fanout() != fanout_) {
+          node.epto->retune(node.controller->ttl(), node.controller->fanout());
+        }
+      }
       break;
     }
     case Protocol::BallsBinsBaseline:
@@ -344,7 +391,17 @@ void SimCluster::maybeBroadcast(Node& node) {
 void SimCluster::doBroadcast(Node& node) {
   const Timestamp now = simulator_.now();
   if (node.epto != nullptr) {
-    const Event event = node.epto->broadcast(nullptr);
+    QosClass qos = QosClass::Safe;
+    if (config_.speculation.enabled) {
+      qos = config_.speculation.fastFraction >= 1.0 ||
+                    node.rng.chance(config_.speculation.fastFraction)
+                ? QosClass::Fast
+                : QosClass::Safe;
+    }
+    const Event event = node.epto->broadcast(nullptr, qos);
+    if (config_.speculation.enabled) {
+      broadcastTimes_.emplace(event.id.packed(), now);
+    }
     tracker_.onBroadcast(node.id, event.id, event.orderKey(), now);
   } else if (node.ballsBins != nullptr) {
     // broadcast() delivers locally before returning, so pre-register the
@@ -416,6 +473,16 @@ void SimCluster::runRound(Node& node) {
       for (const ProcessId target : out.targets) network_.send(node.id, target, out.ball);
     }
     sampleRound(node, out);
+    if (node.controller != nullptr) {
+      // Feed the controller the arrivals since its last look; retune the
+      // process whenever the hysteresis lets a step through.
+      const std::uint64_t ballsReceived = node.epto->disseminationStats().ballsReceived;
+      adapt::RoundSignals signals;
+      signals.ballsReceived = static_cast<double>(ballsReceived - node.lastBallsReceived);
+      node.lastBallsReceived = ballsReceived;
+      const adapt::Decision decision = node.controller->onRound(signals);
+      if (decision.changed) node.epto->retune(decision.ttl, decision.fanout);
+    }
   } else if (node.ballsBins != nullptr) {
     const auto out = node.ballsBins->onRound();
     if (out.ball != nullptr) {
@@ -726,9 +793,15 @@ void SimCluster::run() {
   OrderingStats ordering;
   DisseminationStats dissemination;
   std::size_t receivedTotal = 0;
+  SpeculationChannel::Stats spec;
+  std::uint64_t retunes = 0;
   for (const auto& [id, node] : nodes_) {
     if (node.epto == nullptr) continue;
     const auto snap = node.epto->metricsSnapshot();
+    spec.speculated += snap.speculation.speculated;
+    spec.confirmed += snap.speculation.confirmed;
+    spec.revoked += snap.speculation.revoked;
+    if (node.controller != nullptr) retunes += node.controller->retunes();
     ordering.rounds += snap.ordering.rounds;
     ordering.deliveredOrdered += snap.ordering.deliveredOrdered;
     ordering.deliveredOutOfOrder += snap.ordering.deliveredOutOfOrder;
@@ -758,6 +831,14 @@ void SimCluster::run() {
       .set(static_cast<std::int64_t>(dissemination.maxBallSize));
   registry_.gauge("epto_sim_received_set_size_total")
       .set(static_cast<std::int64_t>(receivedTotal));
+  if (config_.speculation.enabled) {
+    registry_.counter("epto_sim_spec_speculated_total").set(spec.speculated);
+    registry_.counter("epto_sim_spec_confirmed_total").set(spec.confirmed);
+    registry_.counter("epto_sim_spec_revoked_total").set(spec.revoked);
+  }
+  if (config_.adaptive.enabled) {
+    registry_.counter("epto_sim_retunes_total").set(retunes);
+  }
   // Trace-loss accounting (ISSUE satellite): a run that overflowed the
   // tracer ring or the flight recorder says so in its own metrics, so an
   // incomplete trace file is distinguishable from a quiet run.
@@ -862,8 +943,18 @@ ExperimentResult SimCluster::result() const {
       result.eventsRelayed += node.epto->disseminationStats().eventsRelayed;
       result.maxBallSize =
           std::max(result.maxBallSize, node.epto->disseminationStats().maxBallSize);
+      const auto snap = node.epto->metricsSnapshot();
+      result.speculated += snap.speculation.speculated;
+      result.specConfirmed += snap.speculation.confirmed;
+      result.specRevoked += snap.speculation.revoked;
+    }
+    if (node.controller != nullptr) {
+      result.retunes += node.controller->retunes();
+      result.finalTtl = std::max(result.finalTtl, node.controller->ttl());
+      result.finalFanout = std::max(result.finalFanout, node.controller->fanout());
     }
   }
+  result.speculativeDelays = speculativeDelays_;
   return result;
 }
 

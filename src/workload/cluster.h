@@ -13,6 +13,7 @@
 #include <variant>
 #include <vector>
 
+#include "adapt/controller.h"
 #include "baselines/balls_bins_broadcast.h"
 #include "baselines/pbcast.h"
 #include "baselines/sequencer.h"
@@ -120,6 +121,11 @@ class SimCluster {
     std::vector<std::pair<BallPtr, Timestamp>> replayBuffer;
     /// Honest-node ingress hardening (null when the guard is off).
     std::unique_ptr<core::IngressGuard> guard;
+    /// Per-node feedback controller (null unless config.adaptive.enabled).
+    std::unique_ptr<adapt::FeedbackController> controller;
+    /// Dissemination ballsReceived at the last controller round, for the
+    /// per-round arrival delta the loss estimate feeds on.
+    std::uint64_t lastBallsReceived = 0;
   };
 
   void spawnNode();
@@ -181,6 +187,13 @@ class SimCluster {
   Timestamp pauseEnd_ = 0;
   std::vector<ProcessId> staticMembers_;  // FixedSequencer only
   ProcessId nextId_ = 0;
+
+  /// Broadcast instants by packed EventId, kept when speculation is on so
+  /// speculative-delivery latency can be measured against the true
+  /// broadcast time regardless of clock mode.
+  std::unordered_map<std::uint64_t, Timestamp> broadcastTimes_;
+  /// One sample per speculate across all nodes (ExperimentResult).
+  std::vector<double> speculativeDelays_;
 
   std::uint64_t roundsExecuted_ = 0;
   /// Deliveries of Byzantine-authored events at honest nodes, excluded

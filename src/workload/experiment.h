@@ -121,6 +121,36 @@ struct ExperimentConfig {
   /// derived from the run configuration.
   std::uint32_t ingressRateCap = 64;
 
+  /// Online TTL/K feedback control (src/adapt, DESIGN.md §15): every
+  /// EpTO node runs its own FeedbackController off its observed
+  /// ball-arrival shortfall and retunes within the Lemma-safe envelope.
+  /// Requires Protocol::Epto.
+  struct AdaptivePlan {
+    bool enabled = false;
+    /// Worst loss rate the controller may compensate (ceiling of the
+    /// envelope); the floor is always the loss-free Lemma 3 point.
+    double worstCaseLossRate = 0.15;
+    /// Loss the run starts tuned for (the static comparison point).
+    double initialLossRate = 0.0;
+    std::uint32_t hysteresisRounds = 3;
+    double smoothing = 0.2;
+  };
+  AdaptivePlan adaptive;
+
+  /// Speculative delivery (core/speculation.h): Fast-class events are
+  /// emitted ahead of the committed frontier once their stability
+  /// confidence clears the threshold. Requires Protocol::Epto. With this
+  /// off, the run's committed output is byte-identical to a build that
+  /// has never heard of speculation.
+  struct SpeculationPlan {
+    bool enabled = false;
+    double confidenceThreshold = 0.9;
+    std::size_t maxWindow = 64;
+    /// Fraction of broadcasts tagged QosClass::Fast (the rest Safe).
+    double fastFraction = 1.0;
+  };
+  SpeculationPlan speculation;
+
   /// One-way latency distribution; null = the PlanetLab-like default
   /// (Fig. 5).
   const util::EmpiricalDistribution* latency = nullptr;
@@ -188,6 +218,18 @@ struct ExperimentResult {
   /// (excluded from the tracker's validity/integrity accounting — junk
   /// reaching the app is measured, not a protocol violation).
   std::uint64_t adversaryDeliveriesFiltered = 0;
+  /// Speculation outcome, summed over surviving nodes (zeroes unless
+  /// config.speculation.enabled).
+  std::uint64_t speculated = 0;
+  std::uint64_t specConfirmed = 0;
+  std::uint64_t specRevoked = 0;
+  /// Ticks from broadcast to speculative emission, one sample per
+  /// speculate across all nodes (the Fast-class latency distribution).
+  std::vector<double> speculativeDelays;
+  /// Adaptive-control outcome (zeroes unless config.adaptive.enabled).
+  std::uint64_t retunes = 0;
+  std::uint32_t finalTtl = 0;    ///< max over surviving controllers.
+  std::size_t finalFanout = 0;   ///< max over surviving controllers.
 };
 
 /// Run one experiment to completion. Deterministic in config.seed.

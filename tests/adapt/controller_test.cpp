@@ -1,0 +1,239 @@
+// Unit tests of the adaptive TTL/K feedback controller (DESIGN.md §15):
+// determinism, Lemma-safe bounds, hysteresis, step size, the shortfall
+// loss estimator and its guards.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "adapt/controller.h"
+#include "analysis/parameters.h"
+#include "util/ensure.h"
+
+namespace epto::adapt {
+namespace {
+
+ControllerConfig makeConfig(double worstLoss = 0.15, double initialLoss = 0.0) {
+  ControllerConfig config;
+  config.worstCase = {.systemSize = 40, .c = 2.0, .messageLossRate = worstLoss};
+  config.initialLossRate = initialLoss;
+  return config;
+}
+
+/// A round with `received` ball arrivals.
+RoundSignals balls(double received) {
+  RoundSignals signals;
+  signals.ballsReceived = received;
+  return signals;
+}
+
+/// A round with a direct substrate loss measurement.
+RoundSignals hint(double loss) {
+  RoundSignals signals;
+  signals.ballsReceived = 1.0;  // non-idle; the hint takes precedence
+  signals.lossHint = loss;
+  return signals;
+}
+
+TEST(Controller, BoundsRoundTripThroughLemmaSafeEnvelope) {
+  // The controller folds the worst-case loss into drift (Lemma 5
+  // equivalence) before asking the analysis for its envelope; the
+  // resulting bounds must agree with lemmaSafeBounds on those inputs.
+  const ControllerConfig config = makeConfig();
+  const FeedbackController controller(config);
+  analysis::ParameterInputs effective = config.worstCase;
+  effective.driftRatio =
+      config.worstCase.driftRatio / (1.0 - config.worstCase.messageLossRate);
+  const analysis::ParameterBounds expected = analysis::lemmaSafeBounds(effective);
+  EXPECT_EQ(controller.bounds().lower.ttl, expected.lower.ttl);
+  EXPECT_EQ(controller.bounds().lower.fanout, expected.lower.fanout);
+  EXPECT_EQ(controller.bounds().upper.ttl, expected.upper.ttl);
+  EXPECT_EQ(controller.bounds().upper.fanout, expected.upper.fanout);
+  EXPECT_LE(controller.bounds().lower.ttl, controller.bounds().upper.ttl);
+  EXPECT_LE(controller.bounds().lower.fanout, controller.bounds().upper.fanout);
+}
+
+TEST(Controller, StartsAtTheInitialLossTarget) {
+  const FeedbackController healthy(makeConfig(0.15, 0.0));
+  EXPECT_EQ(healthy.ttl(), healthy.targetFor(0.0).ttl);
+  EXPECT_EQ(healthy.fanout(), healthy.targetFor(0.0).fanout);
+  const FeedbackController provisioned(makeConfig(0.15, 0.15));
+  EXPECT_EQ(provisioned.ttl(), provisioned.targetFor(0.15).ttl);
+  EXPECT_EQ(provisioned.fanout(), provisioned.targetFor(0.15).fanout);
+  EXPECT_GE(provisioned.ttl(), healthy.ttl());
+  EXPECT_GE(provisioned.fanout(), healthy.fanout());
+}
+
+TEST(Controller, ManualStartingPointClampedIntoBounds) {
+  ControllerConfig config = makeConfig();
+  config.initialTtl = 1;
+  config.initialFanout = 1;
+  const FeedbackController low(config);
+  EXPECT_EQ(low.ttl(), low.bounds().lower.ttl);
+  EXPECT_EQ(low.fanout(), low.bounds().lower.fanout);
+  config.initialTtl = 1000;
+  config.initialFanout = 1000;
+  const FeedbackController high(config);
+  EXPECT_EQ(high.ttl(), high.bounds().upper.ttl);
+  EXPECT_EQ(high.fanout(), high.bounds().upper.fanout);
+}
+
+TEST(Controller, TargetForIsClampedAndMonotoneInLoss) {
+  const FeedbackController controller(makeConfig());
+  analysis::Parameters previous = controller.targetFor(0.0);
+  for (const double loss : {0.0, 0.03, 0.06, 0.09, 0.12, 0.15, 0.5, 2.0}) {
+    const analysis::Parameters target = controller.targetFor(loss);
+    EXPECT_GE(target.ttl, controller.bounds().lower.ttl) << "loss=" << loss;
+    EXPECT_LE(target.ttl, controller.bounds().upper.ttl) << "loss=" << loss;
+    EXPECT_GE(target.fanout, controller.bounds().lower.fanout) << "loss=" << loss;
+    EXPECT_LE(target.fanout, controller.bounds().upper.fanout) << "loss=" << loss;
+    EXPECT_GE(target.ttl, previous.ttl) << "loss=" << loss;
+    EXPECT_GE(target.fanout, previous.fanout) << "loss=" << loss;
+    previous = target;
+  }
+  // Beyond the provisioned worst case the target saturates — the
+  // controller never chases loss it was not provisioned for.
+  EXPECT_EQ(controller.targetFor(0.5).ttl, controller.targetFor(0.15).ttl);
+  EXPECT_EQ(controller.targetFor(2.0).fanout, controller.targetFor(0.15).fanout);
+}
+
+TEST(Controller, DeterministicAcrossInstances) {
+  FeedbackController a(makeConfig());
+  FeedbackController b(makeConfig());
+  for (int round = 0; round < 200; ++round) {
+    const double received = (round % 7 == 0) ? 3.0 : 15.0 + (round % 5);
+    const Decision da = a.onRound(balls(received));
+    const Decision db = b.onRound(balls(received));
+    EXPECT_EQ(da.ttl, db.ttl) << "round " << round;
+    EXPECT_EQ(da.fanout, db.fanout) << "round " << round;
+    EXPECT_EQ(da.changed, db.changed) << "round " << round;
+  }
+  EXPECT_EQ(a.retunes(), b.retunes());
+}
+
+TEST(Controller, IdleRoundsLeaveTheEstimateAlone) {
+  FeedbackController controller(makeConfig());
+  const double before = controller.lossEstimate();
+  for (int round = 0; round < 100; ++round) {
+    const Decision decision = controller.onRound(balls(0.0));
+    EXPECT_FALSE(decision.changed);
+  }
+  EXPECT_EQ(controller.lossEstimate(), before);
+  EXPECT_EQ(controller.retunes(), 0u);
+}
+
+TEST(Controller, HysteresisDelaysTheFirstStep) {
+  ControllerConfig config = makeConfig();
+  config.hysteresisRounds = 4;
+  config.smoothing = 1.0;  // the estimate follows the hint immediately
+  FeedbackController controller(config);
+  const std::uint32_t startTtl = controller.ttl();
+  for (int round = 1; round <= 3; ++round) {
+    EXPECT_FALSE(controller.onRound(hint(0.15)).changed) << "round " << round;
+    EXPECT_EQ(controller.ttl(), startTtl);
+  }
+  EXPECT_TRUE(controller.onRound(hint(0.15)).changed);
+  EXPECT_EQ(controller.ttl(), startTtl + 1);
+}
+
+TEST(Controller, StepsAreBoundedToOnePerKnobPerRound) {
+  FeedbackController controller(makeConfig());
+  std::uint32_t ttl = controller.ttl();
+  std::size_t fanout = controller.fanout();
+  for (int round = 0; round < 300; ++round) {
+    // Alternate violent signals to provoke the widest swings.
+    const Decision decision =
+        controller.onRound(round % 2 == 0 ? hint(0.95) : hint(0.0));
+    EXPECT_LE(decision.ttl > ttl ? decision.ttl - ttl : ttl - decision.ttl, 1u);
+    EXPECT_LE(decision.fanout > fanout ? decision.fanout - fanout
+                                       : fanout - decision.fanout,
+              1u);
+    ttl = decision.ttl;
+    fanout = decision.fanout;
+  }
+}
+
+TEST(Controller, NeverLeavesTheLemmaSafeEnvelope) {
+  FeedbackController controller(makeConfig());
+  const analysis::ParameterBounds& bounds = controller.bounds();
+  for (int round = 0; round < 500; ++round) {
+    const Decision decision =
+        controller.onRound(round < 250 ? hint(0.95) : hint(0.0));
+    EXPECT_GE(decision.ttl, bounds.lower.ttl);
+    EXPECT_LE(decision.ttl, bounds.upper.ttl);
+    EXPECT_GE(decision.fanout, bounds.lower.fanout);
+    EXPECT_LE(decision.fanout, bounds.upper.fanout);
+  }
+}
+
+TEST(Controller, ConvergesUpUnderLossAndBackDownWhenItClears) {
+  FeedbackController controller(makeConfig());
+  for (int round = 0; round < 200; ++round) {
+    (void)controller.onRound(hint(0.15));
+  }
+  EXPECT_EQ(controller.ttl(), controller.bounds().upper.ttl);
+  EXPECT_EQ(controller.fanout(), controller.bounds().upper.fanout);
+  for (int round = 0; round < 400; ++round) {
+    (void)controller.onRound(hint(0.0));
+  }
+  // Shrinking is reluctant (a knob rests one notch above its target
+  // rather than oscillating), so "back down" means within one step of
+  // the healthy floor, not exactly on it.
+  EXPECT_LE(controller.ttl(), controller.bounds().lower.ttl + 1);
+  EXPECT_LE(controller.fanout(), controller.bounds().lower.fanout + 1);
+  EXPECT_GT(controller.retunes(), 0u);
+}
+
+TEST(Controller, ShortfallEstimatorIsUnbiasedAroundTheMean) {
+  // Arrivals oscillating symmetrically around K must not wind the
+  // estimate up: surplus rounds pull the EWMA down as hard as shortfall
+  // rounds pull it up.
+  FeedbackController controller(makeConfig());
+  const double k = static_cast<double>(controller.fanout());
+  for (int round = 0; round < 400; ++round) {
+    (void)controller.onRound(balls(round % 2 == 0 ? 0.8 * k : 1.2 * k));
+  }
+  EXPECT_LT(controller.lossEstimate(), 0.05);
+  EXPECT_EQ(controller.ttl(), controller.targetFor(0.0).ttl);
+}
+
+TEST(Controller, StarvationShortfallRejectedAsLossSample) {
+  // 1 ball against K expected is a drain tail or a quiescent workload,
+  // not 90+% link loss; the sample must be rejected, not folded in.
+  FeedbackController controller(makeConfig());
+  const std::uint32_t startTtl = controller.ttl();
+  for (int round = 0; round < 200; ++round) {
+    (void)controller.onRound(balls(1.0));
+  }
+  EXPECT_EQ(controller.ttl(), startTtl);
+  EXPECT_LT(controller.lossEstimate(), 0.01);
+}
+
+TEST(Controller, ModerateShortfallIsAccepted) {
+  // A shortfall inside 3x the provisioned worst case is credible loss.
+  FeedbackController controller(makeConfig());
+  for (int round = 0; round < 200; ++round) {
+    // Track the live K so the shortfall stays at 15% as the controller
+    // raises its fanout.
+    (void)controller.onRound(balls(0.85 * static_cast<double>(controller.fanout())));
+  }
+  EXPECT_NEAR(controller.lossEstimate(), 0.15, 0.03);
+  EXPECT_GT(controller.ttl(), controller.targetFor(0.0).ttl);
+}
+
+TEST(Controller, RejectsInvalidConfiguration) {
+  ControllerConfig config = makeConfig();
+  config.hysteresisRounds = 0;
+  EXPECT_THROW((void)FeedbackController(config), util::ContractViolation);
+  config = makeConfig();
+  config.smoothing = 0.0;
+  EXPECT_THROW((void)FeedbackController(config), util::ContractViolation);
+  config = makeConfig();
+  config.smoothing = 1.5;
+  EXPECT_THROW((void)FeedbackController(config), util::ContractViolation);
+  config = makeConfig(0.15, 0.5);  // initial loss outside the envelope
+  EXPECT_THROW((void)FeedbackController(config), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace epto::adapt

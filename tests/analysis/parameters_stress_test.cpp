@@ -1,0 +1,176 @@
+// Stress coverage for analysis::parameters: Lemma 3-7 composition under
+// combined nonzero loss x churn x drift, monotonicity of TTL/K in every
+// input, the lemmaSafeBounds envelope, and the §8.4 stability estimate.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/parameters.h"
+
+namespace epto::analysis {
+namespace {
+
+constexpr std::size_t kSystem = 100;
+
+ParameterInputs stress(double loss, double churn, double drift) {
+  return {.systemSize = kSystem,
+          .c = 2.0,
+          .churnPerRound = churn,
+          .messageLossRate = loss,
+          .driftRatio = drift};
+}
+
+TEST(ParametersStress, CombinedTransientsStayWithinDomain) {
+  // Every loss x churn x drift combination must compose into parameters
+  // that are usable (K in [1, n-1], TTL >= the loss-free floor) — no
+  // combination may silently overflow or collapse.
+  const Parameters floor = computeParameters(stress(0.0, 0.0, 1.0));
+  for (const double loss : {0.01, 0.1, 0.3, 0.6}) {
+    for (const double churn : {1.0, 10.0, 25.0}) {
+      for (const double drift : {1.0, 1.5, 3.0}) {
+        const Parameters params = computeParameters(stress(loss, churn, drift));
+        EXPECT_GE(params.fanout, floor.fanout)
+            << "loss=" << loss << " churn=" << churn << " drift=" << drift;
+        EXPECT_LE(params.fanout, kSystem - 1);
+        EXPECT_GE(params.ttl, floor.ttl);
+        EXPECT_LT(params.ttl, 10000u);  // sane even at the stress corner
+      }
+    }
+  }
+}
+
+TEST(ParametersStress, FanoutMonotoneInLossUnderCombinedStress) {
+  // Monotonicity must survive the other transients being nonzero, not
+  // just the isolated single-lemma cases.
+  Parameters previous = computeParameters(stress(0.0, 5.0, 1.5));
+  for (const double loss : {0.05, 0.1, 0.2, 0.4, 0.6, 0.8}) {
+    const Parameters params = computeParameters(stress(loss, 5.0, 1.5));
+    EXPECT_GE(params.fanout, previous.fanout) << "loss=" << loss;
+    EXPECT_EQ(params.ttl, previous.ttl) << "loss feeds K (Lemma 7), not TTL";
+    previous = params;
+  }
+}
+
+TEST(ParametersStress, FanoutMonotoneInChurnUnderCombinedStress) {
+  Parameters previous = computeParameters(stress(0.1, 0.0, 1.5));
+  for (const double churn : {1.0, 5.0, 10.0, 25.0, 50.0}) {
+    const Parameters params = computeParameters(stress(0.1, churn, 1.5));
+    EXPECT_GE(params.fanout, previous.fanout) << "churn=" << churn;
+    EXPECT_EQ(params.ttl, previous.ttl) << "churn feeds K (Lemma 7), not TTL";
+    previous = params;
+  }
+}
+
+TEST(ParametersStress, TtlMonotoneInDriftUnderCombinedStress) {
+  Parameters previous = computeParameters(stress(0.1, 5.0, 1.0));
+  for (const double drift : {1.25, 1.5, 2.0, 3.0, 5.0}) {
+    const Parameters params = computeParameters(stress(0.1, 5.0, drift));
+    EXPECT_GE(params.ttl, previous.ttl) << "drift=" << drift;
+    EXPECT_EQ(params.fanout, previous.fanout) << "drift feeds TTL (Lemma 5), not K";
+    previous = params;
+  }
+}
+
+TEST(ParametersStress, BothKnobsMonotoneInSystemSize) {
+  Parameters previous = computeParameters(
+      {.systemSize = 16, .c = 2.0, .churnPerRound = 2.0, .messageLossRate = 0.1});
+  for (const std::size_t n : {32u, 64u, 128u, 1024u, 16384u}) {
+    const Parameters params = computeParameters(
+        {.systemSize = n, .c = 2.0, .churnPerRound = 2.0, .messageLossRate = 0.1});
+    EXPECT_GE(params.fanout, previous.fanout) << "n=" << n;
+    EXPECT_GE(params.ttl, previous.ttl) << "n=" << n;
+    previous = params;
+  }
+}
+
+TEST(ParametersStress, TtlMonotoneInC) {
+  Parameters previous = computeParameters(stress(0.1, 5.0, 1.5));
+  for (const double c : {2.5, 3.0, 4.0}) {
+    ParameterInputs inputs = stress(0.1, 5.0, 1.5);
+    inputs.c = c;
+    const Parameters params = computeParameters(inputs);
+    EXPECT_GE(params.ttl, previous.ttl) << "c=" << c;
+    previous = params;
+  }
+}
+
+TEST(LemmaSafeBounds, EnvelopeEndsAreTheZeroedAndWorstCasePoints) {
+  const ParameterInputs worst = stress(0.15, 3.0, 1.5);
+  const ParameterBounds bounds = lemmaSafeBounds(worst);
+  // The ceiling is the worst case exactly as given...
+  const Parameters ceiling = computeParameters(worst);
+  EXPECT_EQ(bounds.upper.ttl, ceiling.ttl);
+  EXPECT_EQ(bounds.upper.fanout, ceiling.fanout);
+  // ...and the floor relaxes only the transient terms, keeping the
+  // structural inputs (n, c, clock mode, latency) intact.
+  ParameterInputs healthy = worst;
+  healthy.messageLossRate = 0.0;
+  healthy.churnPerRound = 0.0;
+  healthy.driftRatio = 1.0;
+  const Parameters floor = computeParameters(healthy);
+  EXPECT_EQ(bounds.lower.ttl, floor.ttl);
+  EXPECT_EQ(bounds.lower.fanout, floor.fanout);
+  EXPECT_LE(bounds.lower.ttl, bounds.upper.ttl);
+  EXPECT_LE(bounds.lower.fanout, bounds.upper.fanout);
+}
+
+TEST(LemmaSafeBounds, EveryIntermediateEnvironmentLandsInsideTheEnvelope) {
+  // Round-trip with the adaptive controller's contract: any environment
+  // between healthy and worst-case must derive parameters inside the
+  // envelope, so online retuning toward the live estimate can never
+  // leave it.
+  const ParameterInputs worst = stress(0.15, 3.0, 1.5);
+  const ParameterBounds bounds = lemmaSafeBounds(worst);
+  for (const double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const Parameters mid = computeParameters(
+        stress(0.15 * f, 3.0 * f, 1.0 + 0.5 * f));
+    EXPECT_GE(mid.ttl, bounds.lower.ttl) << "f=" << f;
+    EXPECT_LE(mid.ttl, bounds.upper.ttl) << "f=" << f;
+    EXPECT_GE(mid.fanout, bounds.lower.fanout) << "f=" << f;
+    EXPECT_LE(mid.fanout, bounds.upper.fanout) << "f=" << f;
+  }
+}
+
+TEST(StabilityEstimate, MonotoneInAgeAndReachesOneByTheHorizon) {
+  StabilityInputs inputs{.systemSize = kSystem, .fanout = 17, .age = 0};
+  double previous = -1.0;
+  for (std::uint32_t age = 0; age <= 20; ++age) {
+    inputs.age = age;
+    const double estimate = stabilityEstimate(inputs);
+    EXPECT_GE(estimate, 0.0);
+    EXPECT_LE(estimate, 1.0);
+    EXPECT_GE(estimate, previous) << "age=" << age;
+    previous = estimate;
+  }
+  // By the Lemma 3 TTL the epidemic has saturated whp — the recursion
+  // must agree with the bound it was derived from.
+  inputs.age = baseTtl(kSystem, 2.0);
+  EXPECT_GT(stabilityEstimate(inputs), 0.999);
+}
+
+TEST(StabilityEstimate, MonotoneInRedundancyFanoutAndLoss) {
+  StabilityInputs base{
+      .systemSize = kSystem, .fanout = 17, .messageLossRate = 0.1, .age = 3,
+      .copiesSeen = 1};
+  const double reference = stabilityEstimate(base);
+  StabilityInputs redundant = base;
+  redundant.copiesSeen = 8;
+  EXPECT_GT(stabilityEstimate(redundant), reference);
+  StabilityInputs wider = base;
+  wider.fanout = 25;
+  EXPECT_GT(stabilityEstimate(wider), reference);
+  StabilityInputs lossier = base;
+  lossier.messageLossRate = 0.4;
+  EXPECT_LT(stabilityEstimate(lossier), reference);
+}
+
+TEST(StabilityEstimate, FreshSingletonIsUncertain) {
+  // One copy, zero relay rounds: the estimate must not claim stability.
+  const StabilityInputs inputs{
+      .systemSize = kSystem, .fanout = 17, .age = 0, .copiesSeen = 1};
+  EXPECT_LT(stabilityEstimate(inputs), 0.1);
+}
+
+}  // namespace
+}  // namespace epto::analysis

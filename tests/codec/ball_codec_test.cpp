@@ -35,6 +35,7 @@ void expectSameBall(const Ball& a, const Ball& b) {
     EXPECT_EQ(a[i].hop, b[i].hop);
     EXPECT_EQ(a[i].originRound, b[i].originRound);
     EXPECT_EQ(a[i].incarnation, b[i].incarnation);
+    EXPECT_EQ(a[i].qos, b[i].qos);
     const bool aHas = a[i].payload != nullptr && !a[i].payload->empty();
     const bool bHas = b[i].payload != nullptr && !b[i].payload->empty();
     ASSERT_EQ(aHas, bHas);
@@ -283,7 +284,7 @@ TEST(BallCodecV2, UnknownFlagBitsRejected) {
   frame.push_back(std::byte{0x70});
   frame.push_back(std::byte{0xE9});
   frame.push_back(std::byte{kVersionLineage});
-  frame.push_back(std::byte{0x02});  // not kFlagLineage
+  frame.push_back(std::byte{0x04});  // neither kFlagLineage nor kFlagQos
   putVarint(frame, 0);
   restampCrc(frame);
   EXPECT_EQ(decodeBall(frame).error, DecodeError::BadVersion);
@@ -319,6 +320,89 @@ TEST(BallCodecV2, EveryTruncationRejected) {
   const auto frame =
       encodeBall({makeLineageEvent(1, 2, 3, 400, 5), makeLineageEvent(6, 7, 8, 900, 1)},
                  EncodeOptions{.lineage = true});
+  for (std::size_t keep = 0; keep < frame.size(); ++keep) {
+    EXPECT_FALSE(decodeBall(std::span(frame.data(), keep)).ok())
+        << "kept " << keep << " bytes";
+  }
+}
+
+// ---- version 2: per-event QoS class --------------------------------------
+
+Event makeFastEvent(ProcessId source, std::uint32_t seq, std::size_t payloadBytes = 0) {
+  Event e = makeEvent(source, seq, 200 + seq, 4, payloadBytes);
+  e.qos = QosClass::Fast;
+  return e;
+}
+
+TEST(BallCodecQos, MixedClassesRoundTrip) {
+  Ball ball{makeEvent(1, 0, 100, 3), makeFastEvent(2, 7, 16), makeEvent(3, 1, 101, 5),
+            makeFastEvent(4, 9)};
+  const auto frame = encodeBall(ball, EncodeOptions{.qos = true});
+  EXPECT_EQ(frame[2], std::byte{kVersionLineage});
+  EXPECT_EQ(frame[3], std::byte{kFlagQos});
+  const auto decoded = decodeBall(frame);
+  ASSERT_TRUE(decoded.ok()) << toString(decoded.error);
+  expectSameBall(ball, decoded.ball);
+  EXPECT_EQ(decoded.ball[1].qos, QosClass::Fast);
+  EXPECT_EQ(decoded.ball[2].qos, QosClass::Safe);
+}
+
+TEST(BallCodecQos, SafeOnlyBallStaysByteIdenticalWithQosEnabled) {
+  // The flag bit is demand-driven: a fleet that never tags anything Fast
+  // keeps emitting the exact v1 frame even with the option on — the
+  // speculation-off identity guarantee at the wire layer.
+  Ball ball{makeEvent(1, 0, 100, 3), makeEvent(2, 7, 101, 15, 32)};
+  EXPECT_EQ(encodeBall(ball, EncodeOptions{.qos = true}), encodeBall(ball));
+  EXPECT_EQ(encodeBall(ball, EncodeOptions{.qos = true})[2], std::byte{kVersion});
+}
+
+TEST(BallCodecQos, EncoderWithoutTheOptionDropsTheClass) {
+  // A legacy encoder flattens Fast to the wire default; the receiver
+  // treats the event as Safe (never speculates) — the conservative side.
+  Ball ball{makeFastEvent(5, 3, 8)};
+  const auto decoded = decodeBall(encodeBall(ball));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.ball[0].qos, QosClass::Safe);
+}
+
+TEST(BallCodecQos, ComposesWithLineage) {
+  Ball ball{makeLineageEvent(1, 0, 3, 41, 2), makeFastEvent(2, 7, 16)};
+  ball[1].hop = 9;
+  const auto frame =
+      encodeBall(ball, EncodeOptions{.lineage = true, .qos = true});
+  EXPECT_EQ(frame[3], std::byte{kFlagLineage | kFlagQos});
+  const auto decoded = decodeBall(frame);
+  ASSERT_TRUE(decoded.ok()) << toString(decoded.error);
+  expectSameBall(ball, decoded.ball);
+}
+
+TEST(BallCodecQos, InvalidClassByteRejected) {
+  const auto craft = [](std::uint8_t qosByte) {
+    std::vector<std::byte> frame;
+    frame.push_back(std::byte{0x70});
+    frame.push_back(std::byte{0xE9});
+    frame.push_back(std::byte{kVersionLineage});
+    frame.push_back(std::byte{kFlagQos});
+    putVarint(frame, 1);   // one event
+    putVarint(frame, 1);   // source
+    putVarint(frame, 0);   // sequence
+    putVarint(frame, 10);  // ts
+    putVarint(frame, 2);   // ttl
+    frame.push_back(std::byte{qosByte});
+    putVarint(frame, 0);   // payload length
+    restampCrc(frame);
+    return frame;
+  };
+  EXPECT_TRUE(decodeBall(craft(0)).ok());
+  EXPECT_TRUE(decodeBall(craft(1)).ok());
+  // Beyond the two defined classes the per-event layout is unknowable.
+  EXPECT_EQ(decodeBall(craft(2)).error, DecodeError::BadVersion);
+  EXPECT_EQ(decodeBall(craft(0xFF)).error, DecodeError::BadVersion);
+}
+
+TEST(BallCodecQos, EveryTruncationRejected) {
+  const auto frame = encodeBall({makeFastEvent(1, 2, 10), makeFastEvent(3, 4)},
+                                EncodeOptions{.qos = true});
   for (std::size_t keep = 0; keep < frame.size(); ++keep) {
     EXPECT_FALSE(decodeBall(std::span(frame.data(), keep)).ok())
         << "kept " << keep << " bytes";

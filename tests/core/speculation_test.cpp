@@ -1,0 +1,155 @@
+// Unit tests of the speculative delivery channel (§8.4, DESIGN.md §15):
+// the offer/confirm/revoke protocol, key-order discipline, window
+// capacity and exactly-once resolution.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/speculation.h"
+
+namespace epto {
+namespace {
+
+Event makeEvent(ProcessId source, std::uint32_t seq, Timestamp ts) {
+  Event e;
+  e.id = EventId{source, seq};
+  e.ts = ts;
+  e.qos = QosClass::Fast;
+  return e;
+}
+
+/// Records every callback invocation in order, as readable strings.
+class ChannelTest : public ::testing::Test {
+ protected:
+  SpeculationChannel build(double threshold = 0.5, std::size_t maxWindow = 64) {
+    SpeculationCallbacks callbacks;
+    callbacks.onSpeculate = [this](const Event& e, double confidence) {
+      log_.push_back("spec " + key(e.id) + " @" + std::to_string(confidence));
+    };
+    callbacks.onConfirm = [this](const EventId& id) {
+      log_.push_back("confirm " + key(id));
+    };
+    callbacks.onRevoke = [this](const EventId& id) {
+      log_.push_back("revoke " + key(id));
+    };
+    return SpeculationChannel({threshold, maxWindow, /*self=*/7},
+                              std::move(callbacks));
+  }
+
+  static std::string key(const EventId& id) {
+    return std::to_string(id.source) + ":" + std::to_string(id.sequence);
+  }
+
+  std::vector<std::string> log_;
+};
+
+TEST_F(ChannelTest, OfferBelowThresholdRefusedWithoutEmission) {
+  auto channel = build(0.9);
+  EXPECT_FALSE(channel.offer(makeEvent(1, 0, 10), 0.5, 0, 1));
+  EXPECT_TRUE(log_.empty());
+  EXPECT_EQ(channel.windowSize(), 0u);
+  EXPECT_EQ(channel.stats().speculated, 0u);
+}
+
+TEST_F(ChannelTest, OfferAboveThresholdEmitsWithConfidence) {
+  auto channel = build(0.5);
+  EXPECT_TRUE(channel.offer(makeEvent(1, 0, 10), 0.75, 2, 1));
+  ASSERT_EQ(log_.size(), 1u);
+  EXPECT_EQ(log_[0], "spec 1:0 @" + std::to_string(0.75));
+  EXPECT_EQ(channel.windowSize(), 1u);
+  EXPECT_EQ(channel.stats().speculated, 1u);
+}
+
+TEST_F(ChannelTest, CommitOfHeadConfirmsExactlyOnce) {
+  auto channel = build();
+  const Event e = makeEvent(1, 0, 10);
+  ASSERT_TRUE(channel.offer(e, 0.9, 0, 1));
+  channel.onCommit(e.orderKey(), 2);
+  channel.onCommit(e.orderKey(), 3);  // repeat commit of the same key
+  ASSERT_EQ(log_.size(), 2u);
+  EXPECT_EQ(log_[1], "confirm 1:0");
+  EXPECT_EQ(channel.stats().confirmed, 1u);
+  EXPECT_EQ(channel.windowSize(), 0u);
+  EXPECT_FALSE(channel.frontier().has_value());
+}
+
+TEST_F(ChannelTest, CommitOfUnspeculatedKeyLeavesWindowUntouched) {
+  auto channel = build();
+  ASSERT_TRUE(channel.offer(makeEvent(5, 0, 50), 0.9, 0, 1));
+  // A smaller-keyed event the channel never speculated commits first.
+  channel.onCommit(makeEvent(1, 0, 10).orderKey(), 2);
+  EXPECT_EQ(channel.windowSize(), 1u);
+  EXPECT_EQ(channel.stats().confirmed, 0u);
+  EXPECT_EQ(channel.stats().revoked, 0u);
+}
+
+TEST_F(ChannelTest, FreshSmallerKeyRevokesDisplacedSuffixDeepestFirst) {
+  auto channel = build();
+  ASSERT_TRUE(channel.offer(makeEvent(1, 0, 10), 0.9, 0, 1));
+  ASSERT_TRUE(channel.offer(makeEvent(2, 0, 20), 0.9, 0, 1));
+  ASSERT_TRUE(channel.offer(makeEvent(3, 0, 30), 0.9, 0, 1));
+  // A straggler with ts 15 lands between the first and second slots:
+  // the suffix {2:0, 3:0} was emitted too early, deepest revoked first.
+  channel.onFreshEvent(makeEvent(9, 0, 15).orderKey(), 2);
+  ASSERT_EQ(log_.size(), 5u);
+  EXPECT_EQ(log_[3], "revoke 3:0");
+  EXPECT_EQ(log_[4], "revoke 2:0");
+  EXPECT_EQ(channel.stats().revoked, 2u);
+  EXPECT_EQ(channel.windowSize(), 1u);  // 1:0 survives
+  ASSERT_TRUE(channel.frontier().has_value());
+  EXPECT_EQ(channel.frontier()->ts, 10u);
+}
+
+TEST_F(ChannelTest, FreshLargerKeyRevokesNothing) {
+  auto channel = build();
+  ASSERT_TRUE(channel.offer(makeEvent(1, 0, 10), 0.9, 0, 1));
+  channel.onFreshEvent(makeEvent(9, 0, 99).orderKey(), 2);
+  EXPECT_EQ(channel.stats().revoked, 0u);
+  EXPECT_EQ(channel.windowSize(), 1u);
+}
+
+TEST_F(ChannelTest, WindowCapacityEndsTheScan) {
+  auto channel = build(0.5, /*maxWindow=*/2);
+  EXPECT_TRUE(channel.offer(makeEvent(1, 0, 10), 0.9, 0, 1));
+  EXPECT_TRUE(channel.offer(makeEvent(2, 0, 20), 0.9, 0, 1));
+  EXPECT_FALSE(channel.hasCapacity());
+  EXPECT_FALSE(channel.offer(makeEvent(3, 0, 30), 0.9, 0, 1));
+  EXPECT_EQ(channel.stats().speculated, 2u);
+  // Resolving the head frees a slot.
+  channel.onCommit(makeEvent(1, 0, 10).orderKey(), 2);
+  EXPECT_TRUE(channel.hasCapacity());
+  EXPECT_TRUE(channel.offer(makeEvent(3, 0, 30), 0.9, 0, 1));
+}
+
+TEST_F(ChannelTest, FrontierTracksTheDeepestUnresolvedKey) {
+  auto channel = build();
+  EXPECT_FALSE(channel.frontier().has_value());
+  ASSERT_TRUE(channel.offer(makeEvent(1, 0, 10), 0.9, 0, 1));
+  ASSERT_TRUE(channel.offer(makeEvent(2, 0, 20), 0.9, 0, 1));
+  ASSERT_TRUE(channel.frontier().has_value());
+  EXPECT_EQ(channel.frontier()->ts, 20u);
+}
+
+TEST_F(ChannelTest, EverySpeculationResolvesExactlyOnce) {
+  // Drive a mixed confirm/revoke sequence and check the books balance:
+  // confirmed + revoked + still-windowed == speculated, and no id is
+  // resolved twice.
+  auto channel = build();
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(channel.offer(makeEvent(1, i, 100 + 10 * i), 0.9, 0, i));
+  }
+  channel.onCommit(makeEvent(1, 0, 100).orderKey(), 11);   // confirm 1:0
+  channel.onFreshEvent(makeEvent(9, 0, 145).orderKey(), 12);  // revoke 1:5..1:9
+  channel.onCommit(makeEvent(1, 1, 110).orderKey(), 13);   // confirm 1:1
+  const auto& stats = channel.stats();
+  EXPECT_EQ(stats.speculated, 10u);
+  EXPECT_EQ(stats.confirmed, 2u);
+  EXPECT_EQ(stats.revoked, 5u);
+  EXPECT_EQ(channel.windowSize(), 3u);
+  EXPECT_EQ(stats.confirmed + stats.revoked + channel.windowSize(),
+            stats.speculated);
+}
+
+}  // namespace
+}  // namespace epto

@@ -102,6 +102,31 @@ class RuleFixtureTest(unittest.TestCase):
         findings = epto_lint.lint_text("src/x.cpp", code)
         self.assertNotIn("decoded-ball-trust", rule_ids(findings))
 
+    def test_speculative_frontier_write_assignment(self):
+        self.assert_fires("speculative-frontier-write", "src/core/speculation.cpp",
+                          "lastDelivered_ = slot.key;\n")
+
+    def test_speculative_frontier_write_container_mutation(self):
+        self.assert_fires("speculative-frontier-write", "src/core/speculation.cpp",
+                          "received_.erase(it);\n")
+        self.assert_fires("speculative-frontier-write", "src/core/speculation.cpp",
+                          "receivedIndex_.emplace(id.packed(), &entry);\n")
+        self.assert_fires("speculative-frontier-write", "src/core/speculation.cpp",
+                          "received_.clear();\n")
+
+    def test_speculative_frontier_read_allowed(self):
+        code = ("auto it = received_.upper_bound(*frontier);\n"
+                "if (lastDelivered_.has_value() && key <= *lastDelivered_) hold();\n"
+                "if (lastDelivered_ == key) confirm();\n")
+        findings = epto_lint.lint_text("src/core/speculation.cpp", code)
+        self.assertNotIn("speculative-frontier-write", rule_ids(findings))
+
+    def test_speculative_frontier_write_committed_path_suppressed(self):
+        code = "lastDelivered_ = event.orderKey();\n"
+        allow = {("speculative-frontier-write", "src/core/ordering.cpp")}
+        self.assertEqual([], epto_lint.lint_text(
+            "src/core/ordering.cpp", code, allow))
+
 
 class ScrubberTest(unittest.TestCase):
     """Comments and literals must never produce findings."""
@@ -155,6 +180,7 @@ class AllowlistTest(unittest.TestCase):
         self.assertIn(("raw-mutex", "src/util/mutex.h"), entries)
         self.assertIn(("eventid-order", "src/core/dissemination.cpp"), entries)
         self.assertIn(("decoded-ball-trust", "src/runtime/udp_cluster.cpp"), entries)
+        self.assertIn(("speculative-frontier-write", "src/core/ordering.cpp"), entries)
 
     def test_every_checked_in_entry_is_load_bearing(self):
         """Dropping any allowlist entry must surface at least one finding —

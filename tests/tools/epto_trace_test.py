@@ -53,6 +53,20 @@ DELIVER = {
     "type": "deliver", "node": 1, "round": 7, "source": 0, "seq": 0, "ts": 10,
     "ttl": 4, "size": 38, "aux": 0, "detail": 0,
 }
+SPECULATE = {
+    "type": "speculate", "node": 1, "round": 5, "source": 0, "seq": 0, "ts": 10,
+    "ttl": 3, "size": 940000, "aux": 2, "detail": 0,
+}
+SPEC_CONFIRM = {
+    "type": "spec_confirm", "node": 1, "round": 7, "source": 0, "seq": 0, "ts": 10,
+}
+SPEC_REVOKE = {
+    "type": "spec_revoke", "node": 1, "round": 8, "source": 0, "seq": 0, "ts": 10,
+}
+RETUNE = {  # ttl 13 in [12, 15], K 17 in [16, 19]
+    "type": "retune", "node": 0, "round": 4, "source": 0, "seq": 0, "ts": 0,
+    "ttl": 13, "size": (15 << 32) | 12, "aux": (19 << 32) | 16, "detail": 17,
+}
 
 
 class GoldenTrace(unittest.TestCase):
@@ -128,6 +142,84 @@ class Invariants(unittest.TestCase):
             self.assertEqual(result.returncode, 1)
             violations = summary["segments"]["(unlabeled)"]["invariant_violations"]
             self.assertEqual(violations.get("deliver_before_deliverable"), 1)
+        finally:
+            os.unlink(path)
+
+    def test_revoke_after_confirm_detected(self):
+        path = write_trace(
+            [BROADCAST, FIRST_SEEN, SPECULATE, SPEC_CONFIRM, SPEC_REVOKE]
+        )
+        try:
+            result, summary = run_summary("--check-invariants", path)
+            self.assertEqual(result.returncode, 1)
+            violations = summary["segments"]["(unlabeled)"]["invariant_violations"]
+            self.assertEqual(violations.get("spec_revoke_after_confirm"), 1)
+        finally:
+            os.unlink(path)
+
+    def test_respeculation_lifecycle_passes(self):
+        # speculate -> revoke -> speculate again -> confirm is the
+        # legitimate lifecycle (a straggler displaced the preview, the
+        # event re-qualified later and the committed path agreed).
+        # Confirm is terminal; only a revoke strictly AFTER it violates.
+        early_revoke = dict(SPEC_REVOKE, round=6)
+        respeculate = dict(SPECULATE, round=6)
+        path = write_trace(
+            [BROADCAST, FIRST_SEEN, SPECULATE, early_revoke, respeculate, SPEC_CONFIRM]
+        )
+        try:
+            result, summary = run_summary("--check-invariants", path)
+            self.assertEqual(result.returncode, 0, result.stderr)
+            spec = summary["segments"]["(unlabeled)"]["speculation"]
+            self.assertEqual(spec["confirmed"], 1)
+            self.assertEqual(spec["revoked"], 1)
+        finally:
+            os.unlink(path)
+
+    def test_resolution_without_speculate_detected(self):
+        path = write_trace([BROADCAST, FIRST_SEEN, SPEC_CONFIRM])
+        try:
+            result, summary = run_summary("--check-invariants", path)
+            self.assertEqual(result.returncode, 1)
+            violations = summary["segments"]["(unlabeled)"]["invariant_violations"]
+            self.assertEqual(violations.get("spec_resolution_without_speculate"), 1)
+        finally:
+            os.unlink(path)
+
+    def test_clean_speculation_passes_and_is_counted(self):
+        path = write_trace([BROADCAST, FIRST_SEEN, SPECULATE, SPEC_CONFIRM])
+        try:
+            result, summary = run_summary("--check-invariants", path)
+            self.assertEqual(result.returncode, 0, result.stderr)
+            spec = summary["segments"]["(unlabeled)"]["speculation"]
+            self.assertEqual(spec["speculated"], 1)
+            self.assertEqual(spec["confirmed"], 1)
+            self.assertEqual(spec["revoked"], 0)
+            self.assertEqual(spec["mistake_rate"], 0.0)
+            self.assertEqual(spec["confidence"]["max"], 0.94)
+        finally:
+            os.unlink(path)
+
+    def test_retune_within_bounds_passes(self):
+        path = write_trace([RETUNE])
+        try:
+            result, summary = run_summary("--check-invariants", path)
+            self.assertEqual(result.returncode, 0, result.stderr)
+            self.assertEqual(
+                summary["segments"]["(unlabeled)"]["retunes"]["count"], 1
+            )
+        finally:
+            os.unlink(path)
+
+    def test_retune_out_of_bounds_detected(self):
+        bad_ttl = dict(RETUNE, ttl=16)  # above the packed [12, 15]
+        bad_k = dict(RETUNE, detail=15)  # below the packed [16, 19]
+        path = write_trace([bad_ttl, bad_k])
+        try:
+            result, summary = run_summary("--check-invariants", path)
+            self.assertEqual(result.returncode, 1)
+            violations = summary["segments"]["(unlabeled)"]["invariant_violations"]
+            self.assertEqual(violations.get("retune_out_of_bounds"), 2)
         finally:
             os.unlink(path)
 

@@ -41,6 +41,17 @@ decoded-ball-trust
                  until core::IngressGuard has screened them (DESIGN.md
                  §14); a new decode site is a new unguarded trust
                  boundary.
+speculative-frontier-write
+                 No mutation of the committed delivery frontier
+                 (lastDelivered_, received_, receivedIndex_) outside the
+                 ordering component's committed path (allowlisted).
+                 Speculative delivery (DESIGN.md §15) is an overlay: it
+                 may read the frontier to pick candidates but must never
+                 advance, erase or insert committed state — that is what
+                 keeps the committed total order byte-identical with
+                 speculation on or off. A new frontier write site is a
+                 new way for an optimistic path to corrupt the committed
+                 order.
 
 Allowlist
 ---------
@@ -110,6 +121,15 @@ RULES: tuple[Rule, ...] = (
         re.compile(r"\bdecodeBall\s*\("),
         "decodeBall outside the codec / sanctioned ingress — decoded fields are "
         "untrusted until core::IngressGuard screens them",
+    ),
+    Rule(
+        "speculative-frontier-write",
+        re.compile(
+            r"\blastDelivered_\s*=(?!=)"
+            r"|\breceived(?:Index)?_\s*\.\s*(?:erase|clear|insert|emplace|try_emplace)\b"
+        ),
+        "committed-frontier mutation outside the ordering component's committed "
+        "path — speculation may read the frontier, never write it",
     ),
 )
 

@@ -29,7 +29,17 @@ It also verifies protocol invariants over the joined trace:
   * deliver_before_deliverable — no ordered delivery precedes the
     event's became_deliverable at that node;
   * duplicate_ordered_delivery — ordered delivery is exactly-once per
-    (node, event).
+    (node, event);
+  * spec_revoke_after_confirm — confirm is terminal: once the committed
+    path delivers an event, the node can never revoke it again. A
+    revoke in a round strictly after the confirm round is a violation;
+    revoke *before* confirm is the legitimate re-speculation lifecycle
+    (speculate -> revoke -> speculate again -> confirm);
+  * spec_resolution_without_speculate — a confirm/revoke at a node
+    needs a speculate there first;
+  * retune_out_of_bounds — every retune's new TTL and K must sit inside
+    the Lemma-safe bounds the controller packed into the record
+    (size = TTL bounds, aux = K bounds, each upper<<32|lower).
 
 Files are segmented by {"type":"label"} lines (one segment per bench
 condition); {"type":"flight_dump"} headers switch the reader into
@@ -59,6 +69,10 @@ TRACE_TYPES = (
     "fault",
     "first_seen",
     "became_deliverable",
+    "speculate",
+    "spec_confirm",
+    "spec_revoke",
+    "retune",
 )
 
 DELIVERY_ORDERED = 0
@@ -95,6 +109,9 @@ class Journey:
         self.deliverable = {}  # node -> {round, stable_clock, stable_round}
         self.ordered = {}  # node -> {round, clock}
         self.tagged = {}  # node -> {round, clock}
+        self.speculated = {}  # node -> {confidence, copies, round}
+        self.spec_confirmed = {}  # node -> {round}
+        self.spec_revoked = {}  # node -> {round}
         self.ttl_merges = 0
         self.duplicate_drops = 0
         self.other_drops = 0
@@ -134,6 +151,22 @@ class Journey:
                     self.ordered[node] = entry
             else:
                 self.tagged[node] = entry
+        elif kind == "speculate":
+            self.speculated.setdefault(
+                node,
+                {
+                    "confidence": record.get("size", 0) / 1e6,
+                    "copies": record.get("aux", 0),
+                    "round": record.get("round", 0),
+                },
+            )
+        elif kind == "spec_confirm":
+            self.spec_confirmed.setdefault(node, {"round": record.get("round", 0)})
+        elif kind == "spec_revoke":
+            # Overwrite: re-speculation makes several revokes per node
+            # legitimate, and the confirm-is-terminal invariant needs
+            # the LAST one.
+            self.spec_revoked[node] = {"round": record.get("round", 0)}
         elif kind == "ttl_merge":
             self.ttl_merges += 1
         elif kind == "drop":
@@ -227,6 +260,25 @@ class Journey:
                             % (label, node, stable["round"], deliver["round"]),
                         )
                     )
+        for node, revoke in sorted(self.spec_revoked.items()):
+            confirm = self.spec_confirmed.get(node)
+            if confirm is not None and revoke["round"] > confirm["round"]:
+                violations.append(
+                    (
+                        "spec_revoke_after_confirm",
+                        "%s at node %d: revoked in round %d but confirmed in round %d"
+                        % (label, node, revoke["round"], confirm["round"]),
+                    )
+                )
+        if complete:
+            resolved = set(self.spec_confirmed) | set(self.spec_revoked)
+            for node in sorted(resolved - set(self.speculated)):
+                violations.append(
+                    (
+                        "spec_resolution_without_speculate",
+                        "%s resolved at node %d without a speculate" % (label, node),
+                    )
+                )
         if self.duplicate_ordered:
             violations.append(
                 (
@@ -241,6 +293,39 @@ def record_ttl_bound(seen):
     return seen.get("ttl", seen["hop"])
 
 
+def unpack_bounds(word):
+    """Split a controller-packed bounds word into (lower, upper)."""
+    return word & 0xFFFFFFFF, word >> 32
+
+
+def check_retune(record, violations):
+    """A retune carries its own acceptance envelope: the controller packs
+    the Lemma-safe bounds it computed at construction into size (TTL) and
+    aux (K), and the new values into ttl and detail. detail saturates at
+    255, which is far above any K the analysis produces."""
+    node = record.get("node", 0)
+    ttl = record.get("ttl", 0)
+    fanout = record.get("detail", 0)
+    lower_ttl, upper_ttl = unpack_bounds(record.get("size", 0))
+    lower_k, upper_k = unpack_bounds(record.get("aux", 0))
+    if not lower_ttl <= ttl <= upper_ttl:
+        violations.append(
+            (
+                "retune_out_of_bounds",
+                "retune at node %d round %d: ttl %d outside [%d, %d]"
+                % (node, record.get("round", 0), ttl, lower_ttl, upper_ttl),
+            )
+        )
+    if not lower_k <= fanout <= upper_k:
+        violations.append(
+            (
+                "retune_out_of_bounds",
+                "retune at node %d round %d: K %d outside [%d, %d]"
+                % (node, record.get("round", 0), fanout, lower_k, upper_k),
+            )
+        )
+
+
 class Segment:
     def __init__(self, label):
         self.label = label
@@ -248,6 +333,7 @@ class Segment:
         self.counts = {}
         self.journeys = {}
         self.flight_records = 0  # records read inside flight dumps
+        self.retunes = []  # retune records (no event identity)
 
     def journey(self, key):
         if key not in self.journeys:
@@ -260,6 +346,9 @@ class Segment:
         self.counts[kind] = self.counts.get(kind, 0) + 1
         if in_flight_dump:
             self.flight_records += 1
+        if kind == "retune":
+            self.retunes.append(record)
+            return
         if kind in ("ball_sent", "ball_received", "stability_decision", "fault"):
             return
         source = record.get("source", 0)
@@ -284,6 +373,12 @@ class Segment:
         redundancy = []
         delivered = 0
         detailed = []
+        confidences = []
+        speculated = 0
+        confirmed = 0
+        revoked = 0
+        for record in self.retunes:
+            check_retune(record, violations)
         for key in sorted(self.journeys):
             journey = self.journeys[key]
             complete = not getattr(journey, "incomplete", False)
@@ -299,6 +394,12 @@ class Segment:
                 redundancy.append(journey.copies / len(journey.first_seen))
             if journey.ordered or journey.tagged:
                 delivered += 1
+            speculated += len(journey.speculated)
+            confirmed += len(journey.spec_confirmed)
+            revoked += len(journey.spec_revoked)
+            confidences.extend(
+                spec["confidence"] for spec in journey.speculated.values()
+            )
             if len(detailed) < max_journeys:
                 detailed.append(
                     {
@@ -316,6 +417,7 @@ class Segment:
                         "phases": stats(
                             [p["end_to_end"] for p in journey.phases().values()]
                         ),
+                        "speculated_nodes": len(journey.speculated),
                         "tagged_deliveries": len(journey.tagged),
                         "ttl_merges": journey.ttl_merges,
                     }
@@ -337,6 +439,19 @@ class Segment:
             "phases": {name: stats(values) for name, values in phase_values.items()},
             "record_counts": dict(sorted(self.counts.items())),
             "records": self.records,
+            "retunes": {
+                "count": len(self.retunes),
+                "fanout": stats([r.get("detail", 0) for r in self.retunes]),
+                "nodes": len({r.get("node", 0) for r in self.retunes}),
+                "ttl": stats([r.get("ttl", 0) for r in self.retunes]),
+            },
+            "speculation": {
+                "confidence": stats([round(c, 6) for c in confidences]),
+                "confirmed": confirmed,
+                "mistake_rate": round(revoked / speculated, 3) if speculated else None,
+                "revoked": revoked,
+                "speculated": speculated,
+            },
             "violation_examples": [text for _, text in violations[:10]],
         }
 
