@@ -29,6 +29,7 @@
 // simulator's — sim and UDP must both converge to rate 1.0 with green
 // verdicts for the suite to pass.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -263,15 +264,47 @@ struct UdpScenario {
   runtime::UdpClusterOptions options;
   std::vector<UdpBroadcast> broadcasts;
   fault::FaultPlan plan;  ///< empty = no fault injection.
+  /// When > 0, the scenario additionally requires the recv-batch p99 to
+  /// exceed this — proof the batched recvmmsg path actually coalesced
+  /// datagrams under the scenario's load (a p99 of 1 means every poll
+  /// found a single datagram and the scenario never stressed batching).
+  double minRecvBatchP99 = 0.0;
 };
 
 struct UdpScenarioResult {
   metrics::TrackerReport report;
   bool quiescent = false;
   double deliveryRate = 0.0;
+  double recvBatchP99 = 0.0;
+  double sendBatchP99 = 0.0;
+  bool batchP99Ok = true;
 
-  [[nodiscard]] bool holds() const { return quiescent && report.allPropertiesHold(); }
+  [[nodiscard]] bool holds() const {
+    return quiescent && report.allPropertiesHold() && batchP99Ok;
+  }
 };
+
+/// The p99 of a registry histogram, read from its bucket counts: the
+/// upper bound of the first bucket at which the cumulative count covers
+/// 99% of observations (Prometheus-style upper-bound quantile). Returns
+/// 0 when the instrument is absent or empty.
+double histogramP99(const obs::Snapshot& snapshot, const std::string& name) {
+  for (const obs::Sample& sample : snapshot) {
+    if (sample.kind != obs::Kind::Histogram || sample.name != name) continue;
+    if (sample.count == 0) return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(0.99 * static_cast<double>(sample.count)));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < sample.buckets.size(); ++i) {
+      cumulative += sample.buckets[i];
+      if (cumulative >= target) {
+        return i < sample.bounds.size() ? sample.bounds[i]
+                                        : sample.bounds.back() * 2.0;
+      }
+    }
+  }
+  return 0.0;
+}
 
 PayloadPtr makePayload(std::size_t size, util::Rng& rng) {
   if (size == 0) return {};
@@ -308,6 +341,14 @@ UdpScenarioResult runUdpScenario(UdpScenario& scenario, std::uint64_t seed,
   cluster.stop();
   endTraceSection(args);
   result.report = cluster.report();
+  // Scrape the batched-I/O histograms (DESIGN.md §16) out of the
+  // cluster registry: batch-size p99s are the evidence that the
+  // recvmmsg/sendmmsg paths coalesced real traffic.
+  const obs::Snapshot metricsSnapshot = cluster.metricsRegistry().snapshot();
+  result.recvBatchP99 = histogramP99(metricsSnapshot, "epto_udp_recv_batch_size");
+  result.sendBatchP99 = histogramP99(metricsSnapshot, "epto_udp_send_batch_size");
+  result.batchP99Ok = scenario.minRecvBatchP99 <= 0.0 ||
+                      result.recvBatchP99 > scenario.minRecvBatchP99;
 
   const auto& report = result.report;
   const double expected = static_cast<double>(report.eventsMeasured) *
@@ -328,7 +369,9 @@ UdpScenarioResult runUdpScenario(UdpScenario& scenario, std::uint64_t seed,
       "\"ingress_shed\":%llu,\"ingress_high_water\":%llu,"
       "\"truncated\":%llu,\"frames_rejected\":%llu,\"send_failures\":%llu,"
       "\"send_retries\":%llu,\"watchdog_recoveries\":%llu,"
-      "\"fragment_drops\":%llu}\n",
+      "\"fragment_drops\":%llu,"
+      "\"shards\":%zu,\"recv_batch_p99\":%.1f,\"send_batch_p99\":%.1f,"
+      "\"mailbox_post_rejections\":%llu}\n",
       scenario.name.c_str(), result.deliveryRate > 1.0 ? 1.0 : result.deliveryRate,
       result.quiescent ? "true" : "false",
       static_cast<unsigned long long>(report.orderViolations),
@@ -350,11 +393,20 @@ UdpScenarioResult runUdpScenario(UdpScenario& scenario, std::uint64_t seed,
       static_cast<unsigned long long>(cluster.sendRetries()),
       static_cast<unsigned long long>(cluster.watchdogRecoveries()),
       static_cast<unsigned long long>(faults != nullptr ? faults->stats().fragmentDrops
-                                                        : 0));
+                                                        : 0),
+      cluster.shardCountUsed(), result.recvBatchP99, result.sendBatchP99,
+      static_cast<unsigned long long>(cluster.mailboxPostRejections()));
   std::fflush(stdout);
   if (!result.quiescent) {
     std::fprintf(stderr, "%s: quiescence timeout: %s\n", scenario.name.c_str(),
                  cluster.lastQuiescenceReport().c_str());
+  }
+  if (!result.batchP99Ok) {
+    std::fprintf(stderr,
+                 "%s: recv_batch_p99 %.1f did not exceed the required %.1f — "
+                 "the batched receive path never coalesced under this load\n",
+                 scenario.name.c_str(), result.recvBatchP99,
+                 scenario.minRecvBatchP99);
   }
   return result;
 }
@@ -429,6 +481,25 @@ std::vector<UdpScenario> buildUdpScenarios() {
     s.options.reassemblyTtlRounds = 4;
     s.plan.burstLoss(/*start=*/0, /*end=*/60'000, 0.05);  // first 60 ms
     for (std::size_t i = 0; i < 5; ++i) s.broadcasts.push_back({i, 600});
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // Sharded-executor overload (DESIGN.md §16): all-to-all gossip at
+    // full fanout onto TWO worker shards, so every cross-node datagram
+    // really crosses the shard boundary through the batched I/O path.
+    // Must hold every Table 1 verdict AND show recv_batch_p99 > 1 —
+    // under this load the recvmmsg drain has to coalesce multi-datagram
+    // chunks, or the batching layer is dead code in disguise.
+    UdpScenario s;
+    s.name = "udp_sharded_overload";
+    s.options.nodeCount = 8;
+    s.options.roundPeriod = 4ms;
+    s.options.fanoutOverride = 7;
+    s.options.ingressCapacity = 8;
+    s.options.executor = runtime::ExecutorMode::Sharded;
+    s.options.shardCount = 2;
+    s.minRecvBatchP99 = 1.0;
+    for (std::size_t i = 0; i < 8; ++i) s.broadcasts.push_back({i, 256});
     scenarios.push_back(std::move(s));
   }
   {

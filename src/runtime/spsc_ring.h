@@ -1,0 +1,94 @@
+// Single-producer / single-consumer ring — the cross-shard mailbox cell.
+//
+// The sharded executor (runtime/sharded_executor.h) moves control-plane
+// requests (broadcasts, inspection commands) into a shard without taking
+// any lock on the shard's side: one producer thread appends at the tail,
+// the owning shard consumes at the head, and the only synchronization is
+// one release store / acquire load pair per transfer. That keeps the
+// shard's drain loop wait-free — a stalled control plane can never block
+// a round — and makes the mailbox TSan-provable rather than
+// TSan-suppressed.
+//
+// The contract is exactly SPSC: ONE thread may call tryPush() and ONE
+// thread may call tryPop() (they may be different threads, and either
+// side may also read size()). The executor serializes external callers
+// onto the producer role with a producer-side mutex; the ring itself
+// never spins, never allocates after construction, and never blocks.
+//
+// Capacity is rounded up to a power of two so the head/tail indices can
+// run free and wrap via masking (no modulo on the hot path). The ring
+// holds capacity() live entries; a full ring rejects the push (the
+// caller decides whether to retry, drop, or backpressure — policy lives
+// one level up, like IngressQueue's shed policy).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/ensure.h"
+
+namespace epto::runtime {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    EPTO_ENSURE_MSG(capacity > 0, "spsc ring capacity must be positive");
+    std::size_t rounded = 1;
+    while (rounded < capacity) rounded <<= 1U;
+    mask_ = rounded - 1;
+    slots_.resize(rounded);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. False when the ring is full — `value` is NOT
+  /// consumed then (the caller keeps it and owns the retry/drop
+  /// decision); nothing queued is ever overwritten.
+  [[nodiscard]] bool tryPush(T&& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;  // full
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. nullopt when empty.
+  [[nodiscard]] std::optional<T> tryPop() {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return std::nullopt;
+    std::optional<T> value(std::move(slots_[head & mask_]));
+    slots_[head & mask_] = T{};  // release payload resources eagerly
+    head_.store(head + 1, std::memory_order_release);
+    return value;
+  }
+
+  /// Entries currently queued. Callable from either side; a racing
+  /// push/pop makes this an instantaneous estimate, which is all the
+  /// queue-depth gauge needs.
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  /// Monotonic (never masked) so full/empty are unambiguous without a
+  /// sacrificial slot. Cache-line padding keeps the producer's tail
+  /// store from false-sharing the consumer's head line.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace epto::runtime

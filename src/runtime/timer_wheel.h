@@ -1,0 +1,128 @@
+// Hashed timer wheel — the per-shard round scheduler.
+//
+// A shard owns many EpTO nodes, each with its own jittered round
+// deadline. The thread-per-node runtime got scheduling for free (every
+// node slept on its own socket until its own deadline); a shard thread
+// needs one structure answering two questions cheaply on every loop
+// iteration: "how long may I block in poll()?" (nextDue) and "which
+// nodes' rounds are due now?" (expire). A hashed wheel gives both at
+// O(1) amortized per timer: slots of `granularity` width, a timer lives
+// in the slot of its due tick, and the cursor sweeps slots as time
+// advances. Entries hashed into a visited slot from a future lap are
+// simply left in place — the cursor re-checks the due tick each pass.
+//
+// Owned and driven by exactly one shard thread (like IngressQueue and
+// Reassembler, thread-safety lives one level up); deterministic given
+// the time points fed in, so it is unit-testable without sleeping.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/ensure.h"
+
+namespace epto::runtime {
+
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+
+  /// `granularity` is the slot width (timers within one slot fire
+  /// together once the cursor passes them — sub-granularity deadlines
+  /// degrade gracefully because expire() fires anything with due <= now,
+  /// including the current slot). `slotCount` trades memory for fewer
+  /// future-lap collisions; one lap spans granularity * slotCount.
+  TimerWheel(std::chrono::microseconds granularity, std::size_t slotCount,
+             TimePoint epoch)
+      : granularity_(granularity), epoch_(epoch), slots_(slotCount) {
+    EPTO_ENSURE_MSG(granularity_.count() > 0, "wheel granularity must be positive");
+    EPTO_ENSURE_MSG(slotCount > 0, "wheel needs at least one slot");
+  }
+
+  /// Arm a timer. Ids are caller-scoped (node indices here); the wheel
+  /// does not deduplicate — schedule once per expire, like the node loop
+  /// re-arms its next round after running one.
+  void schedule(std::uint32_t id, TimePoint due) {
+    const std::uint64_t dueTick = tickOf(due);
+    // A due tick the cursor already swept would never be visited again
+    // this lap; park it in the cursor's slot so the next expire() call
+    // (which always re-checks the cursor slot) fires it immediately.
+    const std::uint64_t insertTick = dueTick > cursorTick_ ? dueTick : cursorTick_;
+    slots_[insertTick % slots_.size()].push_back(Entry{dueTick, id});
+    ++armed_;
+  }
+
+  /// Fire every timer with due <= now, appending ids to `out` (order
+  /// within a call is unspecified — callers needing fairness shuffle or
+  /// rotate). Returns the number fired.
+  std::size_t expire(TimePoint now, std::vector<std::uint32_t>& out) {
+    const std::uint64_t nowTick = tickOf(now);
+    std::size_t fired = 0;
+    if (nowTick - cursorTick_ >= slots_.size()) {
+      // The wheel slept through at least one full lap: every slot is in
+      // the sweep window, so visit each physical slot exactly once.
+      for (auto& slot : slots_) fired += drainDue(slot, nowTick, out);
+      cursorTick_ = nowTick;
+      return fired;
+    }
+    for (;; ++cursorTick_) {
+      fired += drainDue(slots_[cursorTick_ % slots_.size()], nowTick, out);
+      if (cursorTick_ == nowTick) break;
+    }
+    return fired;
+  }
+
+  /// Earliest armed due time, or nullopt when the wheel is empty — the
+  /// shard's poll() timeout. Linear in armed timers (a shard owns at
+  /// most a few thousand nodes; this is nanoseconds against a syscall).
+  [[nodiscard]] std::optional<TimePoint> nextDue() const {
+    if (armed_ == 0) return std::nullopt;
+    std::uint64_t best = UINT64_MAX;
+    for (const auto& slot : slots_) {
+      for (const Entry& entry : slot) best = entry.dueTick < best ? entry.dueTick : best;
+    }
+    return epoch_ + granularity_ * static_cast<std::int64_t>(best);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return armed_; }
+  [[nodiscard]] bool empty() const noexcept { return armed_ == 0; }
+
+ private:
+  struct Entry {
+    std::uint64_t dueTick = 0;
+    std::uint32_t id = 0;
+  };
+
+  [[nodiscard]] std::uint64_t tickOf(TimePoint tp) const {
+    if (tp <= epoch_) return 0;
+    return static_cast<std::uint64_t>((tp - epoch_) / granularity_);
+  }
+
+  std::size_t drainDue(std::vector<Entry>& slot, std::uint64_t nowTick,
+                       std::vector<std::uint32_t>& out) {
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < slot.size();) {
+      if (slot[i].dueTick <= nowTick) {
+        out.push_back(slot[i].id);
+        slot[i] = slot.back();
+        slot.pop_back();
+        ++fired;
+      } else {
+        ++i;  // future lap — stays for a later pass
+      }
+    }
+    armed_ -= fired;
+    return fired;
+  }
+
+  std::chrono::microseconds granularity_;
+  TimePoint epoch_;
+  std::vector<std::vector<Entry>> slots_;
+  std::uint64_t cursorTick_ = 0;
+  std::size_t armed_ = 0;
+};
+
+}  // namespace epto::runtime

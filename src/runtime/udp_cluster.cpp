@@ -1,6 +1,9 @@
 #include "runtime/udp_cluster.h"
 
+#include <poll.h>
+
 #include <algorithm>
+#include <thread>
 
 #include "codec/ball_codec.h"
 #include "codec/fragment_codec.h"
@@ -72,6 +75,9 @@ UdpCluster::UdpCluster(UdpClusterOptions options)
                   "sendBackoff initialDelay must not be negative");
   EPTO_ENSURE_MSG(options_.sendBackoff.multiplier >= 1.0,
                   "sendBackoff multiplier must be at least 1");
+  EPTO_ENSURE_MSG(options_.recvBatch > 0, "recvBatch must be positive");
+  EPTO_ENSURE_MSG(options_.sendBatch > 0, "sendBatch must be positive");
+  EPTO_ENSURE_MSG(options_.mailboxCapacity > 0, "mailboxCapacity must be positive");
   if (faults_ != nullptr) {
     EPTO_ENSURE_MSG(faults_->plan().maxNode() < options_.nodeCount,
                     "fault plan targets a node beyond the cluster size");
@@ -114,6 +120,29 @@ UdpCluster::UdpCluster(UdpClusterOptions options)
   // Pre-register every node's instruments so any scrape covers the full
   // metric surface from the first sample.
   for (const auto& node : nodes_) node->process->metricsSnapshot().recordTo(registry_);
+
+  // Batched-I/O histograms, registered once so shard hot paths observe
+  // through a raw pointer instead of the registry's find-or-create lock.
+  // Bounds 1,2,4,...,512: a batch of 1 is the degenerate (unbatched)
+  // case, 512 the maxDatagramsPerPoll ceiling.
+  recvBatchSize_ = &registry_.histogram("epto_udp_recv_batch_size", {},
+                                        obs::Registry::exponentialBounds(1, 2, 10));
+  sendBatchSize_ = &registry_.histogram("epto_udp_send_batch_size", {},
+                                        obs::Registry::exponentialBounds(1, 2, 10));
+
+  if (options_.executor == ExecutorMode::Sharded) {
+    ShardedExecutorOptions exec;
+    exec.nodeCount = options_.nodeCount;
+    exec.shardCount = options_.shardCount;
+    exec.pinCores = options_.pinShards;
+    exec.mailboxCapacity = options_.mailboxCapacity;
+    executor_ = std::make_unique<ShardedExecutor>(
+        exec, [this](ShardedExecutor::ShardContext& ctx) { shardLoop(ctx); });
+    // Pre-register the per-shard mailbox gauges too.
+    for (std::size_t shard = 0; shard < executor_->shardCount(); ++shard) {
+      registry_.gauge("epto_shard_queue_depth", {{"shard", std::to_string(shard)}});
+    }
+  }
 
   auto scrapeInterval = options_.scrapeInterval;
   if (scrapeInterval.count() == 0 && !options_.metricsOutPath.empty()) {
@@ -189,8 +218,12 @@ void UdpCluster::start() {
   stopRequested_ = false;
   // Fault-plan timestamps are relative to start(), not construction.
   epoch_ = std::chrono::steady_clock::now();
-  for (auto& node : nodes_) {
-    node->thread = std::thread([this, raw = node.get()] { nodeLoop(*raw); });
+  if (executor_ != nullptr) {
+    executor_->start();
+  } else {
+    for (auto& node : nodes_) {
+      node->thread = std::thread([this, raw = node.get()] { nodeLoop(*raw); });
+    }
   }
   if (scrape_ != nullptr) scrape_->start();
 }
@@ -200,6 +233,32 @@ void UdpCluster::broadcast(std::size_t index, PayloadPtr payload, QosClass qos) 
   NodeState& node = *nodes_[index];
   if (!node.up.load(std::memory_order_acquire)) {
     discardedBroadcasts_.fetch_add(1, std::memory_order_relaxed);
+    requestedBroadcasts_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (executor_ != nullptr) {
+    // Mailbox protocol (DESIGN.md §16): the request crosses into the
+    // owning shard as a command; the shard appends it to the pending
+    // list between loop iterations. pendingBroadcasts stays mutex-
+    // guarded so the annotation (and the not-yet-started / already-
+    // stopped inline fallback below) remain sound.
+    ShardedExecutor::Command command(
+        [&node, payloadHeld = std::move(payload), qos]() mutable {
+          const util::MutexLock lock(node.broadcastMutex);
+          node.pendingBroadcasts.push_back(PendingBroadcast{std::move(payloadHeld), qos});
+        });
+    while (running_.load(std::memory_order_acquire)) {
+      if (executor_->post(index, std::move(command))) {
+        requestedBroadcasts_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      // Full mailbox: the shard drains every loop iteration, so this
+      // clears within one poll timeout.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    // No shard is consuming (cluster not started, or stopping): run the
+    // command inline — still safe, the list is mutex-guarded.
+    command();
     requestedBroadcasts_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
@@ -460,6 +519,14 @@ void UdpCluster::publishTransportMetrics() {
   registry_.counter("epto_trace_dropped_total").set(obs::Tracer::global().dropped());
   registry_.counter("epto_flight_dropped_total")
       .set(obs::FlightRecorder::global().dropped());
+  if (executor_ != nullptr) {
+    for (std::size_t shard = 0; shard < executor_->shardCount(); ++shard) {
+      registry_.gauge("epto_shard_queue_depth", {{"shard", std::to_string(shard)}})
+          .set(static_cast<std::int64_t>(executor_->mailboxDepth(shard)));
+    }
+    registry_.counter("epto_shard_post_rejections_total")
+        .set(executor_->postRejections());
+  }
 }
 
 std::size_t UdpCluster::dumpFlightRecorder(const std::string& path,
@@ -467,17 +534,201 @@ std::size_t UdpCluster::dumpFlightRecorder(const std::string& path,
   return obs::FlightRecorder::global().dumpTo(path, reason);
 }
 
+std::chrono::microseconds UdpCluster::jitteredPeriod(util::Rng& rng) const {
+  const double factor = 1.0 + options_.roundJitter * (2.0 * rng.uniform01() - 1.0);
+  return std::chrono::microseconds(static_cast<std::int64_t>(
+      std::max(1.0, static_cast<double>(options_.roundPeriod.count()) * factor)));
+}
+
+/// ThreadPerNode sink: one sendto() per datagram, exactly the PR 3 path.
+/// A fragmented fanout is a long send burst (hundreds of syscalls); a
+/// loop that ignores its socket that whole time lets concurrent bursts
+/// from peers overflow the kernel receive buffer and lose fragments
+/// every round. Interleave bounded drains so sending never starves
+/// receiving.
+class UdpCluster::ImmediateSink final : public UdpCluster::DatagramSink {
+ public:
+  explicit ImmediateSink(UdpCluster& cluster) : cluster_(cluster) {}
+
+  void send(NodeState& node, std::uint16_t port, bool isFragment,
+            const std::vector<std::byte>& frame, util::Rng& rng) override {
+    cluster_.sendDatagram(node, port, isFragment, frame, rng);
+    if (++sentSinceDrain_ < 32) return;
+    sentSinceDrain_ = 0;
+    for (std::size_t budget = 64; budget > 0; --budget) {
+      auto datagram = node.socket.receive(0);
+      if (!datagram.has_value()) break;
+      cluster_.ingestDatagram(node, *datagram);
+    }
+  }
+
+  void flush(NodeState& /*node*/, util::Rng& /*rng*/) override { sentSinceDrain_ = 0; }
+
+ private:
+  UdpCluster& cluster_;
+  std::size_t sentSinceDrain_ = 0;
+};
+
+/// Sharded sink: aggregate the round's datagrams and flush them through
+/// one (or a few) sendmmsg() syscalls on the node's socket. The PR 3
+/// send/receive interleave invariant carries over at flush granularity:
+/// every flush is followed by a bounded recvmmsg drain, so a jumbo
+/// fanout still cannot starve ingress.
+class UdpCluster::BatchSink final : public UdpCluster::DatagramSink {
+ public:
+  BatchSink(UdpCluster& cluster, std::size_t flushThreshold)
+      : cluster_(cluster), flushThreshold_(flushThreshold) {}
+
+  void send(NodeState& node, std::uint16_t port, bool isFragment,
+            const std::vector<std::byte>& frame, util::Rng& rng) override {
+    pending_.push_back(OutgoingDatagram{port, &frame, isFragment});
+    if (pending_.size() >= flushThreshold_) flush(node, rng);
+  }
+
+  void flush(NodeState& node, util::Rng& rng) override {
+    if (pending_.empty()) return;
+    cluster_.sendBatchSize_->observe(static_cast<double>(pending_.size()));
+    const BatchSendOutcome outcome =
+        sendBatchWithBackoff(node.socket, pending_, cluster_.options_.sendBackoff, rng);
+    pending_.clear();
+    if (outcome.retries > 0) {
+      cluster_.sendRetries_.fetch_add(static_cast<std::uint64_t>(outcome.retries),
+                                      std::memory_order_relaxed);
+    }
+    if (outcome.fragmentsSent > 0) {
+      cluster_.fragmentsSent_.fetch_add(outcome.fragmentsSent,
+                                        std::memory_order_relaxed);
+    }
+    if (outcome.transientLost > 0) {
+      cluster_.sendFailuresTransient_.fetch_add(outcome.transientLost,
+                                                std::memory_order_relaxed);
+    }
+    if (outcome.hardLost > 0) {
+      cluster_.sendFailuresHard_.fetch_add(outcome.hardLost, std::memory_order_relaxed);
+    }
+    // PR 3 invariant: a send burst never starves receiving. Bounded,
+    // drain-interleaved ingest (same path as the poll loop, so a chunky
+    // backlog cannot overflow the ingress bound mid-push).
+    cluster_.batchIngest(node, drainScratch_);
+  }
+
+ private:
+  UdpCluster& cluster_;
+  std::size_t flushThreshold_;
+  std::vector<OutgoingDatagram> pending_;
+  std::vector<UdpSocket::Datagram> drainScratch_;
+};
+
+bool UdpCluster::runNodeRound(NodeState& node, util::Rng& rng,
+                              std::chrono::steady_clock::duration lateness,
+                              DatagramSink& sink) {
+  using Clock = std::chrono::steady_clock;
+  ++node.roundCounter;
+  node.reassembler.evictExpired(node.roundCounter);
+  if (node.guard != nullptr) node.guard->onRound();
+
+  std::vector<PendingBroadcast> pending;
+  {
+    const util::MutexLock lock(node.broadcastMutex);
+    pending.swap(node.pendingBroadcasts);
+  }
+  for (PendingBroadcast& request : pending) {
+    const Event event = node.process->broadcast(std::move(request.payload), request.qos);
+    const std::vector<ProcessId> expected = upNodes();
+    const util::MutexLock lock(trackerMutex_);
+    tracker_.onBroadcast(node.id, event.id, event.orderKey(), ticksNow());
+    ledger_.onBroadcast(event.id, expected);
+  }
+
+  const auto out = node.process->onRound();
+  if (out.ball != nullptr) {
+    const auto frame = codec::encodeBall(
+        *out.ball, codec::EncodeOptions{.lineage = options_.wireLineage,
+                                        .qos = options_.wireQos});
+    const std::uint64_t ballId =
+        (static_cast<std::uint64_t>(node.id) << 32) | ++node.fragmentSeq;
+    const auto datagrams = codec::fragmentFrame(frame, options_.mtuBytes, ballId);
+    const bool fragmented = datagrams.size() > 1;
+    if (fragmented) ballsFragmented_.fetch_add(1, std::memory_order_relaxed);
+    const Timestamp tnow = ticksNow();
+    for (const ProcessId target : out.targets) {
+      fault::FaultController::LinkFate fate;
+      if (faults_ != nullptr) {
+        fate = faults_->linkFate(node.id, target, tnow);
+        if (fate.cut) {
+          faults_->noteLinkDrop(node.id, target, tnow, fate.cutBy);
+          continue;
+        }
+        if (fate.extraDelay > 0) faults_->noteDelayed(node.id, target, tnow);
+      }
+      for (const auto& datagram : datagrams) {
+        // Burst loss rolls per datagram — fragment granularity: one
+        // lost fragment costs one ball copy, not the whole fanout.
+        if (fate.extraLossRate > 0.0 && rng.chance(fate.extraLossRate)) {
+          if (fragmented) {
+            faults_->noteFragmentDrop(node.id, target, tnow);
+          } else {
+            faults_->noteLinkDrop(node.id, target, tnow, fault::FaultKind::BurstLoss);
+          }
+          continue;
+        }
+        if (fate.extraDelay > 0) {
+          node.heldBack.push_back(HeldDatagram{
+              Clock::now() + std::chrono::microseconds(
+                                 static_cast<std::int64_t>(fate.extraDelay)),
+              ports_[target], fragmented, datagram});
+          continue;
+        }
+        sink.send(node, ports_[target], fragmented, datagram, rng);
+      }
+    }
+    // Flush while `datagrams` is still alive — the batch sink holds
+    // non-owning frame pointers into it.
+    sink.flush(node, rng);
+  } else {
+    sink.flush(node, rng);
+  }
+  if (node.controller != nullptr) {
+    // Close the feedback loop on this node's own observations.
+    const std::uint64_t ballsReceived = node.process->disseminationStats().ballsReceived;
+    adapt::RoundSignals signals;
+    signals.ballsReceived = static_cast<double>(ballsReceived - node.lastBallsReceived);
+    node.lastBallsReceived = ballsReceived;
+    const adapt::Decision decision = node.controller->onRound(signals);
+    if (decision.changed) node.process->retune(decision.ttl, decision.fanout);
+  }
+  node.process->metricsSnapshot().recordTo(registry_);
+  publishNodeCounters(node);
+
+  // Watchdog: a round more than a full period late, `watchdogMissedRounds`
+  // times in a row, means the loop is wedged behind its backlog. Recover
+  // by force-draining the ingress queue through the protocol (ignoring
+  // the per-loop budget) and snapping the schedule to now —
+  // metric-visible via watchdogRecoveries(). Reassembly partials are
+  // deliberately left alone: they are already bounded by their own
+  // TTL/capacity, and purging them here would reset in-progress jumbo
+  // balls every recovery, turning an overload into event loss.
+  if (node.watchdog.onRoundBoundary(lateness, options_.roundPeriod)) {
+    // The flight recorder exists for this moment: capture the protocol
+    // decisions leading into the stall before the recovery mutates
+    // anything further.
+    if (!options_.flightDumpPath.empty()) {
+      (void)obs::FlightRecorder::global().dumpTo(
+          options_.flightDumpPath, "stall_watchdog node=" + std::to_string(node.id));
+    }
+    while (auto ball = node.ingress.pop()) node.process->onBall(*ball);
+    publishNodeCounters(node);
+    return true;
+  }
+  return false;
+}
+
 void UdpCluster::nodeLoop(NodeState& node) {
   using Clock = std::chrono::steady_clock;
-  util::Rng rng(util::mix64(options_.seed ^ 0xDA7A6A4Dull) ^ node.id);
-  const auto jitteredPeriod = [&]() {
-    const double factor = 1.0 + options_.roundJitter * (2.0 * rng.uniform01() - 1.0);
-    return std::chrono::microseconds(static_cast<std::int64_t>(
-        std::max(1.0, static_cast<double>(options_.roundPeriod.count()) * factor)));
-  };
-
-  auto nextRound = Clock::now() + jitteredPeriod();
-  bool stallNoted = false;
+  node.rng = util::Rng(util::mix64(options_.seed ^ 0xDA7A6A4Dull) ^ node.id);
+  node.stallNoted = false;
+  node.nextRound = Clock::now() + jitteredPeriod(node.rng);
+  ImmediateSink sink(*this);
   while (!stopRequested_.load(std::memory_order_relaxed)) {
     if (faults_ != nullptr) {
       const Timestamp tnow = ticksNow();
@@ -488,21 +739,21 @@ void UdpCluster::nodeLoop(NodeState& node) {
       }
       if (!node.up.load(std::memory_order_relaxed)) {
         leaveCrash(node);
-        nextRound = Clock::now() + jitteredPeriod();
+        node.nextRound = Clock::now() + jitteredPeriod(node.rng);
       }
       if (faults_->isStalled(node.id, tnow)) {
         // GC-pause model: no receives, no rounds; the OS buffers traffic
         // and the node catches up afterwards.
-        if (!stallNoted) {
-          stallNoted = true;
+        if (!node.stallNoted) {
+          node.stallNoted = true;
           faults_->noteStall(node.id, tnow);
         }
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
-        nextRound = Clock::now() + jitteredPeriod();
+        node.nextRound = Clock::now() + jitteredPeriod(node.rng);
         continue;
       }
-      stallNoted = false;
-      flushHeldBack(node, rng);
+      node.stallNoted = false;
+      flushHeldBack(node, node.rng);
     }
 
     // Receive until the round boundary; poll() granularity is 1ms, so
@@ -510,7 +761,7 @@ void UdpCluster::nodeLoop(NodeState& node) {
     // (possibly blocking) datagram, drain whatever else the kernel has
     // queued — bounded so a flood cannot hold the loop past its round.
     const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
-        nextRound - Clock::now());
+        node.nextRound - Clock::now());
     const int timeout = static_cast<int>(std::clamp<long>(remaining.count(), 0, 50));
     std::size_t polled = 0;
     for (auto datagram = node.socket.receive(timeout); datagram.has_value();
@@ -528,127 +779,190 @@ void UdpCluster::nodeLoop(NodeState& node) {
     }
 
     const auto boundaryNow = Clock::now();
-    if (boundaryNow < nextRound) continue;
-    const auto lateness = boundaryNow - nextRound;
-
-    ++node.roundCounter;
-    node.reassembler.evictExpired(node.roundCounter);
-    if (node.guard != nullptr) node.guard->onRound();
-
-    std::vector<PendingBroadcast> pending;
-    {
-      const util::MutexLock lock(node.broadcastMutex);
-      pending.swap(node.pendingBroadcasts);
-    }
-    for (PendingBroadcast& request : pending) {
-      const Event event =
-          node.process->broadcast(std::move(request.payload), request.qos);
-      const std::vector<ProcessId> expected = upNodes();
-      const util::MutexLock lock(trackerMutex_);
-      tracker_.onBroadcast(node.id, event.id, event.orderKey(), ticksNow());
-      ledger_.onBroadcast(event.id, expected);
-    }
-
-    const auto out = node.process->onRound();
-    if (out.ball != nullptr) {
-      const auto frame = codec::encodeBall(
-          *out.ball, codec::EncodeOptions{.lineage = options_.wireLineage,
-                                          .qos = options_.wireQos});
-      const std::uint64_t ballId =
-          (static_cast<std::uint64_t>(node.id) << 32) | ++node.fragmentSeq;
-      const auto datagrams = codec::fragmentFrame(frame, options_.mtuBytes, ballId);
-      const bool fragmented = datagrams.size() > 1;
-      if (fragmented) ballsFragmented_.fetch_add(1, std::memory_order_relaxed);
-      const Timestamp tnow = ticksNow();
-      // A fragmented fanout is a long send burst (hundreds of syscalls);
-      // a loop that ignores its socket that whole time lets concurrent
-      // bursts from peers overflow the kernel receive buffer and lose
-      // fragments every round. Interleave bounded drains so sending
-      // never starves receiving.
-      std::size_t sentSinceDrain = 0;
-      const auto drainBetweenSends = [&] {
-        if (++sentSinceDrain < 32) return;
-        sentSinceDrain = 0;
-        for (std::size_t budget = 64; budget > 0; --budget) {
-          auto datagram = node.socket.receive(0);
-          if (!datagram.has_value()) break;
-          ingestDatagram(node, *datagram);
-        }
-      };
-      for (const ProcessId target : out.targets) {
-        fault::FaultController::LinkFate fate;
-        if (faults_ != nullptr) {
-          fate = faults_->linkFate(node.id, target, tnow);
-          if (fate.cut) {
-            faults_->noteLinkDrop(node.id, target, tnow, fate.cutBy);
-            continue;
-          }
-          if (fate.extraDelay > 0) faults_->noteDelayed(node.id, target, tnow);
-        }
-        for (const auto& datagram : datagrams) {
-          // Burst loss rolls per datagram — fragment granularity: one
-          // lost fragment costs one ball copy, not the whole fanout.
-          if (fate.extraLossRate > 0.0 && rng.chance(fate.extraLossRate)) {
-            if (fragmented) {
-              faults_->noteFragmentDrop(node.id, target, tnow);
-            } else {
-              faults_->noteLinkDrop(node.id, target, tnow, fault::FaultKind::BurstLoss);
-            }
-            continue;
-          }
-          if (fate.extraDelay > 0) {
-            node.heldBack.push_back(HeldDatagram{
-                Clock::now() + std::chrono::microseconds(
-                                   static_cast<std::int64_t>(fate.extraDelay)),
-                ports_[target], fragmented, datagram});
-            continue;
-          }
-          sendDatagram(node, ports_[target], fragmented, datagram, rng);
-          drainBetweenSends();
-        }
-      }
-    }
-    if (node.controller != nullptr) {
-      // Close the feedback loop on this node's own observations.
-      const std::uint64_t ballsReceived =
-          node.process->disseminationStats().ballsReceived;
-      adapt::RoundSignals signals;
-      signals.ballsReceived =
-          static_cast<double>(ballsReceived - node.lastBallsReceived);
-      node.lastBallsReceived = ballsReceived;
-      const adapt::Decision decision = node.controller->onRound(signals);
-      if (decision.changed) node.process->retune(decision.ttl, decision.fanout);
-    }
-    node.process->metricsSnapshot().recordTo(registry_);
-    publishNodeCounters(node);
-
-    // Watchdog: a round more than a full period late, `watchdogMissedRounds`
-    // times in a row, means the loop is wedged behind its backlog. Recover
-    // by force-draining the ingress queue through the protocol (ignoring
-    // the per-loop budget) and snapping the schedule to now —
-    // metric-visible via watchdogRecoveries(). Reassembly partials are
-    // deliberately left alone: they are already bounded by their own
-    // TTL/capacity, and purging them here would reset in-progress jumbo
-    // balls every recovery, turning an overload into event loss.
-    if (node.watchdog.onRoundBoundary(lateness, options_.roundPeriod)) {
-      // The flight recorder exists for this moment: capture the protocol
-      // decisions leading into the stall before the recovery mutates
-      // anything further.
-      if (!options_.flightDumpPath.empty()) {
-        (void)obs::FlightRecorder::global().dumpTo(
-            options_.flightDumpPath,
-            "stall_watchdog node=" + std::to_string(node.id));
-      }
-      while (auto ball = node.ingress.pop()) node.process->onBall(*ball);
-      publishNodeCounters(node);
-      nextRound = Clock::now() + jitteredPeriod();
-    } else {
-      nextRound += jitteredPeriod();
-    }
+    if (boundaryNow < node.nextRound) continue;
+    const auto lateness = boundaryNow - node.nextRound;
+    const bool recovered = runNodeRound(node, node.rng, lateness, sink);
+    node.nextRound = recovered ? Clock::now() + jitteredPeriod(node.rng)
+                               : node.nextRound + jitteredPeriod(node.rng);
   }
   // Sheds/evictions from the final partial round still reach the
   // cluster counters.
   publishNodeCounters(node);
+}
+
+void UdpCluster::batchIngest(NodeState& node, std::vector<UdpSocket::Datagram>& scratch) {
+  std::size_t polled = 0;
+  while (polled < options_.maxDatagramsPerPoll) {
+    scratch.clear();
+    const std::size_t want =
+        std::min(options_.recvBatch, options_.maxDatagramsPerPoll - polled);
+    const std::size_t got = node.socket.receiveBatch(scratch, want, /*timeoutMillis=*/0);
+    if (got == 0) break;
+    recvBatchSize_->observe(static_cast<double>(got));
+    // Drain interleaves per datagram, not per chunk. In thread mode
+    // every arrival burst is its own poll wakeup and earns a full
+    // ingressDrainBudget; one shard wakeup covers MANY senders' flushes
+    // at once (a recvmmsg chunk can hold a whole cluster round), so a
+    // flat per-wakeup budget would both drain too slowly and overflow
+    // the ingress bound mid-push — and because one thread drives every
+    // owned node on one schedule, the overflow pattern is IDENTICAL at
+    // every peer: the oldest-first shed cuts the same sender's ball
+    // everywhere, correlated first-hop loss that EpTO's relay
+    // redundancy cannot repair (an origin sends its ball exactly once).
+    // Interleaving a budget after each datagram restores the
+    // thread-mode cadence, keeps the queue from overflowing on chunky
+    // arrivals, and bounds the per-wakeup work by
+    // maxDatagramsPerPoll * (decode + ingressDrainBudget).
+    for (const auto& datagram : scratch) {
+      ingestDatagram(node, datagram);
+      for (std::size_t budget = options_.ingressDrainBudget; budget > 0; --budget) {
+        auto ball = node.ingress.pop();
+        if (!ball.has_value()) break;
+        node.process->onBall(*ball);
+      }
+    }
+    polled += got;
+    if (got < want) break;  // socket drained
+  }
+}
+
+void UdpCluster::serviceDueNode(std::size_t index, ShardedExecutor::ShardContext& ctx,
+                                DatagramSink& sink) {
+  using Clock = std::chrono::steady_clock;
+  NodeState& node = *nodes_[index];
+  const auto reschedule = [&](Clock::time_point at) {
+    node.nextRound = at;
+    ctx.wheel().schedule(static_cast<std::uint32_t>(index), at);
+  };
+  if (faults_ != nullptr) {
+    const Timestamp tnow = ticksNow();
+    if (faults_->isCrashed(node.id, tnow)) {
+      if (node.up.load(std::memory_order_relaxed)) enterCrash(node);
+      // Re-check at the thread loop's crash-poll cadence.
+      reschedule(Clock::now() + std::chrono::milliseconds(1));
+      return;
+    }
+    if (!node.up.load(std::memory_order_relaxed)) {
+      leaveCrash(node);
+      reschedule(Clock::now() + jitteredPeriod(node.rng));
+      return;
+    }
+    if (faults_->isStalled(node.id, tnow)) {
+      // GC-pause model: no receives (the poll set skips the node), no
+      // rounds; the OS buffers traffic for the catch-up afterwards.
+      if (!node.stallNoted) {
+        node.stallNoted = true;
+        faults_->noteStall(node.id, tnow);
+      }
+      reschedule(Clock::now() + std::chrono::milliseconds(1));
+      return;
+    }
+    if (node.stallNoted) {
+      // Stall just ended: mirror the thread loop, which re-anchors one
+      // period out before running its next round.
+      node.stallNoted = false;
+      reschedule(Clock::now() + jitteredPeriod(node.rng));
+      return;
+    }
+  }
+  const auto lateness = Clock::now() - node.nextRound;
+  const bool recovered = runNodeRound(node, node.rng, lateness, sink);
+  reschedule(recovered ? Clock::now() + jitteredPeriod(node.rng)
+                       : node.nextRound + jitteredPeriod(node.rng));
+}
+
+void UdpCluster::shardLoop(ShardedExecutor::ShardContext& ctx) {
+  using Clock = std::chrono::steady_clock;
+  const std::size_t begin = ctx.nodeBegin();
+  const std::size_t end = ctx.nodeEnd();
+  for (std::size_t i = begin; i < end; ++i) {
+    NodeState& node = *nodes_[i];
+    node.rng = util::Rng(util::mix64(options_.seed ^ 0xDA7A6A4Dull) ^ node.id);
+    node.stallNoted = false;
+    // Phase-stagger first rounds across the cluster (node i at phase
+    // i/n of a period). Thread mode gets this desynchronization for
+    // free from OS preemption; a shared wheel does not, and perfectly
+    // synchronized rounds make every node's send burst land in every
+    // ingress queue at once — under a tight ingress bound the oldest-
+    // first shed then cuts the SAME sender's ball everywhere, which is
+    // exactly the correlated loss EpTO's redundancy cannot absorb.
+    const auto phase = options_.roundPeriod * i / nodes_.size();
+    node.nextRound = Clock::now() + jitteredPeriod(node.rng) + phase;
+    ctx.wheel().schedule(static_cast<std::uint32_t>(i), node.nextRound);
+  }
+
+  BatchSink sink(*this, options_.sendBatch);
+  std::vector<UdpSocket::Datagram> scratch;
+  std::vector<std::uint32_t> due;
+  std::vector<pollfd> pollSet;
+  std::vector<std::size_t> pollNode;  // pollSet slot -> node index
+
+  while (!stopRequested_.load(std::memory_order_relaxed)) {
+    // Control plane first: commands observe node state quiesced between
+    // iterations, never mid-round.
+    ctx.drainMailbox();
+
+    if (faults_ != nullptr) {
+      for (std::size_t i = begin; i < end; ++i) {
+        NodeState& node = *nodes_[i];
+        if (node.up.load(std::memory_order_relaxed) && !node.stallNoted) {
+          flushHeldBack(node, node.rng);
+        }
+      }
+    }
+
+    // One poll() across every live owned socket, blocking until the
+    // wheel's earliest deadline (the sharded analogue of the per-node
+    // receive-until-boundary loop).
+    pollSet.clear();
+    pollNode.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      NodeState& node = *nodes_[i];
+      if (!node.up.load(std::memory_order_relaxed) || node.stallNoted) continue;
+      pollfd pfd{};
+      pfd.fd = node.socket.nativeHandle();
+      pfd.events = POLLIN;
+      pollSet.push_back(pfd);
+      pollNode.push_back(i);
+    }
+    int timeout = 1;
+    if (const auto dueAt = ctx.wheel().nextDue()) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(*dueAt - Clock::now());
+      timeout = static_cast<int>(std::clamp<long>(remaining.count(), 0, 50));
+    }
+    if (pollSet.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(std::max(timeout, 1)));
+    } else {
+      const int ready = ::poll(pollSet.data(), pollSet.size(), timeout);
+      if (ready > 0) {
+        for (std::size_t slot = 0; slot < pollSet.size(); ++slot) {
+          if ((pollSet[slot].revents & POLLIN) != 0) {
+            batchIngest(*nodes_[pollNode[slot]], scratch);
+          }
+        }
+      }
+    }
+
+    // Hand each node a bounded batch of decoded balls; the rest stays
+    // queued behind the ingress bound, exactly as in thread mode.
+    for (std::size_t i = begin; i < end; ++i) {
+      NodeState& node = *nodes_[i];
+      if (!node.up.load(std::memory_order_relaxed) || node.stallNoted) continue;
+      for (std::size_t budget = options_.ingressDrainBudget; budget > 0; --budget) {
+        auto ball = node.ingress.pop();
+        if (!ball.has_value()) break;
+        node.process->onBall(*ball);
+      }
+    }
+
+    due.clear();
+    ctx.wheel().expire(Clock::now(), due);
+    for (const std::uint32_t index : due) serviceDueNode(index, ctx, sink);
+  }
+  // Sheds/evictions from the final partial rounds still reach the
+  // cluster counters.
+  for (std::size_t i = begin; i < end; ++i) publishNodeCounters(*nodes_[i]);
 }
 
 bool UdpCluster::awaitQuiescence(std::chrono::milliseconds timeout) {
@@ -683,8 +997,12 @@ std::string UdpCluster::lastQuiescenceReport() const {
 void UdpCluster::stop() {
   if (!running_.exchange(false)) return;
   stopRequested_ = true;
-  for (auto& node : nodes_) {
-    if (node->thread.joinable()) node->thread.join();
+  if (executor_ != nullptr) {
+    executor_->stop();
+  } else {
+    for (auto& node : nodes_) {
+      if (node->thread.joinable()) node->thread.join();
+    }
   }
   if (scrape_ != nullptr) scrape_->stop();
 }

@@ -47,6 +47,7 @@
 #include "obs/scrape.h"
 #include "runtime/ingress_queue.h"
 #include "runtime/reassembly.h"
+#include "runtime/sharded_executor.h"
 #include "runtime/stall_watchdog.h"
 #include "runtime/udp_transport.h"
 #include "util/mutex.h"
@@ -54,6 +55,18 @@
 #include "util/thread_annotations.h"
 
 namespace epto::runtime {
+
+/// How the cluster maps nodes onto OS threads.
+enum class ExecutorMode : std::uint8_t {
+  /// PR 3 model: one thread + one blocking receive loop per node, one
+  /// syscall per datagram. Kept as the differential baseline —
+  /// BM_RuntimeThroughput measures the sharded mode against it.
+  ThreadPerNode,
+  /// DESIGN.md §16 model: a fixed ShardedExecutor pool, each shard
+  /// driving a contiguous slice of nodes off a timer wheel with
+  /// recvmmsg/sendmmsg batched I/O. The default.
+  Sharded,
+};
 
 struct UdpClusterOptions {
   std::size_t nodeCount = 6;
@@ -136,6 +149,22 @@ struct UdpClusterOptions {
   /// recovery or a fault-plan crash takes a node down (and on demand via
   /// dumpFlightRecorder()).
   std::string flightDumpPath;
+
+  // --- execution model (DESIGN.md §16) ---------------------------------
+  ExecutorMode executor = ExecutorMode::Sharded;
+  /// Worker shards in Sharded mode; 0 = hardware_concurrency (clamped to
+  /// nodeCount). Ignored by ThreadPerNode.
+  std::size_t shardCount = 0;
+  /// Best-effort core pinning for shard threads (shard i -> core i).
+  bool pinShards = false;
+  /// Datagrams drained per recvmmsg() call in Sharded mode (the per-node
+  /// maxDatagramsPerPoll budget still bounds a whole wakeup).
+  std::size_t recvBatch = 32;
+  /// Send-aggregator flush threshold: datagrams accumulated per node
+  /// round before a sendmmsg() flush (the round end always flushes).
+  std::size_t sendBatch = 64;
+  /// Capacity of each shard's SPSC command mailbox (broadcast requests).
+  std::size_t mailboxCapacity = 1024;
 };
 
 class UdpCluster {
@@ -169,6 +198,16 @@ class UdpCluster {
   [[nodiscard]] metrics::TrackerReport report() const EPTO_EXCLUDES(trackerMutex_);
   [[nodiscard]] std::size_t fanoutUsed() const noexcept { return fanout_; }
   [[nodiscard]] std::uint32_t ttlUsed() const noexcept { return ttl_; }
+  [[nodiscard]] ExecutorMode executorMode() const noexcept { return options_.executor; }
+  /// Worker shards actually running (0 in ThreadPerNode mode).
+  [[nodiscard]] std::size_t shardCountUsed() const noexcept {
+    return executor_ != nullptr ? executor_->shardCount() : 0;
+  }
+  /// Broadcast commands refused by a full shard mailbox (each was
+  /// retried until accepted; this counts the backpressure events).
+  [[nodiscard]] std::uint64_t mailboxPostRejections() const noexcept {
+    return executor_ != nullptr ? executor_->postRejections() : 0;
+  }
   /// Datagrams that arrived but failed frame validation.
   [[nodiscard]] std::uint64_t framesRejected() const noexcept {
     return framesRejected_.load();
@@ -299,6 +338,11 @@ class UdpCluster {
     StallWatchdog watchdog;               // node-thread only
     std::uint64_t roundCounter = 0;       // node-thread only
     std::uint32_t fragmentSeq = 0;        // node-thread only; ballId low bits
+    /// Scheduling state, owned by whichever executor drives the node
+    /// (its dedicated thread, or its owning shard — never both).
+    util::Rng rng{0};
+    std::chrono::steady_clock::time_point nextRound{};
+    bool stallNoted = false;
     /// Last reassembly/ingress/watchdog figures mirrored into the
     /// cluster atomics (node-thread only; published once per round).
     ReassemblyStats publishedReassembly;
@@ -307,7 +351,37 @@ class UdpCluster {
     core::IngressStats publishedGuard;
   };
 
+  /// Strategy for emitting one round's datagrams: the thread-per-node
+  /// mode sends immediately (with interleaved drains every 32 sends);
+  /// the sharded mode aggregates and flushes through sendmmsg.
+  struct DatagramSink {
+    virtual ~DatagramSink() = default;
+    virtual void send(NodeState& node, std::uint16_t port, bool isFragment,
+                      const std::vector<std::byte>& frame, util::Rng& rng) = 0;
+    /// End of the round's send burst (queued frames die after this).
+    virtual void flush(NodeState& node, util::Rng& rng) = 0;
+  };
+  class ImmediateSink;  // udp_cluster.cpp
+  class BatchSink;      // udp_cluster.cpp
+
   void nodeLoop(NodeState& node);
+  /// One shard's whole life: init owned nodes, then poll/ingest/round
+  /// until stop (ShardedExecutor body).
+  void shardLoop(ShardedExecutor::ShardContext& ctx);
+  /// A node's wheel timer fired: fault gates, then the round, then
+  /// re-arm.
+  void serviceDueNode(std::size_t index, ShardedExecutor::ShardContext& ctx,
+                      DatagramSink& sink);
+  /// The round boundary body shared by both executor modes (broadcasts,
+  /// onRound, fanout send via `sink`, controller feedback, metrics,
+  /// watchdog). Returns true when the watchdog forced a recovery — the
+  /// caller must re-anchor the schedule to now instead of advancing it.
+  bool runNodeRound(NodeState& node, util::Rng& rng,
+                    std::chrono::steady_clock::duration lateness, DatagramSink& sink);
+  /// recvmmsg-drain one readable socket into the node's ingress queue,
+  /// bounded by maxDatagramsPerPoll; observes the recv batch histogram.
+  void batchIngest(NodeState& node, std::vector<UdpSocket::Datagram>& scratch);
+  [[nodiscard]] std::chrono::microseconds jitteredPeriod(util::Rng& rng) const;
   [[nodiscard]] std::unique_ptr<Process> makeProcess(ProcessId id,
                                                      std::uint32_t incarnation);
   /// Fresh controller at the static tuning (null when adaptation is off).
@@ -339,8 +413,15 @@ class UdpCluster {
   std::unique_ptr<fault::FaultController> faults_;
   std::vector<std::unique_ptr<NodeState>> nodes_;
   std::vector<std::uint16_t> ports_;  // ProcessId -> UDP port
+  /// Null in ThreadPerNode mode.
+  std::unique_ptr<ShardedExecutor> executor_;
 
   obs::Registry registry_;
+  /// Batched-I/O instruments, registered once at construction so hot
+  /// paths never touch the registry lock (null histograms are never
+  /// observed — ThreadPerNode mode has no batches).
+  obs::Histogram* recvBatchSize_ = nullptr;
+  obs::Histogram* sendBatchSize_ = nullptr;
   /// Constructed after registry_ (it registers its histograms there).
   obs::LatencyRecorder latencyRecorder_{registry_};
   std::unique_ptr<obs::ScrapeLoop> scrape_;

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <cstring>
 #include <thread>
@@ -58,16 +59,12 @@ UdpSocket::UdpSocket(UdpSocket&& other) noexcept
   other.port_ = 0;
 }
 
-SendStatus UdpSocket::trySendTo(std::uint16_t port, const std::vector<std::byte>& frame) {
-  sockaddr_in address{};
-  address.sin_family = AF_INET;
-  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  address.sin_port = htons(port);
-  const auto sent =
-      ::sendto(fd_, frame.data(), frame.size(), 0,
-               reinterpret_cast<const sockaddr*>(&address), sizeof address);
-  if (sent == static_cast<ssize_t>(frame.size())) return SendStatus::Sent;
-  switch (errno) {
+namespace {
+
+/// Classify a failed send's errno. EINTR must never reach here — it is
+/// retried at the syscall, not treated as a socket condition.
+SendStatus classifySendErrno(int error) {
+  switch (error) {
     // Momentary resource exhaustion: the socket buffer (or kernel memory)
     // is full right now but will drain. Worth a short backoff.
     case EAGAIN:
@@ -76,12 +73,29 @@ SendStatus UdpSocket::trySendTo(std::uint16_t port, const std::vector<std::byte>
 #endif
     case ENOBUFS:
     case ENOMEM:
-    case EINTR:
       return SendStatus::Transient;
     default:
       // EMSGSIZE, EACCES, network down, ... — retrying cannot help.
       return SendStatus::Hard;
   }
+}
+
+}  // namespace
+
+SendStatus UdpSocket::trySendTo(std::uint16_t port, const std::vector<std::byte>& frame) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  ssize_t sent = 0;
+  // EINTR means a signal landed mid-syscall, not that the socket refused
+  // anything — re-issue immediately instead of burning a backoff slot.
+  do {
+    sent = ::sendto(fd_, frame.data(), frame.size(), 0,
+                    reinterpret_cast<const sockaddr*>(&address), sizeof address);
+  } while (sent < 0 && errno == EINTR);
+  if (sent == static_cast<ssize_t>(frame.size())) return SendStatus::Sent;
+  return classifySendErrno(errno);
 }
 
 std::optional<UdpSocket::Datagram> UdpSocket::receive(int timeoutMillis) {
@@ -109,6 +123,93 @@ std::optional<UdpSocket::Datagram> UdpSocket::receive(int timeoutMillis) {
   return datagram;
 }
 
+std::size_t UdpSocket::receiveBatch(std::vector<Datagram>& out, std::size_t maxBatch,
+                                    int timeoutMillis) {
+  if (maxBatch == 0) return 0;
+  if (timeoutMillis > 0) {
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, timeoutMillis);
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) return 0;
+  }
+
+  // Bounded stack footprint: one recvmmsg() drains at most kMaxIoBatch
+  // datagrams; callers wanting more loop (each extra lap is one syscall,
+  // which is the whole point of batching).
+  constexpr std::size_t kMaxIoBatch = 64;
+  const std::size_t batch = std::min(maxBatch, kMaxIoBatch);
+
+  std::vector<std::vector<std::byte>> buffers(batch);
+  std::array<iovec, kMaxIoBatch> iovecs{};
+  std::array<sockaddr_in, kMaxIoBatch> froms{};
+  std::array<mmsghdr, kMaxIoBatch> messages{};
+  for (std::size_t i = 0; i < batch; ++i) {
+    buffers[i].resize(receiveBufferBytes_);
+    iovecs[i] = {buffers[i].data(), buffers[i].size()};
+    messages[i].msg_hdr.msg_iov = &iovecs[i];
+    messages[i].msg_hdr.msg_iovlen = 1;
+    messages[i].msg_hdr.msg_name = &froms[i];
+    messages[i].msg_hdr.msg_namelen = sizeof froms[i];
+  }
+
+  int received = 0;
+  do {
+    received = ::recvmmsg(fd_, messages.data(), static_cast<unsigned>(batch),
+                          MSG_DONTWAIT, nullptr);
+  } while (received < 0 && errno == EINTR);
+  if (received <= 0) return 0;
+
+  for (int i = 0; i < received; ++i) {
+    Datagram datagram;
+    // MSG_TRUNC in msg_flags marks a datagram the kernel cut to the
+    // buffer; msg_len is the surviving prefix length.
+    datagram.truncated = (messages[i].msg_hdr.msg_flags & MSG_TRUNC) != 0;
+    const auto index = static_cast<std::size_t>(i);
+    if (froms[index].sin_family == AF_INET) {
+      datagram.fromPort = ntohs(froms[index].sin_port);
+    }
+    buffers[index].resize(
+        std::min<std::size_t>(messages[i].msg_len, receiveBufferBytes_));
+    datagram.bytes = std::move(buffers[index]);
+    out.push_back(std::move(datagram));
+  }
+  return static_cast<std::size_t>(received);
+}
+
+std::size_t UdpSocket::trySendBatch(std::span<const OutgoingDatagram> batch,
+                                    std::size_t offset, SendStatus& headStatus) {
+  headStatus = SendStatus::Sent;
+  if (offset >= batch.size()) return 0;
+
+  constexpr std::size_t kMaxIoBatch = 64;
+  const std::size_t count = std::min(batch.size() - offset, kMaxIoBatch);
+  std::array<sockaddr_in, kMaxIoBatch> addresses{};
+  std::array<iovec, kMaxIoBatch> iovecs{};
+  std::array<mmsghdr, kMaxIoBatch> messages{};
+  for (std::size_t i = 0; i < count; ++i) {
+    const OutgoingDatagram& out = batch[offset + i];
+    addresses[i].sin_family = AF_INET;
+    addresses[i].sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addresses[i].sin_port = htons(out.port);
+    // sendmmsg never writes through msg_iov; the const_cast is the
+    // price of the kernel sharing one struct for send and receive.
+    iovecs[i] = {const_cast<std::byte*>(out.frame->data()), out.frame->size()};
+    messages[i].msg_hdr.msg_iov = &iovecs[i];
+    messages[i].msg_hdr.msg_iovlen = 1;
+    messages[i].msg_hdr.msg_name = &addresses[i];
+    messages[i].msg_hdr.msg_namelen = sizeof addresses[i];
+  }
+
+  int sent = 0;
+  do {
+    sent = ::sendmmsg(fd_, messages.data(), static_cast<unsigned>(count), 0);
+  } while (sent < 0 && errno == EINTR);
+  if (sent > 0) return static_cast<std::size_t>(sent);
+  headStatus = classifySendErrno(errno);
+  return 0;
+}
+
 SendOutcome sendWithBackoff(UdpSocket& socket, std::uint16_t port,
                             const std::vector<std::byte>& frame,
                             const SendBackoffPolicy& policy, util::Rng& rng) {
@@ -130,6 +231,58 @@ SendOutcome sendWithBackoff(UdpSocket& socket, std::uint16_t port,
         std::max(1.0, static_cast<double>(delay.count()) * policy.multiplier)));
     ++outcome.retries;
   }
+}
+
+BatchSendOutcome sendBatchWithBackoff(UdpSocket& socket,
+                                      std::span<const OutgoingDatagram> batch,
+                                      const SendBackoffPolicy& policy, util::Rng& rng) {
+  EPTO_ENSURE_MSG(policy.maxAttempts >= 1, "backoff needs at least one attempt");
+  BatchSendOutcome outcome;
+  std::size_t offset = 0;
+  // Per-message backoff state: attempts/delay reset whenever the head
+  // message changes, so one congested stretch cannot starve the rest of
+  // the batch of its full retry schedule.
+  int headAttempts = 0;
+  auto headDelay = policy.initialDelay;
+  while (offset < batch.size()) {
+    SendStatus headStatus = SendStatus::Sent;
+    const std::size_t sent = socket.trySendBatch(batch, offset, headStatus);
+    ++outcome.syscalls;
+    if (sent > 0) {
+      for (std::size_t i = offset; i < offset + sent; ++i) {
+        if (batch[i].isFragment) ++outcome.fragmentsSent;
+      }
+      outcome.sent += sent;
+      offset += sent;
+      headAttempts = 0;
+      headDelay = policy.initialDelay;
+      continue;
+    }
+    if (headStatus == SendStatus::Hard) {
+      ++outcome.hardLost;
+      ++offset;
+      headAttempts = 0;
+      headDelay = policy.initialDelay;
+      continue;
+    }
+    // Transient refusal of the head message: back off and re-attempt it,
+    // exactly like the single-datagram schedule.
+    if (++headAttempts >= policy.maxAttempts) {
+      ++outcome.transientLost;
+      ++offset;
+      headAttempts = 0;
+      headDelay = policy.initialDelay;
+      continue;
+    }
+    const double jitter = 0.5 + rng.uniform01();
+    const auto sleep = std::chrono::microseconds(static_cast<std::int64_t>(
+        std::max(1.0, static_cast<double>(headDelay.count()) * jitter)));
+    std::this_thread::sleep_for(sleep);
+    headDelay = std::chrono::microseconds(static_cast<std::int64_t>(
+        std::max(1.0, static_cast<double>(headDelay.count()) * policy.multiplier)));
+    ++outcome.retries;
+  }
+  return outcome;
 }
 
 bool sendBall(UdpSocket& socket, std::uint16_t port, const Ball& ball) {

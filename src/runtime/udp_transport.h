@@ -28,6 +28,7 @@
 #include <chrono>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/types.h"
@@ -47,11 +48,22 @@ inline constexpr std::size_t kMaxUdpDatagramBytes = 65536;
 /// request to rmem_max/wmem_max — best-effort by design.
 inline constexpr int kSocketBufferBytes = 4 << 20;
 
-/// Outcome of one datagram transmission attempt.
+/// Outcome of one datagram transmission attempt. EINTR is neither: a
+/// signal interrupting the syscall says nothing about the socket, so the
+/// send is simply re-issued without consuming a backoff slot.
 enum class SendStatus : std::uint8_t {
   Sent,       ///< handed to the OS in full.
   Transient,  ///< momentary refusal (EAGAIN/ENOBUFS/...); retry may succeed.
   Hard,       ///< permanent refusal (EMSGSIZE/...); retrying is pointless.
+};
+
+/// One datagram queued in a send aggregator. `frame` is a non-owning
+/// pointer: the referenced buffer must outlive the flush (the same ball
+/// frame is typically shared, uncopied, across every fanout target).
+struct OutgoingDatagram {
+  std::uint16_t port = 0;
+  const std::vector<std::byte>* frame = nullptr;
+  bool isFragment = false;
 };
 
 /// RAII UDP/IPv4 socket bound to 127.0.0.1 on an OS-assigned port.
@@ -70,6 +82,10 @@ class UdpSocket {
 
   /// The locally bound port (the node's address).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// The OS file descriptor — for callers multiplexing many sockets in
+  /// one poll() set (the sharded executor). Ownership stays here.
+  [[nodiscard]] int nativeHandle() const noexcept { return fd_; }
 
   /// One transmission attempt to 127.0.0.1:`port`, classified.
   SendStatus trySendTo(std::uint16_t port, const std::vector<std::byte>& frame);
@@ -94,6 +110,23 @@ class UdpSocket {
   /// Blocking receive with a timeout. Returns the datagram, or nullopt
   /// on timeout.
   [[nodiscard]] std::optional<Datagram> receive(int timeoutMillis);
+
+  /// Batched receive: drain up to `maxBatch` queued datagrams in one
+  /// recvmmsg() syscall, appending to `out`. With timeoutMillis > 0,
+  /// blocks in poll() first; with 0 it goes straight to a non-blocking
+  /// recvmmsg (the caller already knows the fd is readable — the sharded
+  /// executor's poll loop). Returns the number appended (0 when nothing
+  /// was queued). Truncation is flagged per datagram exactly as in
+  /// receive().
+  std::size_t receiveBatch(std::vector<Datagram>& out, std::size_t maxBatch,
+                           int timeoutMillis);
+
+  /// One sendmmsg() attempt over batch[offset..): returns how many
+  /// consecutive datagrams the OS accepted. On 0 with a non-empty range,
+  /// `headStatus` is the classification for batch[offset] (never Sent;
+  /// EINTR is retried internally and never surfaces).
+  std::size_t trySendBatch(std::span<const OutgoingDatagram> batch, std::size_t offset,
+                           SendStatus& headStatus);
 
  private:
   int fd_ = -1;
@@ -123,6 +156,30 @@ struct SendOutcome {
 SendOutcome sendWithBackoff(UdpSocket& socket, std::uint16_t port,
                             const std::vector<std::byte>& frame,
                             const SendBackoffPolicy& policy, util::Rng& rng);
+
+/// Cumulative outcome of one sendBatchWithBackoff() flush. Every
+/// datagram in the batch ends in exactly one of sent/transientLost/
+/// hardLost; `syscalls` counts sendmmsg() invocations (batch-size
+/// observability) and `retries` counts backoff sleeps.
+struct BatchSendOutcome {
+  std::size_t sent = 0;
+  std::size_t transientLost = 0;  ///< lost after the whole backoff schedule.
+  std::size_t hardLost = 0;
+  std::size_t fragmentsSent = 0;  ///< subset of `sent` flagged isFragment.
+  std::size_t syscalls = 0;
+  int retries = 0;
+};
+
+/// Flush a whole batch through sendmmsg(), applying the PR 3 SendStatus
+/// classification and jittered backoff *per message*: a transient
+/// refusal backs off and re-attempts that message (the rest of the batch
+/// waits behind it, preserving order); a message that exhausts the
+/// schedule — or fails hard — is counted lost and skipped, and the flush
+/// continues with the next one. EINTR re-issues immediately without
+/// consuming a backoff slot, exactly like the single-datagram path.
+BatchSendOutcome sendBatchWithBackoff(UdpSocket& socket,
+                                      std::span<const OutgoingDatagram> batch,
+                                      const SendBackoffPolicy& policy, util::Rng& rng);
 
 /// Encode and transmit one ball as a single datagram (single attempt;
 /// balls beyond the datagram limit need the fragmentation path in

@@ -60,6 +60,58 @@ TEST(IngressQueue, FloodShedsOldestAndNeverExceedsBound) {
   EXPECT_TRUE(queue.empty());
 }
 
+// recvmmsg hands the node loop a *chunk* of datagrams at once, so the
+// queue sees multi-ball bursts between drains instead of the one-push-
+// one-drain cadence of the blocking receive path. The overload contract
+// must hold per burst: the bound is never exceeded mid-burst, shedding
+// stays oldest-first, and a drain budget interleaved per datagram (PR 3
+// invariant: a send burst never starves receiving) keeps a burst no
+// larger than capacity + budget lossless.
+TEST(IngressQueue, MultiDatagramBurstsRespectTheBoundBetweenDrains) {
+  constexpr std::size_t kCapacity = 4;
+  constexpr std::size_t kBurst = 7;       // one recvmmsg chunk
+  constexpr std::size_t kBursts = 20;
+  IngressQueue queue(kCapacity);
+  std::uint32_t seq = 0;
+  std::size_t drained = 0;
+  for (std::size_t burst = 0; burst < kBursts; ++burst) {
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      queue.push(makeBall(seq++));
+      EXPECT_LE(queue.size(), kCapacity);  // bound holds mid-burst
+      // Budgeted per-datagram drain, exactly like batchIngest().
+      if (queue.pop().has_value()) ++drained;
+    }
+  }
+  // Budget >= arrival rate: nothing ever queued long enough to shed.
+  EXPECT_EQ(queue.shedTotal(), 0u);
+  EXPECT_EQ(drained + queue.size(), kBurst * kBursts);
+}
+
+// The same chunked arrivals with the drain deferred to the end of each
+// burst — the cadence a naive "ingest the whole chunk, then drain"
+// loop would produce. The bound still holds, but every burst sheds its
+// oldest overflow: the queue keeps only the newest suffix. This is the
+// regression test for the correlated-loss failure mode that budgeted
+// per-datagram draining exists to prevent.
+TEST(IngressQueue, DeferredDrainShedsTheOldestOfEveryBurst) {
+  constexpr std::size_t kCapacity = 4;
+  constexpr std::uint32_t kBurst = 7;
+  IngressQueue queue(kCapacity);
+  std::uint32_t seq = 0;
+  for (std::uint32_t i = 0; i < kBurst; ++i) {
+    queue.push(makeBall(seq++));
+    EXPECT_LE(queue.size(), kCapacity);
+  }
+  EXPECT_EQ(queue.shedTotal(), kBurst - kCapacity);
+  // The survivors are the newest kCapacity balls of the burst, in order.
+  for (std::uint32_t i = kBurst - kCapacity; i < kBurst; ++i) {
+    const auto ball = queue.pop();
+    ASSERT_TRUE(ball.has_value());
+    EXPECT_EQ((*ball)[0].id.sequence, i);
+  }
+  EXPECT_EQ(queue.highWater(), kCapacity);
+}
+
 TEST(IngressQueue, ClearReportsDiscardedCount) {
   IngressQueue queue(4);
   for (std::uint32_t i = 0; i < 3; ++i) queue.push(makeBall(i));

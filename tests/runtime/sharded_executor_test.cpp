@@ -1,0 +1,203 @@
+// Tests of the sharded executor mechanism: partitioning, mailbox
+// routing, stop protocol, and the owning-shard-only command contract
+// (DESIGN.md §16).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "runtime/sharded_executor.h"
+#include "util/ensure.h"
+
+namespace epto::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ShardedExecutor, PartitionIsContiguousBalancedAndComplete) {
+  ShardedExecutorOptions options;
+  options.nodeCount = 10;
+  options.shardCount = 3;
+  ShardedExecutor executor(options, [](ShardedExecutor::ShardContext&) {});
+  ASSERT_EQ(executor.shardCount(), 3u);
+  std::size_t cursor = 0;
+  for (std::size_t shard = 0; shard < 3; ++shard) {
+    const auto [begin, end] = executor.nodeRange(shard);
+    EXPECT_EQ(begin, cursor);  // contiguous, in order
+    const std::size_t width = end - begin;
+    EXPECT_TRUE(width == 3 || width == 4);  // balanced within one
+    cursor = end;
+  }
+  EXPECT_EQ(cursor, 10u);
+  // shardOf inverts the partition for every node.
+  for (std::size_t node = 0; node < 10; ++node) {
+    const auto [begin, end] = executor.nodeRange(executor.shardOf(node));
+    EXPECT_GE(node, begin);
+    EXPECT_LT(node, end);
+  }
+}
+
+TEST(ShardedExecutor, ShardCountClampsToNodeCount) {
+  ShardedExecutorOptions options;
+  options.nodeCount = 2;
+  options.shardCount = 16;
+  ShardedExecutor executor(options, [](ShardedExecutor::ShardContext&) {});
+  EXPECT_EQ(executor.shardCount(), 2u);
+}
+
+TEST(ShardedExecutor, RejectsInvalidConfiguration) {
+  ShardedExecutorOptions none;
+  none.nodeCount = 0;
+  EXPECT_THROW(ShardedExecutor(none, [](ShardedExecutor::ShardContext&) {}),
+               util::ContractViolation);
+  ShardedExecutorOptions noBody;
+  noBody.nodeCount = 1;
+  EXPECT_THROW(ShardedExecutor(noBody, nullptr), util::ContractViolation);
+}
+
+TEST(ShardedExecutor, BodyRunsOncePerShardWithItsOwnContext) {
+  ShardedExecutorOptions options;
+  options.nodeCount = 6;
+  options.shardCount = 2;
+  std::atomic<std::uint32_t> seen{0};
+  ShardedExecutor executor(options, [&](ShardedExecutor::ShardContext& ctx) {
+    // Each shard observes exactly its own slice.
+    EXPECT_LT(ctx.shardIndex(), 2u);
+    EXPECT_EQ(ctx.nodeEnd() - ctx.nodeBegin(), 3u);
+    seen.fetch_add(1, std::memory_order_relaxed);
+    while (!ctx.stopRequested()) std::this_thread::sleep_for(100us);
+  });
+  executor.start();
+  executor.stop();
+  EXPECT_EQ(seen.load(), 2u);
+}
+
+TEST(ShardedExecutor, CommandsRouteToTheOwningShard) {
+  ShardedExecutorOptions options;
+  options.nodeCount = 4;
+  options.shardCount = 2;
+  std::atomic<std::uint32_t> ranOnShard0{0};
+  std::atomic<std::uint32_t> ranOnShard1{0};
+  ShardedExecutor executor(options, [&](ShardedExecutor::ShardContext& ctx) {
+    while (!ctx.stopRequested()) {
+      ctx.drainMailbox();
+      std::this_thread::sleep_for(100us);
+    }
+    ctx.drainMailbox();
+  });
+  executor.start();
+  // Nodes 0,1 live on shard 0; nodes 2,3 on shard 1.
+  for (std::size_t node = 0; node < 4; ++node) {
+    auto& cell = node < 2 ? ranOnShard0 : ranOnShard1;
+    ASSERT_TRUE(executor.post(node, ShardedExecutor::Command([&cell] {
+      cell.fetch_add(1, std::memory_order_relaxed);
+    })));
+  }
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while ((ranOnShard0.load() < 2 || ranOnShard1.load() < 2) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  executor.stop();
+  EXPECT_EQ(ranOnShard0.load(), 2u);
+  EXPECT_EQ(ranOnShard1.load(), 2u);
+  EXPECT_EQ(executor.postRejections(), 0u);
+}
+
+TEST(ShardedExecutor, FullMailboxRejectsAndCounts) {
+  ShardedExecutorOptions options;
+  options.nodeCount = 1;
+  options.shardCount = 1;
+  options.mailboxCapacity = 2;
+  // Body never drains, so the mailbox fills and stays full.
+  ShardedExecutor executor(options, [](ShardedExecutor::ShardContext& ctx) {
+    while (!ctx.stopRequested()) std::this_thread::sleep_for(100us);
+  });
+  executor.start();
+  ASSERT_TRUE(executor.post(0, ShardedExecutor::Command([] {})));
+  ASSERT_TRUE(executor.post(0, ShardedExecutor::Command([] {})));
+  EXPECT_FALSE(executor.post(0, ShardedExecutor::Command([] {})));
+  EXPECT_EQ(executor.postRejections(), 1u);
+  EXPECT_EQ(executor.mailboxDepth(0), 2u);
+  executor.stop();
+}
+
+TEST(ShardedExecutor, ConcurrentProducersSerializeOntoOneMailbox) {
+  ShardedExecutorOptions options;
+  options.nodeCount = 2;
+  options.shardCount = 1;  // both nodes share one shard => one mailbox
+  options.mailboxCapacity = 8;
+  std::atomic<std::uint64_t> ran{0};
+  ShardedExecutor executor(options, [&](ShardedExecutor::ShardContext& ctx) {
+    while (!ctx.stopRequested()) ctx.drainMailbox();
+    ctx.drainMailbox();
+  });
+  executor.start();
+  constexpr std::uint64_t kPerProducer = 5000;
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < 2; ++p) {
+    producers.emplace_back([&executor, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        ShardedExecutor::Command command([] {});
+        // A full mailbox does not consume the command; retry it.
+        while (!executor.post(p, std::move(command))) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  // Commands increment nothing themselves here; completion is "mailbox
+  // empty", then stop() joins the drain loop.
+  while (executor.mailboxDepth(0) > 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  executor.stop();
+  EXPECT_EQ(executor.mailboxDepth(0), 0u);
+  (void)ran;
+}
+
+TEST(ShardedExecutor, StopIsIdempotentAndDestructorStops) {
+  ShardedExecutorOptions options;
+  options.nodeCount = 1;
+  ShardedExecutor executor(options, [](ShardedExecutor::ShardContext& ctx) {
+    while (!ctx.stopRequested()) std::this_thread::sleep_for(100us);
+  });
+  executor.start();
+  executor.stop();
+  executor.stop();  // second stop is a no-op
+  // Destructor running stop() again must also be safe (scope exit).
+}
+
+TEST(ShardedExecutor, WheelIsPerShardAndUsable) {
+  ShardedExecutorOptions options;
+  options.nodeCount = 2;
+  options.shardCount = 2;
+  options.wheelGranularity = std::chrono::microseconds(1000);
+  std::atomic<std::uint32_t> fired{0};
+  ShardedExecutor executor(options, [&](ShardedExecutor::ShardContext& ctx) {
+    std::vector<std::uint32_t> due;
+    ctx.wheel().schedule(static_cast<std::uint32_t>(ctx.nodeBegin()),
+                         TimerWheel::Clock::now());
+    while (!ctx.stopRequested()) {
+      due.clear();
+      if (ctx.wheel().expire(TimerWheel::Clock::now(), due) > 0) {
+        fired.fetch_add(static_cast<std::uint32_t>(due.size()),
+                        std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(100us);
+    }
+  });
+  executor.start();
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (fired.load() < 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  executor.stop();
+  EXPECT_EQ(fired.load(), 2u);
+}
+
+}  // namespace
+}  // namespace epto::runtime

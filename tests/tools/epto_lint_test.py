@@ -127,6 +127,37 @@ class RuleFixtureTest(unittest.TestCase):
         self.assertEqual([], epto_lint.lint_text(
             "src/core/ordering.cpp", code, allow))
 
+    def test_shard_affinity_write_dispatch(self):
+        self.assert_fires("shard-affinity-write", "src/runtime/transport.cpp",
+                          "node.process->onBall(*ball);\n")
+        self.assert_fires("shard-affinity-write", "src/runtime/transport.cpp",
+                          "const auto out = node.process->onRound();\n")
+        self.assert_fires("shard-affinity-write", "src/runtime/transport.cpp",
+                          "node.ingress.push(std::move(decoded.ball));\n")
+
+    def test_shard_affinity_write_lifecycle(self):
+        self.assert_fires("shard-affinity-write", "src/runtime/transport.cpp",
+                          "node.process.reset();\n")
+        self.assert_fires("shard-affinity-write", "src/runtime/transport.cpp",
+                          "node.process = makeProcess(node.id, node.incarnation);\n")
+        self.assert_fires("shard-affinity-write", "src/runtime/transport.cpp",
+                          "node.reassembler.clear();\n")
+
+    def test_shard_affinity_read_allowed(self):
+        code = ("auto n = node.process->disseminationStats().ballsReceived;\n"
+                "node.process->metricsSnapshot().recordTo(registry_);\n"
+                "storeMax(highWater_, node.ingress.highWater());\n"
+                "const auto& stats = node.reassembler.stats();\n"
+                "if (node.process == nullptr) return;\n")
+        findings = epto_lint.lint_text("src/runtime/sharded_executor.cpp", code)
+        self.assertNotIn("shard-affinity-write", rule_ids(findings))
+
+    def test_shard_affinity_write_owning_loop_suppressed(self):
+        code = "while (auto ball = node.ingress.pop()) node.process->onBall(*ball);\n"
+        allow = {("shard-affinity-write", "src/runtime/udp_cluster.cpp")}
+        self.assertEqual([], epto_lint.lint_text(
+            "src/runtime/udp_cluster.cpp", code, allow))
+
 
 class ScrubberTest(unittest.TestCase):
     """Comments and literals must never produce findings."""
@@ -181,6 +212,8 @@ class AllowlistTest(unittest.TestCase):
         self.assertIn(("eventid-order", "src/core/dissemination.cpp"), entries)
         self.assertIn(("decoded-ball-trust", "src/runtime/udp_cluster.cpp"), entries)
         self.assertIn(("speculative-frontier-write", "src/core/ordering.cpp"), entries)
+        self.assertIn(("shard-affinity-write", "src/runtime/udp_cluster.cpp"), entries)
+        self.assertIn(("shard-affinity-write", "src/runtime/runtime_cluster.cpp"), entries)
 
     def test_every_checked_in_entry_is_load_bearing(self):
         """Dropping any allowlist entry must surface at least one finding —

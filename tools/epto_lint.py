@@ -52,6 +52,21 @@ speculative-frontier-write
                  speculation on or off. A new frontier write site is a
                  new way for an optimistic path to corrupt the committed
                  order.
+shard-affinity-write
+                 No mutation of per-node runtime state through a
+                 NodeState handle — node.process dispatch/lifecycle
+                 (onBall/onRound/broadcast/retune, reset, reassignment)
+                 and node.ingress / node.reassembler mutators — outside
+                 the executor loops that own the node (allowlisted:
+                 udp_cluster.cpp's shard/node loops, runtime_cluster.cpp's
+                 node threads). Under the sharded executor (DESIGN.md
+                 §16) these structures are single-writer by shard
+                 affinity and intentionally unlocked; cross-shard work
+                 must be posted as a Command to the owning shard's
+                 mailbox. Reads via named accessors (stats(),
+                 highWater(), disseminationStats(), ...) are free. A new
+                 direct write site is a data race TSan can only catch if
+                 the interleaving happens to fire.
 
 Allowlist
 ---------
@@ -130,6 +145,18 @@ RULES: tuple[Rule, ...] = (
         ),
         "committed-frontier mutation outside the ordering component's committed "
         "path — speculation may read the frontier, never write it",
+    ),
+    Rule(
+        "shard-affinity-write",
+        re.compile(
+            r"\bnode\s*\.\s*process\s*(?:->\s*(?:onBall|onRound|broadcast|retune)"
+            r"|\.\s*reset)\s*\("
+            r"|\bnode\s*\.\s*process\s*=(?!=)"
+            r"|\bnode\s*\.\s*(?:ingress|reassembler)\s*\.\s*"
+            r"(?:push|pop|clear|accept|evictExpired)\s*\("
+        ),
+        "per-node runtime state mutated outside the owning executor loop — "
+        "post a Command to the node's shard mailbox instead (DESIGN.md §16)",
     ),
 )
 
