@@ -51,16 +51,38 @@ DEFAULT_RUNTIME_BASELINE = Path(__file__).resolve().parent / "BENCH_runtime.json
 
 def last_record(path, schemas=SCHEMAS):
     record = None
-    with open(path, encoding="utf-8") as fh:
-        for line in fh:
+    try:
+        fh = open(path, encoding="utf-8")
+    except OSError as error:
+        raise SystemExit(
+            f"check_regression: cannot read {path}: {error.strerror or error}.\n"
+            "Baselines live in bench/perf/BENCH_<name>.json; regenerate one by "
+            "rerunning the bench binary with --bench-json on a quiet machine "
+            "(EXPERIMENTS.md, 'Performance methodology').")
+    with fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
-            parsed = json.loads(line)
+            try:
+                parsed = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise SystemExit(
+                    f"check_regression: {path}:{lineno}: not valid JSON "
+                    f"({error.msg} at column {error.colno}). The file must be "
+                    "JSONL as written by --bench-json; a truncated or "
+                    "hand-edited record should be regenerated, not repaired.")
+            if not isinstance(parsed, dict):
+                raise SystemExit(
+                    f"check_regression: {path}:{lineno}: expected a JSON object "
+                    f"per line, got {type(parsed).__name__}")
             if parsed.get("schema") in schemas:
                 record = parsed
     if record is None:
-        raise SystemExit(f"{path}: no record with schema in {schemas} found")
+        raise SystemExit(
+            f"check_regression: {path}: no record with schema in {schemas}. "
+            "Either the wrong file was passed or the bench run wrote nothing — "
+            "rerun the binary with --bench-json and pass its output here.")
     return record
 
 

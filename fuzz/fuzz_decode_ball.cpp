@@ -1,0 +1,208 @@
+// libFuzzer harness for codec::decodeBall (v1 and v2 frames).
+//
+// Two properties under fuzz:
+//   1. decodeBall never crashes, overflows, or over-allocates on
+//      arbitrary bytes (ASan is the oracle);
+//   2. any frame that decodes cleanly survives a re-encode/re-decode
+//      round trip field-for-field — the codec's own inverse property,
+//      checked with lineage+qos enabled so the widest v2 layout is the
+//      one exercised.
+//
+// The custom mutator below is structure-aware for the varint blocks: it
+// parses the frame the way the decoder does, rewrites one varint field
+// (biased toward the v2 lineage block and boundary values at the decode
+// caps), reassembles the body, and usually fixes up the CRC32C trailer
+// so mutants reach past the checksum gate instead of dying there.
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "codec/ball_codec.h"
+#include "codec/checksum.h"
+#include "codec/varint.h"
+
+namespace {
+
+using epto::codec::ByteReader;
+
+bool payloadEqual(const epto::PayloadPtr& a, const epto::PayloadPtr& b) {
+  const std::size_t sizeA = a == nullptr ? 0 : a->size();
+  const std::size_t sizeB = b == nullptr ? 0 : b->size();
+  if (sizeA != sizeB) return false;
+  return sizeA == 0 || std::memcmp(a->data(), b->data(), sizeA) == 0;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::span<const std::byte> frame(reinterpret_cast<const std::byte*>(data), size);
+  const auto first = epto::codec::decodeBall(frame);
+  if (!first.ok()) return 0;
+
+  epto::codec::EncodeOptions options;
+  options.lineage = true;
+  options.qos = true;
+  const auto reencoded = epto::codec::encodeBall(first.ball, options);
+  const auto second = epto::codec::decodeBall(reencoded);
+  if (!second.ok()) __builtin_trap();  // a decodable ball must re-encode decodably
+  if (second.ball.size() != first.ball.size()) __builtin_trap();
+  for (std::size_t i = 0; i < first.ball.size(); ++i) {
+    const epto::Event& a = first.ball[i];
+    const epto::Event& b = second.ball[i];
+    if (a.id != b.id || a.ts != b.ts || a.ttl != b.ttl || a.hop != b.hop ||
+        a.originRound != b.originRound || a.incarnation != b.incarnation || a.qos != b.qos ||
+        !payloadEqual(a.payload, b.payload)) {
+      __builtin_trap();  // round trip lost a field
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Structure-aware mutator
+// ---------------------------------------------------------------------------
+
+extern "C" std::size_t LLVMFuzzerMutate(std::uint8_t* data, std::size_t size,
+                                        std::size_t maxSize);
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30U)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27U)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31U);
+}
+
+struct VarintField {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+  bool lineage = false;  ///< hop / originRound / incarnation
+};
+
+/// Walk the frame the way decodeBall does, recording where every varint
+/// lives. Returns false when the walk fails before finding any field.
+bool mapVarints(std::span<const std::byte> body, std::vector<VarintField>& fields) {
+  if (body.size() < 3) return false;
+  const std::uint16_t magic = static_cast<std::uint16_t>(std::to_integer<unsigned>(body[0])) |
+                              static_cast<std::uint16_t>(std::to_integer<unsigned>(body[1]) << 8U);
+  if (magic != epto::codec::kMagic) return false;
+  const auto version = std::to_integer<std::uint8_t>(body[2]);
+  if (version != epto::codec::kVersion && version != epto::codec::kVersionLineage) return false;
+  ByteReader reader(body.subspan(3));
+  const std::size_t base = 3;
+  std::uint8_t flags = 0;
+  if (version == epto::codec::kVersionLineage) {
+    const auto flagsByte = reader.readByte();
+    if (!flagsByte.has_value()) return false;
+    flags = *flagsByte;
+  }
+  const bool lineage = (flags & epto::codec::kFlagLineage) != 0;
+  const bool qos = (flags & epto::codec::kFlagQos) != 0;
+
+  const auto takeVarint = [&](bool isLineage) {
+    const std::size_t start = base + reader.position();
+    if (!reader.readVarint().has_value()) return false;
+    fields.push_back(VarintField{start, base + reader.position() - start, isLineage});
+    return true;
+  };
+
+  const std::size_t countIndex = fields.size();
+  if (!takeVarint(false)) return !fields.empty();
+  std::uint64_t count = 0;
+  {
+    ByteReader countReader(body.subspan(fields[countIndex].offset));
+    count = countReader.readVarint().value_or(0);
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    for (int f = 0; f < 4; ++f) {
+      if (!takeVarint(false)) return !fields.empty();  // source, sequence, ts, ttl
+    }
+    if (lineage) {
+      for (int f = 0; f < 3; ++f) {
+        if (!takeVarint(true)) return !fields.empty();  // hop, originRound, incarnation
+      }
+    }
+    if (qos && !reader.readByte().has_value()) return !fields.empty();
+    const std::size_t lenIndex = fields.size();
+    if (!takeVarint(false)) return !fields.empty();  // payloadLen
+    ByteReader lenReader(body.subspan(fields[lenIndex].offset));
+    const std::uint64_t payloadLen = lenReader.readVarint().value_or(0);
+    if (!reader.readBytes(static_cast<std::size_t>(payloadLen)).has_value()) {
+      return !fields.empty();
+    }
+  }
+  return !fields.empty();
+}
+
+/// Decode-cap boundary values (ball_codec.cpp field caps) plus generic
+/// varint-width edges — the values the decoder's LengthOverflow /
+/// BadVarint branches discriminate on.
+constexpr std::uint64_t kBoundaryValues[] = {
+    0,       1,          0x7F,        0x80,        0x3FFF,     0x4000,
+    0xFFFF,  0x10000,    0xFFFFFFFF,  0x100000000, UINT64_MAX, UINT64_MAX - 1,
+};
+
+}  // namespace
+
+extern "C" std::size_t LLVMFuzzerCustomMutator(std::uint8_t* data, std::size_t size,
+                                               std::size_t maxSize, unsigned int seed) {
+  std::uint64_t rng = seed;
+  // Half the time, plain byte-level mutation keeps generic coverage.
+  if ((splitmix64(rng) & 1U) == 0 || size < 7) {
+    return LLVMFuzzerMutate(data, size, maxSize);
+  }
+
+  const std::size_t bodySize = size - 4;  // CRC32C trailer
+  std::vector<VarintField> fields;
+  if (!mapVarints({reinterpret_cast<const std::byte*>(data), bodySize}, fields)) {
+    return LLVMFuzzerMutate(data, size, maxSize);
+  }
+
+  // Prefer lineage fields when the frame has them (the v2 block this
+  // mutator exists for), any varint otherwise.
+  std::vector<std::size_t> lineageFields;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].lineage) lineageFields.push_back(i);
+  }
+  const VarintField& target =
+      !lineageFields.empty() && (splitmix64(rng) % 4U) != 0
+          ? fields[lineageFields[splitmix64(rng) % lineageFields.size()]]
+          : fields[splitmix64(rng) % fields.size()];
+
+  std::vector<std::byte> replacement;
+  const std::uint64_t roll = splitmix64(rng) % 8;
+  if (roll < 6) {
+    const std::uint64_t value =
+        kBoundaryValues[splitmix64(rng) % (sizeof kBoundaryValues / sizeof kBoundaryValues[0])];
+    epto::codec::putVarint(replacement, value);
+  } else if (roll == 6) {
+    // Overlong-but-valid 10-byte encoding of a small value's worth of
+    // continuation bytes ending in an overflow chunk: the BadVarint path.
+    replacement.assign(10, std::byte{0xFF});
+  } else {
+    // Continuation bit never cleared.
+    replacement.assign(5, std::byte{0x80});
+  }
+
+  std::vector<std::byte> body(reinterpret_cast<const std::byte*>(data),
+                              reinterpret_cast<const std::byte*>(data) + bodySize);
+  body.erase(body.begin() + static_cast<std::ptrdiff_t>(target.offset),
+             body.begin() + static_cast<std::ptrdiff_t>(target.offset + target.length));
+  body.insert(body.begin() + static_cast<std::ptrdiff_t>(target.offset), replacement.begin(),
+              replacement.end());
+  if (body.size() + 4 > maxSize) return LLVMFuzzerMutate(data, size, maxSize);
+
+  // Usually repair the trailer so the mutant survives the checksum gate;
+  // sometimes leave it stale to keep the ChecksumMismatch path hot.
+  std::uint32_t crc = epto::codec::crc32c(body);
+  if ((splitmix64(rng) % 8U) == 0) crc ^= 0xA5A5A5A5U;
+  for (int i = 0; i < 4; ++i) {
+    body.push_back(static_cast<std::byte>((crc >> (8 * i)) & 0xFFU));
+  }
+  std::memcpy(data, body.data(), body.size());
+  return body.size();
+}

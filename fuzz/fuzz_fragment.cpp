@@ -1,0 +1,70 @@
+// libFuzzer harness for the fragmentation path: decodeFragment →
+// Reassembler::accept → decodeBall on anything that completes.
+//
+// The input is interpreted as a stream of length-prefixed datagrams
+// ([u16-LE length][bytes]...), which lets one corpus entry drive a whole
+// reassembly session: interleaved ballIds, duplicate indices, geometry
+// contradictions, TTL expiry (the round advances every few datagrams).
+// The Reassembler's bounded-memory claims — partials capped, buffered
+// bytes tracked, eviction self-consistent — are asserted after every
+// datagram; ASan watches the copies into the reassembly buffer.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "codec/ball_codec.h"
+#include "codec/fragment_codec.h"
+#include "runtime/reassembly.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::span<const std::byte> input(reinterpret_cast<const std::byte*>(data), size);
+
+  // Whole-input probes first: the two decoders must reject or accept any
+  // byte string without crashing, whatever the chunking below does.
+  (void)epto::codec::isFragmentFrame(input);
+  (void)epto::codec::decodeFragment(input);
+
+  epto::runtime::ReassemblyOptions options;
+  options.maxPartialFrames = 4;            // small caps make eviction reachable
+  options.ttlRounds = 2;
+  options.maxFrameBytes = std::size_t{1} << 16;
+  epto::runtime::Reassembler reassembler(options);
+
+  std::uint64_t round = 0;
+  std::size_t cursor = 0;
+  std::size_t datagrams = 0;
+  while (cursor + 2 <= input.size()) {
+    const std::size_t length =
+        std::to_integer<std::size_t>(input[cursor]) |
+        (std::to_integer<std::size_t>(input[cursor + 1]) << 8U);
+    cursor += 2;
+    const std::size_t take = std::min(length, input.size() - cursor);
+    const auto datagram = input.subspan(cursor, take);
+    cursor += take;
+
+    const auto decoded = epto::codec::decodeFragment(datagram);
+    if (decoded.ok()) {
+      if (auto frame = reassembler.accept(decoded.fragment, round)) {
+        // A completed frame is a candidate ball frame; close the loop.
+        (void)epto::codec::decodeBall(*frame);
+      }
+    }
+    if (++datagrams % 4 == 0) {
+      ++round;
+      reassembler.evictExpired(round);
+    }
+
+    // Bounded-memory invariants the reassembler documents.
+    if (reassembler.partialCount() > options.maxPartialFrames) __builtin_trap();
+    if (reassembler.partialCount() == 0 && reassembler.bufferedBytes() != 0) __builtin_trap();
+    if (reassembler.bufferedBytes() >
+        options.maxFrameBytes * options.maxPartialFrames) {
+      __builtin_trap();
+    }
+  }
+
+  reassembler.clear();
+  if (reassembler.partialCount() != 0 || reassembler.bufferedBytes() != 0) __builtin_trap();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// libFuzzer harness for IngressGuard — the decode → screen boundary a
+// real receiver exposes to the network.
+//
+// Layout of one input: [senderKey u8][control u8][ball frame bytes...].
+// The frame goes through the real decoder first, so the guard only ever
+// sees balls the codec would actually admit — exactly the production
+// trust boundary. The control byte drives round advancement and a
+// repeat-inspection (equivocation/incarnation fingerprints fire on the
+// second sight of an EventId). The guard's Result contract is asserted:
+// rejected balls carry a ball-level cause, admitted balls never do,
+// `kept` engages iff events were filtered, and stats stay additive.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "codec/ball_codec.h"
+#include "core/ingress_guard.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size < 2) return 0;
+  const std::uint64_t senderKey = data[0];
+  const std::uint8_t control = data[1];
+  const std::span<const std::byte> frame(reinterpret_cast<const std::byte*>(data) + 2, size - 2);
+
+  const auto decoded = epto::codec::decodeBall(frame);
+  if (!decoded.ok()) return 0;
+
+  epto::core::IngressGuardOptions options;
+  options.maxTtl = (control & 0x01U) != 0 ? 16 : 0;
+  options.maxOriginRound = (control & 0x02U) != 0 ? 256 : (1U << 20);
+  options.maxBallsPerSenderPerRound = (control & 0x04U) != 0 ? 1 : 64;
+  options.knownSources = (control & 0x08U) != 0 ? 8 : 0;
+  options.fingerprintCapacity = 32;  // tiny: generation rotation is reachable
+  epto::core::IngressGuard guard(options);
+
+  const auto check = [&](const epto::core::IngressGuard::Result& result) {
+    if (result.admitted && result.cause != epto::core::IngressCause::None) __builtin_trap();
+    if (!result.admitted && result.cause == epto::core::IngressCause::None) __builtin_trap();
+    if (result.kept.has_value() != (result.filtered > 0)) __builtin_trap();
+    if (result.kept.has_value() &&
+        result.kept->size() + result.filtered != decoded.ball.size()) {
+      __builtin_trap();
+    }
+  };
+
+  check(guard.inspect(senderKey, decoded.ball));
+  if ((control & 0x10U) != 0) guard.onRound();
+  // Second sight of the same ball: fingerprints now exist, so the
+  // equivocation/incarnation filters and the rate window are live.
+  check(guard.inspect(senderKey, decoded.ball));
+  if ((control & 0x20U) != 0) {
+    check(guard.inspect(senderKey ^ 1U, decoded.ball));
+  }
+
+  const auto& stats = guard.stats();
+  if (stats.ballsInspected < 2) __builtin_trap();
+  if (stats.ballsRejected() + stats.eventsFiltered() >
+      stats.ballsInspected * (decoded.ball.size() + 1)) {
+    __builtin_trap();
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "check/schedule_point.h"
 #include "obs/exporters.h"
 
 namespace epto::obs {
@@ -66,21 +67,26 @@ void FlightRecorder::setTypeMask(std::uint32_t mask) {
 }
 
 void FlightRecorder::record(const TraceEvent& event) {
+  EPTO_SCHEDULE_POINT("flight.record.claim");
   const std::uint64_t claim = cursor_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[claim & (capacity_ - 1)];
   // Seqlock write: odd stamp marks the slot torn while the payload words
   // land; the release store of the even stamp publishes them.
+  EPTO_SCHEDULE_POINT("flight.record.open");
   slot.stamp.store(claim * 2 + 1, std::memory_order_relaxed);
   const std::uint64_t w0 = static_cast<std::uint64_t>(event.type) |
                            (static_cast<std::uint64_t>(event.detail) << 8U) |
                            (static_cast<std::uint64_t>(event.node) << 32U);
+  EPTO_SCHEDULE_POINT("flight.record.words");
   slot.words[0].store(w0, std::memory_order_relaxed);
   slot.words[1].store(event.round, std::memory_order_relaxed);
   slot.words[2].store(event.event.packed(), std::memory_order_relaxed);
   slot.words[3].store(event.ts, std::memory_order_relaxed);
+  EPTO_SCHEDULE_POINT("flight.record.words2");
   slot.words[4].store(event.ttl, std::memory_order_relaxed);
   slot.words[5].store(event.size, std::memory_order_relaxed);
   slot.words[6].store(event.aux, std::memory_order_relaxed);
+  EPTO_SCHEDULE_POINT("flight.record.close");
   slot.stamp.store(claim * 2 + 2, std::memory_order_release);
 }
 
@@ -89,13 +95,16 @@ std::vector<FlightRecord> FlightRecorder::snapshot() const {
   records.reserve(capacity_);
   for (std::size_t i = 0; i < capacity_; ++i) {
     const Slot& slot = slots_[i];
+    EPTO_SCHEDULE_POINT("flight.snapshot.stamp");
     const std::uint64_t before = slot.stamp.load(std::memory_order_acquire);
     if (before == 0 || (before & 1U) != 0) continue;  // empty or mid-write
     std::array<std::uint64_t, kWords> words;
+    EPTO_SCHEDULE_POINT("flight.snapshot.words");
     for (std::size_t w = 0; w < kWords; ++w) {
       words[w] = slot.words[w].load(std::memory_order_relaxed);
     }
     std::atomic_thread_fence(std::memory_order_acquire);
+    EPTO_SCHEDULE_POINT("flight.snapshot.recheck");
     if (slot.stamp.load(std::memory_order_relaxed) != before) continue;  // torn
 
     FlightRecord record;

@@ -5,6 +5,7 @@
 
 #include <chrono>
 
+#include "check/schedule_point.h"
 #include "util/ensure.h"
 
 namespace epto::runtime {
@@ -84,6 +85,7 @@ void ShardedExecutor::stop() {
 
 bool ShardedExecutor::post(std::size_t node, Command&& command) {
   Shard& shard = *shards_[shardOf(node)];
+  EPTO_SCHEDULE_POINT("executor.post");
   bool accepted = false;
   {
     const util::MutexLock lock(shard.producerMutex);
@@ -91,6 +93,13 @@ bool ShardedExecutor::post(std::size_t node, Command&& command) {
   }
   if (!accepted) postRejections_.fetch_add(1, std::memory_order_relaxed);
   return accepted;
+}
+
+std::size_t ShardedExecutor::drainMailboxOn(std::size_t shard) {
+  EPTO_ENSURE_MSG(shard < shards_.size(), "shard index out of range");
+  EPTO_ENSURE_MSG(!running_.load(std::memory_order_acquire),
+                  "drainMailboxOn while shard threads run would add a second consumer");
+  return shards_[shard]->context.drainMailbox();
 }
 
 std::size_t ShardedExecutor::shardOf(std::size_t node) const {

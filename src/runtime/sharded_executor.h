@@ -115,6 +115,13 @@ class ShardedExecutor {
   /// counted.
   [[nodiscard]] bool post(std::size_t node, Command&& command);
 
+  /// Consume `shard`'s mailbox from the calling thread. The SPSC
+  /// single-consumer role belongs to the shard thread while the executor
+  /// runs, so this is only legal when the executor is NOT started —
+  /// tests and the schedule-exploration suite (tests/check) use it to
+  /// play the consumer role deterministically; enforced with EPTO_ENSURE.
+  std::size_t drainMailboxOn(std::size_t shard);
+
   [[nodiscard]] std::size_t shardCount() const noexcept { return shards_.size(); }
   [[nodiscard]] std::size_t shardOf(std::size_t node) const;
   /// Node range [first, second) owned by `shard`.

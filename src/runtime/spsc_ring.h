@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/schedule_point.h"
 #include "util/ensure.h"
 
 namespace epto::runtime {
@@ -50,21 +51,27 @@ class SpscRing {
   /// consumed then (the caller keeps it and owns the retry/drop
   /// decision); nothing queued is ever overwritten.
   [[nodiscard]] bool tryPush(T&& value) {
+    EPTO_SCHEDULE_POINT("spsc.push.enter");
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     const std::uint64_t head = head_.load(std::memory_order_acquire);
     if (tail - head > mask_) return false;  // full
+    EPTO_SCHEDULE_POINT("spsc.push.slot");
     slots_[tail & mask_] = std::move(value);
+    EPTO_SCHEDULE_POINT("spsc.push.publish");
     tail_.store(tail + 1, std::memory_order_release);
     return true;
   }
 
   /// Consumer side. nullopt when empty.
   [[nodiscard]] std::optional<T> tryPop() {
+    EPTO_SCHEDULE_POINT("spsc.pop.enter");
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
     const std::uint64_t tail = tail_.load(std::memory_order_acquire);
     if (head == tail) return std::nullopt;
+    EPTO_SCHEDULE_POINT("spsc.pop.slot");
     std::optional<T> value(std::move(slots_[head & mask_]));
     slots_[head & mask_] = T{};  // release payload resources eagerly
+    EPTO_SCHEDULE_POINT("spsc.pop.retire");
     head_.store(head + 1, std::memory_order_release);
     return value;
   }

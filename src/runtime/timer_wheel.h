@@ -21,6 +21,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/schedule_point.h"
 #include "util/ensure.h"
 
 namespace epto::runtime {
@@ -46,6 +47,9 @@ class TimerWheel {
   /// does not deduplicate — schedule once per expire, like the node loop
   /// re-arms its next round after running one.
   void schedule(std::uint32_t id, TimePoint due) {
+    // Single-threaded component: points at op entry only — interleaving
+    // *within* an op would model schedules the owning shard cannot run.
+    EPTO_SCHEDULE_POINT("wheel.schedule");
     const std::uint64_t dueTick = tickOf(due);
     // A due tick the cursor already swept would never be visited again
     // this lap; park it in the cursor's slot so the next expire() call
@@ -59,6 +63,7 @@ class TimerWheel {
   /// within a call is unspecified — callers needing fairness shuffle or
   /// rotate). Returns the number fired.
   std::size_t expire(TimePoint now, std::vector<std::uint32_t>& out) {
+    EPTO_SCHEDULE_POINT("wheel.expire");
     const std::uint64_t nowTick = tickOf(now);
     std::size_t fired = 0;
     if (nowTick - cursorTick_ >= slots_.size()) {
@@ -79,6 +84,7 @@ class TimerWheel {
   /// shard's poll() timeout. Linear in armed timers (a shard owns at
   /// most a few thousand nodes; this is nanoseconds against a syscall).
   [[nodiscard]] std::optional<TimePoint> nextDue() const {
+    EPTO_SCHEDULE_POINT("wheel.nextDue");
     if (armed_ == 0) return std::nullopt;
     std::uint64_t best = UINT64_MAX;
     for (const auto& slot : slots_) {

@@ -17,6 +17,7 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "check/schedule_point.h"
 #include "util/thread_annotations.h"
 
 namespace epto::util {
@@ -29,8 +30,27 @@ class EPTO_CAPABILITY("mutex") Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() EPTO_ACQUIRE() { m_.lock(); }
-  void unlock() EPTO_RELEASE() { m_.unlock(); }
+  void lock() EPTO_ACQUIRE() {
+#if defined(EPTO_SCHEDCHECK_ENABLED)
+    // Under schedule exploration (check/schedule.h) a task parked at a
+    // schedule point may hold this mutex; a second task blocking inside
+    // std::mutex::lock would deadlock the controller. Cooperative
+    // acquisition deschedules the contending task instead. Outside
+    // exploration this is one thread_local load and a not-taken branch.
+    if (check::detail::underExploration()) {
+      check::detail::cooperativeLock(
+          this, [](void* self) { return static_cast<Mutex*>(self)->m_.try_lock(); }, this);
+      return;
+    }
+#endif
+    m_.lock();
+  }
+  void unlock() EPTO_RELEASE() {
+    m_.unlock();
+#if defined(EPTO_SCHEDCHECK_ENABLED)
+    if (check::detail::underExploration()) check::detail::mutexReleased(this);
+#endif
+  }
 
  private:
   friend class CondVarLock;
@@ -52,6 +72,10 @@ class EPTO_SCOPED_CAPABILITY MutexLock {
 
 /// RAII hold that can block on a std::condition_variable. Backed by a
 /// std::unique_lock so cv waits release/reacquire the underlying mutex;
+/// NOT cooperative under schedule exploration (a cv wait blocks the real
+/// thread) — explorer tests drive components through their non-waiting
+/// entry points; a task that waits here trips the controller's hang
+/// detector rather than deadlocking silently.
 /// the analysis sees the capability held for the whole scope, which is
 /// the invariant that matters — the guarded state is only inspected
 /// while the lock is genuinely held (waits hand it back before

@@ -1,0 +1,43 @@
+// Shared plumbing for the schedule-exploration suite (DESIGN.md §17).
+//
+// Every test in tests/check funnels through exploreOrReplay(): normally
+// it searches the schedule space, but with EPTO_SCHED_REPLAY=<seed> in
+// the environment it re-runs exactly that one failing schedule — the
+// loop printed by EXPECT_SCHEDULES_CLEAN on failure:
+//
+//   EPTO_SCHED_REPLAY='x:0,1,2' ./epto_check_tests --gtest_filter=<test>
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "check/schedule.h"
+
+namespace epto::test {
+
+inline check::ExploreReport exploreOrReplay(const check::TestFactory& factory,
+                                            const check::ExploreOptions& options = {}) {
+  const char* replay = std::getenv("EPTO_SCHED_REPLAY");
+  if (replay != nullptr && replay[0] != '\0') {
+    return check::replaySeed(factory, replay, options);
+  }
+  return check::explore(factory, options);
+}
+
+inline std::string failureText(const check::ExploreReport& report) {
+  std::string text = report.message;
+  text += "\n  replay with EPTO_SCHED_REPLAY='" + report.seed + "'";
+  text += "\n  failing schedule:";
+  for (const auto& name : report.schedule) {
+    text += ' ';
+    text += name;
+  }
+  return text;
+}
+
+}  // namespace epto::test
+
+#define EXPECT_SCHEDULES_CLEAN(report_) \
+  EXPECT_FALSE((report_).failed) << ::epto::test::failureText(report_)

@@ -1,0 +1,174 @@
+// Boundary coverage for the v2 ball frame (codec/ball_codec.cpp):
+// maximum varint widths on the lineage block, every unknown flag bit,
+// and one-byte truncations at each header offset. Mirrors the fuzz seed
+// corpus (fuzz/seed_gen.cpp) so each boundary is pinned both as a unit
+// test and as a coverage seed.
+//
+// The CRC trailer is verified before any parsing, so reaching the deep
+// Truncated/BadVarint/LengthOverflow branches requires frames whose
+// trailer matches their (deliberately malformed) body — hand-assembled
+// here with the encoder's own layout plus a recomputed crc32c.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "codec/ball_codec.h"
+#include "codec/checksum.h"
+#include "codec/varint.h"
+
+namespace epto::codec {
+namespace {
+
+Event lineageEvent(std::uint16_t hop, std::uint32_t originRound, std::uint16_t incarnation) {
+  Event event;
+  event.id = EventId{7, 11};
+  event.ts = 1234;
+  event.ttl = 20;
+  event.hop = hop;
+  event.originRound = originRound;
+  event.incarnation = incarnation;
+  return event;
+}
+
+std::vector<std::byte> encodeLineage(const Ball& ball) {
+  EncodeOptions options;
+  options.lineage = true;
+  return encodeBall(ball, options);
+}
+
+/// Append a CRC32C trailer over `body` — the step that separates "the
+/// decoder rejected my bytes" from "the decoder rejected my checksum".
+std::vector<std::byte> sealed(std::vector<std::byte> body) {
+  const std::uint32_t crc = crc32c(body);
+  for (int i = 0; i < 4; ++i) {
+    body.push_back(static_cast<std::byte>((crc >> (8 * i)) & 0xFFU));
+  }
+  return body;
+}
+
+/// Hand-assemble a v2 lineage frame for one payload-less event with raw
+/// (unclamped) lineage varint values — the encoder cannot produce
+/// out-of-range fields, so the overflow branches need this.
+std::vector<std::byte> rawLineageFrame(std::uint64_t hop, std::uint64_t originRound,
+                                       std::uint64_t incarnation) {
+  std::vector<std::byte> body;
+  body.push_back(static_cast<std::byte>(kMagic & 0xFFU));
+  body.push_back(static_cast<std::byte>(kMagic >> 8U));
+  body.push_back(static_cast<std::byte>(kVersionLineage));
+  body.push_back(static_cast<std::byte>(kFlagLineage));
+  putVarint(body, 1);   // event count
+  putVarint(body, 7);   // source
+  putVarint(body, 11);  // sequence
+  putVarint(body, 1234);  // ts
+  putVarint(body, 20);    // ttl
+  putVarint(body, hop);
+  putVarint(body, originRound);
+  putVarint(body, incarnation);
+  putVarint(body, 0);  // payloadLen
+  return sealed(std::move(body));
+}
+
+TEST(BallCodecBoundary, MaxWidthLineageFieldsRoundTrip) {
+  const Ball ball{lineageEvent(std::numeric_limits<std::uint16_t>::max(),
+                               std::numeric_limits<std::uint32_t>::max(),
+                               std::numeric_limits<std::uint16_t>::max())};
+  const auto decoded = decodeBall(encodeLineage(ball));
+  ASSERT_TRUE(decoded.ok()) << toString(decoded.error);
+  ASSERT_EQ(decoded.ball.size(), 1U);
+  EXPECT_EQ(decoded.ball[0].hop, std::numeric_limits<std::uint16_t>::max());
+  EXPECT_EQ(decoded.ball[0].originRound, std::numeric_limits<std::uint32_t>::max());
+  EXPECT_EQ(decoded.ball[0].incarnation, std::numeric_limits<std::uint16_t>::max());
+}
+
+TEST(BallCodecBoundary, EachLineageFieldAtItsIndividualMax) {
+  // One field maxed at a time: a cap applied to the wrong field would
+  // pass the all-max test but fail one of these.
+  const std::uint64_t hopMax = std::numeric_limits<std::uint16_t>::max();
+  const std::uint64_t roundMax = std::numeric_limits<std::uint32_t>::max();
+  const std::uint64_t incMax = std::numeric_limits<std::uint16_t>::max();
+  for (int which = 0; which < 3; ++which) {
+    const auto frame = rawLineageFrame(which == 0 ? hopMax : 1, which == 1 ? roundMax : 2,
+                                       which == 2 ? incMax : 3);
+    const auto decoded = decodeBall(frame);
+    ASSERT_TRUE(decoded.ok()) << "field " << which << ": " << toString(decoded.error);
+  }
+}
+
+TEST(BallCodecBoundary, LineageFieldOnePastItsMaxOverflows) {
+  const std::uint64_t hopOver = std::uint64_t{std::numeric_limits<std::uint16_t>::max()} + 1;
+  const std::uint64_t roundOver = std::uint64_t{std::numeric_limits<std::uint32_t>::max()} + 1;
+  const std::uint64_t incOver = std::uint64_t{std::numeric_limits<std::uint16_t>::max()} + 1;
+  EXPECT_EQ(decodeBall(rawLineageFrame(hopOver, 2, 3)).error, DecodeError::LengthOverflow);
+  EXPECT_EQ(decodeBall(rawLineageFrame(1, roundOver, 3)).error, DecodeError::LengthOverflow);
+  EXPECT_EQ(decodeBall(rawLineageFrame(1, 2, incOver)).error, DecodeError::LengthOverflow);
+}
+
+TEST(BallCodecBoundary, EveryUnknownFlagBitRejectsAsBadVersion) {
+  // Bits 2..7 are reserved. Each one set individually (known bits kept
+  // valid, CRC resealed) must reject as BadVersion — the forward-compat
+  // contract that lets a future flag change the layout safely.
+  const auto frame = encodeLineage({lineageEvent(3, 40, 1)});
+  for (unsigned bit = 2; bit < 8; ++bit) {
+    std::vector<std::byte> body(frame.begin(), frame.end() - 4);
+    body[3] = static_cast<std::byte>(std::to_integer<unsigned>(body[3]) | (1U << bit));
+    const auto decoded = decodeBall(sealed(std::move(body)));
+    EXPECT_EQ(decoded.error, DecodeError::BadVersion) << "flag bit " << bit;
+  }
+}
+
+TEST(BallCodecBoundary, KnownFlagBitsAloneStayDecodable) {
+  const auto frame = encodeLineage({lineageEvent(3, 40, 1)});
+  ASSERT_TRUE(decodeBall(frame).ok());
+}
+
+TEST(BallCodecBoundary, OneByteTruncationAtEveryHeaderOffsetWithResealedCrc) {
+  // Truncate the body after `keep` bytes and reseal, so the checksum
+  // gate passes and the decoder's own header walk must catch the cut:
+  // magic (0,1) and empty bodies → Truncated/BadMagic, version → the
+  // Truncated version read, flags/count → Truncated, mid-event →
+  // Truncated or BadVarint depending on where the cut lands. Never ok,
+  // never a crash — the exact per-offset errors are asserted below.
+  const auto full = encodeLineage({lineageEvent(3, 40, 1)});
+  const std::vector<std::byte> body(full.begin(), full.end() - 4);
+  for (std::size_t keep = 0; keep + 1 < body.size(); ++keep) {
+    const auto truncated =
+        sealed(std::vector<std::byte>(body.begin(), body.begin() + static_cast<std::ptrdiff_t>(keep)));
+    const auto decoded = decodeBall(truncated);
+    ASSERT_FALSE(decoded.ok()) << "decoded a frame truncated to " << keep << " body bytes";
+    EXPECT_TRUE(decoded.error == DecodeError::Truncated || decoded.error == DecodeError::BadMagic ||
+                decoded.error == DecodeError::BadVarint ||
+                decoded.error == DecodeError::LengthOverflow)
+        << "offset " << keep << ": " << toString(decoded.error);
+  }
+  // The first offsets are pinned exactly: 0..1 cut the magic, 2 cuts the
+  // version byte, 3 the flags byte, 4 the event count.
+  EXPECT_EQ(decodeBall(sealed({})).error, DecodeError::Truncated);
+  EXPECT_EQ(decodeBall(sealed({body[0]})).error, DecodeError::Truncated);
+  EXPECT_EQ(decodeBall(sealed({body[0], body[1]})).error, DecodeError::Truncated);
+  EXPECT_EQ(decodeBall(sealed({body[0], body[1], body[2]})).error, DecodeError::Truncated);
+}
+
+TEST(BallCodecBoundary, RawTruncationWithoutResealHitsTheChecksumFirst) {
+  // The production failure shape (a datagram cut in flight): without a
+  // matching trailer the checksum gate rejects before any parsing.
+  const auto full = encodeLineage({lineageEvent(3, 40, 1)});
+  const std::span<const std::byte> cut(full.data(), full.size() - 1);
+  EXPECT_EQ(decodeBall(cut).error, DecodeError::ChecksumMismatch);
+  EXPECT_EQ(decodeBall(std::span<const std::byte>(full.data(), 3)).error, DecodeError::Truncated);
+}
+
+TEST(BallCodecBoundary, TrailingBytesInsideAValidChecksumReject) {
+  // Garbage between the last event and the trailer, CRC resealed over
+  // it: the decoder must notice the unconsumed bytes, not silently
+  // accept a frame longer than its content.
+  const auto full = encodeLineage({lineageEvent(3, 40, 1)});
+  std::vector<std::byte> body(full.begin(), full.end() - 4);
+  body.push_back(std::byte{0x5A});
+  EXPECT_EQ(decodeBall(sealed(std::move(body))).error, DecodeError::TrailingGarbage);
+}
+
+}  // namespace
+}  // namespace epto::codec

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Tests for tools/check_coverage.py — llvm-cov summary parsing, the
+per-directory aggregation, and the ratcheted floor verdicts."""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_coverage  # noqa: E402
+
+
+def export_json(files):
+    return {"data": [{"files": [
+        {"filename": name, "summary": {"lines": {"count": count, "covered": covered}}}
+        for name, count, covered in files
+    ]}]}
+
+
+class DirectoryMappingTest(unittest.TestCase):
+    def test_absolute_build_path_maps_to_src_directory(self):
+        self.assertEqual("src/codec",
+                         check_coverage.directory_of("/home/ci/repo/src/codec/ball_codec.cpp"))
+
+    def test_relative_path_maps_too(self):
+        self.assertEqual("src/core", check_coverage.directory_of("src/core/ordering.cpp"))
+
+    def test_last_src_component_wins(self):
+        self.assertEqual("src/codec",
+                         check_coverage.directory_of("/mnt/src/work/repo/src/codec/varint.h"))
+
+
+class AggregationTest(unittest.TestCase):
+    def test_files_sum_per_directory(self):
+        export = export_json([
+            ("/r/src/codec/a.cpp", 100, 90),
+            ("/r/src/codec/b.cpp", 50, 40),
+            ("/r/src/core/c.cpp", 200, 150),
+        ])
+        totals = check_coverage.aggregate(export)
+        self.assertEqual((130, 150), totals["src/codec"])
+        self.assertEqual((150, 200), totals["src/core"])
+
+    def test_zero_line_files_ignored(self):
+        export = export_json([("/r/src/codec/empty.h", 0, 0)])
+        self.assertEqual({}, check_coverage.aggregate(export))
+
+
+class FloorTest(unittest.TestCase):
+    def test_above_floor_passes(self):
+        totals = {"src/codec": (95, 100), "src/core": (80, 100)}
+        self.assertEqual(0, check_coverage.check(
+            totals, {"src/codec": 90.0, "src/core": 70.0}))
+
+    def test_below_floor_fails(self):
+        totals = {"src/codec": (80, 100), "src/core": (80, 100)}
+        self.assertEqual(1, check_coverage.check(
+            totals, {"src/codec": 90.0, "src/core": 70.0}))
+
+    def test_floored_directory_missing_from_export_fails(self):
+        # Wrong binaries profiled → the gate must not silently pass.
+        self.assertEqual(1, check_coverage.check(
+            {"src/core": (80, 100)}, {"src/codec": 90.0}))
+
+    def test_unfloored_directory_is_informational(self):
+        totals = {"src/pss": (1, 100), "src/codec": (95, 100)}
+        self.assertEqual(0, check_coverage.check(totals, {"src/codec": 90.0}))
+
+
+class CliTest(unittest.TestCase):
+    def run_main(self, argv):
+        return check_coverage.main(["check_coverage.py", *argv])
+
+    def test_missing_export_is_a_clear_failure(self):
+        with self.assertRaises(SystemExit) as ctx:
+            self.run_main(["/nonexistent/export.json"])
+        self.assertEqual(2, ctx.exception.code)
+
+    def test_unparseable_export_is_a_clear_failure(self):
+        with tempfile.NamedTemporaryFile("w", suffix=".json") as f:
+            f.write("{not json")
+            f.flush()
+            with self.assertRaises(SystemExit) as ctx:
+                self.run_main([f.name])
+            self.assertEqual(2, ctx.exception.code)
+
+    def test_floor_override_applies(self):
+        with tempfile.NamedTemporaryFile("w", suffix=".json") as f:
+            json.dump(export_json([("/r/src/codec/a.cpp", 100, 75),
+                                   ("/r/src/core/b.cpp", 100, 75)]), f)
+            f.flush()
+            # Default codec floor (90) would fail; overriding both below
+            # the measured 75% must pass.
+            self.assertEqual(0, self.run_main(
+                [f.name, "--floor=src/codec=50", "--floor=src/core=50"]))
+            self.assertEqual(1, self.run_main([f.name, "--floor=src/core=50"]))
+
+    def test_bad_floor_argument_rejected(self):
+        with self.assertRaises(SystemExit) as ctx:
+            self.run_main(["export.json", "--floor=oops"])
+        self.assertEqual(2, ctx.exception.code)
+
+
+if __name__ == "__main__":
+    unittest.main()

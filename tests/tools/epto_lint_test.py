@@ -227,6 +227,74 @@ class AllowlistTest(unittest.TestCase):
             self.assertIn(rule_id, rule_ids(findings),
                           f"allowlist entry '{rule_id} {rel}' is stale")
 
+    def test_stale_entry_missing_file_reported(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            stale = epto_lint.stale_allowlist_entries(
+                Path(tmp), {("raw-mutex", "src/gone.cpp")})
+            self.assertEqual(
+                [("raw-mutex", "src/gone.cpp", "file no longer exists")], stale)
+
+    def test_stale_entry_no_matching_line_reported(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = Path(tmp) / "src" / "clean.cpp"
+            src.parent.mkdir(parents=True)
+            src.write_text("int f() { return 0; }\n")
+            stale = epto_lint.stale_allowlist_entries(
+                Path(tmp), {("raw-mutex", "src/clean.cpp")})
+            self.assertEqual(
+                [("raw-mutex", "src/clean.cpp", "rule no longer matches any line")],
+                stale)
+
+    def test_live_entry_not_reported(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = Path(tmp) / "src" / "locky.cpp"
+            src.parent.mkdir(parents=True)
+            src.write_text("std::mutex m_;\n")
+            self.assertEqual([], epto_lint.stale_allowlist_entries(
+                Path(tmp), {("raw-mutex", "src/locky.cpp")}))
+
+    def test_comment_only_match_is_stale(self):
+        """The audit must scrub like the linter does: a rule string living
+        only in a comment keeps suppressing nothing."""
+        with tempfile.TemporaryDirectory() as tmp:
+            src = Path(tmp) / "src" / "prose.cpp"
+            src.parent.mkdir(parents=True)
+            src.write_text("// std::mutex discussed in prose only\nint x;\n")
+            stale = epto_lint.stale_allowlist_entries(
+                Path(tmp), {("raw-mutex", "src/prose.cpp")})
+            self.assertEqual(1, len(stale))
+
+    def test_headers_only_rule_on_source_is_stale(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = Path(tmp) / "src" / "impl.cpp"
+            src.parent.mkdir(parents=True)
+            src.write_text("#include <iostream>\n")
+            stale = epto_lint.stale_allowlist_entries(
+                Path(tmp), {("iostream-header", "src/impl.cpp")})
+            self.assertEqual(
+                [("iostream-header", "src/impl.cpp", "rule applies only to headers")],
+                stale)
+
+    def test_checked_in_allowlist_has_no_stale_entries(self):
+        entries = epto_lint.parse_allowlist(
+            REPO_ROOT / "tools" / "epto_lint_allowlist.txt")
+        self.assertEqual([], epto_lint.stale_allowlist_entries(REPO_ROOT, entries))
+
+    def test_cli_warns_on_stale_entry_but_stays_clean(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            (root / "src").mkdir()
+            (root / "src" / "ok.cpp").write_text("int f() { return 0; }\n")
+            allow = root / "allow.txt"
+            allow.write_text("raw-mutex src/vanished.cpp\n")
+            proc = subprocess.run(
+                [sys.executable, str(REPO_ROOT / "tools" / "epto_lint.py"),
+                 "--root", str(root), "--allowlist", str(allow)],
+                capture_output=True, text=True)
+            self.assertEqual(0, proc.returncode, proc.stdout + proc.stderr)
+            self.assertIn("stale allowlist entry", proc.stderr)
+            self.assertIn("src/vanished.cpp", proc.stderr)
+
     def test_malformed_allowlist_rejected(self):
         with tempfile.NamedTemporaryFile("w", suffix=".txt") as f:
             f.write("raw-mutex too many fields\n")

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""check_coverage — ratcheted line-coverage floor over the decode surface.
+
+Usage: check_coverage.py <llvm-cov-export.json> [--floor DIR=PCT ...]
+
+Consumes the JSON written by
+
+    llvm-cov export -summary-only -instr-profile=... <binaries...>
+
+aggregates line coverage per repository directory, prints a summary, and
+fails (exit 1) when any floored directory is below its floor. Exit 2 on
+a missing/unparseable export file or a malformed --floor argument.
+
+The floors are a RATCHET, not a target: they sit a few points below the
+coverage the CI coverage job actually measures, so they never block an
+unrelated PR, but a change that structurally drops coverage (a new
+decode branch with no corpus seed, a dead error path) fails loudly.
+When a PR raises coverage meaningfully, raise the floor in FLOORS (or
+pass --floor in CI) to lock the gain in — lowering a floor should be as
+deliberate and reviewed as weakening a test.
+
+Only src/codec and src/core are floored: they are the attacker-facing
+decode/screen surface the fuzz harnesses exist for (DESIGN.md §17).
+Other directories are reported for trend inspection but do not gate.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import PurePosixPath
+
+# Directory → minimum line-coverage percent. See the ratchet note above.
+FLOORS: dict[str, float] = {
+    "src/codec": 90.0,
+    "src/core": 70.0,
+}
+
+
+def fail_usage(message: str) -> "NoReturn":  # noqa: F821 - py3.9 compat
+    print(f"check_coverage: {message}", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def load_export(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            export = json.load(fh)
+    except OSError as error:
+        fail_usage(f"cannot read {path}: {error.strerror or error}")
+    except json.JSONDecodeError as error:
+        fail_usage(f"{path}: not valid JSON ({error.msg} at line {error.lineno}) — "
+                   "expected the output of `llvm-cov export -summary-only`")
+    if not isinstance(export, dict) or "data" not in export:
+        fail_usage(f"{path}: no top-level 'data' key — "
+                   "expected the output of `llvm-cov export -summary-only`")
+    return export
+
+
+def directory_of(filename: str) -> str:
+    """Map an absolute or relative source path to its repo directory
+    (src/codec, src/core, ...) by locating the last 'src' component."""
+    parts = PurePosixPath(filename.replace("\\", "/")).parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "src" and i + 1 < len(parts):
+            return "/".join(parts[i:i + 2])
+    return str(PurePosixPath(filename).parent)
+
+
+def aggregate(export: dict) -> dict[str, tuple[int, int]]:
+    """Return {directory: (covered_lines, total_lines)}."""
+    totals: dict[str, tuple[int, int]] = {}
+    for datum in export.get("data", []):
+        for entry in datum.get("files", []):
+            lines = entry.get("summary", {}).get("lines", {})
+            count = int(lines.get("count", 0))
+            covered = int(lines.get("covered", 0))
+            if count == 0:
+                continue
+            key = directory_of(entry.get("filename", ""))
+            prev_covered, prev_count = totals.get(key, (0, 0))
+            totals[key] = (prev_covered + covered, prev_count + count)
+    return totals
+
+
+def check(totals: dict[str, tuple[int, int]], floors: dict[str, float]) -> int:
+    failed = False
+    for directory in sorted(set(totals) | set(floors)):
+        covered, count = totals.get(directory, (0, 0))
+        percent = 100.0 * covered / count if count else 0.0
+        floor = floors.get(directory)
+        if floor is None:
+            print(f"info  {directory}: {percent:6.2f}% ({covered}/{count} lines)")
+            continue
+        if count == 0:
+            print(f"FAIL  {directory}: no coverage data but floor is {floor:.1f}% "
+                  "(directory missing from the export — wrong binaries profiled?)")
+            failed = True
+        elif percent < floor:
+            print(f"FAIL  {directory}: {percent:6.2f}% < floor {floor:.1f}% "
+                  f"({covered}/{count} lines)")
+            failed = True
+        else:
+            print(f"ok    {directory}: {percent:6.2f}% >= floor {floor:.1f}% "
+                  f"({covered}/{count} lines)")
+    if failed:
+        print("\nFAIL: line coverage fell below a ratcheted floor — add tests or "
+              "fuzz corpus seeds for the new branches (see DESIGN.md §17); "
+              "lowering a floor is a reviewed decision, not a fix", file=sys.stderr)
+        return 1
+    print("\nPASS: all floored directories at or above their ratchet")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    floors = dict(FLOORS)
+    positional = []
+    for arg in argv[1:]:
+        if arg.startswith("--floor"):
+            spec = arg.split("=", 1)[1] if "=" in arg else ""
+            if spec.count("=") != 1:
+                fail_usage(f"bad --floor argument {arg!r}; expected --floor=DIR=PCT")
+            directory, pct = spec.split("=")
+            try:
+                floors[directory] = float(pct)
+            except ValueError:
+                fail_usage(f"bad --floor percent {pct!r}")
+        else:
+            positional.append(arg)
+    if len(positional) != 1:
+        fail_usage(__doc__.strip())
+    export = load_export(positional[0])
+    return check(aggregate(export), floors)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

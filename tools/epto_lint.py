@@ -243,6 +243,34 @@ def parse_allowlist(path: Path) -> set[tuple[str, str]]:
     return entries
 
 
+def stale_allowlist_entries(root: Path,
+                            allowlist: set[tuple[str, str]]) -> list[tuple[str, str, str]]:
+    """Return (rule_id, rel_path, reason) for entries that suppress nothing.
+
+    An entry is stale when its file is gone, its rule cannot apply to the
+    file kind, or the rule's pattern matches no (scrubbed) line — i.e.
+    deleting the entry would change nothing today. Stale entries are a
+    warning, not a failure: the code that justified them was removed, and
+    leaving them behind silently widens the suppression surface the day a
+    new violation lands in that file.
+    """
+    rules = {r.rule_id: r for r in RULES}
+    stale: list[tuple[str, str, str]] = []
+    for rule_id, rel in sorted(allowlist):
+        rule = rules[rule_id]
+        path = root / rel
+        if not path.exists():
+            stale.append((rule_id, rel, "file no longer exists"))
+            continue
+        if rule.headers_only and Path(rel).suffix not in HEADER_SUFFIXES:
+            stale.append((rule_id, rel, "rule applies only to headers"))
+            continue
+        scrubbed = scrub(path.read_text())
+        if not any(rule.pattern.search(line) for line in scrubbed.splitlines()):
+            stale.append((rule_id, rel, "rule no longer matches any line"))
+    return stale
+
+
 def lint_text(rel_path: str, text: str,
               allowlist: set[tuple[str, str]] = frozenset()) -> list[Finding]:
     """Lint one file's contents; `rel_path` is the repo-relative path."""
@@ -302,6 +330,13 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError:
             rel = path.as_posix()
         findings.extend(lint_text(rel, path.read_text(), allowlist))
+
+    # Stale-entry audit only makes sense against the real tree, not an
+    # explicit file list (which sees a fraction of the allowlisted files).
+    if not args.files:
+        for rule_id, rel, reason in stale_allowlist_entries(root, allowlist):
+            print(f"epto_lint: warning: stale allowlist entry "
+                  f"'{rule_id} {rel}' — {reason}", file=sys.stderr)
 
     for f in findings:
         print(f"{f.path}:{f.line}: [{f.rule_id}] {f.message}\n    {f.text}")
